@@ -1,0 +1,78 @@
+//! Ablation D — stochastic methods head-to-head at equal budgets.
+//!
+//! GA-ghw, SAIGA-ghw and simulated annealing (the GA template's only
+//! historical match, thesis §4.5) on the hypergraph suite, configured for
+//! approximately the same number of fitness evaluations.
+//!
+//! `cargo run --release -p htd-bench --bin ablation_stochastic [--full]`
+
+use htd_bench::{f2, repeat_runs, Scale, Table};
+use htd_ga::{ga_ghw, sa_ghw, saiga_ghw, GaParams, SaParams, SaigaParams};
+use htd_hypergraph::gen::named_hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(
+        vec!["adder_15", "bridge_10", "grid2d_6", "grid3d_4", "clique_20", "b06"],
+        vec![
+            "adder_25", "adder_75", "bridge_25", "grid2d_10", "grid2d_20", "grid3d_8",
+            "clique_20", "b06", "b08", "c499",
+        ],
+    );
+    // evaluation budget ≈ pop*gens = islands*ipop*egens*epochs ≈ SA steps
+    let (pop, gens, runs) = scale.pick((40usize, 100u64, 3u64), (200, 1000, 5));
+    let budget = pop as u64 * gens;
+
+    println!("Ablation D — GA vs SAIGA vs SA at ~{budget} evaluations each\n");
+    let mut t = Table::new(&[
+        "Hypergraph", "GA avg", "GA min", "SAIGA avg", "SAIGA min", "SA avg", "SA min",
+    ]);
+    for name in &names {
+        let h = named_hypergraph(name).expect("suite instance");
+        let ga = repeat_runs(runs, |seed| {
+            let params = GaParams {
+                population: pop,
+                generations: gens,
+                ..GaParams::default()
+            };
+            ga_ghw(&h, &params, &mut StdRng::seed_from_u64(seed))
+                .expect("coverable")
+                .width
+        });
+        let saiga = repeat_runs(runs, |seed| {
+            let sp = SaigaParams {
+                islands: 4,
+                island_population: pop / 4,
+                epoch_generations: gens / 10,
+                epochs: 10,
+                seed,
+                ..SaigaParams::default()
+            };
+            saiga_ghw(&h, &sp).expect("coverable").width
+        });
+        let sa = repeat_runs(runs, |seed| {
+            // plateaus ≈ ln(min/init)/ln(cooling); pick steps to hit budget
+            let plateaus = 72; // ln(0.05/4)/ln(0.94)
+            let params = SaParams {
+                cooling: 0.94,
+                steps_per_temp: (budget / plateaus).max(1) as u32,
+                ..SaParams::default()
+            };
+            sa_ghw(&h, &params, &mut StdRng::seed_from_u64(seed))
+                .expect("coverable")
+                .1
+        });
+        t.row(vec![
+            name.to_string(),
+            f2(ga.avg),
+            ga.min.to_string(),
+            f2(saiga.avg),
+            saiga.min.to_string(),
+            f2(sa.avg),
+            sa.min.to_string(),
+        ]);
+    }
+    t.print();
+}

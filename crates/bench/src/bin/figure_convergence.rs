@@ -1,0 +1,65 @@
+//! Figure-style output — GA convergence curves.
+//!
+//! The thesis reports only endpoint tables for its GA runs; this harness
+//! emits the underlying best-width-per-generation series for GA-tw,
+//! GA-ghw and SAIGA-ghw as CSV on stdout, ready for plotting. One series
+//! per (algorithm, instance, seed).
+//!
+//! `cargo run --release -p htd-bench --bin figure_convergence [--full]`
+
+use htd_bench::Scale;
+use htd_ga::{ga_ghw, ga_tw, saiga_ghw, GaParams, SaigaParams};
+use htd_hypergraph::gen::{named_graph, named_hypergraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (pop, gens, seeds) = scale.pick((40, 100, 2u64), (200, 1000, 5));
+
+    println!("algorithm,instance,seed,generation,best_width");
+
+    for name in ["queen5_5", "myciel4", "grid5"] {
+        let g = named_graph(name).expect("suite");
+        for seed in 0..seeds {
+            let params = GaParams {
+                population: pop,
+                generations: gens,
+                ..GaParams::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = ga_tw(&g, &params, &mut rng);
+            for (i, w) in r.inner.history.iter().enumerate() {
+                println!("ga_tw,{name},{seed},{i},{w}");
+            }
+        }
+    }
+
+    for name in ["adder_15", "clique_20", "grid2d_8"] {
+        let h = named_hypergraph(name).expect("suite");
+        for seed in 0..seeds {
+            let params = GaParams {
+                population: pop,
+                generations: gens,
+                ..GaParams::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = ga_ghw(&h, &params, &mut rng).expect("coverable");
+            for (i, w) in r.inner.history.iter().enumerate() {
+                println!("ga_ghw,{name},{seed},{i},{w}");
+            }
+            let sp = SaigaParams {
+                islands: 4,
+                island_population: pop / 2,
+                epoch_generations: gens / 10,
+                epochs: 10,
+                seed,
+                ..SaigaParams::default()
+            };
+            let r = saiga_ghw(&h, &sp).expect("coverable");
+            for (i, w) in r.history.iter().enumerate() {
+                println!("saiga_ghw,{name},{seed},{i},{w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 6.1 — comparison of GA-tw crossover operators.
+//!
+//! Pure crossover runs (`p_c = 1.0`, `p_m = 0`), five seeds per operator
+//! and instance, reporting avg/min/max width — the experiment that crowned
+//! POS the default operator.
+//!
+//! `cargo run --release -p htd-bench --bin table6_1 [--full]`
+
+use htd_bench::{f2, ga_support::ga_tw_stats, Scale, Table};
+use htd_ga::{CrossoverOp, GaParams, MutationOp};
+use htd_hypergraph::gen::named_graph;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(
+        vec!["queen5_5", "myciel4", "games120"],
+        vec!["games120", "homer", "myciel5", "queen8_8", "anna"],
+    );
+    let (pop, gens, runs) = scale.pick((40, 120, 5), (50, 1000, 5));
+
+    println!("Table 6.1 — GA-tw crossover operator comparison (pc=1.0, pm=0)\n");
+    let mut t = Table::new(&["Instance", "Crossover", "avg", "min", "max"]);
+    for name in &names {
+        let g = named_graph(name).expect("suite instance");
+        let mut results: Vec<(CrossoverOp, htd_bench::RunStats)> = CrossoverOp::ALL
+            .into_iter()
+            .map(|op| {
+                let params = GaParams {
+                    population: pop,
+                    generations: gens,
+                    crossover_rate: 1.0,
+                    mutation_rate: 0.0,
+                    crossover: op,
+                    mutation: MutationOp::Ism,
+                    tournament: 2,
+                };
+                (op, ga_tw_stats(&g, &params, runs))
+            })
+            .collect();
+        // the thesis lists operators best-average first per instance
+        results.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).unwrap());
+        for (op, s) in results {
+            t.row(vec![
+                name.to_string(),
+                op.name().to_string(),
+                f2(s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

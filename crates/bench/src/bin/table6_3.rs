@@ -1,0 +1,48 @@
+//! Table 6.3 — GA-tw under combinations of mutation and crossover rates.
+//!
+//! Grid `p_m ∈ {0.01, 0.1, 0.3} × p_c ∈ {0.8, 0.9, 1.0}` with POS + ISM;
+//! the thesis selects `p_c = 1.0, p_m = 0.3`.
+//!
+//! `cargo run --release -p htd-bench --bin table6_3 [--full]`
+
+use htd_bench::{f2, ga_support::ga_tw_stats, Scale, Table};
+use htd_ga::GaParams;
+use htd_hypergraph::gen::named_graph;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(vec!["queen5_5", "myciel4"], vec!["games120", "queen8_8", "myciel5"]);
+    let (pop, gens, runs) = scale.pick((40, 100, 3), (200, 1000, 5));
+
+    println!("Table 6.3 — GA-tw mutation/crossover rate grid (POS + ISM)\n");
+    let mut t = Table::new(&["Instance", "pc", "pm", "avg", "min", "max"]);
+    for name in &names {
+        let g = named_graph(name).expect("suite instance");
+        let mut rows = Vec::new();
+        for pc in [0.8, 0.9, 1.0] {
+            for pm in [0.01, 0.1, 0.3] {
+                let params = GaParams {
+                    population: pop,
+                    generations: gens,
+                    crossover_rate: pc,
+                    mutation_rate: pm,
+                    tournament: 2,
+                    ..GaParams::default()
+                };
+                rows.push((pc, pm, ga_tw_stats(&g, &params, runs)));
+            }
+        }
+        rows.sort_by(|a, b| a.2.avg.partial_cmp(&b.2.avg).unwrap());
+        for (pc, pm, s) in rows {
+            t.row(vec![
+                name.to_string(),
+                format!("{pc}"),
+                format!("{pm}"),
+                f2(s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,46 @@
+//! Table 6.4 — GA-tw under different population sizes.
+//!
+//! The thesis compares 100/200/1000/2000 at fixed total effort per run;
+//! the quick scale shrinks the ladder proportionally.
+//!
+//! `cargo run --release -p htd-bench --bin table6_4 [--full]`
+
+use htd_bench::{f2, ga_support::ga_tw_stats, Scale, Table};
+use htd_ga::GaParams;
+use htd_hypergraph::gen::named_graph;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(vec!["queen5_5", "myciel4"], vec!["le450_25d", "queen16_16", "zeroin.i.1"]);
+    let sizes: Vec<usize> = scale.pick(vec![20, 40, 80, 160], vec![100, 200, 1000, 2000]);
+    let (gens, runs) = scale.pick((100u64, 3u64), (1000, 5));
+
+    println!("Table 6.4 — GA-tw population size comparison\n");
+    let mut t = Table::new(&["Instance", "n", "avg", "min", "max"]);
+    for name in &names {
+        let Some(g) = named_graph(name) else {
+            continue;
+        };
+        let mut rows = Vec::new();
+        for &n in &sizes {
+            let params = GaParams {
+                population: n,
+                generations: gens,
+                tournament: 2,
+                ..GaParams::default()
+            };
+            rows.push((n, ga_tw_stats(&g, &params, runs)));
+        }
+        rows.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).unwrap());
+        for (n, s) in rows {
+            t.row(vec![
+                name.to_string(),
+                n.to_string(),
+                f2(s.avg),
+                s.min.to_string(),
+                s.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

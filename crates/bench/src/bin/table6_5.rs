@@ -1,0 +1,44 @@
+//! Table 6.5 — GA-tw under different tournament selection group sizes.
+//!
+//! `s ∈ {2, 3, 4}`; the thesis picks `s = 3`.
+//!
+//! `cargo run --release -p htd-bench --bin table6_5 [--full]`
+
+use htd_bench::{f2, ga_support::ga_tw_stats, Scale, Table};
+use htd_ga::GaParams;
+use htd_hypergraph::gen::named_graph;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(vec!["queen5_5", "myciel4"], vec!["le450_25d", "queen16_16"]);
+    let (pop, gens, runs) = scale.pick((40, 100, 3), (2000, 1000, 5));
+
+    println!("Table 6.5 — GA-tw tournament group size comparison\n");
+    let mut t = Table::new(&["Instance", "s", "avg", "min", "max"]);
+    for name in &names {
+        let Some(g) = named_graph(name) else {
+            continue;
+        };
+        let mut rows = Vec::new();
+        for s in [2usize, 3, 4] {
+            let params = GaParams {
+                population: pop,
+                generations: gens,
+                tournament: s,
+                ..GaParams::default()
+            };
+            rows.push((s, ga_tw_stats(&g, &params, runs)));
+        }
+        rows.sort_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).unwrap());
+        for (s, st) in rows {
+            t.row(vec![
+                name.to_string(),
+                s.to_string(),
+                f2(st.avg),
+                st.min.to_string(),
+                st.max.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

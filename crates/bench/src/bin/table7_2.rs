@@ -1,0 +1,51 @@
+//! Table 7.2 — SAIGA-ghw on the CSP hypergraph library.
+//!
+//! The self-adaptive island GA: no tuned parameters, the islands adapt
+//! their own (§7.2). Reported per instance over several seeds, plus the
+//! final self-adapted mutation/crossover rates of the best run's islands.
+//!
+//! `cargo run --release -p htd-bench --bin table7_2 [--full]`
+
+use htd_bench::{f2, repeat_runs, Scale, Table};
+use htd_ga::{saiga_ghw, SaigaParams};
+use htd_hypergraph::gen::named_hypergraph;
+
+fn main() {
+    let scale = Scale::from_env();
+    let names: Vec<&str> = scale.pick(
+        vec!["adder_15", "bridge_10", "grid2d_6", "grid3d_4", "clique_10", "b06"],
+        vec![
+            "adder_25", "adder_75", "bridge_25", "bridge_50", "grid2d_10", "grid2d_20",
+            "grid3d_4", "grid3d_8", "clique_10", "clique_20", "b06", "b08", "b09", "b10", "c499",
+        ],
+    );
+    let (islands, ipop, egens, epochs, runs) =
+        scale.pick((3usize, 24usize, 10u64, 6u64, 3u64), (6, 300, 50, 40, 10));
+
+    println!("Table 7.2 — SAIGA-ghw upper bounds (self-adaptive islands)\n");
+    let mut t = Table::new(&["Hypergraph", "V", "H", "min", "max", "avg", "std.dev"]);
+    for name in &names {
+        let h = named_hypergraph(name).expect("suite instance");
+        let s = repeat_runs(runs, |seed| {
+            let sp = SaigaParams {
+                islands,
+                island_population: ipop,
+                epoch_generations: egens,
+                epochs,
+                seed,
+                ..SaigaParams::default()
+            };
+            saiga_ghw(&h, &sp).expect("coverable").width
+        });
+        t.row(vec![
+            name.to_string(),
+            h.num_vertices().to_string(),
+            h.num_edges().to_string(),
+            s.min.to_string(),
+            s.max.to_string(),
+            f2(s.avg),
+            f2(s.std_dev),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,484 @@
+//! Implementation of the `htd` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `htd info <file>` — instance statistics and quick bounds;
+//! * `htd tw <file> [--exact] [--budget N]` — treewidth (heuristic by
+//!   default, A* when `--exact`);
+//! * `htd ghw <file> [--exact] [--budget N]` — generalized hypertree width
+//!   (GA by default, BB-ghw when `--exact`);
+//! * `htd hw <file>` — hypertree width via det-k-decomp;
+//! * `htd decompose <file> [--format td|dot]` — emit a tree decomposition;
+//! * `htd solve <file.csp> [--count] [--all N]` — solve a CSP (text
+//!   format of `htd_csp::io`) through a tree decomposition;
+//! * `htd gen <name>` — print a named benchmark instance.
+//!
+//! Graph files: `.gr` (PACE) or `.col` (DIMACS); anything else parses as
+//! the hyperedge format. `-` reads stdin.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
+use htd_core::{dot, pace, CoverStrategy};
+use htd_hypergraph::{gen, io, Graph, Hypergraph};
+use htd_search::{astar_tw, bb_ghw, hypertree_width, SearchConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A parsed instance: graphs become hypergraphs of binary edges, keeping
+/// the original graph when available.
+pub enum Instance {
+    /// A simple graph (from `.gr` / `.col`).
+    Graph(Graph),
+    /// A hypergraph (from the hyperedge format).
+    Hypergraph(Hypergraph),
+}
+
+impl Instance {
+    /// The instance as a hypergraph (graphs become binary hyperedges).
+    pub fn hypergraph(&self) -> Hypergraph {
+        match self {
+            Instance::Graph(g) => Hypergraph::from_graph(g),
+            Instance::Hypergraph(h) => h.clone(),
+        }
+    }
+
+    /// The instance's primal graph.
+    pub fn graph(&self) -> Graph {
+        match self {
+            Instance::Graph(g) => g.clone(),
+            Instance::Hypergraph(h) => h.primal_graph(),
+        }
+    }
+}
+
+/// Parses instance `text`, choosing the format from `name`'s extension.
+pub fn parse_instance(name: &str, text: &str) -> Result<Instance, String> {
+    if name.ends_with(".gr") {
+        io::parse_pace_gr(text)
+            .map(Instance::Graph)
+            .map_err(|e| e.to_string())
+    } else if name.ends_with(".col") || name.ends_with(".dimacs") {
+        io::parse_dimacs(text)
+            .map(Instance::Graph)
+            .map_err(|e| e.to_string())
+    } else {
+        io::parse_hyperedges(text)
+            .map(Instance::Hypergraph)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Options shared by the width subcommands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Exact search instead of the default heuristic.
+    pub exact: bool,
+    /// Node budget for exact searches.
+    pub budget: u64,
+    /// Output format for `decompose` (`td` or `dot`).
+    pub format: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// `solve`: report the solution count instead of one solution.
+    pub count: bool,
+    /// `solve`: list up to this many solutions.
+    pub all: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            exact: false,
+            budget: 1_000_000,
+            format: "td".into(),
+            seed: 1,
+            count: false,
+            all: None,
+        }
+    }
+}
+
+/// Parses trailing flags into [`Options`].
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exact" => o.exact = true,
+            "--budget" => {
+                o.budget = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--budget needs a number")?;
+            }
+            "--format" => {
+                o.format = it.next().ok_or("--format needs td|dot")?.clone();
+            }
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--count" => o.count = true,
+            "--all" => {
+                o.all = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--all needs a number")?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// `htd info`: instance statistics and quick bounds.
+pub fn cmd_info(inst: &Instance, o: &Options) -> Result<String, String> {
+    let h = inst.hypergraph();
+    let g = inst.graph();
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices:   {}", h.num_vertices());
+    let _ = writeln!(out, "hyperedges: {}", h.num_edges());
+    let _ = writeln!(out, "rank:       {}", h.rank());
+    let _ = writeln!(out, "primal edges: {}", g.num_edges());
+    let _ = writeln!(
+        out,
+        "acyclic:    {}",
+        htd_core::join_tree::is_acyclic(&h)
+    );
+    let lb = htd_heuristics::combined_lower_bound(&g, &mut rng);
+    let ub = htd_heuristics::upper::min_fill(&g, &mut rng).width;
+    let _ = writeln!(out, "treewidth:  in [{lb}, {ub}] (minor bounds / min-fill)");
+    if h.covers_all_vertices() {
+        let ghw_lb = htd_heuristics::ghw_lower_bound(&h, &mut rng);
+        let _ = writeln!(out, "ghw:        ≥ {ghw_lb} (tw-ksc + clique cover)");
+    }
+    Ok(out)
+}
+
+/// `htd tw`: treewidth bounds or exact value.
+pub fn cmd_tw(inst: &Instance, o: &Options) -> Result<String, String> {
+    let g = inst.graph();
+    if o.exact {
+        let cfg = SearchConfig {
+            max_nodes: o.budget,
+            seed: o.seed,
+            ..SearchConfig::default()
+        };
+        let out = astar_tw(&g, &cfg);
+        if out.exact {
+            Ok(format!("treewidth {}\n", out.upper))
+        } else {
+            Ok(format!(
+                "treewidth in [{}, {}] (budget exhausted)\n",
+                out.lower, out.upper
+            ))
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(o.seed);
+        let h = htd_heuristics::upper::min_fill(&g, &mut rng);
+        Ok(format!("treewidth ≤ {} (min-fill)\n", h.width))
+    }
+}
+
+/// `htd ghw`: generalized hypertree width bounds or exact value.
+pub fn cmd_ghw(inst: &Instance, o: &Options) -> Result<String, String> {
+    let h = inst.hypergraph();
+    if !h.covers_all_vertices() {
+        return Err("some vertex lies in no hyperedge: no GHD exists".into());
+    }
+    if o.exact {
+        let cfg = SearchConfig {
+            max_nodes: o.budget,
+            seed: o.seed,
+            ..SearchConfig::default()
+        };
+        let out = bb_ghw(&h, &cfg).expect("coverable");
+        if out.exact {
+            Ok(format!("ghw {}\n", out.upper))
+        } else {
+            Ok(format!(
+                "ghw in [{}, {}] (budget exhausted)\n",
+                out.lower, out.upper
+            ))
+        }
+    } else {
+        let params = htd_ga::GaParams::default();
+        let mut rng = StdRng::seed_from_u64(o.seed);
+        let r = htd_ga::ga_ghw(&h, &params, &mut rng).expect("coverable");
+        Ok(format!("ghw ≤ {} (GA-ghw)\n", r.width))
+    }
+}
+
+/// `htd hw`: hypertree width via det-k-decomp.
+pub fn cmd_hw(inst: &Instance, o: &Options) -> Result<String, String> {
+    let h = inst.hypergraph();
+    if !h.covers_all_vertices() {
+        return Err("some vertex lies in no hyperedge: no HD exists".into());
+    }
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let lb = htd_heuristics::ghw_lower_bound(&h, &mut rng);
+    let (hw, hd) = hypertree_width(&h, lb.max(1)).expect("coverable");
+    hd.validate_hypertree(&h)
+        .map_err(|e| format!("internal: invalid HD: {e}"))?;
+    Ok(format!("hypertree width {hw}\n"))
+}
+
+/// `htd decompose`: emit a tree decomposition in PACE `.td` or DOT format.
+pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, String> {
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    match inst {
+        Instance::Graph(g) => {
+            let order = htd_heuristics::upper::min_fill(g, &mut rng).ordering;
+            let td = vertex_elimination(g, &order).simplify();
+            match o.format.as_str() {
+                "td" => Ok(pace::write_td(&td, g.num_vertices())),
+                "dot" => Ok(dot::tree_decomposition_to_dot(&td, |v| g.name(v))),
+                f => Err(format!("unknown format {f}")),
+            }
+        }
+        Instance::Hypergraph(h) => {
+            let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
+            match o.format.as_str() {
+                "td" => {
+                    let td = td_of_hypergraph(h, &order).simplify();
+                    Ok(pace::write_td(&td, h.num_vertices()))
+                }
+                "dot" => {
+                    let ghd = htd_core::bucket::ghd_via_elimination(
+                        h,
+                        &order,
+                        CoverStrategy::Exact,
+                    )
+                    .ok_or("uncoverable vertex: no GHD exists")?;
+                    Ok(dot::ghd_to_dot(&ghd, h))
+                }
+                f => Err(format!("unknown format {f}")),
+            }
+        }
+    }
+}
+
+/// `htd solve`: solve a CSP file via join-tree clustering; `--count`
+/// reports the number of solutions, `--all N` lists up to `N`.
+pub fn cmd_solve(text: &str, o: &Options) -> Result<String, String> {
+    let csp = htd_csp::parse_csp(text).map_err(|e| e.to_string())?;
+    let h = csp.hypergraph();
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
+    let td = td_of_hypergraph(&h, &order);
+    let mut out = String::new();
+    if o.count {
+        let n = htd_csp::count_solutions_td(&csp, &td);
+        let _ = writeln!(out, "solutions: {n}");
+        return Ok(out);
+    }
+    if let Some(limit) = o.all {
+        let mut listed = 0u64;
+        htd_csp::for_each_solution_td(&csp, &td, |a| {
+            let vals: Vec<String> = a.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{}", vals.join(" "));
+            listed += 1;
+            listed < limit
+        });
+        if listed == 0 {
+            out.push_str("UNSAT\n");
+        }
+        return Ok(out);
+    }
+    match htd_csp::solve_with_td(&csp, &td) {
+        Some(a) => {
+            for (v, &val) in a.iter().enumerate() {
+                let _ = writeln!(out, "{} = {}", csp.variables[v], val);
+            }
+        }
+        None => out.push_str("UNSAT\n"),
+    }
+    Ok(out)
+}
+
+/// `htd gen`: print a named benchmark instance.
+pub fn cmd_gen(name: &str) -> Result<String, String> {
+    if let Some(g) = gen::named_graph(name) {
+        return Ok(io::write_dimacs(&g));
+    }
+    if let Some(h) = gen::named_hypergraph(name) {
+        return Ok(io::write_hyperedges(&h));
+    }
+    Err(format!("unknown instance name {name}"))
+}
+
+/// Dispatches a full argv (without the program name).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let usage = "usage: htd <info|tw|ghw|hw|decompose|solve|gen> <file|-|name> [--exact] [--budget N] [--format td|dot] [--count] [--all N] [--seed N]";
+    let cmd = args.first().ok_or(usage)?;
+    if cmd == "gen" {
+        return cmd_gen(args.get(1).ok_or("gen needs an instance name")?);
+    }
+    let file = args.get(1).ok_or(usage)?;
+    let text = if file == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+    };
+    let o = parse_options(&args[2..])?;
+    if cmd == "solve" {
+        return cmd_solve(&text, &o);
+    }
+    let inst = parse_instance(file, &text)?;
+    match cmd.as_str() {
+        "info" => cmd_info(&inst, &o),
+        "tw" => cmd_tw(&inst, &o),
+        "ghw" => cmd_ghw(&inst, &o),
+        "hw" => cmd_hw(&inst, &o),
+        "decompose" => cmd_decompose(&inst, &o),
+        _ => Err(usage.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_text() -> &'static str {
+        "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n"
+    }
+
+    fn hyper_text() -> &'static str {
+        "e1(a,b,c),\ne2(a,e,f),\ne3(c,d,e).\n"
+    }
+
+    #[test]
+    fn parse_by_extension() {
+        assert!(matches!(
+            parse_instance("x.gr", graph_text()),
+            Ok(Instance::Graph(_))
+        ));
+        assert!(matches!(
+            parse_instance("x.col", "p edge 2 1\ne 1 2\n"),
+            Ok(Instance::Graph(_))
+        ));
+        assert!(matches!(
+            parse_instance("x.hg", hyper_text()),
+            Ok(Instance::Hypergraph(_))
+        ));
+        assert!(parse_instance("x.gr", "garbage").is_err());
+    }
+
+    #[test]
+    fn tw_exact_on_cycle() {
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let o = Options {
+            exact: true,
+            ..Options::default()
+        };
+        assert_eq!(cmd_tw(&inst, &o).unwrap(), "treewidth 2\n");
+        let heur = cmd_tw(&inst, &Options::default()).unwrap();
+        assert!(heur.contains("≤ 2"));
+    }
+
+    #[test]
+    fn ghw_and_hw_on_thesis_example() {
+        let inst = parse_instance("t.hg", hyper_text()).unwrap();
+        let o = Options {
+            exact: true,
+            ..Options::default()
+        };
+        assert_eq!(cmd_ghw(&inst, &o).unwrap(), "ghw 2\n");
+        assert_eq!(cmd_hw(&inst, &o).unwrap(), "hypertree width 2\n");
+    }
+
+    #[test]
+    fn decompose_roundtrips_through_pace() {
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let td_text = cmd_decompose(&inst, &Options::default()).unwrap();
+        let td = pace::parse_td(&td_text).unwrap();
+        td.validate_graph(&inst.graph()).unwrap();
+        // dot output renders
+        let o = Options {
+            format: "dot".into(),
+            ..Options::default()
+        };
+        assert!(cmd_decompose(&inst, &o).unwrap().starts_with("digraph"));
+        // hypergraph dot shows λ
+        let hinst = parse_instance("t.hg", hyper_text()).unwrap();
+        assert!(cmd_decompose(&hinst, &o).unwrap().contains("λ"));
+    }
+
+    #[test]
+    fn info_reports_bounds() {
+        let inst = parse_instance("t.hg", hyper_text()).unwrap();
+        let info = cmd_info(&inst, &Options::default()).unwrap();
+        assert!(info.contains("vertices:   6"));
+        assert!(info.contains("hyperedges: 3"));
+        assert!(info.contains("acyclic:    false"));
+    }
+
+    #[test]
+    fn gen_produces_known_instances() {
+        let out = cmd_gen("queen5_5").unwrap();
+        assert!(out.starts_with("p edge 25"));
+        let out = cmd_gen("adder_3").unwrap();
+        assert!(out.contains("xor1_1"));
+        assert!(htd_hypergraph::io::parse_hyperedges(&out).is_ok());
+        assert!(cmd_gen("nope").is_err());
+    }
+
+    #[test]
+    fn solve_subcommand() {
+        // x0 != x1 over 2 values
+        let text = "csp 2 2\ncon neq 0 1 : 0 1 ; 1 0 ;\n";
+        let one = cmd_solve(text, &Options::default()).unwrap();
+        assert!(one.contains("x0 = "));
+        let count = cmd_solve(
+            text,
+            &Options {
+                count: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(count, "solutions: 2\n");
+        let all = cmd_solve(
+            text,
+            &Options {
+                all: Some(10),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(all.lines().count(), 2);
+        // unsat
+        let unsat = "csp 1 1\ncon no 0 :\n";
+        let r = cmd_solve(unsat, &Options::default()).unwrap();
+        assert!(r.contains("UNSAT"));
+    }
+
+    #[test]
+    fn options_parsing() {
+        let o = parse_options(&[
+            "--exact".into(),
+            "--budget".into(),
+            "123".into(),
+            "--format".into(),
+            "dot".into(),
+        ])
+        .unwrap();
+        assert!(o.exact);
+        assert_eq!(o.budget, 123);
+        assert_eq!(o.format, "dot");
+        assert!(parse_options(&["--what".into()]).is_err());
+        assert!(parse_options(&["--budget".into()]).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Generalized hypertree decompositions (thesis Definition 13).
+
+use htd_hypergraph::{EdgeId, Hypergraph, VertexSet};
+
+use crate::tree_decomposition::{NodeId, TreeDecomposition, ValidationError};
+
+/// A generalized hypertree decomposition: a tree decomposition `⟨T, χ⟩`
+/// plus an edge label `λ(p)` per node such that `χ(p) ⊆ var(λ(p))`.
+///
+/// The width is `max |λ(p)|` — the number of constraints per subproblem —
+/// which measures subproblem complexity more accurately than bag size
+/// (a bag with many variables but few constraints is easy).
+#[derive(Clone, Debug)]
+pub struct GeneralizedHypertreeDecomposition {
+    tree: TreeDecomposition,
+    lambda: Vec<Vec<EdgeId>>,
+}
+
+impl GeneralizedHypertreeDecomposition {
+    /// Wraps a tree decomposition with edge labels. `lambda[p]` must cover
+    /// `χ(p)` for validity, checked by [`validate`](Self::validate).
+    pub fn new(tree: TreeDecomposition, lambda: Vec<Vec<EdgeId>>) -> Self {
+        assert_eq!(tree.num_nodes(), lambda.len());
+        GeneralizedHypertreeDecomposition { tree, lambda }
+    }
+
+    /// The underlying tree decomposition (`⟨T, χ⟩`).
+    pub fn tree(&self) -> &TreeDecomposition {
+        &self.tree
+    }
+
+    /// The `λ` label of node `p`.
+    pub fn lambda(&self, p: NodeId) -> &[EdgeId] {
+        &self.lambda[p]
+    }
+
+    /// The width `max |λ(p)|`.
+    pub fn width(&self) -> u32 {
+        self.lambda.iter().map(|l| l.len() as u32).max().unwrap_or(0)
+    }
+
+    /// Checks all three GHD conditions against `h`:
+    /// 1. every hyperedge inside some bag,
+    /// 2. connectedness,
+    /// 3. `χ(p) ⊆ var(λ(p))` for every node.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), ValidationError> {
+        self.tree.validate(h)?;
+        for p in 0..self.tree.num_nodes() {
+            let mut vars = VertexSet::new(h.num_vertices());
+            for &e in &self.lambda[p] {
+                vars.union_with(h.edge(e));
+            }
+            if !self.tree.bag(p).is_subset(&vars) {
+                return Err(ValidationError::BagNotCovered { node: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the *hypertree decomposition* conditions: the three GHD
+    /// conditions plus the descendant condition (condition 4 of Gottlob,
+    /// Leone & Scarcello): for every node `p`,
+    /// `var(λ(p)) ∩ χ(T_p) ⊆ χ(p)` — an edge used in `λ(p)` may not
+    /// reintroduce below `p` vertices that `χ(p)` dropped.
+    pub fn validate_hypertree(&self, h: &Hypergraph) -> Result<(), ValidationError> {
+        self.validate(h)?;
+        // χ(T_p): union of bags in the subtree of p, bottom-up
+        let order = self.tree.topological_order();
+        let n = h.num_vertices();
+        let mut subtree: Vec<VertexSet> = (0..self.tree.num_nodes())
+            .map(|p| self.tree.bag(p).clone())
+            .collect();
+        for &p in order.iter().rev() {
+            if let Some(q) = self.tree.parent(p) {
+                let sub = subtree[p].clone();
+                subtree[q].union_with(&sub);
+            }
+        }
+        for p in 0..self.tree.num_nodes() {
+            let mut lambda_vars = VertexSet::new(n);
+            for &e in &self.lambda[p] {
+                lambda_vars.union_with(h.edge(e));
+            }
+            lambda_vars.intersect_with(&subtree[p]);
+            if !lambda_vars.is_subset(self.tree.bag(p)) {
+                return Err(ValidationError::BagNotCovered { node: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes the decomposition *complete* (Definition 14 / Lemma 2): for
+    /// every hyperedge `h` there must be a node with `h ⊆ χ(p)` **and**
+    /// `h ∈ λ(p)`. Missing edges get a fresh child node with `χ = h`,
+    /// `λ = {h}` attached below a bag containing `h`. Width never grows
+    /// (new nodes have `|λ| = 1`).
+    pub fn complete(&self, h: &Hypergraph) -> GeneralizedHypertreeDecomposition {
+        let mut bags: Vec<VertexSet> = self.tree.bags().to_vec();
+        let mut parent: Vec<Option<NodeId>> = (0..self.tree.num_nodes())
+            .map(|p| self.tree.parent(p))
+            .collect();
+        let mut lambda = self.lambda.clone();
+        for e in 0..h.num_edges() {
+            let scope = h.edge(e);
+            let hosted = (0..lambda.len())
+                .any(|p| lambda[p].contains(&e) && scope.is_subset(&bags[p]));
+            if hosted {
+                continue;
+            }
+            let host = (0..bags.len())
+                .find(|&p| scope.is_subset(&bags[p]))
+                .expect("validated GHD covers every edge");
+            bags.push(scope.clone());
+            parent.push(Some(host));
+            lambda.push(vec![e]);
+        }
+        let tree = TreeDecomposition::new(bags, parent).expect("completion preserves tree");
+        GeneralizedHypertreeDecomposition { tree, lambda }
+    }
+
+    /// `true` iff the decomposition is complete for `h`.
+    pub fn is_complete(&self, h: &Hypergraph) -> bool {
+        (0..h.num_edges()).all(|e| {
+            let scope = h.edge(e);
+            (0..self.lambda.len())
+                .any(|p| self.lambda[p].contains(&e) && scope.is_subset(self.tree.bag(p)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    fn thesis_hypergraph() -> Hypergraph {
+        Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]])
+    }
+
+    /// The width-2 GHD of Fig. 2.7: root {x1,x3,x5} covered by edges 1 and
+    /// 2, children are the three hyperedges themselves.
+    fn thesis_ghd() -> GeneralizedHypertreeDecomposition {
+        let tree = TreeDecomposition::new(
+            vec![
+                vs(6, &[0, 2, 4]),
+                vs(6, &[0, 1, 2]),
+                vs(6, &[2, 3, 4]),
+                vs(6, &[0, 4, 5]),
+            ],
+            vec![None, Some(0), Some(0), Some(0)],
+        )
+        .unwrap();
+        GeneralizedHypertreeDecomposition::new(tree, vec![vec![1, 2], vec![0], vec![2], vec![1]])
+    }
+
+    #[test]
+    fn thesis_ghd_validates_with_width_2() {
+        let h = thesis_hypergraph();
+        let ghd = thesis_ghd();
+        assert_eq!(ghd.width(), 2);
+        ghd.validate(&h).unwrap();
+        assert!(ghd.is_complete(&h));
+    }
+
+    #[test]
+    fn bag_cover_violation_detected() {
+        let h = thesis_hypergraph();
+        let tree = TreeDecomposition::trivial(6);
+        // single bag of all six vertices, labeled with only edge 0
+        let ghd = GeneralizedHypertreeDecomposition::new(tree, vec![vec![0]]);
+        assert_eq!(
+            ghd.validate(&h),
+            Err(ValidationError::BagNotCovered { node: 0 })
+        );
+    }
+
+    #[test]
+    fn completion_adds_missing_edges_without_widening() {
+        // e0 = {0,1} is subsumed by e1 = {0,1,2}: a single-node GHD labeled
+        // {e1} is valid but not complete (e0 hosted nowhere).
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![0, 1, 2]]);
+        let tree = TreeDecomposition::trivial(3);
+        let ghd = GeneralizedHypertreeDecomposition::new(tree, vec![vec![1]]);
+        ghd.validate(&h).unwrap();
+        assert!(!ghd.is_complete(&h));
+        let complete = ghd.complete(&h);
+        assert!(complete.is_complete(&h));
+        complete.validate(&h).unwrap();
+        assert_eq!(complete.width(), ghd.width());
+        assert_eq!(complete.tree().num_nodes(), 2); // root + node for e0
+    }
+
+    #[test]
+    fn complete_is_idempotent() {
+        let h = thesis_hypergraph();
+        let ghd = thesis_ghd();
+        let c1 = ghd.complete(&h);
+        let c2 = c1.complete(&h);
+        assert_eq!(c1.tree().num_nodes(), c2.tree().num_nodes());
+    }
+
+    #[test]
+    fn hypertree_condition_4_detected() {
+        // Two nodes: root χ={0}, λ={e0} where e0={0,1}; child χ={1,2},
+        // λ={e1}. Vertex 1 ∈ var(λ(root)) appears below the root but not
+        // in the root's bag → condition 4 violated; GHD conditions hold.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let tree = TreeDecomposition::new(
+            vec![vs(3, &[0, 1]), vs(3, &[1, 2])],
+            vec![None, Some(0)],
+        )
+        .unwrap();
+        let good = GeneralizedHypertreeDecomposition::new(tree, vec![vec![0], vec![1]]);
+        good.validate(&h).unwrap();
+        good.validate_hypertree(&h).unwrap();
+
+        // now shrink the root bag to {0}: still a valid TD? vertex 1 is in
+        // bags {0}… no — dropping 1 from the root breaks edge coverage of
+        // e0. Use a 3-node chain instead: root {0,1} λ={e0},
+        // middle {1} λ={e0}, leaf {1,2} λ={e1} — condition 4 holds.
+        // Violation case: middle λ = {e1} (covers χ={1}), then
+        // var(λ(middle)) ∩ χ(subtree) = {1,2} ∩ {1,2} = {1,2} ⊄ {1}.
+        let tree = TreeDecomposition::new(
+            vec![vs(3, &[0, 1]), vs(3, &[1]), vs(3, &[1, 2])],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap();
+        let bad = GeneralizedHypertreeDecomposition::new(
+            tree,
+            vec![vec![0], vec![1], vec![1]],
+        );
+        bad.validate(&h).unwrap(); // GHD conditions fine
+        assert_eq!(
+            bad.validate_hypertree(&h),
+            Err(ValidationError::BagNotCovered { node: 1 })
+        );
+    }
+
+    #[test]
+    fn width_of_empty_lambda_nodes() {
+        let tree = TreeDecomposition::trivial(2);
+        let h = Hypergraph::new(2, vec![]);
+        let ghd = GeneralizedHypertreeDecomposition::new(tree, vec![vec![]]);
+        // no edges to cover but the bag {0,1} has no covering vars
+        assert_eq!(
+            ghd.validate(&h),
+            Err(ValidationError::BagNotCovered { node: 0 })
+        );
+        assert_eq!(ghd.width(), 0);
+    }
+}

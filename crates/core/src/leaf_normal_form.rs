@@ -1,0 +1,421 @@
+//! Leaf normal form and the ordering extraction of Chapter 3.
+//!
+//! Chapter 3 of the thesis proves that elimination orderings are a complete
+//! search space for generalized hypertree width. The proof is constructive
+//! and this module implements it:
+//!
+//! 1. [`to_leaf_normal_form`] — Algorithm *Transform Leaf Normal Form*
+//!    (Fig. 3.1): normalize any tree decomposition so that its leaves are
+//!    exactly the hyperedges and inner labels are minimal (Theorem 1:
+//!    every normalized bag is contained in an original bag).
+//! 2. [`ordering_from_lnf`] — Lemma 13: ordering vertices by the depth of
+//!    the deepest common ancestor of their leaves (deepest eliminated
+//!    first) produces bags contained in the normalized bags.
+//! 3. [`ordering_from_td`] — the composition: from any tree decomposition
+//!    of `H`, an ordering whose bucket-elimination bags each fit inside
+//!    some original bag, hence `width(σ, H) ≤` the width of any GHD on
+//!    that tree (Theorems 2–3).
+
+use htd_hypergraph::{Hypergraph, Vertex, VertexSet};
+
+use crate::ordering::EliminationOrdering;
+use crate::tree_decomposition::{NodeId, TreeDecomposition};
+
+/// A tree decomposition in leaf normal form plus its leaf mapping:
+/// `leaf_of_edge[e]` is the node holding exactly hyperedge `e`.
+#[derive(Clone, Debug)]
+pub struct LeafNormalForm {
+    /// The normalized decomposition.
+    pub td: TreeDecomposition,
+    /// For each hyperedge, its leaf node.
+    pub leaf_of_edge: Vec<NodeId>,
+}
+
+/// Transforms `td` into leaf normal form for `h` (Fig. 3.1).
+///
+/// Guarantees (Theorem 1):
+/// * one-to-one mapping between hyperedges and leaves, `χ(leaf(e)) = e`;
+/// * an inner node carries vertex `Y` iff it lies on a path between two
+///   leaves carrying `Y`;
+/// * every produced bag is a subset of some original bag.
+pub fn to_leaf_normal_form(h: &Hypergraph, td: &TreeDecomposition) -> LeafNormalForm {
+    let n_orig = td.num_nodes();
+    let mut bags: Vec<VertexSet> = td.bags().to_vec();
+    let mut parent: Vec<Option<NodeId>> = (0..n_orig).map(|p| td.parent(p)).collect();
+
+    // Step 2: attach one fresh leaf per hyperedge under a covering node.
+    let mut leaf_of_edge = Vec::with_capacity(h.num_edges() as usize);
+    for e in 0..h.num_edges() {
+        let scope = h.edge(e);
+        let host = (0..n_orig)
+            .find(|&p| scope.is_subset(&bags[p]))
+            .expect("td must cover every hyperedge");
+        leaf_of_edge.push(bags.len());
+        bags.push(scope.clone());
+        parent.push(Some(host));
+    }
+
+    // Step 3: repeatedly delete unmapped leaves (original nodes that became
+    // leaves and are not edge-leaves).
+    let total = bags.len();
+    let mut alive = vec![true; total];
+    let mut child_count = vec![0usize; total];
+    for p in 0..total {
+        if let Some(q) = parent[p] {
+            child_count[q] += 1;
+        }
+    }
+    let is_edge_leaf = |p: usize| p >= n_orig;
+    let mut queue: Vec<usize> = (0..total)
+        .filter(|&p| child_count[p] == 0 && !is_edge_leaf(p))
+        .collect();
+    while let Some(p) = queue.pop() {
+        // never delete the last remaining node
+        if alive.iter().filter(|&&a| a).count() == 1 {
+            break;
+        }
+        alive[p] = false;
+        if let Some(q) = parent[p] {
+            child_count[q] -= 1;
+            if child_count[q] == 0 && !is_edge_leaf(q) && alive[q] {
+                queue.push(q);
+            }
+        }
+    }
+
+    // Compact into a new tree. The root may have been deleted if it became
+    // an unmapped leaf; re-root at any alive node whose parent chain leads
+    // to dead nodes. Parent of an alive node = nearest alive ancestor.
+    let mut new_id = vec![usize::MAX; total];
+    let mut out_bags = Vec::new();
+    for p in 0..total {
+        if alive[p] {
+            new_id[p] = out_bags.len();
+            out_bags.push(bags[p].clone());
+        }
+    }
+    let mut out_parent: Vec<Option<NodeId>> = vec![None; out_bags.len()];
+    let mut root_seen = false;
+    for p in 0..total {
+        if !alive[p] {
+            continue;
+        }
+        let mut q = parent[p];
+        while let Some(qq) = q {
+            if alive[qq] {
+                break;
+            }
+            q = parent[qq];
+        }
+        match q {
+            Some(qq) => out_parent[new_id[p]] = Some(new_id[qq]),
+            None => {
+                if root_seen {
+                    // should not happen: the original tree had one root and
+                    // deletions keep connectivity; defensive re-rooting
+                    out_parent[new_id[p]] = Some(0);
+                } else {
+                    root_seen = true;
+                }
+            }
+        }
+    }
+    let leaf_of_edge: Vec<NodeId> = leaf_of_edge.into_iter().map(|p| new_id[p]).collect();
+
+    // Step 4: restrict inner labels to Steiner trees of their leaves.
+    // For each vertex Y: keep Y at an inner node iff the node lies on a
+    // path between two leaves containing Y.
+    let td_tmp = TreeDecomposition::new(out_bags.clone(), out_parent.clone())
+        .expect("lnf keeps tree shape");
+    let depth = node_depths(&td_tmp);
+    let nv = h.num_vertices();
+    let mut keep: Vec<VertexSet> = (0..out_bags.len()).map(|_| VertexSet::new(nv)).collect();
+    for y in 0..nv {
+        let leaves: Vec<NodeId> = leaf_of_edge
+            .iter()
+            .copied()
+            .filter(|&l| out_bags[l].contains(y))
+            .collect();
+        if leaves.is_empty() {
+            continue;
+        }
+        // The union of leaf-to-leaf paths is the minimal subtree spanning
+        // the leaves: every leaf walked up to the common LCA.
+        let mut anchor = leaves[0];
+        for &l in &leaves[1..] {
+            anchor = lca(&td_tmp, &depth, anchor, l);
+        }
+        let mut in_steiner = vec![false; out_bags.len()];
+        for &l in &leaves {
+            let mut p = l;
+            loop {
+                if in_steiner[p] {
+                    break;
+                }
+                in_steiner[p] = true;
+                if p == anchor {
+                    break;
+                }
+                p = td_tmp.parent(p).expect("anchor is an ancestor");
+            }
+        }
+        for (p, &ins) in in_steiner.iter().enumerate() {
+            if ins {
+                keep[p].insert(y);
+            }
+        }
+    }
+    // leaves keep their exact edge label; inner nodes get the restriction
+    let mut final_bags = out_bags;
+    let leaf_set: std::collections::HashSet<NodeId> = leaf_of_edge.iter().copied().collect();
+    for p in 0..final_bags.len() {
+        if !leaf_set.contains(&p) {
+            final_bags[p] = keep[p].clone();
+        }
+    }
+    let td = TreeDecomposition::new(final_bags, out_parent).expect("lnf keeps tree shape");
+    LeafNormalForm { td, leaf_of_edge }
+}
+
+/// Depth of every node (root = 0).
+fn node_depths(td: &TreeDecomposition) -> Vec<u32> {
+    let mut depth = vec![0u32; td.num_nodes()];
+    for p in td.topological_order() {
+        if let Some(q) = td.parent(p) {
+            depth[p] = depth[q] + 1;
+        }
+    }
+    depth
+}
+
+/// Extracts an elimination ordering from a leaf normal form (Lemma 13):
+/// vertex `v` is ranked by `depth(dca(v))`, the depth of the deepest
+/// common ancestor of the leaves containing `v`; **deeper vertices are
+/// eliminated first** (the thesis's `depth(y) < depth(x) ⇒ y <_σ x`, with
+/// σ's tail eliminated first). Vertices in no hyperedge come first.
+pub fn ordering_from_lnf(h: &Hypergraph, lnf: &LeafNormalForm) -> EliminationOrdering {
+    let depth = node_depths(&lnf.td);
+    let nv = h.num_vertices();
+    let mut rank: Vec<(u32, Vertex)> = Vec::with_capacity(nv as usize);
+    for v in 0..nv {
+        let leaves: Vec<NodeId> = h
+            .incident_edges(v)
+            .iter()
+            .map(|&e| lnf.leaf_of_edge[e as usize])
+            .collect();
+        let d = match leaves.split_first() {
+            None => u32::MAX, // isolated vertex: eliminate first
+            Some((&first, rest)) => {
+                let mut dca = first;
+                for &l in rest {
+                    dca = lca(&lnf.td, &depth, dca, l);
+                }
+                depth[dca]
+            }
+        };
+        rank.push((d, v));
+    }
+    // deepest dca first; ties by vertex id for determinism
+    rank.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    EliminationOrdering::new_unchecked(rank.into_iter().map(|(_, v)| v).collect())
+}
+
+fn lca(td: &TreeDecomposition, depth: &[u32], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while depth[a] > depth[b] {
+        a = td.parent(a).unwrap();
+    }
+    while depth[b] > depth[a] {
+        b = td.parent(b).unwrap();
+    }
+    while a != b {
+        a = td.parent(a).unwrap();
+        b = td.parent(b).unwrap();
+    }
+    a
+}
+
+/// From any tree decomposition of `h`, an ordering whose elimination bags
+/// are each contained in some bag of `td` (Theorem 2). Consequently
+/// evaluating this ordering with exact covers yields a GHD width no larger
+/// than that of any GHD over `td`.
+pub fn ordering_from_td(h: &Hypergraph, td: &TreeDecomposition) -> EliminationOrdering {
+    let lnf = to_leaf_normal_form(h, td);
+    ordering_from_lnf(h, &lnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{td_of_hypergraph, vertex_elimination};
+    use crate::ordering::{CoverStrategy, GhwEvaluator, TwEvaluator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn thesis_hypergraph() -> Hypergraph {
+        Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]])
+    }
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    fn thesis_td() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![
+                vs(6, &[0, 2, 4]),
+                vs(6, &[0, 1, 2]),
+                vs(6, &[2, 3, 4]),
+                vs(6, &[0, 4, 5]),
+            ],
+            vec![None, Some(0), Some(0), Some(0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lnf_leaves_are_exactly_the_hyperedges() {
+        let h = thesis_hypergraph();
+        let td = thesis_td();
+        let lnf = to_leaf_normal_form(&h, &td);
+        lnf.td.validate(&h).unwrap();
+        assert_eq!(lnf.leaf_of_edge.len(), 3);
+        for e in 0..h.num_edges() {
+            let l = lnf.leaf_of_edge[e as usize];
+            assert_eq!(lnf.td.bag(l).to_vec(), h.edge(e).to_vec());
+            assert!(lnf.td.children(l).is_empty(), "leaf {l} has children");
+        }
+        // every leaf is an edge leaf (one-to-one)
+        let leaves = lnf.td.leaves();
+        assert_eq!(leaves.len(), 3);
+    }
+
+    #[test]
+    fn lnf_bags_contained_in_original_bags() {
+        let h = thesis_hypergraph();
+        let td = thesis_td();
+        let lnf = to_leaf_normal_form(&h, &td);
+        for p in 0..lnf.td.num_nodes() {
+            let contained = (0..td.num_nodes()).any(|q| lnf.td.bag(p).is_subset(td.bag(q)));
+            assert!(contained, "lnf bag {p} not inside any original bag");
+        }
+    }
+
+    #[test]
+    fn lnf_inner_label_condition() {
+        // Inner node carries Y iff it lies on a path between two Y-leaves.
+        let h = thesis_hypergraph();
+        let lnf = to_leaf_normal_form(&h, &thesis_td());
+        let leaves: Vec<NodeId> = lnf.leaf_of_edge.clone();
+        for p in 0..lnf.td.num_nodes() {
+            if leaves.contains(&p) {
+                continue;
+            }
+            for y in 0..h.num_vertices() {
+                let y_leaves: Vec<NodeId> = leaves
+                    .iter()
+                    .copied()
+                    .filter(|&l| lnf.td.bag(l).contains(y))
+                    .collect();
+                let on_path = y_leaves.len() >= 2 && {
+                    // p on path between two leaves iff removing p separates
+                    // at least two of them: test all pairs via LCA walks
+                    let depth = super::node_depths(&lnf.td);
+                    let mut found = false;
+                    'outer: for (i, &a) in y_leaves.iter().enumerate() {
+                        for &b in &y_leaves[i + 1..] {
+                            // path a..b passes p?
+                            let l = super::lca(&lnf.td, &depth, a, b);
+                            let passes = |mut x: NodeId| {
+                                loop {
+                                    if x == p {
+                                        return true;
+                                    }
+                                    if x == l {
+                                        return false;
+                                    }
+                                    x = lnf.td.parent(x).unwrap();
+                                }
+                            };
+                            if passes(a) || passes(b) || l == p {
+                                found = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    found
+                };
+                assert_eq!(
+                    lnf.td.bag(p).contains(y),
+                    on_path,
+                    "node {p} vertex {y}: label/path mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_from_td_bags_fit_inside_original_bags() {
+        // Lemma 13: every clique of the derived ordering is contained in a
+        // bag of the original decomposition.
+        let mut rng = StdRng::seed_from_u64(99);
+        for seed in 0..20u64 {
+            let h = htd_hypergraph::gen::random_uniform(8, 8, 3, seed);
+            // build some arbitrary (non-optimal) decomposition first
+            let base = EliminationOrdering::random(8, &mut rng);
+            let td = td_of_hypergraph(&h, &base);
+            let sigma = ordering_from_td(&h, &td);
+            let derived = td_of_hypergraph(&h, &sigma);
+            for p in 0..derived.num_nodes() {
+                let ok = (0..td.num_nodes()).any(|q| derived.bag(p).is_subset(td.bag(q)));
+                assert!(ok, "seed {seed}: derived bag {p} escapes original bags");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_ordering_never_worse_in_width() {
+        // Theorem 2 consequence for tree decompositions: width(σ) ≤ width(td)
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..20u64 {
+            let g = htd_hypergraph::gen::random_gnp(9, 0.4, seed);
+            let h = Hypergraph::from_graph(&g);
+            let base = EliminationOrdering::random(9, &mut rng);
+            let td = vertex_elimination(&g, &base);
+            let sigma = ordering_from_td(&h, &td);
+            let mut ev = TwEvaluator::new(&g);
+            assert!(
+                ev.width(sigma.as_slice()) <= td.width(),
+                "seed {seed}: derived ordering widened"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_ordering_never_worse_in_ghw_width() {
+        // Theorem 2 for GHDs: exact-cover width of σ ≤ any GHD width on td.
+        let mut rng = StdRng::seed_from_u64(31);
+        for seed in 0..15u64 {
+            let h = htd_hypergraph::gen::random_uniform(8, 9, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let base = EliminationOrdering::random(8, &mut rng);
+            let td = td_of_hypergraph(&h, &base);
+            let ghd = crate::bucket::cover_decomposition(&h, &td, CoverStrategy::Exact).unwrap();
+            let sigma = ordering_from_td(&h, &td);
+            let mut ev = GhwEvaluator::new(&h, CoverStrategy::Exact);
+            let w = ev.width(sigma.as_slice()).unwrap();
+            assert!(w <= ghd.width(), "seed {seed}: {w} > {}", ghd.width());
+        }
+    }
+
+    #[test]
+    fn single_node_td_normalizes() {
+        let h = thesis_hypergraph();
+        let td = TreeDecomposition::trivial(6);
+        let lnf = to_leaf_normal_form(&h, &td);
+        lnf.td.validate(&h).unwrap();
+        let sigma = ordering_from_lnf(&h, &lnf);
+        assert_eq!(sigma.len(), 6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Maximum (weight) independent set by dynamic programming over a nice
+//! tree decomposition — the textbook `O(2^w · n)` payoff of small width.
+//!
+//! Each nice node keeps a table from "bag subset that is independent and
+//! intersects the chosen set exactly here" to the best weight achievable
+//! in the subtree. Introduce extends tables, forget maximizes out, join
+//! adds (subtracting the double-counted bag part).
+
+use std::collections::HashMap;
+
+use htd_hypergraph::{Graph, VertexSet};
+
+use crate::nice::{NiceNodeKind, NiceTreeDecomposition};
+
+/// Maximum-weight independent set of `g` using a nice tree decomposition
+/// of it. `weights[v]` is vertex `v`'s weight (use all-ones for maximum
+/// cardinality). Returns the best total weight.
+///
+/// Runs in `O(2^w)` per node — only use with decompositions of small
+/// width.
+pub fn max_weight_independent_set(
+    g: &Graph,
+    nice: &NiceTreeDecomposition,
+    weights: &[i64],
+) -> i64 {
+    assert_eq!(g.num_vertices() as usize, weights.len());
+    let td = &nice.tree;
+    let order = td.topological_order();
+    // per-node table: chosen-subset-of-bag (as sorted vec of blocks) → best
+    let mut tables: Vec<HashMap<Vec<u64>, i64>> = vec![HashMap::new(); td.num_nodes()];
+    for &p in order.iter().rev() {
+        let table = match &nice.kinds[p] {
+            NiceNodeKind::Leaf => {
+                let mut t = HashMap::new();
+                t.insert(VertexSet::new(g.num_vertices()).blocks().to_vec(), 0);
+                t
+            }
+            NiceNodeKind::Introduce { vertex } => {
+                let child = td.children(p)[0];
+                let mut t = HashMap::new();
+                for (key, &val) in &tables[child] {
+                    let chosen = set_from_blocks(key, g.num_vertices());
+                    // not taking the vertex: same chosen set
+                    merge_max(&mut t, chosen.blocks().to_vec(), val);
+                    // taking it: must stay independent inside the bag
+                    if chosen.is_disjoint(g.neighbors(*vertex)) {
+                        let mut with_v = chosen.clone();
+                        with_v.insert(*vertex);
+                        merge_max(&mut t, with_v.blocks().to_vec(), val + weights[*vertex as usize]);
+                    }
+                }
+                t
+            }
+            NiceNodeKind::Forget { vertex } => {
+                let child = td.children(p)[0];
+                let mut t = HashMap::new();
+                for (key, &val) in &tables[child] {
+                    let mut chosen = set_from_blocks(key, g.num_vertices());
+                    chosen.remove(*vertex);
+                    merge_max(&mut t, chosen.blocks().to_vec(), val);
+                }
+                t
+            }
+            NiceNodeKind::Join => {
+                let (a, b) = (td.children(p)[0], td.children(p)[1]);
+                let mut t = HashMap::new();
+                for (key, &va) in &tables[a] {
+                    if let Some(&vb) = tables[b].get(key) {
+                        // both subtrees agree on the bag part; its weight is
+                        // counted twice
+                        let chosen = set_from_blocks(key, g.num_vertices());
+                        let bag_weight: i64 =
+                            chosen.iter().map(|v| weights[v as usize]).sum();
+                        merge_max(&mut t, key.clone(), va + vb - bag_weight);
+                    }
+                }
+                t
+            }
+        };
+        tables[p] = table;
+        // children tables are dead now; drop them to bound memory
+        for &c in td.children(p) {
+            tables[c] = HashMap::new();
+        }
+    }
+    // root bag is empty: single entry
+    *tables[td.root()]
+        .get(VertexSet::new(g.num_vertices()).blocks())
+        .expect("root table has the empty entry")
+}
+
+fn merge_max(t: &mut HashMap<Vec<u64>, i64>, key: Vec<u64>, val: i64) {
+    t.entry(key)
+        .and_modify(|v| {
+            if val > *v {
+                *v = val;
+            }
+        })
+        .or_insert(val);
+}
+
+fn set_from_blocks(blocks: &[u64], cap: u32) -> VertexSet {
+    let mut s = VertexSet::new(cap);
+    for (i, &b) in blocks.iter().enumerate() {
+        let mut m = b;
+        while m != 0 {
+            let bit = m.trailing_zeros();
+            m &= m - 1;
+            s.insert((i * 64) as u32 + bit);
+        }
+    }
+    s
+}
+
+/// Maximum-cardinality independent set: all weights 1.
+pub fn max_independent_set(g: &Graph, nice: &NiceTreeDecomposition) -> u32 {
+    let weights = vec![1i64; g.num_vertices() as usize];
+    max_weight_independent_set(g, nice, &weights) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::vertex_elimination;
+    use crate::nice::NiceTreeDecomposition;
+    use crate::ordering::EliminationOrdering;
+    use htd_hypergraph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nice_of(g: &Graph) -> NiceTreeDecomposition {
+        let n = g.num_vertices();
+        let td = vertex_elimination(g, &EliminationOrdering::identity(n));
+        NiceTreeDecomposition::from_td(&td, n)
+    }
+
+    /// O(2^n) brute force for cross-checking.
+    fn brute_force_mis(g: &Graph, weights: &[i64]) -> i64 {
+        let n = g.num_vertices();
+        let mut best = 0i64;
+        for mask in 0u32..(1 << n) {
+            let mut ok = true;
+            let mut w = 0i64;
+            for v in 0..n {
+                if mask & (1 << v) == 0 {
+                    continue;
+                }
+                w += weights[v as usize];
+                for u in v + 1..n {
+                    if mask & (1 << u) != 0 && g.has_edge(v, u) {
+                        ok = false;
+                    }
+                }
+            }
+            if ok && w > best {
+                best = w;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn known_families() {
+        // path P5: MIS = 3; cycle C6: 3; K5: 1; empty graph: n
+        assert_eq!(max_independent_set(&gen::path_graph(5), &nice_of(&gen::path_graph(5))), 3);
+        assert_eq!(max_independent_set(&gen::cycle_graph(6), &nice_of(&gen::cycle_graph(6))), 3);
+        assert_eq!(
+            max_independent_set(&gen::complete_graph(5), &nice_of(&gen::complete_graph(5))),
+            1
+        );
+        let empty = Graph::new(7);
+        assert_eq!(max_independent_set(&empty, &nice_of(&empty)), 7);
+        // 4x4 grid: independent set of 8 (checkerboard)
+        let grid = gen::grid_graph(4, 4);
+        assert_eq!(max_independent_set(&grid, &nice_of(&grid)), 8);
+    }
+
+    #[test]
+    fn matches_brute_force_with_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::Rng;
+        for seed in 0..12u64 {
+            let g = gen::random_gnp(10, 0.35, seed);
+            let weights: Vec<i64> = (0..10).map(|_| rng.gen_range(0..20)).collect();
+            let got = max_weight_independent_set(&g, &nice_of(&g), &weights);
+            let want = brute_force_mis(&g, &weights);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_give_zero() {
+        let g = gen::cycle_graph(5);
+        let w = vec![0i64; 5];
+        assert_eq!(max_weight_independent_set(&g, &nice_of(&g), &w), 0);
+    }
+}

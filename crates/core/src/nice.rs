@@ -1,0 +1,252 @@
+//! Nice tree decompositions.
+//!
+//! A *nice* tree decomposition normalizes the tree into four node kinds —
+//! leaf, introduce, forget, join — with at most one vertex changing per
+//! step. Dynamic programs over tree decompositions (the standard route to
+//! `O(c^w · n)` algorithms) are written against this shape; see
+//! [`crate::mis`] for the classic example.
+
+use htd_hypergraph::VertexSet;
+
+use crate::tree_decomposition::{NodeId, TreeDecomposition};
+
+/// The kind of a nice-decomposition node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NiceNodeKind {
+    /// A leaf with an empty bag.
+    Leaf,
+    /// Bag = child's bag plus `vertex`.
+    Introduce {
+        /// The introduced vertex.
+        vertex: u32,
+    },
+    /// Bag = child's bag minus `vertex`.
+    Forget {
+        /// The forgotten vertex.
+        vertex: u32,
+    },
+    /// Two children with identical bags.
+    Join,
+}
+
+/// A nice tree decomposition: the normalized tree plus per-node kinds.
+///
+/// The root's bag is empty (every vertex is forgotten on the way up),
+/// which simplifies extracting final DP answers.
+#[derive(Clone, Debug)]
+pub struct NiceTreeDecomposition {
+    /// The underlying decomposition (same bags semantics).
+    pub tree: TreeDecomposition,
+    /// Kind of each node.
+    pub kinds: Vec<NiceNodeKind>,
+}
+
+impl NiceTreeDecomposition {
+    /// Normalizes an arbitrary tree decomposition into nice form.
+    /// Width is unchanged; the node count grows to `O(w · n)`.
+    pub fn from_td(td: &TreeDecomposition, num_vertices: u32) -> NiceTreeDecomposition {
+        let mut builder = Builder {
+            bags: Vec::new(),
+            parents: Vec::new(),
+            kinds: Vec::new(),
+            n: num_vertices,
+        };
+        let top = builder.build(td, td.root());
+        // drain the root bag to empty with forgets
+        let root_bag = td.bag(td.root()).clone();
+        let mut cur = top;
+        let mut bag = root_bag;
+        while let Some(v) = bag.first() {
+            bag.remove(v);
+            cur = builder.push(bag.clone(), NiceNodeKind::Forget { vertex: v }, vec![cur]);
+        }
+        // convert to TreeDecomposition (parent pointers)
+        let mut parent = vec![None; builder.bags.len()];
+        for (p, kids) in builder.parents.iter().enumerate() {
+            for &c in kids {
+                parent[c] = Some(p);
+            }
+        }
+        debug_assert!(parent[cur].is_none());
+        let tree = TreeDecomposition::new(builder.bags, parent).expect("nice builder makes a tree");
+        NiceTreeDecomposition {
+            tree,
+            kinds: builder.kinds,
+        }
+    }
+
+    /// The width (same as the source decomposition's).
+    pub fn width(&self) -> u32 {
+        self.tree.width()
+    }
+
+    /// Structural sanity check: kinds match bag deltas, joins have equal
+    /// child bags, leaves are empty, the root bag is empty.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let td = &self.tree;
+        if !td.bag(td.root()).is_empty() {
+            return Err("root bag not empty".into());
+        }
+        for p in 0..td.num_nodes() {
+            let kids = td.children(p);
+            match &self.kinds[p] {
+                NiceNodeKind::Leaf => {
+                    if !kids.is_empty() || !td.bag(p).is_empty() {
+                        return Err(format!("bad leaf {p}"));
+                    }
+                }
+                NiceNodeKind::Introduce { vertex } => {
+                    if kids.len() != 1 {
+                        return Err(format!("introduce {p} needs one child"));
+                    }
+                    let mut expect = td.bag(kids[0]).clone();
+                    if !expect.insert(*vertex) {
+                        return Err(format!("introduce {p}: vertex already present"));
+                    }
+                    if expect != *td.bag(p) {
+                        return Err(format!("introduce {p}: bag mismatch"));
+                    }
+                }
+                NiceNodeKind::Forget { vertex } => {
+                    if kids.len() != 1 {
+                        return Err(format!("forget {p} needs one child"));
+                    }
+                    let mut expect = td.bag(kids[0]).clone();
+                    if !expect.remove(*vertex) {
+                        return Err(format!("forget {p}: vertex not present"));
+                    }
+                    if expect != *td.bag(p) {
+                        return Err(format!("forget {p}: bag mismatch"));
+                    }
+                }
+                NiceNodeKind::Join => {
+                    if kids.len() != 2 {
+                        return Err(format!("join {p} needs two children"));
+                    }
+                    if td.bag(kids[0]) != td.bag(p) || td.bag(kids[1]) != td.bag(p) {
+                        return Err(format!("join {p}: child bags differ"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Builder {
+    bags: Vec<VertexSet>,
+    /// children per node (converted to parent pointers at the end)
+    parents: Vec<Vec<NodeId>>,
+    kinds: Vec<NiceNodeKind>,
+    n: u32,
+}
+
+impl Builder {
+    fn push(&mut self, bag: VertexSet, kind: NiceNodeKind, children: Vec<NodeId>) -> NodeId {
+        self.bags.push(bag);
+        self.kinds.push(kind);
+        self.parents.push(children);
+        self.bags.len() - 1
+    }
+
+    /// Builds the nice subtree for `node` of the source decomposition and
+    /// returns the id of a nice node whose bag equals `td.bag(node)`.
+    fn build(&mut self, td: &TreeDecomposition, node: NodeId) -> NodeId {
+        let bag = td.bag(node).clone();
+        let kids = td.children(node);
+        if kids.is_empty() {
+            // leaf: empty bag, then introduce the bag one vertex at a time
+            let mut cur = self.push(VertexSet::new(self.n), NiceNodeKind::Leaf, vec![]);
+            let mut acc = VertexSet::new(self.n);
+            for v in bag.iter() {
+                acc.insert(v);
+                cur = self.push(acc.clone(), NiceNodeKind::Introduce { vertex: v }, vec![cur]);
+            }
+            return cur;
+        }
+        // transform each child's subtree to carry this node's bag:
+        // forget child-only vertices, then introduce node-only vertices
+        let mut carried: Vec<NodeId> = Vec::with_capacity(kids.len());
+        for &c in kids {
+            let mut cur = self.build(td, c);
+            let mut cur_bag = td.bag(c).clone();
+            for v in td.bag(c).difference(&bag).iter() {
+                cur_bag.remove(v);
+                cur = self.push(cur_bag.clone(), NiceNodeKind::Forget { vertex: v }, vec![cur]);
+            }
+            for v in bag.difference(td.bag(c)).iter() {
+                cur_bag.insert(v);
+                cur = self.push(
+                    cur_bag.clone(),
+                    NiceNodeKind::Introduce { vertex: v },
+                    vec![cur],
+                );
+            }
+            carried.push(cur);
+        }
+        // fold children with binary joins
+        let mut cur = carried[0];
+        for &other in &carried[1..] {
+            cur = self.push(bag.clone(), NiceNodeKind::Join, vec![cur, other]);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::vertex_elimination;
+    use crate::ordering::EliminationOrdering;
+    use htd_hypergraph::{gen, Hypergraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nice_form_of_grid_validates() {
+        let g = gen::grid_graph(3, 3);
+        let td = vertex_elimination(&g, &EliminationOrdering::identity(9));
+        let nice = NiceTreeDecomposition::from_td(&td, 9);
+        nice.validate_shape().unwrap();
+        assert_eq!(nice.width(), td.width());
+        // still a valid tree decomposition of the graph
+        nice.tree.validate_graph(&g).unwrap();
+    }
+
+    #[test]
+    fn random_decompositions_normalize() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for seed in 0..10u64 {
+            let g = gen::random_gnp(10, 0.3, seed);
+            let h = Hypergraph::from_graph(&g);
+            let order = EliminationOrdering::random(10, &mut rng);
+            let td = vertex_elimination(&g, &order);
+            let nice = NiceTreeDecomposition::from_td(&td, 10);
+            nice.validate_shape().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(nice.width(), td.width(), "seed {seed}");
+            nice.tree.validate(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_node_decomposition() {
+        let td = TreeDecomposition::trivial(3);
+        let nice = NiceTreeDecomposition::from_td(&td, 3);
+        nice.validate_shape().unwrap();
+        assert_eq!(nice.width(), 2);
+    }
+
+    #[test]
+    fn node_count_is_linear_in_w_n() {
+        let g = gen::grid_graph(4, 4);
+        let td = vertex_elimination(&g, &EliminationOrdering::identity(16));
+        let nice = NiceTreeDecomposition::from_td(&td, 16);
+        let bound = (td.width() as usize + 2) * 4 * td.num_nodes() + 4;
+        assert!(
+            nice.tree.num_nodes() <= bound,
+            "{} nice nodes for {} original",
+            nice.tree.num_nodes(),
+            td.num_nodes()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! PACE-challenge `.td` format for tree decompositions.
+//!
+//! The community-standard interchange format:
+//!
+//! ```text
+//! c a comment
+//! s td <num_bags> <max_bag_size> <num_vertices>
+//! b 1 1 2 3
+//! b 2 2 3 4
+//! 1 2
+//! ```
+//!
+//! Bag ids and vertices are 1-based; the lines after the bags are the
+//! edges of the decomposition tree. Bag 1 becomes the root on parsing.
+
+use std::fmt::Write as _;
+
+use htd_hypergraph::VertexSet;
+
+use crate::tree_decomposition::TreeDecomposition;
+
+/// Errors of the `.td` parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdParseError {
+    /// Missing or malformed `s td …` header.
+    MissingHeader,
+    /// A line could not be interpreted.
+    BadLine(String),
+    /// A bag id or vertex id is out of the declared range.
+    OutOfRange(String),
+    /// The bag edges do not form a tree.
+    NotATree,
+}
+
+impl std::fmt::Display for TdParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdParseError::MissingHeader => write!(f, "missing 's td' header"),
+            TdParseError::BadLine(l) => write!(f, "unparseable line {l:?}"),
+            TdParseError::OutOfRange(x) => write!(f, "id out of range: {x}"),
+            TdParseError::NotATree => write!(f, "bag edges do not form a tree"),
+        }
+    }
+}
+
+impl std::error::Error for TdParseError {}
+
+/// Writes a tree decomposition in PACE `.td` format for a graph on
+/// `num_vertices` vertices.
+pub fn write_td(td: &TreeDecomposition, num_vertices: u32) -> String {
+    let mut out = String::new();
+    let max_bag = td.bags().iter().map(|b| b.len()).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "s td {} {} {}",
+        td.num_nodes(),
+        max_bag,
+        num_vertices
+    );
+    for p in 0..td.num_nodes() {
+        let verts: Vec<String> = td.bag(p).iter().map(|v| (v + 1).to_string()).collect();
+        let _ = writeln!(out, "b {} {}", p + 1, verts.join(" "));
+    }
+    for p in 0..td.num_nodes() {
+        if let Some(q) = td.parent(p) {
+            let _ = writeln!(out, "{} {}", q + 1, p + 1);
+        }
+    }
+    out
+}
+
+/// Parses a PACE `.td` file. Bag 1 becomes the root.
+pub fn parse_td(text: &str) -> Result<TreeDecomposition, TdParseError> {
+    let mut num_bags = 0usize;
+    let mut num_vertices = 0u32;
+    let mut bags: Vec<Option<VertexSet>> = Vec::new();
+    let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+    let mut seen_header = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("s td") {
+            let nums: Vec<u32> = rest
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|_| TdParseError::MissingHeader))
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 3 {
+                return Err(TdParseError::MissingHeader);
+            }
+            num_bags = nums[0] as usize;
+            num_vertices = nums[2];
+            bags = vec![None; num_bags];
+            seen_header = true;
+            continue;
+        }
+        if !seen_header {
+            return Err(TdParseError::MissingHeader);
+        }
+        if let Some(rest) = line.strip_prefix("b ") {
+            let mut it = rest.split_whitespace();
+            let id: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| TdParseError::BadLine(line.to_string()))?;
+            if id == 0 || id > num_bags {
+                return Err(TdParseError::OutOfRange(id.to_string()));
+            }
+            let mut bag = VertexSet::new(num_vertices);
+            for tok in it {
+                let v: u32 = tok
+                    .parse()
+                    .map_err(|_| TdParseError::BadLine(line.to_string()))?;
+                if v == 0 || v > num_vertices {
+                    return Err(TdParseError::OutOfRange(v.to_string()));
+                }
+                bag.insert(v - 1);
+            }
+            bags[id - 1] = Some(bag);
+        } else {
+            let mut it = line.split_whitespace();
+            let a: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| TdParseError::BadLine(line.to_string()))?;
+            let b: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| TdParseError::BadLine(line.to_string()))?;
+            if a == 0 || b == 0 || a > num_bags || b > num_bags {
+                return Err(TdParseError::OutOfRange(format!("{a} or {b}")));
+            }
+            tree_edges.push((a - 1, b - 1));
+        }
+    }
+    if !seen_header || num_bags == 0 {
+        return Err(TdParseError::MissingHeader);
+    }
+    let bags: Vec<VertexSet> = bags
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| b.ok_or(TdParseError::OutOfRange(format!("bag {} missing", i + 1))))
+        .collect::<Result<_, _>>()?;
+    // orient edges away from bag 0 by BFS
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_bags];
+    for &(a, b) in &tree_edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; num_bags];
+    let mut seen = vec![false; num_bags];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(p) = queue.pop_front() {
+        for &q in &adj[p] {
+            if !seen[q] {
+                seen[q] = true;
+                parent[q] = Some(p);
+                queue.push_back(q);
+            }
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(TdParseError::NotATree);
+    }
+    TreeDecomposition::new(bags, parent).map_err(|_| TdParseError::NotATree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::vertex_elimination;
+    use crate::ordering::EliminationOrdering;
+    use htd_hypergraph::gen;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = gen::grid_graph(3, 3);
+        let td = vertex_elimination(&g, &EliminationOrdering::identity(9));
+        let text = write_td(&td, 9);
+        let parsed = parse_td(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), td.num_nodes());
+        assert_eq!(parsed.width(), td.width());
+        parsed.validate_graph(&g).unwrap();
+    }
+
+    #[test]
+    fn parses_the_format_example() {
+        let text = "c example\ns td 2 3 4\nb 1 1 2 3\nb 2 2 3 4\n1 2\n";
+        let td = parse_td(text).unwrap();
+        assert_eq!(td.num_nodes(), 2);
+        assert_eq!(td.width(), 2);
+        assert_eq!(td.bag(0).to_vec(), vec![0, 1, 2]);
+        assert_eq!(td.parent(1), Some(0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(parse_td("b 1 1\n"), Err(TdParseError::MissingHeader)));
+        assert!(matches!(
+            parse_td("s td 1 1 2\nb 1 9\n"),
+            Err(TdParseError::OutOfRange(_))
+        ));
+        // two bags, no connecting edge: not a tree
+        assert!(matches!(
+            parse_td("s td 2 1 2\nb 1 1\nb 2 2\n"),
+            Err(TdParseError::NotATree)
+        ));
+        // missing bag
+        assert!(matches!(
+            parse_td("s td 2 1 2\nb 1 1\n1 2\n"),
+            Err(TdParseError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn empty_bags_are_legal() {
+        let text = "s td 1 0 3\nb 1\n";
+        let td = parse_td(text).unwrap();
+        assert_eq!(td.num_nodes(), 1);
+        assert!(td.bag(0).is_empty());
+    }
+}

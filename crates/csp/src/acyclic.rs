@@ -1,0 +1,155 @@
+//! Algorithm Acyclic Solving (thesis Fig. 2.4).
+//!
+//! Input: one relation per node of a join tree (any tree decomposition
+//! whose node relations are over the bag variables works). Bottom-up, each
+//! parent is semijoined with each child, deleting parent tuples with no
+//! consistent extension below; if a relation empties, there is no
+//! solution. Top-down, a tuple is picked at the root and extended child by
+//! child — each pick is guaranteed to succeed by the bottom-up pass.
+
+use htd_core::TreeDecomposition;
+
+use crate::model::Value;
+use crate::relation::Relation;
+
+/// Solves a join tree of relations. `tree` provides the shape; `rels[p]`
+/// is node `p`'s relation. Returns an assignment for every variable
+/// appearing in some relation (`u32::MAX` for variables in none), or
+/// `None` if unsatisfiable.
+pub fn acyclic_solve(
+    tree: &TreeDecomposition,
+    rels: &[Relation],
+    num_vars: u32,
+) -> Option<Vec<Value>> {
+    assert_eq!(tree.num_nodes(), rels.len());
+    let mut rels: Vec<Relation> = rels.to_vec();
+    let order = tree.topological_order();
+
+    // bottom-up: children before parents
+    for &p in order.iter().rev() {
+        if let Some(q) = tree.parent(p) {
+            rels[q] = rels[q].semijoin(&rels[p]);
+            if rels[q].is_empty() {
+                return None;
+            }
+        }
+        if rels[p].is_empty() {
+            return None;
+        }
+    }
+
+    // top-down: pick consistent tuples
+    let mut assignment = vec![u32::MAX; num_vars as usize];
+    for &p in &order {
+        let consistent = rels[p].select_consistent(&assignment);
+        let t = consistent.tuples.first()?; // bottom-up pass guarantees Some
+        for (&v, &val) in rels[p].vars.iter().zip(t) {
+            assignment[v as usize] = val;
+        }
+    }
+    Some(assignment)
+}
+
+/// Counts all complete consistent assignments of a join tree by a full
+/// bottom-up join (exponential in the worst case — for tests and small
+/// instances).
+pub fn count_solutions(tree: &TreeDecomposition, rels: &[Relation]) -> usize {
+    let order = tree.topological_order();
+    let mut acc: Vec<Relation> = rels.to_vec();
+    for &p in order.iter().rev() {
+        if let Some(q) = tree.parent(p) {
+            let joined = acc[q].join(&acc[p]);
+            acc[q] = joined;
+        }
+    }
+    acc[tree.root()].len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::VertexSet;
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    fn chain_tree(n: usize, cap: u32) -> TreeDecomposition {
+        let bags = (0..n).map(|_| vs(cap, &[])).collect();
+        let parent = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        TreeDecomposition::new(bags, parent).unwrap()
+    }
+
+    fn r(vars: &[u32], tuples: &[&[u32]]) -> Relation {
+        Relation::new(vars.to_vec(), tuples.iter().map(|t| t.to_vec()).collect())
+    }
+
+    #[test]
+    fn solves_a_satisfiable_chain() {
+        // x0 != x1, x1 != x2 over {0,1}
+        let tree = chain_tree(2, 3);
+        let rels = vec![
+            r(&[0, 1], &[&[0, 1], &[1, 0]]),
+            r(&[1, 2], &[&[0, 1], &[1, 0]]),
+        ];
+        let a = acyclic_solve(&tree, &rels, 3).expect("satisfiable");
+        assert_ne!(a[0], a[1]);
+        assert_ne!(a[1], a[2]);
+    }
+
+    #[test]
+    fn detects_unsatisfiability() {
+        // x0 != x1 and x0 == x1
+        let tree = chain_tree(2, 2);
+        let rels = vec![
+            r(&[0, 1], &[&[0, 1], &[1, 0]]),
+            r(&[0, 1], &[&[0, 0], &[1, 1]]),
+        ];
+        assert!(acyclic_solve(&tree, &rels, 2).is_none());
+    }
+
+    #[test]
+    fn empty_relation_is_unsatisfiable() {
+        let tree = chain_tree(1, 1);
+        let rels = vec![r(&[0], &[])];
+        assert!(acyclic_solve(&tree, &rels, 1).is_none());
+    }
+
+    #[test]
+    fn star_tree_with_shared_root_variable() {
+        // root over x0; three leaves force x0 through different paths
+        let bags = vec![vs(4, &[]); 4];
+        let parent = vec![None, Some(0), Some(0), Some(0)];
+        let tree = TreeDecomposition::new(bags, parent).unwrap();
+        let rels = vec![
+            r(&[0], &[&[0], &[1], &[2]]),
+            r(&[0, 1], &[&[1, 0]]),
+            r(&[0, 2], &[&[1, 5]]),
+            r(&[0, 3], &[&[1, 7], &[2, 8]]),
+        ];
+        let a = acyclic_solve(&tree, &rels, 4).unwrap();
+        assert_eq!(a, vec![1, 0, 5, 7]);
+    }
+
+    #[test]
+    fn count_solutions_on_chain() {
+        // x0 != x1, x1 != x2 over {0,1}: 2 solutions
+        let tree = chain_tree(2, 3);
+        let rels = vec![
+            r(&[0, 1], &[&[0, 1], &[1, 0]]),
+            r(&[1, 2], &[&[0, 1], &[1, 0]]),
+        ];
+        assert_eq!(count_solutions(&tree, &rels), 2);
+    }
+
+    #[test]
+    fn variables_in_no_relation_stay_unassigned() {
+        let tree = chain_tree(1, 5);
+        let rels = vec![r(&[0], &[&[1]])];
+        let a = acyclic_solve(&tree, &rels, 5).unwrap();
+        assert_eq!(a[0], 1);
+        assert_eq!(a[4], u32::MAX);
+    }
+}

@@ -1,0 +1,272 @@
+//! Chronological backtracking — the baseline the decompositions beat.
+
+use crate::model::{Csp, Value};
+
+/// Result of a backtracking run, with the node count the comparison
+/// benches report.
+#[derive(Clone, Debug)]
+pub struct BacktrackResult {
+    /// A solution, if one exists.
+    pub solution: Option<Vec<Value>>,
+    /// Number of assignment nodes visited.
+    pub nodes: u64,
+}
+
+/// Solves `csp` by depth-first assignment in variable order, checking every
+/// constraint whose scope just became fully assigned (backward checking).
+pub fn backtrack_solve(csp: &Csp) -> BacktrackResult {
+    let n = csp.num_vars() as usize;
+    // constraints indexed by their latest variable (in assignment order)
+    let mut by_last: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in csp.constraints.iter().enumerate() {
+        if let Some(&last) = c.scope.iter().max() {
+            by_last[last as usize].push(ci);
+        }
+    }
+    let mut assignment: Vec<Value> = vec![u32::MAX; n];
+    let mut nodes = 0u64;
+    let found = assign(csp, &by_last, &mut assignment, 0, &mut nodes);
+    BacktrackResult {
+        solution: found.then_some(assignment),
+        nodes,
+    }
+}
+
+fn assign(
+    csp: &Csp,
+    by_last: &[Vec<usize>],
+    assignment: &mut Vec<Value>,
+    var: usize,
+    nodes: &mut u64,
+) -> bool {
+    if var == assignment.len() {
+        return true;
+    }
+    for val in 0..csp.domain_sizes[var] {
+        *nodes += 1;
+        assignment[var] = val;
+        let ok = by_last[var]
+            .iter()
+            .all(|&ci| csp.constraints[ci].satisfied_by(assignment));
+        if ok && assign(csp, by_last, assignment, var + 1, nodes) {
+            return true;
+        }
+    }
+    assignment[var] = u32::MAX;
+    false
+}
+
+/// Backtracking with forward checking: after each assignment, prune the
+/// candidate values of every future variable that has become inconsistent
+/// with some constraint whose other variables are all assigned. Stronger
+/// than plain backtracking; still exponential — the stronger baseline for
+/// the decomposition comparison.
+pub fn forward_checking_solve(csp: &Csp) -> BacktrackResult {
+    let n = csp.num_vars() as usize;
+    // constraints watching each variable
+    let mut watching: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in csp.constraints.iter().enumerate() {
+        for &v in &c.scope {
+            watching[v as usize].push(ci);
+        }
+    }
+    let mut domains: Vec<Vec<bool>> = csp
+        .domain_sizes
+        .iter()
+        .map(|&d| vec![true; d as usize])
+        .collect();
+    let mut assignment: Vec<Value> = vec![u32::MAX; n];
+    let mut nodes = 0u64;
+    let found = fc_assign(csp, &watching, &mut domains, &mut assignment, 0, &mut nodes);
+    BacktrackResult {
+        solution: found.then_some(assignment),
+        nodes,
+    }
+}
+
+fn fc_assign(
+    csp: &Csp,
+    watching: &[Vec<usize>],
+    domains: &mut Vec<Vec<bool>>,
+    assignment: &mut Vec<Value>,
+    var: usize,
+    nodes: &mut u64,
+) -> bool {
+    if var == assignment.len() {
+        return true;
+    }
+    for val in 0..csp.domain_sizes[var] {
+        if !domains[var][val as usize] {
+            continue;
+        }
+        *nodes += 1;
+        assignment[var] = val;
+        // forward check: prune future variables through constraints with
+        // exactly one unassigned variable left
+        let mut pruned: Vec<(usize, u32)> = Vec::new();
+        let mut wiped = false;
+        'check: for &ci in &watching[var] {
+            let c = &csp.constraints[ci];
+            let unassigned: Vec<u32> = c
+                .scope
+                .iter()
+                .copied()
+                .filter(|&v| assignment[v as usize] == u32::MAX)
+                .collect();
+            match unassigned.as_slice() {
+                [] => {
+                    if !c.satisfied_by(assignment) {
+                        wiped = true;
+                        break 'check;
+                    }
+                }
+                [future] => {
+                    let f = *future as usize;
+                    for fv in 0..csp.domain_sizes[f] {
+                        if !domains[f][fv as usize] {
+                            continue;
+                        }
+                        assignment[f] = fv;
+                        let ok = c.satisfied_by(assignment);
+                        assignment[f] = u32::MAX;
+                        if !ok {
+                            domains[f][fv as usize] = false;
+                            pruned.push((f, fv));
+                        }
+                    }
+                    if domains[f].iter().all(|&b| !b) {
+                        wiped = true;
+                        break 'check;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !wiped && fc_assign(csp, watching, domains, assignment, var + 1, nodes) {
+            return true;
+        }
+        for (f, fv) in pruned {
+            domains[f][fv as usize] = true;
+        }
+    }
+    assignment[var] = u32::MAX;
+    false
+}
+
+/// Counts all solutions by exhaustive backtracking (tests only — this is
+/// the `O(d^n)` bound the decompositions avoid).
+pub fn count_all_solutions(csp: &Csp) -> u64 {
+    let n = csp.num_vars() as usize;
+    let mut by_last: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in csp.constraints.iter().enumerate() {
+        if let Some(&last) = c.scope.iter().max() {
+            by_last[last as usize].push(ci);
+        }
+    }
+    let mut assignment: Vec<Value> = vec![u32::MAX; n];
+    let mut count = 0u64;
+    count_rec(csp, &by_last, &mut assignment, 0, &mut count);
+    count
+}
+
+fn count_rec(
+    csp: &Csp,
+    by_last: &[Vec<usize>],
+    assignment: &mut Vec<Value>,
+    var: usize,
+    count: &mut u64,
+) {
+    if var == assignment.len() {
+        *count += 1;
+        return;
+    }
+    for val in 0..csp.domain_sizes[var] {
+        assignment[var] = val;
+        if by_last[var]
+            .iter()
+            .all(|&ci| csp.constraints[ci].satisfied_by(assignment))
+        {
+            count_rec(csp, by_last, assignment, var + 1, count);
+        }
+    }
+    assignment[var] = u32::MAX;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn solves_australia() {
+        let csp = builders::australia_map_coloring();
+        let r = backtrack_solve(&csp);
+        let a = r.solution.expect("3-colorable");
+        assert!(csp.is_solution(&a));
+        assert!(r.nodes > 0);
+    }
+
+    #[test]
+    fn k4_not_3_colorable() {
+        let g = htd_hypergraph::gen::complete_graph(4);
+        let csp = builders::graph_coloring(&g, 3);
+        assert!(backtrack_solve(&csp).solution.is_none());
+        // but 4-colorable, with 4! solutions
+        let csp4 = builders::graph_coloring(&g, 4);
+        assert_eq!(count_all_solutions(&csp4), 24);
+    }
+
+    #[test]
+    fn triangle_3_coloring_count() {
+        let g = htd_hypergraph::gen::cycle_graph(3);
+        let csp = builders::graph_coloring(&g, 3);
+        assert_eq!(count_all_solutions(&csp), 6);
+    }
+
+    #[test]
+    fn n_queens_counts() {
+        // classic: 4-queens has 2 solutions, 5-queens has 10
+        assert_eq!(count_all_solutions(&builders::n_queens(4)), 2);
+        assert_eq!(count_all_solutions(&builders::n_queens(5)), 10);
+        assert!(backtrack_solve(&builders::n_queens(6)).solution.is_some());
+    }
+
+    #[test]
+    fn forward_checking_agrees_with_backtracking() {
+        for seed in 0..12u64 {
+            let csp = builders::random_binary_csp(8, 3, 0.5, 0.4, seed);
+            let bt = backtrack_solve(&csp);
+            let fc = forward_checking_solve(&csp);
+            assert_eq!(
+                bt.solution.is_some(),
+                fc.solution.is_some(),
+                "seed {seed}: satisfiability mismatch"
+            );
+            if let Some(a) = &fc.solution {
+                assert!(csp.is_solution(a), "seed {seed}");
+            }
+            assert!(
+                fc.nodes <= bt.nodes,
+                "seed {seed}: forward checking visited more nodes ({} > {})",
+                fc.nodes,
+                bt.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn forward_checking_detects_unsat_early() {
+        let csp = builders::graph_coloring(&htd_hypergraph::gen::complete_graph(5), 4);
+        let bt = backtrack_solve(&csp);
+        let fc = forward_checking_solve(&csp);
+        assert!(bt.solution.is_none() && fc.solution.is_none());
+        assert!(fc.nodes < bt.nodes);
+    }
+
+    #[test]
+    fn empty_csp_has_one_solution() {
+        let csp = crate::model::Csp::uniform(0, 1);
+        assert_eq!(count_all_solutions(&csp), 1);
+        assert_eq!(backtrack_solve(&csp).solution, Some(vec![]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Classic CSP instances (thesis Examples 1, 2 and 5) and generators.
+
+use htd_hypergraph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Constraint, Csp, Value};
+
+/// The map-3-coloring of Australia (thesis Example 1): seven regions,
+/// inequality constraints on the nine borders.
+pub fn australia_map_coloring() -> Csp {
+    let regions = ["WA", "NT", "Q", "SA", "NSW", "V", "TAS"];
+    let borders: [(usize, usize); 9] = [
+        (1, 0), // NT-WA
+        (3, 0), // SA-WA
+        (1, 2), // NT-Q
+        (1, 3), // NT-SA
+        (2, 3), // Q-SA
+        (4, 2), // NSW-Q
+        (4, 5), // NSW-V
+        (4, 3), // NSW-SA
+        (3, 5), // SA-V
+    ];
+    let mut csp = Csp::uniform(7, 3);
+    csp.variables = regions.iter().map(|s| s.to_string()).collect();
+    for (i, &(a, b)) in borders.iter().enumerate() {
+        csp.add_constraint(neq_constraint(format!("C{}", i + 1), a as u32, b as u32, 3));
+    }
+    csp
+}
+
+/// Graph `k`-coloring as a CSP: one inequality constraint per edge.
+pub fn graph_coloring(g: &Graph, k: u32) -> Csp {
+    let mut csp = Csp::uniform(g.num_vertices(), k);
+    for (u, v) in g.edges() {
+        csp.add_constraint(neq_constraint(format!("e{u}_{v}"), u, v, k));
+    }
+    csp
+}
+
+fn neq_constraint(name: String, a: u32, b: u32, k: u32) -> Constraint {
+    let tuples = (0..k)
+        .flat_map(|x| (0..k).filter(move |&y| y != x).map(move |y| vec![x, y]))
+        .collect();
+    Constraint::new(name, vec![a, b], tuples)
+}
+
+/// A CNF formula as a CSP (thesis Example 2): booleans are `{0 = false,
+/// 1 = true}`; each clause is a constraint allowing every assignment of
+/// its variables except the all-falsifying one. Literals are signed var
+/// indices: `+v` positive, `-v` negated, 1-based like DIMACS.
+pub fn sat_to_csp(num_vars: u32, clauses: &[Vec<i32>]) -> Csp {
+    let mut csp = Csp::uniform(num_vars, 2);
+    for (ci, clause) in clauses.iter().enumerate() {
+        let scope: Vec<u32> = clause.iter().map(|&l| l.unsigned_abs() - 1).collect();
+        let k = scope.len();
+        let mut tuples = Vec::with_capacity((1usize << k) - 1);
+        for mask in 0..(1u32 << k) {
+            let mut vals = Vec::with_capacity(k);
+            let mut satisfies = false;
+            for (j, &lit) in clause.iter().enumerate() {
+                let val = (mask >> j) & 1;
+                vals.push(val);
+                if (lit > 0 && val == 1) || (lit < 0 && val == 0) {
+                    satisfies = true;
+                }
+            }
+            if satisfies {
+                tuples.push(vals);
+            }
+        }
+        csp.add_constraint(Constraint::new(format!("clause{ci}"), scope, tuples));
+    }
+    csp
+}
+
+/// The SAT formula of thesis Example 2:
+/// `(¬x1 ∨ x2 ∨ x3) ∧ (x1 ∨ ¬x4) ∧ (¬x3 ∨ ¬x5)`.
+pub fn thesis_example_2_sat() -> Csp {
+    sat_to_csp(5, &[vec![-1, 2, 3], vec![1, -4], vec![-3, -5]])
+}
+
+/// The CSP of thesis Example 5: six variables, three ternary constraints
+/// with explicitly listed relations over the values `{a, b, c}` (encoded
+/// `a=0, b=1, c=2`).
+pub fn thesis_example_5() -> Csp {
+    let mut csp = Csp::uniform(6, 3);
+    // R1 over (x1,x2,x3) = {(a,b,c), (a,c,b), (b,b,c)}
+    csp.add_constraint(Constraint::new(
+        "C1",
+        vec![0, 1, 2],
+        vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 1, 2]],
+    ));
+    // R2 over (x1,x5,x6) = {(a,b,c), (a,c,b)}
+    csp.add_constraint(Constraint::new(
+        "C2",
+        vec![0, 4, 5],
+        vec![vec![0, 1, 2], vec![0, 2, 1]],
+    ));
+    // R3 over (x3,x4,x5) = {(c,b,c), (c,c,b)}
+    csp.add_constraint(Constraint::new(
+        "C3",
+        vec![2, 3, 4],
+        vec![vec![2, 1, 2], vec![2, 2, 1]],
+    ));
+    csp
+}
+
+/// The n-queens problem as a binary CSP: one variable per column (the row
+/// of that column's queen), constraints between every column pair.
+pub fn n_queens(n: u32) -> Csp {
+    let mut csp = Csp::uniform(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let tuples: Vec<Vec<Value>> = (0..n)
+                .flat_map(|ri| {
+                    (0..n).filter_map(move |rj| {
+                        let diag = (ri as i64 - rj as i64).abs() == (j - i) as i64;
+                        (ri != rj && !diag).then(|| vec![ri, rj])
+                    })
+                })
+                .collect();
+            csp.add_constraint(Constraint::new(format!("q{i}_{j}"), vec![i, j], tuples));
+        }
+    }
+    csp
+}
+
+/// A seeded random binary CSP in the classic `(n, d, p1, p2)` model:
+/// each of the `n(n-1)/2` variable pairs is constrained with probability
+/// `p1`; a constrained pair forbids each value combination with
+/// probability `p2`.
+pub fn random_binary_csp(n: u32, d: u32, p1: f64, p2: f64, seed: u64) -> Csp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut csp = Csp::uniform(n, d);
+    for i in 0..n {
+        for j in i + 1..n {
+            if !rng.gen_bool(p1) {
+                continue;
+            }
+            let tuples: Vec<Vec<Value>> = (0..d)
+                .flat_map(|x| (0..d).map(move |y| vec![x, y]))
+                .filter(|_| !rng.gen_bool(p2))
+                .collect();
+            csp.add_constraint(Constraint::new(format!("r{i}_{j}"), vec![i, j], tuples));
+        }
+    }
+    csp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::{backtrack_solve, count_all_solutions};
+
+    #[test]
+    fn australia_structure() {
+        let csp = australia_map_coloring();
+        assert_eq!(csp.num_vars(), 7);
+        assert_eq!(csp.constraints.len(), 9);
+        // the thesis's listed solution: WA=r NT=g SA=b Q=r NSW=g V=r TAS=g
+        // with r=0, g=1, b=2
+        assert!(csp.is_solution(&[0, 1, 0, 2, 1, 0, 1]));
+        // TAS is unconstrained (island): its hypergraph doesn't cover it
+        assert!(!csp.hypergraph().covers_all_vertices());
+    }
+
+    #[test]
+    fn example_2_sat_solution_from_thesis() {
+        let csp = thesis_example_2_sat();
+        // x1=t x2=t x3=f x4=t x5=f  →  1,1,0,1,0
+        assert!(csp.is_solution(&[1, 1, 0, 1, 0]));
+        // and ¬x1,…: all-false satisfies too (every clause has a negative)
+        assert!(csp.is_solution(&[0, 0, 0, 0, 0]));
+        assert!(backtrack_solve(&csp).solution.is_some());
+    }
+
+    #[test]
+    fn example_5_satisfiable() {
+        let csp = thesis_example_5();
+        let a = backtrack_solve(&csp).solution.expect("satisfiable");
+        assert!(csp.is_solution(&a));
+    }
+
+    #[test]
+    fn unsat_formula_detected() {
+        // (x1) ∧ (¬x1)
+        let csp = sat_to_csp(1, &[vec![1], vec![-1]]);
+        assert!(backtrack_solve(&csp).solution.is_none());
+        assert_eq!(count_all_solutions(&csp), 0);
+    }
+
+    #[test]
+    fn queens_structure() {
+        let csp = n_queens(4);
+        assert_eq!(csp.num_vars(), 4);
+        assert_eq!(csp.constraints.len(), 6);
+        // queens hypergraph's primal graph is complete
+        let g = csp.hypergraph().primal_graph();
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn random_csp_is_deterministic() {
+        let a = random_binary_csp(6, 3, 0.5, 0.3, 9);
+        let b = random_binary_csp(6, 3, 0.5, 0.3, 9);
+        assert_eq!(a.constraints.len(), b.constraints.len());
+        for (x, y) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(x.tuples, y.tuples);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Solution counting by dynamic programming over a tree decomposition.
+//!
+//! The thesis quotes `O(n^{m-1} log n)` for *computing all* consistent
+//! assignments by joining everything (§2.2.2); a decomposition does the
+//! counting without materializing the joint relation: each node's tuples
+//! carry the number of extensions into the subtree below (a sum–product
+//! message pass over the join tree), so counting costs
+//! `O(nodes · d^{width+1})`.
+
+use std::collections::HashMap;
+
+use htd_core::TreeDecomposition;
+
+use crate::model::{Csp, Value};
+use crate::relation::Relation;
+use crate::solve_td::node_relations;
+
+/// Counts the complete consistent assignments of `csp` using a tree
+/// decomposition of its constraint hypergraph. Variables outside every bag
+/// (unconstrained) multiply the count by their domain size.
+///
+/// ```
+/// use htd_csp::{builders, count_solutions_td};
+/// use htd_core::bucket::td_of_hypergraph;
+/// use htd_core::ordering::EliminationOrdering;
+/// // 4-queens has exactly two solutions
+/// let csp = builders::n_queens(4);
+/// let h = csp.hypergraph();
+/// let td = td_of_hypergraph(&h, &EliminationOrdering::identity(4));
+/// assert_eq!(count_solutions_td(&csp, &td), 2);
+/// ```
+pub fn count_solutions_td(csp: &Csp, td: &TreeDecomposition) -> u64 {
+    debug_assert!(td.validate(&csp.hypergraph()).is_ok());
+    let rels = node_relations(csp, td);
+    let in_tree = count_join_tree(td, &rels);
+    // free variables: in no bag
+    let mut covered = vec![false; csp.num_vars() as usize];
+    for p in 0..td.num_nodes() {
+        for v in td.bag(p).iter() {
+            covered[v as usize] = true;
+        }
+    }
+    let free: u64 = covered
+        .iter()
+        .zip(&csp.domain_sizes)
+        .filter(|(&c, _)| !c)
+        .map(|(_, &d)| d as u64)
+        .product();
+    in_tree * free
+}
+
+/// Sum–product over a join tree of relations: the number of assignments to
+/// the union of the relation schemas consistent with every relation.
+pub fn count_join_tree(tree: &TreeDecomposition, rels: &[Relation]) -> u64 {
+    assert_eq!(tree.num_nodes(), rels.len());
+    let order = tree.topological_order();
+    // weight per tuple per node, initialized to 1
+    let mut weights: Vec<Vec<u64>> = rels.iter().map(|r| vec![1; r.len()]).collect();
+    // process children before parents
+    for &p in order.iter().rev() {
+        let Some(q) = tree.parent(p) else { continue };
+        // shared columns between parent q and child p
+        let shared: Vec<(usize, usize)> = rels[q]
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| rels[p].col(v).map(|j| (i, j)))
+            .collect();
+        let child_cols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+        let parent_cols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+        // message: key over shared vars -> summed child weight
+        let mut msg: HashMap<Vec<Value>, u64> = HashMap::new();
+        for (t_ix, t) in rels[p].tuples.iter().enumerate() {
+            let key: Vec<Value> = child_cols.iter().map(|&c| t[c]).collect();
+            *msg.entry(key).or_insert(0) += weights[p][t_ix];
+        }
+        for (t_ix, t) in rels[q].tuples.iter().enumerate() {
+            let key: Vec<Value> = parent_cols.iter().map(|&c| t[c]).collect();
+            let m = msg.get(&key).copied().unwrap_or(0);
+            weights[q][t_ix] = weights[q][t_ix].saturating_mul(m);
+        }
+    }
+    weights[tree.root()].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::count_all_solutions;
+    use crate::builders;
+    use htd_core::bucket::td_of_hypergraph;
+    use htd_core::ordering::EliminationOrdering;
+
+    fn td_for(csp: &Csp) -> TreeDecomposition {
+        let h = csp.hypergraph();
+        let order = EliminationOrdering::identity(h.num_vertices());
+        td_of_hypergraph(&h, &order)
+    }
+
+    #[test]
+    fn counts_match_backtracking_on_classics() {
+        // triangle 3-coloring: 6; K4 4-coloring: 24; 4-queens: 2
+        let tri = builders::graph_coloring(&htd_hypergraph::gen::cycle_graph(3), 3);
+        assert_eq!(count_solutions_td(&tri, &td_for(&tri)), 6);
+        let k4 = builders::graph_coloring(&htd_hypergraph::gen::complete_graph(4), 4);
+        assert_eq!(count_solutions_td(&k4, &td_for(&k4)), 24);
+        let q4 = builders::n_queens(4);
+        assert_eq!(count_solutions_td(&q4, &td_for(&q4)), 2);
+        let q5 = builders::n_queens(5);
+        assert_eq!(count_solutions_td(&q5, &td_for(&q5)), 10);
+    }
+
+    #[test]
+    fn counts_match_backtracking_on_random_csps() {
+        for seed in 0..12u64 {
+            let csp = builders::random_binary_csp(7, 3, 0.5, 0.35, seed);
+            let expected = count_all_solutions(&csp);
+            let got = count_solutions_td(&csp, &td_for(&csp));
+            assert_eq!(got, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_variables_multiply() {
+        let mut csp = Csp::uniform(3, 4);
+        csp.add_constraint(crate::model::Constraint::new(
+            "c",
+            vec![0, 1],
+            vec![vec![0, 0], vec![1, 1]],
+        ));
+        // variable 2 is free: any identity ordering TD covers only {0,1}?
+        // the hypergraph doesn't cover vertex 2, so build TD over it by hand
+        let td = TreeDecomposition::trivial(3);
+        // trivial TD covers vertex 2 — free multiplication doesn't apply,
+        // the cross product inside node relations handles it instead
+        assert_eq!(count_solutions_td(&csp, &td), 2 * 4);
+        // now a TD that genuinely omits the free variable
+        let h_covered = htd_hypergraph::VertexSet::from_iter_with_capacity(3, [0u32, 1]);
+        let bags = vec![h_covered];
+        let td2 = TreeDecomposition::new(bags, vec![None]).unwrap();
+        assert_eq!(count_solutions_td(&csp, &td2), 2 * 4);
+    }
+
+    #[test]
+    fn unsatisfiable_counts_zero() {
+        let csp = builders::graph_coloring(&htd_hypergraph::gen::complete_graph(4), 3);
+        assert_eq!(count_solutions_td(&csp, &td_for(&csp)), 0);
+        let unsat = builders::sat_to_csp(1, &[vec![1], vec![-1]]);
+        let order = EliminationOrdering::identity(1);
+        let td = td_of_hypergraph(&unsat.hypergraph(), &order);
+        assert_eq!(count_solutions_td(&unsat, &td), 0);
+    }
+
+    #[test]
+    fn australia_has_18_colorings_of_the_mainland() {
+        // the mainland subgraph has 6 proper 3-colorings; TAS is free (×3)
+        let csp = builders::australia_map_coloring();
+        let expected = count_all_solutions(&csp);
+        let got = count_solutions_td(&csp, &td_for(&csp));
+        assert_eq!(got, expected);
+        assert_eq!(got % 3, 0); // TAS factor
+    }
+}

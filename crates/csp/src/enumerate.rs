@@ -1,0 +1,200 @@
+//! Enumerating all solutions through a tree decomposition.
+//!
+//! The thesis's §2.2.2 motivation mentions computing *all* complete
+//! consistent assignments; the decomposition route enumerates them with
+//! polynomial delay: after the bottom-up semijoin pass every remaining
+//! tuple extends to a solution, so a depth-first walk over consistent
+//! tuple choices never dead-ends.
+
+use htd_core::TreeDecomposition;
+
+use crate::model::{Csp, Value};
+use crate::relation::Relation;
+use crate::solve_td::node_relations;
+
+/// Enumerates every complete consistent assignment of `csp` via `td`,
+/// calling `visit` for each; returns the number of solutions visited
+/// (stops early when `visit` returns `false`).
+///
+/// Variables in no bag iterate over their full domains.
+pub fn for_each_solution_td(
+    csp: &Csp,
+    td: &TreeDecomposition,
+    mut visit: impl FnMut(&[Value]) -> bool,
+) -> u64 {
+    debug_assert!(td.validate(&csp.hypergraph()).is_ok());
+    let mut rels = node_relations(csp, td);
+    // bottom-up semijoins: afterwards every tuple is globally extendable
+    let order = td.topological_order();
+    for &p in order.iter().rev() {
+        if let Some(q) = td.parent(p) {
+            rels[q] = rels[q].semijoin(&rels[p]);
+        }
+    }
+    if rels.iter().any(Relation::is_empty) {
+        return 0;
+    }
+    // free variables (in no bag)
+    let mut covered = vec![false; csp.num_vars() as usize];
+    for p in 0..td.num_nodes() {
+        for v in td.bag(p).iter() {
+            covered[v as usize] = true;
+        }
+    }
+    let free: Vec<u32> = (0..csp.num_vars()).filter(|&v| !covered[v as usize]).collect();
+    let mut assignment = vec![u32::MAX; csp.num_vars() as usize];
+    let mut count = 0u64;
+    let mut go = true;
+    walk_nodes(
+        csp, td, &rels, &order, 0, &free, &mut assignment, &mut count, &mut go, &mut visit,
+    );
+    count
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_nodes(
+    csp: &Csp,
+    td: &TreeDecomposition,
+    rels: &[Relation],
+    order: &[usize],
+    depth: usize,
+    free: &[u32],
+    assignment: &mut Vec<Value>,
+    count: &mut u64,
+    go: &mut bool,
+    visit: &mut impl FnMut(&[Value]) -> bool,
+) {
+    if !*go {
+        return;
+    }
+    if depth == order.len() {
+        walk_free(csp, free, 0, assignment, count, go, visit);
+        return;
+    }
+    let p = order[depth];
+    let consistent = rels[p].select_consistent(assignment);
+    for t in &consistent.tuples {
+        let mut touched = Vec::new();
+        for (&v, &val) in rels[p].vars.iter().zip(t) {
+            if assignment[v as usize] == u32::MAX {
+                assignment[v as usize] = val;
+                touched.push(v);
+            }
+        }
+        walk_nodes(
+            csp, td, rels, order, depth + 1, free, assignment, count, go, visit,
+        );
+        for v in touched {
+            assignment[v as usize] = u32::MAX;
+        }
+        if !*go {
+            return;
+        }
+    }
+}
+
+fn walk_free(
+    csp: &Csp,
+    free: &[u32],
+    i: usize,
+    assignment: &mut Vec<Value>,
+    count: &mut u64,
+    go: &mut bool,
+    visit: &mut impl FnMut(&[Value]) -> bool,
+) {
+    if !*go {
+        return;
+    }
+    if i == free.len() {
+        debug_assert!(csp.is_solution(assignment));
+        *count += 1;
+        if !visit(assignment) {
+            *go = false;
+        }
+        return;
+    }
+    let v = free[i] as usize;
+    for val in 0..csp.domain_sizes[v] {
+        assignment[v] = val;
+        walk_free(csp, free, i + 1, assignment, count, go, visit);
+        if !*go {
+            break;
+        }
+    }
+    assignment[v] = u32::MAX;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::count_all_solutions;
+    use crate::builders;
+    use crate::count::count_solutions_td;
+    use htd_core::bucket::td_of_hypergraph;
+    use htd_core::ordering::EliminationOrdering;
+
+    fn td_for(csp: &Csp) -> TreeDecomposition {
+        let h = csp.hypergraph();
+        td_of_hypergraph(&h, &EliminationOrdering::identity(h.num_vertices()))
+    }
+
+    #[test]
+    fn enumerates_all_queens_solutions() {
+        let csp = builders::n_queens(5);
+        let td = td_for(&csp);
+        let mut seen = Vec::new();
+        let n = for_each_solution_td(&csp, &td, |a| {
+            seen.push(a.to_vec());
+            true
+        });
+        assert_eq!(n, 10);
+        assert_eq!(seen.len(), 10);
+        // all distinct and all valid
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|a| csp.is_solution(a)));
+    }
+
+    #[test]
+    fn enumeration_count_matches_counting_dp() {
+        for seed in 0..8u64 {
+            let csp = builders::random_binary_csp(7, 3, 0.5, 0.35, seed);
+            let td = td_for(&csp);
+            let by_enum = for_each_solution_td(&csp, &td, |_| true);
+            let by_dp = count_solutions_td(&csp, &td);
+            let by_bt = count_all_solutions(&csp);
+            assert_eq!(by_enum, by_dp, "seed {seed}");
+            assert_eq!(by_enum, by_bt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn early_stop_respected() {
+        let csp = builders::graph_coloring(&htd_hypergraph::gen::cycle_graph(4), 3);
+        let td = td_for(&csp);
+        let mut visited = 0;
+        let n = for_each_solution_td(&csp, &td, |_| {
+            visited += 1;
+            visited < 3
+        });
+        assert_eq!(n, 3);
+        assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn free_variables_enumerate_their_domains() {
+        let csp = builders::australia_map_coloring(); // TAS is free
+        let td = td_for(&csp);
+        let total = for_each_solution_td(&csp, &td, |_| true);
+        assert_eq!(total, count_all_solutions(&csp));
+        assert_eq!(total % 3, 0);
+    }
+
+    #[test]
+    fn unsat_enumerates_nothing() {
+        let csp = builders::graph_coloring(&htd_hypergraph::gen::complete_graph(4), 3);
+        let td = td_for(&csp);
+        assert_eq!(for_each_solution_td(&csp, &td, |_| true), 0);
+    }
+}

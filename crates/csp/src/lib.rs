@@ -1,0 +1,49 @@
+//! Constraint satisfaction substrate: the consumer of the decompositions.
+//!
+//! Tree decompositions and generalized hypertree decompositions exist to
+//! solve CSPs; this crate closes the loop (thesis §2.2 / §2.4):
+//!
+//! * [`model`] — variables, finite domains, relational constraints, and the
+//!   constraint hypergraph.
+//! * [`relation`] — the relational algebra the solvers run on: hash-based
+//!   natural join, semijoin and projection.
+//! * [`acyclic`] — Algorithm *Acyclic Solving* (Fig. 2.4): bottom-up
+//!   semijoins, top-down assignment extraction.
+//! * [`solve_td`] — Join Tree Clustering: solving an arbitrary CSP from a
+//!   tree decomposition of its constraint hypergraph.
+//! * [`solve_ghd`] — solving from a complete generalized hypertree
+//!   decomposition, where each node's relation is
+//!   `π_χ(p) ⋈ {R_e : e ∈ λ(p)}` — the join of `|λ(p)| ≤ width` relations,
+//!   which is why small `ghw` means fast solving.
+//! * [`backtrack`] — chronological backtracking and forward-checking
+//!   baselines.
+//! * [`count`] — solution counting by sum–product message passing over a
+//!   tree decomposition.
+//! * [`enumerate`] — all-solutions enumeration with polynomial delay
+//!   (semijoin pass first, then dead-end-free tuple walks).
+//! * [`io`] — a plain-text CSP format for the command line.
+//! * [`builders`] — classic instances: map coloring (Example 1), SAT as
+//!   CSP (Example 2), graph coloring, n-queens, seeded random binary CSPs.
+
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod backtrack;
+pub mod builders;
+pub mod count;
+pub mod enumerate;
+pub mod io;
+pub mod model;
+pub mod relation;
+pub mod solve_ghd;
+pub mod solve_td;
+
+pub use acyclic::acyclic_solve;
+pub use backtrack::{backtrack_solve, forward_checking_solve};
+pub use count::count_solutions_td;
+pub use enumerate::for_each_solution_td;
+pub use io::{parse_csp, write_csp};
+pub use model::{Constraint, Csp, Value, VarId};
+pub use relation::Relation;
+pub use solve_ghd::solve_with_ghd;
+pub use solve_td::solve_with_td;

@@ -1,0 +1,118 @@
+//! Solving from a complete generalized hypertree decomposition
+//! (thesis §2.4, Fig. 2.9).
+//!
+//! For each node `p` the relation is `π_χ(p)( ⋈_{e ∈ λ(p)} R_e )` — a join
+//! of at most `width` constraint relations, never a domain cross product.
+//! This is the payoff of generalized hypertree width over treewidth: a bag
+//! with many variables but few covering constraints stays cheap.
+
+use htd_core::GeneralizedHypertreeDecomposition;
+
+use crate::acyclic::acyclic_solve;
+use crate::model::{Csp, Value};
+use crate::relation::Relation;
+
+/// Solves `csp` from a generalized hypertree decomposition of its
+/// constraint hypergraph (edge `e` of the hypergraph = constraint `e`).
+/// The decomposition is completed first (Lemma 2), so every constraint is
+/// enforced. Returns `None` if unsatisfiable.
+pub fn solve_with_ghd(csp: &Csp, ghd: &GeneralizedHypertreeDecomposition) -> Option<Vec<Value>> {
+    let h = csp.hypergraph();
+    debug_assert!(ghd.validate(&h).is_ok());
+    let complete = ghd.complete(&h);
+    let td = complete.tree();
+    let rels: Vec<Relation> = (0..td.num_nodes())
+        .map(|p| {
+            let mut rel = Relation::unit();
+            for &e in complete.lambda(p) {
+                let c = &csp.constraints[e as usize];
+                rel = rel.join(&Relation::new(c.scope.clone(), c.tuples.clone()));
+            }
+            let bag_vars: Vec<u32> = td
+                .bag(p)
+                .iter()
+                .filter(|&v| rel.col(v).is_some())
+                .collect();
+            debug_assert_eq!(
+                bag_vars.len() as u32,
+                td.bag(p).len(),
+                "condition 3: λ covers χ"
+            );
+            rel.project(&bag_vars)
+        })
+        .collect();
+    if rels.iter().any(|r| r.is_empty()) {
+        return None;
+    }
+    let mut a = acyclic_solve(td, &rels, csp.num_vars())?;
+    for slot in a.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = 0;
+        }
+    }
+    csp.is_solution(&a).then_some(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use htd_core::bucket::ghd_via_elimination;
+    use htd_core::ordering::EliminationOrdering;
+    use htd_core::CoverStrategy;
+
+    fn ghd_of(csp: &Csp) -> GeneralizedHypertreeDecomposition {
+        let h = csp.hypergraph();
+        let order = EliminationOrdering::identity(h.num_vertices());
+        ghd_via_elimination(&h, &order, CoverStrategy::Exact).expect("coverable")
+    }
+
+    #[test]
+    fn solves_australia_coloring() {
+        // TAS is unconstrained: pad with a domain constraint so the
+        // hypergraph covers every vertex
+        let csp = builders::australia_map_coloring().pad_unconstrained();
+        let a = solve_with_ghd(&csp, &ghd_of(&csp)).expect("3-colorable");
+        assert!(csp.is_solution(&a));
+    }
+
+    #[test]
+    fn thesis_example_5_has_a_solution() {
+        let csp = builders::thesis_example_5();
+        let a = solve_with_ghd(&csp, &ghd_of(&csp)).expect("satisfiable");
+        assert!(csp.is_solution(&a));
+        // the thesis lists x1=a as part of a solution; check domain use
+        assert!(a.iter().all(|&v| v < 3));
+    }
+
+    #[test]
+    fn detects_unsatisfiable_instances() {
+        let g = htd_hypergraph::gen::complete_graph(4);
+        let csp = builders::graph_coloring(&g, 3);
+        assert!(solve_with_ghd(&csp, &ghd_of(&csp)).is_none());
+    }
+
+    #[test]
+    fn agrees_with_td_solving_and_backtracking() {
+        for seed in 0..10u64 {
+            let csp = builders::random_binary_csp(8, 3, 0.5, 0.4, seed).pad_unconstrained();
+            let h = csp.hypergraph();
+            let order = EliminationOrdering::identity(8);
+            let td = htd_core::bucket::td_of_hypergraph(&h, &order);
+            let ghd = ghd_of(&csp);
+            let via_td = crate::solve_td::solve_with_td(&csp, &td).is_some();
+            let via_ghd = solve_with_ghd(&csp, &ghd).is_some();
+            let via_bt = crate::backtrack::backtrack_solve(&csp).solution.is_some();
+            assert_eq!(via_td, via_bt, "seed {seed}: td vs backtracking");
+            assert_eq!(via_ghd, via_bt, "seed {seed}: ghd vs backtracking");
+        }
+    }
+
+    #[test]
+    fn sat_instances_roundtrip() {
+        // the thesis's Example 2 formula is satisfiable
+        let csp = builders::thesis_example_2_sat();
+        let a = solve_with_ghd(&csp, &ghd_of(&csp)).expect("satisfiable");
+        assert!(csp.is_solution(&a));
+    }
+}

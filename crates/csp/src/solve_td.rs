@@ -1,0 +1,138 @@
+//! Join Tree Clustering: solving a CSP from a tree decomposition
+//! (thesis §2.4, after Dechter's algorithm).
+//!
+//! Every constraint is placed in one decomposition node containing its
+//! scope; each node's subproblem — all assignments of its bag variables
+//! consistent with the placed constraints — is solved by joining the
+//! placed relations and crossing in unconstrained bag variables. The
+//! resulting join tree goes to Acyclic Solving. The work per node is
+//! `O(d^{width+1})`, which is the whole point of minimizing width.
+
+use htd_core::TreeDecomposition;
+use htd_hypergraph::VertexSet;
+
+use crate::acyclic::acyclic_solve;
+use crate::model::{Csp, Value};
+use crate::relation::Relation;
+
+/// Solves `csp` using a tree decomposition of its constraint hypergraph.
+/// Returns a complete assignment or `None` if unsatisfiable.
+///
+/// Panics if `td` is not a valid decomposition of the CSP's hypergraph
+/// (checked in debug builds only).
+pub fn solve_with_td(csp: &Csp, td: &TreeDecomposition) -> Option<Vec<Value>> {
+    debug_assert!(td.validate(&csp.hypergraph()).is_ok());
+    let rels = node_relations(csp, td);
+    if rels.iter().any(|r| r.is_empty()) {
+        return None;
+    }
+    let mut a = acyclic_solve(td, &rels, csp.num_vars())?;
+    // variables in no bag (isolated, unconstrained): assign 0
+    for (v, slot) in a.iter_mut().enumerate() {
+        if *slot == u32::MAX {
+            *slot = 0;
+            debug_assert!(csp.domain_sizes[v] > 0);
+        }
+    }
+    csp.is_solution(&a).then_some(a)
+}
+
+/// Builds the per-node relations of Join Tree Clustering (steps 1–2).
+pub fn node_relations(csp: &Csp, td: &TreeDecomposition) -> Vec<Relation> {
+    let n = csp.num_vars();
+    // place each constraint at the first node containing its scope
+    let mut placed: Vec<Vec<usize>> = vec![Vec::new(); td.num_nodes()];
+    for (ci, c) in csp.constraints.iter().enumerate() {
+        let scope = VertexSet::from_iter_with_capacity(n, c.scope.iter().copied());
+        let host = (0..td.num_nodes())
+            .find(|&p| scope.is_subset(td.bag(p)))
+            .expect("tree decomposition covers every constraint scope");
+        placed[host].push(ci);
+    }
+    (0..td.num_nodes())
+        .map(|p| {
+            let mut rel = Relation::unit();
+            for &ci in &placed[p] {
+                let c = &csp.constraints[ci];
+                rel = rel.join(&Relation::new(c.scope.clone(), c.tuples.clone()));
+            }
+            // cross in bag variables no placed constraint mentions
+            let missing: Vec<u32> = td
+                .bag(p)
+                .iter()
+                .filter(|&v| rel.col(v).is_none())
+                .collect();
+            if !missing.is_empty() {
+                rel = rel.join(&Relation::full(&missing, &csp.domain_sizes));
+            }
+            // restrict to the bag (constraint scopes ⊆ bag by placement)
+            let bag_vars: Vec<u32> = td.bag(p).to_vec();
+            rel.project(&bag_vars)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use htd_core::bucket::td_of_hypergraph;
+    use htd_core::ordering::EliminationOrdering;
+
+    #[test]
+    fn solves_australia_coloring() {
+        let csp = builders::australia_map_coloring();
+        let h = csp.hypergraph();
+        let order = EliminationOrdering::identity(h.num_vertices());
+        let td = td_of_hypergraph(&h, &order);
+        let a = solve_with_td(&csp, &td).expect("3-colorable");
+        assert!(csp.is_solution(&a));
+    }
+
+    #[test]
+    fn detects_unsatisfiable_coloring() {
+        // K4 is not 3-colorable
+        let g = htd_hypergraph::gen::complete_graph(4);
+        let csp = builders::graph_coloring(&g, 3);
+        let h = csp.hypergraph();
+        let td = td_of_hypergraph(&h, &EliminationOrdering::identity(4));
+        assert!(solve_with_td(&csp, &td).is_none());
+    }
+
+    #[test]
+    fn agrees_with_backtracking_on_random_csps() {
+        for seed in 0..10u64 {
+            let csp = builders::random_binary_csp(8, 3, 0.4, 0.4, seed);
+            let h = csp.hypergraph();
+            let td = td_of_hypergraph(&h, &EliminationOrdering::identity(8));
+            let td_ans = solve_with_td(&csp, &td);
+            let bt_ans = crate::backtrack::backtrack_solve(&csp);
+            assert_eq!(
+                td_ans.is_some(),
+                bt_ans.solution.is_some(),
+                "seed {seed}: solvers disagree on satisfiability"
+            );
+            if let Some(a) = td_ans {
+                assert!(csp.is_solution(&a), "seed {seed}: invalid solution");
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_variables_get_values() {
+        let mut csp = Csp::uniform(3, 2);
+        csp.add_constraint(crate::model::Constraint::new(
+            "c",
+            vec![0, 1],
+            vec![vec![0, 1]],
+        ));
+        // variable 2 is in no constraint: the hypergraph doesn't cover it,
+        // so decompose the padded hypergraph by hand
+        let h = csp.hypergraph();
+        assert!(!h.covers_all_vertices());
+        let td = htd_core::TreeDecomposition::trivial(3);
+        let a = solve_with_td(&csp, &td).unwrap();
+        assert_eq!(&a[..2], &[0, 1]);
+        assert!(a[2] < 2);
+    }
+}

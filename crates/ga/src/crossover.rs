@@ -1,0 +1,309 @@
+//! Crossover operators for permutations (thesis §4.3.2, Fig. 4.5).
+
+use rand::Rng;
+
+/// The six crossover operators compared in Table 6.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossoverOp {
+    /// Partially-mapped crossover.
+    Pmx,
+    /// Cycle crossover.
+    Cx,
+    /// Order crossover.
+    Ox1,
+    /// Order-based crossover.
+    Ox2,
+    /// Position-based crossover (the winner of Table 6.1).
+    Pos,
+    /// Alternating-position crossover.
+    Ap,
+}
+
+impl CrossoverOp {
+    /// All operators, in the order Table 6.1 lists them.
+    pub const ALL: [CrossoverOp; 6] = [
+        CrossoverOp::Pmx,
+        CrossoverOp::Cx,
+        CrossoverOp::Ox1,
+        CrossoverOp::Ox2,
+        CrossoverOp::Pos,
+        CrossoverOp::Ap,
+    ];
+
+    /// The operator's conventional abbreviation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrossoverOp::Pmx => "PMX",
+            CrossoverOp::Cx => "CX",
+            CrossoverOp::Ox1 => "OX1",
+            CrossoverOp::Ox2 => "OX2",
+            CrossoverOp::Pos => "POS",
+            CrossoverOp::Ap => "AP",
+        }
+    }
+
+    /// Produces two offspring from two parent permutations.
+    pub fn apply<R: Rng>(&self, p1: &[u32], p2: &[u32], rng: &mut R) -> (Vec<u32>, Vec<u32>) {
+        debug_assert_eq!(p1.len(), p2.len());
+        match self {
+            CrossoverOp::Pmx => (pmx(p1, p2, rng), pmx(p2, p1, rng)),
+            CrossoverOp::Cx => (cx(p1, p2), cx(p2, p1)),
+            CrossoverOp::Ox1 => (ox1(p1, p2, rng), ox1(p2, p1, rng)),
+            CrossoverOp::Ox2 => (ox2(p1, p2, rng), ox2(p2, p1, rng)),
+            CrossoverOp::Pos => (pos(p1, p2, rng), pos(p2, p1, rng)),
+            CrossoverOp::Ap => (ap(p1, p2), ap(p2, p1)),
+        }
+    }
+}
+
+fn two_cuts<R: Rng>(n: usize, rng: &mut R) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    (a.min(b), a.max(b))
+}
+
+/// PMX: copy the segment from `p1`, fill the rest from `p2`, repairing
+/// duplicates through the segment mapping.
+fn pmx<R: Rng>(p1: &[u32], p2: &[u32], rng: &mut R) -> Vec<u32> {
+    let n = p1.len();
+    let (lo, hi) = two_cuts(n, rng);
+    let mut child = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    for i in lo..=hi {
+        child[i] = p1[i];
+        used[p1[i] as usize] = true;
+    }
+    // position of each value in p1 (for mapping chains)
+    let mut pos1 = vec![0usize; n];
+    for (i, &v) in p1.iter().enumerate() {
+        pos1[v as usize] = i;
+    }
+    for i in (0..lo).chain(hi + 1..n) {
+        let mut v = p2[i];
+        // follow the mapping until the value is free
+        while used[v as usize] {
+            v = p2[pos1[v as usize]];
+        }
+        child[i] = v;
+        used[v as usize] = true;
+    }
+    child
+}
+
+/// CX: the first cycle keeps `p1`'s positions, everything else comes from
+/// `p2`.
+fn cx(p1: &[u32], p2: &[u32]) -> Vec<u32> {
+    let n = p1.len();
+    let mut pos1 = vec![0usize; n];
+    for (i, &v) in p1.iter().enumerate() {
+        pos1[v as usize] = i;
+    }
+    let mut child: Vec<u32> = p2.to_vec();
+    if n == 0 {
+        return child;
+    }
+    // trace the cycle starting at position 0
+    let mut i = 0usize;
+    loop {
+        child[i] = p1[i];
+        i = pos1[p2[i] as usize];
+        if i == 0 {
+            break;
+        }
+    }
+    child
+}
+
+/// OX1: copy the segment from `p1`; starting after the segment, fill with
+/// `p2`'s values in `p2` order (wrapping), skipping used values.
+fn ox1<R: Rng>(p1: &[u32], p2: &[u32], rng: &mut R) -> Vec<u32> {
+    let n = p1.len();
+    let (lo, hi) = two_cuts(n, rng);
+    let mut child = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    for i in lo..=hi {
+        child[i] = p1[i];
+        used[p1[i] as usize] = true;
+    }
+    let mut fill = (hi + 1) % n;
+    for k in 0..n {
+        let v = p2[(hi + 1 + k) % n];
+        if !used[v as usize] {
+            child[fill] = v;
+            used[v as usize] = true;
+            fill = (fill + 1) % n;
+        }
+    }
+    child
+}
+
+/// OX2: pick random positions; the values of `p1` at those positions are
+/// re-ordered inside `p2` to match their order of appearance in `p1`.
+fn ox2<R: Rng>(p1: &[u32], p2: &[u32], rng: &mut R) -> Vec<u32> {
+    let n = p1.len();
+    let selected: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.5)).collect();
+    let mut is_selected_value = vec![false; n];
+    for &i in &selected {
+        is_selected_value[p1[i] as usize] = true;
+    }
+    // the selected values, in p1 order
+    let mut vals = p1
+        .iter()
+        .copied()
+        .filter(|&v| is_selected_value[v as usize]);
+    let mut child = p2.to_vec();
+    for slot in child.iter_mut() {
+        if is_selected_value[*slot as usize] {
+            *slot = vals.next().expect("same multiset of selected values");
+        }
+    }
+    child
+}
+
+/// POS: pick random positions; the child takes `p2`'s values there and
+/// `p1`'s remaining values (in `p1` order) elsewhere.
+fn pos<R: Rng>(p1: &[u32], p2: &[u32], rng: &mut R) -> Vec<u32> {
+    let n = p1.len();
+    let mut child = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    for i in 0..n {
+        if rng.gen_bool(0.5) {
+            child[i] = p2[i];
+            used[p2[i] as usize] = true;
+        }
+    }
+    let mut fill = p1.iter().copied().filter(|&v| !used[v as usize]);
+    for slot in child.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = fill.next().expect("exact fill");
+        }
+    }
+    child
+}
+
+/// AP: alternately take the next unused element of `p1` and `p2`.
+fn ap(p1: &[u32], p2: &[u32]) -> Vec<u32> {
+    let n = p1.len();
+    let mut child = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let (mut i1, mut i2) = (0usize, 0usize);
+    for turn in 0..n {
+        if turn % 2 == 0 {
+            while i1 < n && used[p1[i1] as usize] {
+                i1 += 1;
+            }
+            if i1 < n {
+                child.push(p1[i1]);
+                used[p1[i1] as usize] = true;
+                continue;
+            }
+        }
+        while i2 < n && used[p2[i2] as usize] {
+            i2 += 1;
+        }
+        if i2 < n {
+            child.push(p2[i2]);
+            used[p2[i2] as usize] = true;
+        } else {
+            while i1 < n && used[p1[i1] as usize] {
+                i1 += 1;
+            }
+            child.push(p1[i1]);
+            used[p1[i1] as usize] = true;
+        }
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn is_perm(v: &[u32]) -> bool {
+        let n = v.len();
+        let mut seen = vec![false; n];
+        v.iter().all(|&x| {
+            let i = x as usize;
+            i < n && !std::mem::replace(&mut seen[i], true)
+        })
+    }
+
+    #[test]
+    fn all_operators_produce_permutations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 8, 17, 40] {
+            for _ in 0..30 {
+                let mut p1: Vec<u32> = (0..n as u32).collect();
+                let mut p2: Vec<u32> = (0..n as u32).collect();
+                p1.shuffle(&mut rng);
+                p2.shuffle(&mut rng);
+                for op in CrossoverOp::ALL {
+                    let (c1, c2) = op.apply(&p1, &p2, &mut rng);
+                    assert!(is_perm(&c1), "{} child1 invalid (n={n})", op.name());
+                    assert!(is_perm(&c2), "{} child2 invalid (n={n})", op.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_parents_reproduce_themselves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p: Vec<u32> = vec![3, 1, 4, 0, 2];
+        for op in CrossoverOp::ALL {
+            let (c1, c2) = op.apply(&p, &p, &mut rng);
+            assert_eq!(c1, p, "{}", op.name());
+            assert_eq!(c2, p, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn cx_keeps_positions_from_parents() {
+        // every position of a CX child matches p1 or p2 at that position
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let mut p1: Vec<u32> = (0..10).collect();
+            let mut p2: Vec<u32> = (0..10).collect();
+            p1.shuffle(&mut rng);
+            p2.shuffle(&mut rng);
+            let (c, _) = CrossoverOp::Cx.apply(&p1, &p2, &mut rng);
+            for i in 0..10 {
+                assert!(c[i] == p1[i] || c[i] == p2[i], "CX position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ap_alternates_when_possible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p1 = vec![0, 1, 2, 3];
+        let p2 = vec![3, 2, 1, 0];
+        let (c, _) = CrossoverOp::Ap.apply(&p1, &p2, &mut rng);
+        assert_eq!(c, vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn pmx_keeps_segment_from_first_parent() {
+        // with a fixed rng the segment positions are deterministic; check
+        // the invariant over many draws instead: child values inside the
+        // segment always come from p1's segment ∪ repairs keep validity
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let mut p1: Vec<u32> = (0..12).collect();
+            let mut p2: Vec<u32> = (0..12).collect();
+            p1.shuffle(&mut rng);
+            p2.shuffle(&mut rng);
+            let (c, _) = CrossoverOp::Pmx.apply(&p1, &p2, &mut rng);
+            assert!(is_perm(&c));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = CrossoverOp::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["PMX", "CX", "OX1", "OX2", "POS", "AP"]);
+    }
+}

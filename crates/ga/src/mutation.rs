@@ -1,0 +1,215 @@
+//! Mutation operators for permutations (thesis §4.3.3, Fig. 4.6).
+
+use rand::Rng;
+
+/// The six mutation operators compared in Table 6.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Displacement: move a random substring to a random position.
+    Dm,
+    /// Exchange: swap two random elements.
+    Em,
+    /// Insertion: move one random element to a random position
+    /// (the winner of Table 6.2).
+    Ism,
+    /// Simple inversion: reverse a random substring in place.
+    Sim,
+    /// Inversion: move a random substring, reversed, to a random position.
+    Ivm,
+    /// Scramble: shuffle a random substring in place.
+    Sm,
+}
+
+impl MutationOp {
+    /// All operators, in the order Table 6.2 lists them.
+    pub const ALL: [MutationOp; 6] = [
+        MutationOp::Dm,
+        MutationOp::Em,
+        MutationOp::Ism,
+        MutationOp::Sim,
+        MutationOp::Ivm,
+        MutationOp::Sm,
+    ];
+
+    /// The operator's conventional abbreviation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MutationOp::Dm => "DM",
+            MutationOp::Em => "EM",
+            MutationOp::Ism => "ISM",
+            MutationOp::Sim => "SIM",
+            MutationOp::Ivm => "IVM",
+            MutationOp::Sm => "SM",
+        }
+    }
+
+    /// Mutates `perm` in place.
+    pub fn apply<R: Rng>(&self, perm: &mut Vec<u32>, rng: &mut R) {
+        let n = perm.len();
+        if n < 2 {
+            return;
+        }
+        match self {
+            MutationOp::Dm => {
+                let (lo, hi) = two_cuts(n, rng);
+                let segment: Vec<u32> = perm.drain(lo..=hi).collect();
+                let insert_at = rng.gen_range(0..=perm.len());
+                splice_in(perm, insert_at, segment);
+            }
+            MutationOp::Em => {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                perm.swap(i, j);
+            }
+            MutationOp::Ism => {
+                let from = rng.gen_range(0..n);
+                let v = perm.remove(from);
+                let to = rng.gen_range(0..=perm.len());
+                perm.insert(to, v);
+            }
+            MutationOp::Sim => {
+                let (lo, hi) = two_cuts(n, rng);
+                perm[lo..=hi].reverse();
+            }
+            MutationOp::Ivm => {
+                let (lo, hi) = two_cuts(n, rng);
+                let mut segment: Vec<u32> = perm.drain(lo..=hi).collect();
+                segment.reverse();
+                let insert_at = rng.gen_range(0..=perm.len());
+                splice_in(perm, insert_at, segment);
+            }
+            MutationOp::Sm => {
+                let (lo, hi) = two_cuts(n, rng);
+                // Fisher–Yates on the substring
+                for i in (lo + 1..=hi).rev() {
+                    let j = rng.gen_range(lo..=i);
+                    perm.swap(i, j);
+                }
+            }
+        }
+    }
+}
+
+fn two_cuts<R: Rng>(n: usize, rng: &mut R) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    (a.min(b), a.max(b))
+}
+
+fn splice_in(perm: &mut Vec<u32>, at: usize, segment: Vec<u32>) {
+    let tail: Vec<u32> = perm.drain(at..).collect();
+    perm.extend(segment);
+    perm.extend(tail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn is_perm(v: &[u32]) -> bool {
+        let n = v.len();
+        let mut seen = vec![false; n];
+        v.iter().all(|&x| {
+            let i = x as usize;
+            i < n && !std::mem::replace(&mut seen[i], true)
+        })
+    }
+
+    #[test]
+    fn all_operators_preserve_permutations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 3, 9, 25, 60] {
+            for _ in 0..40 {
+                let mut p: Vec<u32> = (0..n as u32).collect();
+                p.shuffle(&mut rng);
+                for op in MutationOp::ALL {
+                    let mut q = p.clone();
+                    op.apply(&mut q, &mut rng);
+                    assert!(is_perm(&q), "{} broke permutation (n={n})", op.name());
+                    assert_eq!(q.len(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn em_swaps_at_most_two_positions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p: Vec<u32> = (0..10).collect();
+            let mut q = p.clone();
+            MutationOp::Em.apply(&mut q, &mut rng);
+            let diff = p.iter().zip(&q).filter(|(a, b)| a != b).count();
+            assert!(diff == 0 || diff == 2);
+        }
+    }
+
+    #[test]
+    fn ism_moves_exactly_one_element() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p: Vec<u32> = (0..10).collect();
+            let mut q = p.clone();
+            MutationOp::Ism.apply(&mut q, &mut rng);
+            // removing one element from both should leave equal sequences
+            let mut found = false;
+            for v in 0..10u32 {
+                let a: Vec<u32> = p.iter().copied().filter(|&x| x != v).collect();
+                let b: Vec<u32> = q.iter().copied().filter(|&x| x != v).collect();
+                if a == b {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "ISM changed more than one element: {q:?}");
+        }
+    }
+
+    #[test]
+    fn sim_reverses_a_substring() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let p: Vec<u32> = (0..12).collect();
+            let mut q = p.clone();
+            MutationOp::Sim.apply(&mut q, &mut rng);
+            // q must be p with one contiguous block reversed
+            let lo = p.iter().zip(&q).position(|(a, b)| a != b);
+            match lo {
+                None => {} // reversed a singleton
+                Some(lo) => {
+                    let hi = p.len() - 1
+                        - p.iter()
+                            .rev()
+                            .zip(q.iter().rev())
+                            .position(|(a, b)| a != b)
+                            .unwrap();
+                    let mut expect = p.clone();
+                    expect[lo..=hi].reverse();
+                    assert_eq!(q, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_permutations_survive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for op in MutationOp::ALL {
+            let mut p = vec![0u32];
+            op.apply(&mut p, &mut rng);
+            assert_eq!(p, vec![0]);
+            let mut p = vec![1u32, 0];
+            op.apply(&mut p, &mut rng);
+            assert!(is_perm(&p));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = MutationOp::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["DM", "EM", "ISM", "SIM", "IVM", "SM"]);
+    }
+}

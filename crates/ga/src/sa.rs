@@ -1,0 +1,195 @@
+//! Simulated annealing on elimination orderings.
+//!
+//! The GA of Larrañaga et al. — the template for GA-tw (thesis §4.5) —
+//! was only ever matched by simulated annealing in its original
+//! comparison. This module supplies that competitor so the benches can
+//! reproduce the GA-vs-SA match-up: Metropolis acceptance over the same
+//! permutation neighborhood moves the GA mutates with.
+
+use htd_core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator, TwEvaluator};
+use htd_hypergraph::{Graph, Hypergraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::engine::Fitness;
+use crate::mutation::MutationOp;
+
+/// Control parameters of a simulated-annealing run.
+#[derive(Clone, Debug)]
+pub struct SaParams {
+    /// Starting temperature (width units).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per plateau, in `(0, 1)`.
+    pub cooling: f64,
+    /// Proposals per temperature plateau.
+    pub steps_per_temp: u32,
+    /// Stop once the temperature falls below this.
+    pub min_temp: f64,
+    /// Neighborhood move.
+    pub neighborhood: MutationOp,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            initial_temp: 4.0,
+            cooling: 0.95,
+            steps_per_temp: 200,
+            min_temp: 0.05,
+            neighborhood: MutationOp::Ism,
+        }
+    }
+}
+
+/// Result of a simulated-annealing run.
+#[derive(Clone, Debug)]
+pub struct SaResult {
+    /// Best fitness found.
+    pub best: u32,
+    /// A permutation achieving `best`.
+    pub best_perm: Vec<u32>,
+    /// Best-so-far at the end of each plateau.
+    pub history: Vec<u32>,
+    /// Fitness evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Anneals permutations of `0..n` under `fitness` (lower is better).
+pub fn sa_minimize<R: Rng, F: Fitness>(
+    n: u32,
+    params: &SaParams,
+    fitness: &mut F,
+    rng: &mut R,
+) -> SaResult {
+    let mut current: Vec<u32> = (0..n).collect();
+    current.shuffle(rng);
+    let mut cur_fit = fitness.eval(&current);
+    let mut best = cur_fit;
+    let mut best_perm = current.clone();
+    let mut history = Vec::new();
+    let mut evaluations = 1u64;
+    let mut temp = params.initial_temp;
+    while temp > params.min_temp {
+        for _ in 0..params.steps_per_temp {
+            let mut cand = current.clone();
+            params.neighborhood.apply(&mut cand, rng);
+            let cand_fit = fitness.eval(&cand);
+            evaluations += 1;
+            let delta = cand_fit as f64 - cur_fit as f64;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                current = cand;
+                cur_fit = cand_fit;
+                if cur_fit < best {
+                    best = cur_fit;
+                    best_perm = current.clone();
+                }
+            }
+        }
+        history.push(best);
+        temp *= params.cooling;
+    }
+    SaResult {
+        best,
+        best_perm,
+        history,
+        evaluations,
+    }
+}
+
+/// Simulated annealing for treewidth upper bounds.
+pub fn sa_tw<R: Rng>(g: &Graph, params: &SaParams, rng: &mut R) -> (EliminationOrdering, u32) {
+    let mut ev = TwEvaluator::new(g);
+    let mut fit = |p: &[u32]| ev.width(p);
+    let r = sa_minimize(g.num_vertices(), params, &mut fit, rng);
+    (EliminationOrdering::new_unchecked(r.best_perm), r.best)
+}
+
+/// Simulated annealing for generalized hypertree width upper bounds
+/// (greedy covers, like GA-ghw). `None` when a vertex is in no edge.
+pub fn sa_ghw<R: Rng>(
+    h: &Hypergraph,
+    params: &SaParams,
+    rng: &mut R,
+) -> Option<(EliminationOrdering, u32)> {
+    if !h.covers_all_vertices() {
+        return None;
+    }
+    let mut ev = GhwEvaluator::new(h, CoverStrategy::Greedy);
+    let mut fit = |p: &[u32]| ev.width(p).expect("coverable");
+    let r = sa_minimize(h.num_vertices(), params, &mut fit, rng);
+    Some((EliminationOrdering::new_unchecked(r.best_perm), r.best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::{exhaustive_ghw, exhaustive_tw};
+    use htd_hypergraph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick() -> SaParams {
+        SaParams {
+            initial_temp: 3.0,
+            cooling: 0.9,
+            steps_per_temp: 120,
+            min_temp: 0.1,
+            ..SaParams::default()
+        }
+    }
+
+    #[test]
+    fn finds_optimum_on_structured_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let star = Graph::from_edges(12, (1..12).map(|i| (0, i)));
+        assert_eq!(sa_tw(&star, &quick(), &mut rng).1, 1);
+        assert_eq!(sa_tw(&gen::grid_graph(3, 3), &quick(), &mut rng).1, 3);
+    }
+
+    #[test]
+    fn width_is_a_valid_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for seed in 0..5u64 {
+            let g = gen::random_gnp(8, 0.4, seed);
+            let (order, w) = sa_tw(&g, &quick(), &mut rng);
+            assert!(w >= exhaustive_tw(&g), "seed {seed}");
+            let mut ev = TwEvaluator::new(&g);
+            assert_eq!(ev.width(order.as_slice()), w);
+        }
+    }
+
+    #[test]
+    fn ghw_variant_bounds_and_validates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..4u64 {
+            let h = gen::random_uniform(7, 8, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let (_, w) = sa_ghw(&h, &quick(), &mut rng).unwrap();
+            assert!(w >= exhaustive_ghw(&h).unwrap(), "seed {seed}");
+        }
+        assert!(sa_ghw(&Hypergraph::new(2, vec![vec![0]]), &quick(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn history_is_nonincreasing_and_deterministic() {
+        let g = gen::queen_graph(4);
+        let mut f1 = {
+            let mut ev = TwEvaluator::new(&g);
+            move |p: &[u32]| ev.width(p)
+        };
+        let r1 = sa_minimize(16, &quick(), &mut f1, &mut StdRng::seed_from_u64(5));
+        let mut f2 = {
+            let mut ev = TwEvaluator::new(&g);
+            move |p: &[u32]| ev.width(p)
+        };
+        let r2 = sa_minimize(16, &quick(), &mut f2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.history, r2.history);
+        for w in r1.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(r1.evaluations > 0);
+    }
+}

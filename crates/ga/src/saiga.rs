@@ -1,0 +1,361 @@
+//! SAIGA-ghw: the self-adaptive island genetic algorithm (thesis §7.2).
+//!
+//! Several GA islands evolve in parallel, each with its **own** control
+//! parameter vector (mutation rate, crossover rate, tournament size,
+//! operator choices). After every epoch:
+//!
+//! * the best individual of each island migrates to the next island in the
+//!   ring, replacing its worst individual;
+//! * each island compares its epoch-best fitness with its ring neighbors
+//!   and *orients* its parameter vector toward the better neighbor's
+//!   (§7.2.5), then perturbs it with Gaussian noise (§7.2.4, Fig. 7.4).
+//!
+//! The point of the thesis's Table 7.2: SAIGA needs no parameter tuning
+//! experiments — the islands find workable parameters themselves.
+
+use htd_core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator};
+use htd_hypergraph::Hypergraph;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::crossover::CrossoverOp;
+use crate::engine::{self, EvolvingPopulation, GaParams};
+use crate::mutation::MutationOp;
+
+/// Control parameters of the island scheme itself (the whole point is that
+/// the GA-level parameters are *not* in here).
+#[derive(Clone, Debug)]
+pub struct SaigaParams {
+    /// Number of islands in the ring.
+    pub islands: usize,
+    /// Individuals per island.
+    pub island_population: usize,
+    /// Generations per epoch (between migrations).
+    pub epoch_generations: u64,
+    /// Number of epochs.
+    pub epochs: u64,
+    /// Orientation strength toward a better neighbor's parameters (0..1).
+    pub orientation: f64,
+    /// Standard deviation of the Gaussian parameter perturbation.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaigaParams {
+    fn default() -> Self {
+        SaigaParams {
+            islands: 4,
+            island_population: 32,
+            epoch_generations: 20,
+            epochs: 10,
+            orientation: 0.5,
+            sigma: 0.1,
+            seed: 0x5A1A,
+        }
+    }
+}
+
+/// An island's self-adapted parameter vector (thesis §7.2.2).
+#[derive(Clone, Debug)]
+pub struct ParameterVector {
+    /// Mutation rate in `[0.01, 1.0]`.
+    pub mutation_rate: f64,
+    /// Crossover rate in `[0.1, 1.0]`.
+    pub crossover_rate: f64,
+    /// Tournament size in `[2, 6]`, stored continuously.
+    pub tournament: f64,
+    /// Crossover operator, stored as a continuous index into
+    /// [`CrossoverOp::ALL`].
+    pub crossover_ix: f64,
+    /// Mutation operator, continuous index into [`MutationOp::ALL`].
+    pub mutation_ix: f64,
+}
+
+impl ParameterVector {
+    /// Uniformly random initial vector (§7.2.3).
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        ParameterVector {
+            mutation_rate: rng.gen_range(0.01..=1.0),
+            crossover_rate: rng.gen_range(0.1..=1.0),
+            tournament: rng.gen_range(2.0..=6.0),
+            crossover_ix: rng.gen_range(0.0..6.0),
+            mutation_ix: rng.gen_range(0.0..6.0),
+        }
+    }
+
+    /// Clamps every component back into its domain.
+    fn clamp(&mut self) {
+        self.mutation_rate = self.mutation_rate.clamp(0.01, 1.0);
+        self.crossover_rate = self.crossover_rate.clamp(0.1, 1.0);
+        self.tournament = self.tournament.clamp(2.0, 6.0);
+        self.crossover_ix = self.crossover_ix.rem_euclid(6.0);
+        self.mutation_ix = self.mutation_ix.rem_euclid(6.0);
+    }
+
+    /// Gaussian perturbation of every component (Fig. 7.4), using the
+    /// Box–Muller transform so the `rand` crate suffices.
+    pub fn mutate<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
+        let gauss = |rng: &mut R| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        self.mutation_rate += sigma * gauss(rng);
+        self.crossover_rate += sigma * gauss(rng);
+        self.tournament += 2.0 * sigma * gauss(rng);
+        self.crossover_ix += 3.0 * sigma * gauss(rng);
+        self.mutation_ix += 3.0 * sigma * gauss(rng);
+        self.clamp();
+    }
+
+    /// Moves this vector a fraction `rate` toward `other` (§7.2.5).
+    pub fn orient_toward(&mut self, other: &ParameterVector, rate: f64) {
+        self.mutation_rate += rate * (other.mutation_rate - self.mutation_rate);
+        self.crossover_rate += rate * (other.crossover_rate - self.crossover_rate);
+        self.tournament += rate * (other.tournament - self.tournament);
+        self.crossover_ix += rate * (other.crossover_ix - self.crossover_ix);
+        self.mutation_ix += rate * (other.mutation_ix - self.mutation_ix);
+        self.clamp();
+    }
+
+    /// The concrete GA parameters this vector encodes.
+    pub fn to_ga_params(&self, generations: u64) -> GaParams {
+        GaParams {
+            population: 0, // population travels with the island, not params
+            crossover_rate: self.crossover_rate,
+            mutation_rate: self.mutation_rate,
+            tournament: (self.tournament.round() as usize).clamp(2, 6),
+            crossover: CrossoverOp::ALL[(self.crossover_ix as usize).min(5)],
+            mutation: MutationOp::ALL[(self.mutation_ix as usize).min(5)],
+            generations,
+        }
+    }
+}
+
+/// The result of a SAIGA-ghw run.
+#[derive(Clone, Debug)]
+pub struct SaigaResult {
+    /// Best width found across all islands.
+    pub width: u32,
+    /// An ordering achieving `width`.
+    pub ordering: EliminationOrdering,
+    /// Best width per epoch (across islands) — the convergence curve.
+    pub history: Vec<u32>,
+    /// The final self-adapted parameter vector of each island.
+    pub final_params: Vec<ParameterVector>,
+    /// Total fitness evaluations across all islands.
+    pub evaluations: u64,
+}
+
+struct Island {
+    pop: EvolvingPopulation,
+    params: ParameterVector,
+    rng: StdRng,
+    epoch_best: u32,
+}
+
+/// Runs SAIGA-ghw: islands evolve in parallel threads (crossbeam scoped),
+/// migrate along the ring and adapt their parameters between epochs.
+/// Returns `None` when some vertex lies in no hyperedge.
+pub fn saiga_ghw(h: &Hypergraph, sp: &SaigaParams) -> Option<SaigaResult> {
+    if !h.covers_all_vertices() || sp.islands == 0 {
+        return None;
+    }
+    let n = h.num_vertices();
+    let mut master = StdRng::seed_from_u64(sp.seed);
+    // initialize islands
+    let mut islands: Vec<Island> = (0..sp.islands)
+        .map(|_| {
+            let mut rng = StdRng::seed_from_u64(master.gen());
+            let params = ParameterVector::random(&mut rng);
+            let mut ev = GhwEvaluator::new(h, CoverStrategy::Greedy);
+            let mut fit = |p: &[u32]| ev.width(p).expect("coverable");
+            let pop = engine::init_population(n, sp.island_population, &mut fit, &mut rng);
+            let epoch_best = *pop.fitness.iter().min().expect("nonempty");
+            Island {
+                pop,
+                params,
+                rng,
+                epoch_best,
+            }
+        })
+        .collect();
+
+    let global = Mutex::new((u32::MAX, Vec::<u32>::new()));
+    let mut history = Vec::with_capacity(sp.epochs as usize);
+    let mut evaluations = (sp.islands * sp.island_population) as u64;
+
+    for _epoch in 0..sp.epochs {
+        // evolve every island in its own thread
+        let epoch_evals: u64 = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for island in islands.iter_mut() {
+                let global = &global;
+                handles.push(scope.spawn(move |_| {
+                    let ga = island.params.to_ga_params(sp.epoch_generations);
+                    let mut ev = GhwEvaluator::new(h, CoverStrategy::Greedy);
+                    let mut fit = |p: &[u32]| ev.width(p).expect("coverable");
+                    let r = engine::evolve(&mut island.pop, &ga, &mut fit, &mut island.rng);
+                    island.epoch_best = r.best;
+                    let mut g = global.lock();
+                    if r.best < g.0 {
+                        *g = (r.best, r.best_perm.clone());
+                    }
+                    r.evaluations
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("island")).sum()
+        })
+        .expect("island scope");
+        evaluations += epoch_evals;
+        history.push(global.lock().0);
+
+        // ring migration: best of island i replaces worst of island i+1
+        let bests: Vec<(u32, Vec<u32>)> = islands
+            .iter()
+            .map(|isl| {
+                let bi = argmin(&isl.pop.fitness);
+                (isl.pop.fitness[bi], isl.pop.individuals[bi].clone())
+            })
+            .collect();
+        let k = islands.len();
+        for i in 0..k {
+            let to = (i + 1) % k;
+            let wi = argmax(&islands[to].pop.fitness);
+            islands[to].pop.individuals[wi] = bests[i].1.clone();
+            islands[to].pop.fitness[wi] = bests[i].0;
+        }
+
+        // neighbor orientation + parameter mutation
+        let snapshot: Vec<(u32, ParameterVector)> = islands
+            .iter()
+            .map(|isl| (isl.epoch_best, isl.params.clone()))
+            .collect();
+        for i in 0..k {
+            let left = (i + k - 1) % k;
+            let right = (i + 1) % k;
+            let mut best_nb = None;
+            for nb in [left, right] {
+                if nb != i && snapshot[nb].0 < snapshot[i].0 {
+                    match best_nb {
+                        None => best_nb = Some(nb),
+                        Some(b) if snapshot[nb].0 < snapshot[b].0 => best_nb = Some(nb),
+                        _ => {}
+                    }
+                }
+            }
+            if let Some(nb) = best_nb {
+                let target = snapshot[nb].1.clone();
+                islands[i].params.orient_toward(&target, sp.orientation);
+            }
+            let sigma = sp.sigma;
+            let mut rng = StdRng::seed_from_u64(islands[i].rng.gen());
+            islands[i].params.mutate(sigma, &mut rng);
+        }
+    }
+
+    let (width, perm) = global.into_inner();
+    Some(SaigaResult {
+        width,
+        ordering: EliminationOrdering::new_unchecked(perm),
+        history,
+        final_params: islands.into_iter().map(|i| i.params).collect(),
+        evaluations,
+    })
+}
+
+fn argmin(fit: &[u32]) -> usize {
+    fit.iter()
+        .enumerate()
+        .min_by_key(|(_, &f)| f)
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+fn argmax(fit: &[u32]) -> usize {
+    fit.iter()
+        .enumerate()
+        .max_by_key(|(_, &f)| f)
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_ghw;
+    use htd_hypergraph::gen;
+
+    fn quick() -> SaigaParams {
+        SaigaParams {
+            islands: 3,
+            island_population: 16,
+            epoch_generations: 10,
+            epochs: 5,
+            ..SaigaParams::default()
+        }
+    }
+
+    #[test]
+    fn finds_ghw_on_structured_instances() {
+        let th = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        let r = saiga_ghw(&th, &quick()).unwrap();
+        assert_eq!(r.width, 2);
+        assert_eq!(r.history.len(), 5);
+    }
+
+    #[test]
+    fn result_is_valid_upper_bound_and_reproducible() {
+        for seed in 0..4u64 {
+            let h = gen::random_uniform(7, 8, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let r1 = saiga_ghw(&h, &quick()).unwrap();
+            let r2 = saiga_ghw(&h, &quick()).unwrap();
+            assert_eq!(r1.width, r2.width, "seed {seed}: nondeterministic width");
+            let ghw = exhaustive_ghw(&h).unwrap();
+            assert!(r1.width >= ghw, "seed {seed}");
+            // the ordering achieves the width under greedy covers
+            let mut ev = GhwEvaluator::new(&h, CoverStrategy::Greedy);
+            assert_eq!(ev.width(r1.ordering.as_slice()).unwrap(), r1.width);
+        }
+    }
+
+    #[test]
+    fn history_is_nonincreasing() {
+        let h = gen::clique_hypergraph(8);
+        let r = saiga_ghw(&h, &quick()).unwrap();
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(r.final_params.len(), 3);
+    }
+
+    #[test]
+    fn parameters_stay_in_domain() {
+        let h = gen::clique_hypergraph(6);
+        let mut sp = quick();
+        sp.epochs = 8;
+        let r = saiga_ghw(&h, &sp).unwrap();
+        for p in &r.final_params {
+            assert!((0.01..=1.0).contains(&p.mutation_rate));
+            assert!((0.1..=1.0).contains(&p.crossover_rate));
+            assert!((2.0..=6.0).contains(&p.tournament));
+            assert!((0.0..6.0).contains(&p.crossover_ix));
+            assert!((0.0..6.0).contains(&p.mutation_ix));
+        }
+    }
+
+    #[test]
+    fn uncoverable_or_degenerate_returns_none() {
+        let h = Hypergraph::new(2, vec![vec![0]]);
+        assert!(saiga_ghw(&h, &quick()).is_none());
+        let ok = gen::clique_hypergraph(4);
+        let mut sp = quick();
+        sp.islands = 0;
+        assert!(saiga_ghw(&ok, &sp).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Minor-based treewidth lower bounds.
+//!
+//! Contracting edges produces minors, and the treewidth of a minor never
+//! exceeds the treewidth of the graph — so any degree statistic that lower
+//! bounds the treewidth of *some* minor lower bounds the treewidth of the
+//! graph. The thesis uses two such heuristics inside its searches:
+//! minor-min-width (Fig. 4.7, = MMD+least-c) and minor-γR (Fig. 4.8).
+
+use htd_hypergraph::{EliminationGraph, Graph, Vertex};
+use rand::Rng;
+
+/// The minimum degree of the graph is a treewidth lower bound; taking the
+/// maximum over a min-degree *removal* sequence gives the degeneracy bound
+/// (MMD). No contractions — the weakest but cheapest bound here.
+pub fn degeneracy(g: &Graph) -> u32 {
+    let mut eg = EliminationGraph::new(g);
+    let mut lb = 0u32;
+    while eg.num_alive() > 0 {
+        let v = min_degree_vertex(&eg, &mut |_| 0).expect("alive");
+        lb = lb.max(eg.degree(v));
+        // removal, not elimination: delete v without adding fill
+        remove_vertex(&mut eg, v);
+    }
+    lb
+}
+
+/// Algorithm minor-min-width (thesis Fig. 4.7): repeatedly contract a
+/// minimum-degree vertex `v` with its least-degree neighbor, tracking
+/// `max degree(v)`. Ties broken randomly.
+pub fn minor_min_width<R: Rng>(g: &Graph, rng: &mut R) -> u32 {
+    let mut eg = EliminationGraph::new(g);
+    let mut lb = 0u32;
+    while eg.num_alive() > 0 {
+        let v = min_degree_vertex(&eg, &mut |k| rng.gen_range(0..k)).expect("alive");
+        let d = eg.degree(v);
+        lb = lb.max(d);
+        if d == 0 {
+            remove_vertex(&mut eg, v);
+            continue;
+        }
+        let u = least_degree_neighbor(&eg, v, &mut |k| rng.gen_range(0..k));
+        eg.contract_into(v, u);
+    }
+    lb
+}
+
+/// Algorithm minor-γR (thesis Fig. 4.8, after [35]): the Ramachandramurthi
+/// parameter γR of a non-complete graph — the minimum degree among vertices
+/// not adjacent to every other vertex — is a treewidth lower bound;
+/// maximize it over a contraction sequence.
+pub fn minor_gamma_r<R: Rng>(g: &Graph, rng: &mut R) -> u32 {
+    let mut eg = EliminationGraph::new(g);
+    let mut lb = 0u32;
+    while eg.num_alive() > 0 {
+        let alive = eg.num_alive();
+        // sort alive vertices by degree ascending
+        let mut vs: Vec<Vertex> = eg.alive().to_vec();
+        vs.sort_by_key(|&v| eg.degree(v));
+        // first vertex not adjacent to all other alive vertices
+        let candidate = vs.iter().copied().find(|&v| eg.degree(v) + 1 < alive);
+        match candidate {
+            None => {
+                // complete graph: γR degenerates to n-1 and we are done
+                lb = lb.max(alive - 1);
+                break;
+            }
+            Some(v) => {
+                lb = lb.max(eg.degree(v));
+                if eg.degree(v) == 0 {
+                    remove_vertex(&mut eg, v);
+                } else {
+                    let u = least_degree_neighbor(&eg, v, &mut |k| rng.gen_range(0..k));
+                    eg.contract_into(v, u);
+                }
+            }
+        }
+    }
+    lb
+}
+
+/// The combined lower bound the searches use: the max of minor-min-width
+/// and minor-γR (thesis §5.1).
+pub fn combined_lower_bound<R: Rng>(g: &Graph, rng: &mut R) -> u32 {
+    minor_min_width(g, rng).max(minor_gamma_r(g, rng))
+}
+
+/// Picks an alive vertex of minimum degree; `pick` resolves ties given the
+/// tie-count.
+fn min_degree_vertex(
+    eg: &EliminationGraph,
+    pick: &mut impl FnMut(usize) -> usize,
+) -> Option<Vertex> {
+    let mut best = u32::MAX;
+    let mut ties: Vec<Vertex> = Vec::new();
+    for v in eg.alive().iter() {
+        let d = eg.degree(v);
+        if d < best {
+            best = d;
+            ties.clear();
+            ties.push(v);
+        } else if d == best {
+            ties.push(v);
+        }
+    }
+    if ties.is_empty() {
+        None
+    } else {
+        Some(ties[pick(ties.len())])
+    }
+}
+
+fn least_degree_neighbor(
+    eg: &EliminationGraph,
+    v: Vertex,
+    pick: &mut impl FnMut(usize) -> usize,
+) -> Vertex {
+    let mut best = u32::MAX;
+    let mut ties: Vec<Vertex> = Vec::new();
+    for u in eg.neighbors(v).iter() {
+        let d = eg.degree(u);
+        if d < best {
+            best = d;
+            ties.clear();
+            ties.push(u);
+        } else if d == best {
+            ties.push(u);
+        }
+    }
+    ties[pick(ties.len())]
+}
+
+/// Deletes `v` (and its incident edges) without fill — a minor operation.
+fn remove_vertex(eg: &mut EliminationGraph, v: Vertex) {
+    eg.delete_vertex(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_tw;
+    use htd_hypergraph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        assert_eq!(degeneracy(&gen::path_graph(6)), 1);
+        assert_eq!(degeneracy(&gen::cycle_graph(6)), 2);
+        assert_eq!(degeneracy(&gen::complete_graph(5)), 4);
+        assert_eq!(degeneracy(&gen::grid_graph(4, 4)), 2);
+        assert_eq!(degeneracy(&Graph::new(3)), 0);
+    }
+
+    #[test]
+    fn minor_min_width_of_known_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(minor_min_width(&gen::complete_graph(6), &mut rng), 5);
+        assert!(minor_min_width(&gen::grid_graph(4, 4), &mut rng) >= 2);
+        assert_eq!(minor_min_width(&gen::path_graph(7), &mut rng), 1);
+    }
+
+    #[test]
+    fn gamma_r_of_known_graphs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(minor_gamma_r(&gen::complete_graph(6), &mut rng), 5);
+        assert!(minor_gamma_r(&gen::cycle_graph(7), &mut rng) >= 2);
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_treewidth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..15u64 {
+            let g = gen::random_gnp(8, 0.45, seed);
+            let tw = exhaustive_tw(&g);
+            for _ in 0..3 {
+                assert!(degeneracy(&g) <= tw, "degeneracy seed {seed}");
+                assert!(minor_min_width(&g, &mut rng) <= tw, "mmw seed {seed}");
+                assert!(minor_gamma_r(&g, &mut rng) <= tw, "γR seed {seed}");
+                assert!(combined_lower_bound(&g, &mut rng) <= tw, "combined seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_bounds_dominate_degeneracy_on_grids() {
+        // on grids minor-min-width reaches the true treewidth-ish bound
+        // while plain degeneracy stalls at 2
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::grid_graph(5, 5);
+        let mmw = minor_min_width(&g, &mut rng);
+        assert!(mmw >= degeneracy(&g));
+        assert!(mmw >= 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Greedy ordering heuristics — treewidth upper bounds.
+
+use htd_core::ordering::EliminationOrdering;
+use htd_hypergraph::{EliminationGraph, Graph, Vertex};
+use rand::Rng;
+
+/// Result of an ordering heuristic: the ordering and the width it achieves.
+#[derive(Clone, Debug)]
+pub struct HeuristicOrdering {
+    /// The produced elimination ordering (front eliminated first).
+    pub ordering: EliminationOrdering,
+    /// The width of the tree decomposition this ordering induces.
+    pub width: u32,
+}
+
+/// The min-fill heuristic (thesis §4.4.2): repeatedly eliminate the vertex
+/// that adds the fewest fill edges, breaking ties randomly.
+pub fn min_fill<R: Rng>(g: &Graph, rng: &mut R) -> HeuristicOrdering {
+    greedy_ordering(g, rng, |eg, v| eg.fill_count(v) as u64)
+}
+
+/// The min-degree heuristic: repeatedly eliminate a minimum-degree vertex.
+pub fn min_degree<R: Rng>(g: &Graph, rng: &mut R) -> HeuristicOrdering {
+    greedy_ordering(g, rng, |eg, v| eg.degree(v) as u64)
+}
+
+/// Min-fill with degree tie-break (often slightly better than pure
+/// min-fill): score = fill * n + degree.
+pub fn min_fill_degree<R: Rng>(g: &Graph, rng: &mut R) -> HeuristicOrdering {
+    let n = g.num_vertices() as u64;
+    greedy_ordering(g, rng, move |eg, v| {
+        eg.fill_count(v) as u64 * (n + 1) + eg.degree(v) as u64
+    })
+}
+
+fn greedy_ordering<R: Rng>(
+    g: &Graph,
+    rng: &mut R,
+    mut score: impl FnMut(&EliminationGraph, Vertex) -> u64,
+) -> HeuristicOrdering {
+    let n = g.num_vertices();
+    let mut eg = EliminationGraph::new(g);
+    let mut order = Vec::with_capacity(n as usize);
+    let mut width = 0u32;
+    let mut ties: Vec<Vertex> = Vec::new();
+    for _ in 0..n {
+        let mut best = u64::MAX;
+        ties.clear();
+        for v in eg.alive().iter() {
+            let s = score(&eg, v);
+            if s < best {
+                best = s;
+                ties.clear();
+                ties.push(v);
+            } else if s == best {
+                ties.push(v);
+            }
+        }
+        let v = ties[rng.gen_range(0..ties.len())];
+        width = width.max(eg.degree(v));
+        eg.eliminate(v);
+        order.push(v);
+    }
+    HeuristicOrdering {
+        ordering: EliminationOrdering::new_unchecked(order),
+        width,
+    }
+}
+
+/// Maximum cardinality search: numbers vertices from last to first,
+/// always picking the vertex with the most already-numbered neighbors.
+/// On chordal graphs the resulting ordering is perfect (width = treewidth).
+pub fn max_cardinality_search<R: Rng>(g: &Graph, rng: &mut R) -> HeuristicOrdering {
+    let n = g.num_vertices();
+    let mut numbered = htd_hypergraph::VertexSet::new(n);
+    let mut weight = vec![0u32; n as usize];
+    // positions filled back to front
+    let mut order: Vec<Vertex> = vec![0; n as usize];
+    let mut ties: Vec<Vertex> = Vec::new();
+    for slot in (0..n as usize).rev() {
+        let mut best = 0u32;
+        ties.clear();
+        for v in 0..n {
+            if numbered.contains(v) {
+                continue;
+            }
+            let w = weight[v as usize];
+            if w > best || ties.is_empty() {
+                if w > best {
+                    ties.clear();
+                }
+                best = w;
+                ties.push(v);
+            } else if w == best {
+                ties.push(v);
+            }
+        }
+        let v = ties[rng.gen_range(0..ties.len())];
+        numbered.insert(v);
+        order[slot] = v;
+        for u in g.neighbors(v).iter() {
+            if !numbered.contains(u) {
+                weight[u as usize] += 1;
+            }
+        }
+    }
+    // evaluate the width of the produced ordering
+    let mut ev = htd_core::ordering::TwEvaluator::new(g);
+    let width = ev.width(&order);
+    HeuristicOrdering {
+        ordering: EliminationOrdering::new_unchecked(order),
+        width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_tw;
+    use htd_hypergraph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn min_fill_is_optimal_on_trees_and_cycles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let path = gen::path_graph(8);
+        assert_eq!(min_fill(&path, &mut rng).width, 1);
+        let cyc = gen::cycle_graph(8);
+        assert_eq!(min_fill(&cyc, &mut rng).width, 2);
+    }
+
+    #[test]
+    fn min_fill_solves_ktrees_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 2..5u32 {
+            let g = gen::random_ktree(14, k, k as u64);
+            assert_eq!(min_fill(&g, &mut rng).width, k, "k-tree width {k}");
+        }
+    }
+
+    #[test]
+    fn heuristics_upper_bound_the_true_treewidth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..10u64 {
+            let g = gen::random_gnp(8, 0.4, seed);
+            let tw = exhaustive_tw(&g);
+            for h in [
+                min_fill(&g, &mut rng),
+                min_degree(&g, &mut rng),
+                min_fill_degree(&g, &mut rng),
+                max_cardinality_search(&g, &mut rng),
+            ] {
+                assert!(h.width >= tw, "seed {seed}: heuristic below treewidth");
+                // the ordering's evaluated width must equal the reported one
+                let mut ev = htd_core::ordering::TwEvaluator::new(&g);
+                assert_eq!(ev.width(h.ordering.as_slice()), h.width, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mcs_is_exact_on_chordal_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // k-trees are chordal
+        let g = gen::random_ktree(12, 3, 9);
+        assert_eq!(max_cardinality_search(&g, &mut rng).width, 3);
+    }
+
+    #[test]
+    fn orderings_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::queen_graph(4);
+        for h in [min_fill(&g, &mut rng), min_degree(&g, &mut rng)] {
+            assert!(EliminationOrdering::try_new(h.ordering.into_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Graph::new(4);
+        let h = min_fill(&g, &mut rng);
+        assert_eq!(h.width, 0);
+        assert_eq!(h.ordering.len(), 4);
+    }
+}

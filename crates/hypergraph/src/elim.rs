@@ -1,0 +1,380 @@
+//! Mutable elimination graphs with O(fill) undo.
+//!
+//! Eliminating a vertex `v` turns its neighborhood into a clique and removes
+//! `v` — the basic step of every elimination-ordering algorithm (thesis
+//! §2.5.3). The thesis implementation (§5.2.1) keeps matrices `A`, `E`, `T`
+//! to restore eliminated vertices; [`EliminationGraph`] achieves the same
+//! with an explicit undo log: each [`eliminate`](EliminationGraph::eliminate)
+//! records the fill edges it added and the neighborhood it destroyed, and
+//! [`undo`](EliminationGraph::undo) pops the log. Depth-first searches over
+//! orderings (branch and bound) pay O(fill) per backtrack instead of
+//! rebuilding the graph.
+//!
+//! Invariant: the adjacency row of every **alive** vertex contains only
+//! alive vertices, so degrees and neighborhoods are direct bitset reads.
+
+use crate::bitset::VertexSet;
+use crate::graph::Graph;
+use crate::Vertex;
+
+/// One entry of the undo log.
+#[derive(Clone, Debug)]
+struct ElimRecord {
+    vertex: Vertex,
+    /// Alive neighborhood of `vertex` at elimination time.
+    neighbors: VertexSet,
+    /// Fill edges added by this elimination.
+    fill: Vec<(Vertex, Vertex)>,
+}
+
+/// A graph under vertex elimination, supporting LIFO undo.
+///
+/// ```
+/// use htd_hypergraph::{EliminationGraph, Graph};
+/// // a 4-cycle: eliminating vertex 0 adds the fill edge {1, 3}
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let mut eg = EliminationGraph::new(&g);
+/// assert_eq!(eg.eliminate(0), 2);
+/// assert!(eg.has_edge(1, 3));
+/// eg.undo();
+/// assert!(!eg.has_edge(1, 3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EliminationGraph {
+    adj: Vec<VertexSet>,
+    alive: VertexSet,
+    log: Vec<ElimRecord>,
+}
+
+impl EliminationGraph {
+    /// Builds an elimination view of `g` with all vertices alive.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        EliminationGraph {
+            adj: (0..n).map(|v| g.neighbors(v).clone()).collect(),
+            alive: VertexSet::full(n),
+            log: Vec::new(),
+        }
+    }
+
+    /// Total number of vertices (alive and eliminated).
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of alive vertices.
+    #[inline]
+    pub fn num_alive(&self) -> u32 {
+        self.alive.len()
+    }
+
+    /// The set of alive vertices.
+    #[inline]
+    pub fn alive(&self) -> &VertexSet {
+        &self.alive
+    }
+
+    /// `true` iff `v` has not been eliminated.
+    #[inline]
+    pub fn is_alive(&self, v: Vertex) -> bool {
+        self.alive.contains(v)
+    }
+
+    /// Alive neighborhood of an alive vertex.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &VertexSet {
+        debug_assert!(self.is_alive(v));
+        &self.adj[v as usize]
+    }
+
+    /// Degree of an alive vertex.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> u32 {
+        debug_assert!(self.is_alive(v));
+        self.adj[v as usize].len()
+    }
+
+    /// `true` iff alive vertices `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.adj[u as usize].contains(v)
+    }
+
+    /// Number of eliminations currently on the undo log.
+    #[inline]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of fill edges `eliminate(v)` would add, without eliminating.
+    pub fn fill_count(&self, v: Vertex) -> usize {
+        let nb = &self.adj[v as usize];
+        let mut missing = 0usize;
+        for u in nb.iter() {
+            // neighbors of v that are not neighbors of u (and not u itself)
+            missing += nb.difference_len(&self.adj[u as usize]) as usize - 1;
+        }
+        missing / 2
+    }
+
+    /// `true` iff the neighborhood of alive vertex `v` is a clique.
+    pub fn is_simplicial(&self, v: Vertex) -> bool {
+        let nb = &self.adj[v as usize];
+        nb.iter().all(|u| nb.difference_len(&self.adj[u as usize]) == 1)
+    }
+
+    /// `true` iff all but one neighbor of `v` induce a clique
+    /// (Definition 23 of the thesis). Simplicial vertices qualify too;
+    /// callers that need strictness should test [`is_simplicial`] first.
+    pub fn is_almost_simplicial(&self, v: Vertex) -> bool {
+        let nb = &self.adj[v as usize];
+        if nb.len() <= 1 {
+            return true;
+        }
+        nb.iter().any(|skip| {
+            let mut rest = nb.clone();
+            rest.remove(skip);
+            rest.iter()
+                .all(|u| rest.difference_len(&self.adj[u as usize]) == 1)
+        })
+    }
+
+    /// Eliminates alive vertex `v`: connects its neighbors pairwise, removes
+    /// `v`, and pushes an undo record. Returns the degree of `v` at
+    /// elimination time (the bag size minus one).
+    pub fn eliminate(&mut self, v: Vertex) -> u32 {
+        debug_assert!(self.is_alive(v), "eliminate of dead vertex {v}");
+        let nb = self.adj[v as usize].clone();
+        let mut fill = Vec::new();
+        for u in nb.iter() {
+            self.adj[u as usize].remove(v);
+        }
+        for u in nb.iter() {
+            // missing = neighbors of v not adjacent to u, above u
+            let mut missing = nb.difference(&self.adj[u as usize]);
+            missing.remove(u);
+            for w in missing.iter() {
+                if w > u {
+                    self.adj[u as usize].insert(w);
+                    self.adj[w as usize].insert(u);
+                    fill.push((u, w));
+                }
+            }
+        }
+        self.alive.remove(v);
+        let deg = nb.len();
+        self.log.push(ElimRecord {
+            vertex: v,
+            neighbors: nb,
+            fill,
+        });
+        deg
+    }
+
+    /// Undoes the most recent elimination. Returns the restored vertex,
+    /// or `None` if the log is empty.
+    pub fn undo(&mut self) -> Option<Vertex> {
+        let rec = self.log.pop()?;
+        for &(u, w) in &rec.fill {
+            self.adj[u as usize].remove(w);
+            self.adj[w as usize].remove(u);
+        }
+        for u in rec.neighbors.iter() {
+            self.adj[u as usize].insert(rec.vertex);
+        }
+        self.adj[rec.vertex as usize] = rec.neighbors;
+        self.alive.insert(rec.vertex);
+        Some(rec.vertex)
+    }
+
+    /// Undoes eliminations until only `target_len` remain on the log.
+    pub fn undo_to(&mut self, target_len: usize) {
+        while self.log.len() > target_len {
+            self.undo();
+        }
+    }
+
+    /// The bag `{v} ∪ N(v)` that eliminating `v` would produce, as a bitset.
+    pub fn bag(&self, v: Vertex) -> VertexSet {
+        let mut b = self.adj[v as usize].clone();
+        b.insert(v);
+        b
+    }
+
+    /// Contracts alive vertex `remove` into alive neighbor `keep`
+    /// (minor operation): `keep`'s neighborhood becomes
+    /// `(N(keep) ∪ N(remove)) \ {keep, remove}` and `remove` disappears.
+    ///
+    /// Contractions are **not** undoable; they are meant for scratch copies
+    /// inside lower-bound heuristics (minor-min-width, minor-γR).
+    pub fn contract_into(&mut self, keep: Vertex, remove: Vertex) {
+        debug_assert!(self.is_alive(keep) && self.is_alive(remove));
+        debug_assert!(self.log.is_empty(), "contract on a graph with undo log");
+        let nb = self.adj[remove as usize].clone();
+        for u in nb.iter() {
+            self.adj[u as usize].remove(remove);
+            if u != keep {
+                self.adj[u as usize].insert(keep);
+                self.adj[keep as usize].insert(u);
+            }
+        }
+        self.adj[keep as usize].remove(keep);
+        self.adj[keep as usize].remove(remove);
+        self.adj[remove as usize].clear();
+        self.alive.remove(remove);
+    }
+
+    /// Deletes alive vertex `v` and its incident edges without fill — the
+    /// other minor operation. Like [`contract_into`](Self::contract_into),
+    /// deletions are not undoable and are meant for scratch copies.
+    pub fn delete_vertex(&mut self, v: Vertex) {
+        debug_assert!(self.is_alive(v));
+        debug_assert!(self.log.is_empty(), "delete on a graph with undo log");
+        let nb = self.adj[v as usize].clone();
+        for u in nb.iter() {
+            self.adj[u as usize].remove(v);
+        }
+        self.adj[v as usize].clear();
+        self.alive.remove(v);
+    }
+
+    /// Snapshot of the alive subgraph as an immutable [`Graph`] with the
+    /// original vertex numbering (dead vertices become isolated).
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.capacity());
+        for v in self.alive.iter() {
+            for u in self.adj[v as usize].iter() {
+                if u > v {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn eliminate_adds_fill_and_undo_restores() {
+        // 4-cycle: eliminating 0 adds fill edge (1,3)
+        let g = cycle(4);
+        let mut eg = EliminationGraph::new(&g);
+        let before = eg.clone();
+        let deg = eg.eliminate(0);
+        assert_eq!(deg, 2);
+        assert!(!eg.is_alive(0));
+        assert!(eg.has_edge(1, 3));
+        assert_eq!(eg.num_alive(), 3);
+        eg.undo();
+        assert_eq!(eg.alive().to_vec(), before.alive().to_vec());
+        for v in 0..4u32 {
+            assert_eq!(
+                eg.neighbors(v).to_vec(),
+                before.neighbors(v).to_vec(),
+                "row {v} not restored"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_count_matches_eliminate() {
+        let g = cycle(5);
+        let mut eg = EliminationGraph::new(&g);
+        for v in 0..5 {
+            let predicted = eg.fill_count(v);
+            let log_before = eg.log_len();
+            eg.eliminate(v);
+            let added = match eg.log.last() {
+                Some(r) => r.fill.len(),
+                None => 0,
+            };
+            assert_eq!(predicted, added, "vertex {v}");
+            eg.undo_to(log_before);
+        }
+    }
+
+    #[test]
+    fn nested_eliminate_undo_roundtrip() {
+        let g = cycle(6);
+        let mut eg = EliminationGraph::new(&g);
+        let orig = eg.clone();
+        eg.eliminate(0);
+        eg.eliminate(2);
+        eg.eliminate(4);
+        assert_eq!(eg.num_alive(), 3);
+        eg.undo_to(0);
+        for v in 0..6u32 {
+            assert_eq!(eg.neighbors(v).to_vec(), orig.neighbors(v).to_vec());
+        }
+        assert_eq!(eg.num_alive(), 6);
+    }
+
+    #[test]
+    fn simplicial_detection() {
+        // K3 plus pendant at 0
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let eg = EliminationGraph::new(&g);
+        assert!(eg.is_simplicial(3));
+        assert!(eg.is_simplicial(1));
+        assert!(!eg.is_simplicial(0));
+        assert!(eg.is_almost_simplicial(0)); // drop 3 → {1,2} clique
+    }
+
+    #[test]
+    fn almost_simplicial_on_cycle() {
+        // In C5 every vertex has 2 non-adjacent neighbors: almost simplicial
+        // (drop one neighbor, the other is a singleton clique).
+        let eg = EliminationGraph::new(&cycle(5));
+        for v in 0..5 {
+            assert!(!eg.is_simplicial(v));
+            assert!(eg.is_almost_simplicial(v));
+        }
+    }
+
+    #[test]
+    fn contraction_merges_neighborhoods() {
+        // path 0-1-2-3; contract 1 into 2 → path 0-2-3
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut eg = EliminationGraph::new(&g);
+        eg.contract_into(2, 1);
+        assert!(!eg.is_alive(1));
+        assert!(eg.has_edge(0, 2));
+        assert!(eg.has_edge(2, 3));
+        assert_eq!(eg.degree(2), 2);
+        assert_eq!(eg.degree(0), 1);
+    }
+
+    #[test]
+    fn delete_removes_without_fill() {
+        let mut eg = EliminationGraph::new(&cycle(4));
+        eg.delete_vertex(0);
+        assert!(!eg.is_alive(0));
+        assert!(!eg.has_edge(1, 3)); // no fill, unlike eliminate
+        assert_eq!(eg.degree(1), 1);
+        assert_eq!(eg.num_alive(), 3);
+    }
+
+    #[test]
+    fn bag_contains_vertex_and_neighbors() {
+        let eg = EliminationGraph::new(&cycle(4));
+        assert_eq!(eg.bag(0).to_vec(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn to_graph_snapshots_alive_subgraph() {
+        let mut eg = EliminationGraph::new(&cycle(4));
+        eg.eliminate(0);
+        let g = eg.to_graph();
+        assert_eq!(g.degree(0), 0);
+        assert!(g.has_edge(1, 3)); // fill edge present
+        assert_eq!(g.num_edges(), 3);
+    }
+}

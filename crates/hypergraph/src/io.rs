@@ -1,0 +1,293 @@
+//! Instance parsers and writers.
+//!
+//! Two formats cover the literature the reproduced experiments draw on:
+//!
+//! * **DIMACS graph coloring** (`.col`): `p edge n m` header, `e u v` lines,
+//!   1-based vertices — the format of the Second DIMACS challenge instances
+//!   used in chapters 5–6 of the thesis.
+//! * **Hyperedge format** used by the CSP hypergraph library and the
+//!   `detkdecomp`/HyperBench tools: a list of atoms
+//!   `name(v1,v2,...),` terminated by `.`, `%`-comments.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+
+/// Errors produced by the parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The DIMACS `p edge n m` header is missing or malformed.
+    MissingHeader,
+    /// A line could not be interpreted.
+    BadLine(String),
+    /// A vertex index was out of the declared range.
+    VertexOutOfRange(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing or malformed 'p edge n m' header"),
+            ParseError::BadLine(l) => write!(f, "unparseable line: {l:?}"),
+            ParseError::VertexOutOfRange(v) => write!(f, "vertex out of range: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a DIMACS graph-coloring instance.
+///
+/// Accepts `c` comment lines, a `p edge n m` (or `p col n m`) header and
+/// `e u v` edge lines with 1-based endpoints. The declared edge count is not
+/// enforced (many published instances get it wrong).
+pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                let _format = it.next().ok_or(ParseError::MissingHeader)?;
+                let n: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::MissingHeader)?;
+                graph = Some(Graph::new(n));
+            }
+            Some("e") => {
+                let g = graph.as_mut().ok_or(ParseError::MissingHeader)?;
+                let u: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine(line.to_string()))?;
+                let v: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine(line.to_string()))?;
+                let n = g.num_vertices();
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(ParseError::VertexOutOfRange(format!("{u} or {v}")));
+                }
+                g.add_edge(u - 1, v - 1);
+            }
+            Some(_) => return Err(ParseError::BadLine(line.to_string())),
+            None => {}
+        }
+    }
+    graph.ok_or(ParseError::MissingHeader)
+}
+
+/// Writes a graph in DIMACS graph-coloring format.
+pub fn write_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p edge {} {}", g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Parses a PACE-challenge graph (`.gr`): `p tw n m` header and bare
+/// `u v` edge lines, 1-based, `c` comments.
+pub fn parse_pace_gr(text: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let _tw = it.next().ok_or(ParseError::MissingHeader)?;
+            let n: u32 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::MissingHeader)?;
+            graph = Some(Graph::new(n));
+            continue;
+        }
+        let g = graph.as_mut().ok_or(ParseError::MissingHeader)?;
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::BadLine(line.to_string()))?;
+        let v: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::BadLine(line.to_string()))?;
+        let n = g.num_vertices();
+        if u == 0 || v == 0 || u > n || v > n {
+            return Err(ParseError::VertexOutOfRange(format!("{u} or {v}")));
+        }
+        g.add_edge(u - 1, v - 1);
+    }
+    graph.ok_or(ParseError::MissingHeader)
+}
+
+/// Writes a graph in PACE `.gr` format.
+pub fn write_pace_gr(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p tw {} {}", g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Parses the hyperedge (atom list) format:
+///
+/// ```text
+/// % comment
+/// e1(a, b, c),
+/// e2(c, d),
+/// e3(d, a).
+/// ```
+///
+/// Vertex names are interned in order of first appearance.
+pub fn parse_hyperedges(text: &str) -> Result<Hypergraph, ParseError> {
+    // Strip comments, then split the stream into `name(args)` atoms.
+    let mut cleaned = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = match line.find('%') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        cleaned.push_str(line);
+        cleaned.push(' ');
+    }
+    let mut edges: Vec<(String, Vec<String>)> = Vec::new();
+    let mut rest = cleaned.trim();
+    while !rest.is_empty() && rest != "." {
+        let open = rest
+            .find('(')
+            .ok_or_else(|| ParseError::BadLine(rest.chars().take(40).collect()))?;
+        let close = rest[open..]
+            .find(')')
+            .map(|i| open + i)
+            .ok_or_else(|| ParseError::BadLine(rest.chars().take(40).collect()))?;
+        let name = rest[..open].trim().trim_start_matches(',').trim().to_string();
+        if name.is_empty() {
+            return Err(ParseError::BadLine(rest.chars().take(40).collect()));
+        }
+        let args: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        edges.push((name, args));
+        rest = rest[close + 1..].trim();
+        rest = rest.strip_prefix(',').map(str::trim).unwrap_or(rest);
+        if let Some(r) = rest.strip_prefix('.') {
+            if r.trim().is_empty() {
+                rest = "";
+            } else {
+                rest = r.trim();
+            }
+        }
+    }
+    Ok(Hypergraph::from_named_edges(&edges))
+}
+
+/// Writes a hypergraph in the hyperedge (atom list) format.
+pub fn write_hyperedges(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    let m = h.num_edges();
+    for e in 0..m {
+        let scope: Vec<&str> = h.edge(e).iter().map(|v| h.vertex_name(v)).collect();
+        let sep = if e + 1 == m { "." } else { "," };
+        let _ = writeln!(out, "{}({}){}", h.edge_name(e), scope.join(","), sep);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let text = "c a comment\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        let again = parse_dimacs(&write_dimacs(&g)).unwrap();
+        assert_eq!(again.num_edges(), g.num_edges());
+        assert_eq!(
+            again.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(matches!(
+            parse_dimacs("e 1 2\n"),
+            Err(ParseError::MissingHeader)
+        ));
+        assert!(matches!(
+            parse_dimacs("p edge 2 1\ne 1 5\n"),
+            Err(ParseError::VertexOutOfRange(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p edge 2 1\nq 1 2\n"),
+            Err(ParseError::BadLine(_))
+        ));
+        // duplicate edges collapse
+        let g = parse_dimacs("p edge 3 2\ne 1 2\ne 2 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn pace_gr_roundtrip() {
+        let text = "c comment\np tw 4 3\n1 2\n2 3\n3 4\n";
+        let g = parse_pace_gr(text).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        let again = parse_pace_gr(&write_pace_gr(&g)).unwrap();
+        assert_eq!(
+            again.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+        assert!(parse_pace_gr("1 2\n").is_err());
+        assert!(matches!(
+            parse_pace_gr("p tw 2 1\n1 9\n"),
+            Err(ParseError::VertexOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn hyperedges_roundtrip() {
+        let text = "% library instance\nf1(a,b,c),\nf2(c,d),\nf3(d,a).\n";
+        let h = parse_hyperedges(text).unwrap();
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_name(0), "f1");
+        assert_eq!(h.vertex_name(3), "d");
+        let again = parse_hyperedges(&write_hyperedges(&h)).unwrap();
+        assert_eq!(again.num_vertices(), 4);
+        assert_eq!(again.num_edges(), 3);
+        assert_eq!(again.edge(1).len(), 2);
+    }
+
+    #[test]
+    fn hyperedges_multiline_atom() {
+        let text = "long_name(x1,\n  x2, x3),\nother(x3, x4).";
+        let h = parse_hyperedges(text).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edge(0).len(), 3);
+        assert_eq!(h.edge_name(0), "long_name");
+    }
+
+    #[test]
+    fn hyperedges_bad_input() {
+        assert!(parse_hyperedges("no parens here").is_err());
+        assert!(parse_hyperedges("(a,b).").is_err()); // missing name
+    }
+}

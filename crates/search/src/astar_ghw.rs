@@ -1,0 +1,361 @@
+//! A* for generalized hypertree width (thesis Fig. 9.1).
+//!
+//! The best-first counterpart of [`bb_ghw`](crate::bb_ghw): states are
+//! partial orderings, `g` the maximum exact bag-cover so far, `h` the
+//! `tw-ksc` bound on the remaining graph and `f = max(g, h, parent.f)`.
+//! Like A*-tw, interrupted runs report the largest visited `f` as a proven
+//! lower bound — the thesis's Tables 9.1–9.2 obtain several improved ghw
+//! lower bounds exactly this way.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use htd_core::ordering::EliminationOrdering;
+use htd_core::{CoverStrategy, GhwEvaluator};
+use htd_heuristics::upper::{min_degree, min_fill};
+use htd_hypergraph::{EliminationGraph, Hypergraph, Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::ghw_common::GhwContext;
+use crate::pruning::keep_child;
+
+struct PathNode {
+    v: Vertex,
+    parent: Option<Rc<PathNode>>,
+}
+
+fn path_to_vec(p: &Option<Rc<PathNode>>) -> Vec<Vertex> {
+    let mut out = Vec::new();
+    let mut cur = p.clone();
+    while let Some(n) = cur {
+        out.push(n.v);
+        cur = n.parent.clone();
+    }
+    out.reverse();
+    out
+}
+
+struct State {
+    f: u32,
+    g: u32,
+    depth: u32,
+    seq: u64,
+    path: Option<Rc<PathNode>>,
+    eliminated: VertexSet,
+    prev: Option<Vertex>,
+    swap_with_prev: VertexSet,
+    forced: bool,
+}
+
+impl State {
+    fn cmp_key(&self) -> (u32, std::cmp::Reverse<u32>, u64) {
+        (self.f, std::cmp::Reverse(self.depth), self.seq)
+    }
+}
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+/// Computes `ghw(h)` with A*. Returns `None` when some vertex lies in no
+/// hyperedge. Within budget the result is exact; otherwise `lower` is the
+/// largest visited `f`.
+pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
+    if !h.covers_all_vertices() {
+        return None;
+    }
+    let n = h.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = SearchStats::default();
+    if n == 0 {
+        return Some(SearchOutcome {
+            lower: 0,
+            upper: 0,
+            exact: true,
+            ordering: Some(EliminationOrdering::identity(0)),
+            stats,
+        });
+    }
+    let g = h.primal_graph();
+    let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+    let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
+    let mut ub_order = cands[0].clone();
+    let mut ub = u32::MAX;
+    for c in &cands {
+        if let Some(w) = ev.width(c.as_slice()) {
+            if w < ub {
+                ub = w;
+                ub_order = c.clone();
+            }
+        }
+    }
+    let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
+    if lb0 >= ub {
+        return Some(SearchOutcome {
+            lower: ub,
+            upper: ub,
+            exact: true,
+            ordering: Some(ub_order),
+            stats,
+        });
+    }
+
+    let mut ctx = GhwContext::new(h);
+    let mut budget = Budget::new(cfg);
+    let mut queue: BinaryHeap<State> = BinaryHeap::new();
+    let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
+    let mut seq = 0u64;
+    queue.push(State {
+        f: lb0,
+        g: 0,
+        depth: 0,
+        seq,
+        path: None,
+        eliminated: VertexSet::new(n),
+        prev: None,
+        swap_with_prev: VertexSet::new(n),
+        forced: false,
+    });
+
+    let mut eg = EliminationGraph::new(&g);
+    let mut current_path: Vec<Vertex> = Vec::new();
+    let mut global_lb = lb0;
+
+    while let Some(s) = queue.pop() {
+        if s.f >= ub {
+            break;
+        }
+        if !budget.tick() {
+            stats.expanded = budget.expanded - 1;
+            stats.elapsed = budget.elapsed();
+            stats.max_queue = stats.max_queue.max(queue.len());
+            return Some(SearchOutcome {
+                lower: global_lb,
+                upper: ub,
+                exact: false,
+                ordering: Some(ub_order),
+                stats,
+            });
+        }
+        global_lb = global_lb.max(s.f);
+        let target = path_to_vec(&s.path);
+        let common = current_path
+            .iter()
+            .zip(&target)
+            .take_while(|(a, b)| a == b)
+            .count();
+        eg.undo_to(common);
+        current_path.truncate(common);
+        for &v in &target[common..] {
+            eg.eliminate(v);
+            current_path.push(v);
+        }
+        // goal test: the whole remainder can be covered within width g
+        // (greedy suffices: it only has to certify achievability)
+        let goal = match ctx.cover_greedy(eg.alive()) {
+            Some(c) => c <= s.g || eg.num_alive() == 0,
+            None => false,
+        };
+        if goal {
+            let mut order = target;
+            order.extend(eg.alive().iter());
+            stats.expanded = budget.expanded;
+            stats.elapsed = budget.elapsed();
+            stats.max_queue = stats.max_queue.max(queue.len());
+            return Some(SearchOutcome {
+                lower: s.g,
+                upper: s.g,
+                exact: true,
+                ordering: Some(EliminationOrdering::new_unchecked(order)),
+                stats,
+            });
+        }
+        let (children, forced_child) = if cfg.use_reductions {
+            match ctx.find_ghw_reducible(&eg) {
+                Some(v) => (vec![v], true),
+                None => (eg.alive().to_vec(), false),
+            }
+        } else {
+            (eg.alive().to_vec(), false)
+        };
+        for v in children {
+            if cfg.use_pr2 && !s.forced && !forced_child {
+                if let Some(prev) = s.prev {
+                    if !keep_child(prev, v, s.swap_with_prev.contains(v)) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let swap_set = if cfg.use_pr2 {
+                let mut set = VertexSet::new(n);
+                for u in eg.alive().iter() {
+                    if u != v && GhwContext::swappable_ghw(&eg, v, u) {
+                        set.insert(u);
+                    }
+                }
+                set
+            } else {
+                VertexSet::new(n)
+            };
+            let bag = eg.bag(v);
+            let Some(bag_cover) = ctx.cover_exact(&bag) else {
+                continue;
+            };
+            let mark = eg.log_len();
+            eg.eliminate(v);
+            let t_g = s.g.max(bag_cover);
+            let t_h = ctx.node_lower_bound(&eg, &mut rng).max(lb0);
+            let t_f = t_g.max(t_h).max(s.f);
+            if t_f < ub {
+                let mut eliminated = s.eliminated.clone();
+                eliminated.insert(v);
+                let dominated = if cfg.use_duplicate_detection {
+                    match seen.get_mut(eliminated.blocks()) {
+                        Some(best) if *best <= t_g => true,
+                        Some(best) => {
+                            *best = t_g;
+                            false
+                        }
+                        None => {
+                            seen.insert(eliminated.blocks().to_vec(), t_g);
+                            false
+                        }
+                    }
+                } else {
+                    false
+                };
+                if !dominated {
+                    seq += 1;
+                    stats.generated += 1;
+                    queue.push(State {
+                        f: t_f,
+                        g: t_g,
+                        depth: s.depth + 1,
+                        seq,
+                        path: Some(Rc::new(PathNode {
+                            v,
+                            parent: s.path.clone(),
+                        })),
+                        eliminated,
+                        prev: Some(v),
+                        swap_with_prev: swap_set,
+                        forced: forced_child,
+                    });
+                } else {
+                    stats.pruned += 1;
+                }
+            } else {
+                stats.pruned += 1;
+            }
+            eg.undo_to(mark);
+        }
+        stats.max_queue = stats.max_queue.max(queue.len());
+    }
+    stats.expanded = budget.expanded;
+    stats.elapsed = budget.elapsed();
+    Some(SearchOutcome {
+        lower: ub,
+        upper: ub,
+        exact: true,
+        ordering: Some(ub_order),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_ghw;
+    use htd_hypergraph::gen;
+
+    fn exact(h: &Hypergraph, cfg: &SearchConfig) -> u32 {
+        let out = astar_ghw(h, cfg).expect("coverable");
+        assert!(out.exact, "expected exact");
+        let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+        let achieved = ev.width(out.ordering.as_ref().unwrap().as_slice()).unwrap();
+        assert!(achieved <= out.upper);
+        out.upper
+    }
+
+    #[test]
+    fn known_families() {
+        let cfg = SearchConfig::default();
+        let th = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        assert_eq!(exact(&th, &cfg), 2);
+        assert_eq!(exact(&gen::clique_hypergraph(6), &cfg), 3);
+        let chain = Hypergraph::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
+        assert_eq!(exact(&chain, &cfg), 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_all_toggle_combinations() {
+        for seed in 0..8u64 {
+            let h = gen::random_uniform(7, 8, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let truth = exhaustive_ghw(&h).unwrap();
+            for pr2 in [false, true] {
+                for red in [false, true] {
+                    for dup in [false, true] {
+                        let cfg = SearchConfig {
+                            use_pr2: pr2,
+                            use_reductions: red,
+                            use_duplicate_detection: dup,
+                            ..SearchConfig::default()
+                        };
+                        assert_eq!(
+                            exact(&h, &cfg),
+                            truth,
+                            "seed {seed} pr2={pr2} red={red} dup={dup}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_bb_ghw() {
+        for seed in 10..16u64 {
+            let h = gen::random_uniform(8, 9, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let cfg = SearchConfig::default();
+            let a = astar_ghw(&h, &cfg).unwrap();
+            let b = crate::bb_ghw(&h, &cfg).unwrap();
+            assert!(a.exact && b.exact);
+            assert_eq!(a.upper, b.upper, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let h = Hypergraph::new(2, vec![vec![0]]);
+        assert!(astar_ghw(&h, &SearchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_bounds() {
+        let h = gen::grid2d(6);
+        let out = astar_ghw(&h, &SearchConfig::budgeted(10)).unwrap();
+        assert!(out.lower <= out.upper);
+        assert!(out.lower >= 1);
+    }
+}

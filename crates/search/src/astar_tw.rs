@@ -1,0 +1,355 @@
+//! A* for treewidth (thesis Fig. 5.1).
+//!
+//! Best-first search over the elimination-ordering tree. Each state is a
+//! partial ordering; `g` is its width so far, `h` a minor-based lower bound
+//! on the remaining graph, and `f = max(g, h, parent.f)` — nondecreasing
+//! along paths, so the `f` of the last visited state is a valid treewidth
+//! lower bound when the budget runs out (§5.3). States with `f ≥ ub` are
+//! never queued (memory measure, §5.2.3); the graph of the visited state is
+//! rebuilt by undoing to the common prefix with the previous state
+//! (§5.2.1).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use htd_core::ordering::EliminationOrdering;
+use htd_heuristics::{lower::minor_min_width, reduce, upper::min_fill};
+use htd_hypergraph::{EliminationGraph, Graph, Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bb_tw::alive_graph;
+use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::pruning::{keep_child, swappable};
+
+/// Reverse-linked elimination path.
+struct PathNode {
+    v: Vertex,
+    parent: Option<Rc<PathNode>>,
+}
+
+fn path_to_vec(p: &Option<Rc<PathNode>>) -> Vec<Vertex> {
+    let mut out = Vec::new();
+    let mut cur = p.clone();
+    while let Some(n) = cur {
+        out.push(n.v);
+        cur = n.parent.clone();
+    }
+    out.reverse();
+    out
+}
+
+struct State {
+    f: u32,
+    g: u32,
+    depth: u32,
+    seq: u64,
+    path: Option<Rc<PathNode>>,
+    eliminated: VertexSet,
+    /// vertex eliminated to create this state (root: none)
+    prev: Option<Vertex>,
+    /// vertices that were swappable with `prev` in the parent's graph
+    swap_with_prev: VertexSet,
+    /// this state was generated as a reduction-forced only child
+    forced: bool,
+}
+
+impl State {
+    /// Min order on f; among equal f prefer deeper states (§5.3), then FIFO.
+    fn cmp_key(&self) -> (u32, std::cmp::Reverse<u32>, u64) {
+        (self.f, std::cmp::Reverse(self.depth), self.seq)
+    }
+}
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: reverse for a min-f queue
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+/// Computes the treewidth of `graph` with A*. Within budget the result is
+/// exact; otherwise `lower` is the largest proven `f` and `upper` the
+/// initial min-fill bound (the thesis's anytime behaviour).
+pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = SearchStats::default();
+    if n == 0 {
+        return SearchOutcome {
+            lower: 0,
+            upper: 0,
+            exact: true,
+            ordering: Some(EliminationOrdering::identity(0)),
+            stats,
+        };
+    }
+    let lb0 = htd_heuristics::combined_lower_bound(graph, &mut rng);
+    let h0 = min_fill(graph, &mut rng);
+    let ub = h0.width;
+    let ub_order = h0.ordering;
+    if lb0 >= ub {
+        return SearchOutcome {
+            lower: ub,
+            upper: ub,
+            exact: true,
+            ordering: Some(ub_order),
+            stats,
+        };
+    }
+
+    let mut budget = Budget::new(cfg);
+    let mut queue: BinaryHeap<State> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // duplicate detection: eliminated-set → best g seen
+    let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
+
+    queue.push(State {
+        f: lb0,
+        g: 0,
+        depth: 0,
+        seq,
+        path: None,
+        eliminated: VertexSet::new(n),
+        prev: None,
+        swap_with_prev: VertexSet::new(n),
+        forced: false,
+    });
+
+    let mut eg = EliminationGraph::new(graph);
+    let mut current_path: Vec<Vertex> = Vec::new();
+    let mut global_lb = lb0;
+
+    while let Some(s) = queue.pop() {
+        if s.f >= ub {
+            break; // all open states are ≥ ub: ub is the treewidth
+        }
+        if !budget.tick() {
+            stats.expanded = budget.expanded - 1;
+            stats.elapsed = budget.elapsed();
+            stats.max_queue = stats.max_queue.max(queue.len());
+            return SearchOutcome {
+                lower: global_lb,
+                upper: ub,
+                exact: false,
+                ordering: Some(ub_order),
+                stats,
+            };
+        }
+        global_lb = global_lb.max(s.f);
+        // rebuild graph: undo to common prefix, then eliminate the rest
+        let target = path_to_vec(&s.path);
+        let common = current_path
+            .iter()
+            .zip(&target)
+            .take_while(|(a, b)| a == b)
+            .count();
+        eg.undo_to(common);
+        current_path.truncate(common);
+        for &v in &target[common..] {
+            eg.eliminate(v);
+            current_path.push(v);
+        }
+        let remaining = eg.num_alive();
+        // goal test: every completion stays within width g
+        if remaining == 0 || s.g >= remaining - 1 {
+            let mut order = target;
+            order.extend(eg.alive().iter());
+            stats.expanded = budget.expanded;
+            stats.elapsed = budget.elapsed();
+            stats.max_queue = stats.max_queue.max(queue.len());
+            return SearchOutcome {
+                lower: s.g,
+                upper: s.g,
+                exact: true,
+                ordering: Some(EliminationOrdering::new_unchecked(order)),
+                stats,
+            };
+        }
+        // children
+        let (children, forced_child) = if cfg.use_reductions {
+            match reduce::find_reducible(&eg, s.f) {
+                Some(v) => (vec![v], true),
+                None => (eg.alive().to_vec(), false),
+            }
+        } else {
+            (eg.alive().to_vec(), false)
+        };
+        for v in children {
+            if cfg.use_pr2 && !s.forced && !forced_child {
+                if let Some(prev) = s.prev {
+                    if !keep_child(prev, v, s.swap_with_prev.contains(v)) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let swap_set = if cfg.use_pr2 {
+                let mut set = VertexSet::new(n);
+                for u in eg.alive().iter() {
+                    if u != v && swappable(&eg, v, u) {
+                        set.insert(u);
+                    }
+                }
+                set
+            } else {
+                VertexSet::new(n)
+            };
+            let d = eg.degree(v);
+            let mark = eg.log_len();
+            eg.eliminate(v);
+            let t_g = s.g.max(d);
+            let t_h = minor_min_width(&alive_graph(&eg), &mut rng).max(lb0);
+            let t_f = t_g.max(t_h).max(s.f);
+            if t_f < ub {
+                let mut eliminated = s.eliminated.clone();
+                eliminated.insert(v);
+                let dominated = if cfg.use_duplicate_detection {
+                    match seen.get_mut(eliminated.blocks()) {
+                        Some(best) if *best <= t_g => true,
+                        Some(best) => {
+                            *best = t_g;
+                            false
+                        }
+                        None => {
+                            seen.insert(eliminated.blocks().to_vec(), t_g);
+                            false
+                        }
+                    }
+                } else {
+                    false
+                };
+                if !dominated {
+                    seq += 1;
+                    stats.generated += 1;
+                    queue.push(State {
+                        f: t_f,
+                        g: t_g,
+                        depth: s.depth + 1,
+                        seq,
+                        path: Some(Rc::new(PathNode {
+                            v,
+                            parent: s.path.clone(),
+                        })),
+                        eliminated,
+                        prev: Some(v),
+                        swap_with_prev: swap_set,
+                        forced: forced_child,
+                    });
+                } else {
+                    stats.pruned += 1;
+                }
+            } else {
+                stats.pruned += 1;
+            }
+            eg.undo_to(mark);
+        }
+        stats.max_queue = stats.max_queue.max(queue.len());
+    }
+    // queue drained of states below ub: ub is the treewidth
+    stats.expanded = budget.expanded;
+    stats.elapsed = budget.elapsed();
+    SearchOutcome {
+        lower: ub,
+        upper: ub,
+        exact: true,
+        ordering: Some(ub_order),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::{exhaustive_tw, TwEvaluator};
+    use htd_hypergraph::gen;
+
+    fn exact(g: &Graph, cfg: &SearchConfig) -> u32 {
+        let out = astar_tw(g, cfg);
+        assert!(out.exact, "expected exact");
+        let o = out.ordering.as_ref().unwrap();
+        let mut ev = TwEvaluator::new(g);
+        assert!(ev.width(o.as_slice()) <= out.upper);
+        out.upper
+    }
+
+    #[test]
+    fn known_families() {
+        let cfg = SearchConfig::default();
+        assert_eq!(exact(&gen::path_graph(8), &cfg), 1);
+        assert_eq!(exact(&gen::cycle_graph(9), &cfg), 2);
+        assert_eq!(exact(&gen::complete_graph(6), &cfg), 5);
+        assert_eq!(exact(&gen::grid_graph(3, 3), &cfg), 3);
+        assert_eq!(exact(&gen::grid_graph(4, 4), &cfg), 4);
+    }
+
+    #[test]
+    fn matches_exhaustive_all_toggle_combinations() {
+        for seed in 0..8u64 {
+            let g = gen::random_gnp(8, 0.4, seed);
+            let truth = exhaustive_tw(&g);
+            for pr2 in [false, true] {
+                for red in [false, true] {
+                    for dup in [false, true] {
+                        let cfg = SearchConfig {
+                            use_pr2: pr2,
+                            use_reductions: red,
+                            use_duplicate_detection: dup,
+                            ..SearchConfig::default()
+                        };
+                        assert_eq!(
+                            exact(&g, &cfg),
+                            truth,
+                            "seed {seed} pr2={pr2} red={red} dup={dup}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queen5_is_18() {
+        let out = astar_tw(&gen::queen_graph(5), &SearchConfig::default());
+        assert!(out.exact);
+        assert_eq!(out.upper, 18);
+    }
+
+    #[test]
+    fn agrees_with_bb() {
+        for seed in 20..28u64 {
+            let g = gen::random_gnp(10, 0.3, seed);
+            let cfg = SearchConfig::default();
+            let a = astar_tw(&g, &cfg);
+            let b = crate::bb_tw(&g, &cfg);
+            assert!(a.exact && b.exact);
+            assert_eq!(a.upper, b.upper, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_lower_bound() {
+        let g = gen::queen_graph(6);
+        let out = astar_tw(&g, &SearchConfig::budgeted(30));
+        assert!(!out.exact);
+        assert!(out.lower <= 25 && out.upper >= 25);
+        assert!(out.lower >= 1);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let cfg = SearchConfig::default();
+        assert_eq!(exact(&Graph::new(3), &cfg), 0);
+        assert_eq!(exact(&Graph::from_edges(2, [(0, 1)]), &cfg), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Branch and bound for generalized hypertree width (thesis Fig. 8.3).
+//!
+//! Searches elimination orderings of the primal graph; the cost of a
+//! partial ordering is the maximum **exact** cover size of the bags it has
+//! produced (Definition 17), so by Theorem 3 the minimum over complete
+//! orderings is `ghw(H)`. Pruning: the `tw-ksc` node lower bound (§8.1),
+//! the cover-monotonicity analogue of PR1, the non-adjacent swap rule
+//! (PR 2a, §8.3) and the ghw-simplicial reduction (§8.2).
+
+use htd_core::ordering::EliminationOrdering;
+use htd_core::{CoverStrategy, GhwEvaluator};
+use htd_heuristics::upper::{min_degree, min_fill};
+use htd_hypergraph::{EliminationGraph, Hypergraph, Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::ghw_common::GhwContext;
+use crate::pruning::keep_child;
+
+/// Computes `ghw(h)` by branch and bound. Returns `None` when some vertex
+/// lies in no hyperedge (no GHD exists). Within budget the result is exact.
+pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
+    if !h.covers_all_vertices() {
+        return None;
+    }
+    let n = h.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = SearchStats::default();
+    if n == 0 {
+        return Some(SearchOutcome {
+            lower: 0,
+            upper: 0,
+            exact: true,
+            ordering: Some(EliminationOrdering::identity(0)),
+            stats,
+        });
+    }
+    let g = h.primal_graph();
+    // initial upper bound: best of min-fill / min-degree orderings under
+    // exact covering
+    let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+    let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
+    let mut best_order = cands[0].clone().into_vec();
+    let mut best_width = u32::MAX;
+    for c in &cands {
+        if let Some(w) = ev.width(c.as_slice()) {
+            if w < best_width {
+                best_width = w;
+                best_order = c.clone().into_vec();
+            }
+        }
+    }
+    let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
+    if lb0 >= best_width {
+        return Some(SearchOutcome {
+            lower: best_width,
+            upper: best_width,
+            exact: true,
+            ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+            stats,
+        });
+    }
+
+    let mut ctx = GhwContext::new(h);
+    let mut budget = Budget::new(cfg);
+    let mut eg = EliminationGraph::new(&g);
+    let mut order = Vec::with_capacity(n as usize);
+    let mut searcher = GhwSearcher {
+        cfg,
+        rng,
+        stats: &mut stats,
+        lb0,
+    };
+    let completed = searcher.dfs(
+        &mut ctx,
+        &mut eg,
+        0,
+        &mut order,
+        None,
+        &mut best_width,
+        &mut best_order,
+        &mut budget,
+    );
+    stats.expanded = budget.expanded;
+    stats.elapsed = budget.elapsed();
+    Some(SearchOutcome {
+        lower: if completed { best_width } else { lb0 },
+        upper: best_width,
+        exact: completed,
+        ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+        stats,
+    })
+}
+
+struct GhwSearcher<'a> {
+    cfg: &'a SearchConfig,
+    rng: StdRng,
+    stats: &'a mut SearchStats,
+    lb0: u32,
+}
+
+impl GhwSearcher<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        ctx: &mut GhwContext,
+        eg: &mut EliminationGraph,
+        g_width: u32,
+        order: &mut Vec<Vertex>,
+        swap_with_prev: Option<(Vertex, VertexSet)>,
+        best_width: &mut u32,
+        best_order: &mut Vec<Vertex>,
+        budget: &mut Budget,
+    ) -> bool {
+        if !budget.tick() {
+            return false;
+        }
+        let remaining = eg.num_alive();
+        if remaining == 0 {
+            if g_width < *best_width {
+                *best_width = g_width;
+                *best_order = order.clone();
+            }
+            return true;
+        }
+        // PR1 analogue: covers are monotone, so any completion's bags cost
+        // at most cover(alive set); greedy is enough for an upper bound
+        if let Some(alive_cover) = ctx.cover_greedy(eg.alive()) {
+            let w = g_width.max(alive_cover);
+            if w < *best_width {
+                *best_width = w;
+                let mut o = order.clone();
+                o.extend(eg.alive().iter());
+                *best_order = o;
+            }
+            if alive_cover <= g_width {
+                return true; // subtree width is exactly g, recorded above
+            }
+        }
+        // node lower bound
+        let h_val = ctx.node_lower_bound(eg, &mut self.rng).max(self.lb0);
+        let f = g_width.max(h_val);
+        if f >= *best_width {
+            self.stats.pruned += 1;
+            return true;
+        }
+        // children
+        let (children, reduced) = if self.cfg.use_reductions {
+            match ctx.find_ghw_reducible(eg) {
+                Some(v) => (vec![v], true),
+                None => (sorted_children(eg), false),
+            }
+        } else {
+            (sorted_children(eg), false)
+        };
+        let mut completed = true;
+        for v in children {
+            if self.cfg.use_pr2 && !reduced {
+                if let Some((prev, ref set)) = swap_with_prev {
+                    if !keep_child(prev, v, set.contains(v)) {
+                        self.stats.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let swap_set = if self.cfg.use_pr2 {
+                let mut s = VertexSet::new(eg.capacity());
+                for u in eg.alive().iter() {
+                    if u != v && GhwContext::swappable_ghw(eg, v, u) {
+                        s.insert(u);
+                    }
+                }
+                Some((v, s))
+            } else {
+                None
+            };
+            let bag = eg.bag(v);
+            let Some(bag_cover) = ctx.cover_exact(&bag) else {
+                // uncoverable bag cannot happen when all vertices covered
+                continue;
+            };
+            let child_g = g_width.max(bag_cover);
+            if child_g >= *best_width {
+                self.stats.pruned += 1;
+                continue;
+            }
+            let mark = eg.log_len();
+            eg.eliminate(v);
+            order.push(v);
+            self.stats.generated += 1;
+            completed &= self.dfs(
+                ctx, eg, child_g, order, swap_set, best_width, best_order, budget,
+            );
+            order.pop();
+            eg.undo_to(mark);
+            if !completed && budget.expanded > self.cfg.max_nodes {
+                break;
+            }
+        }
+        completed
+    }
+}
+
+fn sorted_children(eg: &EliminationGraph) -> Vec<Vertex> {
+    let mut vs: Vec<Vertex> = eg.alive().to_vec();
+    vs.sort_by_key(|&v| eg.degree(v));
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_ghw;
+    use htd_hypergraph::gen;
+
+    fn exact(h: &Hypergraph, cfg: &SearchConfig) -> u32 {
+        let out = bb_ghw(h, cfg).expect("coverable");
+        assert!(out.exact, "expected exact");
+        // verify the ordering really achieves the upper bound
+        let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+        let achieved = ev.width(out.ordering.as_ref().unwrap().as_slice()).unwrap();
+        assert!(achieved <= out.upper);
+        out.upper
+    }
+
+    #[test]
+    fn known_families() {
+        let cfg = SearchConfig::default();
+        // acyclic chain
+        let h = Hypergraph::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
+        assert_eq!(exact(&h, &cfg), 1);
+        // thesis example
+        let th = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        assert_eq!(exact(&th, &cfg), 2);
+        // triangle of binary edges
+        let t = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(exact(&t, &cfg), 2);
+        // clique hypergraphs: ghw = ⌈k/2⌉
+        assert_eq!(exact(&gen::clique_hypergraph(6), &cfg), 3);
+        assert_eq!(exact(&gen::clique_hypergraph(7), &cfg), 4);
+    }
+
+    #[test]
+    fn adder_family_has_small_ghw() {
+        let cfg = SearchConfig::default();
+        let w = exact(&gen::adder(3), &cfg);
+        assert!(w <= 2, "adder(3) ghw = {w}");
+        assert!(w >= 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_all_toggle_combinations() {
+        for seed in 0..10u64 {
+            let h = gen::random_uniform(7, 8, 3, seed);
+            if !h.covers_all_vertices() {
+                continue;
+            }
+            let truth = exhaustive_ghw(&h).unwrap();
+            for pr2 in [false, true] {
+                for red in [false, true] {
+                    let cfg = SearchConfig {
+                        use_pr2: pr2,
+                        use_reductions: red,
+                        ..SearchConfig::default()
+                    };
+                    assert_eq!(
+                        exact(&h, &cfg),
+                        truth,
+                        "seed {seed} pr2={pr2} red={red}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_generated_instances_have_ghw_1() {
+        let cfg = SearchConfig::default();
+        for seed in 0..5 {
+            let h = gen::random_acyclic(8, 3, seed);
+            assert_eq!(exact(&h, &cfg), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let h = Hypergraph::new(3, vec![vec![0, 1]]);
+        assert!(bb_ghw(&h, &SearchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_valid_bounds() {
+        let h = gen::grid2d(6);
+        let out = bb_ghw(&h, &SearchConfig::budgeted(20)).unwrap();
+        assert!(out.lower <= out.upper);
+    }
+}

@@ -1,0 +1,302 @@
+//! Depth-first branch and bound for treewidth (thesis §4.4, after
+//! QuickBB [24] and BB-tw [5]).
+
+use htd_core::ordering::EliminationOrdering;
+use htd_heuristics::{lower::minor_min_width, reduce, upper::min_fill};
+use htd_hypergraph::{EliminationGraph, Graph, Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::pruning::{keep_child, swappable};
+
+/// Computes the treewidth of `g` by branch and bound over elimination
+/// orderings. Within budget the result is exact; otherwise `lower`/`upper`
+/// are valid anytime bounds.
+///
+/// ```
+/// use htd_search::{bb_tw, SearchConfig};
+/// use htd_hypergraph::gen;
+/// let out = bb_tw(&gen::grid_graph(4, 4), &SearchConfig::default());
+/// assert_eq!(out.exact_width(), Some(4));
+/// ```
+pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    if n == 0 {
+        return SearchOutcome {
+            lower: 0,
+            upper: 0,
+            exact: true,
+            ordering: Some(EliminationOrdering::identity(0)),
+            stats: SearchStats::default(),
+        };
+    }
+    // initial bounds
+    let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
+    let h0 = min_fill(g, &mut rng);
+    let mut best_width = h0.width;
+    let mut best_order: Vec<Vertex> = h0.ordering.into_vec();
+    if lb0 >= best_width {
+        return SearchOutcome {
+            lower: best_width,
+            upper: best_width,
+            exact: true,
+            ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+            stats: SearchStats::default(),
+        };
+    }
+
+    let mut budget = Budget::new(cfg);
+    let mut stats = SearchStats::default();
+    let mut eg = EliminationGraph::new(g);
+    let mut order: Vec<Vertex> = Vec::with_capacity(n as usize);
+    let mut searcher = Searcher {
+        cfg,
+        rng,
+        stats: &mut stats,
+    };
+    let completed = searcher.dfs(
+        &mut eg,
+        0,
+        &mut order,
+        None,
+        &mut best_width,
+        &mut best_order,
+        &mut budget,
+        lb0,
+    );
+    stats.expanded = budget.expanded;
+    stats.elapsed = budget.elapsed();
+    SearchOutcome {
+        lower: if completed { best_width } else { lb0 },
+        upper: best_width,
+        exact: completed,
+        ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+        stats,
+    }
+}
+
+struct Searcher<'a> {
+    cfg: &'a SearchConfig,
+    rng: StdRng,
+    stats: &'a mut SearchStats,
+}
+
+impl Searcher<'_> {
+    /// Depth-first search. Returns `false` iff the budget was exhausted
+    /// somewhere below (result no longer guaranteed exact).
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        eg: &mut EliminationGraph,
+        g_width: u32,
+        order: &mut Vec<Vertex>,
+        // vertices swappable with the vertex eliminated to reach this node
+        swap_with_prev: Option<(Vertex, VertexSet)>,
+        best_width: &mut u32,
+        best_order: &mut Vec<Vertex>,
+        budget: &mut Budget,
+        lb0: u32,
+    ) -> bool {
+        if !budget.tick() {
+            return false;
+        }
+        let remaining = eg.num_alive();
+        if remaining == 0 {
+            if g_width < *best_width {
+                *best_width = g_width;
+                *best_order = order.clone();
+            }
+            return true;
+        }
+        // PR1: any completion has width ≤ max(g, remaining-1); record it.
+        let w = g_width.max(remaining - 1);
+        if w < *best_width {
+            *best_width = w;
+            let mut o = order.clone();
+            o.extend(eg.alive().iter());
+            *best_order = o;
+        }
+        if remaining - 1 <= g_width {
+            return true; // subtree width is exactly g, already recorded
+        }
+        // node lower bound
+        let sub = alive_graph(eg);
+        let h = minor_min_width(&sub, &mut self.rng).max(lb0);
+        let f = g_width.max(h);
+        if f >= *best_width {
+            self.stats.pruned += 1;
+            return true;
+        }
+        // children: reduction-forced single child, or all alive vertices
+        let (children, reduced) = if self.cfg.use_reductions {
+            match reduce::find_reducible(eg, f) {
+                Some(v) => (vec![v], true),
+                None => (sorted_children(eg), false),
+            }
+        } else {
+            (sorted_children(eg), false)
+        };
+        let mut completed = true;
+        for v in children {
+            // PR2: skip children that are canonical-order duplicates
+            if self.cfg.use_pr2 && !reduced {
+                if let Some((prev, ref swap_set)) = swap_with_prev {
+                    if !keep_child(prev, v, swap_set.contains(v)) {
+                        self.stats.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            // precompute swappability of v with the surviving vertices
+            // (both alive here) for the child's own PR2 filter
+            let swap_set = if self.cfg.use_pr2 {
+                let mut s = VertexSet::new(eg.capacity());
+                for u in eg.alive().iter() {
+                    if u != v && swappable(eg, v, u) {
+                        s.insert(u);
+                    }
+                }
+                Some((v, s))
+            } else {
+                None
+            };
+            let d = eg.degree(v);
+            let log_mark = eg.log_len();
+            eg.eliminate(v);
+            order.push(v);
+            self.stats.generated += 1;
+            let child_g = g_width.max(d);
+            if child_g < *best_width {
+                completed &= self.dfs(
+                    eg,
+                    child_g,
+                    order,
+                    swap_set,
+                    best_width,
+                    best_order,
+                    budget,
+                    lb0,
+                );
+            } else {
+                self.stats.pruned += 1;
+            }
+            order.pop();
+            eg.undo_to(log_mark);
+            if !completed && budget.expanded > self.cfg.max_nodes {
+                break; // hard stop
+            }
+        }
+        completed
+    }
+}
+
+/// Alive vertices sorted by ascending degree (cheap value ordering:
+/// low-degree vertices rarely hurt and find good incumbents early).
+fn sorted_children(eg: &EliminationGraph) -> Vec<Vertex> {
+    let mut vs: Vec<Vertex> = eg.alive().to_vec();
+    vs.sort_by_key(|&v| eg.degree(v));
+    vs
+}
+
+/// The subgraph induced by the alive vertices, renumbered.
+pub(crate) fn alive_graph(eg: &EliminationGraph) -> Graph {
+    let snap = eg.to_graph();
+    snap.induced_subgraph(eg.alive()).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::{exhaustive_tw, TwEvaluator};
+    use htd_hypergraph::gen;
+
+    fn exact(g: &Graph, cfg: &SearchConfig) -> u32 {
+        let out = bb_tw(g, cfg);
+        assert!(out.exact, "expected exact result");
+        // the returned ordering must achieve the reported upper bound
+        let o = out.ordering.as_ref().unwrap();
+        let mut ev = TwEvaluator::new(g);
+        assert!(ev.width(o.as_slice()) <= out.upper);
+        out.upper
+    }
+
+    #[test]
+    fn known_families() {
+        let cfg = SearchConfig::default();
+        assert_eq!(exact(&gen::path_graph(8), &cfg), 1);
+        assert_eq!(exact(&gen::cycle_graph(8), &cfg), 2);
+        assert_eq!(exact(&gen::complete_graph(7), &cfg), 6);
+        assert_eq!(exact(&gen::grid_graph(3, 3), &cfg), 3);
+        assert_eq!(exact(&gen::grid_graph(4, 4), &cfg), 4);
+        assert_eq!(exact(&gen::random_ktree(16, 4, 3), &cfg), 4);
+    }
+
+    #[test]
+    fn matches_exhaustive_all_toggle_combinations() {
+        for seed in 0..12u64 {
+            let g = gen::random_gnp(8, 0.4, seed);
+            let truth = exhaustive_tw(&g);
+            for pr2 in [false, true] {
+                for red in [false, true] {
+                    let cfg = SearchConfig {
+                        use_pr2: pr2,
+                        use_reductions: red,
+                        ..SearchConfig::default()
+                    };
+                    let got = exact(&g, &cfg);
+                    assert_eq!(
+                        got, truth,
+                        "seed {seed} pr2={pr2} red={red}: {got} != {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queen5_is_18() {
+        // the thesis's Table 5.1 reports tw(queen5_5) = 18
+        let g = gen::queen_graph(5);
+        let out = bb_tw(&g, &SearchConfig::default());
+        assert!(out.exact);
+        assert_eq!(out.upper, 18);
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_valid_bounds() {
+        let g = gen::queen_graph(6);
+        let out = bb_tw(&g, &SearchConfig::budgeted(50));
+        assert!(!out.exact);
+        assert!(out.lower <= out.upper);
+        // Table 5.1: tw(queen6_6) = 25
+        assert!(out.lower <= 25);
+        assert!(out.upper >= 25);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let cfg = SearchConfig::default();
+        assert_eq!(exact(&Graph::new(1), &cfg), 0);
+        assert_eq!(exact(&Graph::new(5), &cfg), 0);
+        let out = bb_tw(&Graph::new(0), &cfg);
+        assert!(out.exact);
+        assert_eq!(out.upper, 0);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let g = gen::queen_graph(4);
+        let full = bb_tw(&g, &SearchConfig::default());
+        let bare = bb_tw(&g, &SearchConfig::default().without_pruning());
+        assert!(full.exact && bare.exact);
+        assert_eq!(full.upper, bare.upper);
+        assert!(
+            full.stats.expanded <= bare.stats.expanded,
+            "pruning should not expand more nodes ({} vs {})",
+            full.stats.expanded,
+            bare.stats.expanded
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared search configuration, budgets and outcome reporting.
+
+use std::time::{Duration, Instant};
+
+use htd_core::ordering::EliminationOrdering;
+
+/// Toggles and budgets shared by all four searches.
+///
+/// The pruning toggles exist both because they are the thesis's knobs and
+/// because the ablation benches measure each rule's contribution.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Maximum number of expanded nodes before giving up (anytime result).
+    pub max_nodes: u64,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Apply pruning rule 2 (adjacent-swap symmetry breaking, §4.4.5).
+    pub use_pr2: bool,
+    /// Apply simplicial / strongly-almost-simplicial reductions (§4.4.3).
+    pub use_reductions: bool,
+    /// A* only: detect duplicate eliminated-vertex sets and keep the best.
+    pub use_duplicate_detection: bool,
+    /// Seed for the randomized bound heuristics.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_nodes: 10_000_000,
+            time_limit: None,
+            use_pr2: true,
+            use_reductions: true,
+            use_duplicate_detection: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration with a small node budget, for quick anytime runs.
+    pub fn budgeted(max_nodes: u64) -> Self {
+        SearchConfig {
+            max_nodes,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Disables every optional pruning rule (for ablations / baselines).
+    pub fn without_pruning(mut self) -> Self {
+        self.use_pr2 = false;
+        self.use_reductions = false;
+        self.use_duplicate_detection = false;
+        self
+    }
+}
+
+/// Counters reported by every search.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Nodes expanded (states visited).
+    pub expanded: u64,
+    /// Nodes generated (states evaluated and queued/recursed).
+    pub generated: u64,
+    /// Nodes discarded by pruning rules.
+    pub pruned: u64,
+    /// Peak size of the A* priority queue (0 for depth-first searches).
+    pub max_queue: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// The anytime result of a search: a certified interval on the width.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Proven lower bound.
+    pub lower: u32,
+    /// Achieved upper bound (a decomposition of this width exists).
+    pub upper: u32,
+    /// `true` iff `lower == upper` was proven before the budget ran out.
+    pub exact: bool,
+    /// An ordering achieving `upper`, when one was constructed.
+    pub ordering: Option<EliminationOrdering>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// The width if proven exact.
+    pub fn exact_width(&self) -> Option<u32> {
+        self.exact.then_some(self.upper)
+    }
+}
+
+/// Internal deadline/budget tracker.
+#[derive(Debug)]
+pub(crate) struct Budget {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_nodes: u64,
+    pub(crate) expanded: u64,
+}
+
+impl Budget {
+    pub(crate) fn new(cfg: &SearchConfig) -> Self {
+        let start = Instant::now();
+        Budget {
+            start,
+            deadline: cfg.time_limit.map(|d| start + d),
+            max_nodes: cfg.max_nodes,
+            expanded: 0,
+        }
+    }
+
+    /// Counts one expansion; `true` while within budget. The time check is
+    /// amortized (every 256 expansions).
+    #[inline]
+    pub(crate) fn tick(&mut self) -> bool {
+        self.expanded += 1;
+        if self.expanded > self.max_nodes {
+            return false;
+        }
+        if self.expanded & 0xFF == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_node_limit() {
+        let cfg = SearchConfig::budgeted(3);
+        let mut b = Budget::new(&cfg);
+        assert!(b.tick());
+        assert!(b.tick());
+        assert!(b.tick());
+        assert!(!b.tick());
+    }
+
+    #[test]
+    fn budget_time_limit() {
+        let cfg = SearchConfig {
+            time_limit: Some(Duration::from_millis(0)),
+            ..SearchConfig::default()
+        };
+        let mut b = Budget::new(&cfg);
+        // the amortized check fires at expansion 256
+        let mut stopped = false;
+        for _ in 0..1000 {
+            if !b.tick() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+    }
+
+    #[test]
+    fn without_pruning_clears_toggles() {
+        let cfg = SearchConfig::default().without_pruning();
+        assert!(!cfg.use_pr2 && !cfg.use_reductions && !cfg.use_duplicate_detection);
+    }
+}

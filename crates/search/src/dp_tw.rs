@@ -1,0 +1,160 @@
+//! Dynamic programming over vertex subsets for treewidth (the
+//! Bodlaender–Fomin–Koster–Kratsch–Thilikos "BT" recurrence).
+//!
+//! `opt(S)` — the minimum over orderings eliminating exactly the set `S`
+//! first of the maximum degree met — satisfies
+//!
+//! ```text
+//! opt(S) = min over v ∈ S of max( opt(S \ {v}),  |Q(S \ {v}, v)| )
+//! ```
+//!
+//! where `Q(R, v)` is the set of vertices outside `R ∪ {v}` reachable from
+//! `v` through `R` — exactly the degree of `v` after eliminating `R`.
+//! A breadth-first sweep over subset lattice layers gives the treewidth in
+//! `O(2^n · n²)` time and `O(2^n)` space: the exact baseline the
+//! branch-and-bound searches are validated against for `n` up to ~20,
+//! far beyond the `n ≤ 8` reach of factorial enumeration.
+
+use std::collections::HashMap;
+
+use htd_hypergraph::Graph;
+
+/// Exact treewidth by subset dynamic programming. Practical to `n ≈ 20`.
+///
+/// ```
+/// use htd_search::dp_treewidth;
+/// use htd_hypergraph::gen;
+/// assert_eq!(dp_treewidth(&gen::cycle_graph(12)), 2);
+/// assert_eq!(dp_treewidth(&gen::complete_graph(9)), 8);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `g` has more than 30 vertices (the table would not fit).
+pub fn dp_treewidth(g: &Graph) -> u32 {
+    let n = g.num_vertices();
+    assert!(n <= 30, "subset DP needs 2^n table entries");
+    if n == 0 {
+        return 0;
+    }
+    // adjacency as u32 masks for speed
+    let adj: Vec<u32> = (0..n)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .fold(0u32, |m, u| m | (1 << u))
+        })
+        .collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    // layer-by-layer over subset sizes; opt maps subset -> width
+    let mut layer: HashMap<u32, u32> = HashMap::new();
+    layer.insert(0, 0);
+    for _size in 0..n {
+        let mut next: HashMap<u32, u32> = HashMap::new();
+        for (&s, &w) in &layer {
+            let remaining = full & !s;
+            let mut m = remaining;
+            while m != 0 {
+                let v = m.trailing_zeros();
+                m &= m - 1;
+                let deg = q_degree(&adj, s, v, full);
+                let cand = w.max(deg);
+                let ns = s | (1 << v);
+                match next.get_mut(&ns) {
+                    Some(best) => {
+                        if cand < *best {
+                            *best = cand;
+                        }
+                    }
+                    None => {
+                        next.insert(ns, cand);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    layer[&full]
+}
+
+/// `|Q(S, v)|`: neighbors of the component of `v` in `S ∪ {v}` that lie
+/// outside `S ∪ {v}` — the degree of `v` once `S` is eliminated.
+fn q_degree(adj: &[u32], s: u32, v: u32, full: u32) -> u32 {
+    let sv = s | (1 << v);
+    // flood from v through S
+    let mut comp = 1u32 << v;
+    let mut frontier = comp;
+    while frontier != 0 {
+        let mut reach = 0u32;
+        let mut m = frontier;
+        while m != 0 {
+            let u = m.trailing_zeros();
+            m &= m - 1;
+            reach |= adj[u as usize];
+        }
+        frontier = reach & s & !comp;
+        comp |= frontier;
+    }
+    // outside neighbors of the component
+    let mut out = 0u32;
+    let mut m = comp;
+    while m != 0 {
+        let u = m.trailing_zeros();
+        m &= m - 1;
+        out |= adj[u as usize];
+    }
+    (out & full & !sv).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::exhaustive_tw;
+    use htd_hypergraph::gen;
+
+    #[test]
+    fn known_families() {
+        assert_eq!(dp_treewidth(&gen::path_graph(10)), 1);
+        assert_eq!(dp_treewidth(&gen::cycle_graph(10)), 2);
+        assert_eq!(dp_treewidth(&gen::complete_graph(8)), 7);
+        assert_eq!(dp_treewidth(&gen::grid_graph(3, 3)), 3);
+        assert_eq!(dp_treewidth(&gen::grid_graph(4, 4)), 4);
+        assert_eq!(dp_treewidth(&gen::grid_graph(4, 5)), 4);
+        assert_eq!(dp_treewidth(&Graph::new(5)), 0);
+        assert_eq!(dp_treewidth(&Graph::new(0)), 0);
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        for seed in 0..15u64 {
+            let g = gen::random_gnp(8, 0.4, seed);
+            assert_eq!(dp_treewidth(&g), exhaustive_tw(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_branch_and_bound_beyond_exhaustive_reach() {
+        use crate::{bb_tw, SearchConfig};
+        for seed in 0..6u64 {
+            let g = gen::random_gnp(14, 0.25, seed);
+            let bb = bb_tw(&g, &SearchConfig::default());
+            assert!(bb.exact);
+            assert_eq!(dp_treewidth(&g), bb.upper, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ktrees_have_width_k() {
+        for k in 2..5u32 {
+            let g = gen::random_ktree(15, k, k as u64 + 7);
+            assert_eq!(dp_treewidth(&g), k);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        // two triangles
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(dp_treewidth(&g), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared machinery of the generalized-hypertree-width searches.
+
+use std::collections::HashMap;
+
+use htd_hypergraph::{EliminationGraph, Hypergraph, Vertex, VertexSet};
+use htd_setcover::exact::{CoverResult, ExactCover};
+use rand::rngs::StdRng;
+
+use crate::bb_tw::alive_graph;
+
+/// Hypergraph context shared by BB-ghw and A*-ghw: edge scopes, incidence,
+/// a memoized exact-cover oracle and the per-node lower bound.
+pub(crate) struct GhwContext {
+    pub edges: Vec<VertexSet>,
+    pub incident: Vec<Vec<u32>>,
+    pub rank: u32,
+    /// bag (bitset blocks) → exact minimum cover size
+    cache: HashMap<Vec<u64>, u32>,
+}
+
+impl GhwContext {
+    pub fn new(h: &Hypergraph) -> Self {
+        GhwContext {
+            edges: h.edges().to_vec(),
+            incident: (0..h.num_vertices())
+                .map(|v| h.incident_edges(v).to_vec())
+                .collect(),
+            rank: h.rank(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Exact minimum cover of `bag` by hyperedges, memoized.
+    /// Returns `None` for uncoverable bags.
+    pub fn cover_exact(&mut self, bag: &VertexSet) -> Option<u32> {
+        if bag.is_empty() {
+            return Some(0);
+        }
+        if let Some(&c) = self.cache.get(bag.blocks()) {
+            return (c != u32::MAX).then_some(c);
+        }
+        // candidates: edges touching the bag
+        let mut cands: Vec<VertexSet> = Vec::new();
+        let mut stamp = vec![false; self.edges.len()];
+        for v in bag.iter() {
+            for &e in &self.incident[v as usize] {
+                if !stamp[e as usize] {
+                    stamp[e as usize] = true;
+                    cands.push(self.edges[e as usize].clone());
+                }
+            }
+        }
+        let size = match ExactCover::new(&cands).cover(bag) {
+            CoverResult::Optimal(c) => Some(c.len() as u32),
+            CoverResult::Truncated(c) => Some(c.len() as u32), // unbudgeted: unreachable
+            CoverResult::Uncoverable => None,
+        };
+        self.cache
+            .insert(bag.blocks().to_vec(), size.unwrap_or(u32::MAX));
+        size
+    }
+
+    /// Greedy cover of `bag` — used for the PR1-style achievable bound on
+    /// the whole alive set, where an exact cover would be exponential in
+    /// the set size and only an *upper* bound is needed.
+    pub fn cover_greedy(&self, bag: &VertexSet) -> Option<u32> {
+        if bag.is_empty() {
+            return Some(0);
+        }
+        let mut cands: Vec<&VertexSet> = Vec::new();
+        let mut stamp = vec![false; self.edges.len()];
+        for v in bag.iter() {
+            for &e in &self.incident[v as usize] {
+                if !stamp[e as usize] {
+                    stamp[e as usize] = true;
+                    cands.push(&self.edges[e as usize]);
+                }
+            }
+        }
+        let mut uncovered = bag.clone();
+        let mut count = 0u32;
+        while !uncovered.is_empty() {
+            let best = cands
+                .iter()
+                .map(|e| e.intersection_len(&uncovered))
+                .enumerate()
+                .max_by_key(|&(_, gain)| gain)?;
+            if best.1 == 0 {
+                return None;
+            }
+            uncovered.difference_with(cands[best.0]);
+            count += 1;
+        }
+        Some(count)
+    }
+
+    /// The ghw-simplicial reduction: a vertex whose closed neighborhood is
+    /// contained in a single hyperedge may be eliminated immediately (its
+    /// bag costs 1 and removing it cannot raise the optimum).
+    pub fn find_ghw_reducible(&self, eg: &EliminationGraph) -> Option<Vertex> {
+        eg.alive().iter().find(|&v| {
+            let bag = eg.bag(v);
+            self.incident[v as usize]
+                .iter()
+                .any(|&e| bag.is_subset(&self.edges[e as usize]))
+        })
+    }
+
+    /// Per-node lower bound on the cover width of any completion: some
+    /// future bag has at least `tw_lb(G') + 1` vertices (the completion is
+    /// a tree decomposition of the current graph) and covering `s` vertices
+    /// needs `⌈s / rank⌉` edges (§8.1).
+    pub fn node_lower_bound(&self, eg: &EliminationGraph, rng: &mut StdRng) -> u32 {
+        if eg.num_alive() == 0 {
+            return 0;
+        }
+        let sub = alive_graph(eg);
+        let tw_lb = htd_heuristics::lower::minor_min_width(&sub, rng);
+        htd_setcover::ksc_lower_bound(tw_lb + 1, self.rank)
+    }
+
+    /// Swap rule for ghw searches: only the **non-adjacent** case of PR2 is
+    /// used — swapping two non-adjacent consecutive eliminations produces
+    /// the identical bag *sets*, hence identical cover widths. (The
+    /// adjacent case of PR2 only preserves bag cardinalities, which is
+    /// enough for treewidth but not for cover width.)
+    pub fn swappable_ghw(eg: &EliminationGraph, v: Vertex, w: Vertex) -> bool {
+        !eg.has_edge(v, w)
+    }
+}

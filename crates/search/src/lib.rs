@@ -1,0 +1,40 @@
+//! Exact search algorithms for treewidth and generalized hypertree width.
+//!
+//! Four algorithms, all searching the space of elimination orderings:
+//!
+//! * [`bb_tw`] — depth-first branch and bound for treewidth
+//!   (the QuickBB / BB-tw scheme of thesis §4.4);
+//! * [`astar_tw`] — best-first A* for treewidth (thesis Fig. 5.1);
+//! * [`bb_ghw`] — branch and bound for generalized hypertree width
+//!   (thesis Fig. 8.3), sound and complete by Theorem 3;
+//! * [`astar_ghw`] — A* for generalized hypertree width (thesis Fig. 9.1).
+//! * [`detk`] — det-k-decomp, the canonical backtracking algorithm for
+//!   *hypertree* decompositions (`hw`), included as the literature
+//!   baseline satisfying `ghw ≤ hw`.
+//!
+//! All four share [`SearchConfig`] (budgets and pruning toggles) and report
+//! a [`SearchOutcome`] with anytime lower/upper bounds: interrupted runs
+//! still return valid bounds, exactly as the thesis's one-hour-limit runs
+//! report the `f`-value of the last visited state as a lower bound (§5.3).
+
+#![warn(missing_docs)]
+
+pub mod astar_ghw;
+pub mod astar_tw;
+pub mod bb_ghw;
+pub mod bb_tw;
+pub mod config;
+pub mod detk;
+pub mod dp_tw;
+pub mod parallel;
+pub(crate) mod ghw_common;
+pub mod pruning;
+
+pub use astar_ghw::astar_ghw;
+pub use astar_tw::astar_tw;
+pub use bb_ghw::bb_ghw;
+pub use bb_tw::bb_tw;
+pub use config::{SearchConfig, SearchOutcome, SearchStats};
+pub use detk::{det_k_decomp, hypertree_width};
+pub use dp_tw::dp_treewidth;
+pub use parallel::bb_tw_parallel;

@@ -1,0 +1,271 @@
+//! Parallel branch and bound for treewidth.
+//!
+//! The depth-first search of [`bb_tw`](crate::bb_tw) parallelizes at the
+//! root: each first-eliminated vertex spawns an independent subtree, and
+//! the incumbent upper bound is shared through an atomic so a good
+//! solution found by one worker immediately tightens every other worker's
+//! pruning. Workers never block each other (the ordering behind the
+//! incumbent is folded in afterwards), so this is the textbook
+//! shared-bound parallel B&B.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use htd_core::ordering::{EliminationOrdering, TwEvaluator};
+use htd_heuristics::{lower::minor_min_width, reduce, upper::min_fill};
+use htd_hypergraph::{EliminationGraph, Graph, Vertex};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bb_tw::alive_graph;
+use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+
+/// Parallel BB-tw across `threads` workers. Semantics match
+/// [`bb_tw`](crate::bb_tw): exact within budget (the node budget applies
+/// per worker), anytime bounds otherwise. The PR2 toggle is ignored here —
+/// its sibling-branch bookkeeping does not cross worker boundaries — so
+/// workers prune with PR1, reductions and the shared incumbent only.
+pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOutcome {
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    if n == 0 || threads <= 1 {
+        return crate::bb_tw(g, cfg);
+    }
+    let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
+    let h0 = min_fill(g, &mut rng);
+    if lb0 >= h0.width {
+        return SearchOutcome {
+            lower: h0.width,
+            upper: h0.width,
+            exact: true,
+            ordering: Some(h0.ordering),
+            stats: SearchStats::default(),
+        };
+    }
+    let best = AtomicU32::new(h0.width);
+    let best_order: Mutex<Vec<Vertex>> = Mutex::new(h0.ordering.clone().into_vec());
+
+    // root children: reduction-forced single child or all vertices
+    let base = EliminationGraph::new(g);
+    let roots: Vec<Vertex> = if cfg.use_reductions {
+        match reduce::find_reducible(&base, lb0) {
+            Some(v) => vec![v],
+            None => (0..n).collect(),
+        }
+    } else {
+        (0..n).collect()
+    };
+    // round-robin chunks so heavy subtrees spread across workers
+    let chunks: Vec<Vec<Vertex>> = (0..threads)
+        .map(|t| {
+            roots
+                .iter()
+                .copied()
+                .skip(t)
+                .step_by(threads)
+                .collect::<Vec<_>>()
+        })
+        .filter(|c| !c.is_empty())
+        .collect();
+
+    let start = std::time::Instant::now();
+    let results: Vec<(bool, SearchStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(t, chunk)| {
+                let best = &best;
+                let best_order = &best_order;
+                scope.spawn(move |_| {
+                    worker(g, cfg, lb0, chunk, t as u64, best, best_order)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("scope");
+
+    let exact = results.iter().all(|(done, _)| *done);
+    let mut stats = SearchStats::default();
+    for (_, s) in &results {
+        stats.expanded += s.expanded;
+        stats.generated += s.generated;
+        stats.pruned += s.pruned;
+    }
+    stats.elapsed = start.elapsed();
+    let upper = best.load(Ordering::SeqCst);
+    let order = best_order.into_inner();
+    // the recorded ordering may be a PR1-completed prefix; re-evaluate to
+    // confirm it achieves the bound
+    debug_assert!({
+        let mut ev = TwEvaluator::new(g);
+        ev.width(&order) <= upper
+    });
+    SearchOutcome {
+        lower: if exact { upper } else { lb0 },
+        upper,
+        exact,
+        ordering: Some(EliminationOrdering::new_unchecked(order)),
+        stats,
+    }
+}
+
+/// One worker: depth-first over its root subset with the shared incumbent.
+fn worker(
+    g: &Graph,
+    cfg: &SearchConfig,
+    lb0: u32,
+    roots: &[Vertex],
+    salt: u64,
+    best: &AtomicU32,
+    best_order: &Mutex<Vec<Vertex>>,
+) -> (bool, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut budget = Budget::new(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (salt << 32));
+    let mut eg = EliminationGraph::new(g);
+    let mut order: Vec<Vertex> = Vec::new();
+    let mut completed = true;
+    for &v in roots {
+        let d = eg.degree(v);
+        let mark = eg.log_len();
+        eg.eliminate(v);
+        order.push(v);
+        completed &= dfs(
+            g, cfg, lb0, &mut eg, d, &mut order, best, best_order, &mut budget, &mut rng,
+            &mut stats,
+        );
+        order.pop();
+        eg.undo_to(mark);
+        if !completed {
+            break;
+        }
+    }
+    stats.expanded = budget.expanded;
+    (completed, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &Graph,
+    cfg: &SearchConfig,
+    lb0: u32,
+    eg: &mut EliminationGraph,
+    g_width: u32,
+    order: &mut Vec<Vertex>,
+    best: &AtomicU32,
+    best_order: &Mutex<Vec<Vertex>>,
+    budget: &mut Budget,
+    rng: &mut StdRng,
+    stats: &mut SearchStats,
+) -> bool {
+    if !budget.tick() {
+        return false;
+    }
+    let remaining = eg.num_alive();
+    let record = |width: u32, order: &[Vertex], eg: &EliminationGraph| {
+        // CAS-min on the shared incumbent
+        let mut cur = best.load(Ordering::SeqCst);
+        while width < cur {
+            match best.compare_exchange(cur, width, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    let mut o = order.to_vec();
+                    o.extend(eg.alive().iter());
+                    *best_order.lock() = o;
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    };
+    if remaining == 0 {
+        record(g_width, order, eg);
+        return true;
+    }
+    let w = g_width.max(remaining - 1);
+    record(w, order, eg);
+    if remaining - 1 <= g_width {
+        return true;
+    }
+    let h = minor_min_width(&alive_graph(eg), rng).max(lb0);
+    if g_width.max(h) >= best.load(Ordering::SeqCst) {
+        stats.pruned += 1;
+        return true;
+    }
+    let children: Vec<Vertex> = if cfg.use_reductions {
+        match reduce::find_reducible(eg, g_width.max(h)) {
+            Some(v) => vec![v],
+            None => eg.alive().to_vec(),
+        }
+    } else {
+        eg.alive().to_vec()
+    };
+    let mut completed = true;
+    for v in children {
+        let d = eg.degree(v);
+        let child_g = g_width.max(d);
+        if child_g >= best.load(Ordering::SeqCst) {
+            stats.pruned += 1;
+            continue;
+        }
+        let mark = eg.log_len();
+        eg.eliminate(v);
+        order.push(v);
+        stats.generated += 1;
+        completed &= dfs(
+            g, cfg, lb0, eg, child_g, order, best, best_order, budget, rng, stats,
+        );
+        order.pop();
+        eg.undo_to(mark);
+        if !completed {
+            break;
+        }
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::gen;
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = gen::random_gnp(10, 0.35, seed);
+            let cfg = SearchConfig::default();
+            let seq = crate::bb_tw(&g, &cfg);
+            for threads in [2usize, 4] {
+                let par = bb_tw_parallel(&g, &cfg, threads);
+                assert!(par.exact, "seed {seed} threads {threads}");
+                assert_eq!(par.upper, seq.upper, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn queen5_parallel() {
+        let g = gen::queen_graph(5);
+        let out = bb_tw_parallel(&g, &SearchConfig::default(), 4);
+        assert!(out.exact);
+        assert_eq!(out.upper, 18);
+        // the reported ordering achieves the bound
+        let mut ev = TwEvaluator::new(&g);
+        assert!(ev.width(out.ordering.unwrap().as_slice()) <= 18);
+    }
+
+    #[test]
+    fn single_thread_delegates() {
+        let g = gen::cycle_graph(8);
+        let out = bb_tw_parallel(&g, &SearchConfig::default(), 1);
+        assert!(out.exact);
+        assert_eq!(out.upper, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_still_bounds() {
+        let g = gen::queen_graph(6);
+        let out = bb_tw_parallel(&g, &SearchConfig::budgeted(30), 4);
+        assert!(out.lower <= 25 && out.upper >= 25);
+    }
+}

@@ -1,0 +1,112 @@
+//! Pruning rule 2: adjacent-swap symmetry breaking (thesis §4.4.5, [5]).
+//!
+//! If two consecutively eliminated vertices `v`, `w` are non-adjacent — or
+//! adjacent while each has a remaining neighbor that is not a neighbor of
+//! the other — then swapping them leaves the width unchanged. Of each such
+//! pair of sibling branches the search keeps only one, canonically the one
+//! eliminating the smaller-id vertex first.
+
+use htd_hypergraph::{EliminationGraph, Vertex};
+
+/// `true` iff eliminating `v` then `w` has the same width as `w` then `v`,
+/// evaluated on the graph in which **both** are still alive.
+pub fn swappable(eg: &EliminationGraph, v: Vertex, w: Vertex) -> bool {
+    if !eg.has_edge(v, w) {
+        return true;
+    }
+    // v needs a private neighbor (≠ w, not adjacent to w) and vice versa
+    let nv = eg.neighbors(v);
+    let nw = eg.neighbors(w);
+    let mut v_private = nv.difference(nw);
+    v_private.remove(w);
+    v_private.remove(v);
+    if v_private.is_empty() {
+        return false;
+    }
+    let mut w_private = nw.difference(nv);
+    w_private.remove(v);
+    w_private.remove(w);
+    !w_private.is_empty()
+}
+
+/// Filters the candidate children after eliminating `prev`: child `c` is
+/// pruned when `(prev, c)` is swappable and `c < prev` — the branch
+/// `…, c, prev, …` was (or will be) explored under the sibling order.
+///
+/// `swap_ok[c]` must hold the result of [`swappable`]`(eg, prev, c)`
+/// computed **before** `prev` was eliminated.
+pub fn keep_child(prev: Vertex, c: Vertex, swappable_with_prev: bool) -> bool {
+    !(swappable_with_prev && c < prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::Graph;
+
+    #[test]
+    fn non_adjacent_always_swappable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let eg = EliminationGraph::new(&g);
+        assert!(swappable(&eg, 0, 2));
+        assert!(swappable(&eg, 1, 3));
+    }
+
+    #[test]
+    fn adjacent_with_private_neighbors_swappable() {
+        // path 2-0-1-3: v=0, w=1 adjacent; 0 has private neighbor 2,
+        // 1 has private neighbor 3
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3)]);
+        let eg = EliminationGraph::new(&g);
+        assert!(swappable(&eg, 0, 1));
+        assert!(swappable(&eg, 1, 0));
+    }
+
+    #[test]
+    fn adjacent_without_private_neighbor_not_swappable() {
+        // triangle: neighbors of 0 and 1 coincide (vertex 2)
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let eg = EliminationGraph::new(&g);
+        assert!(!swappable(&eg, 0, 1));
+        // pendant edge: 0-1 only
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let eg = EliminationGraph::new(&g);
+        assert!(!swappable(&eg, 0, 1));
+    }
+
+    #[test]
+    fn keep_child_canonical_direction() {
+        assert!(keep_child(1, 2, true)); // larger child always kept
+        assert!(!keep_child(2, 1, true)); // smaller child pruned when swappable
+        assert!(keep_child(2, 1, false)); // not swappable: kept
+    }
+
+    #[test]
+    fn swap_preserves_width_property() {
+        // for random graphs and all swappable pairs (v,w), the width of
+        // eliminating v,w,rest equals w,v,rest
+        use htd_core::ordering::TwEvaluator;
+        for seed in 0..20u64 {
+            let g = htd_hypergraph::gen::random_gnp(8, 0.4, seed);
+            let eg = EliminationGraph::new(&g);
+            let mut ev = TwEvaluator::new(&g);
+            for v in 0..8u32 {
+                for w in 0..8u32 {
+                    if v == w || !swappable(&eg, v, w) {
+                        continue;
+                    }
+                    let rest: Vec<u32> = (0..8).filter(|&x| x != v && x != w).collect();
+                    let mut a = vec![v, w];
+                    a.extend(&rest);
+                    let mut b = vec![w, v];
+                    b.extend(&rest);
+                    assert_eq!(
+                        ev.width(&a),
+                        ev.width(&b),
+                        "seed {seed}, pair ({v},{w})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Fractional set covers by linear programming.
+//!
+//! The *fractional cover number* `ρ*(S)` of a vertex set — the optimum of
+//! `min Σ x_e` subject to `Σ_{e ∋ v} x_e ≥ 1` for all `v ∈ S`, `x ≥ 0` —
+//! replaces the integral cover in the definition of **fractional hypertree
+//! width**, the third width notion of the hypertree family
+//! (`fhw ≤ ghw ≤ hw`). We solve the LP through its dual packing form
+//! (`max Σ y_v` s.t. `Σ_{v ∈ e} y_v ≤ 1` per edge, `y ≥ 0`), whose
+//! all-slack basis is immediately feasible for a primal simplex with
+//! Bland's rule.
+
+use htd_hypergraph::VertexSet;
+
+const EPS: f64 = 1e-9;
+
+/// The fractional cover number of `target` under `edges`:
+/// `ρ*(target) ≤` the integral cover, with equality iff the LP has an
+/// integral optimum. Returns `None` when some target vertex lies in no
+/// edge (the LP is infeasible / unbounded dual).
+pub fn fractional_cover(target: &VertexSet, edges: &[VertexSet]) -> Option<f64> {
+    if target.is_empty() {
+        return Some(0.0);
+    }
+    let vars: Vec<u32> = target.to_vec(); // dual variables y_v
+    // every target vertex must occur in some edge
+    if vars
+        .iter()
+        .any(|&v| !edges.iter().any(|e| e.contains(v)))
+    {
+        return None;
+    }
+    // constraints: one per edge that intersects the target
+    let rows: Vec<Vec<f64>> = edges
+        .iter()
+        .filter(|e| !e.is_disjoint(target))
+        .map(|e| {
+            vars.iter()
+                .map(|&v| if e.contains(v) { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let c = vec![1.0; vars.len()];
+    let b = vec![1.0; rows.len()];
+    Some(simplex_max(&rows, &b, &c))
+}
+
+/// Primal simplex for `max cᵀy` s.t. `Ay ≤ b`, `y ≥ 0` with `b ≥ 0`
+/// (all-slack starting basis). Dense tableau with Bland's rule; sized for
+/// the small LPs of per-bag covers.
+pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> f64 {
+    let m = a.len();
+    let n = c.len();
+    if m == 0 {
+        // no constraints: the packing objective is unbounded unless c = 0;
+        // cover semantics never hit this (caller filters), return 0
+        return 0.0;
+    }
+    // tableau: m rows × (n + m + 1) columns (vars, slacks, rhs)
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0; cols]; m + 1];
+    for i in 0..m {
+        for j in 0..n {
+            t[i][j] = a[i][j];
+        }
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b[i];
+    }
+    for j in 0..n {
+        t[m][j] = -c[j]; // maximize: negative reduced costs
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    loop {
+        // Bland: entering = smallest index with negative reduced cost
+        let Some(pivot_col) = (0..cols - 1).find(|&j| t[m][j] < -EPS) else {
+            break;
+        };
+        // ratio test; Bland tie-break on basis index
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][pivot_col] > EPS {
+                let ratio = t[i][cols - 1] / t[i][pivot_col];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                if better {
+                    best_ratio = ratio;
+                    pivot_row = Some(i);
+                }
+            }
+        }
+        let Some(r) = pivot_row else {
+            // unbounded: cover semantics never hit this
+            return f64::INFINITY;
+        };
+        // pivot
+        let piv = t[r][pivot_col];
+        for j in 0..cols {
+            t[r][j] /= piv;
+        }
+        for i in 0..=m {
+            if i != r {
+                let f = t[i][pivot_col];
+                if f.abs() > EPS {
+                    for j in 0..cols {
+                        t[i][j] -= f * t[r][j];
+                    }
+                }
+            }
+        }
+        basis[r] = pivot_col;
+    }
+    t[m][cols - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn triangle_fractional_cover_is_three_halves() {
+        // cover {0,1,2} with edges {0,1},{1,2},{0,2}: integral 2,
+        // fractional 1.5 (each edge at 1/2) — the classic gap
+        let edges = vec![vs(3, &[0, 1]), vs(3, &[1, 2]), vs(3, &[0, 2])];
+        let f = fractional_cover(&vs(3, &[0, 1, 2]), &edges).unwrap();
+        assert!(close(f, 1.5), "got {f}");
+    }
+
+    #[test]
+    fn integral_instances_match_exact_cover() {
+        use crate::exact::ExactCover;
+        // chain of disjoint pairs: LP optimum is integral
+        let edges = vec![vs(6, &[0, 1]), vs(6, &[2, 3]), vs(6, &[4, 5])];
+        let t = VertexSet::full(6);
+        let f = fractional_cover(&t, &edges).unwrap();
+        let e = ExactCover::new(&edges).cover_size(&t).unwrap();
+        assert!(close(f, e as f64));
+    }
+
+    #[test]
+    fn single_big_edge_covers_for_one() {
+        let edges = vec![vs(5, &[0, 1, 2, 3, 4])];
+        assert!(close(
+            fractional_cover(&VertexSet::full(5), &edges).unwrap(),
+            1.0
+        ));
+    }
+
+    #[test]
+    fn empty_target_and_uncoverable() {
+        let edges = vec![vs(3, &[0])];
+        assert!(close(fractional_cover(&vs(3, &[]), &edges).unwrap(), 0.0));
+        assert!(fractional_cover(&vs(3, &[1]), &edges).is_none());
+    }
+
+    #[test]
+    fn fractional_never_exceeds_integral() {
+        use crate::exact::ExactCover;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..100 {
+            let n = rng.gen_range(2..=9u32);
+            let m = rng.gen_range(1..=7usize);
+            let edges: Vec<VertexSet> = (0..m)
+                .map(|_| {
+                    VertexSet::from_iter_with_capacity(
+                        n,
+                        (0..rng.gen_range(1..=n)).map(|_| rng.gen_range(0..n)),
+                    )
+                })
+                .collect();
+            let mut coverable = VertexSet::new(n);
+            for e in &edges {
+                coverable.union_with(e);
+            }
+            let frac = fractional_cover(&coverable, &edges).unwrap();
+            let exact = ExactCover::new(&edges).cover_size(&coverable).unwrap();
+            assert!(
+                frac <= exact as f64 + 1e-6,
+                "trial {trial}: frac {frac} > integral {exact}"
+            );
+            // LP lower bound: at least |coverable| / max edge gain
+            // (un-ceiled — the ceiling only bounds the integral cover)
+            let max_gain = edges
+                .iter()
+                .map(|e| e.intersection_len(&coverable))
+                .max()
+                .unwrap() as f64;
+            let ratio = coverable.len() as f64 / max_gain;
+            assert!(
+                frac + 1e-6 >= ratio,
+                "trial {trial}: frac {frac} < ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_cycle_of_pairs_is_half_length() {
+        // C5 as binary edges: fractional cover of all 5 vertices = 2.5
+        let edges: Vec<VertexSet> = (0..5).map(|i| vs(5, &[i, (i + 1) % 5])).collect();
+        let f = fractional_cover(&VertexSet::full(5), &edges).unwrap();
+        assert!(close(f, 2.5), "got {f}");
+    }
+}

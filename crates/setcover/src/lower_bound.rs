@@ -1,0 +1,140 @@
+//! Lower bounds for the k-set cover problem (thesis §8.1.1).
+//!
+//! The k-set cover problem is set cover where every set has at most `k`
+//! elements. Covering `s` elements with such sets needs at least `⌈s/k⌉`
+//! sets — the bound the thesis combines with treewidth lower bounds to
+//! bound the generalized hypertree width from below (§8.1.2).
+
+use htd_hypergraph::VertexSet;
+
+/// The trivial k-set-cover lower bound: covering `target_size` elements
+/// with sets of size at most `k` needs at least `⌈target_size / k⌉` sets.
+#[inline]
+pub fn ksc_lower_bound(target_size: u32, k: u32) -> u32 {
+    if target_size == 0 {
+        0
+    } else if k == 0 {
+        u32::MAX
+    } else {
+        target_size.div_ceil(k)
+    }
+}
+
+/// Instance-aware cover lower bound: `⌈|target| / g⌉`, where `g` is the
+/// largest number of target elements any single edge covers. Always at
+/// least as strong as [`ksc_lower_bound`] with `k = max |e|`, and exact
+/// whenever a partition into maximal edges exists.
+///
+/// Returns `u32::MAX` when `target` is non-empty but no edge touches it.
+pub fn cover_lower_bound(target: &VertexSet, edges: &[VertexSet]) -> u32 {
+    if target.is_empty() {
+        return 0;
+    }
+    let max_gain = edges
+        .iter()
+        .map(|e| e.intersection_len(target))
+        .max()
+        .unwrap_or(0);
+    if max_gain == 0 {
+        u32::MAX
+    } else {
+        target.len().div_ceil(max_gain)
+    }
+}
+
+/// A strengthened cover bound by greedy dual packing: picks pairwise
+/// "spread" target vertices such that no edge contains two of them; each
+/// needs its own covering edge. Sound because the picked vertices are
+/// pairwise non-coverable by a single edge. Complements
+/// [`cover_lower_bound`]; take the max of both.
+pub fn packing_lower_bound(target: &VertexSet, edges: &[VertexSet]) -> u32 {
+    if target.is_empty() {
+        return 0;
+    }
+    let mut remaining = target.clone();
+    let mut picked = 0u32;
+    while let Some(v) = remaining.first() {
+        picked += 1;
+        remaining.remove(v);
+        // remove everything sharing an edge with v
+        for e in edges.iter().filter(|e| e.contains(v)) {
+            remaining.difference_with(e);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    #[test]
+    fn ksc_bounds() {
+        assert_eq!(ksc_lower_bound(0, 3), 0);
+        assert_eq!(ksc_lower_bound(7, 3), 3);
+        assert_eq!(ksc_lower_bound(6, 3), 2);
+        assert_eq!(ksc_lower_bound(1, 0), u32::MAX);
+    }
+
+    #[test]
+    fn cover_bound_uses_actual_gains() {
+        // edges have size 4 but intersect the target in at most 2 vertices
+        let edges = vec![vs(8, &[0, 1, 6, 7]), vs(8, &[2, 3, 6, 7])];
+        let target = vs(8, &[0, 1, 2, 3]);
+        assert_eq!(cover_lower_bound(&target, &edges), 2);
+        assert_eq!(ksc_lower_bound(target.len(), 4), 1); // weaker
+    }
+
+    #[test]
+    fn cover_bound_untouchable_target() {
+        let edges = vec![vs(4, &[0])];
+        assert_eq!(cover_lower_bound(&vs(4, &[1, 2]), &edges), u32::MAX);
+        assert_eq!(cover_lower_bound(&vs(4, &[]), &edges), 0);
+    }
+
+    #[test]
+    fn packing_bound_is_sound_and_can_beat_ratio() {
+        // star-like: edges {0,c} for center c=4; target {0,1,2,3}
+        // every edge covers at most 1 target vertex beyond sharing
+        let edges = vec![
+            vs(5, &[0, 4]),
+            vs(5, &[1, 4]),
+            vs(5, &[2, 4]),
+            vs(5, &[3, 4]),
+        ];
+        let target = vs(5, &[0, 1, 2, 3]);
+        assert_eq!(packing_lower_bound(&target, &edges), 4);
+        assert_eq!(cover_lower_bound(&target, &edges), 4);
+    }
+
+    #[test]
+    fn packing_never_exceeds_exact_cover() {
+        use crate::exact::ExactCover;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..=9u32);
+            let m = rng.gen_range(1..=7usize);
+            let edges: Vec<VertexSet> = (0..m)
+                .map(|_| {
+                    VertexSet::from_iter_with_capacity(
+                        n,
+                        (0..rng.gen_range(1..=n)).map(|_| rng.gen_range(0..n)),
+                    )
+                })
+                .collect();
+            let mut coverable = VertexSet::new(n);
+            for e in &edges {
+                coverable.union_with(e);
+            }
+            let exact = ExactCover::new(&edges).cover_size(&coverable).unwrap();
+            assert!(packing_lower_bound(&coverable, &edges) <= exact);
+            assert!(cover_lower_bound(&coverable, &edges) <= exact);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `htd` — tree decompositions and generalized hypertree decompositions.
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour; the sub-crates are:
+//!
+//! * [`hypergraph`] — graphs, hypergraphs, bitsets, elimination graphs,
+//!   instance IO and benchmark generators;
+//! * [`setcover`] — greedy and exact set cover, k-set-cover lower bounds;
+//! * [`core`] — the decompositions themselves: structures, validators,
+//!   bucket/vertex elimination, ordering evaluation, leaf normal form,
+//!   join trees;
+//! * [`heuristics`] — upper/lower bound heuristics and reductions;
+//! * [`search`] — exact branch-and-bound and A* for treewidth and
+//!   generalized hypertree width;
+//! * [`ga`] — genetic algorithms (GA-tw, GA-ghw) and the self-adaptive
+//!   island GA (SAIGA-ghw);
+//! * [`csp`] — the constraint-satisfaction substrate that consumes the
+//!   decompositions.
+
+pub use htd_core as core;
+pub use htd_csp as csp;
+pub use htd_ga as ga;
+pub use htd_heuristics as heuristics;
+pub use htd_hypergraph as hypergraph;
+pub use htd_search as search;
+pub use htd_setcover as setcover;
