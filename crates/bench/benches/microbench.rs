@@ -9,8 +9,11 @@ use htd_core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator, TwEva
 use htd_csp::{builders, Relation};
 use htd_heuristics::{combined_lower_bound, upper::min_fill};
 use htd_hypergraph::{gen, EliminationGraph, VertexSet};
-use htd_search::{astar_tw, bb_ghw, bb_tw, SearchConfig};
-use htd_setcover::{greedy_cover, ExactCover};
+use htd_search::astar_tw::astar_tw;
+use htd_search::bb_ghw::bb_ghw;
+use htd_search::bb_tw::bb_tw;
+use htd_search::SearchConfig;
+use htd_setcover::{greedy_cover, CoverCache, ExactCover};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,6 +53,46 @@ fn bench_ghw_eval(c: &mut Criterion) {
         b.iter(|| black_box(ev.width(black_box(&order))))
     });
     group.finish();
+}
+
+/// The shared set-cover cache against fresh per-evaluation contexts, on
+/// the suite the thesis uses for ghw (adder / bridge). The cached side
+/// models the portfolio: one warm [`CoverCache`] serving every evaluation
+/// of overlapping bag sets, so each cover is solved once per run.
+fn bench_ghw_eval_cached(c: &mut Criterion) {
+    for (name, h) in [("adder40", gen::adder(40)), ("bridge25", gen::bridge(25))] {
+        let n = h.num_vertices();
+        let orders: Vec<Vec<u32>> = (0..4u64)
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                min_fill(&h.primal_graph(), &mut rng).ordering.into_vec()
+            })
+            .chain(std::iter::once((0..n).collect()))
+            .collect();
+        let mut group = c.benchmark_group(&format!("ghw_eval_cache_{name}"));
+        group.bench_function("uncached", |b| {
+            b.iter(|| {
+                for order in &orders {
+                    let mut ev = GhwEvaluator::new(&h, CoverStrategy::Exact);
+                    black_box(ev.width(black_box(order)));
+                }
+            })
+        });
+        group.bench_function("shared_cache", |b| {
+            let cache = std::sync::Arc::new(CoverCache::new());
+            b.iter(|| {
+                for order in &orders {
+                    let mut ev = GhwEvaluator::with_cache(
+                        &h,
+                        CoverStrategy::Exact,
+                        std::sync::Arc::clone(&cache),
+                    );
+                    black_box(ev.width(black_box(order)));
+                }
+            })
+        });
+        group.finish();
+    }
 }
 
 fn bench_set_cover(c: &mut Criterion) {
@@ -180,6 +223,7 @@ criterion_group!(
     bench_elimination,
     bench_tw_eval,
     bench_ghw_eval,
+    bench_ghw_eval_cached,
     bench_set_cover,
     bench_bucket_elimination,
     bench_bounds,

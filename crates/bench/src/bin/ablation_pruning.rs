@@ -9,7 +9,9 @@
 
 use htd_bench::{Scale, Table};
 use htd_hypergraph::gen::named_graph;
-use htd_search::{astar_tw, bb_tw, SearchConfig};
+use htd_search::astar_tw::astar_tw;
+use htd_search::bb_tw::bb_tw;
+use htd_search::SearchConfig;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,13 +29,10 @@ fn main() {
         for pr2 in [false, true] {
             for red in [false, true] {
                 for dup in [false, true] {
-                    let cfg = SearchConfig {
-                        use_pr2: pr2,
-                        use_reductions: red,
-                        use_duplicate_detection: dup,
-                        max_nodes: 10_000_000,
-                        ..SearchConfig::default()
-                    };
+                    let mut cfg = SearchConfig::budgeted(10_000_000);
+                    cfg.use_pr2 = pr2;
+                    cfg.use_reductions = red;
+                    cfg.use_duplicate_detection = dup;
                     let a = astar_tw(&g, &cfg);
                     let b = bb_tw(&g, &cfg);
                     assert!(a.exact && b.exact, "{name}: budget too small");

@@ -12,7 +12,9 @@ use htd_bench::{secs, Scale, Table};
 use htd_hypergraph::gen::named_hypergraph;
 use htd_core::FhwEvaluator;
 use htd_heuristics::upper::min_fill;
-use htd_search::{astar_tw, bb_ghw, hypertree_width, SearchConfig};
+use htd_search::astar_tw::astar_tw;
+use htd_search::bb_ghw::bb_ghw;
+use htd_search::{hypertree_width, SearchConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,11 +33,7 @@ fn main() {
     let mut t = Table::new(&["Hypergraph", "V", "H", "fhw≤", "ghw", "hw", "tw", "hw time[s]"]);
     for name in &names {
         let h = named_hypergraph(name).expect("suite instance");
-        let cfg = SearchConfig {
-            max_nodes: budget,
-            time_limit: Some(std::time::Duration::from_secs(20)),
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::budgeted(budget).with_time_limit(std::time::Duration::from_secs(20));
         let ghw = bb_ghw(&h, &cfg).expect("coverable");
         let ghw_s = if ghw.exact {
             ghw.upper.to_string()

@@ -1,0 +1,92 @@
+//! Portfolio race — the 4-thread anytime portfolio against each single
+//! sequential engine under the same fixed wall-clock budget, on the hard
+//! treewidth instances of Chapter 5 (queen7, grid7).
+//!
+//! The claim being measured: with a shared incumbent, the portfolio's
+//! final `(lower, upper)` gap is never worse than the best single
+//! engine's gap — every bound any worker proves tightens everyone else.
+//!
+//! Every result is routed through the [`Outcome`] JSON schema (the one
+//! `htd tw --format json` emits) and parsed back before use, so this
+//! binary doubles as a round-trip test of the documented schema.
+//!
+//! `cargo run --release -p htd-bench --bin portfolio_race [--full]`
+
+use std::time::Duration;
+
+use htd_bench::{Scale, Table};
+use htd_core::Json;
+use htd_hypergraph::gen;
+use htd_search::{solve, Engine, Outcome, Problem, SearchConfig};
+
+/// Serializes through the documented JSON schema and parses back.
+fn via_json(outcome: &Outcome) -> Outcome {
+    let line = outcome.to_json().to_string();
+    let doc = Json::parse(&line).expect("outcome json parses");
+    let back = Outcome::from_json(&doc).expect("outcome json round-trips");
+    assert_eq!(back.lower, outcome.lower, "schema drops lower");
+    assert_eq!(back.upper, outcome.upper, "schema drops upper");
+    assert_eq!(back.exact, outcome.exact, "schema drops exact");
+    back
+}
+
+fn gap(o: &Outcome) -> u32 {
+    o.upper.saturating_sub(o.lower)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = scale.pick(Duration::from_millis(500), Duration::from_secs(10));
+
+    println!(
+        "Portfolio race — fixed wall clock {:?}, 4 threads vs single engines\n",
+        budget
+    );
+    let mut t = Table::new(&["Graph", "engine", "lb", "ub", "gap", "exact", "nodes"]);
+    let instances = [
+        ("queen7", gen::queen_graph(7)),
+        ("grid7", gen::grid_graph(7, 7)),
+    ];
+    for (name, g) in instances {
+        let base = SearchConfig::default()
+            .with_max_nodes(u64::MAX)
+            .with_time_limit(budget)
+            .with_seed(1);
+        let mut best_seq_gap = u32::MAX;
+        for engine in [Engine::BranchBound, Engine::AStar] {
+            let cfg = base.clone().with_engines(vec![engine]);
+            let out = via_json(
+                &solve(&Problem::treewidth(g.clone()), &cfg).expect("tw always solvable"),
+            );
+            best_seq_gap = best_seq_gap.min(gap(&out));
+            t.row(vec![
+                name.to_string(),
+                format!("{engine:?}"),
+                out.lower.to_string(),
+                out.upper.to_string(),
+                gap(&out).to_string(),
+                out.exact.to_string(),
+                out.nodes.to_string(),
+            ]);
+        }
+        let cfg = base.clone().with_threads(4);
+        let out =
+            via_json(&solve(&Problem::treewidth(g.clone()), &cfg).expect("tw always solvable"));
+        let portfolio_gap = gap(&out);
+        t.row(vec![
+            name.to_string(),
+            "portfolio(4)".to_string(),
+            out.lower.to_string(),
+            out.upper.to_string(),
+            portfolio_gap.to_string(),
+            out.exact.to_string(),
+            out.nodes.to_string(),
+        ]);
+        if portfolio_gap > best_seq_gap {
+            println!(
+                "WARNING: {name}: portfolio gap {portfolio_gap} worse than best sequential {best_seq_gap}"
+            );
+        }
+    }
+    t.print();
+}

@@ -9,7 +9,8 @@
 use htd_bench::{secs, Scale, Table};
 use htd_heuristics::{combined_lower_bound, upper::min_fill};
 use htd_hypergraph::gen::named_graph;
-use htd_search::{astar_tw, SearchConfig};
+use htd_search::astar_tw::astar_tw;
+use htd_search::SearchConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,11 +38,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(1);
         let lb = combined_lower_bound(&g, &mut rng);
         let ub = min_fill(&g, &mut rng).width;
-        let cfg = SearchConfig {
-            max_nodes: budget,
-            time_limit: Some(time_limit),
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::budgeted(budget).with_time_limit(time_limit);
         let out = astar_tw(&g, &cfg);
         t.row(vec![
             name.to_string(),

@@ -10,7 +10,8 @@
 use htd_bench::{f2, ga_support::ga_tw_stats, Scale, Table};
 use htd_ga::GaParams;
 use htd_hypergraph::gen::named_graph;
-use htd_search::{astar_tw, SearchConfig};
+use htd_search::astar_tw::astar_tw;
+use htd_search::SearchConfig;
 
 fn main() {
     let scale = Scale::from_env();
@@ -39,10 +40,7 @@ fn main() {
         let reference = {
             let out = astar_tw(
                 &g,
-                &SearchConfig {
-                    max_nodes: search_budget,
-                    ..SearchConfig::default()
-                },
+                &SearchConfig::budgeted(search_budget),
             );
             if out.exact {
                 out.upper.to_string()

@@ -9,7 +9,8 @@
 use htd_bench::{f2, ga_support::ga_ghw_stats, Scale, Table};
 use htd_ga::GaParams;
 use htd_hypergraph::gen::named_hypergraph;
-use htd_search::{bb_ghw, SearchConfig};
+use htd_search::bb_ghw::bb_ghw;
+use htd_search::SearchConfig;
 
 fn main() {
     let scale = Scale::from_env();
@@ -35,10 +36,7 @@ fn main() {
         let s = ga_ghw_stats(&h, &params, runs);
         let reference = match bb_ghw(
             &h,
-            &SearchConfig {
-                max_nodes: search_budget,
-                ..SearchConfig::default()
-            },
+            &SearchConfig::budgeted(search_budget),
         ) {
             Some(out) if out.exact => out.upper.to_string(),
             Some(out) => format!("[{},{}]", out.lower, out.upper),

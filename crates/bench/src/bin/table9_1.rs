@@ -8,7 +8,8 @@
 
 use htd_bench::{secs, Scale, Table};
 use htd_hypergraph::gen::named_hypergraph;
-use htd_search::{astar_ghw, SearchConfig};
+use htd_search::astar_ghw::astar_ghw;
+use htd_search::SearchConfig;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,11 +28,7 @@ fn run_table(names: &[&str], budget: u64, time_limit: std::time::Duration) {
     let mut t = Table::new(&["Hypergraph", "V", "H", "lb", "ub", "A*-ghw", "exact", "time[s]"]);
     for name in names {
         let h = named_hypergraph(name).expect("suite instance");
-        let cfg = SearchConfig {
-            max_nodes: budget,
-            time_limit: Some(time_limit),
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::budgeted(budget).with_time_limit(time_limit);
         let out = astar_ghw(&h, &cfg).expect("coverable");
         t.row(vec![
             name.to_string(),

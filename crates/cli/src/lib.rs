@@ -3,27 +3,38 @@
 //! Subcommands:
 //!
 //! * `htd info <file>` — instance statistics and quick bounds;
-//! * `htd tw <file> [--exact] [--budget N]` — treewidth (heuristic by
-//!   default, A* when `--exact`);
-//! * `htd ghw <file> [--exact] [--budget N]` — generalized hypertree width
-//!   (GA by default, BB-ghw when `--exact`);
+//! * `htd tw <file>` — treewidth (exact by default; `--fast` for
+//!   heuristic-only bounds);
+//! * `htd ghw <file>` — generalized hypertree width (likewise);
 //! * `htd hw <file>` — hypertree width via det-k-decomp;
 //! * `htd decompose <file> [--format td|dot]` — emit a tree decomposition;
 //! * `htd solve <file.csp> [--count] [--all N]` — solve a CSP (text
 //!   format of `htd_csp::io`) through a tree decomposition;
 //! * `htd gen <name>` — print a named benchmark instance.
 //!
+//! Global flags: `--format human|json` (width commands; json emits one
+//! [`Outcome`] object per line in the schema documented on
+//! [`Outcome::to_json`]), `--quiet`, `--threads N` (N > 1 runs the anytime
+//! portfolio), `--seed N`, `--budget N` (node budget), `--time MS`
+//! (wall-clock budget in milliseconds). `--help` after a subcommand prints
+//! its usage.
+//!
 //! Graph files: `.gr` (PACE) or `.col` (DIMACS); anything else parses as
 //! the hyperedge format. `-` reads stdin.
+//!
+//! Errors never panic: every failure is an [`HtdError`], and the binary
+//! maps the variant to a distinct nonzero exit code (parse → 2,
+//! invalid instance → 3, unsupported request → 4, io → 5).
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
-use htd_core::{dot, pace, CoverStrategy};
+use htd_core::{dot, pace, CoverStrategy, HtdError};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
-use htd_search::{astar_tw, bb_ghw, hypertree_width, SearchConfig};
+use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,31 +66,47 @@ impl Instance {
 }
 
 /// Parses instance `text`, choosing the format from `name`'s extension.
-pub fn parse_instance(name: &str, text: &str) -> Result<Instance, String> {
+pub fn parse_instance(name: &str, text: &str) -> Result<Instance, HtdError> {
     if name.ends_with(".gr") {
         io::parse_pace_gr(text)
             .map(Instance::Graph)
-            .map_err(|e| e.to_string())
+            .map_err(|e| HtdError::Parse(e.to_string()))
     } else if name.ends_with(".col") || name.ends_with(".dimacs") {
         io::parse_dimacs(text)
             .map(Instance::Graph)
-            .map_err(|e| e.to_string())
+            .map_err(|e| HtdError::Parse(e.to_string()))
     } else {
         io::parse_hyperedges(text)
             .map(Instance::Hypergraph)
-            .map_err(|e| e.to_string())
+            .map_err(|e| HtdError::Parse(e.to_string()))
     }
 }
 
-/// Options shared by the width subcommands.
+/// Output format of the width subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Prose lines (the default).
+    Human,
+    /// One [`Outcome`] JSON object per line.
+    Json,
+}
+
+/// Options shared by the subcommands.
 #[derive(Clone, Debug)]
 pub struct Options {
-    /// Exact search instead of the default heuristic.
-    pub exact: bool,
+    /// Heuristic-only bounds instead of the default exact search.
+    pub fast: bool,
     /// Node budget for exact searches.
     pub budget: u64,
-    /// Output format for `decompose` (`td` or `dot`).
-    pub format: String,
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Output format; width commands accept `human`/`json`, `decompose`
+    /// accepts `td`/`dot`. `None` means the command's default.
+    pub format: Option<String>,
+    /// Print only the essential result line.
+    pub quiet: bool,
+    /// Worker threads; more than one runs the anytime portfolio.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
     /// `solve`: report the solution count instead of one solution.
@@ -91,9 +118,12 @@ pub struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
-            exact: false,
+            fast: false,
             budget: 1_000_000,
-            format: "td".into(),
+            time_limit: None,
+            format: None,
+            quiet: false,
+            threads: 1,
             seed: 1,
             count: false,
             all: None,
@@ -101,44 +131,73 @@ impl Default for Options {
     }
 }
 
+impl Options {
+    fn search_config(&self) -> SearchConfig {
+        let mut cfg = SearchConfig::default()
+            .with_max_nodes(self.budget)
+            .with_seed(self.seed)
+            .with_threads(self.threads);
+        if let Some(t) = self.time_limit {
+            cfg = cfg.with_time_limit(t);
+        }
+        if self.fast {
+            cfg = cfg.with_engines(vec![Engine::Heuristic, Engine::LowerBound]);
+        }
+        cfg
+    }
+
+    fn output_format(&self) -> Result<OutputFormat, HtdError> {
+        match self.format.as_deref() {
+            None | Some("human") => Ok(OutputFormat::Human),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(f) => Err(HtdError::Unsupported(format!(
+                "format '{f}' (expected human|json)"
+            ))),
+        }
+    }
+}
+
 /// Parses trailing flags into [`Options`].
-pub fn parse_options(args: &[String]) -> Result<Options, String> {
+pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
     let mut o = Options::default();
     let mut it = args.iter();
+    let numeric = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, HtdError> {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HtdError::Unsupported(format!("{flag} needs a number")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--exact" => o.exact = true,
-            "--budget" => {
-                o.budget = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--budget needs a number")?;
+            "--fast" => o.fast = true,
+            "--exact" => o.fast = false, // historical default, kept as a no-op
+            "--quiet" | "-q" => o.quiet = true,
+            "--budget" => o.budget = numeric(&mut it, "--budget")?,
+            "--time" => {
+                o.time_limit = Some(Duration::from_millis(numeric(&mut it, "--time")?));
             }
+            "--threads" => {
+                o.threads = (numeric(&mut it, "--threads")? as usize).max(1);
+            }
+            "--seed" => o.seed = numeric(&mut it, "--seed")?,
             "--format" => {
-                o.format = it.next().ok_or("--format needs td|dot")?.clone();
-            }
-            "--seed" => {
-                o.seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--seed needs a number")?;
-            }
-            "--count" => o.count = true,
-            "--all" => {
-                o.all = Some(
+                o.format = Some(
                     it.next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or("--all needs a number")?,
+                        .ok_or_else(|| {
+                            HtdError::Unsupported("--format needs a value".into())
+                        })?
+                        .clone(),
                 );
             }
-            other => return Err(format!("unknown flag {other}")),
+            "--count" => o.count = true,
+            "--all" => o.all = Some(numeric(&mut it, "--all")?),
+            other => return Err(HtdError::Unsupported(format!("unknown flag {other}"))),
         }
     }
     Ok(o)
 }
 
 /// `htd info`: instance statistics and quick bounds.
-pub fn cmd_info(inst: &Instance, o: &Options) -> Result<String, String> {
+pub fn cmd_info(inst: &Instance, o: &Options) -> Result<String, HtdError> {
     let h = inst.hypergraph();
     let g = inst.graph();
     let mut rng = StdRng::seed_from_u64(o.seed);
@@ -147,11 +206,7 @@ pub fn cmd_info(inst: &Instance, o: &Options) -> Result<String, String> {
     let _ = writeln!(out, "hyperedges: {}", h.num_edges());
     let _ = writeln!(out, "rank:       {}", h.rank());
     let _ = writeln!(out, "primal edges: {}", g.num_edges());
-    let _ = writeln!(
-        out,
-        "acyclic:    {}",
-        htd_core::join_tree::is_acyclic(&h)
-    );
+    let _ = writeln!(out, "acyclic:    {}", htd_core::join_tree::is_acyclic(&h));
     let lb = htd_heuristics::combined_lower_bound(&g, &mut rng);
     let ub = htd_heuristics::upper::min_fill(&g, &mut rng).width;
     let _ = writeln!(out, "treewidth:  in [{lb}, {ub}] (minor bounds / min-fill)");
@@ -162,104 +217,108 @@ pub fn cmd_info(inst: &Instance, o: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// `htd tw`: treewidth bounds or exact value.
-pub fn cmd_tw(inst: &Instance, o: &Options) -> Result<String, String> {
-    let g = inst.graph();
-    if o.exact {
-        let cfg = SearchConfig {
-            max_nodes: o.budget,
-            seed: o.seed,
-            ..SearchConfig::default()
-        };
-        let out = astar_tw(&g, &cfg);
-        if out.exact {
-            Ok(format!("treewidth {}\n", out.upper))
-        } else {
-            Ok(format!(
-                "treewidth in [{}, {}] (budget exhausted)\n",
-                out.lower, out.upper
-            ))
+/// Renders an [`Outcome`] per the selected format.
+fn render_outcome(outcome: &Outcome, o: &Options) -> Result<String, HtdError> {
+    match o.output_format()? {
+        OutputFormat::Json => Ok(format!("{}\n", outcome.to_json())),
+        OutputFormat::Human => {
+            let name = match outcome.objective {
+                Objective::Treewidth => "treewidth",
+                Objective::GeneralizedHypertreeWidth => "ghw",
+                Objective::HypertreeWidth => "hypertree width",
+            };
+            if o.quiet {
+                return Ok(if outcome.exact {
+                    format!("{}\n", outcome.upper)
+                } else {
+                    format!("{} {}\n", outcome.lower, outcome.upper)
+                });
+            }
+            let mut out = if outcome.exact {
+                format!("{name} {}\n", outcome.upper)
+            } else {
+                format!(
+                    "{name} in [{}, {}] (budget exhausted)\n",
+                    outcome.lower, outcome.upper
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  nodes {}  elapsed {:.1}ms  engines {}",
+                outcome.nodes,
+                outcome.elapsed.as_secs_f64() * 1e3,
+                outcome.per_engine.len()
+            );
+            Ok(out)
         }
-    } else {
-        let mut rng = StdRng::seed_from_u64(o.seed);
-        let h = htd_heuristics::upper::min_fill(&g, &mut rng);
-        Ok(format!("treewidth ≤ {} (min-fill)\n", h.width))
     }
+}
+
+/// Runs [`solve`] on the instance under `objective` and renders the result.
+fn cmd_width(inst: &Instance, o: &Options, objective: Objective) -> Result<String, HtdError> {
+    let problem = match objective {
+        Objective::Treewidth => match inst {
+            Instance::Graph(g) => Problem::treewidth(g.clone()),
+            Instance::Hypergraph(h) => Problem::treewidth_of_hypergraph(h.clone()),
+        },
+        Objective::GeneralizedHypertreeWidth => Problem::ghw(inst.hypergraph()),
+        Objective::HypertreeWidth => Problem::hw(inst.hypergraph()),
+    };
+    let outcome = solve(&problem, &o.search_config())?;
+    render_outcome(&outcome, o)
+}
+
+/// `htd tw`: treewidth bounds or exact value.
+pub fn cmd_tw(inst: &Instance, o: &Options) -> Result<String, HtdError> {
+    cmd_width(inst, o, Objective::Treewidth)
 }
 
 /// `htd ghw`: generalized hypertree width bounds or exact value.
-pub fn cmd_ghw(inst: &Instance, o: &Options) -> Result<String, String> {
-    let h = inst.hypergraph();
-    if !h.covers_all_vertices() {
-        return Err("some vertex lies in no hyperedge: no GHD exists".into());
-    }
-    if o.exact {
-        let cfg = SearchConfig {
-            max_nodes: o.budget,
-            seed: o.seed,
-            ..SearchConfig::default()
-        };
-        let out = bb_ghw(&h, &cfg).expect("coverable");
-        if out.exact {
-            Ok(format!("ghw {}\n", out.upper))
-        } else {
-            Ok(format!(
-                "ghw in [{}, {}] (budget exhausted)\n",
-                out.lower, out.upper
-            ))
-        }
-    } else {
-        let params = htd_ga::GaParams::default();
-        let mut rng = StdRng::seed_from_u64(o.seed);
-        let r = htd_ga::ga_ghw(&h, &params, &mut rng).expect("coverable");
-        Ok(format!("ghw ≤ {} (GA-ghw)\n", r.width))
-    }
+pub fn cmd_ghw(inst: &Instance, o: &Options) -> Result<String, HtdError> {
+    cmd_width(inst, o, Objective::GeneralizedHypertreeWidth)
 }
 
 /// `htd hw`: hypertree width via det-k-decomp.
-pub fn cmd_hw(inst: &Instance, o: &Options) -> Result<String, String> {
-    let h = inst.hypergraph();
-    if !h.covers_all_vertices() {
-        return Err("some vertex lies in no hyperedge: no HD exists".into());
-    }
-    let mut rng = StdRng::seed_from_u64(o.seed);
-    let lb = htd_heuristics::ghw_lower_bound(&h, &mut rng);
-    let (hw, hd) = hypertree_width(&h, lb.max(1)).expect("coverable");
-    hd.validate_hypertree(&h)
-        .map_err(|e| format!("internal: invalid HD: {e}"))?;
-    Ok(format!("hypertree width {hw}\n"))
+pub fn cmd_hw(inst: &Instance, o: &Options) -> Result<String, HtdError> {
+    cmd_width(inst, o, Objective::HypertreeWidth)
 }
 
 /// `htd decompose`: emit a tree decomposition in PACE `.td` or DOT format.
-pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, String> {
+pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
     let mut rng = StdRng::seed_from_u64(o.seed);
+    let format = o.format.as_deref().unwrap_or("td");
     match inst {
         Instance::Graph(g) => {
             let order = htd_heuristics::upper::min_fill(g, &mut rng).ordering;
             let td = vertex_elimination(g, &order).simplify();
-            match o.format.as_str() {
+            match format {
                 "td" => Ok(pace::write_td(&td, g.num_vertices())),
                 "dot" => Ok(dot::tree_decomposition_to_dot(&td, |v| g.name(v))),
-                f => Err(format!("unknown format {f}")),
+                f => Err(HtdError::Unsupported(format!(
+                    "format '{f}' (expected td|dot)"
+                ))),
             }
         }
         Instance::Hypergraph(h) => {
             let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
-            match o.format.as_str() {
+            match format {
                 "td" => {
                     let td = td_of_hypergraph(h, &order).simplify();
                     Ok(pace::write_td(&td, h.num_vertices()))
                 }
                 "dot" => {
-                    let ghd = htd_core::bucket::ghd_via_elimination(
-                        h,
-                        &order,
-                        CoverStrategy::Exact,
-                    )
-                    .ok_or("uncoverable vertex: no GHD exists")?;
+                    let ghd =
+                        htd_core::bucket::ghd_via_elimination(h, &order, CoverStrategy::Exact)
+                            .ok_or_else(|| {
+                                HtdError::Invalid(
+                                    "uncoverable vertex: no GHD exists".into(),
+                                )
+                            })?;
                     Ok(dot::ghd_to_dot(&ghd, h))
                 }
-                f => Err(format!("unknown format {f}")),
+                f => Err(HtdError::Unsupported(format!(
+                    "format '{f}' (expected td|dot)"
+                ))),
             }
         }
     }
@@ -267,8 +326,8 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, String> {
 
 /// `htd solve`: solve a CSP file via join-tree clustering; `--count`
 /// reports the number of solutions, `--all N` lists up to `N`.
-pub fn cmd_solve(text: &str, o: &Options) -> Result<String, String> {
-    let csp = htd_csp::parse_csp(text).map_err(|e| e.to_string())?;
+pub fn cmd_solve(text: &str, o: &Options) -> Result<String, HtdError> {
+    let csp = htd_csp::parse_csp(text).map_err(|e| HtdError::Parse(e.to_string()))?;
     let h = csp.hypergraph();
     let mut rng = StdRng::seed_from_u64(o.seed);
     let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
@@ -304,33 +363,81 @@ pub fn cmd_solve(text: &str, o: &Options) -> Result<String, String> {
 }
 
 /// `htd gen`: print a named benchmark instance.
-pub fn cmd_gen(name: &str) -> Result<String, String> {
+pub fn cmd_gen(name: &str) -> Result<String, HtdError> {
     if let Some(g) = gen::named_graph(name) {
         return Ok(io::write_dimacs(&g));
     }
     if let Some(h) = gen::named_hypergraph(name) {
         return Ok(io::write_hyperedges(&h));
     }
-    Err(format!("unknown instance name {name}"))
+    Err(HtdError::Unsupported(format!("unknown instance name {name}")))
+}
+
+const USAGE: &str = "usage: htd <info|tw|ghw|hw|decompose|solve|gen> <file|-|name> [flags]
+global flags: --format human|json  --quiet  --threads N  --seed N
+              --budget N (nodes)   --time MS (wall clock)  --fast
+`htd <command> --help` prints command-specific usage.";
+
+/// Per-command usage text (`htd <cmd> --help`).
+pub fn help_for(cmd: &str) -> Option<&'static str> {
+    match cmd {
+        "info" => Some("usage: htd info <file|-> [--seed N]\n\
+            Prints instance statistics and quick width bounds."),
+        "tw" => Some("usage: htd tw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--format human|json] [--quiet]\n\
+            Treewidth. Exact branch and bound by default; --threads N > 1 runs the\n\
+            anytime portfolio (BB, A*, heuristics, lower bounds sharing one incumbent);\n\
+            --fast computes heuristic bounds only. --format json emits one Outcome\n\
+            object per line: {\"objective\",\"lower\",\"upper\",\"exact\",\"witness\",\n\
+            \"nodes\",\"elapsed_ms\",\"engines\":[...]}."),
+        "ghw" => Some("usage: htd ghw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--format human|json] [--quiet]\n\
+            Generalized hypertree width over elimination orderings (exact covers,\n\
+            shared across engines through a concurrent set-cover cache). Flags as\n\
+            for `htd tw`."),
+        "hw" => Some("usage: htd hw <file|-> [--seed N] [--format human|json] [--quiet]\n\
+            Hypertree width via det-k-decomp, primed with the ghw lower bound."),
+        "decompose" => Some("usage: htd decompose <file|-> [--format td|dot] [--seed N]\n\
+            Emits a tree decomposition of the instance from a min-fill ordering.\n\
+            --format td   PACE 2017 .td text (default)\n\
+            --format dot  Graphviz; for hypergraphs the bags show their edge\n\
+                          covers λ, i.e. a generalized hypertree decomposition."),
+        "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N]\n\
+            Solves a CSP through a tree decomposition (join-tree clustering)."),
+        "gen" => Some("usage: htd gen <name>\n\
+            Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
+        _ => None,
+    }
 }
 
 /// Dispatches a full argv (without the program name).
-pub fn run(args: &[String]) -> Result<String, String> {
-    let usage = "usage: htd <info|tw|ghw|hw|decompose|solve|gen> <file|-|name> [--exact] [--budget N] [--format td|dot] [--count] [--all N] [--seed N]";
-    let cmd = args.first().ok_or(usage)?;
-    if cmd == "gen" {
-        return cmd_gen(args.get(1).ok_or("gen needs an instance name")?);
+pub fn run(args: &[String]) -> Result<String, HtdError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| HtdError::Unsupported(USAGE.into()))?;
+    if cmd == "--help" || cmd == "help" {
+        return Ok(format!("{USAGE}\n"));
     }
-    let file = args.get(1).ok_or(usage)?;
+    if args.get(1).is_some_and(|a| a == "--help") {
+        return match help_for(cmd) {
+            Some(h) => Ok(format!("{h}\n")),
+            None => Err(HtdError::Unsupported(USAGE.into())),
+        };
+    }
+    if cmd == "gen" {
+        return cmd_gen(
+            args.get(1)
+                .ok_or_else(|| HtdError::Unsupported("gen needs an instance name".into()))?,
+        );
+    }
+    let file = args
+        .get(1)
+        .ok_or_else(|| HtdError::Unsupported(USAGE.into()))?;
     let text = if file == "-" {
         use std::io::Read;
         let mut s = String::new();
-        std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| e.to_string())?;
+        std::io::stdin().read_to_string(&mut s)?;
         s
     } else {
-        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+        std::fs::read_to_string(file).map_err(|e| HtdError::Io(format!("{file}: {e}")))?
     };
     let o = parse_options(&args[2..])?;
     if cmd == "solve" {
@@ -343,13 +450,24 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "ghw" => cmd_ghw(&inst, &o),
         "hw" => cmd_hw(&inst, &o),
         "decompose" => cmd_decompose(&inst, &o),
-        _ => Err(usage.into()),
+        _ => Err(HtdError::Unsupported(USAGE.into())),
+    }
+}
+
+/// The process exit code for an error (documented in the module docs).
+pub fn exit_code(e: &HtdError) -> i32 {
+    match e {
+        HtdError::Parse(_) => 2,
+        HtdError::Invalid(_) => 3,
+        HtdError::Unsupported(_) => 4,
+        HtdError::Io(_) => 5,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use htd_core::Json;
 
     fn graph_text() -> &'static str {
         "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n"
@@ -373,30 +491,93 @@ mod tests {
             parse_instance("x.hg", hyper_text()),
             Ok(Instance::Hypergraph(_))
         ));
-        assert!(parse_instance("x.gr", "garbage").is_err());
+        assert!(matches!(
+            parse_instance("x.gr", "garbage"),
+            Err(HtdError::Parse(_))
+        ));
     }
 
     #[test]
     fn tw_exact_on_cycle() {
         let inst = parse_instance("c.gr", graph_text()).unwrap();
-        let o = Options {
-            exact: true,
-            ..Options::default()
-        };
-        assert_eq!(cmd_tw(&inst, &o).unwrap(), "treewidth 2\n");
-        let heur = cmd_tw(&inst, &Options::default()).unwrap();
-        assert!(heur.contains("≤ 2"));
+        let out = cmd_tw(&inst, &Options::default()).unwrap();
+        assert!(out.starts_with("treewidth 2\n"), "{out}");
+        let fast = cmd_tw(
+            &inst,
+            &Options {
+                fast: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.contains("treewidth in ["), "{fast}");
+    }
+
+    #[test]
+    fn tw_quiet_prints_number_only() {
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let out = cmd_tw(
+            &inst,
+            &Options {
+                quiet: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out, "2\n");
+    }
+
+    #[test]
+    fn tw_json_round_trips_outcome() {
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let out = cmd_tw(
+            &inst,
+            &Options {
+                format: Some("json".into()),
+                threads: 2,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 1);
+        let back = Outcome::from_json(&Json::parse(out.trim()).unwrap()).unwrap();
+        assert!(back.exact);
+        assert_eq!(back.upper, 2);
+        assert!(!back.per_engine.is_empty());
     }
 
     #[test]
     fn ghw_and_hw_on_thesis_example() {
         let inst = parse_instance("t.hg", hyper_text()).unwrap();
-        let o = Options {
-            exact: true,
-            ..Options::default()
-        };
-        assert_eq!(cmd_ghw(&inst, &o).unwrap(), "ghw 2\n");
-        assert_eq!(cmd_hw(&inst, &o).unwrap(), "hypertree width 2\n");
+        let o = Options::default();
+        assert!(cmd_ghw(&inst, &o).unwrap().starts_with("ghw 2\n"));
+        assert!(cmd_hw(&inst, &o).unwrap().starts_with("hypertree width 2\n"));
+    }
+
+    #[test]
+    fn uncovered_vertex_is_invalid_not_panic() {
+        // the hyperedge text format cannot express an uncovered vertex,
+        // so build the instance by hand: vertex 2 lies in no hyperedge
+        let h = Hypergraph::new(3, vec![vec![0, 1]]);
+        let inst = Instance::Hypergraph(h);
+        let err = cmd_ghw(&inst, &Options::default()).unwrap_err();
+        assert!(matches!(err, HtdError::Invalid(_)));
+        assert_eq!(exit_code(&err), 3);
+    }
+
+    #[test]
+    fn bad_format_is_unsupported() {
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let err = cmd_tw(
+            &inst,
+            &Options {
+                format: Some("xml".into()),
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HtdError::Unsupported(_)));
+        assert_eq!(exit_code(&err), 4);
     }
 
     #[test]
@@ -407,7 +588,7 @@ mod tests {
         td.validate_graph(&inst.graph()).unwrap();
         // dot output renders
         let o = Options {
-            format: "dot".into(),
+            format: Some("dot".into()),
             ..Options::default()
         };
         assert!(cmd_decompose(&inst, &o).unwrap().starts_with("digraph"));
@@ -468,17 +649,35 @@ mod tests {
     #[test]
     fn options_parsing() {
         let o = parse_options(&[
-            "--exact".into(),
+            "--fast".into(),
             "--budget".into(),
             "123".into(),
+            "--threads".into(),
+            "4".into(),
+            "--time".into(),
+            "250".into(),
             "--format".into(),
-            "dot".into(),
+            "json".into(),
+            "--quiet".into(),
         ])
         .unwrap();
-        assert!(o.exact);
+        assert!(o.fast);
+        assert!(o.quiet);
         assert_eq!(o.budget, 123);
-        assert_eq!(o.format, "dot");
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.time_limit, Some(Duration::from_millis(250)));
+        assert_eq!(o.format.as_deref(), Some("json"));
         assert!(parse_options(&["--what".into()]).is_err());
         assert!(parse_options(&["--budget".into()]).is_err());
+    }
+
+    #[test]
+    fn help_texts_exist() {
+        for cmd in ["info", "tw", "ghw", "hw", "decompose", "solve", "gen"] {
+            assert!(help_for(cmd).is_some(), "{cmd}");
+        }
+        assert!(help_for("nope").is_none());
+        let decompose = help_for("decompose").unwrap();
+        assert!(decompose.contains("td") && decompose.contains("dot"));
     }
 }

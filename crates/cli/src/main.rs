@@ -1,4 +1,7 @@
 //! The `htd` command-line tool. See `htd_cli::run` for the subcommands.
+//!
+//! Exit codes: 0 success, 2 parse error, 3 invalid instance,
+//! 4 unsupported request (bad flag/format/command), 5 io error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +9,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(htd_cli::exit_code(&e));
         }
     }
 }

@@ -1,0 +1,54 @@
+//! The workspace-wide error type.
+//!
+//! One small enum instead of per-crate `Result<_, String>`: the CLI maps
+//! every variant to a nonzero exit code and a one-line message, and
+//! library callers can match on the kind.
+
+use std::fmt;
+
+/// Errors surfaced by parsing, validation and solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HtdError {
+    /// Malformed instance text (DIMACS / PACE / hyperedge formats).
+    Parse(String),
+    /// Structurally valid input that violates a semantic requirement
+    /// (e.g. a ghw instance with an uncovered vertex: no GHD exists).
+    Invalid(String),
+    /// A request the solver cannot serve (unknown engine, bad option).
+    Unsupported(String),
+    /// Underlying I/O failure, stringified (keeps the enum `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for HtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtdError::Parse(m) => write!(f, "parse error: {m}"),
+            HtdError::Invalid(m) => write!(f, "invalid instance: {m}"),
+            HtdError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            HtdError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HtdError {}
+
+impl From<std::io::Error> for HtdError {
+    fn from(e: std::io::Error) -> Self {
+        HtdError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_kind() {
+        assert_eq!(
+            HtdError::Parse("line 3".into()).to_string(),
+            "parse error: line 3"
+        );
+        assert!(HtdError::Invalid("x".into()).to_string().contains("invalid"));
+    }
+}

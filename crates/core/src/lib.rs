@@ -27,9 +27,11 @@
 
 pub mod bucket;
 pub mod dot;
+pub mod error;
 pub mod fractional;
 pub mod ghd;
 pub mod join_tree;
+pub mod json;
 pub mod leaf_normal_form;
 pub mod mis;
 pub mod nice;
@@ -37,7 +39,9 @@ pub mod ordering;
 pub mod pace;
 pub mod tree_decomposition;
 
+pub use error::HtdError;
 pub use fractional::FhwEvaluator;
 pub use ghd::GeneralizedHypertreeDecomposition;
+pub use json::Json;
 pub use ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator, TwEvaluator};
 pub use tree_decomposition::TreeDecomposition;

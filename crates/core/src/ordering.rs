@@ -12,8 +12,10 @@
 //! orderings (the GA fitness loop) performs no per-call allocation beyond
 //! the first.
 
+use std::sync::Arc;
+
 use htd_hypergraph::{EdgeId, Graph, Hypergraph, Vertex, VertexSet};
-use htd_setcover::ExactCover;
+use htd_setcover::{CoverCache, ExactCover};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -225,6 +227,9 @@ pub struct GhwEvaluator {
     cur_stamp: u32,
     cands: Vec<EdgeId>,
     uncovered: VertexSet,
+    /// Optional shared bag → cover-size memo. Must be dedicated to this
+    /// hypergraph *and* this strategy (greedy and exact sizes differ).
+    cache: Option<Arc<CoverCache>>,
 }
 
 impl GhwEvaluator {
@@ -242,12 +247,28 @@ impl GhwEvaluator {
             cur_stamp: 0,
             cands: Vec::new(),
             uncovered: VertexSet::new(n),
+            cache: None,
         }
+    }
+
+    /// Creates an evaluator whose bag covers are memoized in `cache`.
+    /// Evaluators in different threads holding the same cache share covers;
+    /// distinct orderings of the same hypergraph produce overwhelmingly
+    /// overlapping bag sets, so sharing typically removes most cover work.
+    pub fn with_cache(h: &Hypergraph, strategy: CoverStrategy, cache: Arc<CoverCache>) -> Self {
+        let mut ev = Self::new(h, strategy);
+        ev.cache = Some(cache);
+        ev
     }
 
     /// The strategy in use.
     pub fn strategy(&self) -> CoverStrategy {
         self.strategy
+    }
+
+    /// The shared cover cache, if one was attached.
+    pub fn cache(&self) -> Option<&Arc<CoverCache>> {
+        self.cache.as_ref()
     }
 
     /// The width of `order`: `max` over produced bags of the bag's cover
@@ -277,6 +298,19 @@ impl GhwEvaluator {
 
     /// Covers a single bag using the configured strategy.
     pub fn cover_bag(&mut self, bag: &VertexSet) -> Option<u32> {
+        if let Some(cache) = &self.cache {
+            if let Some(cached) = cache.get(bag.blocks()) {
+                return cached;
+            }
+        }
+        let size = self.cover_bag_uncached(bag);
+        if let Some(cache) = &self.cache {
+            cache.insert(bag.blocks(), size);
+        }
+        size
+    }
+
+    fn cover_bag_uncached(&mut self, bag: &VertexSet) -> Option<u32> {
         // collect candidate edges: all edges touching the bag
         self.cur_stamp += 1;
         self.cands.clear();

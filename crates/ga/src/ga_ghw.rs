@@ -6,8 +6,11 @@
 //! cannot occur when every vertex lies in some hyperedge, which the entry
 //! point checks once.
 
+use std::sync::Arc;
+
 use htd_core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator};
 use htd_hypergraph::Hypergraph;
+use htd_setcover::CoverCache;
 use rand::Rng;
 
 use crate::engine::{self, GaParams, GaResult};
@@ -38,10 +41,32 @@ pub fn ga_ghw_with_strategy<R: Rng>(
     strategy: CoverStrategy,
     rng: &mut R,
 ) -> Option<GaGhwResult> {
+    ga_ghw_run(h, params, GhwEvaluator::new(h, strategy), rng)
+}
+
+/// GA-ghw whose fitness evaluation memoizes bag covers in a shared
+/// [`CoverCache`] — the portfolio hands every GA worker the same cache, so
+/// covers computed by one worker (or by the exact searches) are reused by
+/// all. The cache must be dedicated to `h` and `strategy`.
+pub fn ga_ghw_cached<R: Rng>(
+    h: &Hypergraph,
+    params: &GaParams,
+    strategy: CoverStrategy,
+    cache: Arc<CoverCache>,
+    rng: &mut R,
+) -> Option<GaGhwResult> {
+    ga_ghw_run(h, params, GhwEvaluator::with_cache(h, strategy, cache), rng)
+}
+
+fn ga_ghw_run<R: Rng>(
+    h: &Hypergraph,
+    params: &GaParams,
+    mut ev: GhwEvaluator,
+    rng: &mut R,
+) -> Option<GaGhwResult> {
     if !h.covers_all_vertices() {
         return None;
     }
-    let mut ev = GhwEvaluator::new(h, strategy);
     let mut fitness = |perm: &[u32]| {
         ev.width(perm)
             .expect("coverable: every vertex lies in an edge")
@@ -117,6 +142,20 @@ mod tests {
     fn uncoverable_returns_none() {
         let h = Hypergraph::new(3, vec![vec![0, 1]]);
         assert!(ga_ghw(&h, &quick_params(), &mut StdRng::seed_from_u64(4)).is_none());
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let h = gen::adder(4);
+        let p = quick_params();
+        let cache = Arc::new(CoverCache::new());
+        let plain = ga_ghw_with_strategy(&h, &p, CoverStrategy::Greedy, &mut StdRng::seed_from_u64(7)).unwrap();
+        let cached = ga_ghw_cached(&h, &p, CoverStrategy::Greedy, Arc::clone(&cache), &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(cached.width, plain.width);
+        assert_eq!(cached.ordering, plain.ordering);
+        assert!(!cache.is_empty(), "fitness loop should populate the cache");
+        assert!(cache.hits() > 0, "repeated bags should hit the cache");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod saiga;
 
 pub use crossover::CrossoverOp;
 pub use engine::{GaParams, GaResult};
-pub use ga_ghw::ga_ghw;
+pub use ga_ghw::{ga_ghw, ga_ghw_cached};
 pub use ga_tw::ga_tw;
 pub use mutation::MutationOp;
 pub use sa::{sa_ghw, sa_tw, SaParams};

@@ -40,19 +40,33 @@ pub fn improve_ordering<R: Rng>(
     params: &IlsParams,
     rng: &mut R,
 ) -> (EliminationOrdering, u32) {
+    improve_ordering_until(g, start, params, &|| false, rng)
+}
+
+/// [`improve_ordering`] with a cooperative stop predicate, polled once per
+/// insertion move. When `stop` turns true the search returns its best so
+/// far, so an anytime caller (the portfolio's heuristic worker) stays
+/// within its deadline even when one ILS pass would outlast it.
+pub fn improve_ordering_until<R: Rng>(
+    g: &Graph,
+    start: &EliminationOrdering,
+    params: &IlsParams,
+    stop: &dyn Fn() -> bool,
+    rng: &mut R,
+) -> (EliminationOrdering, u32) {
     let n = g.num_vertices() as usize;
     let mut ev = TwEvaluator::new(g);
     let mut best: Vec<Vertex> = start.as_slice().to_vec();
     let mut best_w = ev.width(&best);
     let mut current = best.clone();
     let mut current_w = best_w;
-    for _restart in 0..=params.restarts {
+    'outer: for _restart in 0..=params.restarts {
         let mut stale = 0u32;
         while stale < params.patience {
             let mut improved = false;
             for _ in 0..params.moves_per_round {
-                if n < 2 {
-                    break;
+                if n < 2 || stop() {
+                    break 'outer;
                 }
                 let from = rng.gen_range(0..n);
                 let to = rng.gen_range(0..n);
@@ -89,6 +103,11 @@ pub fn improve_ordering<R: Rng>(
             }
         }
         current_w = ev.width(&current);
+    }
+    // a stop mid-round may leave the last improvement uncommitted
+    if current_w < best_w {
+        best = current;
+        best_w = current_w;
     }
     (EliminationOrdering::new_unchecked(best), best_w)
 }

@@ -74,6 +74,11 @@ impl Ord for State {
 /// Computes `ghw(h)` with A*. Returns `None` when some vertex lies in no
 /// hyperedge. Within budget the result is exact; otherwise `lower` is the
 /// largest visited `f`.
+///
+/// With `cfg.shared` set, the open-list threshold is the shared
+/// [`Incumbent`](crate::Incumbent)'s upper bound and the rising min-`f` is
+/// published as a proven ghw lower bound; with `cfg.cover_cache` set, bag
+/// covers are memoized in the shared cache.
 pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     if !h.covers_all_vertices() {
         return None;
@@ -81,7 +86,10 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     let n = h.num_vertices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut stats = SearchStats::default();
+    let inc = cfg.incumbent();
     if n == 0 {
+        inc.offer_upper(0, &[]);
+        inc.mark_exact();
         return Some(SearchOutcome {
             lower: 0,
             upper: 0,
@@ -90,31 +98,37 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats,
         });
     }
+    let cache = cfg
+        .cover_cache
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(htd_setcover::CoverCache::new()));
     let g = h.primal_graph();
-    let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+    let mut ev = GhwEvaluator::with_cache(h, CoverStrategy::Exact, std::sync::Arc::clone(&cache));
     let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
-    let mut ub_order = cands[0].clone();
-    let mut ub = u32::MAX;
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
-            if w < ub {
-                ub = w;
-                ub_order = c.clone();
-            }
+            inc.offer_upper(w, c.as_slice());
         }
     }
     let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
-    if lb0 >= ub {
-        return Some(SearchOutcome {
-            lower: ub,
-            upper: ub,
-            exact: true,
-            ordering: Some(ub_order),
-            stats,
-        });
+    inc.raise_lower(lb0);
+    let finish =
+        |lower: u32, upper: u32, exact: bool, order: Option<Vec<Vertex>>, stats: SearchStats| {
+            Some(SearchOutcome {
+                lower,
+                upper,
+                exact,
+                ordering: order.map(EliminationOrdering::new_unchecked),
+                stats,
+            })
+        };
+    if lb0 >= inc.upper() {
+        let ub = inc.upper();
+        inc.mark_exact();
+        return finish(ub, ub, true, inc.best_order(), stats);
     }
 
-    let mut ctx = GhwContext::new(h);
+    let mut ctx = GhwContext::with_cache(h, cache);
     let mut budget = Budget::new(cfg);
     let mut queue: BinaryHeap<State> = BinaryHeap::new();
     let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
@@ -136,6 +150,7 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     let mut global_lb = lb0;
 
     while let Some(s) = queue.pop() {
+        let ub = inc.upper();
         if s.f >= ub {
             break;
         }
@@ -143,15 +158,20 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats.expanded = budget.expanded - 1;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            return Some(SearchOutcome {
-                lower: global_lb,
-                upper: ub,
-                exact: false,
-                ordering: Some(ub_order),
+            // cancellation may itself have been a sibling's exact proof
+            let exact = inc.is_exact();
+            let upper = inc.upper();
+            return finish(
+                if exact { upper } else { global_lb.min(upper) },
+                upper,
+                exact,
+                inc.best_order(),
                 stats,
-            });
+            );
         }
         global_lb = global_lb.max(s.f);
+        // min over open f is a valid lower bound on min(ghw, ub) (§5.3)
+        inc.raise_lower(global_lb.min(ub));
         let target = path_to_vec(&s.path);
         let common = current_path
             .iter()
@@ -176,13 +196,9 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats.expanded = budget.expanded;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            return Some(SearchOutcome {
-                lower: s.g,
-                upper: s.g,
-                exact: true,
-                ordering: Some(EliminationOrdering::new_unchecked(order)),
-                stats,
-            });
+            inc.offer_upper(s.g, &order);
+            inc.mark_exact();
+            return finish(s.g, s.g, true, Some(order), stats);
         }
         let (children, forced_child) = if cfg.use_reductions {
             match ctx.find_ghw_reducible(&eg) {
@@ -268,13 +284,9 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     }
     stats.expanded = budget.expanded;
     stats.elapsed = budget.elapsed();
-    Some(SearchOutcome {
-        lower: ub,
-        upper: ub,
-        exact: true,
-        ordering: Some(ub_order),
-        stats,
-    })
+    inc.mark_exact();
+    let ub = inc.upper();
+    finish(ub, ub, true, inc.best_order(), stats)
 }
 
 #[cfg(test)]
@@ -339,7 +351,7 @@ mod tests {
             }
             let cfg = SearchConfig::default();
             let a = astar_ghw(&h, &cfg).unwrap();
-            let b = crate::bb_ghw(&h, &cfg).unwrap();
+            let b = crate::bb_ghw::bb_ghw(&h, &cfg).unwrap();
             assert!(a.exact && b.exact);
             assert_eq!(a.upper, b.upper, "seed {seed}");
         }

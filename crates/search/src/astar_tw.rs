@@ -81,11 +81,19 @@ impl Ord for State {
 /// Computes the treewidth of `graph` with A*. Within budget the result is
 /// exact; otherwise `lower` is the largest proven `f` and `upper` the
 /// initial min-fill bound (the thesis's anytime behaviour).
+///
+/// With `cfg.shared` set, the open-list threshold is the shared
+/// [`Incumbent`](crate::Incumbent)'s upper bound — states are discarded
+/// against bounds found by sibling engines — and the rising min-`f` is
+/// published as the run's proven lower bound.
 pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     let n = graph.num_vertices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut stats = SearchStats::default();
+    let inc = cfg.incumbent();
     if n == 0 {
+        inc.offer_upper(0, &[]);
+        inc.mark_exact();
         return SearchOutcome {
             lower: 0,
             upper: 0,
@@ -96,16 +104,22 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     }
     let lb0 = htd_heuristics::combined_lower_bound(graph, &mut rng);
     let h0 = min_fill(graph, &mut rng);
-    let ub = h0.width;
-    let ub_order = h0.ordering;
-    if lb0 >= ub {
-        return SearchOutcome {
-            lower: ub,
-            upper: ub,
-            exact: true,
-            ordering: Some(ub_order),
-            stats,
+    inc.offer_upper(h0.width, h0.ordering.as_slice());
+    inc.raise_lower(lb0);
+    let finish =
+        |lower: u32, upper: u32, exact: bool, order: Option<Vec<Vertex>>, stats: SearchStats| {
+            SearchOutcome {
+                lower,
+                upper,
+                exact,
+                ordering: order.map(EliminationOrdering::new_unchecked),
+                stats,
+            }
         };
+    if lb0 >= inc.upper() {
+        let ub = inc.upper();
+        inc.mark_exact();
+        return finish(ub, ub, true, inc.best_order(), stats);
     }
 
     let mut budget = Budget::new(cfg);
@@ -131,6 +145,7 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     let mut global_lb = lb0;
 
     while let Some(s) = queue.pop() {
+        let ub = inc.upper();
         if s.f >= ub {
             break; // all open states are ≥ ub: ub is the treewidth
         }
@@ -138,15 +153,20 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
             stats.expanded = budget.expanded - 1;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            return SearchOutcome {
-                lower: global_lb,
-                upper: ub,
-                exact: false,
-                ordering: Some(ub_order),
+            // cancellation may itself have been a sibling's exact proof
+            let exact = inc.is_exact();
+            let upper = inc.upper();
+            return finish(
+                if exact { upper } else { global_lb.min(upper) },
+                upper,
+                exact,
+                inc.best_order(),
                 stats,
-            };
+            );
         }
         global_lb = global_lb.max(s.f);
+        // min over open f is a valid lower bound on min(tw, ub) (§5.3)
+        inc.raise_lower(global_lb.min(ub));
         // rebuild graph: undo to common prefix, then eliminate the rest
         let target = path_to_vec(&s.path);
         let common = current_path
@@ -168,17 +188,16 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
             stats.expanded = budget.expanded;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            return SearchOutcome {
-                lower: s.g,
-                upper: s.g,
-                exact: true,
-                ordering: Some(EliminationOrdering::new_unchecked(order)),
-                stats,
-            };
+            inc.offer_upper(s.g, &order);
+            inc.mark_exact();
+            return finish(s.g, s.g, true, Some(order), stats);
         }
-        // children
+        // children. The almost-simplicial rule needs a lower bound on the
+        // *alive subgraph*'s treewidth — s.f also carries g and lb0, which
+        // bound the completion, not the subgraph, so recompute locally.
         let (children, forced_child) = if cfg.use_reductions {
-            match reduce::find_reducible(&eg, s.f) {
+            let h_sub = minor_min_width(&alive_graph(&eg), &mut rng);
+            match reduce::find_reducible(&eg, h_sub) {
                 Some(v) => (vec![v], true),
                 None => (eg.alive().to_vec(), false),
             }
@@ -259,13 +278,9 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     // queue drained of states below ub: ub is the treewidth
     stats.expanded = budget.expanded;
     stats.elapsed = budget.elapsed();
-    SearchOutcome {
-        lower: ub,
-        upper: ub,
-        exact: true,
-        ordering: Some(ub_order),
-        stats,
-    }
+    inc.mark_exact();
+    let ub = inc.upper();
+    finish(ub, ub, true, inc.best_order(), stats)
 }
 
 #[cfg(test)]
@@ -331,7 +346,7 @@ mod tests {
             let g = gen::random_gnp(10, 0.3, seed);
             let cfg = SearchConfig::default();
             let a = astar_tw(&g, &cfg);
-            let b = crate::bb_tw(&g, &cfg);
+            let b = crate::bb_tw::bb_tw(&g, &cfg);
             assert!(a.exact && b.exact);
             assert_eq!(a.upper, b.upper, "seed {seed}");
         }

@@ -16,10 +16,16 @@ use rand::SeedableRng;
 
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
 use crate::ghw_common::GhwContext;
+use crate::incumbent::Incumbent;
 use crate::pruning::keep_child;
 
 /// Computes `ghw(h)` by branch and bound. Returns `None` when some vertex
 /// lies in no hyperedge (no GHD exists). Within budget the result is exact.
+///
+/// With `cfg.shared` set, the search prunes against and publishes to the
+/// shared [`Incumbent`](crate::Incumbent); with `cfg.cover_cache` set, bag
+/// covers are memoized in the shared [`CoverCache`](htd_setcover::CoverCache)
+/// (which must be dedicated to `h` and the exact strategy).
 pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     if !h.covers_all_vertices() {
         return None;
@@ -27,7 +33,10 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     let n = h.num_vertices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut stats = SearchStats::default();
+    let inc = cfg.incumbent();
     if n == 0 {
+        inc.offer_upper(0, &[]);
+        inc.mark_exact();
         return Some(SearchOutcome {
             lower: 0,
             upper: 0,
@@ -36,33 +45,35 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats,
         });
     }
+    let cache = cfg
+        .cover_cache
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(htd_setcover::CoverCache::new()));
     let g = h.primal_graph();
     // initial upper bound: best of min-fill / min-degree orderings under
-    // exact covering
-    let mut ev = GhwEvaluator::new(h, CoverStrategy::Exact);
+    // exact covering (memoized in the same cache the search uses)
+    let mut ev = GhwEvaluator::with_cache(h, CoverStrategy::Exact, std::sync::Arc::clone(&cache));
     let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
-    let mut best_order = cands[0].clone().into_vec();
-    let mut best_width = u32::MAX;
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
-            if w < best_width {
-                best_width = w;
-                best_order = c.clone().into_vec();
-            }
+            inc.offer_upper(w, c.as_slice());
         }
     }
     let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
-    if lb0 >= best_width {
+    inc.raise_lower(lb0);
+    if lb0 >= inc.upper() {
+        let upper = inc.upper();
+        inc.mark_exact();
         return Some(SearchOutcome {
-            lower: best_width,
-            upper: best_width,
+            lower: upper,
+            upper,
             exact: true,
-            ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+            ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
             stats,
         });
     }
 
-    let mut ctx = GhwContext::new(h);
+    let mut ctx = GhwContext::with_cache(h, cache);
     let mut budget = Budget::new(cfg);
     let mut eg = EliminationGraph::new(&g);
     let mut order = Vec::with_capacity(n as usize);
@@ -71,24 +82,21 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
         rng,
         stats: &mut stats,
         lb0,
+        inc: &inc,
     };
-    let completed = searcher.dfs(
-        &mut ctx,
-        &mut eg,
-        0,
-        &mut order,
-        None,
-        &mut best_width,
-        &mut best_order,
-        &mut budget,
-    );
+    let completed =
+        searcher.dfs(&mut ctx, &mut eg, 0, &mut order, None, &mut budget) || inc.is_exact();
     stats.expanded = budget.expanded;
     stats.elapsed = budget.elapsed();
+    if completed {
+        inc.mark_exact();
+    }
+    let upper = inc.upper();
     Some(SearchOutcome {
-        lower: if completed { best_width } else { lb0 },
-        upper: best_width,
+        lower: if completed { upper } else { inc.lower().min(upper) },
+        upper,
         exact: completed,
-        ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+        ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
         stats,
     })
 }
@@ -98,10 +106,10 @@ struct GhwSearcher<'a> {
     rng: StdRng,
     stats: &'a mut SearchStats,
     lb0: u32,
+    inc: &'a Incumbent,
 }
 
 impl GhwSearcher<'_> {
-    #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
         ctx: &mut GhwContext,
@@ -109,8 +117,6 @@ impl GhwSearcher<'_> {
         g_width: u32,
         order: &mut Vec<Vertex>,
         swap_with_prev: Option<(Vertex, VertexSet)>,
-        best_width: &mut u32,
-        best_order: &mut Vec<Vertex>,
         budget: &mut Budget,
     ) -> bool {
         if !budget.tick() {
@@ -118,21 +124,17 @@ impl GhwSearcher<'_> {
         }
         let remaining = eg.num_alive();
         if remaining == 0 {
-            if g_width < *best_width {
-                *best_width = g_width;
-                *best_order = order.clone();
-            }
+            self.inc.offer_upper(g_width, order);
             return true;
         }
         // PR1 analogue: covers are monotone, so any completion's bags cost
         // at most cover(alive set); greedy is enough for an upper bound
         if let Some(alive_cover) = ctx.cover_greedy(eg.alive()) {
             let w = g_width.max(alive_cover);
-            if w < *best_width {
-                *best_width = w;
+            if w < self.inc.upper() {
                 let mut o = order.clone();
                 o.extend(eg.alive().iter());
-                *best_order = o;
+                self.inc.offer_upper(w, &o);
             }
             if alive_cover <= g_width {
                 return true; // subtree width is exactly g, recorded above
@@ -141,7 +143,7 @@ impl GhwSearcher<'_> {
         // node lower bound
         let h_val = ctx.node_lower_bound(eg, &mut self.rng).max(self.lb0);
         let f = g_width.max(h_val);
-        if f >= *best_width {
+        if f >= self.inc.upper() {
             self.stats.pruned += 1;
             return true;
         }
@@ -164,7 +166,10 @@ impl GhwSearcher<'_> {
                     }
                 }
             }
-            let swap_set = if self.cfg.use_pr2 {
+            // a forced (reduction) child must not seed the PR2 filter:
+            // its siblings were never branched on, so the canonical-order
+            // argument has no other branch to defer to
+            let swap_set = if self.cfg.use_pr2 && !reduced {
                 let mut s = VertexSet::new(eg.capacity());
                 for u in eg.alive().iter() {
                     if u != v && GhwContext::swappable_ghw(eg, v, u) {
@@ -181,7 +186,7 @@ impl GhwSearcher<'_> {
                 continue;
             };
             let child_g = g_width.max(bag_cover);
-            if child_g >= *best_width {
+            if child_g >= self.inc.upper() {
                 self.stats.pruned += 1;
                 continue;
             }
@@ -189,12 +194,10 @@ impl GhwSearcher<'_> {
             eg.eliminate(v);
             order.push(v);
             self.stats.generated += 1;
-            completed &= self.dfs(
-                ctx, eg, child_g, order, swap_set, best_width, best_order, budget,
-            );
+            completed &= self.dfs(ctx, eg, child_g, order, swap_set, budget);
             order.pop();
             eg.undo_to(mark);
-            if !completed && budget.expanded > self.cfg.max_nodes {
+            if !completed && (budget.expanded > self.cfg.max_nodes || self.inc.is_cancelled()) {
                 break;
             }
         }

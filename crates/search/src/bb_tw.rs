@@ -8,11 +8,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::incumbent::Incumbent;
 use crate::pruning::{keep_child, swappable};
 
 /// Computes the treewidth of `g` by branch and bound over elimination
 /// orderings. Within budget the result is exact; otherwise `lower`/`upper`
 /// are valid anytime bounds.
+///
+/// With `cfg.shared` set, the search prunes against and publishes to the
+/// shared [`Incumbent`], and stops early when it is cancelled.
 ///
 /// ```
 /// use htd_search::{bb_tw, SearchConfig};
@@ -23,7 +27,10 @@ use crate::pruning::{keep_child, swappable};
 pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let inc = cfg.incumbent();
     if n == 0 {
+        inc.offer_upper(0, &[]);
+        inc.mark_exact();
         return SearchOutcome {
             lower: 0,
             upper: 0,
@@ -35,14 +42,16 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     // initial bounds
     let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
     let h0 = min_fill(g, &mut rng);
-    let mut best_width = h0.width;
-    let mut best_order: Vec<Vertex> = h0.ordering.into_vec();
-    if lb0 >= best_width {
+    inc.offer_upper(h0.width, h0.ordering.as_slice());
+    inc.raise_lower(lb0);
+    if lb0 >= inc.upper() {
+        let upper = inc.upper();
+        inc.mark_exact();
         return SearchOutcome {
-            lower: best_width,
-            upper: best_width,
+            lower: upper,
+            upper,
             exact: true,
-            ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+            ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
             stats: SearchStats::default(),
         };
     }
@@ -55,24 +64,22 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
         cfg,
         rng,
         stats: &mut stats,
+        inc: &inc,
     };
-    let completed = searcher.dfs(
-        &mut eg,
-        0,
-        &mut order,
-        None,
-        &mut best_width,
-        &mut best_order,
-        &mut budget,
-        lb0,
-    );
+    // a cancelled run is still exact when cancellation *was* the exact
+    // proof (this search or a sibling closed the gap)
+    let completed = searcher.dfs(&mut eg, 0, &mut order, None, &mut budget, lb0) || inc.is_exact();
     stats.expanded = budget.expanded;
     stats.elapsed = budget.elapsed();
+    if completed {
+        inc.mark_exact();
+    }
+    let upper = inc.upper();
     SearchOutcome {
-        lower: if completed { best_width } else { lb0 },
-        upper: best_width,
+        lower: if completed { upper } else { inc.lower().min(upper) },
+        upper,
         exact: completed,
-        ordering: Some(EliminationOrdering::new_unchecked(best_order)),
+        ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
         stats,
     }
 }
@@ -81,12 +88,14 @@ struct Searcher<'a> {
     cfg: &'a SearchConfig,
     rng: StdRng,
     stats: &'a mut SearchStats,
+    inc: &'a Incumbent,
 }
 
 impl Searcher<'_> {
-    /// Depth-first search. Returns `false` iff the budget was exhausted
-    /// somewhere below (result no longer guaranteed exact).
-    #[allow(clippy::too_many_arguments)]
+    /// Depth-first search. Returns `false` iff the budget was exhausted or
+    /// the run cancelled somewhere below (result no longer guaranteed
+    /// exact). Best-so-far lives in the incumbent, never in locals, so
+    /// bounds found by sibling workers prune this search too.
     fn dfs(
         &mut self,
         eg: &mut EliminationGraph,
@@ -94,8 +103,6 @@ impl Searcher<'_> {
         order: &mut Vec<Vertex>,
         // vertices swappable with the vertex eliminated to reach this node
         swap_with_prev: Option<(Vertex, VertexSet)>,
-        best_width: &mut u32,
-        best_order: &mut Vec<Vertex>,
         budget: &mut Budget,
         lb0: u32,
     ) -> bool {
@@ -104,34 +111,34 @@ impl Searcher<'_> {
         }
         let remaining = eg.num_alive();
         if remaining == 0 {
-            if g_width < *best_width {
-                *best_width = g_width;
-                *best_order = order.clone();
-            }
+            self.inc.offer_upper(g_width, order);
             return true;
         }
         // PR1: any completion has width ≤ max(g, remaining-1); record it.
         let w = g_width.max(remaining - 1);
-        if w < *best_width {
-            *best_width = w;
+        if w < self.inc.upper() {
             let mut o = order.clone();
             o.extend(eg.alive().iter());
-            *best_order = o;
+            self.inc.offer_upper(w, &o);
         }
         if remaining - 1 <= g_width {
             return true; // subtree width is exactly g, already recorded
         }
-        // node lower bound
+        // node lower bound: h_sub bounds the *alive subgraph*'s treewidth;
+        // any completion additionally costs at least g_width and lb0
         let sub = alive_graph(eg);
-        let h = minor_min_width(&sub, &mut self.rng).max(lb0);
-        let f = g_width.max(h);
-        if f >= *best_width {
+        let h_sub = minor_min_width(&sub, &mut self.rng);
+        let f = g_width.max(h_sub).max(lb0);
+        if f >= self.inc.upper() {
             self.stats.pruned += 1;
             return true;
         }
-        // children: reduction-forced single child, or all alive vertices
+        // children: reduction-forced single child, or all alive vertices.
+        // The almost-simplicial rule is only safe below a lower bound on
+        // the alive subgraph's treewidth — not below f, whose g_width/lb0
+        // parts say nothing about the subgraph.
         let (children, reduced) = if self.cfg.use_reductions {
-            match reduce::find_reducible(eg, f) {
+            match reduce::find_reducible(eg, h_sub) {
                 Some(v) => (vec![v], true),
                 None => (sorted_children(eg), false),
             }
@@ -150,8 +157,11 @@ impl Searcher<'_> {
                 }
             }
             // precompute swappability of v with the surviving vertices
-            // (both alive here) for the child's own PR2 filter
-            let swap_set = if self.cfg.use_pr2 {
+            // (both alive here) for the child's own PR2 filter. A forced
+            // (reduction) child must NOT seed the filter: its siblings
+            // were never branched on, so the canonical-order argument
+            // has no other branch to defer to.
+            let swap_set = if self.cfg.use_pr2 && !reduced {
                 let mut s = VertexSet::new(eg.capacity());
                 for u in eg.alive().iter() {
                     if u != v && swappable(eg, v, u) {
@@ -168,23 +178,14 @@ impl Searcher<'_> {
             order.push(v);
             self.stats.generated += 1;
             let child_g = g_width.max(d);
-            if child_g < *best_width {
-                completed &= self.dfs(
-                    eg,
-                    child_g,
-                    order,
-                    swap_set,
-                    best_width,
-                    best_order,
-                    budget,
-                    lb0,
-                );
+            if child_g < self.inc.upper() {
+                completed &= self.dfs(eg, child_g, order, swap_set, budget, lb0);
             } else {
                 self.stats.pruned += 1;
             }
             order.pop();
             eg.undo_to(log_mark);
-            if !completed && budget.expanded > self.cfg.max_nodes {
+            if !completed && (budget.expanded > self.cfg.max_nodes || self.inc.is_cancelled()) {
                 break; // hard stop
             }
         }

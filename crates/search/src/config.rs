@@ -1,10 +1,48 @@
 //! Shared search configuration, budgets and outcome reporting.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use htd_core::ordering::EliminationOrdering;
+use htd_setcover::CoverCache;
 
-/// Toggles and budgets shared by all four searches.
+use crate::incumbent::Incumbent;
+
+/// The engines a portfolio run may launch. Engine names are
+/// objective-independent: the portfolio picks the tw or ghw variant of
+/// each by the problem's objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Greedy upper-bound heuristics (min-fill / min-degree / MCS) plus
+    /// iterated local search — fast first incumbents.
+    Heuristic,
+    /// Dedicated lower-bound worker (minor-min-width / tw-ksc families).
+    LowerBound,
+    /// Depth-first branch and bound over elimination orderings.
+    BranchBound,
+    /// Best-first A* over elimination orderings.
+    AStar,
+    /// Genetic algorithm upper-bound worker.
+    Genetic,
+    /// Simulated-annealing upper-bound worker.
+    Annealing,
+}
+
+impl Engine {
+    /// The default portfolio lineup, in launch order.
+    pub fn default_lineup() -> Vec<Engine> {
+        vec![
+            Engine::Heuristic,
+            Engine::LowerBound,
+            Engine::BranchBound,
+            Engine::AStar,
+            Engine::Genetic,
+            Engine::Annealing,
+        ]
+    }
+}
+
+/// Toggles and budgets shared by all searches.
 ///
 /// The pruning toggles exist both because they are the thesis's knobs and
 /// because the ablation benches measure each rule's contribution.
@@ -22,6 +60,16 @@ pub struct SearchConfig {
     pub use_duplicate_detection: bool,
     /// Seed for the randomized bound heuristics.
     pub seed: u64,
+    /// Worker threads for portfolio / parallel runs (1 = sequential).
+    pub num_threads: usize,
+    /// Engines the portfolio launches; `None` = the default lineup.
+    pub engines: Option<Vec<Engine>>,
+    /// Shared bounds + cancellation. Engines given the same incumbent
+    /// prune against each other's bounds; `None` = a private incumbent.
+    pub shared: Option<Arc<Incumbent>>,
+    /// Shared bag → exact-cover-size memo for ghw evaluations; `None` = a
+    /// private memo per engine.
+    pub cover_cache: Option<Arc<CoverCache>>,
 }
 
 impl Default for SearchConfig {
@@ -33,6 +81,10 @@ impl Default for SearchConfig {
             use_reductions: true,
             use_duplicate_detection: true,
             seed: 0x5EED,
+            num_threads: 1,
+            engines: None,
+            shared: None,
+            cover_cache: None,
         }
     }
 }
@@ -46,12 +98,60 @@ impl SearchConfig {
         }
     }
 
+    /// The default portfolio preset: every engine, one worker per
+    /// available core (capped at 8 — the lineup isn't longer).
+    pub fn portfolio() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        SearchConfig::default().with_threads(threads)
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for portfolio / parallel runs.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads.max(1);
+        self
+    }
+
+    /// Restricts the portfolio to the given engines.
+    pub fn with_engines(mut self, engines: Vec<Engine>) -> Self {
+        self.engines = Some(engines);
+        self
+    }
+
     /// Disables every optional pruning rule (for ablations / baselines).
     pub fn without_pruning(mut self) -> Self {
         self.use_pr2 = false;
         self.use_reductions = false;
         self.use_duplicate_detection = false;
         self
+    }
+
+    /// The incumbent this run publishes to: the shared one if set, else a
+    /// fresh private one. Engines always work against an incumbent, so the
+    /// sequential and portfolio code paths are identical.
+    pub(crate) fn incumbent(&self) -> Arc<Incumbent> {
+        self.shared
+            .clone()
+            .unwrap_or_else(|| Arc::new(Incumbent::new()))
     }
 }
 
@@ -93,11 +193,16 @@ impl SearchOutcome {
 }
 
 /// Internal deadline/budget tracker.
+///
+/// Also the cancellation observer: when the run has a shared incumbent,
+/// every tick checks its flag, so a worker stops within one node expansion
+/// of another worker's exact proof (or the portfolio's deadline).
 #[derive(Debug)]
 pub(crate) struct Budget {
     start: Instant,
     deadline: Option<Instant>,
     max_nodes: u64,
+    cancel: Option<Arc<Incumbent>>,
     pub(crate) expanded: u64,
 }
 
@@ -108,17 +213,24 @@ impl Budget {
             start,
             deadline: cfg.time_limit.map(|d| start + d),
             max_nodes: cfg.max_nodes,
+            cancel: cfg.shared.clone(),
             expanded: 0,
         }
     }
 
-    /// Counts one expansion; `true` while within budget. The time check is
-    /// amortized (every 256 expansions).
+    /// Counts one expansion; `true` while within budget and not cancelled.
+    /// The time check is amortized (every 256 expansions); the cancel check
+    /// is a single relaxed load and runs every tick.
     #[inline]
     pub(crate) fn tick(&mut self) -> bool {
         self.expanded += 1;
         if self.expanded > self.max_nodes {
             return false;
+        }
+        if let Some(inc) = &self.cancel {
+            if inc.is_cancelled() {
+                return false;
+            }
         }
         if self.expanded & 0xFF == 0 {
             if let Some(d) = self.deadline {
@@ -151,10 +263,7 @@ mod tests {
 
     #[test]
     fn budget_time_limit() {
-        let cfg = SearchConfig {
-            time_limit: Some(Duration::from_millis(0)),
-            ..SearchConfig::default()
-        };
+        let cfg = SearchConfig::default().with_time_limit(Duration::from_millis(0));
         let mut b = Budget::new(&cfg);
         // the amortized check fires at expansion 256
         let mut stopped = false;
@@ -168,8 +277,35 @@ mod tests {
     }
 
     #[test]
+    fn budget_observes_cancellation() {
+        let inc = Arc::new(Incumbent::new());
+        let cfg = SearchConfig {
+            shared: Some(Arc::clone(&inc)),
+            ..SearchConfig::default()
+        };
+        let mut b = Budget::new(&cfg);
+        assert!(b.tick());
+        inc.cancel();
+        assert!(!b.tick(), "cancel observed on the very next tick");
+    }
+
+    #[test]
     fn without_pruning_clears_toggles() {
         let cfg = SearchConfig::default().without_pruning();
         assert!(!cfg.use_pr2 && !cfg.use_reductions && !cfg.use_duplicate_detection);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SearchConfig::budgeted(100)
+            .with_time_limit(Duration::from_secs(1))
+            .with_seed(7)
+            .with_threads(3);
+        assert_eq!(cfg.max_nodes, 100);
+        assert_eq!(cfg.time_limit, Some(Duration::from_secs(1)));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.num_threads, 3);
+        assert!(SearchConfig::portfolio().num_threads >= 1);
+        assert_eq!(cfg.with_threads(0).num_threads, 1);
     }
 }

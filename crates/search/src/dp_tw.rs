@@ -134,7 +134,8 @@ mod tests {
 
     #[test]
     fn matches_branch_and_bound_beyond_exhaustive_reach() {
-        use crate::{bb_tw, SearchConfig};
+        use crate::bb_tw::bb_tw;
+        use crate::SearchConfig;
         for seed in 0..6u64 {
             let g = gen::random_gnp(14, 0.25, seed);
             let bb = bb_tw(&g, &SearchConfig::default());

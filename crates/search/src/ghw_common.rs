@@ -1,32 +1,46 @@
 //! Shared machinery of the generalized-hypertree-width searches.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use htd_hypergraph::{EliminationGraph, Hypergraph, Vertex, VertexSet};
 use htd_setcover::exact::{CoverResult, ExactCover};
+use htd_setcover::CoverCache;
 use rand::rngs::StdRng;
 
 use crate::bb_tw::alive_graph;
 
 /// Hypergraph context shared by BB-ghw and A*-ghw: edge scopes, incidence,
 /// a memoized exact-cover oracle and the per-node lower bound.
+///
+/// The cover memo is a concurrent [`CoverCache`]: a context created with
+/// [`GhwContext::with_cache`] shares its memo with every other evaluation
+/// holding the same cache (portfolio workers, the A* sibling search, the
+/// GA fitness loop), so a bag's exact cover is solved once per run rather
+/// than once per engine.
 pub(crate) struct GhwContext {
     pub edges: Vec<VertexSet>,
     pub incident: Vec<Vec<u32>>,
     pub rank: u32,
-    /// bag (bitset blocks) → exact minimum cover size
-    cache: HashMap<Vec<u64>, u32>,
+    /// bag (bitset blocks) → exact minimum cover size, shared across a run
+    cache: Arc<CoverCache>,
 }
 
 impl GhwContext {
+    #[allow(dead_code)] // convenience constructor for tests and callers without a shared cache
     pub fn new(h: &Hypergraph) -> Self {
+        Self::with_cache(h, Arc::new(CoverCache::new()))
+    }
+
+    /// A context whose exact-cover memo is the shared `cache`. The cache
+    /// must only ever see bags of this hypergraph (exact strategy).
+    pub fn with_cache(h: &Hypergraph, cache: Arc<CoverCache>) -> Self {
         GhwContext {
             edges: h.edges().to_vec(),
             incident: (0..h.num_vertices())
                 .map(|v| h.incident_edges(v).to_vec())
                 .collect(),
             rank: h.rank(),
-            cache: HashMap::new(),
+            cache,
         }
     }
 
@@ -36,28 +50,24 @@ impl GhwContext {
         if bag.is_empty() {
             return Some(0);
         }
-        if let Some(&c) = self.cache.get(bag.blocks()) {
-            return (c != u32::MAX).then_some(c);
-        }
-        // candidates: edges touching the bag
-        let mut cands: Vec<VertexSet> = Vec::new();
-        let mut stamp = vec![false; self.edges.len()];
-        for v in bag.iter() {
-            for &e in &self.incident[v as usize] {
-                if !stamp[e as usize] {
-                    stamp[e as usize] = true;
-                    cands.push(self.edges[e as usize].clone());
+        self.cache.get_or_insert_with(bag.blocks(), || {
+            // candidates: edges touching the bag
+            let mut cands: Vec<VertexSet> = Vec::new();
+            let mut stamp = vec![false; self.edges.len()];
+            for v in bag.iter() {
+                for &e in &self.incident[v as usize] {
+                    if !stamp[e as usize] {
+                        stamp[e as usize] = true;
+                        cands.push(self.edges[e as usize].clone());
+                    }
                 }
             }
-        }
-        let size = match ExactCover::new(&cands).cover(bag) {
-            CoverResult::Optimal(c) => Some(c.len() as u32),
-            CoverResult::Truncated(c) => Some(c.len() as u32), // unbudgeted: unreachable
-            CoverResult::Uncoverable => None,
-        };
-        self.cache
-            .insert(bag.blocks().to_vec(), size.unwrap_or(u32::MAX));
-        size
+            match ExactCover::new(&cands).cover(bag) {
+                CoverResult::Optimal(c) => Some(c.len() as u32),
+                CoverResult::Truncated(c) => Some(c.len() as u32), // unbudgeted: unreachable
+                CoverResult::Uncoverable => None,
+            }
+        })
     }
 
     /// Greedy cover of `bag` — used for the PR1-style achievable bound on

@@ -16,6 +16,12 @@
 //! a [`SearchOutcome`] with anytime lower/upper bounds: interrupted runs
 //! still return valid bounds, exactly as the thesis's one-hour-limit runs
 //! report the `f`-value of the last visited state as a lower bound (§5.3).
+//!
+//! The preferred entry point is the unified API in [`portfolio`]: build a
+//! [`Problem`], pick a [`SearchConfig`], call [`solve`], read an
+//! [`Outcome`]. With `num_threads > 1` it runs all engines concurrently
+//! against a shared [`Incumbent`]. The per-engine functions above remain
+//! available as modules; their old crate-root re-exports are deprecated.
 
 #![warn(missing_docs)]
 
@@ -26,15 +32,44 @@ pub mod bb_tw;
 pub mod config;
 pub mod detk;
 pub mod dp_tw;
+pub mod incumbent;
 pub mod parallel;
+pub mod portfolio;
 pub(crate) mod ghw_common;
 pub mod pruning;
 
-pub use astar_ghw::astar_ghw;
-pub use astar_tw::astar_tw;
-pub use bb_ghw::bb_ghw;
-pub use bb_tw::bb_tw;
-pub use config::{SearchConfig, SearchOutcome, SearchStats};
+pub use config::{Engine, SearchConfig, SearchOutcome, SearchStats};
 pub use detk::{det_k_decomp, hypertree_width};
 pub use dp_tw::dp_treewidth;
+pub use incumbent::Incumbent;
 pub use parallel::bb_tw_parallel;
+pub use portfolio::{solve, EngineReport, Objective, Outcome, Problem};
+
+use htd_hypergraph::{Graph, Hypergraph};
+
+// Deprecated per-engine entry points. These shadow the module names in the
+// value namespace only, so `crate::bb_tw::bb_tw` paths keep working.
+
+/// Deprecated alias for [`bb_tw::bb_tw`]; prefer [`solve`].
+#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::treewidth")]
+pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
+    bb_tw::bb_tw(g, cfg)
+}
+
+/// Deprecated alias for [`astar_tw::astar_tw`]; prefer [`solve`].
+#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::treewidth")]
+pub fn astar_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
+    astar_tw::astar_tw(g, cfg)
+}
+
+/// Deprecated alias for [`bb_ghw::bb_ghw`]; prefer [`solve`].
+#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::ghw")]
+pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
+    bb_ghw::bb_ghw(h, cfg)
+}
+
+/// Deprecated alias for [`astar_ghw::astar_ghw`]; prefer [`solve`].
+#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::ghw")]
+pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
+    astar_ghw::astar_ghw(h, cfg)
+}

@@ -2,23 +2,24 @@
 //!
 //! The depth-first search of [`bb_tw`](crate::bb_tw) parallelizes at the
 //! root: each first-eliminated vertex spawns an independent subtree, and
-//! the incumbent upper bound is shared through an atomic so a good
-//! solution found by one worker immediately tightens every other worker's
-//! pruning. Workers never block each other (the ordering behind the
-//! incumbent is folded in afterwards), so this is the textbook
-//! shared-bound parallel B&B.
+//! all workers share one [`Incumbent`], so a good solution found by one
+//! immediately tightens every other worker's pruning. Workers never block
+//! each other (the ordering behind the incumbent is guarded separately
+//! from the atomic bound), so this is the textbook shared-bound parallel
+//! B&B — and the same `Incumbent` type the portfolio solver uses across
+//! heterogeneous engines.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use htd_core::ordering::{EliminationOrdering, TwEvaluator};
 use htd_heuristics::{lower::minor_min_width, reduce, upper::min_fill};
 use htd_hypergraph::{EliminationGraph, Graph, Vertex};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::bb_tw::alive_graph;
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::incumbent::Incumbent;
 
 /// Parallel BB-tw across `threads` workers. Semantics match
 /// [`bb_tw`](crate::bb_tw): exact within budget (the node budget applies
@@ -29,21 +30,30 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
     let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     if n == 0 || threads <= 1 {
-        return crate::bb_tw(g, cfg);
+        return crate::bb_tw::bb_tw(g, cfg);
     }
+    let inc = cfg.incumbent();
     let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
     let h0 = min_fill(g, &mut rng);
-    if lb0 >= h0.width {
+    inc.offer_upper(h0.width, h0.ordering.as_slice());
+    inc.raise_lower(lb0);
+    if lb0 >= inc.upper() {
+        let upper = inc.upper();
+        inc.mark_exact();
         return SearchOutcome {
-            lower: h0.width,
-            upper: h0.width,
+            lower: upper,
+            upper,
             exact: true,
-            ordering: Some(h0.ordering),
+            ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
             stats: SearchStats::default(),
         };
     }
-    let best = AtomicU32::new(h0.width);
-    let best_order: Mutex<Vec<Vertex>> = Mutex::new(h0.ordering.clone().into_vec());
+
+    // each worker's budget must observe the shared incumbent's cancel flag
+    let worker_cfg = SearchConfig {
+        shared: Some(Arc::clone(&inc)),
+        ..cfg.clone()
+    };
 
     // root children: reduction-forced single child or all vertices
     let base = EliminationGraph::new(g);
@@ -74,18 +84,16 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
             .iter()
             .enumerate()
             .map(|(t, chunk)| {
-                let best = &best;
-                let best_order = &best_order;
-                scope.spawn(move |_| {
-                    worker(g, cfg, lb0, chunk, t as u64, best, best_order)
-                })
+                let inc = &inc;
+                let worker_cfg = &worker_cfg;
+                scope.spawn(move |_| worker(g, worker_cfg, lb0, chunk, t as u64, inc))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker")).collect()
     })
     .expect("scope");
 
-    let exact = results.iter().all(|(done, _)| *done);
+    let exact = results.iter().all(|(done, _)| *done) || inc.is_exact();
     let mut stats = SearchStats::default();
     for (_, s) in &results {
         stats.expanded += s.expanded;
@@ -93,8 +101,11 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
         stats.pruned += s.pruned;
     }
     stats.elapsed = start.elapsed();
-    let upper = best.load(Ordering::SeqCst);
-    let order = best_order.into_inner();
+    if exact {
+        inc.mark_exact();
+    }
+    let upper = inc.upper();
+    let order = inc.best_order().unwrap_or_default();
     // the recorded ordering may be a PR1-completed prefix; re-evaluate to
     // confirm it achieves the bound
     debug_assert!({
@@ -102,7 +113,7 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
         ev.width(&order) <= upper
     });
     SearchOutcome {
-        lower: if exact { upper } else { lb0 },
+        lower: if exact { upper } else { inc.lower().min(upper) },
         upper,
         exact,
         ordering: Some(EliminationOrdering::new_unchecked(order)),
@@ -117,8 +128,7 @@ fn worker(
     lb0: u32,
     roots: &[Vertex],
     salt: u64,
-    best: &AtomicU32,
-    best_order: &Mutex<Vec<Vertex>>,
+    inc: &Incumbent,
 ) -> (bool, SearchStats) {
     let mut stats = SearchStats::default();
     let mut budget = Budget::new(cfg);
@@ -132,8 +142,7 @@ fn worker(
         eg.eliminate(v);
         order.push(v);
         completed &= dfs(
-            g, cfg, lb0, &mut eg, d, &mut order, best, best_order, &mut budget, &mut rng,
-            &mut stats,
+            cfg, lb0, &mut eg, d, &mut order, inc, &mut budget, &mut rng, &mut stats,
         );
         order.pop();
         eg.undo_to(mark);
@@ -147,14 +156,12 @@ fn worker(
 
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    g: &Graph,
     cfg: &SearchConfig,
     lb0: u32,
     eg: &mut EliminationGraph,
     g_width: u32,
     order: &mut Vec<Vertex>,
-    best: &AtomicU32,
-    best_order: &Mutex<Vec<Vertex>>,
+    inc: &Incumbent,
     budget: &mut Budget,
     rng: &mut StdRng,
     stats: &mut SearchStats,
@@ -163,37 +170,29 @@ fn dfs(
         return false;
     }
     let remaining = eg.num_alive();
-    let record = |width: u32, order: &[Vertex], eg: &EliminationGraph| {
-        // CAS-min on the shared incumbent
-        let mut cur = best.load(Ordering::SeqCst);
-        while width < cur {
-            match best.compare_exchange(cur, width, Ordering::SeqCst, Ordering::SeqCst) {
-                Ok(_) => {
-                    let mut o = order.to_vec();
-                    o.extend(eg.alive().iter());
-                    *best_order.lock() = o;
-                    break;
-                }
-                Err(now) => cur = now,
-            }
-        }
-    };
     if remaining == 0 {
-        record(g_width, order, eg);
+        inc.offer_upper(g_width, order);
         return true;
     }
     let w = g_width.max(remaining - 1);
-    record(w, order, eg);
+    if w < inc.upper() {
+        let mut o = order.clone();
+        o.extend(eg.alive().iter());
+        inc.offer_upper(w, &o);
+    }
     if remaining - 1 <= g_width {
         return true;
     }
-    let h = minor_min_width(&alive_graph(eg), rng).max(lb0);
-    if g_width.max(h) >= best.load(Ordering::SeqCst) {
+    // h_sub bounds the alive subgraph's treewidth; pruning may also use
+    // g_width and lb0, but the almost-simplicial rule may not (they bound
+    // the completion, not the subgraph)
+    let h_sub = minor_min_width(&alive_graph(eg), rng);
+    if g_width.max(h_sub).max(lb0) >= inc.upper() {
         stats.pruned += 1;
         return true;
     }
     let children: Vec<Vertex> = if cfg.use_reductions {
-        match reduce::find_reducible(eg, g_width.max(h)) {
+        match reduce::find_reducible(eg, h_sub) {
             Some(v) => vec![v],
             None => eg.alive().to_vec(),
         }
@@ -204,7 +203,7 @@ fn dfs(
     for v in children {
         let d = eg.degree(v);
         let child_g = g_width.max(d);
-        if child_g >= best.load(Ordering::SeqCst) {
+        if child_g >= inc.upper() {
             stats.pruned += 1;
             continue;
         }
@@ -212,9 +211,7 @@ fn dfs(
         eg.eliminate(v);
         order.push(v);
         stats.generated += 1;
-        completed &= dfs(
-            g, cfg, lb0, eg, child_g, order, best, best_order, budget, rng, stats,
-        );
+        completed &= dfs(cfg, lb0, eg, child_g, order, inc, budget, rng, stats);
         order.pop();
         eg.undo_to(mark);
         if !completed {
@@ -234,7 +231,7 @@ mod tests {
         for seed in 0..8u64 {
             let g = gen::random_gnp(10, 0.35, seed);
             let cfg = SearchConfig::default();
-            let seq = crate::bb_tw(&g, &cfg);
+            let seq = crate::bb_tw::bb_tw(&g, &cfg);
             for threads in [2usize, 4] {
                 let par = bb_tw_parallel(&g, &cfg, threads);
                 assert!(par.exact, "seed {seed} threads {threads}");
@@ -267,5 +264,30 @@ mod tests {
         let g = gen::queen_graph(6);
         let out = bb_tw_parallel(&g, &SearchConfig::budgeted(30), 4);
         assert!(out.lower <= 25 && out.upper >= 25);
+    }
+
+    #[test]
+    fn external_cancellation_stops_workers() {
+        use std::time::{Duration, Instant};
+        let g = gen::queen_graph(7);
+        let inc = Arc::new(Incumbent::new());
+        let cfg = SearchConfig {
+            shared: Some(Arc::clone(&inc)),
+            ..SearchConfig::default()
+        };
+        let t0 = Instant::now();
+        crossbeam::thread::scope(|scope| {
+            let handle = scope.spawn(|_| bb_tw_parallel(&g, &cfg, 4));
+            std::thread::sleep(Duration::from_millis(50));
+            inc.cancel();
+            let out = handle.join().expect("solver");
+            assert!(out.lower <= out.upper);
+        })
+        .expect("scope");
+        assert!(
+            t0.elapsed() < Duration::from_millis(50 + 500),
+            "workers did not stop promptly: {:?}",
+            t0.elapsed()
+        );
     }
 }

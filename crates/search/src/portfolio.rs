@@ -1,0 +1,838 @@
+//! The anytime portfolio solver and the unified solver API.
+//!
+//! One entry point — [`solve`] — replaces the four per-engine functions:
+//! a [`Problem`] names the instance and the objective (`tw`, `ghw` or
+//! `hw`), a [`SearchConfig`] carries budgets and the thread count, and the
+//! result is always an [`Outcome`] with certified anytime bounds.
+//!
+//! With `num_threads > 1` the solver launches a **portfolio**: heuristic
+//! upper-bound, lower-bound, branch-and-bound, A* and (optionally) GA/SA
+//! workers run concurrently on scoped threads against one shared
+//! [`Incumbent`]. Every bound any worker proves immediately tightens every
+//! other worker's pruning; the first exact proof — or the wall-clock
+//! budget — cancels the whole run cooperatively. All ghw workers share one
+//! concurrent [`CoverCache`](htd_setcover::CoverCache) per covering
+//! strategy, so a bag's set cover is solved once per run rather than once
+//! per engine.
+//!
+//! This is the thesis's systems chapters in one place: the searches
+//! (Chapters 4–9), the heuristics feeding them initial bounds, and the
+//! GA (Chapters 6–7) demoted from standalone experiment to incumbent
+//! supplier.
+
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use htd_core::error::HtdError;
+use htd_core::json::Json;
+use htd_core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator};
+use htd_ga::engine::GaParams;
+use htd_ga::sa::SaParams;
+use htd_hypergraph::{Graph, Hypergraph};
+use htd_setcover::CoverCache;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Engine, SearchConfig, SearchStats};
+use crate::incumbent::Incumbent;
+
+/// What to minimize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Treewidth of a graph (or of a hypergraph's primal graph).
+    Treewidth,
+    /// Generalized hypertree width (Definition 13).
+    GeneralizedHypertreeWidth,
+    /// Hypertree width (adds the descendant condition; `ghw ≤ hw`).
+    HypertreeWidth,
+}
+
+impl Objective {
+    /// The short name used in CLI arguments and JSON (`tw`/`ghw`/`hw`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Treewidth => "tw",
+            Objective::GeneralizedHypertreeWidth => "ghw",
+            Objective::HypertreeWidth => "hw",
+        }
+    }
+
+    /// Parses a short name.
+    pub fn from_name(s: &str) -> Option<Objective> {
+        match s {
+            "tw" => Some(Objective::Treewidth),
+            "ghw" => Some(Objective::GeneralizedHypertreeWidth),
+            "hw" => Some(Objective::HypertreeWidth),
+            _ => None,
+        }
+    }
+}
+
+/// An instance plus an objective: the input of [`solve`].
+#[derive(Clone, Debug)]
+pub struct Problem {
+    objective: Objective,
+    /// The graph searched over (for ghw/hw: the primal graph).
+    graph: Graph,
+    /// Present for hypergraph objectives (ghw / hw) and for treewidth of
+    /// a hypergraph's primal graph.
+    hypergraph: Option<Hypergraph>,
+}
+
+impl Problem {
+    /// Treewidth of a graph.
+    pub fn treewidth(graph: Graph) -> Self {
+        Problem {
+            objective: Objective::Treewidth,
+            graph,
+            hypergraph: None,
+        }
+    }
+
+    /// Treewidth of a hypergraph's primal graph.
+    pub fn treewidth_of_hypergraph(h: Hypergraph) -> Self {
+        Problem {
+            objective: Objective::Treewidth,
+            graph: h.primal_graph(),
+            hypergraph: Some(h),
+        }
+    }
+
+    /// Generalized hypertree width of a hypergraph.
+    pub fn ghw(h: Hypergraph) -> Self {
+        Problem {
+            objective: Objective::GeneralizedHypertreeWidth,
+            graph: h.primal_graph(),
+            hypergraph: Some(h),
+        }
+    }
+
+    /// Hypertree width of a hypergraph.
+    pub fn hw(h: Hypergraph) -> Self {
+        Problem {
+            objective: Objective::HypertreeWidth,
+            graph: h.primal_graph(),
+            hypergraph: Some(h),
+        }
+    }
+
+    /// The objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The graph searched over (for ghw/hw: the primal graph).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The hypergraph, when the problem has one.
+    pub fn hypergraph(&self) -> Option<&Hypergraph> {
+        self.hypergraph.as_ref()
+    }
+
+    /// Checks the semantic requirements of the objective.
+    pub fn validate(&self) -> Result<(), HtdError> {
+        match self.objective {
+            Objective::Treewidth => Ok(()),
+            Objective::GeneralizedHypertreeWidth | Objective::HypertreeWidth => {
+                let h = self.hypergraph.as_ref().ok_or_else(|| {
+                    HtdError::Invalid(format!("{} needs a hypergraph", self.objective.name()))
+                })?;
+                if !h.covers_all_vertices() {
+                    return Err(HtdError::Invalid(
+                        "some vertex lies in no hyperedge: no decomposition exists".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What one engine contributed to a solve.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The engine.
+    pub engine: Engine,
+    /// Lower bound this engine proved on its own.
+    pub lower: u32,
+    /// Upper bound this engine achieved on its own (`u32::MAX` = none).
+    pub upper: u32,
+    /// Whether this engine finished with an exactness proof.
+    pub exact: bool,
+    /// Its search counters.
+    pub stats: SearchStats,
+}
+
+/// The unified result of [`solve`]: certified anytime bounds, a witness,
+/// and per-engine accounting.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The objective solved.
+    pub objective: Objective,
+    /// Proven lower bound.
+    pub lower: u32,
+    /// Achieved upper bound.
+    pub upper: u32,
+    /// `true` iff `lower == upper` was proven within budget.
+    pub exact: bool,
+    /// An elimination ordering achieving `upper` (absent for `hw`, whose
+    /// witness is a decomposition tree, not an ordering).
+    pub witness: Option<EliminationOrdering>,
+    /// Total nodes expanded across every engine.
+    pub nodes: u64,
+    /// Wall-clock time of the whole solve.
+    pub elapsed: Duration,
+    /// Per-engine accounting, in launch order.
+    pub per_engine: Vec<EngineReport>,
+}
+
+impl Outcome {
+    /// The width if proven exact.
+    pub fn exact_width(&self) -> Option<u32> {
+        self.exact.then_some(self.upper)
+    }
+
+    /// The documented JSON schema, one object per solve:
+    ///
+    /// ```json
+    /// {"objective":"tw","lower":18,"upper":18,"exact":true,
+    ///  "witness":[3,1,0,2],"nodes":4212,"elapsed_ms":10.3,
+    ///  "engines":[{"engine":"branch_bound","lower":18,"upper":18,
+    ///              "exact":true,"expanded":4212,"generated":9121,
+    ///              "pruned":380,"max_queue":0,"elapsed_ms":10.1}]}
+    /// ```
+    ///
+    /// `witness` is omitted when absent; `upper` of an engine that never
+    /// found one is omitted likewise.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("objective".into(), Json::Str(self.objective.name().into())),
+            ("lower".into(), Json::Num(self.lower as f64)),
+            ("upper".into(), Json::Num(self.upper as f64)),
+            ("exact".into(), Json::Bool(self.exact)),
+        ];
+        if let Some(w) = &self.witness {
+            members.push((
+                "witness".into(),
+                Json::Arr(w.as_slice().iter().map(|&v| Json::Num(v as f64)).collect()),
+            ));
+        }
+        members.push(("nodes".into(), Json::Num(self.nodes as f64)));
+        members.push((
+            "elapsed_ms".into(),
+            Json::Num(self.elapsed.as_secs_f64() * 1e3),
+        ));
+        members.push((
+            "engines".into(),
+            Json::Arr(self.per_engine.iter().map(engine_report_json).collect()),
+        ));
+        Json::Obj(members)
+    }
+
+    /// Parses a document produced by [`Outcome::to_json`].
+    pub fn from_json(doc: &Json) -> Result<Outcome, HtdError> {
+        let field = |k: &str| {
+            doc.get(k)
+                .ok_or_else(|| HtdError::Parse(format!("outcome json missing '{k}'")))
+        };
+        let objective = Objective::from_name(field("objective")?.as_str().unwrap_or(""))
+            .ok_or_else(|| HtdError::Parse("bad objective".into()))?;
+        let num =
+            |k: &str| -> Result<u64, HtdError> {
+                field(k)?
+                    .as_u64()
+                    .ok_or_else(|| HtdError::Parse(format!("'{k}' is not a number")))
+            };
+        let witness = match doc.get("witness") {
+            None => None,
+            Some(w) => {
+                let items = w
+                    .as_arr()
+                    .ok_or_else(|| HtdError::Parse("witness is not an array".into()))?;
+                let order: Option<Vec<u32>> =
+                    items.iter().map(|v| v.as_u64().map(|x| x as u32)).collect();
+                Some(EliminationOrdering::new_unchecked(order.ok_or_else(
+                    || HtdError::Parse("witness holds a non-integer".into()),
+                )?))
+            }
+        };
+        let per_engine = match doc.get("engines") {
+            None => Vec::new(),
+            Some(engines) => engines
+                .as_arr()
+                .ok_or_else(|| HtdError::Parse("engines is not an array".into()))?
+                .iter()
+                .map(engine_report_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Outcome {
+            objective,
+            lower: num("lower")? as u32,
+            upper: num("upper")? as u32,
+            exact: field("exact")?
+                .as_bool()
+                .ok_or_else(|| HtdError::Parse("'exact' is not a bool".into()))?,
+            witness,
+            nodes: num("nodes")?,
+            elapsed: Duration::from_secs_f64(
+                field("elapsed_ms")?
+                    .as_f64()
+                    .ok_or_else(|| HtdError::Parse("'elapsed_ms' is not a number".into()))?
+                    .max(0.0)
+                    / 1e3,
+            ),
+            per_engine,
+        })
+    }
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Heuristic => "heuristic",
+        Engine::LowerBound => "lower_bound",
+        Engine::BranchBound => "branch_bound",
+        Engine::AStar => "astar",
+        Engine::Genetic => "genetic",
+        Engine::Annealing => "annealing",
+    }
+}
+
+fn engine_from_name(s: &str) -> Option<Engine> {
+    match s {
+        "heuristic" => Some(Engine::Heuristic),
+        "lower_bound" => Some(Engine::LowerBound),
+        "branch_bound" => Some(Engine::BranchBound),
+        "astar" => Some(Engine::AStar),
+        "genetic" => Some(Engine::Genetic),
+        "annealing" => Some(Engine::Annealing),
+        _ => None,
+    }
+}
+
+fn engine_report_json(r: &EngineReport) -> Json {
+    let mut members = vec![
+        ("engine".into(), Json::Str(engine_name(r.engine).into())),
+        ("lower".into(), Json::Num(r.lower as f64)),
+    ];
+    if r.upper != u32::MAX {
+        members.push(("upper".into(), Json::Num(r.upper as f64)));
+    }
+    members.push(("exact".into(), Json::Bool(r.exact)));
+    members.push(("expanded".into(), Json::Num(r.stats.expanded as f64)));
+    members.push(("generated".into(), Json::Num(r.stats.generated as f64)));
+    members.push(("pruned".into(), Json::Num(r.stats.pruned as f64)));
+    members.push(("max_queue".into(), Json::Num(r.stats.max_queue as f64)));
+    members.push((
+        "elapsed_ms".into(),
+        Json::Num(r.stats.elapsed.as_secs_f64() * 1e3),
+    ));
+    Json::Obj(members)
+}
+
+fn engine_report_from_json(doc: &Json) -> Result<EngineReport, HtdError> {
+    let engine = engine_from_name(
+        doc.get("engine")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default(),
+    )
+    .ok_or_else(|| HtdError::Parse("bad engine name".into()))?;
+    let num = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    Ok(EngineReport {
+        engine,
+        lower: num("lower") as u32,
+        upper: doc
+            .get("upper")
+            .and_then(|v| v.as_u64())
+            .map(|x| x as u32)
+            .unwrap_or(u32::MAX),
+        exact: doc.get("exact").and_then(|v| v.as_bool()).unwrap_or(false),
+        stats: SearchStats {
+            expanded: num("expanded"),
+            generated: num("generated"),
+            pruned: num("pruned"),
+            max_queue: num("max_queue") as usize,
+            elapsed: Duration::from_secs_f64(
+                doc.get("elapsed_ms")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+                    .max(0.0)
+                    / 1e3,
+            ),
+        },
+    })
+}
+
+/// Solves a [`Problem`] under a [`SearchConfig`].
+///
+/// `cfg.num_threads <= 1` runs the strongest sequential engine for the
+/// objective (branch and bound; det-k-decomp for `hw`). More threads run
+/// the anytime portfolio described in the module docs. Either way the
+/// returned bounds are certified: `lower ≤ width ≤ upper`, with
+/// `exact` iff the gap closed within budget.
+pub fn solve(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> {
+    problem.validate()?;
+    let start = Instant::now();
+    let mut outcome = match problem.objective {
+        Objective::Treewidth => solve_portfolio(problem, cfg),
+        Objective::GeneralizedHypertreeWidth => solve_portfolio(problem, cfg),
+        Objective::HypertreeWidth => solve_hw(problem, cfg),
+    }?;
+    outcome.elapsed = start.elapsed();
+    Ok(outcome)
+}
+
+/// Engines in claim order: when the portfolio has fewer threads than the
+/// lineup, the strongest engines claim the slots first.
+const CLAIM_ORDER: [Engine; 6] = [
+    Engine::BranchBound,
+    Engine::AStar,
+    Engine::Heuristic,
+    Engine::LowerBound,
+    Engine::Genetic,
+    Engine::Annealing,
+];
+
+fn pick_engines(cfg: &SearchConfig) -> Vec<Engine> {
+    let lineup = cfg
+        .engines
+        .clone()
+        .unwrap_or_else(Engine::default_lineup);
+    let slots = cfg.num_threads.max(1);
+    if lineup.len() <= slots {
+        return lineup;
+    }
+    let mut picked: Vec<Engine> = CLAIM_ORDER
+        .iter()
+        .copied()
+        .filter(|e| lineup.contains(e))
+        .take(slots)
+        .collect();
+    // engines outside the claim order (never happens today) keep their slot
+    if picked.is_empty() {
+        picked = lineup.into_iter().take(slots).collect();
+    }
+    picked
+}
+
+fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> {
+    let engines = pick_engines(cfg);
+    let inc = cfg.incumbent();
+    // one cover cache per covering strategy: exact for the searches,
+    // greedy for GA/SA fitness (their sizes differ, so they never share)
+    let exact_cache = cfg
+        .cover_cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(CoverCache::new()));
+    let greedy_cache = Arc::new(CoverCache::new());
+
+    let worker_cfg = SearchConfig {
+        shared: Some(Arc::clone(&inc)),
+        cover_cache: Some(Arc::clone(&exact_cache)),
+        num_threads: 1,
+        ..cfg.clone()
+    };
+
+    let start = Instant::now();
+    let done = AtomicBool::new(false);
+    let reports: Vec<EngineReport> = crossbeam::thread::scope(|scope| {
+        // deadline watchdog: engines that only poll the cancel flag at
+        // coarse boundaries (GA batches) still stop within ~5ms of it
+        if let Some(limit) = cfg.time_limit {
+            let inc = &inc;
+            let done = &done;
+            scope.spawn(move |_| {
+                let deadline = start + limit;
+                while !done.load(AtomicOrdering::Acquire) && !inc.is_cancelled() {
+                    if Instant::now() >= deadline {
+                        inc.cancel();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        let handles: Vec<_> = engines
+            .iter()
+            .enumerate()
+            .map(|(i, &engine)| {
+                let worker_cfg = &worker_cfg;
+                let inc = &inc;
+                let greedy_cache = &greedy_cache;
+                scope.spawn(move |_| {
+                    let mut cfg_i = worker_cfg.clone();
+                    cfg_i.seed = worker_cfg.seed.wrapping_add((i as u64) << 40);
+                    run_engine(engine, problem, &cfg_i, inc, greedy_cache)
+                })
+            })
+            .collect();
+        let reports = handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio worker"))
+            .collect();
+        done.store(true, AtomicOrdering::Release);
+        reports
+    })
+    .expect("portfolio scope");
+
+    let exact = inc.is_exact() || reports.iter().any(|r| r.exact);
+    if exact {
+        inc.mark_exact();
+    }
+    let upper = inc.upper();
+    Ok(Outcome {
+        objective: problem.objective,
+        lower: if exact { upper } else { inc.lower().min(upper) },
+        upper,
+        exact,
+        witness: inc.best_order().map(EliminationOrdering::new_unchecked),
+        nodes: reports.iter().map(|r| r.stats.expanded).sum(),
+        elapsed: start.elapsed(),
+        per_engine: reports,
+    })
+}
+
+/// Runs one engine to completion (or cancellation) against the incumbent.
+fn run_engine(
+    engine: Engine,
+    problem: &Problem,
+    cfg: &SearchConfig,
+    inc: &Arc<Incumbent>,
+    greedy_cache: &Arc<CoverCache>,
+) -> EngineReport {
+    let start = Instant::now();
+    let ghw = problem.objective == Objective::GeneralizedHypertreeWidth;
+    let mut report = EngineReport {
+        engine,
+        lower: 0,
+        upper: u32::MAX,
+        exact: false,
+        stats: SearchStats::default(),
+    };
+    match engine {
+        Engine::BranchBound => {
+            let out = if ghw {
+                crate::bb_ghw::bb_ghw(problem.hypergraph().expect("validated"), cfg)
+                    .expect("validated: coverable")
+            } else {
+                crate::bb_tw::bb_tw(problem.graph(), cfg)
+            };
+            report.lower = out.lower;
+            report.upper = out.upper;
+            report.exact = out.exact;
+            report.stats = out.stats;
+        }
+        Engine::AStar => {
+            let out = if ghw {
+                crate::astar_ghw::astar_ghw(problem.hypergraph().expect("validated"), cfg)
+                    .expect("validated: coverable")
+            } else {
+                crate::astar_tw::astar_tw(problem.graph(), cfg)
+            };
+            report.lower = out.lower;
+            report.upper = out.upper;
+            report.exact = out.exact;
+            report.stats = out.stats;
+        }
+        Engine::Heuristic => run_heuristic(problem, cfg, inc, &mut report),
+        Engine::LowerBound => run_lower_bound(problem, cfg, inc, &mut report),
+        Engine::Genetic => run_genetic(problem, cfg, inc, greedy_cache, &mut report),
+        Engine::Annealing => run_annealing(problem, cfg, inc, &mut report),
+    }
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// Upper-bound heuristics: greedy orderings, then iterated local search
+/// rounds with fresh seeds, each offered to the incumbent.
+fn run_heuristic(
+    problem: &Problem,
+    cfg: &SearchConfig,
+    inc: &Arc<Incumbent>,
+    report: &mut EngineReport,
+) {
+    use htd_heuristics::{improve_ordering_until, upper, IlsParams};
+    let g = problem.graph();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ghw_ev = || {
+        let h = problem.hypergraph().expect("validated");
+        GhwEvaluator::with_cache(
+            h,
+            CoverStrategy::Exact,
+            cfg.cover_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(CoverCache::new())),
+        )
+    };
+    let offer = |ordering: &EliminationOrdering,
+                     tw_width: u32,
+                     ev: &mut Option<GhwEvaluator>,
+                     report: &mut EngineReport| {
+        let width = match problem.objective {
+            Objective::Treewidth => tw_width,
+            _ => match ev.as_mut().expect("ghw evaluator").width(ordering.as_slice()) {
+                Some(w) => w,
+                None => return,
+            },
+        };
+        report.upper = report.upper.min(width);
+        inc.offer_upper(width, ordering.as_slice());
+        report.stats.generated += 1;
+    };
+    let mut ev = (problem.objective != Objective::Treewidth).then(ghw_ev);
+    let seeds: Vec<_> = [
+        upper::min_fill(g, &mut rng),
+        upper::min_degree(g, &mut rng),
+        upper::max_cardinality_search(g, &mut rng),
+    ]
+    .into_iter()
+    .collect();
+    for ho in &seeds {
+        offer(&ho.ordering, ho.width, &mut ev, report);
+    }
+    // ILS rounds (treewidth only — the ILS objective is bag size): keep
+    // improving from the greedy seeds until cancelled or out of rounds
+    if problem.objective == Objective::Treewidth {
+        let params = IlsParams::default();
+        for round in 0..8u64 {
+            if inc.is_cancelled() {
+                break;
+            }
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 16) | 1);
+            let start = &seeds[(round as usize) % seeds.len()].ordering;
+            // a single ILS pass can outlast the deadline on dense graphs,
+            // so the cancel flag is polled inside the pass, not just here
+            let (ordering, width) =
+                improve_ordering_until(g, start, &params, &|| inc.is_cancelled(), &mut rng);
+            offer(&ordering, width, &mut ev, report);
+        }
+    }
+}
+
+/// Lower-bound worker: randomized minor-based bounds over several seeds.
+fn run_lower_bound(
+    problem: &Problem,
+    cfg: &SearchConfig,
+    inc: &Arc<Incumbent>,
+    report: &mut EngineReport,
+) {
+    for round in 0..4u64 {
+        if inc.is_cancelled() {
+            break;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 8) | 3);
+        let lb = match problem.objective {
+            Objective::Treewidth => {
+                htd_heuristics::combined_lower_bound(problem.graph(), &mut rng)
+            }
+            _ => htd_heuristics::ghw_lower_bound(problem.hypergraph().expect("validated"), &mut rng),
+        };
+        report.lower = report.lower.max(lb);
+        inc.raise_lower(lb);
+        report.stats.generated += 1;
+    }
+}
+
+/// GA worker: small-generation batches with fresh seeds, each batch's best
+/// offered to the incumbent, until cancelled or out of batches.
+fn run_genetic(
+    problem: &Problem,
+    cfg: &SearchConfig,
+    inc: &Arc<Incumbent>,
+    greedy_cache: &Arc<CoverCache>,
+    report: &mut EngineReport,
+) {
+    let params = GaParams {
+        population: 48,
+        generations: 30,
+        ..GaParams::default()
+    };
+    for batch in 0..16u64 {
+        if inc.is_cancelled() {
+            break;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (batch << 24) | 5);
+        match problem.objective {
+            Objective::Treewidth => {
+                let r = htd_ga::ga_tw(problem.graph(), &params, &mut rng);
+                report.upper = report.upper.min(r.width);
+                inc.offer_upper(r.width, r.ordering.as_slice());
+                report.stats.generated += r.inner.evaluations;
+            }
+            _ => {
+                let h = problem.hypergraph().expect("validated");
+                // greedy covers: still sound upper bounds, far cheaper
+                if let Some(r) = htd_ga::ga_ghw_cached(
+                    h,
+                    &params,
+                    CoverStrategy::Greedy,
+                    Arc::clone(greedy_cache),
+                    &mut rng,
+                ) {
+                    report.upper = report.upper.min(r.width);
+                    inc.offer_upper(r.width, r.ordering.as_slice());
+                    report.stats.generated += r.inner.evaluations;
+                }
+            }
+        }
+    }
+}
+
+/// SA worker: a few annealing runs with fresh seeds.
+fn run_annealing(
+    problem: &Problem,
+    cfg: &SearchConfig,
+    inc: &Arc<Incumbent>,
+    report: &mut EngineReport,
+) {
+    let params = SaParams::default();
+    for round in 0..8u64 {
+        if inc.is_cancelled() {
+            break;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 32) | 7);
+        match problem.objective {
+            Objective::Treewidth => {
+                let (ordering, width) = htd_ga::sa::sa_tw(problem.graph(), &params, &mut rng);
+                report.upper = report.upper.min(width);
+                inc.offer_upper(width, ordering.as_slice());
+            }
+            _ => {
+                let h = problem.hypergraph().expect("validated");
+                if let Some((ordering, width)) = htd_ga::sa::sa_ghw(h, &params, &mut rng) {
+                    report.upper = report.upper.min(width);
+                    inc.offer_upper(width, ordering.as_slice());
+                }
+            }
+        }
+        report.stats.generated += 1;
+    }
+}
+
+/// `hw` runs det-k-decomp sequentially (its witness is a decomposition
+/// tree, not an ordering, and it has no anytime interior). The ghw lower
+/// bound primes the iteration since `ghw ≤ hw`.
+fn solve_hw(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> {
+    let h = problem.hypergraph().expect("validated");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let lb = if h.num_vertices() == 0 {
+        0
+    } else {
+        htd_heuristics::ghw_lower_bound(h, &mut rng).max(1)
+    };
+    let (width, _hd) = crate::detk::hypertree_width(h, lb)
+        .ok_or_else(|| HtdError::Invalid("no hypertree decomposition exists".into()))?;
+    Ok(Outcome {
+        objective: Objective::HypertreeWidth,
+        lower: width,
+        upper: width,
+        exact: true,
+        witness: None,
+        nodes: 0,
+        elapsed: start.elapsed(),
+        per_engine: vec![EngineReport {
+            engine: Engine::BranchBound,
+            lower: width,
+            upper: width,
+            exact: true,
+            stats: SearchStats::default(),
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::ordering::TwEvaluator;
+    use htd_hypergraph::gen;
+
+    #[test]
+    fn tw_sequential_matches_bb() {
+        let g = gen::grid_graph(4, 4);
+        let out = solve(&Problem::treewidth(g.clone()), &SearchConfig::default()).unwrap();
+        assert_eq!(out.exact_width(), Some(4));
+        let mut ev = TwEvaluator::new(&g);
+        assert!(ev.width(out.witness.unwrap().as_slice()) <= 4);
+    }
+
+    #[test]
+    fn tw_portfolio_agrees_with_sequential() {
+        for seed in 0..4u64 {
+            let g = gen::random_gnp(10, 0.35, seed);
+            let seq = solve(&Problem::treewidth(g.clone()), &SearchConfig::default()).unwrap();
+            let par = solve(
+                &Problem::treewidth(g.clone()),
+                &SearchConfig::default().with_threads(4),
+            )
+            .unwrap();
+            assert!(par.exact, "seed {seed}");
+            assert_eq!(par.upper, seq.upper, "seed {seed}");
+            assert!(!par.per_engine.is_empty());
+        }
+    }
+
+    #[test]
+    fn ghw_portfolio_agrees_with_sequential() {
+        let th = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        let seq = solve(&Problem::ghw(th.clone()), &SearchConfig::default()).unwrap();
+        let par = solve(&Problem::ghw(th), &SearchConfig::default().with_threads(4)).unwrap();
+        assert_eq!(seq.exact_width(), Some(2));
+        assert_eq!(par.exact_width(), Some(2));
+    }
+
+    #[test]
+    fn hw_solves_exactly() {
+        let c = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+        let out = solve(&Problem::hw(c), &SearchConfig::default()).unwrap();
+        assert_eq!(out.exact_width(), Some(2));
+        assert!(out.witness.is_none());
+    }
+
+    #[test]
+    fn uncoverable_is_invalid() {
+        let h = Hypergraph::new(3, vec![vec![0, 1]]);
+        let err = solve(&Problem::ghw(h), &SearchConfig::default()).unwrap_err();
+        assert!(matches!(err, HtdError::Invalid(_)));
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        let g = gen::queen_graph(4);
+        let out = solve(
+            &Problem::treewidth(g),
+            &SearchConfig::default().with_threads(2),
+        )
+        .unwrap();
+        let doc = out.to_json().to_string();
+        let back = Outcome::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.lower, out.lower);
+        assert_eq!(back.upper, out.upper);
+        assert_eq!(back.exact, out.exact);
+        assert_eq!(
+            back.witness.map(|w| w.into_vec()),
+            out.witness.map(|w| w.into_vec())
+        );
+        assert_eq!(back.per_engine.len(), out.per_engine.len());
+        for (a, b) in back.per_engine.iter().zip(&out.per_engine) {
+            assert_eq!(a.engine, b.engine);
+            assert_eq!(a.stats.expanded, b.stats.expanded);
+        }
+    }
+
+    #[test]
+    fn engine_selection_is_honored() {
+        let g = gen::cycle_graph(8);
+        let out = solve(
+            &Problem::treewidth(g),
+            &SearchConfig::default()
+                .with_threads(2)
+                .with_engines(vec![Engine::Heuristic, Engine::LowerBound]),
+        )
+        .unwrap();
+        assert_eq!(out.per_engine.len(), 2);
+        assert!(out.lower <= 2 && out.upper >= 2);
+    }
+}

@@ -12,15 +12,19 @@
 //! * [`lower_bound`] — k-set-cover lower bounds, the covering half of the
 //!   `tw-ksc-width` lower bound for generalized hypertree width (§8.1);
 //! * [`fractional`] — fractional covers by a built-in simplex, the basis
-//!   of fractional hypertree width (`fhw ≤ ghw ≤ hw`).
+//!   of fractional hypertree width (`fhw ≤ ghw ≤ hw`);
+//! * [`cache`] — a concurrent memoized bag → cover-size map shared by all
+//!   ghw evaluations of a run (portfolio workers, GA fitness, searches).
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exact;
 pub mod fractional;
 pub mod greedy;
 pub mod lower_bound;
 
+pub use cache::CoverCache;
 pub use exact::ExactCover;
 pub use fractional::fractional_cover;
 pub use greedy::{greedy_cover, greedy_cover_size};

@@ -16,6 +16,20 @@
 //!   island GA (SAIGA-ghw);
 //! * [`csp`] — the constraint-satisfaction substrate that consumes the
 //!   decompositions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use htd::prelude::*;
+//!
+//! let g = htd::hypergraph::gen::queen_graph(5);
+//! let outcome = solve(
+//!     &Problem::treewidth(g),
+//!     &SearchConfig::default().with_threads(2),
+//! )
+//! .unwrap();
+//! assert_eq!(outcome.exact_width(), Some(18));
+//! ```
 
 pub use htd_core as core;
 pub use htd_csp as csp;
@@ -24,3 +38,14 @@ pub use htd_heuristics as heuristics;
 pub use htd_hypergraph as hypergraph;
 pub use htd_search as search;
 pub use htd_setcover as setcover;
+
+/// Everything needed to state and solve a width problem.
+pub mod prelude {
+    pub use htd_core::{
+        EliminationOrdering, GeneralizedHypertreeDecomposition, HtdError, Json, TreeDecomposition,
+    };
+    pub use htd_hypergraph::{Graph, Hypergraph};
+    pub use htd_search::{
+        solve, Engine, EngineReport, Incumbent, Objective, Outcome, Problem, SearchConfig,
+    };
+}

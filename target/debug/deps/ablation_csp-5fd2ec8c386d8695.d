@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_csp-5fd2ec8c386d8695.d: crates/bench/src/bin/ablation_csp.rs
+
+/root/repo/target/debug/deps/ablation_csp-5fd2ec8c386d8695: crates/bench/src/bin/ablation_csp.rs
+
+crates/bench/src/bin/ablation_csp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pruning-8a966ce84570c918.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/debug/deps/ablation_pruning-8a966ce84570c918: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

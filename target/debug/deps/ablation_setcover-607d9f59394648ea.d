@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_setcover-607d9f59394648ea.d: crates/bench/src/bin/ablation_setcover.rs
+
+/root/repo/target/debug/deps/ablation_setcover-607d9f59394648ea: crates/bench/src/bin/ablation_setcover.rs
+
+crates/bench/src/bin/ablation_setcover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stochastic-1a3315d3392cd7ea.d: crates/bench/src/bin/ablation_stochastic.rs
+
+/root/repo/target/debug/deps/ablation_stochastic-1a3315d3392cd7ea: crates/bench/src/bin/ablation_stochastic.rs
+
+crates/bench/src/bin/ablation_stochastic.rs:

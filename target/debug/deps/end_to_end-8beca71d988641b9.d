@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8beca71d988641b9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8beca71d988641b9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

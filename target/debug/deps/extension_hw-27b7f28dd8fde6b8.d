@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_hw-27b7f28dd8fde6b8.d: crates/bench/src/bin/extension_hw.rs
+
+/root/repo/target/debug/deps/extension_hw-27b7f28dd8fde6b8: crates/bench/src/bin/extension_hw.rs
+
+crates/bench/src/bin/extension_hw.rs:

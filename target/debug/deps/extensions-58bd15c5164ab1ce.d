@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-58bd15c5164ab1ce.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-58bd15c5164ab1ce: tests/extensions.rs
+
+tests/extensions.rs:

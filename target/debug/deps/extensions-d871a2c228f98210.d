@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d871a2c228f98210.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d871a2c228f98210: tests/extensions.rs
+
+tests/extensions.rs:

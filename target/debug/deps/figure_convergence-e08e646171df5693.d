@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_convergence-e08e646171df5693.d: crates/bench/src/bin/figure_convergence.rs
+
+/root/repo/target/debug/deps/figure_convergence-e08e646171df5693: crates/bench/src/bin/figure_convergence.rs
+
+crates/bench/src/bin/figure_convergence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htd-19b034e1aec3f8f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-19b034e1aec3f8f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-19b034e1aec3f8f8.rmeta: src/lib.rs
+
+src/lib.rs:

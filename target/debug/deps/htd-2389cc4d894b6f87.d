@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htd-2389cc4d894b6f87.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-2389cc4d894b6f87.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-2389cc4d894b6f87.rmeta: src/lib.rs
+
+src/lib.rs:

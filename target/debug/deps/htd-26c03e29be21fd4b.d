@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd-26c03e29be21fd4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/htd-26c03e29be21fd4b: src/lib.rs
+
+src/lib.rs:

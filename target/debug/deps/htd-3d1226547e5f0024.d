@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd-3d1226547e5f0024.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htd-3d1226547e5f0024: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

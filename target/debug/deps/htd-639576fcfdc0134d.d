@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd-639576fcfdc0134d.d: src/lib.rs
+
+/root/repo/target/debug/deps/htd-639576fcfdc0134d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htd-7cbd7469c6ae53fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-7cbd7469c6ae53fe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtd-7cbd7469c6ae53fe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd-d2daecbc3bc46dee.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htd-d2daecbc3bc46dee: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

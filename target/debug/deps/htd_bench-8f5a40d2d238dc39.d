@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd_bench-8f5a40d2d238dc39.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/htd_bench-8f5a40d2d238dc39: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

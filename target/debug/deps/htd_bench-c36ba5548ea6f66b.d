@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htd_bench-c36ba5548ea6f66b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtd_bench-c36ba5548ea6f66b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtd_bench-c36ba5548ea6f66b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

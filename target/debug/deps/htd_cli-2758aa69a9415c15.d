@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htd_cli-2758aa69a9415c15.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/htd_cli-2758aa69a9415c15: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

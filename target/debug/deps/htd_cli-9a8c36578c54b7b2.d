@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htd_cli-9a8c36578c54b7b2.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhtd_cli-9a8c36578c54b7b2.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhtd_cli-9a8c36578c54b7b2.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

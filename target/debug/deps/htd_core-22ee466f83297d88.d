@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/htd_core-22ee466f83297d88.d: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+/root/repo/target/debug/deps/libhtd_core-22ee466f83297d88.rlib: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+/root/repo/target/debug/deps/libhtd_core-22ee466f83297d88.rmeta: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bucket.rs:
+crates/core/src/dot.rs:
+crates/core/src/fractional.rs:
+crates/core/src/ghd.rs:
+crates/core/src/join_tree.rs:
+crates/core/src/leaf_normal_form.rs:
+crates/core/src/mis.rs:
+crates/core/src/nice.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pace.rs:
+crates/core/src/tree_decomposition.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/htd_csp-4e742832021865ae.d: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+/root/repo/target/debug/deps/libhtd_csp-4e742832021865ae.rlib: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+/root/repo/target/debug/deps/libhtd_csp-4e742832021865ae.rmeta: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+crates/csp/src/lib.rs:
+crates/csp/src/acyclic.rs:
+crates/csp/src/backtrack.rs:
+crates/csp/src/builders.rs:
+crates/csp/src/count.rs:
+crates/csp/src/enumerate.rs:
+crates/csp/src/io.rs:
+crates/csp/src/model.rs:
+crates/csp/src/relation.rs:
+crates/csp/src/solve_ghd.rs:
+crates/csp/src/solve_td.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htd_ga-09b4a0bb8686eb39.d: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+/root/repo/target/debug/deps/htd_ga-09b4a0bb8686eb39: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/crossover.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/ga_ghw.rs:
+crates/ga/src/ga_tw.rs:
+crates/ga/src/mutation.rs:
+crates/ga/src/sa.rs:
+crates/ga/src/saiga.rs:

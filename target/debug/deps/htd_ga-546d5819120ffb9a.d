@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/htd_ga-546d5819120ffb9a.d: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+/root/repo/target/debug/deps/libhtd_ga-546d5819120ffb9a.rlib: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+/root/repo/target/debug/deps/libhtd_ga-546d5819120ffb9a.rmeta: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/crossover.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/ga_ghw.rs:
+crates/ga/src/ga_tw.rs:
+crates/ga/src/mutation.rs:
+crates/ga/src/sa.rs:
+crates/ga/src/saiga.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htd_heuristics-9351cf5da5523574.d: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/debug/deps/htd_heuristics-9351cf5da5523574: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+crates/heuristics/src/lib.rs:
+crates/heuristics/src/ghw_lower.rs:
+crates/heuristics/src/local_search.rs:
+crates/heuristics/src/lower.rs:
+crates/heuristics/src/reduce.rs:
+crates/heuristics/src/upper.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htd_heuristics-e3d1fcec91708e2c.d: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/debug/deps/libhtd_heuristics-e3d1fcec91708e2c.rlib: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/debug/deps/libhtd_heuristics-e3d1fcec91708e2c.rmeta: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+crates/heuristics/src/lib.rs:
+crates/heuristics/src/ghw_lower.rs:
+crates/heuristics/src/local_search.rs:
+crates/heuristics/src/lower.rs:
+crates/heuristics/src/reduce.rs:
+crates/heuristics/src/upper.rs:

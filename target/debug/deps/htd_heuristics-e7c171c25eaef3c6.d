@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htd_heuristics-e7c171c25eaef3c6.d: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/debug/deps/libhtd_heuristics-e7c171c25eaef3c6.rlib: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/debug/deps/libhtd_heuristics-e7c171c25eaef3c6.rmeta: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+crates/heuristics/src/lib.rs:
+crates/heuristics/src/ghw_lower.rs:
+crates/heuristics/src/local_search.rs:
+crates/heuristics/src/lower.rs:
+crates/heuristics/src/reduce.rs:
+crates/heuristics/src/upper.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/htd_hypergraph-19c9d74a77da9549.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bitset.rs crates/hypergraph/src/elim.rs crates/hypergraph/src/gen/mod.rs crates/hypergraph/src/gen/graphs.rs crates/hypergraph/src/gen/hypergraphs.rs crates/hypergraph/src/gen/suite.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs
+
+/root/repo/target/debug/deps/libhtd_hypergraph-19c9d74a77da9549.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/bitset.rs crates/hypergraph/src/elim.rs crates/hypergraph/src/gen/mod.rs crates/hypergraph/src/gen/graphs.rs crates/hypergraph/src/gen/hypergraphs.rs crates/hypergraph/src/gen/suite.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs
+
+/root/repo/target/debug/deps/libhtd_hypergraph-19c9d74a77da9549.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/bitset.rs crates/hypergraph/src/elim.rs crates/hypergraph/src/gen/mod.rs crates/hypergraph/src/gen/graphs.rs crates/hypergraph/src/gen/hypergraphs.rs crates/hypergraph/src/gen/suite.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bitset.rs:
+crates/hypergraph/src/elim.rs:
+crates/hypergraph/src/gen/mod.rs:
+crates/hypergraph/src/gen/graphs.rs:
+crates/hypergraph/src/gen/hypergraphs.rs:
+crates/hypergraph/src/gen/suite.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:

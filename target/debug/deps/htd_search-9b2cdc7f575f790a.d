@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/htd_search-9b2cdc7f575f790a.d: crates/search/src/lib.rs crates/search/src/astar_ghw.rs crates/search/src/astar_tw.rs crates/search/src/bb_ghw.rs crates/search/src/bb_tw.rs crates/search/src/config.rs crates/search/src/detk.rs crates/search/src/dp_tw.rs crates/search/src/incumbent.rs crates/search/src/parallel.rs crates/search/src/portfolio.rs crates/search/src/ghw_common.rs crates/search/src/pruning.rs
+
+/root/repo/target/debug/deps/libhtd_search-9b2cdc7f575f790a.rlib: crates/search/src/lib.rs crates/search/src/astar_ghw.rs crates/search/src/astar_tw.rs crates/search/src/bb_ghw.rs crates/search/src/bb_tw.rs crates/search/src/config.rs crates/search/src/detk.rs crates/search/src/dp_tw.rs crates/search/src/incumbent.rs crates/search/src/parallel.rs crates/search/src/portfolio.rs crates/search/src/ghw_common.rs crates/search/src/pruning.rs
+
+/root/repo/target/debug/deps/libhtd_search-9b2cdc7f575f790a.rmeta: crates/search/src/lib.rs crates/search/src/astar_ghw.rs crates/search/src/astar_tw.rs crates/search/src/bb_ghw.rs crates/search/src/bb_tw.rs crates/search/src/config.rs crates/search/src/detk.rs crates/search/src/dp_tw.rs crates/search/src/incumbent.rs crates/search/src/parallel.rs crates/search/src/portfolio.rs crates/search/src/ghw_common.rs crates/search/src/pruning.rs
+
+crates/search/src/lib.rs:
+crates/search/src/astar_ghw.rs:
+crates/search/src/astar_tw.rs:
+crates/search/src/bb_ghw.rs:
+crates/search/src/bb_tw.rs:
+crates/search/src/config.rs:
+crates/search/src/detk.rs:
+crates/search/src/dp_tw.rs:
+crates/search/src/incumbent.rs:
+crates/search/src/parallel.rs:
+crates/search/src/portfolio.rs:
+crates/search/src/ghw_common.rs:
+crates/search/src/pruning.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/htd_search-fd324fa8d3844065.d: crates/search/src/lib.rs crates/search/src/astar_ghw.rs crates/search/src/astar_tw.rs crates/search/src/bb_ghw.rs crates/search/src/bb_tw.rs crates/search/src/config.rs crates/search/src/detk.rs crates/search/src/dp_tw.rs crates/search/src/incumbent.rs crates/search/src/parallel.rs crates/search/src/ghw_common.rs crates/search/src/pruning.rs
+
+/root/repo/target/debug/deps/htd_search-fd324fa8d3844065: crates/search/src/lib.rs crates/search/src/astar_ghw.rs crates/search/src/astar_tw.rs crates/search/src/bb_ghw.rs crates/search/src/bb_tw.rs crates/search/src/config.rs crates/search/src/detk.rs crates/search/src/dp_tw.rs crates/search/src/incumbent.rs crates/search/src/parallel.rs crates/search/src/ghw_common.rs crates/search/src/pruning.rs
+
+crates/search/src/lib.rs:
+crates/search/src/astar_ghw.rs:
+crates/search/src/astar_tw.rs:
+crates/search/src/bb_ghw.rs:
+crates/search/src/bb_tw.rs:
+crates/search/src/config.rs:
+crates/search/src/detk.rs:
+crates/search/src/dp_tw.rs:
+crates/search/src/incumbent.rs:
+crates/search/src/parallel.rs:
+crates/search/src/ghw_common.rs:
+crates/search/src/pruning.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htd_setcover-0164d2c098a6636a.d: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/debug/deps/libhtd_setcover-0164d2c098a6636a.rlib: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/debug/deps/libhtd_setcover-0164d2c098a6636a.rmeta: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/fractional.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lower_bound.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htd_setcover-71d8a681bf83ecea.d: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/debug/deps/libhtd_setcover-71d8a681bf83ecea.rlib: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/debug/deps/libhtd_setcover-71d8a681bf83ecea.rmeta: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/cache.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/fractional.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lower_bound.rs:

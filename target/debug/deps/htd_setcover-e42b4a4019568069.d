@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htd_setcover-e42b4a4019568069.d: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/debug/deps/htd_setcover-e42b4a4019568069: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/cache.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/fractional.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lower_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-bd10b584e4686212.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-bd10b584e4686212: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portfolio-654bf3311241cadc.d: crates/search/tests/portfolio.rs
+
+/root/repo/target/debug/deps/portfolio-654bf3311241cadc: crates/search/tests/portfolio.rs
+
+crates/search/tests/portfolio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portfolio_race-922487c0398b862b.d: crates/bench/src/bin/portfolio_race.rs
+
+/root/repo/target/debug/deps/portfolio_race-922487c0398b862b: crates/bench/src/bin/portfolio_race.rs
+
+crates/bench/src/bin/portfolio_race.rs:

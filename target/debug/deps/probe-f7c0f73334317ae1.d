@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-f7c0f73334317ae1.d: crates/search/tests/probe.rs
+
+/root/repo/target/debug/deps/probe-f7c0f73334317ae1: crates/search/tests/probe.rs
+
+crates/search/tests/probe.rs:

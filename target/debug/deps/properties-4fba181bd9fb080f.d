@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4fba181bd9fb080f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4fba181bd9fb080f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d86ad66face1ae65.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d86ad66face1ae65: tests/properties.rs
+
+tests/properties.rs:

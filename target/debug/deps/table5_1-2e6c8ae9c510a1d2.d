@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_1-2e6c8ae9c510a1d2.d: crates/bench/src/bin/table5_1.rs
+
+/root/repo/target/debug/deps/table5_1-2e6c8ae9c510a1d2: crates/bench/src/bin/table5_1.rs
+
+crates/bench/src/bin/table5_1.rs:

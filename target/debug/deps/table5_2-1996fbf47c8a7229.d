@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_2-1996fbf47c8a7229.d: crates/bench/src/bin/table5_2.rs
+
+/root/repo/target/debug/deps/table5_2-1996fbf47c8a7229: crates/bench/src/bin/table5_2.rs
+
+crates/bench/src/bin/table5_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_1-1bf1ae28231208d8.d: crates/bench/src/bin/table6_1.rs
+
+/root/repo/target/debug/deps/table6_1-1bf1ae28231208d8: crates/bench/src/bin/table6_1.rs
+
+crates/bench/src/bin/table6_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_2-e8fda4c4c11f70b3.d: crates/bench/src/bin/table6_2.rs
+
+/root/repo/target/debug/deps/table6_2-e8fda4c4c11f70b3: crates/bench/src/bin/table6_2.rs
+
+crates/bench/src/bin/table6_2.rs:

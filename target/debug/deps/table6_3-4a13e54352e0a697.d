@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_3-4a13e54352e0a697.d: crates/bench/src/bin/table6_3.rs
+
+/root/repo/target/debug/deps/table6_3-4a13e54352e0a697: crates/bench/src/bin/table6_3.rs
+
+crates/bench/src/bin/table6_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_4-bcb613d921d94b20.d: crates/bench/src/bin/table6_4.rs
+
+/root/repo/target/debug/deps/table6_4-bcb613d921d94b20: crates/bench/src/bin/table6_4.rs
+
+crates/bench/src/bin/table6_4.rs:

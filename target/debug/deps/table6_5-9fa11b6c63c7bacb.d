@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_5-9fa11b6c63c7bacb.d: crates/bench/src/bin/table6_5.rs
+
+/root/repo/target/debug/deps/table6_5-9fa11b6c63c7bacb: crates/bench/src/bin/table6_5.rs
+
+crates/bench/src/bin/table6_5.rs:

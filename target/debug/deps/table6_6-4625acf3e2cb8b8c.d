@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_6-4625acf3e2cb8b8c.d: crates/bench/src/bin/table6_6.rs
+
+/root/repo/target/debug/deps/table6_6-4625acf3e2cb8b8c: crates/bench/src/bin/table6_6.rs
+
+crates/bench/src/bin/table6_6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_1-37c7e7e5ac035eb5.d: crates/bench/src/bin/table7_1.rs
+
+/root/repo/target/debug/deps/table7_1-37c7e7e5ac035eb5: crates/bench/src/bin/table7_1.rs
+
+crates/bench/src/bin/table7_1.rs:

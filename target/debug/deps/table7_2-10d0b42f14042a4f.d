@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_2-10d0b42f14042a4f.d: crates/bench/src/bin/table7_2.rs
+
+/root/repo/target/debug/deps/table7_2-10d0b42f14042a4f: crates/bench/src/bin/table7_2.rs
+
+crates/bench/src/bin/table7_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_1-9892b3575b04876f.d: crates/bench/src/bin/table8_1.rs
+
+/root/repo/target/debug/deps/table8_1-9892b3575b04876f: crates/bench/src/bin/table8_1.rs
+
+crates/bench/src/bin/table8_1.rs:

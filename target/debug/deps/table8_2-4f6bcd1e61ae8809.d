@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_2-4f6bcd1e61ae8809.d: crates/bench/src/bin/table8_2.rs
+
+/root/repo/target/debug/deps/table8_2-4f6bcd1e61ae8809: crates/bench/src/bin/table8_2.rs
+
+crates/bench/src/bin/table8_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_1-663d9ce31974d9b1.d: crates/bench/src/bin/table9_1.rs
+
+/root/repo/target/debug/deps/table9_1-663d9ce31974d9b1: crates/bench/src/bin/table9_1.rs
+
+crates/bench/src/bin/table9_1.rs:

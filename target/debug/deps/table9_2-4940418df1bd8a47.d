@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_2-4940418df1bd8a47.d: crates/bench/src/bin/table9_2.rs
+
+/root/repo/target/debug/deps/table9_2-4940418df1bd8a47: crates/bench/src/bin/table9_2.rs
+
+crates/bench/src/bin/table9_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/circuit_ghw-3f162a008983355d.d: examples/circuit_ghw.rs
+
+/root/repo/target/debug/examples/circuit_ghw-3f162a008983355d: examples/circuit_ghw.rs
+
+examples/circuit_ghw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/circuit_ghw-faaaaaf14df97c13.d: examples/circuit_ghw.rs
+
+/root/repo/target/debug/examples/circuit_ghw-faaaaaf14df97c13: examples/circuit_ghw.rs
+
+examples/circuit_ghw.rs:

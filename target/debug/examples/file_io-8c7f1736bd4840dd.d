@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_io-8c7f1736bd4840dd.d: examples/file_io.rs
+
+/root/repo/target/debug/examples/file_io-8c7f1736bd4840dd: examples/file_io.rs
+
+examples/file_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_io-abf1af7d88cd584c.d: examples/file_io.rs
+
+/root/repo/target/debug/examples/file_io-abf1af7d88cd584c: examples/file_io.rs
+
+examples/file_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/map_coloring-43753bb9c7b6fe24.d: examples/map_coloring.rs
+
+/root/repo/target/debug/examples/map_coloring-43753bb9c7b6fe24: examples/map_coloring.rs
+
+examples/map_coloring.rs:

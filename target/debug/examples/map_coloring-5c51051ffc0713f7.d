@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/map_coloring-5c51051ffc0713f7.d: examples/map_coloring.rs
+
+/root/repo/target/debug/examples/map_coloring-5c51051ffc0713f7: examples/map_coloring.rs
+
+examples/map_coloring.rs:

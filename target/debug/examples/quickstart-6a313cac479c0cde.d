@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a313cac479c0cde.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a313cac479c0cde: examples/quickstart.rs
+
+examples/quickstart.rs:

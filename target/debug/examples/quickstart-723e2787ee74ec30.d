@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-723e2787ee74ec30.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-723e2787ee74ec30: examples/quickstart.rs
+
+examples/quickstart.rs:

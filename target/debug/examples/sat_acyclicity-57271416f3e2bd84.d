@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sat_acyclicity-57271416f3e2bd84.d: examples/sat_acyclicity.rs
+
+/root/repo/target/debug/examples/sat_acyclicity-57271416f3e2bd84: examples/sat_acyclicity.rs
+
+examples/sat_acyclicity.rs:

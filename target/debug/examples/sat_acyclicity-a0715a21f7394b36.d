@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sat_acyclicity-a0715a21f7394b36.d: examples/sat_acyclicity.rs
+
+/root/repo/target/debug/examples/sat_acyclicity-a0715a21f7394b36: examples/sat_acyclicity.rs
+
+examples/sat_acyclicity.rs:

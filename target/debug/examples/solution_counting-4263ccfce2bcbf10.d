@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solution_counting-4263ccfce2bcbf10.d: examples/solution_counting.rs
+
+/root/repo/target/debug/examples/solution_counting-4263ccfce2bcbf10: examples/solution_counting.rs
+
+examples/solution_counting.rs:

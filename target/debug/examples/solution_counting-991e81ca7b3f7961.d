@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solution_counting-991e81ca7b3f7961.d: examples/solution_counting.rs
+
+/root/repo/target/debug/examples/solution_counting-991e81ca7b3f7961: examples/solution_counting.rs
+
+examples/solution_counting.rs:

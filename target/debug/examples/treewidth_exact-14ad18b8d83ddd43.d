@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/treewidth_exact-14ad18b8d83ddd43.d: examples/treewidth_exact.rs
+
+/root/repo/target/debug/examples/treewidth_exact-14ad18b8d83ddd43: examples/treewidth_exact.rs
+
+examples/treewidth_exact.rs:

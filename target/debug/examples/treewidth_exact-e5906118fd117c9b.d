@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/treewidth_exact-e5906118fd117c9b.d: examples/treewidth_exact.rs
+
+/root/repo/target/debug/examples/treewidth_exact-e5906118fd117c9b: examples/treewidth_exact.rs
+
+examples/treewidth_exact.rs:

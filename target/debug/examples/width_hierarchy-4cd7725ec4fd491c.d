@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/width_hierarchy-4cd7725ec4fd491c.d: examples/width_hierarchy.rs
+
+/root/repo/target/debug/examples/width_hierarchy-4cd7725ec4fd491c: examples/width_hierarchy.rs
+
+examples/width_hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/width_hierarchy-5bf585d110950390.d: examples/width_hierarchy.rs
+
+/root/repo/target/debug/examples/width_hierarchy-5bf585d110950390: examples/width_hierarchy.rs
+
+examples/width_hierarchy.rs:

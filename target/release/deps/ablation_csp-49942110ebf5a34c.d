@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_csp-49942110ebf5a34c.d: crates/bench/src/bin/ablation_csp.rs
+
+/root/repo/target/release/deps/ablation_csp-49942110ebf5a34c: crates/bench/src/bin/ablation_csp.rs
+
+crates/bench/src/bin/ablation_csp.rs:

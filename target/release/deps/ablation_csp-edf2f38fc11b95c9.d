@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_csp-edf2f38fc11b95c9.d: crates/bench/src/bin/ablation_csp.rs
+
+/root/repo/target/release/deps/ablation_csp-edf2f38fc11b95c9: crates/bench/src/bin/ablation_csp.rs
+
+crates/bench/src/bin/ablation_csp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pruning-0981eed709e3ab5b.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/release/deps/ablation_pruning-0981eed709e3ab5b: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

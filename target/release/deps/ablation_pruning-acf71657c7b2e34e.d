@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pruning-acf71657c7b2e34e.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/release/deps/ablation_pruning-acf71657c7b2e34e: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

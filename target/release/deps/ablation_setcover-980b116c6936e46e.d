@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_setcover-980b116c6936e46e.d: crates/bench/src/bin/ablation_setcover.rs
+
+/root/repo/target/release/deps/ablation_setcover-980b116c6936e46e: crates/bench/src/bin/ablation_setcover.rs
+
+crates/bench/src/bin/ablation_setcover.rs:

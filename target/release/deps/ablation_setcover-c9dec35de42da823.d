@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_setcover-c9dec35de42da823.d: crates/bench/src/bin/ablation_setcover.rs
+
+/root/repo/target/release/deps/ablation_setcover-c9dec35de42da823: crates/bench/src/bin/ablation_setcover.rs
+
+crates/bench/src/bin/ablation_setcover.rs:

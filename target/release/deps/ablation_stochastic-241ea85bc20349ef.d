@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stochastic-241ea85bc20349ef.d: crates/bench/src/bin/ablation_stochastic.rs
+
+/root/repo/target/release/deps/ablation_stochastic-241ea85bc20349ef: crates/bench/src/bin/ablation_stochastic.rs
+
+crates/bench/src/bin/ablation_stochastic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stochastic-aec66666ad2b9670.d: crates/bench/src/bin/ablation_stochastic.rs
+
+/root/repo/target/release/deps/ablation_stochastic-aec66666ad2b9670: crates/bench/src/bin/ablation_stochastic.rs
+
+crates/bench/src/bin/ablation_stochastic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_hw-35d53cc8f6c78d3d.d: crates/bench/src/bin/extension_hw.rs
+
+/root/repo/target/release/deps/extension_hw-35d53cc8f6c78d3d: crates/bench/src/bin/extension_hw.rs
+
+crates/bench/src/bin/extension_hw.rs:

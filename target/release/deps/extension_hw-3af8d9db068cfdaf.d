@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_hw-3af8d9db068cfdaf.d: crates/bench/src/bin/extension_hw.rs
+
+/root/repo/target/release/deps/extension_hw-3af8d9db068cfdaf: crates/bench/src/bin/extension_hw.rs
+
+crates/bench/src/bin/extension_hw.rs:

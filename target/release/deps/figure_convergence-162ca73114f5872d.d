@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_convergence-162ca73114f5872d.d: crates/bench/src/bin/figure_convergence.rs
+
+/root/repo/target/release/deps/figure_convergence-162ca73114f5872d: crates/bench/src/bin/figure_convergence.rs
+
+crates/bench/src/bin/figure_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_convergence-ec3301c7654e74c8.d: crates/bench/src/bin/figure_convergence.rs
+
+/root/repo/target/release/deps/figure_convergence-ec3301c7654e74c8: crates/bench/src/bin/figure_convergence.rs
+
+crates/bench/src/bin/figure_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/htd-97b5bc41941edf58.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/htd-97b5bc41941edf58: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

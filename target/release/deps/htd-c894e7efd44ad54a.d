@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htd-c894e7efd44ad54a.d: src/lib.rs
+
+/root/repo/target/release/deps/libhtd-c894e7efd44ad54a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhtd-c894e7efd44ad54a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htd_bench-02f46ddccd2d4531.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtd_bench-02f46ddccd2d4531.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtd_bench-02f46ddccd2d4531.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/htd_bench-b24f459896e3c07c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/htd_bench-b24f459896e3c07c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

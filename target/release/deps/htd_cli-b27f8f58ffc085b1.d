@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htd_cli-b27f8f58ffc085b1.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhtd_cli-b27f8f58ffc085b1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhtd_cli-b27f8f58ffc085b1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

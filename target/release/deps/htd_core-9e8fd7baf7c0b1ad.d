@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/htd_core-9e8fd7baf7c0b1ad.d: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/error.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/json.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+/root/repo/target/release/deps/libhtd_core-9e8fd7baf7c0b1ad.rlib: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/error.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/json.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+/root/repo/target/release/deps/libhtd_core-9e8fd7baf7c0b1ad.rmeta: crates/core/src/lib.rs crates/core/src/bucket.rs crates/core/src/dot.rs crates/core/src/error.rs crates/core/src/fractional.rs crates/core/src/ghd.rs crates/core/src/join_tree.rs crates/core/src/json.rs crates/core/src/leaf_normal_form.rs crates/core/src/mis.rs crates/core/src/nice.rs crates/core/src/ordering.rs crates/core/src/pace.rs crates/core/src/tree_decomposition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bucket.rs:
+crates/core/src/dot.rs:
+crates/core/src/error.rs:
+crates/core/src/fractional.rs:
+crates/core/src/ghd.rs:
+crates/core/src/join_tree.rs:
+crates/core/src/json.rs:
+crates/core/src/leaf_normal_form.rs:
+crates/core/src/mis.rs:
+crates/core/src/nice.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pace.rs:
+crates/core/src/tree_decomposition.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/htd_csp-b2dcffb6f3671091.d: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+/root/repo/target/release/deps/libhtd_csp-b2dcffb6f3671091.rlib: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+/root/repo/target/release/deps/libhtd_csp-b2dcffb6f3671091.rmeta: crates/csp/src/lib.rs crates/csp/src/acyclic.rs crates/csp/src/backtrack.rs crates/csp/src/builders.rs crates/csp/src/count.rs crates/csp/src/enumerate.rs crates/csp/src/io.rs crates/csp/src/model.rs crates/csp/src/relation.rs crates/csp/src/solve_ghd.rs crates/csp/src/solve_td.rs
+
+crates/csp/src/lib.rs:
+crates/csp/src/acyclic.rs:
+crates/csp/src/backtrack.rs:
+crates/csp/src/builders.rs:
+crates/csp/src/count.rs:
+crates/csp/src/enumerate.rs:
+crates/csp/src/io.rs:
+crates/csp/src/model.rs:
+crates/csp/src/relation.rs:
+crates/csp/src/solve_ghd.rs:
+crates/csp/src/solve_td.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/htd_ga-5fdaec69a67afa36.d: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+/root/repo/target/release/deps/libhtd_ga-5fdaec69a67afa36.rlib: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+/root/repo/target/release/deps/libhtd_ga-5fdaec69a67afa36.rmeta: crates/ga/src/lib.rs crates/ga/src/crossover.rs crates/ga/src/engine.rs crates/ga/src/ga_ghw.rs crates/ga/src/ga_tw.rs crates/ga/src/mutation.rs crates/ga/src/sa.rs crates/ga/src/saiga.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/crossover.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/ga_ghw.rs:
+crates/ga/src/ga_tw.rs:
+crates/ga/src/mutation.rs:
+crates/ga/src/sa.rs:
+crates/ga/src/saiga.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/htd_heuristics-20e9d6b8c89ede9d.d: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/release/deps/libhtd_heuristics-20e9d6b8c89ede9d.rlib: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+/root/repo/target/release/deps/libhtd_heuristics-20e9d6b8c89ede9d.rmeta: crates/heuristics/src/lib.rs crates/heuristics/src/ghw_lower.rs crates/heuristics/src/local_search.rs crates/heuristics/src/lower.rs crates/heuristics/src/reduce.rs crates/heuristics/src/upper.rs
+
+crates/heuristics/src/lib.rs:
+crates/heuristics/src/ghw_lower.rs:
+crates/heuristics/src/local_search.rs:
+crates/heuristics/src/lower.rs:
+crates/heuristics/src/reduce.rs:
+crates/heuristics/src/upper.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/htd_setcover-9a4feacbc6275d5b.d: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/release/deps/libhtd_setcover-9a4feacbc6275d5b.rlib: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+/root/repo/target/release/deps/libhtd_setcover-9a4feacbc6275d5b.rmeta: crates/setcover/src/lib.rs crates/setcover/src/cache.rs crates/setcover/src/exact.rs crates/setcover/src/fractional.rs crates/setcover/src/greedy.rs crates/setcover/src/lower_bound.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/cache.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/fractional.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lower_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lbcheck-35a7a1173004685a.d: crates/bench/src/bin/lbcheck.rs
+
+/root/repo/target/release/deps/lbcheck-35a7a1173004685a: crates/bench/src/bin/lbcheck.rs
+
+crates/bench/src/bin/lbcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-88462ceeec3c25d8.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-88462ceeec3c25d8: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

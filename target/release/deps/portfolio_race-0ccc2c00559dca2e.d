@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portfolio_race-0ccc2c00559dca2e.d: crates/bench/src/bin/portfolio_race.rs
+
+/root/repo/target/release/deps/portfolio_race-0ccc2c00559dca2e: crates/bench/src/bin/portfolio_race.rs
+
+crates/bench/src/bin/portfolio_race.rs:

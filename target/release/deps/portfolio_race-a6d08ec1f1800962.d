@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portfolio_race-a6d08ec1f1800962.d: crates/bench/src/bin/portfolio_race.rs
+
+/root/repo/target/release/deps/portfolio_race-a6d08ec1f1800962: crates/bench/src/bin/portfolio_race.rs
+
+crates/bench/src/bin/portfolio_race.rs:

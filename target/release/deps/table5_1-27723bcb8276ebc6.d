@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_1-27723bcb8276ebc6.d: crates/bench/src/bin/table5_1.rs
+
+/root/repo/target/release/deps/table5_1-27723bcb8276ebc6: crates/bench/src/bin/table5_1.rs
+
+crates/bench/src/bin/table5_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_1-bf83ef9538b45fac.d: crates/bench/src/bin/table5_1.rs
+
+/root/repo/target/release/deps/table5_1-bf83ef9538b45fac: crates/bench/src/bin/table5_1.rs
+
+crates/bench/src/bin/table5_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_2-4982108f95a5f42a.d: crates/bench/src/bin/table5_2.rs
+
+/root/repo/target/release/deps/table5_2-4982108f95a5f42a: crates/bench/src/bin/table5_2.rs
+
+crates/bench/src/bin/table5_2.rs:

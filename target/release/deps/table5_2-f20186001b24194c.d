@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_2-f20186001b24194c.d: crates/bench/src/bin/table5_2.rs
+
+/root/repo/target/release/deps/table5_2-f20186001b24194c: crates/bench/src/bin/table5_2.rs
+
+crates/bench/src/bin/table5_2.rs:

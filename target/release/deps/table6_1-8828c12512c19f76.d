@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_1-8828c12512c19f76.d: crates/bench/src/bin/table6_1.rs
+
+/root/repo/target/release/deps/table6_1-8828c12512c19f76: crates/bench/src/bin/table6_1.rs
+
+crates/bench/src/bin/table6_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_1-de422dde26a421c6.d: crates/bench/src/bin/table6_1.rs
+
+/root/repo/target/release/deps/table6_1-de422dde26a421c6: crates/bench/src/bin/table6_1.rs
+
+crates/bench/src/bin/table6_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_2-935f2e5cf11133b1.d: crates/bench/src/bin/table6_2.rs
+
+/root/repo/target/release/deps/table6_2-935f2e5cf11133b1: crates/bench/src/bin/table6_2.rs
+
+crates/bench/src/bin/table6_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_2-a57bf1c84a618aa2.d: crates/bench/src/bin/table6_2.rs
+
+/root/repo/target/release/deps/table6_2-a57bf1c84a618aa2: crates/bench/src/bin/table6_2.rs
+
+crates/bench/src/bin/table6_2.rs:

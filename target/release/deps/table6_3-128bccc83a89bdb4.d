@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_3-128bccc83a89bdb4.d: crates/bench/src/bin/table6_3.rs
+
+/root/repo/target/release/deps/table6_3-128bccc83a89bdb4: crates/bench/src/bin/table6_3.rs
+
+crates/bench/src/bin/table6_3.rs:

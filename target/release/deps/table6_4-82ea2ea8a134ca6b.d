@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_4-82ea2ea8a134ca6b.d: crates/bench/src/bin/table6_4.rs
+
+/root/repo/target/release/deps/table6_4-82ea2ea8a134ca6b: crates/bench/src/bin/table6_4.rs
+
+crates/bench/src/bin/table6_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_4-ac8f7708c09b2127.d: crates/bench/src/bin/table6_4.rs
+
+/root/repo/target/release/deps/table6_4-ac8f7708c09b2127: crates/bench/src/bin/table6_4.rs
+
+crates/bench/src/bin/table6_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_5-4a15565a9af3fc70.d: crates/bench/src/bin/table6_5.rs
+
+/root/repo/target/release/deps/table6_5-4a15565a9af3fc70: crates/bench/src/bin/table6_5.rs
+
+crates/bench/src/bin/table6_5.rs:

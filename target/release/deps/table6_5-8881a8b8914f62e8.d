@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_5-8881a8b8914f62e8.d: crates/bench/src/bin/table6_5.rs
+
+/root/repo/target/release/deps/table6_5-8881a8b8914f62e8: crates/bench/src/bin/table6_5.rs
+
+crates/bench/src/bin/table6_5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_6-106b0049eee961db.d: crates/bench/src/bin/table6_6.rs
+
+/root/repo/target/release/deps/table6_6-106b0049eee961db: crates/bench/src/bin/table6_6.rs
+
+crates/bench/src/bin/table6_6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_6-ab5b42e9c77a1241.d: crates/bench/src/bin/table6_6.rs
+
+/root/repo/target/release/deps/table6_6-ab5b42e9c77a1241: crates/bench/src/bin/table6_6.rs
+
+crates/bench/src/bin/table6_6.rs:

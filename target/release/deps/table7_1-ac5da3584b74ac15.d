@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_1-ac5da3584b74ac15.d: crates/bench/src/bin/table7_1.rs
+
+/root/repo/target/release/deps/table7_1-ac5da3584b74ac15: crates/bench/src/bin/table7_1.rs
+
+crates/bench/src/bin/table7_1.rs:

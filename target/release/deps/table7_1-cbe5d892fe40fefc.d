@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_1-cbe5d892fe40fefc.d: crates/bench/src/bin/table7_1.rs
+
+/root/repo/target/release/deps/table7_1-cbe5d892fe40fefc: crates/bench/src/bin/table7_1.rs
+
+crates/bench/src/bin/table7_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_2-9c29c00998485429.d: crates/bench/src/bin/table7_2.rs
+
+/root/repo/target/release/deps/table7_2-9c29c00998485429: crates/bench/src/bin/table7_2.rs
+
+crates/bench/src/bin/table7_2.rs:

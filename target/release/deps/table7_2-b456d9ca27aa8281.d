@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_2-b456d9ca27aa8281.d: crates/bench/src/bin/table7_2.rs
+
+/root/repo/target/release/deps/table7_2-b456d9ca27aa8281: crates/bench/src/bin/table7_2.rs
+
+crates/bench/src/bin/table7_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_1-066a9ab22dcc3c72.d: crates/bench/src/bin/table8_1.rs
+
+/root/repo/target/release/deps/table8_1-066a9ab22dcc3c72: crates/bench/src/bin/table8_1.rs
+
+crates/bench/src/bin/table8_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_1-e2d643dae2345d4e.d: crates/bench/src/bin/table8_1.rs
+
+/root/repo/target/release/deps/table8_1-e2d643dae2345d4e: crates/bench/src/bin/table8_1.rs
+
+crates/bench/src/bin/table8_1.rs:

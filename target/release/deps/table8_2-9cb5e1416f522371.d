@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_2-9cb5e1416f522371.d: crates/bench/src/bin/table8_2.rs
+
+/root/repo/target/release/deps/table8_2-9cb5e1416f522371: crates/bench/src/bin/table8_2.rs
+
+crates/bench/src/bin/table8_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_2-ef4e4fa12aaa13e1.d: crates/bench/src/bin/table8_2.rs
+
+/root/repo/target/release/deps/table8_2-ef4e4fa12aaa13e1: crates/bench/src/bin/table8_2.rs
+
+crates/bench/src/bin/table8_2.rs:

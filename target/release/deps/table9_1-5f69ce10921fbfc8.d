@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_1-5f69ce10921fbfc8.d: crates/bench/src/bin/table9_1.rs
+
+/root/repo/target/release/deps/table9_1-5f69ce10921fbfc8: crates/bench/src/bin/table9_1.rs
+
+crates/bench/src/bin/table9_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_1-9940fe608f9766c2.d: crates/bench/src/bin/table9_1.rs
+
+/root/repo/target/release/deps/table9_1-9940fe608f9766c2: crates/bench/src/bin/table9_1.rs
+
+crates/bench/src/bin/table9_1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_2-0460e0b6af35754e.d: crates/bench/src/bin/table9_2.rs
+
+/root/repo/target/release/deps/table9_2-0460e0b6af35754e: crates/bench/src/bin/table9_2.rs
+
+crates/bench/src/bin/table9_2.rs:

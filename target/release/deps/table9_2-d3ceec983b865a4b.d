@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_2-d3ceec983b865a4b.d: crates/bench/src/bin/table9_2.rs
+
+/root/repo/target/release/deps/table9_2-d3ceec983b865a4b: crates/bench/src/bin/table9_2.rs
+
+crates/bench/src/bin/table9_2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b45d2d69d558a291.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b45d2d69d558a291: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/treewidth_exact-2ba6bda78c1023c8.d: examples/treewidth_exact.rs
+
+/root/repo/target/release/examples/treewidth_exact-2ba6bda78c1023c8: examples/treewidth_exact.rs
+
+examples/treewidth_exact.rs:

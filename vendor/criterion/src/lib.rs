@@ -1,0 +1,176 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each bench warms up briefly, then runs batches whose
+//! iteration count is auto-tuned toward ~20 ms per batch; the reported
+//! figure is the median per-iteration time over the batches, with min/max
+//! spread. `--bench` / filter arguments are accepted (cargo passes
+//! `--bench`); a bare positional argument filters benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each measured batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly. The closure's return value is black-boxed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up: run until 5 ms has passed, counting iterations to size
+        // the first batch
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(5) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let mut batch = ((20_000_000.0 / warm_ns.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + Duration::from_millis(200);
+        self.samples.clear();
+        while Instant::now() < deadline || self.samples.len() < 3 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+            // retune toward ~20 ms batches
+            batch = ((20_000_000.0 / ns.max(1.0)) as u64).clamp(1, 1_000_000);
+            if self.samples.len() >= 64 {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; the first other positional argument
+        // is a name filter (substring match), matching criterion's CLI
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        self
+    }
+
+    /// Starts a named group; names are reported as `group/name`.
+    pub fn benchmark_group(&mut self, group: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            group: group.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op; for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.samples.len() >= 3);
+        assert!(b.samples.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for the one `crossbeam` API this workspace uses:
+//! [`thread::scope`]. Since Rust 1.63 the standard library provides scoped
+//! threads, so the shim forwards to `std::thread::scope` while keeping
+//! crossbeam's call shape — the scope closure and each spawned closure
+//! receive the scope handle, and `scope` returns a `Result` (always `Ok`
+//! here; panics propagate out of `std::thread::scope` directly, which is
+//! strictly earlier and louder than crossbeam's deferred error).
+
+/// Scoped threads, crossbeam-style.
+pub mod thread {
+    /// A handle to the spawn scope, passed to every closure. Cheap to copy.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl Clone for Scope<'_, '_> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl Copy for Scope<'_, '_> {}
+
+    /// Owned handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// handle (crossbeam convention; usually ignored with `|_|`).
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = self;
+            ScopedJoinHandle(self.inner.spawn(move || f(handle)))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the enclosing
+    /// environment may be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spawn_and_join() {
+        let counter = AtomicU32::new(0);
+        let total: u32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 60);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}
