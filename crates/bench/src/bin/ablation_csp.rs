@@ -14,7 +14,10 @@ use std::time::Instant;
 use htd_bench::{secs, Scale, Table};
 use htd_core::bucket::{ghd_via_elimination, td_of_hypergraph};
 use htd_core::CoverStrategy;
-use htd_csp::{backtrack_solve, builders, count_solutions_td, forward_checking_solve, solve_with_ghd, solve_with_td};
+use htd_csp::{
+    backtrack_solve, builders, count_solutions_td, forward_checking_solve, solve_with_ghd,
+    solve_with_td,
+};
 use htd_heuristics::upper::min_fill;
 use htd_hypergraph::gen;
 use rand::rngs::StdRng;
@@ -27,8 +30,18 @@ fn main() {
     println!("Ablation C — solving bounded-width CSPs: backtracking vs decompositions");
     println!("(3-coloring of 2×n triangle strips: treewidth ≤ 3 regardless of n)\n");
     let mut t = Table::new(&[
-        "n", "vars", "constraints", "bt nodes", "fc nodes", "bt t[s]", "td w", "td t[s]", "ghw",
-        "ghd t[s]", "#solutions", "agree",
+        "n",
+        "vars",
+        "constraints",
+        "bt nodes",
+        "fc nodes",
+        "bt t[s]",
+        "td w",
+        "td t[s]",
+        "ghw",
+        "ghd t[s]",
+        "#solutions",
+        "agree",
     ]);
     for &n in &sizes {
         // a 2×n grid strengthened with one diagonal per cell: triangle

@@ -19,16 +19,40 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_15", "bridge_10", "grid2d_8", "grid3d_4", "clique_10", "clique_20", "b06"],
         vec![
-            "adder_75", "adder_99", "bridge_50", "grid2d_20", "grid3d_8", "clique_20", "b06",
-            "b08", "b09", "b10", "c499", "c880",
+            "adder_15",
+            "bridge_10",
+            "grid2d_8",
+            "grid3d_4",
+            "clique_10",
+            "clique_20",
+            "b06",
+        ],
+        vec![
+            "adder_75",
+            "adder_99",
+            "bridge_50",
+            "grid2d_20",
+            "grid3d_8",
+            "clique_20",
+            "b06",
+            "b08",
+            "b09",
+            "b10",
+            "c499",
+            "c880",
         ],
     );
 
     println!("Ablation B — greedy vs exact covers on a fixed min-fill ordering\n");
     let mut t = Table::new(&[
-        "Hypergraph", "V", "H", "greedy w", "exact w", "greedy t[s]", "exact t[s]",
+        "Hypergraph",
+        "V",
+        "H",
+        "greedy w",
+        "exact w",
+        "greedy t[s]",
+        "exact t[s]",
     ]);
     for name in &names {
         let h = named_hypergraph(name).expect("suite instance");

@@ -15,10 +15,25 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_15", "bridge_10", "grid2d_6", "grid3d_4", "clique_20", "b06"],
         vec![
-            "adder_25", "adder_75", "bridge_25", "grid2d_10", "grid2d_20", "grid3d_8",
-            "clique_20", "b06", "b08", "c499",
+            "adder_15",
+            "bridge_10",
+            "grid2d_6",
+            "grid3d_4",
+            "clique_20",
+            "b06",
+        ],
+        vec![
+            "adder_25",
+            "adder_75",
+            "bridge_25",
+            "grid2d_10",
+            "grid2d_20",
+            "grid3d_8",
+            "clique_20",
+            "b06",
+            "b08",
+            "c499",
         ],
     );
     // evaluation budget ≈ pop*gens = islands*ipop*egens*epochs ≈ SA steps
@@ -27,7 +42,13 @@ fn main() {
 
     println!("Ablation D — GA vs SAIGA vs SA at ~{budget} evaluations each\n");
     let mut t = Table::new(&[
-        "Hypergraph", "GA avg", "GA min", "SAIGA avg", "SAIGA min", "SA avg", "SA min",
+        "Hypergraph",
+        "GA avg",
+        "GA min",
+        "SAIGA avg",
+        "SAIGA min",
+        "SA avg",
+        "SA min",
     ]);
     for name in &names {
         let h = named_hypergraph(name).expect("suite instance");

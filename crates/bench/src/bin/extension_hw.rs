@@ -9,9 +9,9 @@
 //! `cargo run --release -p htd-bench --bin extension_hw [--full]`
 
 use htd_bench::{secs, Scale, Table};
-use htd_hypergraph::gen::named_hypergraph;
 use htd_core::FhwEvaluator;
 use htd_heuristics::upper::min_fill;
+use htd_hypergraph::gen::named_hypergraph;
 use htd_search::astar_tw::astar_tw;
 use htd_search::bb_ghw::bb_ghw;
 use htd_search::{hypertree_width, SearchConfig};
@@ -21,19 +21,38 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_5", "adder_10", "bridge_5", "clique_6", "clique_8", "grid2d_4", "grid3d_3"],
         vec![
-            "adder_15", "adder_25", "bridge_10", "clique_10", "clique_12", "grid2d_6", "grid2d_8",
-            "grid3d_4", "b06",
+            "adder_5", "adder_10", "bridge_5", "clique_6", "clique_8", "grid2d_4", "grid3d_3",
+        ],
+        vec![
+            "adder_15",
+            "adder_25",
+            "bridge_10",
+            "clique_10",
+            "clique_12",
+            "grid2d_6",
+            "grid2d_8",
+            "grid3d_4",
+            "b06",
         ],
     );
     let budget = scale.pick(50_000u64, 1_000_000);
 
     println!("Extension — ghw vs hw vs tw on benchmark hypergraphs\n");
-    let mut t = Table::new(&["Hypergraph", "V", "H", "fhw≤", "ghw", "hw", "tw", "hw time[s]"]);
+    let mut t = Table::new(&[
+        "Hypergraph",
+        "V",
+        "H",
+        "fhw≤",
+        "ghw",
+        "hw",
+        "tw",
+        "hw time[s]",
+    ]);
     for name in &names {
         let h = named_hypergraph(name).expect("suite instance");
-        let cfg = SearchConfig::budgeted(budget).with_time_limit(std::time::Duration::from_secs(20));
+        let cfg =
+            SearchConfig::budgeted(budget).with_time_limit(std::time::Duration::from_secs(20));
         let ghw = bb_ghw(&h, &cfg).expect("coverable");
         let ghw_s = if ghw.exact {
             ghw.upper.to_string()
@@ -43,7 +62,8 @@ fn main() {
         let start = std::time::Instant::now();
         let (hw, hd) = hypertree_width(&h, ghw.lower).expect("coverable");
         let hw_t = start.elapsed();
-        hd.validate_hypertree(&h).expect("det-k output is a valid HD");
+        hd.validate_hypertree(&h)
+            .expect("det-k output is a valid HD");
         // fhw upper bound along a min-fill ordering
         let mut rng = StdRng::seed_from_u64(3);
         let order = min_fill(&h.primal_graph(), &mut rng).ordering;

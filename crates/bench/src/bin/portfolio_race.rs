@@ -55,9 +55,8 @@ fn main() {
         let mut best_seq_gap = u32::MAX;
         for engine in [Engine::BranchBound, Engine::AStar] {
             let cfg = base.clone().with_engines(vec![engine]);
-            let out = via_json(
-                &solve(&Problem::treewidth(g.clone()), &cfg).expect("tw always solvable"),
-            );
+            let out =
+                via_json(&solve(&Problem::treewidth(g.clone()), &cfg).expect("tw always solvable"));
             best_seq_gap = best_seq_gap.min(gap(&out));
             t.row(vec![
                 name.to_string(),

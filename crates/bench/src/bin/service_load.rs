@@ -1,0 +1,299 @@
+//! Load test for the decomposition server (`htd-service`).
+//!
+//! Starts an in-process server on a loopback port, generates a corpus of
+//! instances, and replays it from concurrent client connections with a
+//! configurable intended cache-hit ratio (achieved by drawing repeated
+//! requests from a small instance pool). Reports throughput, cold/warm
+//! latency (p50/p95), the warm-over-cold speedup, and the worst deadline
+//! overshoot — the acceptance numbers of the service:
+//!
+//! * warm (cached) answers at least 10× faster than cold solves;
+//! * a deadline-bounded cold request never exceeds its deadline by more
+//!   than 100 ms;
+//! * `/healthz` and `/metrics` answer throughout the run.
+//!
+//! `cargo run --release -p htd-bench --bin service_load \
+//!     [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS]`
+
+use std::time::{Duration, Instant};
+
+use htd_bench::{f2, Table};
+use htd_hypergraph::{gen, io};
+use htd_search::Objective;
+use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    hit_ratio: u64,
+    deadline_ms: u64,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        clients: 4,
+        requests: 200,
+        hit_ratio: 70,
+        deadline_ms: 500,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().and_then(|s| s.parse::<u64>().ok());
+        match (flag.as_str(), v) {
+            ("--clients", Some(v)) => a.clients = v.max(1) as usize,
+            ("--requests", Some(v)) => a.requests = v.max(1) as usize,
+            ("--hit-ratio", Some(v)) => a.hit_ratio = v.min(100),
+            ("--deadline-ms", Some(v)) => a.deadline_ms = v.max(50),
+            _ => {
+                eprintln!("usage: service_load [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS]");
+                std::process::exit(4);
+            }
+        }
+    }
+    a
+}
+
+/// The replayed corpus: a mix of solvable and deadline-bound instances.
+fn corpus() -> Vec<(Objective, String)> {
+    let mut c = Vec::new();
+    for k in 3..=5 {
+        c.push((
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::grid_graph(k, k)),
+        ));
+    }
+    for n in [14u32, 16, 18] {
+        c.push((
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::random_gnp(n, 0.4, u64::from(n))),
+        ));
+    }
+    for k in 2..=3 {
+        c.push((
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::grid2d(k)),
+        ));
+    }
+    c.push((
+        Objective::GeneralizedHypertreeWidth,
+        io::write_hg(&gen::adder(3)),
+    ));
+    c
+}
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn http_ok(addr: &str, path: &str) -> bool {
+    use std::io::{Read, Write};
+    let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+    if write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").is_err() {
+        return false;
+    }
+    let mut buf = String::new();
+    let _ = s.read_to_string(&mut buf);
+    buf.starts_with("HTTP/1.1 200")
+}
+
+struct ClientReport {
+    cold_ms: Vec<f64>,
+    warm_ms: Vec<f64>,
+    statuses: [u64; 4], // ok, rejected, timeout, other
+    worst_overshoot_ms: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        cache_mb: 32,
+        queue_capacity: 256,
+        default_deadline_ms: args.deadline_ms,
+        log: false,
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let corpus = corpus();
+
+    println!(
+        "service_load: {} clients x {} requests, intended hit ratio {}%, deadline {}ms, corpus {}",
+        args.clients,
+        args.requests,
+        args.hit_ratio,
+        args.deadline_ms,
+        corpus.len()
+    );
+
+    // one warming pass so "warm" requests below can actually hit
+    {
+        let mut c = Client::connect(&addr).unwrap();
+        for (obj, text) in &corpus {
+            let _ = c.solve(*obj, InstanceFormat::Auto, text, Some(args.deadline_ms));
+        }
+    }
+
+    let t0 = Instant::now();
+    let probe_addr = addr.clone();
+    let probes_up = std::thread::spawn(move || {
+        // hammer the probes during the whole run; both must stay up
+        let mut ok = true;
+        for _ in 0..20 {
+            ok &= http_ok(&probe_addr, "/healthz");
+            ok &= http_ok(&probe_addr, "/metrics");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        ok
+    });
+
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|ci| {
+                let addr = addr.clone();
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let mut rep = ClientReport {
+                        cold_ms: Vec::new(),
+                        warm_ms: Vec::new(),
+                        statuses: [0; 4],
+                        worst_overshoot_ms: 0.0,
+                    };
+                    // deterministic per-client mixing, no RNG needed
+                    let mut x = 0x9e3779b97f4a7c15u64 ^ (ci as u64) << 32;
+                    for i in 0..args.requests {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let warm_draw = (x >> 33) % 100 < args.hit_ratio;
+                        let (obj, text): (Objective, String) = if warm_draw {
+                            // replay from the warmed pool
+                            let (o, s) = &corpus[(x >> 7) as usize % corpus.len()];
+                            (*o, s.clone())
+                        } else {
+                            // unique hard instance: guaranteed cold
+                            let n = 20 + ((ci * args.requests + i) % 12) as u32;
+                            let seed = (ci as u64) << 32 | i as u64;
+                            let g = gen::random_gnp(n, 0.45, seed);
+                            (Objective::Treewidth, io::write_pace_gr(&g))
+                        };
+                        let t = Instant::now();
+                        let r = client
+                            .solve(obj, InstanceFormat::Auto, &text, Some(args.deadline_ms))
+                            .expect("transport");
+                        let ms = t.elapsed().as_secs_f64() * 1000.0;
+                        match r.status {
+                            Status::Ok => {
+                                rep.statuses[0] += 1;
+                                if r.cached {
+                                    rep.warm_ms.push(ms);
+                                } else {
+                                    rep.cold_ms.push(ms);
+                                    let over = ms - args.deadline_ms as f64;
+                                    if over > rep.worst_overshoot_ms {
+                                        rep.worst_overshoot_ms = over;
+                                    }
+                                }
+                            }
+                            Status::Rejected => rep.statuses[1] += 1,
+                            Status::Timeout => rep.statuses[2] += 1,
+                            _ => rep.statuses[3] += 1,
+                        }
+                    }
+                    rep
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let probes_stayed_up = probes_up.join().unwrap();
+    let mut cold: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.cold_ms.iter().copied())
+        .collect();
+    let mut warm: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.warm_ms.iter().copied())
+        .collect();
+    cold.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ok: u64 = reports.iter().map(|r| r.statuses[0]).sum();
+    let rejected: u64 = reports.iter().map(|r| r.statuses[1]).sum();
+    let timeouts: u64 = reports.iter().map(|r| r.statuses[2]).sum();
+    let other: u64 = reports.iter().map(|r| r.statuses[3]).sum();
+    let worst_overshoot = reports
+        .iter()
+        .map(|r| r.worst_overshoot_ms)
+        .fold(0.0f64, f64::max);
+    let total = (args.clients * args.requests) as f64;
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["wall clock [s]".into(), f2(wall.as_secs_f64())]);
+    t.row(vec![
+        "throughput [req/s]".into(),
+        f2(total / wall.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "ok / rejected / timeout / other".into(),
+        format!("{ok} / {rejected} / {timeouts} / {other}"),
+    ]);
+    t.row(vec!["cold solves".into(), cold.len().to_string()]);
+    t.row(vec!["cold p50 [ms]".into(), f2(quantile(&cold, 0.5))]);
+    t.row(vec!["cold p95 [ms]".into(), f2(quantile(&cold, 0.95))]);
+    t.row(vec!["warm hits".into(), warm.len().to_string()]);
+    t.row(vec!["warm p50 [ms]".into(), f2(quantile(&warm, 0.5))]);
+    t.row(vec!["warm p95 [ms]".into(), f2(quantile(&warm, 0.95))]);
+    let speedup = if warm.is_empty() || cold.is_empty() {
+        0.0
+    } else {
+        quantile(&cold, 0.5) / quantile(&warm, 0.5).max(0.001)
+    };
+    t.row(vec![
+        "warm/cold p50 speedup".into(),
+        format!("{:.0}x", speedup),
+    ]);
+    t.row(vec![
+        "worst deadline overshoot [ms]".into(),
+        f2(worst_overshoot),
+    ]);
+    t.row(vec![
+        "probes stayed up".into(),
+        probes_stayed_up.to_string(),
+    ]);
+    t.print();
+
+    // shut the server down gracefully and verify it drains
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.wait();
+    println!("server drained cleanly");
+
+    let mut failed = false;
+    if !cold.is_empty() && !warm.is_empty() && speedup < 10.0 {
+        eprintln!(
+            "FAIL: warm cache hits must be >=10x faster than cold solves (got {speedup:.1}x)"
+        );
+        failed = true;
+    }
+    if worst_overshoot > 100.0 {
+        eprintln!("FAIL: a cold request exceeded its deadline by {worst_overshoot:.0}ms (>100ms)");
+        failed = true;
+    }
+    if !probes_stayed_up {
+        eprintln!("FAIL: /healthz or /metrics stopped answering during the run");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -22,13 +22,29 @@ fn main() {
             "jean", "games120", "miles250",
         ],
         Scale::Full => vec![
-            "queen5_5", "queen6_6", "queen7_7", "myciel3", "myciel4", "myciel5", "anna", "david",
-            "huck", "jean", "games120", "miles250", "miles500", "DSJC125.1", "DSJC125.5",
+            "queen5_5",
+            "queen6_6",
+            "queen7_7",
+            "myciel3",
+            "myciel4",
+            "myciel5",
+            "anna",
+            "david",
+            "huck",
+            "jean",
+            "games120",
+            "miles250",
+            "miles500",
+            "DSJC125.1",
+            "DSJC125.5",
             "DSJC125.9",
         ],
     };
     let budget = scale.pick(60_000, 5_000_000);
-    let time_limit = scale.pick(std::time::Duration::from_secs(10), std::time::Duration::from_secs(120));
+    let time_limit = scale.pick(
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_secs(120),
+    );
 
     println!("Table 5.1 — A*-tw on DIMACS-style graph coloring instances");
     println!("(substituted instances are seeded random graphs with the published sizes; see DESIGN.md)\n");

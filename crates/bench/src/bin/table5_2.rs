@@ -14,7 +14,10 @@ fn main() {
     let scale = Scale::from_env();
     let max_n = scale.pick(5, 8);
     let budget = scale.pick(300_000, 5_000_000);
-    let time_limit = scale.pick(std::time::Duration::from_secs(10), std::time::Duration::from_secs(120));
+    let time_limit = scale.pick(
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_secs(120),
+    );
 
     println!("Table 5.2 — A*-tw on grid graphs (tw(n×n grid) = n)\n");
     let mut t = Table::new(&["Graph", "V", "E", "lb", "ub", "A*-tw", "exact", "time[s]"]);

@@ -11,7 +11,10 @@ use htd_hypergraph::gen::named_graph;
 
 fn main() {
     let scale = Scale::from_env();
-    let names: Vec<&str> = scale.pick(vec!["queen5_5", "myciel4"], vec!["games120", "queen8_8", "myciel5"]);
+    let names: Vec<&str> = scale.pick(
+        vec!["queen5_5", "myciel4"],
+        vec!["games120", "queen8_8", "myciel5"],
+    );
     let (pop, gens, runs) = scale.pick((40, 100, 3), (200, 1000, 5));
 
     println!("Table 6.3 — GA-tw mutation/crossover rate grid (POS + ISM)\n");

@@ -11,7 +11,10 @@ use htd_hypergraph::gen::named_graph;
 
 fn main() {
     let scale = Scale::from_env();
-    let names: Vec<&str> = scale.pick(vec!["queen5_5", "myciel4"], vec!["le450_25d", "queen16_16", "zeroin.i.1"]);
+    let names: Vec<&str> = scale.pick(
+        vec!["queen5_5", "myciel4"],
+        vec!["le450_25d", "queen16_16", "zeroin.i.1"],
+    );
     let sizes: Vec<usize> = scale.pick(vec![20, 40, 80, 160], vec![100, 200, 1000, 2000]);
     let (gens, runs) = scale.pick((100u64, 3u64), (1000, 5));
 

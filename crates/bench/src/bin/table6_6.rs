@@ -16,11 +16,29 @@ use htd_search::SearchConfig;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["queen5_5", "queen6_6", "myciel3", "myciel4", "grid5", "anna", "david", "huck", "jean"],
         vec![
-            "queen5_5", "queen6_6", "queen7_7", "queen8_8", "myciel3", "myciel4", "myciel5",
-            "myciel6", "grid5", "grid6", "anna", "david", "huck", "jean", "games120", "homer",
-            "DSJC125.1", "miles250", "miles500",
+            "queen5_5", "queen6_6", "myciel3", "myciel4", "grid5", "anna", "david", "huck", "jean",
+        ],
+        vec![
+            "queen5_5",
+            "queen6_6",
+            "queen7_7",
+            "queen8_8",
+            "myciel3",
+            "myciel4",
+            "myciel5",
+            "myciel6",
+            "grid5",
+            "grid6",
+            "anna",
+            "david",
+            "huck",
+            "jean",
+            "games120",
+            "homer",
+            "DSJC125.1",
+            "miles250",
+            "miles500",
         ],
     );
     let (pop, gens, runs) = scale.pick((60, 150, 4), (2000, 2000, 10));
@@ -38,10 +56,7 @@ fn main() {
         let s = ga_tw_stats(&g, &params, runs);
         // exact reference where the search can settle it quickly
         let reference = {
-            let out = astar_tw(
-                &g,
-                &SearchConfig::budgeted(search_budget),
-            );
+            let out = astar_tw(&g, &SearchConfig::budgeted(search_budget));
             if out.exact {
                 out.upper.to_string()
             } else {

@@ -15,17 +15,47 @@ use htd_search::SearchConfig;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_15", "bridge_10", "grid2d_6", "grid3d_4", "clique_10", "b06", "clique_20"],
         vec![
-            "adder_25", "adder_75", "bridge_25", "bridge_50", "grid2d_10", "grid2d_20",
-            "grid3d_4", "grid3d_8", "clique_10", "clique_20", "b06", "b08", "b09", "b10", "c499",
+            "adder_15",
+            "bridge_10",
+            "grid2d_6",
+            "grid3d_4",
+            "clique_10",
+            "b06",
+            "clique_20",
+        ],
+        vec![
+            "adder_25",
+            "adder_75",
+            "bridge_25",
+            "bridge_50",
+            "grid2d_10",
+            "grid2d_20",
+            "grid3d_4",
+            "grid3d_8",
+            "clique_10",
+            "clique_20",
+            "b06",
+            "b08",
+            "b09",
+            "b10",
+            "c499",
         ],
     );
     let (pop, gens, runs) = scale.pick((40, 80, 3), (2000, 2000, 10));
     let search_budget = scale.pick(30_000u64, 500_000);
 
     println!("Table 7.1 — GA-ghw upper bounds on benchmark hypergraphs\n");
-    let mut t = Table::new(&["Hypergraph", "V", "H", "ref", "min", "max", "avg", "std.dev"]);
+    let mut t = Table::new(&[
+        "Hypergraph",
+        "V",
+        "H",
+        "ref",
+        "min",
+        "max",
+        "avg",
+        "std.dev",
+    ]);
     for name in &names {
         let h = named_hypergraph(name).expect("suite instance");
         let params = GaParams {
@@ -34,10 +64,7 @@ fn main() {
             ..GaParams::default()
         };
         let s = ga_ghw_stats(&h, &params, runs);
-        let reference = match bb_ghw(
-            &h,
-            &SearchConfig::budgeted(search_budget),
-        ) {
+        let reference = match bb_ghw(&h, &SearchConfig::budgeted(search_budget)) {
             Some(out) if out.exact => out.upper.to_string(),
             Some(out) => format!("[{},{}]", out.lower, out.upper),
             None => "-".to_string(),

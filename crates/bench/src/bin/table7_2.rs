@@ -13,10 +13,30 @@ use htd_hypergraph::gen::named_hypergraph;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_15", "bridge_10", "grid2d_6", "grid3d_4", "clique_10", "b06"],
         vec![
-            "adder_25", "adder_75", "bridge_25", "bridge_50", "grid2d_10", "grid2d_20",
-            "grid3d_4", "grid3d_8", "clique_10", "clique_20", "b06", "b08", "b09", "b10", "c499",
+            "adder_15",
+            "bridge_10",
+            "grid2d_6",
+            "grid3d_4",
+            "clique_10",
+            "b06",
+        ],
+        vec![
+            "adder_25",
+            "adder_75",
+            "bridge_25",
+            "bridge_50",
+            "grid2d_10",
+            "grid2d_20",
+            "grid3d_4",
+            "grid3d_8",
+            "clique_10",
+            "clique_20",
+            "b06",
+            "b08",
+            "b09",
+            "b10",
+            "c499",
         ],
     );
     let (islands, ipop, egens, epochs, runs) =

@@ -14,18 +14,49 @@ use htd_search::SearchConfig;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["adder_5", "adder_10", "adder_15", "bridge_5", "bridge_10", "b06"],
-        vec!["adder_15", "adder_25", "adder_75", "bridge_10", "bridge_25", "bridge_50", "b06", "b08", "b09", "b10", "c499"],
+        vec![
+            "adder_5",
+            "adder_10",
+            "adder_15",
+            "bridge_5",
+            "bridge_10",
+            "b06",
+        ],
+        vec![
+            "adder_15",
+            "adder_25",
+            "adder_75",
+            "bridge_10",
+            "bridge_25",
+            "bridge_50",
+            "b06",
+            "b08",
+            "b09",
+            "b10",
+            "c499",
+        ],
     );
     let budget = scale.pick(50_000u64, 2_000_000);
-    let time_limit = scale.pick(std::time::Duration::from_secs(10), std::time::Duration::from_secs(120));
+    let time_limit = scale.pick(
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_secs(120),
+    );
 
     println!("Table 8.1 — BB-ghw on circuit-style hypergraphs\n");
     run_table(&names, budget, time_limit);
 }
 
 fn run_table(names: &[&str], budget: u64, time_limit: std::time::Duration) {
-    let mut t = Table::new(&["Hypergraph", "V", "H", "lb", "ub", "BB-ghw", "exact", "time[s]"]);
+    let mut t = Table::new(&[
+        "Hypergraph",
+        "V",
+        "H",
+        "lb",
+        "ub",
+        "BB-ghw",
+        "exact",
+        "time[s]",
+    ]);
     for name in names {
         let h = named_hypergraph(name).expect("suite instance");
         let cfg = SearchConfig::budgeted(budget).with_time_limit(time_limit);

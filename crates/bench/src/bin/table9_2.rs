@@ -14,18 +14,45 @@ use htd_search::SearchConfig;
 fn main() {
     let scale = Scale::from_env();
     let names: Vec<&str> = scale.pick(
-        vec!["grid2d_4", "grid2d_6", "grid3d_3", "clique_6", "clique_8", "clique_10"],
-        vec!["grid2d_6", "grid2d_8", "grid2d_10", "grid3d_4", "clique_10", "clique_15", "clique_20"],
+        vec![
+            "grid2d_4",
+            "grid2d_6",
+            "grid3d_3",
+            "clique_6",
+            "clique_8",
+            "clique_10",
+        ],
+        vec![
+            "grid2d_6",
+            "grid2d_8",
+            "grid2d_10",
+            "grid3d_4",
+            "clique_10",
+            "clique_15",
+            "clique_20",
+        ],
     );
     let budget = scale.pick(50_000u64, 2_000_000);
-    let time_limit = scale.pick(std::time::Duration::from_secs(10), std::time::Duration::from_secs(120));
+    let time_limit = scale.pick(
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_secs(120),
+    );
 
     println!("Table 9.2 — A*-ghw on grid and clique hypergraphs\n");
     run_table(&names, budget, time_limit);
 }
 
 fn run_table(names: &[&str], budget: u64, time_limit: std::time::Duration) {
-    let mut t = Table::new(&["Hypergraph", "V", "H", "lb", "ub", "A*-ghw", "exact", "time[s]"]);
+    let mut t = Table::new(&[
+        "Hypergraph",
+        "V",
+        "H",
+        "lb",
+        "ub",
+        "A*-ghw",
+        "exact",
+        "time[s]",
+    ]);
     for name in names {
         let h = named_hypergraph(name).expect("suite instance");
         let cfg = SearchConfig::budgeted(budget).with_time_limit(time_limit);

@@ -68,7 +68,11 @@ pub fn summarize(values: &[u32]) -> RunStats {
     let max = *values.iter().max().expect("nonempty");
     let avg = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
     let var = if values.len() > 1 {
-        values.iter().map(|&v| (v as f64 - avg).powi(2)).sum::<f64>() / (values.len() - 1) as f64
+        values
+            .iter()
+            .map(|&v| (v as f64 - avg).powi(2))
+            .sum::<f64>()
+            / (values.len() - 1) as f64
     } else {
         0.0
     };

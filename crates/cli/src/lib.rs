@@ -10,7 +10,12 @@
 //! * `htd decompose <file> [--format td|dot]` — emit a tree decomposition;
 //! * `htd solve <file.csp> [--count] [--all N]` — solve a CSP (text
 //!   format of `htd_csp::io`) through a tree decomposition;
-//! * `htd gen <name>` — print a named benchmark instance.
+//! * `htd gen <name>` — print a named benchmark instance;
+//! * `htd serve [--addr A] [--threads N] [--cache-mb N] [--queue N]` —
+//!   run the decomposition server of `htd_service` (newline-JSON over
+//!   TCP plus `/healthz` and `/metrics` HTTP probes);
+//! * `htd query <file> --addr A [--objective tw|ghw|hw] [--time MS]` —
+//!   solve an instance against a running server.
 //!
 //! Global flags: `--format human|json` (width commands; json emits one
 //! [`Outcome`] object per line in the schema documented on
@@ -19,8 +24,9 @@
 //! (wall-clock budget in milliseconds). `--help` after a subcommand prints
 //! its usage.
 //!
-//! Graph files: `.gr` (PACE) or `.col` (DIMACS); anything else parses as
-//! the hyperedge format. `-` reads stdin.
+//! Graph files: `.gr` (PACE) or `.col` (DIMACS); `.hg` parses as the
+//! HyperBench atom-list format, anything else as the (equivalent) plain
+//! hyperedge format. `-` reads stdin.
 //!
 //! Errors never panic: every failure is an [`HtdError`], and the binary
 //! maps the variant to a distinct nonzero exit code (parse → 2,
@@ -35,6 +41,7 @@ use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
 use htd_core::{dot, pace, CoverStrategy, HtdError};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
 use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
+use htd_service::{Client, InstanceFormat, ServeOptions, Status};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -75,6 +82,10 @@ pub fn parse_instance(name: &str, text: &str) -> Result<Instance, HtdError> {
         io::parse_dimacs(text)
             .map(Instance::Graph)
             .map_err(|e| HtdError::Parse(e.to_string()))
+    } else if name.ends_with(".hg") {
+        io::parse_hg(text)
+            .map(Instance::Hypergraph)
+            .map_err(|e| HtdError::Parse(e.to_string()))
     } else {
         io::parse_hyperedges(text)
             .map(Instance::Hypergraph)
@@ -113,6 +124,14 @@ pub struct Options {
     pub count: bool,
     /// `solve`: list up to this many solutions.
     pub all: Option<u64>,
+    /// `serve`/`query`: server address.
+    pub addr: Option<String>,
+    /// `serve`: result-cache capacity in MiB.
+    pub cache_mb: usize,
+    /// `serve`: bounded work-queue capacity.
+    pub queue: usize,
+    /// `query`: objective name (`tw`/`ghw`/`hw`).
+    pub objective: Option<String>,
 }
 
 impl Default for Options {
@@ -127,6 +146,10 @@ impl Default for Options {
             seed: 1,
             count: false,
             all: None,
+            addr: None,
+            cache_mb: 64,
+            queue: 64,
+            objective: None,
         }
     }
 }
@@ -182,14 +205,28 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
             "--format" => {
                 o.format = Some(
                     it.next()
-                        .ok_or_else(|| {
-                            HtdError::Unsupported("--format needs a value".into())
-                        })?
+                        .ok_or_else(|| HtdError::Unsupported("--format needs a value".into()))?
                         .clone(),
                 );
             }
             "--count" => o.count = true,
             "--all" => o.all = Some(numeric(&mut it, "--all")?),
+            "--addr" => {
+                o.addr = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--addr needs host:port".into()))?
+                        .clone(),
+                );
+            }
+            "--cache-mb" => o.cache_mb = (numeric(&mut it, "--cache-mb")? as usize).max(1),
+            "--queue" => o.queue = (numeric(&mut it, "--queue")? as usize).max(1),
+            "--objective" => {
+                o.objective = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--objective needs tw|ghw|hw".into()))?
+                        .clone(),
+                );
+            }
             other => return Err(HtdError::Unsupported(format!("unknown flag {other}"))),
         }
     }
@@ -310,9 +347,7 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
                     let ghd =
                         htd_core::bucket::ghd_via_elimination(h, &order, CoverStrategy::Exact)
                             .ok_or_else(|| {
-                                HtdError::Invalid(
-                                    "uncoverable vertex: no GHD exists".into(),
-                                )
+                                HtdError::Invalid("uncoverable vertex: no GHD exists".into())
                             })?;
                     Ok(dot::ghd_to_dot(&ghd, h))
                 }
@@ -370,12 +405,95 @@ pub fn cmd_gen(name: &str) -> Result<String, HtdError> {
     if let Some(h) = gen::named_hypergraph(name) {
         return Ok(io::write_hyperedges(&h));
     }
-    Err(HtdError::Unsupported(format!("unknown instance name {name}")))
+    Err(HtdError::Unsupported(format!(
+        "unknown instance name {name}"
+    )))
 }
 
-const USAGE: &str = "usage: htd <info|tw|ghw|hw|decompose|solve|gen> <file|-|name> [flags]
+/// `htd serve`: run the decomposition server until `shutdown`/SIGINT,
+/// then drain gracefully.
+pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
+    let opts = ServeOptions {
+        addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        threads: o.threads,
+        cache_mb: o.cache_mb,
+        queue_capacity: o.queue,
+        default_deadline_ms: o
+            .time_limit
+            .map_or(10_000, |t| (t.as_millis() as u64).max(1)),
+        log: !o.quiet,
+    };
+    htd_service::run_until_shutdown(opts).map_err(|e| HtdError::Io(e.to_string()))?;
+    Ok("server drained\n".into())
+}
+
+/// `htd query`: solve one instance against a running server.
+pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError> {
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or_else(|| HtdError::Unsupported("query needs --addr host:port".into()))?;
+    let objective = match o.objective.as_deref() {
+        None | Some("tw") => Objective::Treewidth,
+        Some("ghw") => Objective::GeneralizedHypertreeWidth,
+        Some("hw") => Objective::HypertreeWidth,
+        Some(x) => {
+            return Err(HtdError::Unsupported(format!(
+                "objective '{x}' (expected tw|ghw|hw)"
+            )))
+        }
+    };
+    let format = if file.ends_with(".gr") {
+        InstanceFormat::PaceGr
+    } else if file.ends_with(".col") || file.ends_with(".dimacs") {
+        InstanceFormat::Dimacs
+    } else if file.ends_with(".hg") {
+        InstanceFormat::Hg
+    } else {
+        InstanceFormat::Auto
+    };
+    let deadline_ms = o.time_limit.map(|t| (t.as_millis() as u64).max(1));
+    let mut client = Client::connect(addr).map_err(|e| HtdError::Io(format!("{addr}: {e}")))?;
+    let r = client.solve(objective, format, text, deadline_ms)?;
+    match r.status {
+        Status::Ok => {
+            let outcome = r
+                .outcome
+                .ok_or_else(|| HtdError::Io("ok response without outcome".into()))?;
+            let mut out = render_outcome(&outcome, o)?;
+            if o.output_format()? == OutputFormat::Human && !o.quiet {
+                let _ = writeln!(
+                    out,
+                    "  served {} fp {}  round-trip {:.1}ms",
+                    if r.cached { "from cache" } else { "cold" },
+                    r.fingerprint.as_deref().unwrap_or("?"),
+                    r.elapsed_ms
+                );
+            }
+            Ok(out)
+        }
+        Status::Error => {
+            let msg = r.error.unwrap_or_else(|| "server error".into());
+            Err(match r.code {
+                Some(2) => HtdError::Parse(msg),
+                Some(3) => HtdError::Invalid(msg),
+                Some(4) => HtdError::Unsupported(msg),
+                _ => HtdError::Io(msg),
+            })
+        }
+        s => Err(HtdError::Io(format!(
+            "server answered {}{}",
+            s.name(),
+            r.error.map_or(String::new(), |e| format!(": {e}"))
+        ))),
+    }
+}
+
+const USAGE: &str =
+    "usage: htd <info|tw|ghw|hw|decompose|solve|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
+serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
 `htd <command> --help` prints command-specific usage.";
 
 /// Per-command usage text (`htd <cmd> --help`).
@@ -404,6 +522,20 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             Solves a CSP through a tree decomposition (join-tree clustering)."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
+        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--quiet]\n\
+            Runs the decomposition server (htd-service): newline-delimited JSON\n\
+            requests over TCP, canonical-form result caching, per-request\n\
+            deadlines, bounded-queue backpressure, and HTTP GET /healthz and\n\
+            /metrics (Prometheus text) on the same port. --time sets the\n\
+            default deadline for requests that carry none (default 10000);\n\
+            --quiet disables per-request log lines. Shut down with SIGINT or\n\
+            a {\"cmd\":\"shutdown\"} request: the server drains in-flight work\n\
+            and exits."),
+        "query" => Some("usage: htd query <file|-> --addr HOST:PORT [--objective tw|ghw|hw] [--time MS] [--format human|json] [--quiet]\n\
+            Solves one instance against a running `htd serve`. --time is the\n\
+            request deadline in milliseconds; the answer may be an anytime\n\
+            bound (exact:false) if the deadline preempts the solve. --format\n\
+            json prints the Outcome object exactly as `htd tw` would."),
         _ => None,
     }
 }
@@ -428,6 +560,9 @@ pub fn run(args: &[String]) -> Result<String, HtdError> {
                 .ok_or_else(|| HtdError::Unsupported("gen needs an instance name".into()))?,
         );
     }
+    if cmd == "serve" {
+        return cmd_serve(&parse_options(&args[1..])?);
+    }
     let file = args
         .get(1)
         .ok_or_else(|| HtdError::Unsupported(USAGE.into()))?;
@@ -442,6 +577,9 @@ pub fn run(args: &[String]) -> Result<String, HtdError> {
     let o = parse_options(&args[2..])?;
     if cmd == "solve" {
         return cmd_solve(&text, &o);
+    }
+    if cmd == "query" {
+        return cmd_query(file, &text, &o);
     }
     let inst = parse_instance(file, &text)?;
     match cmd.as_str() {
@@ -551,7 +689,9 @@ mod tests {
         let inst = parse_instance("t.hg", hyper_text()).unwrap();
         let o = Options::default();
         assert!(cmd_ghw(&inst, &o).unwrap().starts_with("ghw 2\n"));
-        assert!(cmd_hw(&inst, &o).unwrap().starts_with("hypertree width 2\n"));
+        assert!(cmd_hw(&inst, &o)
+            .unwrap()
+            .starts_with("hypertree width 2\n"));
     }
 
     #[test]
@@ -673,7 +813,17 @@ mod tests {
 
     #[test]
     fn help_texts_exist() {
-        for cmd in ["info", "tw", "ghw", "hw", "decompose", "solve", "gen"] {
+        for cmd in [
+            "info",
+            "tw",
+            "ghw",
+            "hw",
+            "decompose",
+            "solve",
+            "gen",
+            "serve",
+            "query",
+        ] {
             assert!(help_for(cmd).is_some(), "{cmd}");
         }
         assert!(help_for("nope").is_none());

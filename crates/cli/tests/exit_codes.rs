@@ -1,0 +1,110 @@
+//! The documented exit-code contract of the `htd` binary: parse errors
+//! exit 2, invalid instances 3, unsupported requests 4, io failures 5,
+//! and success 0 — checked against the real executable.
+
+use std::io::Write;
+use std::process::Command;
+
+fn htd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_htd"))
+        .args(args)
+        .output()
+        .expect("run htd")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("htd-exit-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn success_is_exit_zero() {
+    let file = write_temp("ok.gr", "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n");
+    let out = htd(&["tw", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("treewidth 2"));
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn parse_error_is_exit_two() {
+    let file = write_temp("bad.gr", "p tw not-a-number\n");
+    let out = htd(&["tw", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse"));
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn invalid_instance_is_exit_three() {
+    // vertex 3 is isolated: the binary-edge hypergraph leaves it
+    // uncovered, so no GHD exists — semantically invalid, not a parse
+    // error
+    let file = write_temp("isolated.gr", "p tw 3 1\n1 2\n");
+    let out = htd(&["ghw", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid"));
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn unsupported_request_is_exit_four() {
+    let file = write_temp("fmt.gr", "p tw 2 1\n1 2\n");
+    // bad output format
+    let out = htd(&["tw", file.to_str().unwrap(), "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    // unknown flag
+    let out = htd(&["tw", file.to_str().unwrap(), "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    // unknown subcommand
+    let out = htd(&["widthify", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn io_failure_is_exit_five() {
+    let out = htd(&["tw", "/nonexistent/definitely/missing.gr"]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("io"));
+}
+
+#[test]
+fn query_against_a_live_server_round_trips() {
+    use htd_service::{ServeOptions, Server};
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        cache_mb: 4,
+        queue_capacity: 4,
+        default_deadline_ms: 5_000,
+        log: false,
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let file = write_temp("query.gr", "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n");
+
+    let out = htd(&["query", file.to_str().unwrap(), "--addr", &addr, "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+
+    // second query is served from cache but must print the same answer
+    let out = htd(&["query", file.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("from cache"), "{text}");
+
+    // missing --addr is an unsupported request (exit 4)
+    let out = htd(&["query", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    // unreachable server is an io failure (exit 5)
+    let out = htd(&["query", file.to_str().unwrap(), "--addr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+
+    let mut client = htd_service::Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_file(file);
+}

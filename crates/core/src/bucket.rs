@@ -127,11 +127,7 @@ pub fn ghd_via_elimination(
 }
 
 /// Covers one bag and returns the chosen edge ids (not just the count).
-fn cover_bag_edges(
-    h: &Hypergraph,
-    ev: &mut GhwEvaluator,
-    bag: &VertexSet,
-) -> Option<Vec<EdgeId>> {
+fn cover_bag_edges(h: &Hypergraph, ev: &mut GhwEvaluator, bag: &VertexSet) -> Option<Vec<EdgeId>> {
     // GhwEvaluator yields sizes; for the labels we re-run a greedy/exact
     // cover over the candidate edges here. Candidates: edges touching bag.
     let mut cands: Vec<EdgeId> = Vec::new();
@@ -229,7 +225,8 @@ mod tests {
             let h = Hypergraph::from_graph(&g);
             let order = EliminationOrdering::random(11, &mut rng);
             let td = vertex_elimination(&g, &order);
-            td.validate(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            td.validate(&h)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

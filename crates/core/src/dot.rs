@@ -10,10 +10,7 @@ use crate::tree_decomposition::TreeDecomposition;
 
 /// Renders a tree decomposition as a DOT digraph; node labels list the bag
 /// contents using `name(v)`.
-pub fn tree_decomposition_to_dot(
-    td: &TreeDecomposition,
-    name: impl Fn(u32) -> String,
-) -> String {
+pub fn tree_decomposition_to_dot(td: &TreeDecomposition, name: impl Fn(u32) -> String) -> String {
     let mut out = String::from("digraph td {\n  node [shape=box];\n");
     for p in 0..td.num_nodes() {
         let bag: Vec<String> = td.bag(p).iter().map(&name).collect();

@@ -49,6 +49,8 @@ mod tests {
             HtdError::Parse("line 3".into()).to_string(),
             "parse error: line 3"
         );
-        assert!(HtdError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(HtdError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
     }
 }

@@ -89,15 +89,13 @@ pub fn exhaustive_fhw_upper(h: &Hypergraph) -> Option<f64> {
     let mut perm: Vec<Vertex> = (0..n).collect();
     let mut best = ev.width(&perm)?;
     let mut ok = true;
-    crate::ordering::for_each_permutation(&mut perm, &mut |p| {
-        match ev.width(p) {
-            Some(w) => {
-                if w < best {
-                    best = w;
-                }
+    crate::ordering::for_each_permutation(&mut perm, &mut |p| match ev.width(p) {
+        Some(w) => {
+            if w < best {
+                best = w;
             }
-            None => ok = false,
         }
+        None => ok = false,
     });
     ok.then_some(best)
 }

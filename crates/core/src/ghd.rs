@@ -36,7 +36,11 @@ impl GeneralizedHypertreeDecomposition {
 
     /// The width `max |λ(p)|`.
     pub fn width(&self) -> u32 {
-        self.lambda.iter().map(|l| l.len() as u32).max().unwrap_or(0)
+        self.lambda
+            .iter()
+            .map(|l| l.len() as u32)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks all three GHD conditions against `h`:
@@ -76,12 +80,12 @@ impl GeneralizedHypertreeDecomposition {
                 subtree[q].union_with(&sub);
             }
         }
-        for p in 0..self.tree.num_nodes() {
+        for (p, sub) in subtree.iter().enumerate() {
             let mut lambda_vars = VertexSet::new(n);
             for &e in &self.lambda[p] {
                 lambda_vars.union_with(h.edge(e));
             }
-            lambda_vars.intersect_with(&subtree[p]);
+            lambda_vars.intersect_with(sub);
             if !lambda_vars.is_subset(self.tree.bag(p)) {
                 return Err(ValidationError::BagNotCovered { node: p });
             }
@@ -102,8 +106,8 @@ impl GeneralizedHypertreeDecomposition {
         let mut lambda = self.lambda.clone();
         for e in 0..h.num_edges() {
             let scope = h.edge(e);
-            let hosted = (0..lambda.len())
-                .any(|p| lambda[p].contains(&e) && scope.is_subset(&bags[p]));
+            let hosted =
+                (0..lambda.len()).any(|p| lambda[p].contains(&e) && scope.is_subset(&bags[p]));
             if hosted {
                 continue;
             }
@@ -208,11 +212,9 @@ mod tests {
         // λ={e1}. Vertex 1 ∈ var(λ(root)) appears below the root but not
         // in the root's bag → condition 4 violated; GHD conditions hold.
         let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
-        let tree = TreeDecomposition::new(
-            vec![vs(3, &[0, 1]), vs(3, &[1, 2])],
-            vec![None, Some(0)],
-        )
-        .unwrap();
+        let tree =
+            TreeDecomposition::new(vec![vs(3, &[0, 1]), vs(3, &[1, 2])], vec![None, Some(0)])
+                .unwrap();
         let good = GeneralizedHypertreeDecomposition::new(tree, vec![vec![0], vec![1]]);
         good.validate(&h).unwrap();
         good.validate_hypertree(&h).unwrap();
@@ -228,10 +230,7 @@ mod tests {
             vec![None, Some(0), Some(1)],
         )
         .unwrap();
-        let bad = GeneralizedHypertreeDecomposition::new(
-            tree,
-            vec![vec![0], vec![1], vec![1]],
-        );
+        let bad = GeneralizedHypertreeDecomposition::new(tree, vec![vec![0], vec![1], vec![1]]);
         bad.validate(&h).unwrap(); // GHD conditions fine
         assert_eq!(
             bad.validate_hypertree(&h),

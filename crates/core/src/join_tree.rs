@@ -54,10 +54,7 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
             if !alive[e] {
                 continue;
             }
-            let lonely: Vec<u32> = scopes[e]
-                .iter()
-                .filter(|&v| occ[v as usize] == 1)
-                .collect();
+            let lonely: Vec<u32> = scopes[e].iter().filter(|&v| occ[v as usize] == 1).collect();
             for v in lonely {
                 scopes[e].remove(v);
                 occ[v as usize] = 0;

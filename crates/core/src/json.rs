@@ -352,7 +352,10 @@ mod tests {
         let doc = Json::Obj(vec![
             ("width".into(), Json::Num(18.0)),
             ("exact".into(), Json::Bool(true)),
-            ("order".into(), Json::Arr(vec![Json::Num(0.0), Json::Num(2.0)])),
+            (
+                "order".into(),
+                Json::Arr(vec![Json::Num(0.0), Json::Num(2.0)]),
+            ),
             ("note".into(), Json::Str("a \"quoted\" line\n".into())),
             ("nothing".into(), Json::Null),
         ]);

@@ -60,10 +60,8 @@ pub fn to_leaf_normal_form(h: &Hypergraph, td: &TreeDecomposition) -> LeafNormal
     let total = bags.len();
     let mut alive = vec![true; total];
     let mut child_count = vec![0usize; total];
-    for p in 0..total {
-        if let Some(q) = parent[p] {
-            child_count[q] += 1;
-        }
+    for &q in parent.iter().flatten() {
+        child_count[q] += 1;
     }
     let is_edge_leaf = |p: usize| p >= n_orig;
     let mut queue: Vec<usize> = (0..total)
@@ -125,8 +123,8 @@ pub fn to_leaf_normal_form(h: &Hypergraph, td: &TreeDecomposition) -> LeafNormal
     // Step 4: restrict inner labels to Steiner trees of their leaves.
     // For each vertex Y: keep Y at an inner node iff the node lies on a
     // path between two leaves containing Y.
-    let td_tmp = TreeDecomposition::new(out_bags.clone(), out_parent.clone())
-        .expect("lnf keeps tree shape");
+    let td_tmp =
+        TreeDecomposition::new(out_bags.clone(), out_parent.clone()).expect("lnf keeps tree shape");
     let depth = node_depths(&td_tmp);
     let nv = h.num_vertices();
     let mut keep: Vec<VertexSet> = (0..out_bags.len()).map(|_| VertexSet::new(nv)).collect();
@@ -325,16 +323,14 @@ mod tests {
                         for &b in &y_leaves[i + 1..] {
                             // path a..b passes p?
                             let l = super::lca(&lnf.td, &depth, a, b);
-                            let passes = |mut x: NodeId| {
-                                loop {
-                                    if x == p {
-                                        return true;
-                                    }
-                                    if x == l {
-                                        return false;
-                                    }
-                                    x = lnf.td.parent(x).unwrap();
+                            let passes = |mut x: NodeId| loop {
+                                if x == p {
+                                    return true;
                                 }
+                                if x == l {
+                                    return false;
+                                }
+                                x = lnf.td.parent(x).unwrap();
                             };
                             if passes(a) || passes(b) || l == p {
                                 found = true;

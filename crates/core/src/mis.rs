@@ -18,11 +18,7 @@ use crate::nice::{NiceNodeKind, NiceTreeDecomposition};
 ///
 /// Runs in `O(2^w)` per node — only use with decompositions of small
 /// width.
-pub fn max_weight_independent_set(
-    g: &Graph,
-    nice: &NiceTreeDecomposition,
-    weights: &[i64],
-) -> i64 {
+pub fn max_weight_independent_set(g: &Graph, nice: &NiceTreeDecomposition, weights: &[i64]) -> i64 {
     assert_eq!(g.num_vertices() as usize, weights.len());
     let td = &nice.tree;
     let order = td.topological_order();
@@ -46,7 +42,11 @@ pub fn max_weight_independent_set(
                     if chosen.is_disjoint(g.neighbors(*vertex)) {
                         let mut with_v = chosen.clone();
                         with_v.insert(*vertex);
-                        merge_max(&mut t, with_v.blocks().to_vec(), val + weights[*vertex as usize]);
+                        merge_max(
+                            &mut t,
+                            with_v.blocks().to_vec(),
+                            val + weights[*vertex as usize],
+                        );
                     }
                 }
                 t
@@ -69,8 +69,7 @@ pub fn max_weight_independent_set(
                         // both subtrees agree on the bag part; its weight is
                         // counted twice
                         let chosen = set_from_blocks(key, g.num_vertices());
-                        let bag_weight: i64 =
-                            chosen.iter().map(|v| weights[v as usize]).sum();
+                        let bag_weight: i64 = chosen.iter().map(|v| weights[v as usize]).sum();
                         merge_max(&mut t, key.clone(), va + vb - bag_weight);
                     }
                 }
@@ -162,8 +161,14 @@ mod tests {
     #[test]
     fn known_families() {
         // path P5: MIS = 3; cycle C6: 3; K5: 1; empty graph: n
-        assert_eq!(max_independent_set(&gen::path_graph(5), &nice_of(&gen::path_graph(5))), 3);
-        assert_eq!(max_independent_set(&gen::cycle_graph(6), &nice_of(&gen::cycle_graph(6))), 3);
+        assert_eq!(
+            max_independent_set(&gen::path_graph(5), &nice_of(&gen::path_graph(5))),
+            3
+        );
+        assert_eq!(
+            max_independent_set(&gen::cycle_graph(6), &nice_of(&gen::cycle_graph(6))),
+            3
+        );
         assert_eq!(
             max_independent_set(&gen::complete_graph(5), &nice_of(&gen::complete_graph(5))),
             1

@@ -160,7 +160,11 @@ impl Builder {
             let mut acc = VertexSet::new(self.n);
             for v in bag.iter() {
                 acc.insert(v);
-                cur = self.push(acc.clone(), NiceNodeKind::Introduce { vertex: v }, vec![cur]);
+                cur = self.push(
+                    acc.clone(),
+                    NiceNodeKind::Introduce { vertex: v },
+                    vec![cur],
+                );
             }
             return cur;
         }
@@ -172,7 +176,11 @@ impl Builder {
             let mut cur_bag = td.bag(c).clone();
             for v in td.bag(c).difference(&bag).iter() {
                 cur_bag.remove(v);
-                cur = self.push(cur_bag.clone(), NiceNodeKind::Forget { vertex: v }, vec![cur]);
+                cur = self.push(
+                    cur_bag.clone(),
+                    NiceNodeKind::Forget { vertex: v },
+                    vec![cur],
+                );
             }
             for v in bag.difference(td.bag(c)).iter() {
                 cur_bag.insert(v);
@@ -222,9 +230,12 @@ mod tests {
             let order = EliminationOrdering::random(10, &mut rng);
             let td = vertex_elimination(&g, &order);
             let nice = NiceTreeDecomposition::from_td(&td, 10);
-            nice.validate_shape().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            nice.validate_shape()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(nice.width(), td.width(), "seed {seed}");
-            nice.tree.validate(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            nice.tree
+                .validate(&h)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

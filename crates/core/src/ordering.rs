@@ -30,7 +30,9 @@ impl EliminationOrdering {
         let mut seen = vec![false; n];
         for &v in &order {
             if (v as usize) >= n || seen[v as usize] {
-                return Err(format!("not a permutation of 0..{n}: duplicate/out-of-range {v}"));
+                return Err(format!(
+                    "not a permutation of 0..{n}: duplicate/out-of-range {v}"
+                ));
             }
             seen[v as usize] = true;
         }
@@ -285,7 +287,7 @@ impl GhwEvaluator {
             self.scratch.eliminate(v, &mut self.bag);
             // a bag of b vertices never needs more than b edges, so skip
             // covering when it cannot raise the maximum
-            if deg + 1 <= width {
+            if deg < width {
                 continue;
             }
             let bag = std::mem::replace(&mut self.bag, VertexSet::new(0));
@@ -548,7 +550,10 @@ mod tests {
 
     #[test]
     fn exhaustive_tw_on_known_families() {
-        assert_eq!(exhaustive_tw(&Graph::from_edges(5, (0..4).map(|i| (i, i + 1)))), 1);
+        assert_eq!(
+            exhaustive_tw(&Graph::from_edges(5, (0..4).map(|i| (i, i + 1)))),
+            1
+        );
         assert_eq!(exhaustive_tw(&cycle(6)), 2);
         assert_eq!(exhaustive_tw(&htd_hypergraph::gen::complete_graph(5)), 4);
         assert_eq!(exhaustive_tw(&htd_hypergraph::gen::grid_graph(3, 3)), 3);

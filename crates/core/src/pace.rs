@@ -50,13 +50,7 @@ impl std::error::Error for TdParseError {}
 pub fn write_td(td: &TreeDecomposition, num_vertices: u32) -> String {
     let mut out = String::new();
     let max_bag = td.bags().iter().map(|b| b.len()).max().unwrap_or(0);
-    let _ = writeln!(
-        out,
-        "s td {} {} {}",
-        td.num_nodes(),
-        max_bag,
-        num_vertices
-    );
+    let _ = writeln!(out, "s td {} {} {}", td.num_nodes(), max_bag, num_vertices);
     for p in 0..td.num_nodes() {
         let verts: Vec<String> = td.bag(p).iter().map(|v| (v + 1).to_string()).collect();
         let _ = writeln!(out, "b {} {}", p + 1, verts.join(" "));
@@ -197,7 +191,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(parse_td("b 1 1\n"), Err(TdParseError::MissingHeader)));
+        assert!(matches!(
+            parse_td("b 1 1\n"),
+            Err(TdParseError::MissingHeader)
+        ));
         assert!(matches!(
             parse_td("s td 1 1 2\nb 1 9\n"),
             Err(TdParseError::OutOfRange(_))

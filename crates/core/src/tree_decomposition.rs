@@ -62,10 +62,7 @@ impl TreeDecomposition {
     /// Builds a decomposition from bags and parent pointers. Exactly one
     /// entry of `parent` must be `None` (the root) and the pointers must
     /// form a tree.
-    pub fn new(
-        bags: Vec<VertexSet>,
-        parent: Vec<Option<NodeId>>,
-    ) -> Result<Self, ValidationError> {
+    pub fn new(bags: Vec<VertexSet>, parent: Vec<Option<NodeId>>) -> Result<Self, ValidationError> {
         if bags.is_empty() || bags.len() != parent.len() {
             return Err(ValidationError::NotATree);
         }
@@ -336,7 +333,10 @@ mod tests {
             vec![None, Some(0)],
         )
         .unwrap();
-        assert_eq!(td.validate(&h), Err(ValidationError::EdgeNotCovered { edge: 1 }));
+        assert_eq!(
+            td.validate(&h),
+            Err(ValidationError::EdgeNotCovered { edge: 1 })
+        );
     }
 
     #[test]
@@ -356,21 +356,13 @@ mod tests {
     #[test]
     fn tree_shape_is_enforced() {
         // two roots
-        assert!(TreeDecomposition::new(
-            vec![vs(2, &[0]), vs(2, &[1])],
-            vec![None, None]
-        )
-        .is_err());
+        assert!(TreeDecomposition::new(vec![vs(2, &[0]), vs(2, &[1])], vec![None, None]).is_err());
         // cycle
-        assert!(TreeDecomposition::new(
-            vec![vs(2, &[0]), vs(2, &[1])],
-            vec![Some(1), Some(0)]
-        )
-        .is_err());
-        // self-parent
         assert!(
-            TreeDecomposition::new(vec![vs(2, &[0])], vec![Some(0)]).is_err()
+            TreeDecomposition::new(vec![vs(2, &[0]), vs(2, &[1])], vec![Some(1), Some(0)]).is_err()
         );
+        // self-parent
+        assert!(TreeDecomposition::new(vec![vs(2, &[0])], vec![Some(0)]).is_err());
         // empty
         assert!(TreeDecomposition::new(vec![], vec![]).is_err());
     }
@@ -428,11 +420,8 @@ mod tests {
     #[test]
     fn validate_graph_detects_missing_edge() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
-        let td = TreeDecomposition::new(
-            vec![vs(3, &[0, 1]), vs(3, &[1, 2])],
-            vec![None, Some(0)],
-        )
-        .unwrap();
+        let td = TreeDecomposition::new(vec![vs(3, &[0, 1]), vs(3, &[1, 2])], vec![None, Some(0)])
+            .unwrap();
         assert!(td.validate_graph(&g).is_err());
         let full = TreeDecomposition::trivial(3);
         full.validate_graph(&g).unwrap();

@@ -41,12 +41,23 @@ pub fn for_each_solution_td(
             covered[v as usize] = true;
         }
     }
-    let free: Vec<u32> = (0..csp.num_vars()).filter(|&v| !covered[v as usize]).collect();
+    let free: Vec<u32> = (0..csp.num_vars())
+        .filter(|&v| !covered[v as usize])
+        .collect();
     let mut assignment = vec![u32::MAX; csp.num_vars() as usize];
     let mut count = 0u64;
     let mut go = true;
     walk_nodes(
-        csp, td, &rels, &order, 0, &free, &mut assignment, &mut count, &mut go, &mut visit,
+        csp,
+        td,
+        &rels,
+        &order,
+        0,
+        &free,
+        &mut assignment,
+        &mut count,
+        &mut go,
+        &mut visit,
     );
     count
 }
@@ -82,7 +93,16 @@ fn walk_nodes(
             }
         }
         walk_nodes(
-            csp, td, rels, order, depth + 1, free, assignment, count, go, visit,
+            csp,
+            td,
+            rels,
+            order,
+            depth + 1,
+            free,
+            assignment,
+            count,
+            go,
+            visit,
         );
         for v in touched {
             assignment[v as usize] = u32::MAX;

@@ -182,7 +182,9 @@ mod tests {
                 assert_eq!(a.tuples, b.tuples);
             }
             // same satisfiability
-            let sa = crate::backtrack::backtrack_solve(&parsed).solution.is_some();
+            let sa = crate::backtrack::backtrack_solve(&parsed)
+                .solution
+                .is_some();
             let sb = crate::backtrack::backtrack_solve(&csp).solution.is_some();
             assert_eq!(sa, sb);
         }
@@ -190,7 +192,8 @@ mod tests {
 
     #[test]
     fn parses_the_doc_example() {
-        let text = "% comment\ncsp 3 2\ndom 2 4\ncon neq 0 1 : 0 1 ; 1 0 ;\ncon t 1 2 : 0 0 ; 1 3 ;\n";
+        let text =
+            "% comment\ncsp 3 2\ndom 2 4\ncon neq 0 1 : 0 1 ; 1 0 ;\ncon t 1 2 : 0 0 ; 1 3 ;\n";
         let csp = parse_csp(text).unwrap();
         assert_eq!(csp.num_vars(), 3);
         assert_eq!(csp.domain_sizes, vec![2, 2, 4]);
@@ -200,7 +203,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(parse_csp("con x 0 : 1 ;"), Err(CspParseError::MissingHeader)));
+        assert!(matches!(
+            parse_csp("con x 0 : 1 ;"),
+            Err(CspParseError::MissingHeader)
+        ));
         assert!(matches!(
             parse_csp("csp 2 2\ncon c 5 : 0 ;"),
             Err(CspParseError::OutOfRange(_))

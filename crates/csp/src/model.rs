@@ -78,11 +78,7 @@ impl Csp {
     /// The constraint hypergraph: one vertex per variable, one hyperedge
     /// per constraint scope (Definition 7).
     pub fn hypergraph(&self) -> Hypergraph {
-        let edges = self
-            .constraints
-            .iter()
-            .map(|c| c.scope.clone())
-            .collect();
+        let edges = self.constraints.iter().map(|c| c.scope.clone()).collect();
         let mut h = Hypergraph::new(self.num_vars(), edges);
         h.set_vertex_names(self.variables.clone());
         h.set_edge_names(self.constraints.iter().map(|c| c.name.clone()).collect());
@@ -141,8 +137,16 @@ mod tests {
     #[test]
     fn csp_solution_check() {
         let mut csp = Csp::uniform(3, 2);
-        csp.add_constraint(Constraint::new("c0", vec![0, 1], vec![vec![0, 1], vec![1, 0]]));
-        csp.add_constraint(Constraint::new("c1", vec![1, 2], vec![vec![0, 1], vec![1, 0]]));
+        csp.add_constraint(Constraint::new(
+            "c0",
+            vec![0, 1],
+            vec![vec![0, 1], vec![1, 0]],
+        ));
+        csp.add_constraint(Constraint::new(
+            "c1",
+            vec![1, 2],
+            vec![vec![0, 1], vec![1, 0]],
+        ));
         assert!(csp.is_solution(&[0, 1, 0]));
         assert!(!csp.is_solution(&[0, 0, 1]));
         assert!(!csp.is_solution(&[0, 1])); // incomplete

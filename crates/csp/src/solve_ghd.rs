@@ -28,11 +28,7 @@ pub fn solve_with_ghd(csp: &Csp, ghd: &GeneralizedHypertreeDecomposition) -> Opt
                 let c = &csp.constraints[e as usize];
                 rel = rel.join(&Relation::new(c.scope.clone(), c.tuples.clone()));
             }
-            let bag_vars: Vec<u32> = td
-                .bag(p)
-                .iter()
-                .filter(|&v| rel.col(v).is_some())
-                .collect();
+            let bag_vars: Vec<u32> = td.bag(p).iter().filter(|&v| rel.col(v).is_some()).collect();
             debug_assert_eq!(
                 bag_vars.len() as u32,
                 td.bag(p).len(),

@@ -57,11 +57,7 @@ pub fn node_relations(csp: &Csp, td: &TreeDecomposition) -> Vec<Relation> {
                 rel = rel.join(&Relation::new(c.scope.clone(), c.tuples.clone()));
             }
             // cross in bag variables no placed constraint mentions
-            let missing: Vec<u32> = td
-                .bag(p)
-                .iter()
-                .filter(|&v| rel.col(v).is_none())
-                .collect();
+            let missing: Vec<u32> = td.bag(p).iter().filter(|&v| rel.col(v).is_none()).collect();
             if !missing.is_empty() {
                 rel = rel.join(&Relation::full(&missing, &csp.domain_sizes));
             }

@@ -181,7 +181,12 @@ pub fn evolve<R: Rng, F: Fitness>(
 }
 
 /// Runs the GA on permutations of `0..n` from a fresh random population.
-pub fn run<R: Rng, F: Fitness>(n: u32, params: &GaParams, fitness: &mut F, rng: &mut R) -> GaResult {
+pub fn run<R: Rng, F: Fitness>(
+    n: u32,
+    params: &GaParams,
+    fitness: &mut F,
+    rng: &mut R,
+) -> GaResult {
     let mut pop = init_population(n, params.population, fitness, rng);
     let init_evals = pop.individuals.len() as u64;
     let mut result = evolve(&mut pop, params, fitness, rng);
@@ -205,7 +210,10 @@ mod tests {
 
     /// Fitness: number of positions where perm[i] != i (sortedness).
     fn mismatches(p: &[u32]) -> u32 {
-        p.iter().enumerate().filter(|(i, &v)| v as usize != *i).count() as u32
+        p.iter()
+            .enumerate()
+            .filter(|(i, &v)| v as usize != *i)
+            .count() as u32
     }
 
     #[test]
@@ -218,7 +226,11 @@ mod tests {
         };
         let mut f = |p: &[u32]| mismatches(p);
         let r = run(10, &params, &mut f, &mut rng);
-        assert!(r.best <= 2, "GA failed to approach identity: best {}", r.best);
+        assert!(
+            r.best <= 2,
+            "GA failed to approach identity: best {}",
+            r.best
+        );
         assert_eq!(r.history.len(), 151);
         assert_eq!(r.evaluations, 40 * 151);
     }

@@ -100,13 +100,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = quick_params();
         // acyclic chain: ghw 1
-        let chain = Hypergraph::new(6, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]);
+        let chain = Hypergraph::new(
+            6,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]],
+        );
         assert_eq!(ga_ghw(&chain, &p, &mut rng).unwrap().width, 1);
         // thesis example: ghw 2
         let th = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
         assert_eq!(ga_ghw(&th, &p, &mut rng).unwrap().width, 2);
         // clique_8: ghw 4
-        assert_eq!(ga_ghw(&gen::clique_hypergraph(8), &p, &mut rng).unwrap().width, 4);
+        assert_eq!(
+            ga_ghw(&gen::clique_hypergraph(8), &p, &mut rng)
+                .unwrap()
+                .width,
+            4
+        );
     }
 
     #[test]
@@ -149,9 +157,17 @@ mod tests {
         let h = gen::adder(4);
         let p = quick_params();
         let cache = Arc::new(CoverCache::new());
-        let plain = ga_ghw_with_strategy(&h, &p, CoverStrategy::Greedy, &mut StdRng::seed_from_u64(7)).unwrap();
-        let cached = ga_ghw_cached(&h, &p, CoverStrategy::Greedy, Arc::clone(&cache), &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let plain =
+            ga_ghw_with_strategy(&h, &p, CoverStrategy::Greedy, &mut StdRng::seed_from_u64(7))
+                .unwrap();
+        let cached = ga_ghw_cached(
+            &h,
+            &p,
+            CoverStrategy::Greedy,
+            Arc::clone(&cache),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
         assert_eq!(cached.width, plain.width);
         assert_eq!(cached.ordering, plain.ordering);
         assert!(!cache.is_empty(), "fitness loop should populate the cache");

@@ -180,7 +180,8 @@ mod tests {
             match lo {
                 None => {} // reversed a singleton
                 Some(lo) => {
-                    let hi = p.len() - 1
+                    let hi = p.len()
+                        - 1
                         - p.iter()
                             .rev()
                             .zip(q.iter().rev())

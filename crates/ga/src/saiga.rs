@@ -221,11 +221,11 @@ pub fn saiga_ghw(h: &Hypergraph, sp: &SaigaParams) -> Option<SaigaResult> {
             })
             .collect();
         let k = islands.len();
-        for i in 0..k {
+        for (i, (best_fit, best_ind)) in bests.iter().enumerate() {
             let to = (i + 1) % k;
             let wi = argmax(&islands[to].pop.fitness);
-            islands[to].pop.individuals[wi] = bests[i].1.clone();
-            islands[to].pop.fitness[wi] = bests[i].0;
+            islands[to].pop.individuals[wi] = best_ind.clone();
+            islands[to].pop.fitness[wi] = *best_fit;
         }
 
         // neighbor orientation + parameter mutation

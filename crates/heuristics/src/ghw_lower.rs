@@ -66,7 +66,7 @@ fn greedy_clique(g: &Graph, seed: u32) -> VertexSet {
         let mut best: Option<(u32, u32)> = None;
         for v in common.iter() {
             let d = g.degree(v);
-            if best.is_none_or(|(bd, _)| d > bd) {
+            if best.map_or(true, |(bd, _)| d > bd) {
                 best = Some((d, v));
             }
         }

@@ -113,7 +113,11 @@ pub fn improve_ordering_until<R: Rng>(
 }
 
 /// Convenience: min-fill followed by local search.
-pub fn min_fill_plus_ils<R: Rng>(g: &Graph, params: &IlsParams, rng: &mut R) -> (EliminationOrdering, u32) {
+pub fn min_fill_plus_ils<R: Rng>(
+    g: &Graph,
+    params: &IlsParams,
+    rng: &mut R,
+) -> (EliminationOrdering, u32) {
     let start = crate::upper::min_fill(g, rng).ordering;
     improve_ordering(g, &start, params, rng)
 }

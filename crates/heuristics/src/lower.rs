@@ -176,7 +176,10 @@ mod tests {
                 assert!(degeneracy(&g) <= tw, "degeneracy seed {seed}");
                 assert!(minor_min_width(&g, &mut rng) <= tw, "mmw seed {seed}");
                 assert!(minor_gamma_r(&g, &mut rng) <= tw, "γR seed {seed}");
-                assert!(combined_lower_bound(&g, &mut rng) <= tw, "combined seed {seed}");
+                assert!(
+                    combined_lower_bound(&g, &mut rng) <= tw,
+                    "combined seed {seed}"
+                );
             }
         }
     }

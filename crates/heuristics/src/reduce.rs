@@ -14,7 +14,7 @@ pub fn find_simplicial(eg: &EliminationGraph) -> Option<Vertex> {
     for v in eg.alive().iter() {
         if eg.is_simplicial(v) {
             let d = eg.degree(v);
-            if best.is_none_or(|(bd, _)| d < bd) {
+            if best.map_or(true, |(bd, _)| d < bd) {
                 best = Some((d, v));
             }
         }

@@ -81,7 +81,11 @@ impl VertexSet {
     /// Inserts `v`. Returns `true` if `v` was not already present.
     #[inline]
     pub fn insert(&mut self, v: u32) -> bool {
-        debug_assert!(v < self.capacity, "vertex {v} out of capacity {}", self.capacity);
+        debug_assert!(
+            v < self.capacity,
+            "vertex {v} out of capacity {}",
+            self.capacity
+        );
         let (b, m) = (v as usize / BITS, 1u64 << (v as usize % BITS));
         let was = self.blocks[b] & m != 0;
         self.blocks[b] |= m;
@@ -186,7 +190,10 @@ impl VertexSet {
     #[inline]
     pub fn is_disjoint(&self, other: &VertexSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// `|self & other|` without allocating.

@@ -121,7 +121,8 @@ impl EliminationGraph {
     /// `true` iff the neighborhood of alive vertex `v` is a clique.
     pub fn is_simplicial(&self, v: Vertex) -> bool {
         let nb = &self.adj[v as usize];
-        nb.iter().all(|u| nb.difference_len(&self.adj[u as usize]) == 1)
+        nb.iter()
+            .all(|u| nb.difference_len(&self.adj[u as usize]) == 1)
     }
 
     /// `true` iff all but one neighbor of `v` induce a clique

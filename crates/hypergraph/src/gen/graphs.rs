@@ -21,8 +21,7 @@ pub fn queen_graph(n: u32) -> Graph {
                     }
                     let same_row = r1 == r2;
                     let same_col = c1 == c2;
-                    let same_diag =
-                        (r1 as i64 - r2 as i64).abs() == (c1 as i64 - c2 as i64).abs();
+                    let same_diag = (r1 as i64 - r2 as i64).abs() == (c1 as i64 - c2 as i64).abs();
                     if same_row || same_col || same_diag {
                         g.add_edge(id(r1, c1), id(r2, c2));
                     }
@@ -160,7 +159,9 @@ pub fn random_k_colorable(n: u32, k: u32, m: usize, seed: u64) -> Graph {
 /// `miles` instances (road distances between cities).
 pub fn random_geometric(n: u32, radius: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut g = Graph::new(n);
     for u in 0..n as usize {
@@ -268,7 +269,7 @@ pub fn random_bounded_degree(n: u32, max_deg: u32, m: usize, seed: u64) -> Graph
 /// `K_{k+1}`, then repeatedly attach a new vertex to a random existing
 /// `k`-clique. Ideal as a ground-truth family for exact solvers.
 pub fn random_ktree(n: u32, k: u32, seed: u64) -> Graph {
-    assert!(n >= k + 1);
+    assert!(n > k);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = complete_graph(k + 1);
     let mut g_full = Graph::new(n);
@@ -333,7 +334,13 @@ mod tests {
 
     #[test]
     fn myciel_counts_match_dimacs() {
-        for (k, v, e) in [(3, 11, 20), (4, 23, 71), (5, 47, 236), (6, 95, 755), (7, 191, 2360)] {
+        for (k, v, e) in [
+            (3, 11, 20),
+            (4, 23, 71),
+            (5, 47, 236),
+            (6, 95, 755),
+            (7, 191, 2360),
+        ] {
             let g = myciel(k);
             assert_eq!(g.num_vertices(), v, "myciel{k} vertices");
             assert_eq!(g.num_edges(), e, "myciel{k} edges");

@@ -62,14 +62,8 @@ pub fn bridge(k: u32) -> Hypergraph {
     for i in 0..k {
         let base = 2 + 9 * i;
         let (nt, nb, nr) = (base, base + 1, base + 2);
-        let (b1, b2, b3, b4, b5, link) = (
-            base + 3,
-            base + 4,
-            base + 5,
-            base + 6,
-            base + 7,
-            base + 8,
-        );
+        let (b1, b2, b3, b4, b5, link) =
+            (base + 3, base + 4, base + 5, base + 6, base + 7, base + 8);
         // five branches of the bridge: left-top, left-bottom, middle,
         // top-right, bottom-right; each branch couples its current variable
         // with the two node potentials it connects.

@@ -44,19 +44,31 @@ pub fn named_graph(name: &str) -> Option<Graph> {
         }
         return None;
     }
-    if let Some(k) = name.strip_prefix("myciel").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("myciel")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 2).then(|| graphs::myciel(k));
     }
-    if let Some(n) = name.strip_prefix("grid").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(n) = name
+        .strip_prefix("grid")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (n >= 1).then(|| graphs::grid_graph(n, n));
     }
     if let Some(n) = name.strip_prefix('K').and_then(|s| s.parse::<u32>().ok()) {
         return Some(graphs::complete_graph(n));
     }
-    if let Some(n) = name.strip_prefix("path").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(n) = name
+        .strip_prefix("path")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (n >= 1).then(|| graphs::path_graph(n));
     }
-    if let Some(n) = name.strip_prefix("cycle").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(n) = name
+        .strip_prefix("cycle")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (n >= 3).then(|| graphs::cycle_graph(n));
     }
     if let Some(rest) = name.strip_prefix("ktree_") {
@@ -116,19 +128,34 @@ pub fn named_graph(name: &str) -> Option<Graph> {
 /// `b06`, `b08`, `b09`, `b10`, `c499`, `c880` with the published (V, H)
 /// counts.
 pub fn named_hypergraph(name: &str) -> Option<Hypergraph> {
-    if let Some(k) = name.strip_prefix("adder_").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("adder_")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 1).then(|| hypergraphs::adder(k));
     }
-    if let Some(k) = name.strip_prefix("bridge_").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("bridge_")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 1).then(|| hypergraphs::bridge(k));
     }
-    if let Some(k) = name.strip_prefix("grid2d_").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("grid2d_")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 2).then(|| hypergraphs::grid2d(k));
     }
-    if let Some(k) = name.strip_prefix("grid3d_").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("grid3d_")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 2).then(|| hypergraphs::grid3d(k));
     }
-    if let Some(k) = name.strip_prefix("clique_").and_then(|s| s.parse::<u32>().ok()) {
+    if let Some(k) = name
+        .strip_prefix("clique_")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         return (k >= 2).then(|| hypergraphs::clique_hypergraph(k));
     }
     let s = seed_of(name);
@@ -149,8 +176,22 @@ pub fn named_hypergraph(name: &str) -> Option<Hypergraph> {
 /// plus one representative of each substituted family.
 pub fn graph_suite() -> Vec<(&'static str, Graph)> {
     [
-        "queen5_5", "queen6_6", "queen7_7", "myciel3", "myciel4", "myciel5", "grid4", "grid5",
-        "grid6", "games120", "anna", "david", "huck", "jean", "DSJC125.1", "miles250",
+        "queen5_5",
+        "queen6_6",
+        "queen7_7",
+        "myciel3",
+        "myciel4",
+        "myciel5",
+        "grid4",
+        "grid5",
+        "grid6",
+        "games120",
+        "anna",
+        "david",
+        "huck",
+        "jean",
+        "DSJC125.1",
+        "miles250",
     ]
     .into_iter()
     .map(|n| (n, named_graph(n).expect("suite name")))
@@ -160,8 +201,20 @@ pub fn graph_suite() -> Vec<(&'static str, Graph)> {
 /// The hypergraph suite of Tables 7.1–9.2 at laptop scale.
 pub fn hypergraph_suite() -> Vec<(&'static str, Hypergraph)> {
     [
-        "adder_15", "adder_25", "bridge_10", "bridge_25", "grid2d_8", "grid2d_10", "grid3d_4",
-        "clique_10", "clique_20", "b06", "b08", "b09", "b10", "c499",
+        "adder_15",
+        "adder_25",
+        "bridge_10",
+        "bridge_25",
+        "grid2d_8",
+        "grid2d_10",
+        "grid3d_4",
+        "clique_10",
+        "clique_20",
+        "b06",
+        "b08",
+        "b09",
+        "b10",
+        "c499",
     ]
     .into_iter()
     .map(|n| (n, named_hypergraph(n).expect("suite name")))
@@ -193,7 +246,12 @@ mod tests {
     #[test]
     fn book_graph_substitutes_have_published_treewidth_bound() {
         // partial k-trees: vertex counts exact, treewidth ≤ published value
-        for (name, v, tw) in [("anna", 138, 12), ("david", 87, 13), ("huck", 74, 10), ("jean", 80, 9)] {
+        for (name, v, tw) in [
+            ("anna", 138, 12),
+            ("david", 87, 13),
+            ("huck", 74, 10),
+            ("jean", 80, 9),
+        ] {
             let g = named_graph(name).unwrap();
             assert_eq!(g.num_vertices(), v, "{name}");
             // a k-tree elimination order exists, so min-degree-ish greedy

@@ -7,7 +7,10 @@
 //!   used in chapters 5–6 of the thesis.
 //! * **Hyperedge format** used by the CSP hypergraph library and the
 //!   `detkdecomp`/HyperBench tools: a list of atoms
-//!   `name(v1,v2,...),` terminated by `.`, `%`-comments.
+//!   `name(v1,v2,...),` terminated by `.`, `%`-comments. [`parse_hg`]
+//!   is the strict HyperBench `.hg` entry point on top of it (unique edge
+//!   names, non-empty scopes), so the public corpus can be ingested
+//!   directly by the CLI and the decomposition service.
 
 use std::fmt::Write as _;
 
@@ -171,7 +174,11 @@ pub fn parse_hyperedges(text: &str) -> Result<Hypergraph, ParseError> {
             .find(')')
             .map(|i| open + i)
             .ok_or_else(|| ParseError::BadLine(rest.chars().take(40).collect()))?;
-        let name = rest[..open].trim().trim_start_matches(',').trim().to_string();
+        let name = rest[..open]
+            .trim()
+            .trim_start_matches(',')
+            .trim()
+            .to_string();
         if name.is_empty() {
             return Err(ParseError::BadLine(rest.chars().take(40).collect()));
         }
@@ -192,6 +199,45 @@ pub fn parse_hyperedges(text: &str) -> Result<Hypergraph, ParseError> {
         }
     }
     Ok(Hypergraph::from_named_edges(&edges))
+}
+
+/// Parses a HyperBench `.hg` hypergraph.
+///
+/// The public HyperBench corpus (Fischl et al., arXiv:1811.08181) ships
+/// hypergraphs as atom lists in exactly the `name(v1,v2,...)` shape of
+/// [`parse_hyperedges`], one or more atoms per line, `,`-separated with an
+/// optional final `.`, `%` comments. This entry point adds the corpus's
+/// stricter contract on top of the tolerant generic parser:
+///
+/// * every atom must have a **non-empty scope** (a relation with no
+///   attributes has no place in a hypergraph);
+/// * **edge names must be unique** — duplicates almost always mean two
+///   instance files were concatenated, and silently merging them would
+///   corrupt every downstream width.
+pub fn parse_hg(text: &str) -> Result<Hypergraph, ParseError> {
+    let h = parse_hyperedges(text)?;
+    let mut seen = std::collections::HashSet::new();
+    for e in 0..h.num_edges() {
+        if h.edge(e).is_empty() {
+            return Err(ParseError::BadLine(format!(
+                "edge '{}' has an empty scope",
+                h.edge_name(e)
+            )));
+        }
+        if !seen.insert(h.edge_name(e).to_string()) {
+            return Err(ParseError::BadLine(format!(
+                "duplicate edge name '{}'",
+                h.edge_name(e)
+            )));
+        }
+    }
+    Ok(h)
+}
+
+/// Writes a hypergraph in HyperBench `.hg` form (alias of
+/// [`write_hyperedges`]; the formats coincide on output).
+pub fn write_hg(h: &Hypergraph) -> String {
+    write_hyperedges(h)
 }
 
 /// Writes a hypergraph in the hyperedge (atom list) format.
@@ -289,5 +335,48 @@ mod tests {
     fn hyperedges_bad_input() {
         assert!(parse_hyperedges("no parens here").is_err());
         assert!(parse_hyperedges("(a,b).").is_err()); // missing name
+    }
+
+    #[test]
+    fn hg_roundtrip() {
+        // HyperBench style: one atom per line, comma separators, final '.'
+        let text = "%% cq from the public corpus\n\
+                    airport(ap_id,city),\n\
+                    flight(fl_id,ap_id,dest),\n\
+                    city(city,dest).\n";
+        let h = parse_hg(text).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_name(0), "airport");
+        assert_eq!(h.vertex_name(0), "ap_id");
+        let again = parse_hg(&write_hg(&h)).unwrap();
+        assert_eq!(again.num_vertices(), h.num_vertices());
+        assert_eq!(again.num_edges(), h.num_edges());
+        for e in 0..h.num_edges() {
+            assert_eq!(again.edge_name(e), h.edge_name(e));
+            assert_eq!(again.edge(e).to_vec(), h.edge(e).to_vec());
+        }
+    }
+
+    #[test]
+    fn hg_accepts_missing_final_period() {
+        let h = parse_hg("r1(a,b)\nr2(b,c)").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn hg_rejects_corpus_violations() {
+        // duplicate edge names (two concatenated instances)
+        assert!(matches!(
+            parse_hg("r(a,b),\nr(b,c)."),
+            Err(ParseError::BadLine(_))
+        ));
+        // empty scope
+        assert!(matches!(
+            parse_hg("r(a,b),\nempty()."),
+            Err(ParseError::BadLine(_))
+        ));
+        // still propagates generic syntax errors
+        assert!(parse_hg("no parens").is_err());
     }
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod canonical;
 pub mod elim;
 pub mod gen;
 pub mod graph;
@@ -27,6 +28,7 @@ pub mod hypergraph;
 pub mod io;
 
 pub use bitset::VertexSet;
+pub use canonical::{canonical_form, fingerprint64, CanonicalForm};
 pub use elim::EliminationGraph;
 pub use graph::Graph;
 pub use hypergraph::Hypergraph;

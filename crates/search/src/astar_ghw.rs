@@ -104,7 +104,10 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
         .unwrap_or_else(|| std::sync::Arc::new(htd_setcover::CoverCache::new()));
     let g = h.primal_graph();
     let mut ev = GhwEvaluator::with_cache(h, CoverStrategy::Exact, std::sync::Arc::clone(&cache));
-    let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
+    let cands = [
+        min_fill(&g, &mut rng).ordering,
+        min_degree(&g, &mut rng).ordering,
+    ];
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
             inc.offer_upper(w, c.as_slice());

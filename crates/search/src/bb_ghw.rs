@@ -53,7 +53,10 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     // initial upper bound: best of min-fill / min-degree orderings under
     // exact covering (memoized in the same cache the search uses)
     let mut ev = GhwEvaluator::with_cache(h, CoverStrategy::Exact, std::sync::Arc::clone(&cache));
-    let cands = [min_fill(&g, &mut rng).ordering, min_degree(&g, &mut rng).ordering];
+    let cands = [
+        min_fill(&g, &mut rng).ordering,
+        min_degree(&g, &mut rng).ordering,
+    ];
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
             inc.offer_upper(w, c.as_slice());
@@ -93,7 +96,11 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     }
     let upper = inc.upper();
     Some(SearchOutcome {
-        lower: if completed { upper } else { inc.lower().min(upper) },
+        lower: if completed {
+            upper
+        } else {
+            inc.lower().min(upper)
+        },
         upper,
         exact: completed,
         ordering: inc.best_order().map(EliminationOrdering::new_unchecked),
@@ -267,11 +274,7 @@ mod tests {
                         use_reductions: red,
                         ..SearchConfig::default()
                     };
-                    assert_eq!(
-                        exact(&h, &cfg),
-                        truth,
-                        "seed {seed} pr2={pr2} red={red}"
-                    );
+                    assert_eq!(exact(&h, &cfg), truth, "seed {seed} pr2={pr2} red={red}");
                 }
             }
         }

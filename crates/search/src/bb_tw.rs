@@ -76,7 +76,11 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     }
     let upper = inc.upper();
     SearchOutcome {
-        lower: if completed { upper } else { inc.lower().min(upper) },
+        lower: if completed {
+            upper
+        } else {
+            inc.lower().min(upper)
+        },
         upper,
         exact: completed,
         ordering: inc.best_order().map(EliminationOrdering::new_unchecked),

@@ -82,7 +82,10 @@ fn find_root(parent: &[Option<NodeId>]) -> NodeId {
 /// Computes the hypertree width by trying `k = lb, lb+1, …` with
 /// [`det_k_decomp`]. `lb` may be any valid lower bound (e.g. the ghw lower
 /// bound — `ghw ≤ hw`); pass 1 when in doubt.
-pub fn hypertree_width(h: &Hypergraph, lb: u32) -> Option<(u32, GeneralizedHypertreeDecomposition)> {
+pub fn hypertree_width(
+    h: &Hypergraph,
+    lb: u32,
+) -> Option<(u32, GeneralizedHypertreeDecomposition)> {
     let mut k = lb.max(1);
     loop {
         if let Some(hd) = det_k_decomp(h, k) {

@@ -39,11 +39,7 @@ pub fn dp_treewidth(g: &Graph) -> u32 {
     }
     // adjacency as u32 masks for speed
     let adj: Vec<u32> = (0..n)
-        .map(|v| {
-            g.neighbors(v)
-                .iter()
-                .fold(0u32, |m, u| m | (1 << u))
-        })
+        .map(|v| g.neighbors(v).iter().fold(0u32, |m, u| m | (1 << u)))
         .collect();
     let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
     // layer-by-layer over subset sizes; opt maps subset -> width

@@ -32,10 +32,10 @@ pub mod bb_tw;
 pub mod config;
 pub mod detk;
 pub mod dp_tw;
+pub(crate) mod ghw_common;
 pub mod incumbent;
 pub mod parallel;
 pub mod portfolio;
-pub(crate) mod ghw_common;
 pub mod pruning;
 
 pub use config::{Engine, SearchConfig, SearchOutcome, SearchStats};
@@ -51,13 +51,19 @@ use htd_hypergraph::{Graph, Hypergraph};
 // value namespace only, so `crate::bb_tw::bb_tw` paths keep working.
 
 /// Deprecated alias for [`bb_tw::bb_tw`]; prefer [`solve`].
-#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::treewidth")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use htd_search::solve with Problem::treewidth"
+)]
 pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     bb_tw::bb_tw(g, cfg)
 }
 
 /// Deprecated alias for [`astar_tw::astar_tw`]; prefer [`solve`].
-#[deprecated(since = "0.2.0", note = "use htd_search::solve with Problem::treewidth")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use htd_search::solve with Problem::treewidth"
+)]
 pub fn astar_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     astar_tw::astar_tw(g, cfg)
 }

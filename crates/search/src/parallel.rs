@@ -89,7 +89,10 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
                 scope.spawn(move |_| worker(g, worker_cfg, lb0, chunk, t as u64, inc))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
     .expect("scope");
 
@@ -142,7 +145,15 @@ fn worker(
         eg.eliminate(v);
         order.push(v);
         completed &= dfs(
-            cfg, lb0, &mut eg, d, &mut order, inc, &mut budget, &mut rng, &mut stats,
+            cfg,
+            lb0,
+            &mut eg,
+            d,
+            &mut order,
+            inc,
+            &mut budget,
+            &mut rng,
+            &mut stats,
         );
         order.pop();
         eg.undo_to(mark);

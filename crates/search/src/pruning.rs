@@ -100,11 +100,7 @@ mod tests {
                     a.extend(&rest);
                     let mut b = vec![w, v];
                     b.extend(&rest);
-                    assert_eq!(
-                        ev.width(&a),
-                        ev.width(&b),
-                        "seed {seed}, pair ({v},{w})"
-                    );
+                    assert_eq!(ev.width(&a), ev.width(&b), "seed {seed}, pair ({v},{w})");
                 }
             }
         }

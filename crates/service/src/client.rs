@@ -1,0 +1,114 @@
+//! A small blocking client for the newline-JSON protocol, used by
+//! `htd query`, the `service_load` bench and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use htd_core::{HtdError, Json};
+use htd_search::Objective;
+
+use crate::protocol::{Command, InstanceFormat, Request, Response, SolveRequest, Status};
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request and reads one response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, HtdError> {
+        let line = req.to_json().to_string();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| HtdError::Io(e.to_string()))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| HtdError::Io(e.to_string()))?;
+        if reply.is_empty() {
+            return Err(HtdError::Io("server closed the connection".into()));
+        }
+        Response::from_json(&Json::parse(reply.trim())?)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("c{}", self.next_id)
+    }
+
+    /// Solves `instance` with the given objective and deadline.
+    pub fn solve(
+        &mut self,
+        objective: Objective,
+        format: InstanceFormat,
+        instance: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, HtdError> {
+        let id = self.fresh_id();
+        self.request(&Request {
+            id: Some(id),
+            cmd: Command::Solve(SolveRequest {
+                objective,
+                format,
+                instance: instance.to_string(),
+                deadline_ms,
+                budget: None,
+                threads: None,
+                use_cache: true,
+            }),
+        })
+    }
+
+    /// Liveness probe; `Ok(())` iff the server answered `pong`.
+    pub fn ping(&mut self) -> Result<(), HtdError> {
+        let id = self.fresh_id();
+        let r = self.request(&Request {
+            id: Some(id),
+            cmd: Command::Ping,
+        })?;
+        if r.status == Status::Pong {
+            Ok(())
+        } else {
+            Err(HtdError::Io(format!(
+                "unexpected status {}",
+                r.status.name()
+            )))
+        }
+    }
+
+    /// Metrics snapshot as JSON.
+    pub fn stats(&mut self) -> Result<Json, HtdError> {
+        let id = self.fresh_id();
+        let r = self.request(&Request {
+            id: Some(id),
+            cmd: Command::Stats,
+        })?;
+        r.stats
+            .ok_or_else(|| HtdError::Io("stats response without snapshot".into()))
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), HtdError> {
+        let id = self.fresh_id();
+        self.request(&Request {
+            id: Some(id),
+            cmd: Command::Shutdown,
+        })
+        .map(|_| ())
+    }
+}

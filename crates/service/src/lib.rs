@@ -1,0 +1,45 @@
+//! `htd-service`: a long-running decomposition server.
+//!
+//! Answering "what is the (generalized hyper)tree width of this query's
+//! hypergraph?" is the planning-time primitive of Section 5 of the paper:
+//! a database optimizer asks it for *many* queries, *repeatedly*, with a
+//! latency budget — not once from a CLI. This crate packages the
+//! workspace's anytime portfolio solver as such a service:
+//!
+//! * **Canonical-form caching** — instances are keyed by the
+//!   relabeling-invariant canonical form of their (normalized) hypergraph
+//!   ([`htd_hypergraph::canonical`]), so the same query shape is solved
+//!   once no matter how its variables happen to be numbered, and `tw`
+//!   requests share entries across input formats via primal-graph
+//!   normalization. Admission is objective-aware: exact answers serve
+//!   every later request, anytime bounds only serve requests whose own
+//!   budget could not have done better ([`cache`]).
+//! * **Deadlines** — each request carries a wall-clock deadline mapped
+//!   onto the solver's budget, enforced by a watchdog that cancels the
+//!   shared incumbent the moment it expires; requests that age out while
+//!   queued are evicted without running ([`server`]).
+//! * **Backpressure** — a bounded work queue; a full queue rejects
+//!   immediately with a retry hint instead of buffering unboundedly.
+//! * **Observability** — `GET /healthz`, Prometheus-text `GET /metrics`
+//!   (request/cache counters, queue depth, latency p50/p95, widths
+//!   served) and structured per-request log lines ([`metrics`]).
+//!
+//! The wire format is one JSON object per line over TCP ([`protocol`]),
+//! reusing [`htd_search::Outcome`]'s documented schema for results; the
+//! same socket also answers plain HTTP probes. `htd serve` / `htd query`
+//! front this crate from the CLI, and the `service_load` bench replays a
+//! generated corpus against it.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use metrics::Metrics;
+pub use protocol::{Command, InstanceFormat, Request, Response, SolveRequest, Status};
+pub use server::{run_until_shutdown, ServeOptions, Server};

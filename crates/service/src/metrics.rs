@@ -1,0 +1,408 @@
+//! Service observability: lock-free counters, latency/width histograms,
+//! and the Prometheus text rendering behind `GET /metrics`.
+//!
+//! Everything is plain atomics so the hot path (one solve) costs a handful
+//! of relaxed increments. Quantiles (p50/p95) are interpolated from the
+//! fixed-bucket latency histogram at scrape time, never maintained online.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use htd_core::Json;
+
+/// Upper bounds (ms) of the solve-latency histogram buckets; the last
+/// bucket is +Inf.
+pub const LATENCY_BUCKETS_MS: [f64; 14] = [
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// Widths `0..=MAX_TRACKED_WIDTH-1` get their own counter; anything wider
+/// lands in the overflow bucket.
+pub const MAX_TRACKED_WIDTH: usize = 32;
+
+/// A fixed-bucket histogram (counts + sum), Prometheus-compatible.
+#[derive(Debug)]
+pub struct Histogram {
+    /// counts[i] = observations ≤ LATENCY_BUCKETS_MS[i]; the final slot
+    /// is the +Inf bucket. Cumulative form is produced at render time.
+    counts: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            counts: (0..=LATENCY_BUCKETS_MS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in milliseconds.
+    pub fn observe(&self, ms: f64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add((ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, in milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Interpolated quantile (`0.0..=1.0`) from the buckets; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut lo = 0.0;
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            let hi = LATENCY_BUCKETS_MS
+                .get(i)
+                .copied()
+                .unwrap_or(2.0 * LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]);
+            if seen + n >= target {
+                // linear interpolation inside the bucket
+                let into = (target - seen) as f64 / n.max(1) as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += n;
+            lo = hi;
+        }
+        lo
+    }
+}
+
+/// All counters and gauges of one server instance.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Total requests by kind.
+    pub solve_requests: AtomicU64,
+    /// `ping` requests.
+    pub ping_requests: AtomicU64,
+    /// `stats` requests.
+    pub stats_requests: AtomicU64,
+    /// HTTP scrapes (`/healthz` + `/metrics`).
+    pub http_requests: AtomicU64,
+    /// Responses with status `ok`.
+    pub ok_responses: AtomicU64,
+    /// Responses with status `rejected` (backpressure).
+    pub rejected_responses: AtomicU64,
+    /// Responses with status `timeout` (deadline expired in queue).
+    pub timeout_responses: AtomicU64,
+    /// Responses with status `error`.
+    pub error_responses: AtomicU64,
+    /// Responses with status `shutting_down`.
+    pub shedding_responses: AtomicU64,
+    /// Cache hits / misses (solve requests with cache enabled).
+    pub cache_hits: AtomicU64,
+    /// Cache misses.
+    pub cache_misses: AtomicU64,
+    /// Requests currently waiting in the work queue.
+    pub queue_depth: AtomicI64,
+    /// Solves currently running on workers.
+    pub inflight: AtomicI64,
+    /// Wall-clock latency of cold solves (worker time), ms.
+    pub solve_latency: Histogram,
+    /// End-to-end service latency of `ok` responses (incl. cache hits), ms.
+    pub request_latency: Histogram,
+    /// Upper widths served, by value (capped at [`MAX_TRACKED_WIDTH`]).
+    pub widths: Vec<AtomicU64>,
+    /// Exact answers served.
+    pub exact_served: AtomicU64,
+    /// Inexact (anytime-bound) answers served.
+    pub inexact_served: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics anchored at "now".
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            solve_requests: AtomicU64::new(0),
+            ping_requests: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            ok_responses: AtomicU64::new(0),
+            rejected_responses: AtomicU64::new(0),
+            timeout_responses: AtomicU64::new(0),
+            error_responses: AtomicU64::new(0),
+            shedding_responses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            inflight: AtomicI64::new(0),
+            solve_latency: Histogram::new(),
+            request_latency: Histogram::new(),
+            widths: (0..=MAX_TRACKED_WIDTH).map(|_| AtomicU64::new(0)).collect(),
+            exact_served: AtomicU64::new(0),
+            inexact_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Milliseconds since server start.
+    pub fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Records a served outcome (width + exactness).
+    pub fn record_served(&self, upper: u32, exact: bool) {
+        let idx = (upper as usize).min(MAX_TRACKED_WIDTH);
+        self.widths[idx].fetch_add(1, Ordering::Relaxed);
+        if exact {
+            self.exact_served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inexact_served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The Prometheus text exposition (version 0.0.4) for `GET /metrics`.
+    pub fn render_prometheus(
+        &self,
+        cache_entries: u64,
+        cache_bytes: u64,
+        draining: bool,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::with_capacity(4096);
+        let c = |o: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(o, "# HELP {name} {help}");
+            let _ = writeln!(o, "# TYPE {name} counter");
+            let _ = writeln!(o, "{name} {v}");
+        };
+        let g = |o: &mut String, name: &str, help: &str, v: f64| {
+            let _ = writeln!(o, "# HELP {name} {help}");
+            let _ = writeln!(o, "# TYPE {name} gauge");
+            let _ = writeln!(o, "{name} {v}");
+        };
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        let _ = writeln!(o, "# HELP htd_requests_total Requests by command.");
+        let _ = writeln!(o, "# TYPE htd_requests_total counter");
+        for (k, v) in [
+            ("solve", ld(&self.solve_requests)),
+            ("ping", ld(&self.ping_requests)),
+            ("stats", ld(&self.stats_requests)),
+            ("http", ld(&self.http_requests)),
+        ] {
+            let _ = writeln!(o, "htd_requests_total{{cmd=\"{k}\"}} {v}");
+        }
+        let _ = writeln!(o, "# HELP htd_responses_total Responses by status.");
+        let _ = writeln!(o, "# TYPE htd_responses_total counter");
+        for (k, v) in [
+            ("ok", ld(&self.ok_responses)),
+            ("rejected", ld(&self.rejected_responses)),
+            ("timeout", ld(&self.timeout_responses)),
+            ("error", ld(&self.error_responses)),
+            ("shutting_down", ld(&self.shedding_responses)),
+        ] {
+            let _ = writeln!(o, "htd_responses_total{{status=\"{k}\"}} {v}");
+        }
+        c(
+            &mut o,
+            "htd_cache_hits_total",
+            "Result-cache hits.",
+            ld(&self.cache_hits),
+        );
+        c(
+            &mut o,
+            "htd_cache_misses_total",
+            "Result-cache misses.",
+            ld(&self.cache_misses),
+        );
+        g(
+            &mut o,
+            "htd_cache_entries",
+            "Entries in the result cache.",
+            cache_entries as f64,
+        );
+        g(
+            &mut o,
+            "htd_cache_bytes",
+            "Approximate result-cache size.",
+            cache_bytes as f64,
+        );
+        g(
+            &mut o,
+            "htd_queue_depth",
+            "Requests waiting in the work queue.",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        g(
+            &mut o,
+            "htd_inflight",
+            "Solves currently running.",
+            self.inflight.load(Ordering::Relaxed) as f64,
+        );
+        g(
+            &mut o,
+            "htd_draining",
+            "1 while a graceful shutdown drains in-flight work.",
+            if draining { 1.0 } else { 0.0 },
+        );
+        g(
+            &mut o,
+            "htd_uptime_ms",
+            "Milliseconds since start.",
+            self.uptime_ms() as f64,
+        );
+        c(
+            &mut o,
+            "htd_exact_served_total",
+            "Exact answers served.",
+            ld(&self.exact_served),
+        );
+        c(
+            &mut o,
+            "htd_inexact_served_total",
+            "Anytime-bound answers served.",
+            ld(&self.inexact_served),
+        );
+
+        for (hist, name, help) in [
+            (
+                &self.solve_latency,
+                "htd_solve_latency_ms",
+                "Cold solve latency (worker wall clock), ms.",
+            ),
+            (
+                &self.request_latency,
+                "htd_request_latency_ms",
+                "End-to-end request latency of ok responses, ms.",
+            ),
+        ] {
+            let _ = writeln!(o, "# HELP {name} {help}");
+            let _ = writeln!(o, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, b) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cum += hist.counts[i].load(Ordering::Relaxed);
+                let _ = writeln!(o, "{name}_bucket{{le=\"{b}\"}} {cum}");
+            }
+            cum += hist.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+            let _ = writeln!(o, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(o, "{name}_sum {}", hist.sum_ms());
+            let _ = writeln!(o, "{name}_count {}", hist.count());
+            let _ = writeln!(o, "{name}_p50 {}", hist.quantile(0.5));
+            let _ = writeln!(o, "{name}_p95 {}", hist.quantile(0.95));
+        }
+
+        let _ = writeln!(o, "# HELP htd_width_served_total Served upper widths.");
+        let _ = writeln!(o, "# TYPE htd_width_served_total counter");
+        for (w, v) in self.widths.iter().enumerate() {
+            let v = v.load(Ordering::Relaxed);
+            if v > 0 {
+                if w == MAX_TRACKED_WIDTH {
+                    let _ = writeln!(
+                        o,
+                        "htd_width_served_total{{width=\"{MAX_TRACKED_WIDTH}+\"}} {v}"
+                    );
+                } else {
+                    let _ = writeln!(o, "htd_width_served_total{{width=\"{w}\"}} {v}");
+                }
+            }
+        }
+        o
+    }
+
+    /// The JSON snapshot behind the `stats` command and `/healthz`.
+    pub fn snapshot_json(&self, cache_entries: u64, cache_bytes: u64, draining: bool) -> Json {
+        let ld = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        Json::Obj(vec![
+            ("uptime_ms".into(), Json::Num(self.uptime_ms() as f64)),
+            ("draining".into(), Json::Bool(draining)),
+            ("solve_requests".into(), ld(&self.solve_requests)),
+            ("ok".into(), ld(&self.ok_responses)),
+            ("rejected".into(), ld(&self.rejected_responses)),
+            ("timeouts".into(), ld(&self.timeout_responses)),
+            ("errors".into(), ld(&self.error_responses)),
+            ("cache_hits".into(), ld(&self.cache_hits)),
+            ("cache_misses".into(), ld(&self.cache_misses)),
+            ("cache_entries".into(), Json::Num(cache_entries as f64)),
+            ("cache_bytes".into(), Json::Num(cache_bytes as f64)),
+            (
+                "queue_depth".into(),
+                Json::Num(self.queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "inflight".into(),
+                Json::Num(self.inflight.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "solve_p50_ms".into(),
+                Json::Num(self.solve_latency.quantile(0.5)),
+            ),
+            (
+                "solve_p95_ms".into(),
+                Json::Num(self.solve_latency.quantile(0.95)),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(1.5); // bucket (1, 2]
+        }
+        for _ in 0..10 {
+            h.observe(400.0); // bucket (250, 500]
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 1.0 && p50 <= 2.0, "{p50}");
+        let p95 = h.quantile(0.95);
+        assert!(p95 > 250.0 && p95 <= 500.0, "{p95}");
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_contains_series() {
+        let m = Metrics::new();
+        m.solve_requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.solve_latency.observe(7.0);
+        m.record_served(4, true);
+        m.record_served(100, false);
+        let text = m.render_prometheus(5, 1024, false);
+        assert!(text.contains("htd_requests_total{cmd=\"solve\"} 3"));
+        assert!(text.contains("htd_cache_hits_total 2"));
+        assert!(text.contains("htd_solve_latency_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("htd_solve_latency_ms_count 1"));
+        assert!(text.contains("htd_width_served_total{width=\"4\"} 1"));
+        assert!(text.contains("htd_width_served_total{width=\"32+\"} 1"));
+        assert!(text.contains("htd_cache_entries 5"));
+        // snapshot mirrors the counters
+        let snap = m.snapshot_json(5, 1024, true);
+        assert_eq!(snap.get("cache_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(snap.get("draining").unwrap().as_bool(), Some(true));
+    }
+}

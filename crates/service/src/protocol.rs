@@ -1,0 +1,559 @@
+//! The wire protocol of the decomposition service.
+//!
+//! One JSON object per line in both directions, reusing the workspace's
+//! [`Json`] value type and the documented [`Outcome`] schema
+//! ([`Outcome::to_json`]) verbatim for results.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id":"r1","cmd":"solve","objective":"ghw","format":"hg",
+//!  "instance":"e1(a,b,c),\ne2(c,d).","deadline_ms":500,
+//!  "budget":1000000,"threads":2,"cache":"use"}
+//! {"id":"r2","cmd":"ping"}
+//! {"id":"r3","cmd":"stats"}
+//! {"id":"r4","cmd":"shutdown"}
+//! ```
+//!
+//! `format` is `auto` (default, sniffed), `gr` (PACE), `col` (DIMACS) or
+//! `hg` (HyperBench). `cache` is `use` (default) or `off` (bypass lookup,
+//! still admit the fresh result).
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":"r1","status":"ok","cached":false,"fingerprint":"0f3a…",
+//!  "canonical":true,"elapsed_ms":12.4,"outcome":{…Outcome schema…}}
+//! {"id":"r1","status":"rejected","retry_after_ms":50,"error":"queue full"}
+//! {"id":"r1","status":"timeout","error":"deadline expired in queue"}
+//! {"id":"r1","status":"error","code":2,"error":"…"}
+//! ```
+//!
+//! `status` is one of `ok`, `rejected`, `timeout`, `error`,
+//! `shutting_down`, `pong`, `stats`. `code` mirrors the CLI exit codes
+//! (2 parse, 3 invalid, 4 unsupported, 5 io/internal).
+
+use htd_core::{HtdError, Json};
+use htd_hypergraph::{io, Hypergraph};
+use htd_search::{Objective, Outcome, Problem};
+
+/// How the `instance` text of a solve request is to be parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceFormat {
+    /// Sniff from the first non-comment line (default).
+    Auto,
+    /// PACE `.gr` (`p tw n m` header).
+    PaceGr,
+    /// DIMACS graph coloring (`p edge n m` header).
+    Dimacs,
+    /// HyperBench `.hg` atom list.
+    Hg,
+}
+
+impl InstanceFormat {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceFormat::Auto => "auto",
+            InstanceFormat::PaceGr => "gr",
+            InstanceFormat::Dimacs => "col",
+            InstanceFormat::Hg => "hg",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_name(s: &str) -> Option<InstanceFormat> {
+        match s {
+            "auto" => Some(InstanceFormat::Auto),
+            "gr" => Some(InstanceFormat::PaceGr),
+            "col" | "dimacs" => Some(InstanceFormat::Dimacs),
+            "hg" => Some(InstanceFormat::Hg),
+            _ => None,
+        }
+    }
+}
+
+/// A solve request's payload.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// What to minimize.
+    pub objective: Objective,
+    /// How to parse `instance`.
+    pub format: InstanceFormat,
+    /// The instance text.
+    pub instance: String,
+    /// Wall-clock deadline for the whole request; `None` = server default.
+    pub deadline_ms: Option<u64>,
+    /// Node budget; `None` = server default.
+    pub budget: Option<u64>,
+    /// Worker threads for this solve; `None` = 1.
+    pub threads: Option<usize>,
+    /// `false` bypasses the cache lookup (the result is still admitted).
+    pub use_cache: bool,
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen id echoed back on the response.
+    pub id: Option<String>,
+    /// The command.
+    pub cmd: Command,
+}
+
+/// The commands the server understands.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Solve an instance.
+    Solve(SolveRequest),
+    /// Liveness probe.
+    Ping,
+    /// Metrics snapshot as JSON.
+    Stats,
+    /// Begin graceful shutdown (drain, then exit).
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request to its wire object.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            m.push(("id".into(), Json::Str(id.clone())));
+        }
+        match &self.cmd {
+            Command::Ping => m.push(("cmd".into(), Json::Str("ping".into()))),
+            Command::Stats => m.push(("cmd".into(), Json::Str("stats".into()))),
+            Command::Shutdown => m.push(("cmd".into(), Json::Str("shutdown".into()))),
+            Command::Solve(s) => {
+                m.push(("cmd".into(), Json::Str("solve".into())));
+                m.push(("objective".into(), Json::Str(s.objective.name().into())));
+                m.push(("format".into(), Json::Str(s.format.name().into())));
+                m.push(("instance".into(), Json::Str(s.instance.clone())));
+                if let Some(d) = s.deadline_ms {
+                    m.push(("deadline_ms".into(), Json::Num(d as f64)));
+                }
+                if let Some(b) = s.budget {
+                    m.push(("budget".into(), Json::Num(b as f64)));
+                }
+                if let Some(t) = s.threads {
+                    m.push(("threads".into(), Json::Num(t as f64)));
+                }
+                if !s.use_cache {
+                    m.push(("cache".into(), Json::Str("off".into())));
+                }
+            }
+        }
+        Json::Obj(m)
+    }
+
+    /// Parses a request line.
+    pub fn from_json(doc: &Json) -> Result<Request, HtdError> {
+        let id = doc
+            .get("id")
+            .and_then(|v| v.as_str())
+            .map(|s| s.to_string());
+        let cmd = doc
+            .get("cmd")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| HtdError::Parse("request missing 'cmd'".into()))?;
+        let cmd = match cmd {
+            "ping" => Command::Ping,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            "solve" => {
+                let objective = doc
+                    .get("objective")
+                    .and_then(|v| v.as_str())
+                    .and_then(Objective::from_name)
+                    .ok_or_else(|| {
+                        HtdError::Unsupported("solve needs 'objective' tw|ghw|hw".into())
+                    })?;
+                let format = match doc.get("format").and_then(|v| v.as_str()) {
+                    None => InstanceFormat::Auto,
+                    Some(f) => InstanceFormat::from_name(f).ok_or_else(|| {
+                        HtdError::Unsupported(format!("format '{f}' (expected auto|gr|col|hg)"))
+                    })?,
+                };
+                let instance = doc
+                    .get("instance")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| HtdError::Parse("solve missing 'instance'".into()))?
+                    .to_string();
+                let use_cache = match doc.get("cache").and_then(|v| v.as_str()) {
+                    None | Some("use") => true,
+                    Some("off") => false,
+                    Some(c) => {
+                        return Err(HtdError::Unsupported(format!(
+                            "cache '{c}' (expected use|off)"
+                        )))
+                    }
+                };
+                Command::Solve(SolveRequest {
+                    objective,
+                    format,
+                    instance,
+                    deadline_ms: doc.get("deadline_ms").and_then(|v| v.as_u64()),
+                    budget: doc.get("budget").and_then(|v| v.as_u64()),
+                    threads: doc
+                        .get("threads")
+                        .and_then(|v| v.as_u64())
+                        .map(|t| t as usize),
+                    use_cache,
+                })
+            }
+            other => return Err(HtdError::Unsupported(format!("unknown cmd '{other}'"))),
+        };
+        Ok(Request { id, cmd })
+    }
+}
+
+/// Response statuses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Solved (possibly from cache; possibly inexact bounds).
+    Ok,
+    /// Backpressure: the work queue is full, retry after `retry_after_ms`.
+    Rejected,
+    /// The deadline expired before a worker could start the solve.
+    Timeout,
+    /// The request failed (`code` mirrors the CLI exit codes).
+    Error,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `stats` (snapshot in `stats`).
+    Stats,
+}
+
+impl Status {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Rejected => "rejected",
+            Status::Timeout => "timeout",
+            Status::Error => "error",
+            Status::ShuttingDown => "shutting_down",
+            Status::Pong => "pong",
+            Status::Stats => "stats",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_name(s: &str) -> Option<Status> {
+        match s {
+            "ok" => Some(Status::Ok),
+            "rejected" => Some(Status::Rejected),
+            "timeout" => Some(Status::Timeout),
+            "error" => Some(Status::Error),
+            "shutting_down" => Some(Status::ShuttingDown),
+            "pong" => Some(Status::Pong),
+            "stats" => Some(Status::Stats),
+            _ => None,
+        }
+    }
+}
+
+/// A response line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Outcome class.
+    pub status: Status,
+    /// `true` iff served from the result cache.
+    pub cached: bool,
+    /// Canonical fingerprint of the instance (hex), when computed.
+    pub fingerprint: Option<String>,
+    /// Whether the canonical form was complete (fully relabeling-invariant).
+    pub canonical: bool,
+    /// The solve result (status `ok`).
+    pub outcome: Option<Outcome>,
+    /// Error text (statuses `error`, `rejected`, `timeout`).
+    pub error: Option<String>,
+    /// CLI-style error code (status `error`).
+    pub code: Option<i64>,
+    /// Backpressure hint (status `rejected`).
+    pub retry_after_ms: Option<u64>,
+    /// Metrics snapshot (status `stats`).
+    pub stats: Option<Json>,
+    /// Server-side time spent on the request.
+    pub elapsed_ms: f64,
+}
+
+impl Response {
+    /// A bare response with the given status.
+    pub fn new(id: Option<String>, status: Status) -> Response {
+        Response {
+            id,
+            status,
+            cached: false,
+            fingerprint: None,
+            canonical: false,
+            outcome: None,
+            error: None,
+            code: None,
+            retry_after_ms: None,
+            stats: None,
+            elapsed_ms: 0.0,
+        }
+    }
+
+    /// An error response carrying the CLI-style code for `e`.
+    pub fn from_error(id: Option<String>, e: &HtdError) -> Response {
+        let code = match e {
+            HtdError::Parse(_) => 2,
+            HtdError::Invalid(_) => 3,
+            HtdError::Unsupported(_) => 4,
+            HtdError::Io(_) => 5,
+        };
+        let mut r = Response::new(id, Status::Error);
+        r.error = Some(e.to_string());
+        r.code = Some(code);
+        r
+    }
+
+    /// Serializes the response to its wire object.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            m.push(("id".into(), Json::Str(id.clone())));
+        }
+        m.push(("status".into(), Json::Str(self.status.name().into())));
+        if self.status == Status::Ok {
+            m.push(("cached".into(), Json::Bool(self.cached)));
+        }
+        if let Some(fp) = &self.fingerprint {
+            m.push(("fingerprint".into(), Json::Str(fp.clone())));
+            m.push(("canonical".into(), Json::Bool(self.canonical)));
+        }
+        if let Some(e) = &self.error {
+            m.push(("error".into(), Json::Str(e.clone())));
+        }
+        if let Some(c) = self.code {
+            m.push(("code".into(), Json::Num(c as f64)));
+        }
+        if let Some(r) = self.retry_after_ms {
+            m.push(("retry_after_ms".into(), Json::Num(r as f64)));
+        }
+        if let Some(s) = &self.stats {
+            m.push(("stats".into(), s.clone()));
+        }
+        m.push(("elapsed_ms".into(), Json::Num(self.elapsed_ms)));
+        if let Some(o) = &self.outcome {
+            m.push(("outcome".into(), o.to_json()));
+        }
+        Json::Obj(m)
+    }
+
+    /// Parses a response line.
+    pub fn from_json(doc: &Json) -> Result<Response, HtdError> {
+        let status = doc
+            .get("status")
+            .and_then(|v| v.as_str())
+            .and_then(Status::from_name)
+            .ok_or_else(|| HtdError::Parse("response missing 'status'".into()))?;
+        Ok(Response {
+            id: doc
+                .get("id")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string()),
+            status,
+            cached: doc.get("cached").and_then(|v| v.as_bool()).unwrap_or(false),
+            fingerprint: doc
+                .get("fingerprint")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string()),
+            canonical: doc
+                .get("canonical")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            outcome: match doc.get("outcome") {
+                Some(o) => Some(Outcome::from_json(o)?),
+                None => None,
+            },
+            error: doc
+                .get("error")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string()),
+            code: doc.get("code").and_then(|v| v.as_u64()).map(|c| c as i64),
+            retry_after_ms: doc.get("retry_after_ms").and_then(|v| v.as_u64()),
+            stats: doc.get("stats").cloned(),
+            elapsed_ms: doc
+                .get("elapsed_ms")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// Builds the [`Problem`] plus the hypergraph the cache key is computed
+/// over. For treewidth the key hypergraph is the binary-edge view of the
+/// primal graph, so `tw` requests share cache entries across every input
+/// format and every hypergraph with the same primal graph.
+pub fn parse_problem(
+    format: InstanceFormat,
+    text: &str,
+    objective: Objective,
+) -> Result<(Problem, Hypergraph), HtdError> {
+    let format = match format {
+        InstanceFormat::Auto => sniff_format(text),
+        f => f,
+    };
+    let hypergraph = match format {
+        InstanceFormat::PaceGr => {
+            let g = io::parse_pace_gr(text).map_err(|e| HtdError::Parse(e.to_string()))?;
+            Hypergraph::from_graph(&g)
+        }
+        InstanceFormat::Dimacs => {
+            let g = io::parse_dimacs(text).map_err(|e| HtdError::Parse(e.to_string()))?;
+            Hypergraph::from_graph(&g)
+        }
+        InstanceFormat::Hg => io::parse_hg(text).map_err(|e| HtdError::Parse(e.to_string()))?,
+        InstanceFormat::Auto => unreachable!("resolved above"),
+    };
+    let problem = match objective {
+        Objective::Treewidth => Problem::treewidth_of_hypergraph(hypergraph.clone()),
+        Objective::GeneralizedHypertreeWidth => Problem::ghw(hypergraph.clone()),
+        Objective::HypertreeWidth => Problem::hw(hypergraph.clone()),
+    };
+    problem.validate()?;
+    let key_hypergraph = match objective {
+        // tw depends only on the primal graph — normalize the key to it
+        Objective::Treewidth => Hypergraph::from_graph(problem.graph()),
+        _ => hypergraph,
+    };
+    Ok((problem, key_hypergraph))
+}
+
+/// Chooses a format from the first non-comment, non-blank line.
+fn sniff_format(text: &str) -> InstanceFormat {
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('c') {
+            continue;
+        }
+        if t.starts_with("p tw") {
+            return InstanceFormat::PaceGr;
+        }
+        if t.starts_with("p edge") || t.starts_with("p col") {
+            return InstanceFormat::Dimacs;
+        }
+        return InstanceFormat::Hg;
+    }
+    InstanceFormat::Hg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request {
+            id: Some("r1".into()),
+            cmd: Command::Solve(SolveRequest {
+                objective: Objective::GeneralizedHypertreeWidth,
+                format: InstanceFormat::Hg,
+                instance: "e1(a,b),\ne2(b,c).".into(),
+                deadline_ms: Some(250),
+                budget: Some(1000),
+                threads: Some(2),
+                use_cache: false,
+            }),
+        };
+        let text = req.to_json().to_string();
+        let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.id.as_deref(), Some("r1"));
+        match back.cmd {
+            Command::Solve(s) => {
+                assert_eq!(s.objective, Objective::GeneralizedHypertreeWidth);
+                assert_eq!(s.format, InstanceFormat::Hg);
+                assert_eq!(s.deadline_ms, Some(250));
+                assert_eq!(s.budget, Some(1000));
+                assert_eq!(s.threads, Some(2));
+                assert!(!s.use_cache);
+            }
+            _ => panic!("wrong cmd"),
+        }
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        for (name, want) in [
+            ("ping", "ping"),
+            ("stats", "stats"),
+            ("shutdown", "shutdown"),
+        ] {
+            let doc = Json::parse(&format!("{{\"cmd\":\"{name}\"}}")).unwrap();
+            let req = Request::from_json(&doc).unwrap();
+            assert_eq!(
+                match req.cmd {
+                    Command::Ping => "ping",
+                    Command::Stats => "stats",
+                    Command::Shutdown => "shutdown",
+                    Command::Solve(_) => "solve",
+                },
+                want
+            );
+        }
+        assert!(Request::from_json(&Json::parse("{\"cmd\":\"nope\"}").unwrap()).is_err());
+        assert!(Request::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut r = Response::new(Some("q".into()), Status::Rejected);
+        r.error = Some("queue full".into());
+        r.retry_after_ms = Some(50);
+        r.elapsed_ms = 0.3;
+        let back = Response::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.status, Status::Rejected);
+        assert_eq!(back.retry_after_ms, Some(50));
+        assert_eq!(back.error.as_deref(), Some("queue full"));
+    }
+
+    #[test]
+    fn sniffing_and_problem_building() {
+        let (p, key) = parse_problem(
+            InstanceFormat::Auto,
+            "p tw 3 2\n1 2\n2 3\n",
+            Objective::Treewidth,
+        )
+        .unwrap();
+        assert_eq!(p.graph().num_vertices(), 3);
+        assert_eq!(key.num_edges(), 2);
+        let (p, _) = parse_problem(
+            InstanceFormat::Auto,
+            "e1(a,b,c),\ne2(c,d).",
+            Objective::GeneralizedHypertreeWidth,
+        )
+        .unwrap();
+        assert_eq!(p.hypergraph().unwrap().num_edges(), 2);
+        let (p, _) = parse_problem(
+            InstanceFormat::Auto,
+            "p edge 3 2\ne 1 2\ne 2 3\n",
+            Objective::Treewidth,
+        )
+        .unwrap();
+        assert_eq!(p.graph().num_edges(), 2);
+        assert!(parse_problem(InstanceFormat::Hg, "garbage", Objective::Treewidth).is_err());
+    }
+
+    #[test]
+    fn tw_key_is_primal_normalized() {
+        // a hypergraph and its primal graph's edge list share the tw key
+        let (_, key_hg) =
+            parse_problem(InstanceFormat::Hg, "e1(a,b,c).", Objective::Treewidth).unwrap();
+        let (_, key_gr) = parse_problem(
+            InstanceFormat::PaceGr,
+            "p tw 3 3\n1 2\n2 3\n1 3\n",
+            Objective::Treewidth,
+        )
+        .unwrap();
+        use htd_hypergraph::canonical_form;
+        assert_eq!(canonical_form(&key_hg).bytes, canonical_form(&key_gr).bytes);
+    }
+}

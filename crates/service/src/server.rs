@@ -1,0 +1,718 @@
+//! The decomposition server: request lifecycle, worker pool, deadlines,
+//! backpressure and graceful shutdown.
+//!
+//! ## Lifecycle of a solve request
+//!
+//! 1. A connection thread parses the line, builds the [`Problem`] and the
+//!    canonical form of the (normalized) instance.
+//! 2. Cache lookup — a hit answers immediately without queueing.
+//! 3. The job enters the bounded work queue; a full queue means an
+//!    immediate `rejected` response with `retry_after_ms` (backpressure)
+//!    rather than unbounded buffering.
+//! 4. A worker pops the job. If its deadline already expired in the queue
+//!    the job is dropped with a `timeout` response (cooperative
+//!    cancellation of evicted requests); otherwise the remaining time is
+//!    mapped onto the solver's [`SearchConfig`] budget and a shared
+//!    [`Incumbent`] is registered with the deadline watchdog, which
+//!    cancels it the moment the deadline passes — so a cold solve never
+//!    overshoots its deadline by more than the engines' cancellation
+//!    granularity (a few milliseconds).
+//! 5. The result is admitted to the cache and the response sent back on
+//!    the requesting connection.
+//!
+//! ## Graceful shutdown
+//!
+//! `shutdown` (or SIGINT/SIGTERM under [`run_until_shutdown`]) flips the
+//! server into *draining*: new solve requests are refused with
+//! `shutting_down`, queued and in-flight work runs to completion, probes
+//! (`/healthz`, `/metrics`, `ping`, `stats`) keep answering, and once the
+//! queue is empty and no solve is in flight the workers, watchdog and
+//! acceptor exit and a final metrics summary is flushed to the log.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use htd_core::Json;
+use htd_hypergraph::canonical::canonical_form;
+use htd_search::{solve, Incumbent, Problem, SearchConfig};
+use parking_lot::Mutex;
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::protocol::{parse_problem, Command, Request, Response, SolveRequest, Status};
+
+/// Slack subtracted from the remaining deadline when budgeting a solve,
+/// covering admission/serialization overhead around the engine run.
+const DEADLINE_SLACK: Duration = Duration::from_millis(10);
+/// How often the watchdog scans for expired deadlines.
+const WATCHDOG_PERIOD: Duration = Duration::from_millis(2);
+/// Extra time a connection waits for its worker beyond the deadline.
+const REPLY_GRACE: Duration = Duration::from_secs(2);
+
+/// Configuration of a server instance.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads solving requests.
+    pub threads: usize,
+    /// Result-cache capacity in mebibytes.
+    pub cache_mb: usize,
+    /// Bounded work-queue capacity; beyond it requests are rejected.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry one.
+    pub default_deadline_ms: u64,
+    /// Emit one structured log line per request to stderr.
+    pub log: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            threads: 2,
+            cache_mb: 64,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000,
+            log: false,
+        }
+    }
+}
+
+/// A unit of queued work.
+struct Job {
+    id: Option<String>,
+    problem: Problem,
+    fingerprint: u64,
+    fingerprint_hex: String,
+    canonical: Vec<u8>,
+    canonical_complete: bool,
+    objective_name: &'static str,
+    deadline: Instant,
+    deadline_ms: u64,
+    budget: Option<u64>,
+    threads: usize,
+    received: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Bounded MPMC queue on std `Mutex` + `Condvar` (the vendored
+/// `parking_lot` has no condvar).
+struct WorkQueue {
+    jobs: StdMutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> WorkQueue {
+        WorkQueue {
+            jobs: StdMutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues unless full; never blocks the submitting connection.
+    /// Returns `false` (dropping the job) when the queue is at capacity.
+    fn try_push(&self, job: Job) -> bool {
+        let mut q = self.jobs.lock().unwrap();
+        if q.len() >= self.capacity {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        true
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
+        let mut q = self.jobs.lock().unwrap();
+        if q.is_empty() {
+            let (guard, _) = self.ready.wait_timeout(q, timeout).unwrap();
+            q = guard;
+        }
+        q.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by every thread of one server.
+struct Inner {
+    opts: ServeOptions,
+    cache: ResultCache,
+    metrics: Metrics,
+    queue: WorkQueue,
+    /// Draining: refuse new solves, finish queued + in-flight work.
+    draining: AtomicBool,
+    /// Final stop: workers/watchdog/acceptor exit.
+    shutdown: AtomicBool,
+    /// In-flight deadline registry scanned by the watchdog.
+    registry: Mutex<Vec<(Instant, Arc<Incumbent>)>>,
+    conn_seq: AtomicU64,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn log(&self, line: std::fmt::Arguments<'_>) {
+        if self.opts.log {
+            eprintln!("[htd-service +{}ms] {line}", self.metrics.uptime_ms());
+        }
+    }
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`Server::request_shutdown`] then [`Server::wait`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts acceptor, watchdog and workers.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = opts.threads.max(1);
+        let inner = Arc::new(Inner {
+            cache: ResultCache::new(opts.cache_mb.max(1) * (1 << 20)),
+            metrics: Metrics::new(),
+            queue: WorkQueue::new(opts.queue_capacity),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            registry: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
+            opts,
+        });
+        inner.log(format_args!(
+            "listening on {addr} workers={threads} cache_mb={} queue={}",
+            inner.opts.cache_mb, inner.opts.queue_capacity
+        ));
+        let workers = (0..threads)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("htd-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let watchdog = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("htd-watchdog".into())
+                .spawn(move || watchdog_loop(&inner))
+                .expect("spawn watchdog")
+        };
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("htd-acceptor".into())
+                .spawn(move || acceptor_loop(&inner, listener))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            inner,
+            addr,
+            workers,
+            watchdog: Some(watchdog),
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics of this instance.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Begins a graceful drain: refuse new solves, finish running work.
+    pub fn request_shutdown(&self) {
+        if !self.inner.draining.swap(true, Ordering::SeqCst) {
+            self.inner.log(format_args!("drain requested"));
+        }
+    }
+
+    /// `true` once a drain has been requested (by command or signal).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining()
+    }
+
+    /// Blocks until the drain completes, then stops and joins every
+    /// thread and flushes a final metrics summary to the log.
+    pub fn wait(mut self) {
+        loop {
+            if self.inner.draining()
+                && self.inner.queue.len() == 0
+                && self.inner.metrics.inflight.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue.wake_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let m = &self.inner.metrics;
+        self.inner.log(format_args!(
+            "drained; served={} hits={} misses={} timeouts={} rejected={} p50={:.1}ms p95={:.1}ms",
+            m.ok_responses.load(Ordering::Relaxed),
+            m.cache_hits.load(Ordering::Relaxed),
+            m.cache_misses.load(Ordering::Relaxed),
+            m.timeout_responses.load(Ordering::Relaxed),
+            m.rejected_responses.load(Ordering::Relaxed),
+            m.solve_latency.quantile(0.5),
+            m.solve_latency.quantile(0.95),
+        ));
+    }
+}
+
+#[cfg(unix)]
+fn install_signal_drain() -> &'static AtomicBool {
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGINT = 2, SIGTERM = 15 on every unix the workspace targets
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+    &SIGNALLED
+}
+
+/// The CLI entry point: serve until a `shutdown` command or (on unix)
+/// SIGINT/SIGTERM, then drain and exit.
+pub fn run_until_shutdown(opts: ServeOptions) -> std::io::Result<()> {
+    let server = Server::start(opts)?;
+    println!("htd-service listening on {}", server.addr());
+    #[cfg(unix)]
+    let signalled = install_signal_drain();
+    loop {
+        #[cfg(unix)]
+        if signalled.load(Ordering::SeqCst) {
+            server.request_shutdown();
+        }
+        if server.is_draining() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    server.wait();
+    Ok(())
+}
+
+/// Cancels the shared incumbents of expired in-flight solves.
+fn watchdog_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        {
+            let registry = inner.registry.lock();
+            for (deadline, incumbent) in registry.iter() {
+                if now >= *deadline {
+                    incumbent.cancel();
+                }
+            }
+        }
+        thread::sleep(WATCHDOG_PERIOD);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) && inner.queue.len() == 0 {
+            return;
+        }
+        let Some(job) = inner.queue.pop_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        inner.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let now = Instant::now();
+        if now >= job.deadline {
+            // expired while queued: evict without running
+            inner
+                .metrics
+                .timeout_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(job.id.clone(), Status::Timeout);
+            r.fingerprint = Some(job.fingerprint_hex.clone());
+            r.canonical = job.canonical_complete;
+            r.error = Some("deadline expired in queue".into());
+            r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+            inner.log(format_args!(
+                "req={} obj={} fp={} status=timeout queued_ms={:.1}",
+                job.id.as_deref().unwrap_or("-"),
+                job.objective_name,
+                job.fingerprint_hex,
+                r.elapsed_ms
+            ));
+            let _ = job.reply.send(r);
+            continue;
+        }
+        inner.metrics.inflight.fetch_add(1, Ordering::SeqCst);
+        let incumbent = Arc::new(Incumbent::new());
+        inner
+            .registry
+            .lock()
+            .push((job.deadline, Arc::clone(&incumbent)));
+
+        let remaining = job.deadline.saturating_duration_since(now);
+        let mut cfg = match job.budget {
+            Some(b) => SearchConfig::budgeted(b),
+            None => SearchConfig::portfolio(),
+        };
+        cfg = cfg
+            .with_time_limit(remaining.saturating_sub(DEADLINE_SLACK))
+            .with_threads(job.threads);
+        cfg.shared = Some(Arc::clone(&incumbent));
+
+        let solve_start = Instant::now();
+        let result = solve(&job.problem, &cfg);
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1000.0;
+
+        {
+            let mut registry = inner.registry.lock();
+            registry.retain(|(_, i)| !Arc::ptr_eq(i, &incumbent));
+        }
+        inner.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+
+        let mut r = match result {
+            Ok(outcome) => {
+                inner.metrics.solve_latency.observe(solve_ms);
+                inner.cache.admit(
+                    job.fingerprint,
+                    &job.canonical,
+                    job.objective_name,
+                    &outcome,
+                    solve_ms.ceil() as u64,
+                );
+                inner.metrics.record_served(outcome.upper, outcome.exact);
+                inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
+                let mut r = Response::new(job.id.clone(), Status::Ok);
+                r.outcome = Some(outcome);
+                r
+            }
+            Err(e) => {
+                inner
+                    .metrics
+                    .error_responses
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::from_error(job.id.clone(), &e)
+            }
+        };
+        r.fingerprint = Some(job.fingerprint_hex.clone());
+        r.canonical = job.canonical_complete;
+        r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+        if r.status == Status::Ok {
+            inner.metrics.request_latency.observe(r.elapsed_ms);
+        }
+        inner.log(format_args!(
+            "req={} obj={} fp={} cache=miss status={} width={} exact={} solve_ms={:.1} total_ms={:.1} deadline_ms={}",
+            job.id.as_deref().unwrap_or("-"),
+            job.objective_name,
+            job.fingerprint_hex,
+            r.status.name(),
+            r.outcome.as_ref().map_or(0, |o| o.upper),
+            r.outcome.as_ref().is_some_and(|o| o.exact),
+            solve_ms,
+            r.elapsed_ms,
+            job.deadline_ms,
+        ));
+        let _ = job.reply.send(r);
+    }
+}
+
+fn acceptor_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    // keeps accepting while draining so probes stay reachable; only the
+    // final shutdown flag stops it
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                let conn = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let _ = thread::Builder::new()
+                    .name(format!("htd-conn-{conn}"))
+                    .spawn(move || {
+                        let _ = serve_connection(&inner, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+            return serve_http(inner, &line, &mut reader, &mut writer);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match Json::parse(trimmed).and_then(|doc| Request::from_json(&doc)) {
+            Err(e) => Response::from_error(None, &e),
+            Ok(req) => dispatch(inner, req),
+        };
+        writer.write_all(response.to_json().to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
+    match req.cmd {
+        Command::Ping => {
+            inner.metrics.ping_requests.fetch_add(1, Ordering::Relaxed);
+            Response::new(req.id, Status::Pong)
+        }
+        Command::Stats => {
+            inner.metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(req.id, Status::Stats);
+            r.stats = Some(inner.metrics.snapshot_json(
+                inner.cache.entries(),
+                inner.cache.bytes(),
+                inner.draining(),
+            ));
+            r
+        }
+        Command::Shutdown => {
+            if !inner.draining.swap(true, Ordering::SeqCst) {
+                inner.log(format_args!("drain requested by client"));
+            }
+            Response::new(req.id, Status::ShuttingDown)
+        }
+        Command::Solve(s) => handle_solve(inner, req.id, s),
+    }
+}
+
+fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Response {
+    let received = Instant::now();
+    inner.metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
+    let deadline_ms = s.deadline_ms.unwrap_or(inner.opts.default_deadline_ms);
+    let deadline = received + Duration::from_millis(deadline_ms);
+    let objective_name = s.objective.name();
+
+    let (problem, key_hypergraph) = match parse_problem(s.format, &s.instance, s.objective) {
+        Ok(pair) => pair,
+        Err(e) => {
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::from_error(id.clone(), &e);
+            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+            inner.log(format_args!(
+                "req={} obj={objective_name} status=error err={:?}",
+                id.as_deref().unwrap_or("-"),
+                r.error.as_deref().unwrap_or("")
+            ));
+            return r;
+        }
+    };
+    let canon = canonical_form(&key_hypergraph);
+    let fingerprint_hex = canon.hex();
+
+    if s.use_cache {
+        if let Some(hit) = inner.cache.lookup(
+            canon.fingerprint,
+            &canon.bytes,
+            objective_name,
+            true,
+            Some(deadline_ms),
+        ) {
+            inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .record_served(hit.outcome.upper, hit.outcome.exact);
+            let mut r = Response::new(id.clone(), Status::Ok);
+            r.cached = true;
+            r.outcome = Some(hit.outcome);
+            r.fingerprint = Some(fingerprint_hex.clone());
+            r.canonical = canon.complete;
+            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+            inner.metrics.request_latency.observe(r.elapsed_ms);
+            inner.log(format_args!(
+                "req={} obj={objective_name} fp={fingerprint_hex} cache=hit status=ok width={} ms={:.2}",
+                id.as_deref().unwrap_or("-"),
+                r.outcome.as_ref().map_or(0, |o| o.upper),
+                r.elapsed_ms
+            ));
+            return r;
+        }
+    }
+    inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    if inner.draining() {
+        inner
+            .metrics
+            .shedding_responses
+            .fetch_add(1, Ordering::Relaxed);
+        let mut r = Response::new(id, Status::ShuttingDown);
+        r.error = Some("server is draining".into());
+        return r;
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        id: id.clone(),
+        problem,
+        fingerprint: canon.fingerprint,
+        fingerprint_hex: fingerprint_hex.clone(),
+        canonical: canon.bytes,
+        canonical_complete: canon.complete,
+        objective_name,
+        deadline,
+        deadline_ms,
+        budget: s.budget,
+        threads: s.threads.unwrap_or(1).max(1),
+        received,
+        reply: tx,
+    };
+    inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+    if !inner.queue.try_push(job) {
+        inner.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        inner
+            .metrics
+            .rejected_responses
+            .fetch_add(1, Ordering::Relaxed);
+        // hint: half the median solve so retries spread out, floor 10ms
+        let p50 = inner.metrics.solve_latency.quantile(0.5);
+        let mut r = Response::new(id.clone(), Status::Rejected);
+        r.error = Some("work queue full".into());
+        r.retry_after_ms = Some(((p50 / 2.0) as u64).clamp(10, 1000));
+        r.fingerprint = Some(fingerprint_hex.clone());
+        r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+        inner.log(format_args!(
+            "req={} obj={objective_name} fp={fingerprint_hex} status=rejected retry_after_ms={}",
+            id.as_deref().unwrap_or("-"),
+            r.retry_after_ms.unwrap_or(0)
+        ));
+        return r;
+    }
+
+    match rx.recv_timeout(Duration::from_millis(deadline_ms) + REPLY_GRACE) {
+        Ok(r) => r,
+        Err(_) => {
+            // worker lost (should not happen); report as timeout
+            inner
+                .metrics
+                .timeout_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(id, Status::Timeout);
+            r.error = Some("no worker response before deadline".into());
+            r.fingerprint = Some(fingerprint_hex);
+            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+            r
+        }
+    }
+}
+
+fn serve_http(
+    inner: &Arc<Inner>,
+    request_line: &str,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    // drain the header block
+    let mut hdr = String::new();
+    loop {
+        hdr.clear();
+        if reader.read_line(&mut hdr)? == 0 || hdr.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/healthz" => {
+            let body = Json::Obj(vec![
+                (
+                    "status".into(),
+                    Json::Str(if inner.draining() { "draining" } else { "ok" }.into()),
+                ),
+                (
+                    "uptime_ms".into(),
+                    Json::Num(inner.metrics.uptime_ms() as f64),
+                ),
+                (
+                    "queue_depth".into(),
+                    Json::Num(inner.metrics.queue_depth.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "inflight".into(),
+                    Json::Num(inner.metrics.inflight.load(Ordering::SeqCst) as f64),
+                ),
+                ("draining".into(), Json::Bool(inner.draining())),
+            ])
+            .to_string();
+            ("200 OK", "application/json", body)
+        }
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            inner.metrics.render_prometheus(
+                inner.cache.entries(),
+                inner.cache.bytes(),
+                inner.draining(),
+            ),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if !request_line.starts_with("HEAD ") {
+        writer.write_all(body.as_bytes())?;
+    }
+    writer.flush()
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests: a real server on a loopback port, driven through
+//! the TCP client and raw HTTP probes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use htd_hypergraph::{gen, io};
+use htd_search::Objective;
+use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
+
+fn start(opts: ServeOptions) -> (Server, String) {
+    let server = Server::start(opts).expect("bind loopback");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn quiet_opts() -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_mb: 8,
+        queue_capacity: 8,
+        default_deadline_ms: 10_000,
+        log: false,
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    let mut body = String::new();
+    let mut line = String::new();
+    // skip headers
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        body.push_str(&line);
+    }
+    (status, body)
+}
+
+#[test]
+fn solve_roundtrip_and_cache_hit() {
+    let (server, addr) = start(quiet_opts());
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    let grid = io::write_pace_gr(&gen::grid_graph(4, 4));
+    let cold = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &grid,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(cold.status, Status::Ok, "{:?}", cold.error);
+    assert!(!cold.cached);
+    let outcome = cold.outcome.as_ref().unwrap();
+    assert_eq!(outcome.exact_width(), Some(4));
+    let fp = cold.fingerprint.clone().unwrap();
+
+    // same instance, relabeled by a different vertex order in the file,
+    // must hit the cache via the canonical form
+    let warm = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &grid,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(warm.status, Status::Ok);
+    assert!(warm.cached, "second identical request must be a cache hit");
+    assert_eq!(warm.fingerprint.as_deref(), Some(fp.as_str()));
+    assert_eq!(warm.outcome.unwrap().exact_width(), Some(4));
+
+    // ghw on a hypergraph over the wire in .hg format
+    let hg = io::write_hg(&gen::grid2d(3));
+    let r = client
+        .solve(
+            Objective::GeneralizedHypertreeWidth,
+            InstanceFormat::Hg,
+            &hg,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    assert!(r.outcome.unwrap().upper >= 1);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.get("cache_hits").unwrap().as_u64().unwrap() >= 1);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn deadline_bounded_cold_solve_returns_in_time() {
+    let (server, addr) = start(quiet_opts());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // dense 40-vertex random graph: exact treewidth is far out of reach,
+    // so the solve runs to its deadline and must come back anytime-style
+    let hard = io::write_pace_gr(&gen::random_gnp(40, 0.5, 42));
+    let deadline_ms = 400u64;
+    let t0 = Instant::now();
+    let r = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &hard,
+            Some(deadline_ms),
+        )
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    let outcome = r.outcome.unwrap();
+    assert!(
+        !outcome.exact,
+        "instance must not be solved exactly in 400ms"
+    );
+    assert!(outcome.upper < u32::MAX);
+    assert!(outcome.lower <= outcome.upper);
+    // acceptance criterion: never exceed the deadline by more than 100ms
+    assert!(
+        elapsed <= Duration::from_millis(deadline_ms + 100),
+        "took {elapsed:?} for a {deadline_ms}ms deadline"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn backpressure_rejects_and_queued_requests_time_out() {
+    let (server, addr) = start(ServeOptions {
+        threads: 1,
+        queue_capacity: 1,
+        ..quiet_opts()
+    });
+    let hard = io::write_pace_gr(&gen::random_gnp(40, 0.5, 7));
+
+    // occupy the single worker with a long-deadline solve
+    let addr_a = addr.clone();
+    let hard_a = hard.clone();
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr_a).unwrap();
+        c.solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &hard_a,
+            Some(1_500),
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // fill the queue with a request whose deadline expires while queued
+    let addr_b = addr.clone();
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr_b).unwrap();
+        // distinct instance so it cannot be served from cache
+        let other = io::write_pace_gr(&gen::random_gnp(38, 0.5, 8));
+        c.solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &other,
+            Some(200),
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // queue (capacity 1) now full: this request must be rejected at once
+    let mut c = Client::connect(&addr).unwrap();
+    let third = io::write_pace_gr(&gen::random_gnp(36, 0.5, 9));
+    let t0 = Instant::now();
+    let r = c
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &third,
+            Some(2_000),
+        )
+        .unwrap();
+    assert_eq!(r.status, Status::Rejected, "{:?}", r.error);
+    assert!(r.retry_after_ms.unwrap_or(0) >= 10);
+    assert!(
+        t0.elapsed() < Duration::from_millis(500),
+        "rejection must not queue"
+    );
+
+    let queued_response = queued.join().unwrap();
+    assert_eq!(
+        queued_response.status,
+        Status::Timeout,
+        "a request whose deadline expires in the queue is evicted: {:?}",
+        queued_response.error
+    );
+    let blocker_response = blocker.join().unwrap();
+    assert_eq!(blocker_response.status, Status::Ok);
+
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn healthz_and_metrics_respond_and_errors_carry_codes() {
+    let (server, addr) = start(quiet_opts());
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let mut client = Client::connect(&addr).unwrap();
+    // parse error → code 2
+    let r = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::PaceGr,
+            "p tw garbage",
+            None,
+        )
+        .unwrap();
+    assert_eq!(r.status, Status::Error);
+    assert_eq!(r.code, Some(2));
+    // invalid instance (uncovered vertex for ghw) → code 3
+    let r = client
+        .solve(
+            Objective::GeneralizedHypertreeWidth,
+            InstanceFormat::PaceGr,
+            "p tw 3 1\n1 2\n",
+            None,
+        )
+        .unwrap();
+    assert_eq!(r.status, Status::Error);
+    assert_eq!(r.code, Some(3));
+
+    // a real solve, then the metrics must expose it
+    let grid = io::write_pace_gr(&gen::grid_graph(3, 3));
+    let ok = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &grid,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(ok.status, Status::Ok);
+
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    for series in [
+        "htd_requests_total{cmd=\"solve\"}",
+        "htd_responses_total{status=\"ok\"}",
+        "htd_cache_misses_total",
+        "htd_solve_latency_ms_p50",
+        "htd_width_served_total",
+        "htd_queue_depth",
+    ] {
+        assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
+    }
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_work() {
+    let (server, addr) = start(ServeOptions {
+        threads: 1,
+        ..quiet_opts()
+    });
+    let hard = io::write_pace_gr(&gen::random_gnp(40, 0.5, 99));
+
+    // a solve that takes ~1s occupies the worker…
+    let addr_a = addr.clone();
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr_a).unwrap();
+        c.solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &hard,
+            Some(1_000),
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(250));
+
+    // …drain starts while it is running
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+
+    // probes stay up during the drain, new solves are refused
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"));
+    assert!(body.contains("\"draining\":true"), "{body}");
+    let refused = c
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &io::write_pace_gr(&gen::grid_graph(3, 3)),
+            Some(1_000),
+        )
+        .unwrap();
+    assert_eq!(refused.status, Status::ShuttingDown);
+
+    // the in-flight solve still completes with a real answer
+    let r = inflight.join().unwrap();
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    assert!(r.outcome.unwrap().upper < u32::MAX);
+
+    server.wait();
+}

@@ -151,11 +151,7 @@ impl<'a> ExactCover<'a> {
         let (_, branch_vertex) = uncovered
             .iter()
             .map(|v| {
-                let cnt = self
-                    .edges
-                    .iter()
-                    .filter(|e| e.contains(v))
-                    .count();
+                let cnt = self.edges.iter().filter(|e| e.contains(v)).count();
                 (cnt, v)
             })
             .min()
@@ -301,10 +297,7 @@ mod tests {
             let edges: Vec<VertexSet> = (0..m)
                 .map(|_| {
                     let k = rng.gen_range(1..=n);
-                    VertexSet::from_iter_with_capacity(
-                        n,
-                        (0..k).map(|_| rng.gen_range(0..n)),
-                    )
+                    VertexSet::from_iter_with_capacity(n, (0..k).map(|_| rng.gen_range(0..n)))
                 })
                 .collect();
             let tsize = rng.gen_range(0..=n);

@@ -22,11 +22,8 @@ pub fn fractional_cover(target: &VertexSet, edges: &[VertexSet]) -> Option<f64> 
         return Some(0.0);
     }
     let vars: Vec<u32> = target.to_vec(); // dual variables y_v
-    // every target vertex must occur in some edge
-    if vars
-        .iter()
-        .any(|&v| !edges.iter().any(|e| e.contains(v)))
-    {
+                                          // every target vertex must occur in some edge
+    if vars.iter().any(|&v| !edges.iter().any(|e| e.contains(v))) {
         return None;
     }
     // constraints: one per edge that intersects the target
@@ -69,11 +66,8 @@ pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> f64 {
         t[m][j] = -c[j]; // maximize: negative reduced costs
     }
     let mut basis: Vec<usize> = (n..n + m).collect();
-    loop {
-        // Bland: entering = smallest index with negative reduced cost
-        let Some(pivot_col) = (0..cols - 1).find(|&j| t[m][j] < -EPS) else {
-            break;
-        };
+    // Bland: entering = smallest index with negative reduced cost
+    while let Some(pivot_col) = (0..cols - 1).find(|&j| t[m][j] < -EPS) {
         // ratio test; Bland tie-break on basis index
         let mut pivot_row: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
@@ -81,8 +75,7 @@ pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> f64 {
             if t[i][pivot_col] > EPS {
                 let ratio = t[i][cols - 1] / t[i][pivot_col];
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                    || (ratio < best_ratio + EPS && pivot_row.is_some_and(|r| basis[i] < basis[r]));
                 if better {
                     best_ratio = ratio;
                     pivot_row = Some(i);
@@ -95,15 +88,16 @@ pub fn simplex_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> f64 {
         };
         // pivot
         let piv = t[r][pivot_col];
-        for j in 0..cols {
-            t[r][j] /= piv;
+        for x in &mut t[r] {
+            *x /= piv;
         }
-        for i in 0..=m {
+        let pivot_vals = t[r].clone();
+        for (i, row) in t.iter_mut().enumerate() {
             if i != r {
-                let f = t[i][pivot_col];
+                let f = row[pivot_col];
                 if f.abs() > EPS {
-                    for j in 0..cols {
-                        t[i][j] -= f * t[r][j];
+                    for (x, &p) in row.iter_mut().zip(&pivot_vals) {
+                        *x -= f * p;
                     }
                 }
             }

@@ -19,7 +19,9 @@ pub fn greedy_cover_rand<R: Rng>(
     edges: &[VertexSet],
     rng: &mut R,
 ) -> Option<Vec<EdgeId>> {
-    greedy_cover_impl(target, edges, |ties: &[EdgeId]| rng.gen_range(0..ties.len()))
+    greedy_cover_impl(target, edges, |ties: &[EdgeId]| {
+        rng.gen_range(0..ties.len())
+    })
 }
 
 /// The size of the greedy cover (see [`greedy_cover`]); `None` when
@@ -79,7 +81,10 @@ mod tests {
     #[test]
     fn empty_target_needs_no_edges() {
         let edges = vec![vs(4, &[0, 1])];
-        assert_eq!(greedy_cover(&vs(4, &[]), &edges).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            greedy_cover(&vs(4, &[]), &edges).unwrap(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

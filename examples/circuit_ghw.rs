@@ -28,12 +28,18 @@ fn main() {
             h.num_vertices(),
             h.num_edges()
         );
-        println!("lower bound (tw-ksc + clique cover): {}", ghw_lower_bound(&h, &mut rng));
+        println!(
+            "lower bound (tw-ksc + clique cover): {}",
+            ghw_lower_bound(&h, &mut rng)
+        );
 
         // greedy: min-fill ordering + exact covers
         let order = min_fill(&h.primal_graph(), &mut rng).ordering;
         let mut ev = GhwEvaluator::new(&h, CoverStrategy::Exact);
-        println!("min-fill ordering width:             {}", ev.width(order.as_slice()).unwrap());
+        println!(
+            "min-fill ordering width:             {}",
+            ev.width(order.as_slice()).unwrap()
+        );
 
         // genetic algorithm
         let params = GaParams {
@@ -60,7 +66,10 @@ fn main() {
         if out.exact {
             println!("BB-ghw exact ghw:                    {}", out.upper);
         } else {
-            println!("BB-ghw proven interval:              [{}, {}]", out.lower, out.upper);
+            println!(
+                "BB-ghw proven interval:              [{}, {}]",
+                out.lower, out.upper
+            );
         }
     }
 }

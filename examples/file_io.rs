@@ -41,7 +41,10 @@ fn main() {
     for l in hg.lines().take(4) {
         println!("{l}");
     }
-    assert_eq!(io::parse_hyperedges(&hg).unwrap().num_edges(), h.num_edges());
+    assert_eq!(
+        io::parse_hyperedges(&hg).unwrap().num_edges(),
+        h.num_edges()
+    );
 
     // CSP text format
     let csp = builders::n_queens(4);
@@ -52,5 +55,8 @@ fn main() {
     }
     let back = parse_csp(&text).unwrap();
     assert_eq!(back.constraints.len(), csp.constraints.len());
-    println!("(round-trip: {} constraints preserved)", back.constraints.len());
+    println!(
+        "(round-trip: {} constraints preserved)",
+        back.constraints.len()
+    );
 }

@@ -29,7 +29,10 @@ fn main() {
 
     // 2. Evaluate its two widths.
     let mut tw_eval = TwEvaluator::new(&h.primal_graph());
-    println!("tree-decomposition width: {}", tw_eval.width(ordering.as_slice()));
+    println!(
+        "tree-decomposition width: {}",
+        tw_eval.width(ordering.as_slice())
+    );
     let mut ghw_eval = GhwEvaluator::new(&h, CoverStrategy::Exact);
     println!(
         "generalized hypertree width of the ordering: {}",
@@ -40,9 +43,18 @@ fn main() {
     //    all three conditions of Definition 13.
     let ghd = ghd_via_elimination(&h, &ordering, CoverStrategy::Exact).unwrap();
     ghd.validate(&h).expect("the construction is always valid");
-    println!("GHD width = {} over {} nodes:", ghd.width(), ghd.tree().num_nodes());
+    println!(
+        "GHD width = {} over {} nodes:",
+        ghd.width(),
+        ghd.tree().num_nodes()
+    );
     for p in 0..ghd.tree().num_nodes() {
-        let chi: Vec<String> = ghd.tree().bag(p).iter().map(|v| format!("x{}", v + 1)).collect();
+        let chi: Vec<String> = ghd
+            .tree()
+            .bag(p)
+            .iter()
+            .map(|v| format!("x{}", v + 1))
+            .collect();
         let lambda: Vec<&str> = ghd.lambda(p).iter().map(|&e| h.edge_name(e)).collect();
         println!(
             "  node {p}: chi = {{{}}}, lambda = {{{}}}, parent = {:?}",

@@ -21,7 +21,10 @@ fn main() {
         let order = min_fill(&h.primal_graph(), &mut rng).ordering;
         let td = td_of_hypergraph(&h, &order);
         let count = count_solutions_td(&csp, &td);
-        println!("  {n}-queens: {count:>4} solutions (bag width {})", td.width());
+        println!(
+            "  {n}-queens: {count:>4} solutions (bag width {})",
+            td.width()
+        );
     }
     // the classical sequence: 2, 10, 4, 40, 92
 
@@ -32,7 +35,8 @@ fn main() {
         let h = csp.hypergraph();
         let td = td_of_hypergraph(&h, &htd::core::ordering::EliminationOrdering::identity(n));
         let count = count_solutions_td(&csp, &td);
-        let expected = 2u64.pow(n) + if n % 2 == 0 { 2 } else { 0 } - if n % 2 == 1 { 2 } else { 0 };
+        let expected =
+            2u64.pow(n) + if n % 2 == 0 { 2 } else { 0 } - if n % 2 == 1 { 2 } else { 0 };
         println!("  C{n}: {count} (chromatic polynomial says {expected})");
         assert_eq!(count, expected);
     }

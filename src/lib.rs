@@ -15,7 +15,10 @@
 //! * [`ga`] — genetic algorithms (GA-tw, GA-ghw) and the self-adaptive
 //!   island GA (SAIGA-ghw);
 //! * [`csp`] — the constraint-satisfaction substrate that consumes the
-//!   decompositions.
+//!   decompositions;
+//! * [`service`] — a long-running decomposition server with
+//!   canonical-form result caching, per-request deadlines and Prometheus
+//!   observability (`htd serve` / `htd query`).
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@ pub use htd_ga as ga;
 pub use htd_heuristics as heuristics;
 pub use htd_hypergraph as hypergraph;
 pub use htd_search as search;
+pub use htd_service as service;
 pub use htd_setcover as setcover;
 
 /// Everything needed to state and solve a width problem.

@@ -82,10 +82,7 @@ fn all_ghw_components_agree_on_random_hypergraphs() {
 fn search_orderings_materialize_into_valid_decompositions() {
     let cfg = SearchConfig::default();
     // treewidth on the thesis example's primal graph
-    let h = htd::hypergraph::Hypergraph::new(
-        6,
-        vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]],
-    );
+    let h = htd::hypergraph::Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
     let g = h.primal_graph();
     let out = astar_tw(&g, &cfg);
     let order = out.ordering.clone().unwrap();
@@ -97,7 +94,8 @@ fn search_orderings_materialize_into_valid_decompositions() {
     let out = bb_ghw(&h, &cfg).unwrap();
     assert!(out.exact);
     assert_eq!(out.upper, 2);
-    let ghd = ghd_via_elimination(&h, out.ordering.as_ref().unwrap(), CoverStrategy::Exact).unwrap();
+    let ghd =
+        ghd_via_elimination(&h, out.ordering.as_ref().unwrap(), CoverStrategy::Exact).unwrap();
     ghd.validate(&h).unwrap();
     assert!(ghd.width() <= out.upper);
     let complete = ghd.complete(&h);
@@ -151,15 +149,24 @@ fn known_widths_of_structured_families() {
     let cfg = SearchConfig::default();
     // Table 5.1/5.2 anchors
     assert_eq!(astar_tw(&gen::queen_graph(5), &cfg).exact_width(), Some(18));
-    assert_eq!(astar_tw(&gen::grid_graph(5, 5), &cfg).exact_width(), Some(5));
+    assert_eq!(
+        astar_tw(&gen::grid_graph(5, 5), &cfg).exact_width(),
+        Some(5)
+    );
     assert_eq!(astar_tw(&gen::myciel(3), &cfg).exact_width(), Some(5));
     // ghw anchors: clique_k has ghw ⌈k/2⌉; adder chains have ghw 2
     assert_eq!(
-        bb_ghw(&gen::clique_hypergraph(8), &cfg).unwrap().exact_width(),
+        bb_ghw(&gen::clique_hypergraph(8), &cfg)
+            .unwrap()
+            .exact_width(),
         Some(4)
     );
     let adder = bb_ghw(&gen::adder(4), &cfg).unwrap();
-    assert!(adder.exact && adder.upper <= 2, "adder ghw = {}", adder.upper);
+    assert!(
+        adder.exact && adder.upper <= 2,
+        "adder ghw = {}",
+        adder.upper
+    );
 }
 
 /// GA-tw and the exact searches cross-validate on a mid-size instance.

@@ -1,10 +1,29 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
-use htd::core::bucket::{bucket_elimination, cover_decomposition, td_of_hypergraph, vertex_elimination};
+use htd::core::bucket::{
+    bucket_elimination, cover_decomposition, td_of_hypergraph, vertex_elimination,
+};
 use htd::core::leaf_normal_form::{ordering_from_td, to_leaf_normal_form};
 use htd::core::ordering::{CoverStrategy, EliminationOrdering, GhwEvaluator, TwEvaluator};
-use htd::hypergraph::{EliminationGraph, Graph, Hypergraph, VertexSet};
+use htd::hypergraph::{canonical_form, EliminationGraph, Graph, Hypergraph, VertexSet};
 use proptest::prelude::*;
+
+/// A relabeled copy of `h`: vertices permuted, edge order shuffled.
+fn relabel_hypergraph(h: &Hypergraph, seed: u64) -> Hypergraph {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = h.num_vertices();
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut edges: Vec<Vec<u32>> = h
+        .edges()
+        .iter()
+        .map(|e| e.iter().map(|v| perm[v as usize]).collect())
+        .collect();
+    edges.shuffle(&mut rng);
+    Hypergraph::new(n, edges)
+}
 
 /// Strategy: a random graph on `n ∈ [1, 12]` vertices as an edge mask.
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -29,25 +48,23 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 /// Strategy: a random covering hypergraph on `n ∈ [2, 9]` vertices.
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2u32..=9).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..n, 1..=3),
-            1..=8,
+        proptest::collection::vec(proptest::collection::vec(0..n, 1..=3), 1..=8).prop_map(
+            move |mut edges| {
+                // ensure every vertex is covered so GHDs exist
+                let mut covered = vec![false; n as usize];
+                for e in &edges {
+                    for &v in e {
+                        covered[v as usize] = true;
+                    }
+                }
+                for (v, &c) in covered.iter().enumerate() {
+                    if !c {
+                        edges.push(vec![v as u32]);
+                    }
+                }
+                Hypergraph::new(n, edges)
+            },
         )
-        .prop_map(move |mut edges| {
-            // ensure every vertex is covered so GHDs exist
-            let mut covered = vec![false; n as usize];
-            for e in &edges {
-                for &v in e {
-                    covered[v as usize] = true;
-                }
-            }
-            for (v, &c) in covered.iter().enumerate() {
-                if !c {
-                    edges.push(vec![v as u32]);
-                }
-            }
-            Hypergraph::new(n, edges)
-        })
     })
 }
 
@@ -239,6 +256,50 @@ proptest! {
         // join with unit is identity (modulo dedup-free copy)
         let u = Relation::unit().join(&a);
         prop_assert_eq!(u.len(), a.len());
+    }
+
+    /// The canonical fingerprint (the service's cache key) is invariant
+    /// under arbitrary vertex relabelings and edge reorderings.
+    #[test]
+    fn canonical_fingerprint_relabeling_invariant(
+        (h, seed) in (arb_hypergraph(), any::<u64>()),
+    ) {
+        let base = canonical_form(&h);
+        for round in 0..4u64 {
+            let relabeled = relabel_hypergraph(&h, seed.wrapping_add(round));
+            let other = canonical_form(&relabeled);
+            prop_assert_eq!(other.fingerprint, base.fingerprint);
+            // the full key, not just the 64-bit hash, must agree
+            prop_assert_eq!(&other.bytes, &base.bytes);
+            prop_assert_eq!(other.complete, base.complete);
+        }
+    }
+
+    /// The canonical form distinguishes non-isomorphic generator families
+    /// of identical size — including the classic refinement-equivalent
+    /// pair C_{2k} vs. two disjoint C_k (both 2-regular).
+    #[test]
+    fn canonical_form_distinguishes_families((k, seed) in (3u32..=6, any::<u64>())) {
+        use htd::hypergraph::gen;
+        let cycle = Hypergraph::from_graph(&gen::cycle_graph(2 * k));
+        let mut two_cycles_edges: Vec<Vec<u32>> = Vec::new();
+        for off in [0, k] {
+            for i in 0..k {
+                two_cycles_edges.push(vec![off + i, off + (i + 1) % k]);
+            }
+        }
+        let two_cycles = Hypergraph::new(2 * k, two_cycles_edges);
+        let a = canonical_form(&cycle);
+        let b = canonical_form(&two_cycles);
+        prop_assert!(a.bytes != b.bytes, "C_{} aliased 2xC_{}", 2 * k, k);
+        // …and stays distinguishing under relabeling of either side
+        let a2 = canonical_form(&relabel_hypergraph(&cycle, seed));
+        prop_assert_eq!(&a2.bytes, &a.bytes);
+        prop_assert!(a2.bytes != b.bytes);
+        // distinct families of the same vertex count differ too
+        let grid = Hypergraph::from_graph(&gen::grid_graph(2, k));
+        let path_like = canonical_form(&grid);
+        prop_assert!(path_like.bytes != b.bytes);
     }
 
     /// Nice-form normalization preserves width and validity; the MIS DP on

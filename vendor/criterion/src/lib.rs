@@ -72,9 +72,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // cargo bench passes `--bench`; the first other positional argument
         // is a name filter (substring match), matching criterion's CLI
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }

@@ -217,7 +217,8 @@ pub mod collection {
 pub fn run_cases(cfg: &ProptestConfig, mut body: impl FnMut(&mut StdRng, u32)) {
     for case in 0..cfg.cases {
         // seed by case index only, so any failure replays in isolation
-        let mut rng = StdRng::seed_from_u64(0xA11CE ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(0xA11CE ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
         body(&mut rng, case);
     }
 }
