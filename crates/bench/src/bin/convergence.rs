@@ -1,0 +1,194 @@
+//! Anytime convergence curves from the htd-trace event stream.
+//!
+//! Replays small thesis instances through the portfolio with a
+//! ring-buffer sink and turns every `incumbent_improved` event into a
+//! `(t_us, width, worker)` point, printing one JSON document with a
+//! width-vs-time curve per instance. With `--trace-out PREFIX` the raw
+//! schema-v1 JSONL streams are also written (one file per instance,
+//! `PREFIX.<instance>.jsonl`), and `--validate` re-checks every stream —
+//! contiguous seq, monotonic t_us, known kinds, matched worker
+//! lifecycles — exiting nonzero on the first violation. CI runs the
+//! `--smoke` subset as a cheap end-to-end check of the trace pipeline.
+//!
+//! `cargo run --release -p htd-bench --bin convergence -- [--smoke]
+//!  [--trace-out PREFIX] [--validate]`
+
+use std::time::Duration;
+
+use htd_core::json::Json;
+use htd_hypergraph::gen;
+use htd_search::{solve, Problem, SearchConfig};
+use htd_trace::{validate_stream, Event, Record, RingBuffer, Tracer, KNOWN_KINDS};
+
+struct Run {
+    name: &'static str,
+    problem: Problem,
+    limit_ms: u64,
+}
+
+fn suite(smoke: bool) -> Vec<Run> {
+    let mut runs = vec![
+        Run {
+            name: "queen5_5_tw",
+            problem: Problem::treewidth(gen::queen_graph(5)),
+            limit_ms: 30_000,
+        },
+        Run {
+            name: "clique7_ghw",
+            problem: Problem::ghw(gen::clique_hypergraph(7)),
+            limit_ms: 30_000,
+        },
+    ];
+    if !smoke {
+        runs.push(Run {
+            name: "grid6x6_tw",
+            problem: Problem::treewidth(gen::grid_graph(6, 6)),
+            limit_ms: 60_000,
+        });
+        runs.push(Run {
+            name: "queen6_6_tw_anytime",
+            problem: Problem::treewidth(gen::queen_graph(6)),
+            limit_ms: 3_000,
+        });
+    }
+    runs
+}
+
+/// Returns the first violation in a replayed stream, checking both the
+/// structural invariants and that every kind is in the documented set.
+fn check(records: &[Record]) -> Result<(), String> {
+    validate_stream(records)?;
+    for r in records {
+        let kind = r.event.kind();
+        if !KNOWN_KINDS.contains(&kind) {
+            return Err(format!("record {}: unknown kind '{kind}'", r.seq));
+        }
+    }
+    Ok(())
+}
+
+fn curve_json(name: &str, records: &[Record], dropped: u64) -> Json {
+    let mut points = Vec::new();
+    for r in records {
+        if let Event::IncumbentImproved { worker, width } = &r.event {
+            points.push(Json::Obj(vec![
+                ("t_us".into(), Json::Num(r.t_us as f64)),
+                ("width".into(), Json::Num(*width as f64)),
+                ("worker".into(), Json::Str((*worker).into())),
+            ]));
+        }
+    }
+    let finish = records.iter().rev().find_map(|r| match &r.event {
+        Event::SolveFinished {
+            lower,
+            upper,
+            exact,
+            winner,
+            expanded,
+        } => Some((*lower, *upper, *exact, *winner, *expanded)),
+        _ => None,
+    });
+    let mut members = vec![
+        ("instance".into(), Json::Str(name.into())),
+        ("events".into(), Json::Num(records.len() as f64)),
+        ("dropped".into(), Json::Num(dropped as f64)),
+        ("curve".into(), Json::Arr(points)),
+    ];
+    if let Some((lower, upper, exact, winner, expanded)) = finish {
+        members.push(("lower".into(), Json::Num(lower as f64)));
+        if let Some(u) = upper {
+            members.push(("upper".into(), Json::Num(u as f64)));
+        }
+        members.push(("exact".into(), Json::Bool(exact)));
+        if let Some(w) = winner {
+            members.push(("winner".into(), Json::Str(w.into())));
+        }
+        members.push(("expanded".into(), Json::Num(expanded as f64)));
+    }
+    Json::Obj(members)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut validate = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--validate" => validate = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path prefix");
+                    std::process::exit(4);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(4);
+            }
+        }
+    }
+
+    let mut curves = Vec::new();
+    for run in suite(smoke) {
+        let ring = RingBuffer::new(1 << 20);
+        let cfg = SearchConfig::default()
+            .with_seed(42)
+            .with_threads(4)
+            .with_time_limit(Duration::from_millis(run.limit_ms))
+            .with_tracer(Tracer::new(Box::new(std::sync::Arc::clone(&ring))));
+        let out = solve(&run.problem, &cfg).unwrap_or_else(|e| {
+            eprintln!("{}: solve failed: {e:?}", run.name);
+            std::process::exit(1);
+        });
+        let records = ring.records();
+        eprintln!(
+            "{}: upper={} exact={} events={} improvements={}",
+            run.name,
+            out.upper,
+            out.exact,
+            records.len(),
+            records
+                .iter()
+                .filter(|r| matches!(r.event, Event::IncumbentImproved { .. }))
+                .count()
+        );
+
+        if validate {
+            if let Err(e) = check(&records) {
+                eprintln!("{}: malformed stream: {e}", run.name);
+                std::process::exit(1);
+            }
+            if ring.dropped() > 0 {
+                eprintln!("{}: ring dropped {} records", run.name, ring.dropped());
+                std::process::exit(1);
+            }
+        }
+
+        if let Some(prefix) = &trace_out {
+            let path = format!("{prefix}.{}.jsonl", run.name);
+            let mut text = String::new();
+            for r in &records {
+                text.push_str(&r.to_json_line());
+                text.push('\n');
+            }
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("{path}: {e}");
+                std::process::exit(5);
+            }
+        }
+
+        curves.push(curve_json(run.name, &records, ring.dropped()));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Num(1.0)),
+        (
+            "mode".into(),
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("curves".into(), Json::Arr(curves)),
+    ]);
+    println!("{doc}");
+}

@@ -21,8 +21,9 @@
 //! [`Outcome`] object per line in the schema documented on
 //! [`Outcome::to_json`]), `--quiet`, `--threads N` (N > 1 runs the anytime
 //! portfolio), `--seed N`, `--budget N` (node budget), `--time MS`
-//! (wall-clock budget in milliseconds). `--help` after a subcommand prints
-//! its usage.
+//! (wall-clock budget in milliseconds), `--trace FILE` (write the solver's
+//! structured JSONL event stream — schema v1 of `htd_trace`, documented in
+//! `docs/observability.md`). `--help` after a subcommand prints its usage.
 //!
 //! Graph files: `.gr` (PACE) or `.col` (DIMACS); `.hg` parses as the
 //! HyperBench atom-list format, anything else as the (equivalent) plain
@@ -42,6 +43,7 @@ use htd_core::{dot, pace, CoverStrategy, HtdError};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
 use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
 use htd_service::{Client, InstanceFormat, ServeOptions, Status};
+use htd_trace::{JsonlSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,6 +134,9 @@ pub struct Options {
     pub queue: usize,
     /// `query`: objective name (`tw`/`ghw`/`hw`).
     pub objective: Option<String>,
+    /// Write the solver's structured event stream (JSONL, schema v1 of
+    /// `htd_trace`) to this file.
+    pub trace: Option<String>,
 }
 
 impl Default for Options {
@@ -150,12 +155,13 @@ impl Default for Options {
             cache_mb: 64,
             queue: 64,
             objective: None,
+            trace: None,
         }
     }
 }
 
 impl Options {
-    fn search_config(&self) -> SearchConfig {
+    fn search_config(&self) -> Result<SearchConfig, HtdError> {
         let mut cfg = SearchConfig::default()
             .with_max_nodes(self.budget)
             .with_seed(self.seed)
@@ -166,7 +172,12 @@ impl Options {
         if self.fast {
             cfg = cfg.with_engines(vec![Engine::Heuristic, Engine::LowerBound]);
         }
-        cfg
+        if let Some(path) = &self.trace {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| HtdError::Io(format!("--trace {path}: {e}")))?;
+            cfg = cfg.with_tracer(Tracer::new(Box::new(sink)));
+        }
+        Ok(cfg)
     }
 
     fn output_format(&self) -> Result<OutputFormat, HtdError> {
@@ -224,6 +235,13 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
                 o.objective = Some(
                     it.next()
                         .ok_or_else(|| HtdError::Unsupported("--objective needs tw|ghw|hw".into()))?
+                        .clone(),
+                );
+            }
+            "--trace" => {
+                o.trace = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--trace needs a file path".into()))?
                         .clone(),
                 );
             }
@@ -286,6 +304,17 @@ fn render_outcome(outcome: &Outcome, o: &Options) -> Result<String, HtdError> {
                 outcome.elapsed.as_secs_f64() * 1e3,
                 outcome.per_engine.len()
             );
+            if let Some(w) = outcome.winner {
+                let conv = match (outcome.time_to_first_upper, outcome.time_to_best_upper) {
+                    (Some(f), Some(b)) => format!(
+                        "  first bound {:.1}ms  best bound {:.1}ms",
+                        f.as_secs_f64() * 1e3,
+                        b.as_secs_f64() * 1e3
+                    ),
+                    _ => String::new(),
+                };
+                let _ = writeln!(out, "  winner {}{conv}", w.name());
+            }
             Ok(out)
         }
     }
@@ -301,7 +330,7 @@ fn cmd_width(inst: &Instance, o: &Options, objective: Objective) -> Result<Strin
         Objective::GeneralizedHypertreeWidth => Problem::ghw(inst.hypergraph()),
         Objective::HypertreeWidth => Problem::hw(inst.hypergraph()),
     };
-    let outcome = solve(&problem, &o.search_config())?;
+    let outcome = solve(&problem, &o.search_config()?)?;
     render_outcome(&outcome, o)
 }
 
@@ -365,7 +394,19 @@ pub fn cmd_solve(text: &str, o: &Options) -> Result<String, HtdError> {
     let csp = htd_csp::parse_csp(text).map_err(|e| HtdError::Parse(e.to_string()))?;
     let h = csp.hypergraph();
     let mut rng = StdRng::seed_from_u64(o.seed);
-    let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
+    // With --trace (or extra threads) the clustering ordering comes from
+    // the instrumented portfolio, so CSP solves produce the same event
+    // stream as the width commands; otherwise a min-fill pass suffices.
+    let order = if o.trace.is_some() || o.threads > 1 {
+        solve(
+            &Problem::treewidth_of_hypergraph(h.clone()),
+            &o.search_config()?,
+        )?
+        .witness
+        .unwrap_or_else(|| htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering)
+    } else {
+        htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering
+    };
     let td = td_of_hypergraph(&h, &order);
     let mut out = String::new();
     if o.count {
@@ -493,6 +534,7 @@ const USAGE: &str =
     "usage: htd <info|tw|ghw|hw|decompose|solve|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
+              --trace FILE.jsonl (solver event stream, schema v1)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
 `htd <command> --help` prints command-specific usage.";
 
@@ -501,12 +543,16 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
     match cmd {
         "info" => Some("usage: htd info <file|-> [--seed N]\n\
             Prints instance statistics and quick width bounds."),
-        "tw" => Some("usage: htd tw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--format human|json] [--quiet]\n\
+        "tw" => Some("usage: htd tw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--trace FILE] [--format human|json] [--quiet]\n\
             Treewidth. Exact branch and bound by default; --threads N > 1 runs the\n\
             anytime portfolio (BB, A*, heuristics, lower bounds sharing one incumbent);\n\
             --fast computes heuristic bounds only. --format json emits one Outcome\n\
             object per line: {\"objective\",\"lower\",\"upper\",\"exact\",\"witness\",\n\
-            \"nodes\",\"elapsed_ms\",\"engines\":[...]}."),
+            \"nodes\",\"elapsed_ms\",\"engines\":[...],\"trace_summary\":{...}}.\n\
+            --trace FILE writes the solver's structured event stream (one JSON\n\
+            object per line, schema v1: incumbent improvements with worker\n\
+            attribution, bound tightenings, node-expansion batches, worker\n\
+            lifecycle; see docs/observability.md)."),
         "ghw" => Some("usage: htd ghw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--format human|json] [--quiet]\n\
             Generalized hypertree width over elimination orderings (exact covers,\n\
             shared across engines through a concurrent set-cover cache). Flags as\n\
@@ -518,8 +564,11 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             --format td   PACE 2017 .td text (default)\n\
             --format dot  Graphviz; for hypergraphs the bags show their edge\n\
                           covers λ, i.e. a generalized hypertree decomposition."),
-        "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N]\n\
-            Solves a CSP through a tree decomposition (join-tree clustering)."),
+        "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N] [--threads N] [--trace FILE]\n\
+            Solves a CSP through a tree decomposition (join-tree clustering).\n\
+            With --trace (or --threads N > 1) the clustering ordering comes\n\
+            from the instrumented anytime portfolio and FILE receives the\n\
+            solver's JSONL event stream."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
         "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--quiet]\n\
@@ -799,6 +848,8 @@ mod tests {
             "--format".into(),
             "json".into(),
             "--quiet".into(),
+            "--trace".into(),
+            "out.jsonl".into(),
         ])
         .unwrap();
         assert!(o.fast);
@@ -807,8 +858,10 @@ mod tests {
         assert_eq!(o.threads, 4);
         assert_eq!(o.time_limit, Some(Duration::from_millis(250)));
         assert_eq!(o.format.as_deref(), Some("json"));
+        assert_eq!(o.trace.as_deref(), Some("out.jsonl"));
         assert!(parse_options(&["--what".into()]).is_err());
         assert!(parse_options(&["--budget".into()]).is_err());
+        assert!(parse_options(&["--trace".into()]).is_err());
     }
 
     #[test]

@@ -72,6 +72,77 @@ fn io_failure_is_exit_five() {
 }
 
 #[test]
+fn trace_flag_writes_a_schema_valid_event_stream() {
+    use htd_core::json::Json;
+    use htd_trace::KNOWN_KINDS;
+
+    let gr = htd_hypergraph::io::write_pace_gr(&htd_hypergraph::gen::queen_graph(5));
+    let file = write_temp("trace.gr", &gr);
+    let trace = std::env::temp_dir().join(format!("htd-exit-{}-trace.jsonl", std::process::id()));
+
+    let out = htd(&[
+        "tw",
+        file.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--format",
+        "json",
+        "--threads",
+        "4",
+        "--seed",
+        "42",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // the json outcome carries the convergence summary with attribution
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("upper").and_then(|v| v.as_u64()), Some(18));
+    let summary = doc.get("trace_summary").expect("trace_summary block");
+    let winner = summary
+        .get("winner")
+        .and_then(|w| w.as_str())
+        .expect("winner attribution")
+        .to_string();
+    assert!(!winner.is_empty());
+
+    // the side-channel file is a schema-v1 stream: versioned, contiguous,
+    // time-ordered, every kind known, improvements attributed to a worker
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut last_t = 0u64;
+    let mut improvements = 0usize;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        let rec = Json::parse(line).unwrap_or_else(|e| panic!("bad jsonl line {line}: {e:?}"));
+        assert_eq!(rec.get("v").and_then(|v| v.as_u64()), Some(1), "{line}");
+        assert_eq!(
+            rec.get("seq").and_then(|v| v.as_u64()),
+            Some(lines),
+            "{line}"
+        );
+        let t = rec.get("t_us").and_then(|v| v.as_u64()).unwrap();
+        assert!(t >= last_t, "t_us went backwards in {line}");
+        last_t = t;
+        let kind = rec
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        assert!(KNOWN_KINDS.contains(&kind.as_str()), "unknown kind {kind}");
+        if kind == "incumbent_improved" {
+            improvements += 1;
+            let worker = rec.get("worker").and_then(|v| v.as_str()).unwrap();
+            assert!(!worker.is_empty(), "{line}");
+        }
+        lines += 1;
+    }
+    assert!(lines >= 2, "stream must at least bracket the solve");
+    assert!(improvements >= 1, "no incumbent_improved event in stream");
+
+    let _ = std::fs::remove_file(file);
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
 fn query_against_a_live_server_round_trips() {
     use htd_service::{ServeOptions, Server};
     let server = Server::start(ServeOptions {

@@ -19,7 +19,10 @@ use rand::SeedableRng;
 
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
 use crate::ghw_common::GhwContext;
+use crate::incumbent::{offer_traced, raise_traced};
 use crate::pruning::keep_child;
+
+const WHO: &str = "astar";
 
 struct PathNode {
     v: Vertex,
@@ -110,11 +113,11 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     ];
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
-            inc.offer_upper(w, c.as_slice());
+            offer_traced(&inc, &cfg.tracer, WHO, w, c.as_slice());
         }
     }
     let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
-    inc.raise_lower(lb0);
+    raise_traced(&inc, &cfg.tracer, WHO, lb0);
     let finish =
         |lower: u32, upper: u32, exact: bool, order: Option<Vec<Vertex>>, stats: SearchStats| {
             Some(SearchOutcome {
@@ -132,7 +135,7 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     }
 
     let mut ctx = GhwContext::with_cache(h, cache);
-    let mut budget = Budget::new(cfg);
+    let mut budget = Budget::new(cfg, "astar");
     let mut queue: BinaryHeap<State> = BinaryHeap::new();
     let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
     let mut seq = 0u64;
@@ -174,7 +177,7 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
         }
         global_lb = global_lb.max(s.f);
         // min over open f is a valid lower bound on min(ghw, ub) (§5.3)
-        inc.raise_lower(global_lb.min(ub));
+        raise_traced(&inc, &cfg.tracer, WHO, global_lb.min(ub));
         let target = path_to_vec(&s.path);
         let common = current_path
             .iter()
@@ -199,7 +202,7 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats.expanded = budget.expanded;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            inc.offer_upper(s.g, &order);
+            offer_traced(&inc, &cfg.tracer, WHO, s.g, &order);
             inc.mark_exact();
             return finish(s.g, s.g, true, Some(order), stats);
         }

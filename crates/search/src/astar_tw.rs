@@ -20,7 +20,10 @@ use rand::SeedableRng;
 
 use crate::bb_tw::alive_graph;
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
+use crate::incumbent::{offer_traced, raise_traced};
 use crate::pruning::{keep_child, swappable};
+
+const WHO: &str = "astar";
 
 /// Reverse-linked elimination path.
 struct PathNode {
@@ -104,8 +107,8 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     }
     let lb0 = htd_heuristics::combined_lower_bound(graph, &mut rng);
     let h0 = min_fill(graph, &mut rng);
-    inc.offer_upper(h0.width, h0.ordering.as_slice());
-    inc.raise_lower(lb0);
+    offer_traced(&inc, &cfg.tracer, WHO, h0.width, h0.ordering.as_slice());
+    raise_traced(&inc, &cfg.tracer, WHO, lb0);
     let finish =
         |lower: u32, upper: u32, exact: bool, order: Option<Vec<Vertex>>, stats: SearchStats| {
             SearchOutcome {
@@ -122,7 +125,7 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
         return finish(ub, ub, true, inc.best_order(), stats);
     }
 
-    let mut budget = Budget::new(cfg);
+    let mut budget = Budget::new(cfg, "astar");
     let mut queue: BinaryHeap<State> = BinaryHeap::new();
     let mut seq = 0u64;
     // duplicate detection: eliminated-set → best g seen
@@ -166,7 +169,7 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
         }
         global_lb = global_lb.max(s.f);
         // min over open f is a valid lower bound on min(tw, ub) (§5.3)
-        inc.raise_lower(global_lb.min(ub));
+        raise_traced(&inc, &cfg.tracer, WHO, global_lb.min(ub));
         // rebuild graph: undo to common prefix, then eliminate the rest
         let target = path_to_vec(&s.path);
         let common = current_path
@@ -188,7 +191,7 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
             stats.expanded = budget.expanded;
             stats.elapsed = budget.elapsed();
             stats.max_queue = stats.max_queue.max(queue.len());
-            inc.offer_upper(s.g, &order);
+            offer_traced(&inc, &cfg.tracer, WHO, s.g, &order);
             inc.mark_exact();
             return finish(s.g, s.g, true, Some(order), stats);
         }

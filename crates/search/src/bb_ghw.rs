@@ -16,8 +16,10 @@ use rand::SeedableRng;
 
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
 use crate::ghw_common::GhwContext;
-use crate::incumbent::Incumbent;
+use crate::incumbent::{offer_traced, raise_traced, Incumbent};
 use crate::pruning::keep_child;
+
+const WHO: &str = "branch_bound";
 
 /// Computes `ghw(h)` by branch and bound. Returns `None` when some vertex
 /// lies in no hyperedge (no GHD exists). Within budget the result is exact.
@@ -59,11 +61,11 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     ];
     for c in &cands {
         if let Some(w) = ev.width(c.as_slice()) {
-            inc.offer_upper(w, c.as_slice());
+            offer_traced(&inc, &cfg.tracer, WHO, w, c.as_slice());
         }
     }
     let lb0 = htd_heuristics::ghw_lower_bound(h, &mut rng);
-    inc.raise_lower(lb0);
+    raise_traced(&inc, &cfg.tracer, WHO, lb0);
     if lb0 >= inc.upper() {
         let upper = inc.upper();
         inc.mark_exact();
@@ -77,7 +79,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     }
 
     let mut ctx = GhwContext::with_cache(h, cache);
-    let mut budget = Budget::new(cfg);
+    let mut budget = Budget::new(cfg, "branch_bound");
     let mut eg = EliminationGraph::new(&g);
     let mut order = Vec::with_capacity(n as usize);
     let mut searcher = GhwSearcher {
@@ -131,7 +133,7 @@ impl GhwSearcher<'_> {
         }
         let remaining = eg.num_alive();
         if remaining == 0 {
-            self.inc.offer_upper(g_width, order);
+            offer_traced(self.inc, &self.cfg.tracer, WHO, g_width, order);
             return true;
         }
         // PR1 analogue: covers are monotone, so any completion's bags cost
@@ -141,7 +143,7 @@ impl GhwSearcher<'_> {
             if w < self.inc.upper() {
                 let mut o = order.clone();
                 o.extend(eg.alive().iter());
-                self.inc.offer_upper(w, &o);
+                offer_traced(self.inc, &self.cfg.tracer, WHO, w, &o);
             }
             if alive_cover <= g_width {
                 return true; // subtree width is exactly g, recorded above

@@ -8,8 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
-use crate::incumbent::Incumbent;
+use crate::incumbent::{offer_traced, raise_traced, Incumbent};
 use crate::pruning::{keep_child, swappable};
+
+const WHO: &str = "branch_bound";
 
 /// Computes the treewidth of `g` by branch and bound over elimination
 /// orderings. Within budget the result is exact; otherwise `lower`/`upper`
@@ -42,8 +44,8 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     // initial bounds
     let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
     let h0 = min_fill(g, &mut rng);
-    inc.offer_upper(h0.width, h0.ordering.as_slice());
-    inc.raise_lower(lb0);
+    offer_traced(&inc, &cfg.tracer, WHO, h0.width, h0.ordering.as_slice());
+    raise_traced(&inc, &cfg.tracer, WHO, lb0);
     if lb0 >= inc.upper() {
         let upper = inc.upper();
         inc.mark_exact();
@@ -56,7 +58,7 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
         };
     }
 
-    let mut budget = Budget::new(cfg);
+    let mut budget = Budget::new(cfg, "branch_bound");
     let mut stats = SearchStats::default();
     let mut eg = EliminationGraph::new(g);
     let mut order: Vec<Vertex> = Vec::with_capacity(n as usize);
@@ -115,7 +117,7 @@ impl Searcher<'_> {
         }
         let remaining = eg.num_alive();
         if remaining == 0 {
-            self.inc.offer_upper(g_width, order);
+            offer_traced(self.inc, &self.cfg.tracer, WHO, g_width, order);
             return true;
         }
         // PR1: any completion has width ≤ max(g, remaining-1); record it.
@@ -123,7 +125,7 @@ impl Searcher<'_> {
         if w < self.inc.upper() {
             let mut o = order.clone();
             o.extend(eg.alive().iter());
-            self.inc.offer_upper(w, &o);
+            offer_traced(self.inc, &self.cfg.tracer, WHO, w, &o);
         }
         if remaining - 1 <= g_width {
             return true; // subtree width is exactly g, already recorded

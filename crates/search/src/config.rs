@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use htd_core::ordering::EliminationOrdering;
 use htd_setcover::CoverCache;
+use htd_trace::{metrics::Counter, registry, Event, Tracer};
 
 use crate::incumbent::Incumbent;
 
@@ -40,6 +41,32 @@ impl Engine {
             Engine::Annealing,
         ]
     }
+
+    /// The stable snake_case name used in JSON reports, trace events and
+    /// metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Heuristic => "heuristic",
+            Engine::LowerBound => "lower_bound",
+            Engine::BranchBound => "branch_bound",
+            Engine::AStar => "astar",
+            Engine::Genetic => "genetic",
+            Engine::Annealing => "annealing",
+        }
+    }
+
+    /// Inverse of [`Engine::name`].
+    pub fn from_name(name: &str) -> Option<Engine> {
+        Some(match name {
+            "heuristic" => Engine::Heuristic,
+            "lower_bound" => Engine::LowerBound,
+            "branch_bound" => Engine::BranchBound,
+            "astar" => Engine::AStar,
+            "genetic" => Engine::Genetic,
+            "annealing" => Engine::Annealing,
+            _ => return None,
+        })
+    }
 }
 
 /// Toggles and budgets shared by all searches.
@@ -70,6 +97,9 @@ pub struct SearchConfig {
     /// Shared bag → exact-cover-size memo for ghw evaluations; `None` = a
     /// private memo per engine.
     pub cover_cache: Option<Arc<CoverCache>>,
+    /// Event tracer. Defaults to the disabled tracer, whose emit path is
+    /// a single branch — instrumentation is always compiled in.
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for SearchConfig {
@@ -85,6 +115,7 @@ impl Default for SearchConfig {
             engines: None,
             shared: None,
             cover_cache: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -134,6 +165,12 @@ impl SearchConfig {
     /// Restricts the portfolio to the given engines.
     pub fn with_engines(mut self, engines: Vec<Engine>) -> Self {
         self.engines = Some(engines);
+        self
+    }
+
+    /// Attaches an event tracer (see `htd_trace::Tracer::new`).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -192,11 +229,20 @@ impl SearchOutcome {
     }
 }
 
+/// Expansions are reported to the metric registry and trace stream in
+/// batches of this size, so the per-tick overhead is a local increment.
+const EXPANSION_BATCH: u64 = 4096;
+
 /// Internal deadline/budget tracker.
 ///
 /// Also the cancellation observer: when the run has a shared incumbent,
 /// every tick checks its flag, so a worker stops within one node expansion
 /// of another worker's exact proof (or the portfolio's deadline).
+///
+/// And the expansion reporter: every [`EXPANSION_BATCH`] ticks it adds the
+/// batch to the global expansion counters and (when tracing) emits one
+/// `NodeExpanded` event; `Drop` flushes the remainder, so totals are exact
+/// however the search exits.
 #[derive(Debug)]
 pub(crate) struct Budget {
     start: Instant,
@@ -204,10 +250,15 @@ pub(crate) struct Budget {
     max_nodes: u64,
     cancel: Option<Arc<Incumbent>>,
     pub(crate) expanded: u64,
+    flushed: u64,
+    label: &'static str,
+    tracer: Arc<Tracer>,
+    total_counter: &'static Counter,
+    engine_counter: &'static Counter,
 }
 
 impl Budget {
-    pub(crate) fn new(cfg: &SearchConfig) -> Self {
+    pub(crate) fn new(cfg: &SearchConfig, label: &'static str) -> Self {
         let start = Instant::now();
         Budget {
             start,
@@ -215,6 +266,12 @@ impl Budget {
             max_nodes: cfg.max_nodes,
             cancel: cfg.shared.clone(),
             expanded: 0,
+            flushed: 0,
+            label,
+            tracer: Arc::clone(&cfg.tracer),
+            // Resolved once here; each flush is then two relaxed adds.
+            total_counter: registry().counter("htd_solver_expansions_total"),
+            engine_counter: registry().labeled_counter("htd_solver_expansions", "engine", label),
         }
     }
 
@@ -224,6 +281,9 @@ impl Budget {
     #[inline]
     pub(crate) fn tick(&mut self) -> bool {
         self.expanded += 1;
+        if self.expanded & (EXPANSION_BATCH - 1) == 0 {
+            self.flush_expansions();
+        }
         if self.expanded > self.max_nodes {
             return false;
         }
@@ -242,8 +302,30 @@ impl Budget {
         true
     }
 
+    #[cold]
+    fn flush_expansions(&mut self) {
+        let batch = self.expanded - self.flushed;
+        if batch == 0 {
+            return;
+        }
+        self.flushed = self.expanded;
+        self.total_counter.add(batch);
+        self.engine_counter.add(batch);
+        let label = self.label;
+        self.tracer.emit_with(|| Event::NodeExpanded {
+            worker: label,
+            count: batch,
+        });
+    }
+
     pub(crate) fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+impl Drop for Budget {
+    fn drop(&mut self) {
+        self.flush_expansions();
     }
 }
 
@@ -254,7 +336,7 @@ mod tests {
     #[test]
     fn budget_node_limit() {
         let cfg = SearchConfig::budgeted(3);
-        let mut b = Budget::new(&cfg);
+        let mut b = Budget::new(&cfg, "test");
         assert!(b.tick());
         assert!(b.tick());
         assert!(b.tick());
@@ -264,7 +346,7 @@ mod tests {
     #[test]
     fn budget_time_limit() {
         let cfg = SearchConfig::default().with_time_limit(Duration::from_millis(0));
-        let mut b = Budget::new(&cfg);
+        let mut b = Budget::new(&cfg, "test");
         // the amortized check fires at expansion 256
         let mut stopped = false;
         for _ in 0..1000 {
@@ -283,7 +365,7 @@ mod tests {
             shared: Some(Arc::clone(&inc)),
             ..SearchConfig::default()
         };
-        let mut b = Budget::new(&cfg);
+        let mut b = Budget::new(&cfg, "test");
         assert!(b.tick());
         inc.cancel();
         assert!(!b.tick(), "cancel observed on the very next tick");

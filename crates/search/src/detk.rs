@@ -55,9 +55,20 @@ pub fn det_k_decomp(h: &Hypergraph, k: u32) -> Option<GeneralizedHypertreeDecomp
         k,
         failed: HashMap::new(),
         nodes: Vec::new(),
+        subproblems: 0,
+        memo_hits: 0,
+        separators_tried: 0,
     };
     let all = VertexSet::full(m);
-    let root = ctx.decompose(&all, &VertexSet::new(h.num_vertices()), &VertexSet::new(m))?;
+    let root = ctx.decompose(&all, &VertexSet::new(h.num_vertices()), &VertexSet::new(m));
+    // counted locally during the recursion, published once per call
+    let reg = htd_trace::registry();
+    reg.counter("htd_detk_subproblems_total")
+        .add(ctx.subproblems);
+    reg.counter("htd_detk_memo_hits_total").add(ctx.memo_hits);
+    reg.counter("htd_detk_separators_tried_total")
+        .add(ctx.separators_tried);
+    let root = root?;
     // assemble the tree
     let bags: Vec<VertexSet> = ctx.nodes.iter().map(|n| n.chi.clone()).collect();
     let mut parent: Vec<Option<NodeId>> = vec![None; ctx.nodes.len()];
@@ -110,6 +121,12 @@ struct Ctx<'a> {
     /// memoized failures: (component blocks, conn blocks)
     failed: HashMap<(Vec<u64>, Vec<u64>), ()>,
     nodes: Vec<BuiltNode>,
+    /// `decompose` calls — the paper's primary cost measure for DetKDecomp.
+    subproblems: u64,
+    /// failed-(comp, conn) memo hits.
+    memo_hits: u64,
+    /// separators split and recursed on (`try_separator` calls).
+    separators_tried: u64,
 }
 
 impl Ctx<'_> {
@@ -131,6 +148,7 @@ impl Ctx<'_> {
         conn: &VertexSet,
         old_sep: &VertexSet,
     ) -> Option<NodeId> {
+        self.subproblems += 1;
         // base case: the whole component fits into one node
         if comp.len() <= self.k {
             let chi = {
@@ -149,6 +167,7 @@ impl Ctx<'_> {
         }
         let key = (comp.blocks().to_vec(), conn.blocks().to_vec());
         if self.failed.contains_key(&key) {
+            self.memo_hits += 1;
             return None;
         }
         // candidate separator edges: edges of the component plus parent
@@ -215,6 +234,7 @@ impl Ctx<'_> {
         lambda: &[EdgeId],
         lam_vars: &VertexSet,
     ) -> Option<NodeId> {
+        self.separators_tried += 1;
         let comp_vars = self.vars_of(comp);
         // χ = var(λ) ∩ (var(comp) ∪ conn)
         let mut chi = lam_vars.clone();

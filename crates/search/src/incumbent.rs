@@ -17,10 +17,15 @@
 //! objective** on the **same instance** — tw and ghw widths are not
 //! comparable.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use htd_hypergraph::Vertex;
+use htd_trace::{Event, Tracer};
 use parking_lot::Mutex;
+
+/// Sentinel for "no upper bound arrived yet" in the timestamp atomics.
+const NEVER: u64 = u64::MAX;
 
 /// Shared bounds + witness + cancellation for one solver run.
 pub struct Incumbent {
@@ -28,10 +33,17 @@ pub struct Incumbent {
     upper: AtomicU32,
     exact: AtomicBool,
     cancelled: AtomicBool,
-    /// (width, witness ordering) — kept together under one lock so the
-    /// stored ordering always matches the stored width even when two
-    /// improvements race (the atomic `upper` alone cannot guarantee that).
-    best: Mutex<(u32, Vec<Vertex>)>,
+    /// (width, witness ordering, attributed engine) — kept together under
+    /// one lock so the stored ordering always matches the stored width
+    /// even when two improvements race (the atomic `upper` alone cannot
+    /// guarantee that). The engine label is `""` for unattributed offers.
+    best: Mutex<(u32, Vec<Vertex>, &'static str)>,
+    /// When this incumbent was created; anchors the convergence timestamps.
+    created: Instant,
+    /// Microseconds from `created` to the first accepted upper bound.
+    first_upper_us: AtomicU64,
+    /// Microseconds from `created` to the latest accepted upper bound.
+    best_upper_us: AtomicU64,
 }
 
 impl Default for Incumbent {
@@ -59,7 +71,10 @@ impl Incumbent {
             upper: AtomicU32::new(u32::MAX),
             exact: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
-            best: Mutex::new((u32::MAX, Vec::new())),
+            best: Mutex::new((u32::MAX, Vec::new(), "")),
+            created: Instant::now(),
+            first_upper_us: AtomicU64::new(NEVER),
+            best_upper_us: AtomicU64::new(NEVER),
         }
     }
 
@@ -80,10 +95,17 @@ impl Incumbent {
         (self.lower(), self.upper())
     }
 
-    /// Offers an achieved width with its witness ordering. Returns `true`
-    /// iff this improved the incumbent. Proving `lower == upper` marks the
-    /// run exact and cancels it.
+    /// Offers an achieved width with its witness ordering, unattributed.
+    /// Returns `true` iff this improved the incumbent.
     pub fn offer_upper(&self, width: u32, order: &[Vertex]) -> bool {
+        self.offer_upper_as(width, order, "")
+    }
+
+    /// Offers an achieved width with its witness ordering, attributed to
+    /// the engine named `who` (see `Engine::name`). Returns `true` iff
+    /// this improved the incumbent. Proving `lower == upper` marks the
+    /// run exact and cancels it.
+    pub fn offer_upper_as(&self, width: u32, order: &[Vertex], who: &'static str) -> bool {
         let mut cur = self.upper.load(Ordering::Acquire);
         loop {
             if width >= cur {
@@ -97,12 +119,16 @@ impl Incumbent {
                 Err(now) => cur = now,
             }
         }
+        let now_us = self.created.elapsed().as_micros() as u64;
+        self.first_upper_us.fetch_min(now_us, Ordering::AcqRel);
         {
             let mut best = self.best.lock();
             if width < best.0 {
                 best.0 = width;
                 best.1.clear();
                 best.1.extend_from_slice(order);
+                best.2 = who;
+                self.best_upper_us.store(now_us, Ordering::Release);
             }
         }
         self.check_closed();
@@ -171,6 +197,58 @@ impl Incumbent {
         let best = self.best.lock();
         (best.0 != u32::MAX).then(|| best.1.clone())
     }
+
+    /// The engine whose offer produced the current upper bound, if any
+    /// arrived and the offer was attributed (`None` for unattributed).
+    pub fn winner(&self) -> Option<&'static str> {
+        let best = self.best.lock();
+        (best.0 != u32::MAX && !best.2.is_empty()).then_some(best.2)
+    }
+
+    /// Time from creation to the first accepted upper bound, if any.
+    pub fn time_to_first_upper(&self) -> Option<Duration> {
+        match self.first_upper_us.load(Ordering::Acquire) {
+            NEVER => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Time from creation to the upper bound that ended up best, if any.
+    pub fn time_to_best_upper(&self) -> Option<Duration> {
+        match self.best_upper_us.load(Ordering::Acquire) {
+            NEVER => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+}
+
+/// [`Incumbent::offer_upper_as`] plus an `IncumbentImproved` trace event
+/// when the offer was accepted. The engines' standard offer path.
+pub(crate) fn offer_traced(
+    inc: &Incumbent,
+    tracer: &Tracer,
+    who: &'static str,
+    width: u32,
+    order: &[Vertex],
+) -> bool {
+    let improved = inc.offer_upper_as(width, order, who);
+    if improved {
+        tracer.emit(Event::IncumbentImproved { worker: who, width });
+    }
+    improved
+}
+
+/// [`Incumbent::raise_lower`] plus a `BoundTightened` trace event when the
+/// bound actually rose.
+pub(crate) fn raise_traced(inc: &Incumbent, tracer: &Tracer, who: &'static str, lb: u32) -> bool {
+    let rose = inc.raise_lower(lb);
+    if rose {
+        tracer.emit(Event::BoundTightened {
+            worker: who,
+            lower: lb,
+        });
+    }
+    rose
 }
 
 #[cfg(test)]
@@ -211,6 +289,27 @@ mod tests {
         inc.mark_exact();
         assert_eq!(inc.bounds(), (9, 9));
         assert!(inc.is_exact() && inc.is_cancelled());
+    }
+
+    #[test]
+    fn attribution_and_convergence_times_track_the_best_offer() {
+        let inc = Incumbent::new();
+        assert_eq!(inc.winner(), None);
+        assert_eq!(inc.time_to_first_upper(), None);
+        assert_eq!(inc.time_to_best_upper(), None);
+        assert!(inc.offer_upper_as(9, &[0], "heuristic"));
+        assert_eq!(inc.winner(), Some("heuristic"));
+        let first = inc.time_to_first_upper().unwrap();
+        assert!(inc.offer_upper_as(4, &[1], "astar"));
+        assert!(!inc.offer_upper_as(6, &[2], "genetic"), "worse offer loses");
+        assert_eq!(inc.winner(), Some("astar"));
+        assert!(inc.time_to_first_upper().unwrap() <= inc.time_to_best_upper().unwrap());
+        assert_eq!(inc.time_to_first_upper().unwrap(), first);
+        // unattributed offers win the bound but not the credit
+        let inc2 = Incumbent::new();
+        inc2.offer_upper(3, &[0]);
+        assert_eq!(inc2.winner(), None);
+        assert!(inc2.time_to_first_upper().is_some());
     }
 
     #[test]

@@ -19,7 +19,9 @@ use rand::SeedableRng;
 
 use crate::bb_tw::alive_graph;
 use crate::config::{Budget, SearchConfig, SearchOutcome, SearchStats};
-use crate::incumbent::Incumbent;
+use crate::incumbent::{offer_traced, raise_traced, Incumbent};
+
+const WHO: &str = "parallel_bb";
 
 /// Parallel BB-tw across `threads` workers. Semantics match
 /// [`bb_tw`](crate::bb_tw): exact within budget (the node budget applies
@@ -35,8 +37,8 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
     let inc = cfg.incumbent();
     let lb0 = htd_heuristics::combined_lower_bound(g, &mut rng);
     let h0 = min_fill(g, &mut rng);
-    inc.offer_upper(h0.width, h0.ordering.as_slice());
-    inc.raise_lower(lb0);
+    offer_traced(&inc, &cfg.tracer, WHO, h0.width, h0.ordering.as_slice());
+    raise_traced(&inc, &cfg.tracer, WHO, lb0);
     if lb0 >= inc.upper() {
         let upper = inc.upper();
         inc.mark_exact();
@@ -134,7 +136,7 @@ fn worker(
     inc: &Incumbent,
 ) -> (bool, SearchStats) {
     let mut stats = SearchStats::default();
-    let mut budget = Budget::new(cfg);
+    let mut budget = Budget::new(cfg, "parallel_bb");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (salt << 32));
     let mut eg = EliminationGraph::new(g);
     let mut order: Vec<Vertex> = Vec::new();
@@ -182,14 +184,14 @@ fn dfs(
     }
     let remaining = eg.num_alive();
     if remaining == 0 {
-        inc.offer_upper(g_width, order);
+        offer_traced(inc, &cfg.tracer, WHO, g_width, order);
         return true;
     }
     let w = g_width.max(remaining - 1);
     if w < inc.upper() {
         let mut o = order.clone();
         o.extend(eg.alive().iter());
-        inc.offer_upper(w, &o);
+        offer_traced(inc, &cfg.tracer, WHO, w, &o);
     }
     if remaining - 1 <= g_width {
         return true;

@@ -31,11 +31,12 @@ use htd_ga::engine::GaParams;
 use htd_ga::sa::SaParams;
 use htd_hypergraph::{Graph, Hypergraph};
 use htd_setcover::CoverCache;
+use htd_trace::{registry, Event};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Engine, SearchConfig, SearchStats};
-use crate::incumbent::Incumbent;
+use crate::incumbent::{offer_traced, raise_traced, Incumbent};
 
 /// What to minimize.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,6 +188,17 @@ pub struct Outcome {
     pub elapsed: Duration,
     /// Per-engine accounting, in launch order.
     pub per_engine: Vec<EngineReport>,
+    /// The engine whose offer produced the final upper bound, when known
+    /// (portfolio runs attribute every accepted offer).
+    pub winner: Option<Engine>,
+    /// Time from solve start to the first accepted upper bound.
+    pub time_to_first_upper: Option<Duration>,
+    /// Time from solve start to the upper bound that ended up best.
+    pub time_to_best_upper: Option<Duration>,
+    /// Exact-cover cache hits during this solve (ghw objectives; 0 for tw).
+    pub cover_cache_hits: u64,
+    /// Exact-cover cache misses during this solve.
+    pub cover_cache_misses: u64,
 }
 
 impl Outcome {
@@ -229,6 +241,35 @@ impl Outcome {
             "engines".into(),
             Json::Arr(self.per_engine.iter().map(engine_report_json).collect()),
         ));
+        let mut ts = Vec::new();
+        if let Some(w) = self.winner {
+            ts.push(("winner".into(), Json::Str(w.name().into())));
+        }
+        if let Some(t) = self.time_to_first_upper {
+            ts.push((
+                "time_to_first_upper_ms".into(),
+                Json::Num(t.as_secs_f64() * 1e3),
+            ));
+        }
+        if let Some(t) = self.time_to_best_upper {
+            ts.push((
+                "time_to_best_upper_ms".into(),
+                Json::Num(t.as_secs_f64() * 1e3),
+            ));
+        }
+        ts.push(("expansions".into(), Json::Num(self.nodes as f64)));
+        ts.push((
+            "pruned".into(),
+            Json::Num(self.per_engine.iter().map(|r| r.stats.pruned).sum::<u64>() as f64),
+        ));
+        ts.push((
+            "cover_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(self.cover_cache_hits as f64)),
+                ("misses".into(), Json::Num(self.cover_cache_misses as f64)),
+            ]),
+        ));
+        members.push(("trace_summary".into(), Json::Obj(ts)));
         Json::Obj(members)
     }
 
@@ -267,6 +308,18 @@ impl Outcome {
                 .map(engine_report_from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let ts = doc.get("trace_summary");
+        let ts_ms = |k: &str| {
+            ts.and_then(|t| t.get(k))
+                .and_then(|v| v.as_f64())
+                .map(|m| Duration::from_secs_f64(m.max(0.0) / 1e3))
+        };
+        let cover = |k: &str| {
+            ts.and_then(|t| t.get("cover_cache"))
+                .and_then(|c| c.get(k))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
         Ok(Outcome {
             objective,
             lower: num("lower")? as u32,
@@ -284,36 +337,21 @@ impl Outcome {
                     / 1e3,
             ),
             per_engine,
+            winner: ts
+                .and_then(|t| t.get("winner"))
+                .and_then(|v| v.as_str())
+                .and_then(Engine::from_name),
+            time_to_first_upper: ts_ms("time_to_first_upper_ms"),
+            time_to_best_upper: ts_ms("time_to_best_upper_ms"),
+            cover_cache_hits: cover("hits"),
+            cover_cache_misses: cover("misses"),
         })
-    }
-}
-
-fn engine_name(e: Engine) -> &'static str {
-    match e {
-        Engine::Heuristic => "heuristic",
-        Engine::LowerBound => "lower_bound",
-        Engine::BranchBound => "branch_bound",
-        Engine::AStar => "astar",
-        Engine::Genetic => "genetic",
-        Engine::Annealing => "annealing",
-    }
-}
-
-fn engine_from_name(s: &str) -> Option<Engine> {
-    match s {
-        "heuristic" => Some(Engine::Heuristic),
-        "lower_bound" => Some(Engine::LowerBound),
-        "branch_bound" => Some(Engine::BranchBound),
-        "astar" => Some(Engine::AStar),
-        "genetic" => Some(Engine::Genetic),
-        "annealing" => Some(Engine::Annealing),
-        _ => None,
     }
 }
 
 fn engine_report_json(r: &EngineReport) -> Json {
     let mut members = vec![
-        ("engine".into(), Json::Str(engine_name(r.engine).into())),
+        ("engine".into(), Json::Str(r.engine.name().into())),
         ("lower".into(), Json::Num(r.lower as f64)),
     ];
     if r.upper != u32::MAX {
@@ -332,7 +370,7 @@ fn engine_report_json(r: &EngineReport) -> Json {
 }
 
 fn engine_report_from_json(doc: &Json) -> Result<EngineReport, HtdError> {
-    let engine = engine_from_name(
+    let engine = Engine::from_name(
         doc.get("engine")
             .and_then(|v| v.as_str())
             .unwrap_or_default(),
@@ -374,12 +412,33 @@ fn engine_report_from_json(doc: &Json) -> Result<EngineReport, HtdError> {
 pub fn solve(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> {
     problem.validate()?;
     let start = Instant::now();
+    cfg.tracer.emit_with(|| Event::SolveStarted {
+        objective: problem.objective.name(),
+        vertices: problem.graph().num_vertices() as usize,
+        edges: problem
+            .hypergraph()
+            .map(|h| h.num_edges() as usize)
+            .unwrap_or_else(|| problem.graph().num_edges()),
+    });
     let mut outcome = match problem.objective {
         Objective::Treewidth => solve_portfolio(problem, cfg),
         Objective::GeneralizedHypertreeWidth => solve_portfolio(problem, cfg),
         Objective::HypertreeWidth => solve_hw(problem, cfg),
     }?;
     outcome.elapsed = start.elapsed();
+    if let Some(w) = outcome.winner {
+        registry()
+            .labeled_counter("htd_solver_wins", "engine", w.name())
+            .inc();
+    }
+    cfg.tracer.emit_with(|| Event::SolveFinished {
+        lower: outcome.lower,
+        upper: (outcome.upper != u32::MAX).then_some(outcome.upper),
+        exact: outcome.exact,
+        winner: outcome.winner.map(Engine::name),
+        expanded: outcome.nodes,
+    });
+    cfg.tracer.flush();
     Ok(outcome)
 }
 
@@ -439,6 +498,7 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
 
     let start = Instant::now();
     let done = AtomicBool::new(false);
+    let (cover_h0, cover_m0) = (exact_cache.hits(), exact_cache.misses());
     let reports: Vec<EngineReport> = crossbeam::thread::scope(|scope| {
         // deadline watchdog: engines that only poll the cancel flag at
         // coarse boundaries (GA batches) still stop within ~5ms of it
@@ -450,6 +510,7 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                 while !done.load(AtomicOrdering::Acquire) && !inc.is_cancelled() {
                     if Instant::now() >= deadline {
                         inc.cancel();
+                        registry().counter("htd_deadline_cancellations_total").inc();
                         break;
                     }
                     std::thread::sleep(Duration::from_millis(5));
@@ -466,7 +527,37 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                 scope.spawn(move |_| {
                     let mut cfg_i = worker_cfg.clone();
                     cfg_i.seed = worker_cfg.seed.wrapping_add((i as u64) << 40);
-                    run_engine(engine, problem, &cfg_i, inc, greedy_cache)
+                    let who = engine.name();
+                    cfg_i.tracer.emit(Event::WorkerStarted { worker: who });
+                    let wstart = Instant::now();
+                    let report = run_engine(engine, problem, &cfg_i, inc, greedy_cache);
+                    // a worker that returns without its own exactness proof
+                    // while the run is cancelled was cut short from outside
+                    // (deadline watchdog or a sibling's proof)
+                    let cancelled = inc.is_cancelled() && !report.exact;
+                    cfg_i.tracer.emit_with(|| {
+                        let elapsed_us = wstart.elapsed().as_micros() as u64;
+                        let upper = (report.upper != u32::MAX).then_some(report.upper);
+                        if cancelled {
+                            Event::WorkerCancelled {
+                                worker: who,
+                                lower: report.lower,
+                                upper,
+                                expanded: report.stats.expanded,
+                                elapsed_us,
+                            }
+                        } else {
+                            Event::WorkerFinished {
+                                worker: who,
+                                lower: report.lower,
+                                upper,
+                                exact: report.exact,
+                                expanded: report.stats.expanded,
+                                elapsed_us,
+                            }
+                        }
+                    });
+                    report
                 })
             })
             .collect();
@@ -483,6 +574,22 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
     if exact {
         inc.mark_exact();
     }
+    // this solve's cover-cache traffic (the cache may be shared/long-lived)
+    let cover_cache_hits = exact_cache.hits().saturating_sub(cover_h0);
+    let cover_cache_misses = exact_cache.misses().saturating_sub(cover_m0);
+    if cover_cache_hits + cover_cache_misses > 0 {
+        let reg = registry();
+        reg.counter("htd_cover_cache_hits_total")
+            .add(cover_cache_hits);
+        reg.counter("htd_cover_cache_misses_total")
+            .add(cover_cache_misses);
+        cfg.tracer.emit_with(|| Event::CacheStats {
+            cache: "cover_exact",
+            hits: cover_cache_hits,
+            misses: cover_cache_misses,
+            entries: exact_cache.len() as u64,
+        });
+    }
     let upper = inc.upper();
     Ok(Outcome {
         objective: problem.objective,
@@ -493,6 +600,11 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
         nodes: reports.iter().map(|r| r.stats.expanded).sum(),
         elapsed: start.elapsed(),
         per_engine: reports,
+        winner: inc.winner().and_then(Engine::from_name),
+        time_to_first_upper: inc.time_to_first_upper(),
+        time_to_best_upper: inc.time_to_best_upper(),
+        cover_cache_hits,
+        cover_cache_misses,
     })
 }
 
@@ -539,6 +651,11 @@ fn zero_budget_outcome(problem: &Problem, cfg: &SearchConfig) -> Outcome {
         nodes: 0,
         elapsed: start.elapsed(),
         per_engine: vec![report],
+        winner: (upper != u32::MAX).then_some(Engine::Heuristic),
+        time_to_first_upper: None,
+        time_to_best_upper: None,
+        cover_cache_hits: 0,
+        cover_cache_misses: 0,
     }
 }
 
@@ -630,7 +747,7 @@ fn run_heuristic(
             },
         };
         report.upper = report.upper.min(width);
-        inc.offer_upper(width, ordering.as_slice());
+        offer_traced(inc, &cfg.tracer, "heuristic", width, ordering.as_slice());
         report.stats.generated += 1;
     };
     let mut ev = (problem.objective != Objective::Treewidth).then(ghw_ev);
@@ -651,6 +768,12 @@ fn run_heuristic(
         for round in 0..8u64 {
             if inc.is_cancelled() {
                 break;
+            }
+            if round > 0 {
+                cfg.tracer.emit(Event::RestartTriggered {
+                    worker: "heuristic",
+                    round: round as u32,
+                });
             }
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 16) | 1);
             let start = &seeds[(round as usize) % seeds.len()].ordering;
@@ -674,6 +797,12 @@ fn run_lower_bound(
         if inc.is_cancelled() {
             break;
         }
+        if round > 0 {
+            cfg.tracer.emit(Event::RestartTriggered {
+                worker: "lower_bound",
+                round: round as u32,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 8) | 3);
         let lb = match problem.objective {
             Objective::Treewidth => htd_heuristics::combined_lower_bound(problem.graph(), &mut rng),
@@ -682,7 +811,7 @@ fn run_lower_bound(
             }
         };
         report.lower = report.lower.max(lb);
-        inc.raise_lower(lb);
+        raise_traced(inc, &cfg.tracer, "lower_bound", lb);
         report.stats.generated += 1;
     }
 }
@@ -705,12 +834,18 @@ fn run_genetic(
         if inc.is_cancelled() {
             break;
         }
+        if batch > 0 {
+            cfg.tracer.emit(Event::RestartTriggered {
+                worker: "genetic",
+                round: batch as u32,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (batch << 24) | 5);
         match problem.objective {
             Objective::Treewidth => {
                 let r = htd_ga::ga_tw(problem.graph(), &params, &mut rng);
                 report.upper = report.upper.min(r.width);
-                inc.offer_upper(r.width, r.ordering.as_slice());
+                offer_traced(inc, &cfg.tracer, "genetic", r.width, r.ordering.as_slice());
                 report.stats.generated += r.inner.evaluations;
             }
             _ => {
@@ -724,7 +859,7 @@ fn run_genetic(
                     &mut rng,
                 ) {
                     report.upper = report.upper.min(r.width);
-                    inc.offer_upper(r.width, r.ordering.as_slice());
+                    offer_traced(inc, &cfg.tracer, "genetic", r.width, r.ordering.as_slice());
                     report.stats.generated += r.inner.evaluations;
                 }
             }
@@ -744,18 +879,24 @@ fn run_annealing(
         if inc.is_cancelled() {
             break;
         }
+        if round > 0 {
+            cfg.tracer.emit(Event::RestartTriggered {
+                worker: "annealing",
+                round: round as u32,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (round << 32) | 7);
         match problem.objective {
             Objective::Treewidth => {
                 let (ordering, width) = htd_ga::sa::sa_tw(problem.graph(), &params, &mut rng);
                 report.upper = report.upper.min(width);
-                inc.offer_upper(width, ordering.as_slice());
+                offer_traced(inc, &cfg.tracer, "annealing", width, ordering.as_slice());
             }
             _ => {
                 let h = problem.hypergraph().expect("validated");
                 if let Some((ordering, width)) = htd_ga::sa::sa_ghw(h, &params, &mut rng) {
                     report.upper = report.upper.min(width);
-                    inc.offer_upper(width, ordering.as_slice());
+                    offer_traced(inc, &cfg.tracer, "annealing", width, ordering.as_slice());
                 }
             }
         }
@@ -792,6 +933,11 @@ fn solve_hw(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> 
             exact: true,
             stats: SearchStats::default(),
         }],
+        winner: None,
+        time_to_first_upper: None,
+        time_to_best_upper: None,
+        cover_cache_hits: 0,
+        cover_cache_misses: 0,
     })
 }
 

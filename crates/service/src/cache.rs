@@ -273,6 +273,11 @@ mod tests {
             nodes: 0,
             elapsed: Duration::from_millis(1),
             per_engine: Vec::new(),
+            winner: None,
+            time_to_first_upper: None,
+            time_to_best_upper: None,
+            cover_cache_hits: 0,
+            cover_cache_misses: 0,
         }
     }
 

@@ -16,41 +16,57 @@ pub const LATENCY_BUCKETS_MS: [f64; 14] = [
     0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
 ];
 
+/// Upper bounds (seconds) for the queue-wait / solve-time split. Finer at
+/// the low end: queue waits on a healthy server are sub-millisecond.
+pub const SECONDS_BUCKETS: [f64; 12] = [
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0,
+];
+
 /// Widths `0..=MAX_TRACKED_WIDTH-1` get their own counter; anything wider
 /// lands in the overflow bucket.
 pub const MAX_TRACKED_WIDTH: usize = 32;
 
-/// A fixed-bucket histogram (counts + sum), Prometheus-compatible.
+/// A fixed-bucket histogram (counts + sum), Prometheus-compatible. The
+/// bucket bounds — and therefore the observation unit — are chosen at
+/// construction (`LATENCY_BUCKETS_MS` for the ms histograms,
+/// `SECONDS_BUCKETS` for the queue/solve split).
 #[derive(Debug)]
 pub struct Histogram {
-    /// counts[i] = observations ≤ LATENCY_BUCKETS_MS[i]; the final slot
-    /// is the +Inf bucket. Cumulative form is produced at render time.
+    bounds: &'static [f64],
+    /// counts[i] = observations ≤ bounds[i]; the final slot is the +Inf
+    /// bucket. Cumulative form is produced at render time.
     counts: Vec<AtomicU64>,
-    sum_us: AtomicU64,
+    /// Sum in millionths of the observation unit (µs for ms histograms).
+    sum_micro: AtomicU64,
     count: AtomicU64,
 }
 
 impl Histogram {
-    fn new() -> Histogram {
+    fn new(bounds: &'static [f64]) -> Histogram {
         Histogram {
-            counts: (0..=LATENCY_BUCKETS_MS.len())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            sum_us: AtomicU64::new(0),
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micro: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
     }
 
-    /// Records one observation in milliseconds.
-    pub fn observe(&self, ms: f64) {
-        let idx = LATENCY_BUCKETS_MS
+    /// Records one observation (in the unit of the bucket bounds).
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
             .iter()
-            .position(|&b| ms <= b)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_us
-            .fetch_add((ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+        self.sum_micro
+            .fetch_add((v * 1e6).max(0.0) as u64, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
     }
 
     /// Number of observations.
@@ -58,9 +74,9 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Sum of observations, in milliseconds.
-    pub fn sum_ms(&self) -> f64 {
-        self.sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+    /// Sum of observations, in the observation unit.
+    pub fn sum(&self) -> f64 {
+        self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// Interpolated quantile (`0.0..=1.0`) from the buckets; 0 when empty.
@@ -74,10 +90,11 @@ impl Histogram {
         let mut lo = 0.0;
         for (i, c) in self.counts.iter().enumerate() {
             let n = c.load(Ordering::Relaxed);
-            let hi = LATENCY_BUCKETS_MS
+            let hi = self
+                .bounds
                 .get(i)
                 .copied()
-                .unwrap_or(2.0 * LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]);
+                .unwrap_or(2.0 * self.bounds[self.bounds.len() - 1]);
             if seen + n >= target {
                 // linear interpolation inside the bucket
                 let into = (target - seen) as f64 / n.max(1) as f64;
@@ -124,6 +141,14 @@ pub struct Metrics {
     pub solve_latency: Histogram,
     /// End-to-end service latency of `ok` responses (incl. cache hits), ms.
     pub request_latency: Histogram,
+    /// Time a job spent waiting in the work queue, seconds.
+    pub queue_wait: Histogram,
+    /// Time a job spent actually solving on a worker, seconds. Together
+    /// with [`Metrics::queue_wait`] this splits end-to-end latency into
+    /// its queueing and compute parts.
+    pub solve_time: Histogram,
+    /// In-flight solves cancelled by the deadline watchdog.
+    pub deadline_cancellations: AtomicU64,
     /// Upper widths served, by value (capped at [`MAX_TRACKED_WIDTH`]).
     pub widths: Vec<AtomicU64>,
     /// Exact answers served.
@@ -156,8 +181,11 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             inflight: AtomicI64::new(0),
-            solve_latency: Histogram::new(),
-            request_latency: Histogram::new(),
+            solve_latency: Histogram::new(&LATENCY_BUCKETS_MS),
+            request_latency: Histogram::new(&LATENCY_BUCKETS_MS),
+            queue_wait: Histogram::new(&SECONDS_BUCKETS),
+            solve_time: Histogram::new(&SECONDS_BUCKETS),
+            deadline_cancellations: AtomicU64::new(0),
             widths: (0..=MAX_TRACKED_WIDTH).map(|_| AtomicU64::new(0)).collect(),
             exact_served: AtomicU64::new(0),
             inexact_served: AtomicU64::new(0),
@@ -282,6 +310,12 @@ impl Metrics {
             "Anytime-bound answers served.",
             ld(&self.inexact_served),
         );
+        c(
+            &mut o,
+            "htd_deadline_cancellations_total",
+            "In-flight solves cancelled by the deadline watchdog.",
+            ld(&self.deadline_cancellations),
+        );
 
         for (hist, name, help) in [
             (
@@ -294,17 +328,27 @@ impl Metrics {
                 "htd_request_latency_ms",
                 "End-to-end request latency of ok responses, ms.",
             ),
+            (
+                &self.queue_wait,
+                "htd_queue_seconds",
+                "Time jobs waited in the work queue, seconds.",
+            ),
+            (
+                &self.solve_time,
+                "htd_solve_seconds",
+                "Time jobs spent solving on a worker, seconds.",
+            ),
         ] {
             let _ = writeln!(o, "# HELP {name} {help}");
             let _ = writeln!(o, "# TYPE {name} histogram");
             let mut cum = 0u64;
-            for (i, b) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            for (i, b) in hist.bounds().iter().enumerate() {
                 cum += hist.counts[i].load(Ordering::Relaxed);
                 let _ = writeln!(o, "{name}_bucket{{le=\"{b}\"}} {cum}");
             }
-            cum += hist.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+            cum += hist.counts[hist.bounds().len()].load(Ordering::Relaxed);
             let _ = writeln!(o, "{name}_bucket{{le=\"+Inf\"}} {cum}");
-            let _ = writeln!(o, "{name}_sum {}", hist.sum_ms());
+            let _ = writeln!(o, "{name}_sum {}", hist.sum());
             let _ = writeln!(o, "{name}_count {}", hist.count());
             let _ = writeln!(o, "{name}_p50 {}", hist.quantile(0.5));
             let _ = writeln!(o, "{name}_p95 {}", hist.quantile(0.95));
@@ -359,6 +403,14 @@ impl Metrics {
                 "solve_p95_ms".into(),
                 Json::Num(self.solve_latency.quantile(0.95)),
             ),
+            (
+                "queue_p95_ms".into(),
+                Json::Num(self.queue_wait.quantile(0.95) * 1e3),
+            ),
+            (
+                "deadline_cancellations".into(),
+                ld(&self.deadline_cancellations),
+            ),
         ])
     }
 }
@@ -369,7 +421,7 @@ mod tests {
 
     #[test]
     fn histogram_quantiles() {
-        let h = Histogram::new();
+        let h = Histogram::new(&LATENCY_BUCKETS_MS);
         for _ in 0..90 {
             h.observe(1.5); // bucket (1, 2]
         }
@@ -381,7 +433,28 @@ mod tests {
         assert!(p50 > 1.0 && p50 <= 2.0, "{p50}");
         let p95 = h.quantile(0.95);
         assert!(p95 > 250.0 && p95 <= 500.0, "{p95}");
-        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        assert_eq!(Histogram::new(&LATENCY_BUCKETS_MS).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn seconds_histograms_render_with_their_own_buckets() {
+        let m = Metrics::new();
+        m.queue_wait.observe(0.0007); // bucket (0.0005, 0.001]
+        m.solve_time.observe(0.3); // bucket (0.25, 0.5]
+        m.deadline_cancellations.fetch_add(2, Ordering::Relaxed);
+        let text = m.render_prometheus(0, 0, false);
+        assert!(text.contains("htd_queue_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("htd_queue_seconds_count 1"));
+        assert!(text.contains("htd_solve_seconds_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("htd_solve_seconds_sum 0.3"));
+        assert!(text.contains("htd_deadline_cancellations_total 2"));
+        let snap = m.snapshot_json(0, 0, false);
+        assert_eq!(
+            snap.get("deadline_cancellations").unwrap().as_u64(),
+            Some(2)
+        );
+        let q = snap.get("queue_p95_ms").unwrap().as_f64().unwrap();
+        assert!(q > 0.5 && q <= 1.0, "{q}");
     }
 
     #[test]

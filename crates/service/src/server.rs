@@ -99,6 +99,9 @@ struct Job {
     budget: Option<u64>,
     threads: usize,
     received: Instant,
+    /// When the job entered the work queue; the pop-to-push delta is the
+    /// queue-wait component of the latency split.
+    enqueued: Instant,
     reply: mpsc::Sender<Response>,
 }
 
@@ -208,6 +211,13 @@ impl Server {
             "listening on {addr} workers={threads} cache_mb={} queue={}",
             inner.opts.cache_mb, inner.opts.queue_capacity
         ));
+        // pre-register the solver-level series so `/metrics` exposes them
+        // (at zero) before the first solve instead of popping in later
+        let reg = htd_trace::registry();
+        reg.counter("htd_solver_expansions_total");
+        reg.counter("htd_cover_cache_hits_total");
+        reg.counter("htd_cover_cache_misses_total");
+        reg.counter("htd_deadline_cancellations_total");
         let workers = (0..threads)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -337,15 +347,30 @@ pub fn run_until_shutdown(opts: ServeOptions) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Cancels the shared incumbents of expired in-flight solves.
+/// Cancels the shared incumbents of expired in-flight solves. Only the
+/// first cancellation of a solve is counted and logged: a flag already
+/// set means either a previous scan got it or the solve finished (exact
+/// proofs cancel their own incumbent), neither of which is a new kill.
 fn watchdog_loop(inner: &Inner) {
     while !inner.shutdown.load(Ordering::SeqCst) {
         let now = Instant::now();
         {
             let registry = inner.registry.lock();
             for (deadline, incumbent) in registry.iter() {
-                if now >= *deadline {
+                if now >= *deadline && !incumbent.is_cancelled() {
                     incumbent.cancel();
+                    inner
+                        .metrics
+                        .deadline_cancellations
+                        .fetch_add(1, Ordering::Relaxed);
+                    inner.log(format_args!(
+                        "watchdog cancelled expired solve overshoot_ms={:.1} best_upper={}",
+                        now.saturating_duration_since(*deadline).as_secs_f64() * 1e3,
+                        match incumbent.upper() {
+                            u32::MAX => "-".into(),
+                            u => u.to_string(),
+                        },
+                    ));
                 }
             }
         }
@@ -363,6 +388,8 @@ fn worker_loop(inner: &Inner) {
         };
         inner.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let now = Instant::now();
+        let queued = now.saturating_duration_since(job.enqueued);
+        inner.metrics.queue_wait.observe(queued.as_secs_f64());
         if now >= job.deadline {
             // expired while queued: evict without running
             inner
@@ -403,7 +430,12 @@ fn worker_loop(inner: &Inner) {
 
         let solve_start = Instant::now();
         let result = solve(&job.problem, &cfg);
-        let solve_ms = solve_start.elapsed().as_secs_f64() * 1000.0;
+        let solve_elapsed = solve_start.elapsed();
+        let solve_ms = solve_elapsed.as_secs_f64() * 1000.0;
+        inner
+            .metrics
+            .solve_time
+            .observe(solve_elapsed.as_secs_f64());
 
         {
             let mut registry = inner.registry.lock();
@@ -442,13 +474,18 @@ fn worker_loop(inner: &Inner) {
             inner.metrics.request_latency.observe(r.elapsed_ms);
         }
         inner.log(format_args!(
-            "req={} obj={} fp={} cache=miss status={} width={} exact={} solve_ms={:.1} total_ms={:.1} deadline_ms={}",
+            "req={} obj={} fp={} cache=miss status={} width={} exact={} winner={} queued_ms={:.2} solve_ms={:.1} total_ms={:.1} deadline_ms={}",
             job.id.as_deref().unwrap_or("-"),
             job.objective_name,
             job.fingerprint_hex,
             r.status.name(),
             r.outcome.as_ref().map_or(0, |o| o.upper),
             r.outcome.as_ref().is_some_and(|o| o.exact),
+            r.outcome
+                .as_ref()
+                .and_then(|o| o.winner)
+                .map_or("-", |w| w.name()),
+            queued.as_secs_f64() * 1e3,
             solve_ms,
             r.elapsed_ms,
             job.deadline_ms,
@@ -614,6 +651,7 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
         budget: s.budget,
         threads: s.threads.unwrap_or(1).max(1),
         received,
+        enqueued: Instant::now(),
         reply: tx,
     };
     inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
@@ -695,15 +733,30 @@ fn serve_http(
             .to_string();
             ("200 OK", "application/json", body)
         }
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            inner.metrics.render_prometheus(
+        "/metrics" => {
+            let mut body = inner.metrics.render_prometheus(
                 inner.cache.entries(),
                 inner.cache.bytes(),
                 inner.draining(),
-            ),
-        ),
+            );
+            // solver-level series (expansions, per-engine wins, cover-cache
+            // traffic) live in the process-wide htd-trace registry
+            let reg = htd_trace::registry();
+            let hits = reg.counter_value("htd_cover_cache_hits_total").unwrap_or(0);
+            let misses = reg
+                .counter_value("htd_cover_cache_misses_total")
+                .unwrap_or(0);
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                body,
+                "# HELP htd_cover_cache_hit_ratio Hit fraction of the exact cover cache.\n\
+                 # TYPE htd_cover_cache_hit_ratio gauge\n\
+                 htd_cover_cache_hit_ratio {}",
+                hits as f64 / (hits + misses).max(1) as f64
+            );
+            reg.render_prometheus(&mut body);
+            ("200 OK", "text/plain; version=0.0.4", body)
+        }
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     write!(

@@ -270,9 +270,28 @@ fn healthz_and_metrics_respond_and_errors_carry_codes() {
         "htd_solve_latency_ms_p50",
         "htd_width_served_total",
         "htd_queue_depth",
+        // queueing vs compute latency split
+        "htd_queue_seconds_bucket",
+        "htd_queue_seconds_count 1",
+        "htd_solve_seconds_bucket",
+        "htd_solve_seconds_count 1",
+        "htd_deadline_cancellations_total",
+        // solver-level series appended from the htd-trace registry
+        "htd_solver_expansions_total",
+        "htd_cover_cache_hit_ratio",
     ] {
         assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
     }
+    // the solve above ran through the portfolio: its per-engine expansion
+    // series and win attribution must be visible
+    assert!(
+        metrics.contains("htd_solver_expansions{engine="),
+        "missing per-engine expansions in:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("htd_solver_wins{engine="),
+        "missing per-engine wins in:\n{metrics}"
+    );
 
     client.shutdown().unwrap();
     server.wait();

@@ -42,6 +42,7 @@ pub use htd_hypergraph as hypergraph;
 pub use htd_search as search;
 pub use htd_service as service;
 pub use htd_setcover as setcover;
+pub use htd_trace as trace;
 
 /// Everything needed to state and solve a width problem.
 pub mod prelude {
@@ -52,4 +53,5 @@ pub mod prelude {
     pub use htd_search::{
         solve, Engine, EngineReport, Incumbent, Objective, Outcome, Problem, SearchConfig,
     };
+    pub use htd_trace::{JsonlSink, RingBuffer, Tracer};
 }
