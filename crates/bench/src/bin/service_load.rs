@@ -120,6 +120,7 @@ fn main() {
         queue_capacity: 256,
         default_deadline_ms: args.deadline_ms,
         log: false,
+        verify_responses: false,
     })
     .expect("bind loopback");
     let addr = server.addr().to_string();

@@ -1,0 +1,311 @@
+//! Self-contained decomposition certificates.
+//!
+//! A certificate is one JSON document carrying the instance **and** the
+//! decomposition claimed for it, so a third party can re-judge the claim
+//! with nothing but the oracle:
+//!
+//! ```json
+//! {"schema":1,
+//!  "objective":"ghw",
+//!  "num_vertices":6,
+//!  "edges":[[0,1,2],[0,4,5],[2,3,4]],
+//!  "claimed_width":2,
+//!  "decomposition":{
+//!    "bags":[[0,2,4],[0,1,2],[2,3,4],[0,4,5]],
+//!    "parent":[null,0,0,0],
+//!    "lambda":[[1,2],[0],[2],[1]]}}
+//! ```
+//!
+//! `objective` selects the condition set (`tw` → tree decomposition,
+//! `ghw` → GHD, `hw` → HD with the descendant condition); `lambda` is
+//! required for `ghw`/`hw` and ignored for `tw`; `claimed_width` is
+//! optional but, when present, is re-derived and compared. The instance
+//! is stored structurally (numeric scopes) rather than as `.hg` text so
+//! that bag indices are unambiguous — `.hg` re-parsing interns vertices
+//! by first appearance, which would silently permute ids.
+//!
+//! `htd decompose --format cert` emits certificates; `htd check FILE`
+//! judges them and exits nonzero with the condition-level violation list
+//! when tampered with.
+
+use htd_core::error::HtdError;
+use htd_core::ghd::GeneralizedHypertreeDecomposition;
+use htd_core::json::Json;
+use htd_core::tree_decomposition::TreeDecomposition;
+use htd_hypergraph::{Graph, Hypergraph};
+
+use crate::oracle::{check_decomposition, Level, RawDecomposition};
+use crate::report::CheckReport;
+
+/// A parsed (or freshly built) certificate.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The condition set the decomposition is held to.
+    pub level: Level,
+    /// Number of instance vertices.
+    pub num_vertices: u32,
+    /// Hyperedge scopes (binary scopes for graph/`tw` certificates).
+    pub edges: Vec<Vec<u32>>,
+    /// Width claimed by the producer, if any.
+    pub claimed_width: Option<u32>,
+    /// The decomposition itself.
+    pub decomposition: RawDecomposition,
+}
+
+impl Certificate {
+    /// A `tw` certificate for a tree decomposition of a graph.
+    pub fn for_graph_td(g: &Graph, td: &TreeDecomposition) -> Certificate {
+        Certificate {
+            level: Level::Td,
+            num_vertices: g.num_vertices(),
+            edges: g.edges().map(|(u, v)| vec![u, v]).collect(),
+            claimed_width: Some(td.width()),
+            decomposition: RawDecomposition::from_td(td),
+        }
+    }
+
+    /// A `tw` certificate for a tree decomposition of a hypergraph.
+    pub fn for_td(h: &Hypergraph, td: &TreeDecomposition) -> Certificate {
+        Certificate {
+            level: Level::Td,
+            num_vertices: h.num_vertices(),
+            edges: (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect(),
+            claimed_width: Some(td.width()),
+            decomposition: RawDecomposition::from_td(td),
+        }
+    }
+
+    /// A `ghw` (or, at [`Level::Hd`], `hw`) certificate.
+    pub fn for_ghd(
+        h: &Hypergraph,
+        ghd: &GeneralizedHypertreeDecomposition,
+        level: Level,
+    ) -> Certificate {
+        Certificate {
+            level,
+            num_vertices: h.num_vertices(),
+            edges: (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect(),
+            claimed_width: Some(ghd.width()),
+            decomposition: RawDecomposition::from_ghd(ghd),
+        }
+    }
+
+    /// Judges the certificate with the oracle.
+    pub fn check(&self) -> CheckReport {
+        check_decomposition(
+            self.num_vertices,
+            &self.edges,
+            &self.decomposition,
+            self.level,
+            self.claimed_width,
+        )
+    }
+
+    /// The objective name the level corresponds to (`tw`/`ghw`/`hw`).
+    pub fn objective_name(&self) -> &'static str {
+        match self.level {
+            Level::Td => "tw",
+            Level::Ghd => "ghw",
+            Level::Hd => "hw",
+        }
+    }
+
+    /// Serializes the certificate (the format in the module docs).
+    pub fn to_json(&self) -> Json {
+        let ids = |ids: &[u32]| Json::Arr(ids.iter().map(|&v| Json::Num(v as f64)).collect());
+        let mut decomposition = vec![
+            (
+                "bags".into(),
+                Json::Arr(self.decomposition.bags.iter().map(|b| ids(b)).collect()),
+            ),
+            (
+                "parent".into(),
+                Json::Arr(
+                    self.decomposition
+                        .parent
+                        .iter()
+                        .map(|p| match p {
+                            None => Json::Null,
+                            Some(q) => Json::Num(*q as f64),
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(lambda) = &self.decomposition.lambda {
+            decomposition.push((
+                "lambda".into(),
+                Json::Arr(lambda.iter().map(|l| ids(l)).collect()),
+            ));
+        }
+        let mut members = vec![
+            ("schema".into(), Json::Num(1.0)),
+            ("objective".into(), Json::Str(self.objective_name().into())),
+            ("num_vertices".into(), Json::Num(self.num_vertices as f64)),
+            (
+                "edges".into(),
+                Json::Arr(self.edges.iter().map(|e| ids(e)).collect()),
+            ),
+        ];
+        if let Some(w) = self.claimed_width {
+            members.push(("claimed_width".into(), Json::Num(w as f64)));
+        }
+        members.push(("decomposition".into(), Json::Obj(decomposition)));
+        Json::Obj(members)
+    }
+
+    /// Parses a certificate document. Structural problems (missing keys,
+    /// wrong types) are parse errors; *semantic* problems (a broken tree,
+    /// an uncovered edge) are left for [`Certificate::check`] to report.
+    pub fn from_json(doc: &Json) -> Result<Certificate, HtdError> {
+        let field = |k: &str| {
+            doc.get(k)
+                .ok_or_else(|| HtdError::Parse(format!("certificate missing '{k}'")))
+        };
+        let level = match field("objective")?.as_str() {
+            Some("tw") => Level::Td,
+            Some("ghw") => Level::Ghd,
+            Some("hw") => Level::Hd,
+            other => {
+                return Err(HtdError::Parse(format!(
+                    "objective {other:?} (expected tw|ghw|hw)"
+                )))
+            }
+        };
+        let num_vertices = field("num_vertices")?
+            .as_u64()
+            .ok_or_else(|| HtdError::Parse("'num_vertices' is not a number".into()))?
+            as u32;
+        let id_list = |v: &Json, what: &str| -> Result<Vec<u32>, HtdError> {
+            v.as_arr()
+                .ok_or_else(|| HtdError::Parse(format!("{what} is not an array")))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|n| n as u32)
+                        .ok_or_else(|| HtdError::Parse(format!("{what} holds a non-integer")))
+                })
+                .collect()
+        };
+        let id_lists = |v: &Json, what: &str| -> Result<Vec<Vec<u32>>, HtdError> {
+            v.as_arr()
+                .ok_or_else(|| HtdError::Parse(format!("{what} is not an array")))?
+                .iter()
+                .map(|inner| id_list(inner, what))
+                .collect()
+        };
+        let edges = id_lists(field("edges")?, "edges")?;
+        let claimed_width = match doc.get("claimed_width") {
+            None => None,
+            Some(w) => Some(
+                w.as_u64()
+                    .ok_or_else(|| HtdError::Parse("'claimed_width' is not a number".into()))?
+                    as u32,
+            ),
+        };
+        let d = field("decomposition")?;
+        let bags = id_lists(
+            d.get("bags")
+                .ok_or_else(|| HtdError::Parse("decomposition missing 'bags'".into()))?,
+            "bags",
+        )?;
+        let parent = d
+            .get("parent")
+            .ok_or_else(|| HtdError::Parse("decomposition missing 'parent'".into()))?
+            .as_arr()
+            .ok_or_else(|| HtdError::Parse("parent is not an array".into()))?
+            .iter()
+            .map(|p| match p {
+                Json::Null => Ok(None),
+                other => other
+                    .as_u64()
+                    .map(|q| Some(q as usize))
+                    .ok_or_else(|| HtdError::Parse("parent holds a non-integer".into())),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let lambda = match d.get("lambda") {
+            None => None,
+            Some(l) => Some(id_lists(l, "lambda")?),
+        };
+        Ok(Certificate {
+            level,
+            num_vertices,
+            edges,
+            claimed_width,
+            decomposition: RawDecomposition {
+                bags,
+                parent,
+                lambda,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::VertexSet;
+
+    fn thesis() -> (Hypergraph, GeneralizedHypertreeDecomposition) {
+        let vs = |items: &[u32]| VertexSet::from_iter_with_capacity(6, items.iter().copied());
+        let h = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        let td = TreeDecomposition::new(
+            vec![
+                vs(&[0, 2, 4]),
+                vs(&[0, 1, 2]),
+                vs(&[2, 3, 4]),
+                vs(&[0, 4, 5]),
+            ],
+            vec![None, Some(0), Some(0), Some(0)],
+        )
+        .unwrap();
+        let ghd =
+            GeneralizedHypertreeDecomposition::new(td, vec![vec![1, 2], vec![0], vec![2], vec![1]]);
+        (h, ghd)
+    }
+
+    #[test]
+    fn certificate_round_trips_and_checks() {
+        let (h, ghd) = thesis();
+        let cert = Certificate::for_ghd(&h, &ghd, Level::Ghd);
+        assert!(cert.check().is_valid());
+        let text = cert.to_json().to_string();
+        let back = Certificate::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.num_vertices, 6);
+        assert_eq!(back.claimed_width, Some(2));
+        assert_eq!(back.decomposition, cert.decomposition);
+        assert!(back.check().is_valid());
+    }
+
+    #[test]
+    fn tampered_certificate_fails_with_the_right_condition() {
+        let (h, ghd) = thesis();
+        let mut cert = Certificate::for_ghd(&h, &ghd, Level::Ghd);
+        cert.decomposition.bags[1].retain(|&v| v != 1);
+        let r = cert.check();
+        assert!(!r.is_valid());
+        assert!(!r.of(crate::report::Condition::EdgeCoverage).is_empty());
+    }
+
+    #[test]
+    fn graph_certificate_checks_as_td() {
+        let g = htd_hypergraph::gen::cycle_graph(5);
+        let order = htd_core::EliminationOrdering::identity(5);
+        let td = htd_core::bucket::vertex_elimination(&g, &order);
+        let cert = Certificate::for_graph_td(&g, &td);
+        assert_eq!(cert.objective_name(), "tw");
+        assert!(cert.check().is_valid());
+    }
+
+    #[test]
+    fn structural_garbage_is_a_parse_error() {
+        for text in [
+            "{}",
+            "{\"objective\":\"nope\",\"num_vertices\":1,\"edges\":[],\"decomposition\":{}}",
+            "{\"objective\":\"tw\",\"num_vertices\":1,\"edges\":[[0]],\"decomposition\":{\"bags\":[[0]]}}",
+        ] {
+            let doc = Json::parse(text).unwrap();
+            assert!(Certificate::from_json(&doc).is_err(), "{text}");
+        }
+    }
+}

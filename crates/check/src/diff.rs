@@ -1,0 +1,505 @@
+//! The differential harness: run several engines on the same instance and
+//! cross-examine everything they claim.
+//!
+//! Exact engines must agree with each other exactly; heuristic arms must
+//! bracket the exact value; every `Outcome` must be internally consistent
+//! (`lower ≤ upper`, `exact ⇒` closed gap, winner attribution only with
+//! an upper bound, first-bound time before best-bound time); and every
+//! witness is re-derived into an actual decomposition and judged by the
+//! independent [`oracle`](crate::oracle). Cross-metric inequalities
+//! (`ghw ≤ hw`, `ghw ≤ tw + 1`) tie the two objective families together.
+
+use std::time::Duration;
+
+use htd_core::bucket::{ghd_via_elimination, vertex_elimination};
+use htd_core::ordering::CoverStrategy;
+use htd_hypergraph::{Graph, Hypergraph};
+use htd_search::{dp_treewidth, solve, Engine, Objective, Outcome, Problem, SearchConfig};
+
+use crate::oracle::{check_ghd, check_graph_td};
+use crate::report::{CheckReport, Condition};
+
+/// Budgets and arms of a differential run.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Node budget per engine arm.
+    pub max_nodes: u64,
+    /// Optional wall-clock budget per arm.
+    pub time_limit: Option<Duration>,
+    /// Base RNG seed (each arm derives its own).
+    pub seed: u64,
+    /// Also run a 2-thread anytime-portfolio arm (heuristics + searches
+    /// against one incumbent) and cross-check it.
+    pub portfolio_arm: bool,
+    /// Run the Held–Karp DP arm for treewidth when the graph has at most
+    /// this many vertices (the DP is `O(2ⁿ·n)`).
+    pub dp_limit: u32,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            max_nodes: 2_000_000,
+            time_limit: None,
+            seed: 1,
+            portfolio_arm: true,
+            dp_limit: 13,
+        }
+    }
+}
+
+impl DiffConfig {
+    pub(crate) fn search_config_for(&self, engines: Vec<Engine>, threads: usize) -> SearchConfig {
+        let mut cfg = SearchConfig::default()
+            .with_max_nodes(self.max_nodes)
+            .with_seed(self.seed)
+            .with_threads(threads)
+            .with_engines(engines);
+        if let Some(t) = self.time_limit {
+            cfg = cfg.with_time_limit(t);
+        }
+        cfg
+    }
+}
+
+/// What one arm claimed, in the shape the cross-checks need.
+#[derive(Clone, Debug)]
+struct Claim {
+    name: &'static str,
+    lower: u32,
+    upper: u32,
+    exact: bool,
+}
+
+/// Exact-vs-exact equality and interval-bracketing across all claims.
+fn cross_check(report: &mut CheckReport, claims: &[Claim]) {
+    let exacts: Vec<&Claim> = claims.iter().filter(|c| c.exact).collect();
+    for pair in exacts.windows(2) {
+        if pair[0].upper != pair[1].upper {
+            report.push(
+                Condition::ExactDisagreement,
+                format!(
+                    "{} proved {} but {} proved {}",
+                    pair[0].name, pair[0].upper, pair[1].name, pair[1].upper
+                ),
+            );
+        }
+    }
+    if let Some(truth) = exacts.first() {
+        for c in claims {
+            if c.lower > truth.upper || (c.upper != u32::MAX && c.upper < truth.upper) {
+                report.push(
+                    Condition::ExactDisagreement,
+                    format!(
+                        "{} interval [{}, {}] excludes the exact width {} proved by {}",
+                        c.name,
+                        c.lower,
+                        if c.upper == u32::MAX {
+                            "∞".into()
+                        } else {
+                            c.upper.to_string()
+                        },
+                        truth.upper,
+                        truth.name
+                    ),
+                );
+            }
+        }
+    }
+    for c in claims {
+        if c.upper != u32::MAX && c.lower > c.upper {
+            report.push(
+                Condition::BoundsOrder,
+                format!("{}: lower {} > upper {}", c.name, c.lower, c.upper),
+            );
+        }
+    }
+}
+
+/// Checks one [`Outcome`] for internal consistency and oracle-verifies its
+/// witness by rebuilding the decomposition the witness ordering induces.
+///
+/// The rebuild necessarily goes through the elimination machinery (that is
+/// what an ordering witness *means*); the resulting decomposition is then
+/// judged by the independent oracle, and its width compared against the
+/// claimed upper bound. Exact set covers are used for the `ghw` rebuild,
+/// so the rebuilt width can only undershoot the claim, never overshoot it
+/// spuriously.
+pub fn verify_outcome(problem: &Problem, outcome: &Outcome) -> CheckReport {
+    let mut report = CheckReport::new(format!("outcome[{}]", outcome.objective.name()));
+    if outcome.objective != problem.objective() {
+        report.push(
+            Condition::OutcomeConsistency,
+            format!(
+                "outcome objective {} for a {} problem",
+                outcome.objective.name(),
+                problem.objective().name()
+            ),
+        );
+    }
+    if outcome.upper == u32::MAX {
+        if outcome.exact {
+            report.push(
+                Condition::OutcomeConsistency,
+                "exact claimed without any upper bound".to_string(),
+            );
+        }
+        if outcome.winner.is_some() {
+            report.push(
+                Condition::OutcomeConsistency,
+                "winner attributed without any upper bound".to_string(),
+            );
+        }
+    } else if outcome.lower > outcome.upper {
+        report.push(
+            Condition::BoundsOrder,
+            format!("lower {} > upper {}", outcome.lower, outcome.upper),
+        );
+    }
+    if outcome.exact && outcome.lower != outcome.upper {
+        report.push(
+            Condition::OutcomeConsistency,
+            format!(
+                "exact claimed with open gap [{}, {}]",
+                outcome.lower, outcome.upper
+            ),
+        );
+    }
+    if let (Some(first), Some(best)) = (outcome.time_to_first_upper, outcome.time_to_best_upper) {
+        if first > best {
+            report.push(
+                Condition::OutcomeConsistency,
+                "first accepted upper bound recorded after the best one".to_string(),
+            );
+        }
+    }
+
+    let Some(witness) = &outcome.witness else {
+        return report;
+    };
+    // the witness must be a permutation of the vertices
+    let n = problem.graph().num_vertices();
+    let mut seen = vec![false; n as usize];
+    let mut permutation = witness.len() == n as usize;
+    for &v in witness.as_slice() {
+        if v >= n || std::mem::replace(&mut seen[v as usize], true) {
+            permutation = false;
+        }
+    }
+    if !permutation {
+        report.push(
+            Condition::WitnessWidth,
+            format!("witness is not a permutation of 0..{n}"),
+        );
+        return report;
+    }
+    match outcome.objective {
+        Objective::Treewidth => {
+            let td = vertex_elimination(problem.graph(), witness);
+            report.absorb(check_graph_td(problem.graph(), &td, None));
+            if td.width() > outcome.upper {
+                report.push(
+                    Condition::WitnessWidth,
+                    format!(
+                        "witness ordering yields width {} > claimed upper {}",
+                        td.width(),
+                        outcome.upper
+                    ),
+                );
+            }
+        }
+        Objective::GeneralizedHypertreeWidth => {
+            let Some(h) = problem.hypergraph() else {
+                report.push(
+                    Condition::OutcomeConsistency,
+                    "ghw outcome for a problem without a hypergraph".to_string(),
+                );
+                return report;
+            };
+            match ghd_via_elimination(h, witness, CoverStrategy::Exact) {
+                None => report.push(
+                    Condition::WitnessWidth,
+                    "witness ordering yields no coverable GHD".to_string(),
+                ),
+                Some(ghd) => {
+                    report.absorb(check_ghd(h, &ghd, None));
+                    if ghd.width() > outcome.upper {
+                        report.push(
+                            Condition::WitnessWidth,
+                            format!(
+                                "witness ordering yields ghw {} > claimed upper {}",
+                                ghd.width(),
+                                outcome.upper
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // hw outcomes carry no ordering witness (their witness is the
+        // decomposition tree inside det-k-decomp)
+        Objective::HypertreeWidth => {}
+    }
+    report
+}
+
+fn run_arm(
+    report: &mut CheckReport,
+    claims: &mut Vec<Claim>,
+    name: &'static str,
+    problem: &Problem,
+    cfg: SearchConfig,
+) -> Option<Outcome> {
+    match solve(problem, &cfg) {
+        Ok(outcome) => {
+            report.absorb(verify_outcome(problem, &outcome));
+            claims.push(Claim {
+                name,
+                lower: outcome.lower,
+                upper: outcome.upper,
+                exact: outcome.exact,
+            });
+            Some(outcome)
+        }
+        Err(e) => {
+            report.push(
+                Condition::OutcomeConsistency,
+                format!("{name}: solve failed: {e}"),
+            );
+            None
+        }
+    }
+}
+
+/// Differential treewidth run: branch and bound vs A* vs the Held–Karp DP
+/// (small graphs), plus a heuristic arm that must bracket the exact value
+/// and, optionally, a 2-thread portfolio arm.
+pub fn diff_tw(g: &Graph, cfg: &DiffConfig) -> CheckReport {
+    let mut report = CheckReport::new(format!(
+        "tw diff on {} vertices / {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    ));
+    let problem = Problem::treewidth(g.clone());
+    let mut claims = Vec::new();
+    run_arm(
+        &mut report,
+        &mut claims,
+        "bb_tw",
+        &problem,
+        cfg.search_config_for(vec![Engine::BranchBound], 1),
+    );
+    run_arm(
+        &mut report,
+        &mut claims,
+        "astar_tw",
+        &problem,
+        cfg.search_config_for(vec![Engine::AStar], 1),
+    );
+    if g.num_vertices() <= cfg.dp_limit && g.num_vertices() > 0 {
+        let w = dp_treewidth(g);
+        claims.push(Claim {
+            name: "dp_tw",
+            lower: w,
+            upper: w,
+            exact: true,
+        });
+    }
+    run_arm(
+        &mut report,
+        &mut claims,
+        "heuristic",
+        &problem,
+        cfg.search_config_for(vec![Engine::Heuristic, Engine::LowerBound], 2),
+    );
+    if cfg.portfolio_arm {
+        let mut pcfg = cfg.search_config_for(Engine::default_lineup(), 2);
+        pcfg.engines = None;
+        run_arm(&mut report, &mut claims, "portfolio", &problem, pcfg);
+    }
+    cross_check(&mut report, &claims);
+    report
+}
+
+/// Differential ghw run: branch and bound vs A*, with det-k-decomp's
+/// hypertree width and the primal treewidth tying in the cross-metric
+/// inequalities `ghw ≤ hw ≤ tw + 1`.
+pub fn diff_ghw(h: &Hypergraph, cfg: &DiffConfig) -> CheckReport {
+    let mut report = CheckReport::new(format!(
+        "ghw diff on {} vertices / {} edges",
+        h.num_vertices(),
+        h.num_edges()
+    ));
+    let problem = Problem::ghw(h.clone());
+    let mut claims = Vec::new();
+    run_arm(
+        &mut report,
+        &mut claims,
+        "bb_ghw",
+        &problem,
+        cfg.search_config_for(vec![Engine::BranchBound], 1),
+    );
+    run_arm(
+        &mut report,
+        &mut claims,
+        "astar_ghw",
+        &problem,
+        cfg.search_config_for(vec![Engine::AStar], 1),
+    );
+    if cfg.portfolio_arm {
+        let mut pcfg = cfg.search_config_for(Engine::default_lineup(), 2);
+        pcfg.engines = None;
+        run_arm(&mut report, &mut claims, "portfolio", &problem, pcfg);
+    }
+    cross_check(&mut report, &claims);
+
+    let ghw_exact = claims.iter().find(|c| c.exact).map(|c| c.upper);
+    // det-k-decomp arm: hw is exact by construction and sandwiches ghw
+    let mut hw_claims = Vec::new();
+    let hw_problem = Problem::hw(h.clone());
+    let hw_out = run_arm(
+        &mut report,
+        &mut hw_claims,
+        "det_k",
+        &hw_problem,
+        cfg.search_config_for(vec![Engine::BranchBound], 1),
+    );
+    let hw_exact = hw_out.as_ref().and_then(Outcome::exact_width);
+    if let (Some(ghw), Some(hw)) = (ghw_exact, hw_exact) {
+        if ghw > hw {
+            report.push(
+                Condition::Metamorphic,
+                format!("ghw {ghw} > hw {hw} (must satisfy ghw ≤ hw)"),
+            );
+        }
+    }
+    // tw arm on the primal graph: hw ≤ tw + 1 whenever every vertex is
+    // covered (each bag of size w+1 is coverable by at most w+1 edges)
+    let tw_problem = Problem::treewidth(h.primal_graph());
+    let mut tw_claims = Vec::new();
+    let tw_out = run_arm(
+        &mut report,
+        &mut tw_claims,
+        "bb_tw_primal",
+        &tw_problem,
+        cfg.search_config_for(vec![Engine::BranchBound], 1),
+    );
+    if let (Some(hw), Some(tw)) = (hw_exact, tw_out.as_ref().and_then(Outcome::exact_width)) {
+        if hw > tw + 1 {
+            report.push(
+                Condition::Metamorphic,
+                format!("hw {hw} > tw {tw} + 1 (must satisfy hw ≤ tw + 1)"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_core::EliminationOrdering;
+    use htd_hypergraph::gen;
+
+    fn quick() -> DiffConfig {
+        DiffConfig {
+            portfolio_arm: false,
+            ..DiffConfig::default()
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_small_graphs() {
+        for (name, g) in [
+            ("grid3x3", gen::grid_graph(3, 3)),
+            ("cycle7", gen::cycle_graph(7)),
+            ("k5", gen::complete_graph(5)),
+            ("gnp", gen::random_gnp(9, 0.4, 11)),
+        ] {
+            let r = diff_tw(&g, &quick());
+            assert!(r.is_valid(), "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_small_hypergraphs() {
+        for (name, h) in [
+            (
+                "thesis",
+                Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]),
+            ),
+            ("clique5", gen::clique_hypergraph(5)),
+            (
+                "uniform",
+                crate::shrink::compact_vertices(&gen::random_uniform(8, 5, 3, 3)),
+            ),
+        ] {
+            let r = diff_ghw(&h, &quick());
+            assert!(r.is_valid(), "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn portfolio_arm_is_cross_checked_too() {
+        let g = gen::grid_graph(3, 3);
+        let r = diff_tw(
+            &g,
+            &DiffConfig {
+                portfolio_arm: true,
+                ..DiffConfig::default()
+            },
+        );
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn fabricated_outcome_is_rejected() {
+        let g = gen::cycle_graph(5);
+        let problem = Problem::treewidth(g.clone());
+        let honest = solve(&problem, &SearchConfig::default()).unwrap();
+        assert!(verify_outcome(&problem, &honest).is_valid());
+
+        // claim a width below what the witness achieves
+        let mut lied = honest.clone();
+        lied.upper = 1;
+        lied.lower = 1;
+        let r = verify_outcome(&problem, &lied);
+        assert!(!r.of(Condition::WitnessWidth).is_empty(), "{r}");
+
+        // exactness with an open gap
+        let mut gapped = honest.clone();
+        gapped.lower = gapped.upper - 1;
+        let r = verify_outcome(&problem, &gapped);
+        assert!(!r.of(Condition::OutcomeConsistency).is_empty());
+
+        // a witness that is not a permutation of the *instance's* vertices
+        // (a valid shorter ordering, so construction itself succeeds)
+        let mut mangled = honest;
+        mangled.witness = Some(EliminationOrdering::new_unchecked(vec![0, 1, 2]));
+        let r = verify_outcome(&problem, &mangled);
+        assert!(!r.of(Condition::WitnessWidth).is_empty());
+    }
+
+    #[test]
+    fn cross_check_flags_disagreement() {
+        let mut report = CheckReport::new("synthetic");
+        cross_check(
+            &mut report,
+            &[
+                Claim {
+                    name: "a",
+                    lower: 3,
+                    upper: 3,
+                    exact: true,
+                },
+                Claim {
+                    name: "b",
+                    lower: 4,
+                    upper: 4,
+                    exact: true,
+                },
+            ],
+        );
+        assert!(!report.of(Condition::ExactDisagreement).is_empty());
+    }
+}

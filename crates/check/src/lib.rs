@@ -1,0 +1,41 @@
+//! `htd-check`: an independent oracle for decomposition claims, plus the
+//! differential and metamorphic harnesses built on top of it.
+//!
+//! The engines in `htd-search` and the validators in `htd-core` share
+//! data structures, traversals, and authors-of-bugs. This crate is the
+//! adversarial counterweight: it re-verifies every claim **from scratch**
+//! against the thesis definitions, sharing no verification code with the
+//! engine side —
+//!
+//! - [`oracle`]: re-checks a tree decomposition / GHD / HD against its
+//!   hypergraph (vertex & edge coverage, connectedness via per-vertex BFS,
+//!   tree shape via union–find, λ bag-cover via sorted-vec subset tests,
+//!   the descendant condition, and the claimed width), accumulating every
+//!   violation into a structured [`CheckReport`] instead of a boolean.
+//!   It consumes [`RawDecomposition`] plain data, so even certificates
+//!   that `htd-core` would refuse to construct can be judged.
+//! - [`certificate`]: a self-contained JSON format carrying instance +
+//!   decomposition + claimed width, producible by `htd decompose
+//!   --format cert` and judged by `htd check`.
+//! - [`diff`]: runs configurable engine subsets on one instance and
+//!   cross-examines widths, bounds, `Outcome` bookkeeping, and witnesses.
+//! - [`metamorphic`]: seeded generators over the thesis benchmark
+//!   families with width-preserving/-monotone transforms.
+//! - [`shrink`]: greedy minimization of failing instances into `.hg` +
+//!   JSON reproducers for the `fuzz_diff` harness.
+
+pub mod certificate;
+pub mod diff;
+pub mod metamorphic;
+pub mod oracle;
+pub mod report;
+pub mod shrink;
+
+pub use certificate::Certificate;
+pub use diff::{diff_ghw, diff_tw, verify_outcome, DiffConfig};
+pub use metamorphic::{case, run_metamorphic_case, Case, SplitMix64, NUM_FAMILIES};
+pub use oracle::{
+    check_decomposition, check_ghd, check_graph_td, check_hd, check_td, Level, RawDecomposition,
+};
+pub use report::{CheckReport, Condition, Violation};
+pub use shrink::{compact_vertices, shrink_graph, shrink_hypergraph, Repro};

@@ -1,0 +1,608 @@
+//! The from-scratch decomposition oracle.
+//!
+//! Re-derives every validity condition of a (generalized hyper)tree
+//! decomposition from first principles, **sharing no verification code
+//! with the engine side**: where `htd-core` proves tree shape by
+//! reachability counting, the oracle runs union–find; where the engines
+//! check connectedness with the nodes-minus-edges trick, the oracle does a
+//! per-vertex breadth-first search over occupied nodes; where the engines
+//! test subset-ness on word-parallel bitsets, the oracle merges sorted
+//! vertex lists. Two unrelated implementations agreeing is the point: a
+//! bug would have to be made twice, independently, to slip through.
+//!
+//! The oracle works on [`RawDecomposition`] — plain integer vectors, not
+//! the engine types — so it can also judge *untrusted* input (a
+//! certificate parsed from JSON) that `htd-core` would refuse to even
+//! construct.
+
+use htd_core::ghd::GeneralizedHypertreeDecomposition;
+use htd_core::tree_decomposition::TreeDecomposition;
+use htd_hypergraph::{Graph, Hypergraph};
+
+use crate::report::{CheckReport, Condition};
+
+/// A decomposition as plain data: bags, parent pointers, optional λ
+/// labels. This is what certificates parse into and what the oracle
+/// judges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawDecomposition {
+    /// The bag χ(p) of each node, as vertex ids (any order, duplicates
+    /// tolerated and ignored).
+    pub bags: Vec<Vec<u32>>,
+    /// Parent of each node; exactly one `None` makes a rooted tree.
+    pub parent: Vec<Option<usize>>,
+    /// λ labels (edge ids per node) for GHD/HD subjects; `None` for plain
+    /// tree decompositions.
+    pub lambda: Option<Vec<Vec<u32>>>,
+}
+
+impl RawDecomposition {
+    /// Extracts the raw data of an engine-built tree decomposition.
+    pub fn from_td(td: &TreeDecomposition) -> RawDecomposition {
+        RawDecomposition {
+            bags: (0..td.num_nodes()).map(|p| td.bag(p).to_vec()).collect(),
+            parent: (0..td.num_nodes()).map(|p| td.parent(p)).collect(),
+            lambda: None,
+        }
+    }
+
+    /// Extracts the raw data of an engine-built GHD.
+    pub fn from_ghd(ghd: &GeneralizedHypertreeDecomposition) -> RawDecomposition {
+        let mut raw = RawDecomposition::from_td(ghd.tree());
+        raw.lambda = Some(
+            (0..ghd.tree().num_nodes())
+                .map(|p| ghd.lambda(p).to_vec())
+                .collect(),
+        );
+        raw
+    }
+}
+
+/// Which condition set to hold the subject to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Tree decomposition: conditions 1–2 of Definition 11.
+    Td,
+    /// Generalized hypertree decomposition: adds condition 3
+    /// (`χ(p) ⊆ var(λ(p))`) of Definition 13.
+    Ghd,
+    /// Hypertree decomposition: adds condition 4 (the descendant
+    /// condition) on top of the GHD conditions.
+    Hd,
+}
+
+impl Level {
+    /// `td` / `ghd` / `hd`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Td => "td",
+            Level::Ghd => "ghd",
+            Level::Hd => "hd",
+        }
+    }
+}
+
+/// Union–find with path halving; the oracle's independent tree-shape
+/// proof (the engines prove shape by reachability from the root instead).
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+
+    /// Returns `false` if `a` and `b` were already connected (a cycle).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra] = rb;
+        true
+    }
+}
+
+/// Sorted, deduplicated copy of an id list.
+fn normalized(ids: &[u32]) -> Vec<u32> {
+    let mut v = ids.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// `a ⊆ b` on sorted deduplicated vectors, by two-pointer merge.
+fn sorted_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut j = 0;
+    'outer: for &x in a {
+        while j < b.len() {
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Checks `raw` against an instance given as plain edge scopes, holding
+/// it to the conditions of `level`. `claimed_width`, when given, is
+/// re-derived from the decomposition itself (bag sizes for
+/// [`Level::Td`], λ sizes otherwise) and compared.
+///
+/// All violations are reported, not just the first; checks that depend on
+/// a sound tree (connectedness, the descendant condition) are skipped when
+/// the tree shape itself is broken, since they would be meaningless.
+pub fn check_decomposition(
+    num_vertices: u32,
+    edges: &[Vec<u32>],
+    raw: &RawDecomposition,
+    level: Level,
+    claimed_width: Option<u32>,
+) -> CheckReport {
+    let mut report = CheckReport::new(format!(
+        "{} over {} vertices / {} edges",
+        level.name(),
+        num_vertices,
+        edges.len()
+    ));
+    let n = raw.bags.len();
+
+    // -- tree shape: exactly one root, in-range acyclic parent pointers --
+    let mut shape_ok = true;
+    if n == 0 || raw.parent.len() != n {
+        report.push(
+            Condition::TreeShape,
+            format!("{} bags but {} parent entries", n, raw.parent.len()),
+        );
+        shape_ok = false;
+    } else {
+        let roots: Vec<usize> = (0..n).filter(|&p| raw.parent[p].is_none()).collect();
+        if roots.len() != 1 {
+            report.push(
+                Condition::TreeShape,
+                format!("{} roots (need exactly 1)", roots.len()),
+            );
+            shape_ok = false;
+        }
+        let mut uf = UnionFind::new(n);
+        for (p, &q) in raw.parent.iter().enumerate() {
+            let Some(q) = q else { continue };
+            if q >= n {
+                report.push(
+                    Condition::TreeShape,
+                    format!("node {p} has out-of-range parent {q}"),
+                );
+                shape_ok = false;
+            } else if q == p {
+                report.push(Condition::TreeShape, format!("node {p} is its own parent"));
+                shape_ok = false;
+            } else if !uf.union(p, q) {
+                report.push(
+                    Condition::TreeShape,
+                    format!("parent edge {p}→{q} closes a cycle"),
+                );
+                shape_ok = false;
+            }
+        }
+    }
+
+    // -- id ranges --
+    let bags: Vec<Vec<u32>> = raw.bags.iter().map(|b| normalized(b)).collect();
+    for (p, bag) in bags.iter().enumerate() {
+        if let Some(&v) = bag.iter().find(|&&v| v >= num_vertices) {
+            report.push(
+                Condition::IdRange,
+                format!("bag {p} contains vertex {v} ≥ {num_vertices}"),
+            );
+        }
+    }
+
+    // -- condition 1a: every vertex in some bag --
+    let mut in_some_bag = vec![false; num_vertices as usize];
+    for bag in &bags {
+        for &v in bag {
+            if v < num_vertices {
+                in_some_bag[v as usize] = true;
+            }
+        }
+    }
+    for v in 0..num_vertices {
+        if !in_some_bag[v as usize] {
+            report.push(
+                Condition::VertexCoverage,
+                format!("vertex {v} is in no bag"),
+            );
+        }
+    }
+
+    // -- condition 1b: every hyperedge inside some bag --
+    let scopes: Vec<Vec<u32>> = edges.iter().map(|e| normalized(e)).collect();
+    for (e, scope) in scopes.iter().enumerate() {
+        if !bags.iter().any(|bag| sorted_subset(scope, bag)) {
+            report.push(
+                Condition::EdgeCoverage,
+                format!("hyperedge {e} is contained in no bag"),
+            );
+        }
+    }
+
+    // -- condition 2: the occupied nodes of each vertex are connected --
+    // (BFS over the undirected tree restricted to occupied nodes; the
+    // engine-side validator counts nodes and internal edges instead)
+    if shape_ok {
+        let mut adj = vec![Vec::new(); n];
+        for (p, &q) in raw.parent.iter().enumerate() {
+            if let Some(q) = q {
+                adj[p].push(q);
+                adj[q].push(p);
+            }
+        }
+        for v in 0..num_vertices {
+            let occupied: Vec<usize> = (0..n)
+                .filter(|&p| bags[p].binary_search(&v).is_ok())
+                .collect();
+            if occupied.len() <= 1 {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            let mut queue = std::collections::VecDeque::from([occupied[0]]);
+            seen[occupied[0]] = true;
+            let mut reached = 1usize;
+            while let Some(p) = queue.pop_front() {
+                for &q in &adj[p] {
+                    if !seen[q] && bags[q].binary_search(&v).is_ok() {
+                        seen[q] = true;
+                        reached += 1;
+                        queue.push_back(q);
+                    }
+                }
+            }
+            if reached != occupied.len() {
+                report.push(
+                    Condition::Connectedness,
+                    format!(
+                        "vertex {v} occupies {} nodes forming ≥ 2 components",
+                        occupied.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    // -- conditions 3 and 4, and the λ-based width --
+    let mut width = bags.iter().map(|b| b.len() as u32).max().unwrap_or(1);
+    width = width.saturating_sub(1); // td width = max |χ| − 1
+    if level != Level::Td {
+        match &raw.lambda {
+            None => report.push(
+                Condition::BagCover,
+                "ghd/hd subject carries no λ labels".to_string(),
+            ),
+            Some(lambda) => {
+                if lambda.len() != n {
+                    report.push(
+                        Condition::BagCover,
+                        format!("{} λ labels for {} nodes", lambda.len(), n),
+                    );
+                } else {
+                    let labels: Vec<Vec<u32>> = lambda.iter().map(|l| normalized(l)).collect();
+                    let m = edges.len() as u32;
+                    for (p, label) in labels.iter().enumerate() {
+                        if let Some(&e) = label.iter().find(|&&e| e >= m) {
+                            report.push(
+                                Condition::IdRange,
+                                format!("λ({p}) references edge {e} ≥ {m}"),
+                            );
+                        }
+                    }
+                    // condition 3: χ(p) ⊆ var(λ(p)), via a boolean union of
+                    // the labeled scopes
+                    let var = |label: &[u32]| -> Vec<u32> {
+                        let mut vars = Vec::new();
+                        for &e in label {
+                            if (e as usize) < scopes.len() {
+                                vars.extend_from_slice(&scopes[e as usize]);
+                            }
+                        }
+                        normalized(&vars)
+                    };
+                    for (p, bag) in bags.iter().enumerate() {
+                        if !sorted_subset(bag, &var(&labels[p])) {
+                            report.push(Condition::BagCover, format!("χ({p}) ⊄ var(λ({p}))"));
+                        }
+                    }
+                    // condition 4: var(λ(p)) ∩ χ(T_p) ⊆ χ(p), with subtree
+                    // unions accumulated child-into-parent in leaf-first
+                    // order
+                    if level == Level::Hd && shape_ok {
+                        let mut subtree = bags.clone();
+                        for p in post_order(&raw.parent) {
+                            if let Some(q) = raw.parent[p] {
+                                let merged =
+                                    [subtree[q].as_slice(), subtree[p].as_slice()].concat();
+                                subtree[q] = normalized(&merged);
+                            }
+                        }
+                        for (p, bag) in bags.iter().enumerate() {
+                            let lambda_vars = var(&labels[p]);
+                            let inside: Vec<u32> = lambda_vars
+                                .iter()
+                                .copied()
+                                .filter(|v| subtree[p].binary_search(v).is_ok())
+                                .collect();
+                            if !sorted_subset(&inside, bag) {
+                                report.push(
+                                    Condition::Descendant,
+                                    format!("var(λ({p})) reintroduces below node {p} vertices its bag dropped"),
+                                );
+                            }
+                        }
+                    }
+                    width = labels.iter().map(|l| l.len() as u32).max().unwrap_or(0);
+                }
+            }
+        }
+    }
+
+    if let Some(claimed) = claimed_width {
+        if claimed != width {
+            report.push(
+                Condition::ClaimedWidth,
+                format!("claimed width {claimed}, recomputed {width}"),
+            );
+        }
+    }
+    report
+}
+
+/// Children-before-parents order derived from parent pointers alone
+/// (callers guarantee the pointers are acyclic).
+fn post_order(parent: &[Option<usize>]) -> Vec<usize> {
+    let n = parent.len();
+    let mut children = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (p, &q) in parent.iter().enumerate() {
+        match q {
+            Some(q) if q < n => children[q].push(p),
+            _ => roots.push(p),
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack = roots;
+    while let Some(p) = stack.pop() {
+        order.push(p);
+        stack.extend(children[p].iter().copied());
+    }
+    order.reverse(); // top-down reversed = every child before its parent
+    order
+}
+
+/// The edge scopes of a hypergraph as plain vectors.
+fn scopes_of(h: &Hypergraph) -> Vec<Vec<u32>> {
+    (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect()
+}
+
+/// Oracle-checks a tree decomposition of a hypergraph (conditions 1–2 of
+/// Definition 11, plus vertex coverage and the claimed width when given).
+pub fn check_td(h: &Hypergraph, td: &TreeDecomposition, claimed: Option<u32>) -> CheckReport {
+    check_decomposition(
+        h.num_vertices(),
+        &scopes_of(h),
+        &RawDecomposition::from_td(td),
+        Level::Td,
+        claimed,
+    )
+}
+
+/// Oracle-checks a tree decomposition of a simple graph (each graph edge
+/// becomes a binary scope).
+pub fn check_graph_td(g: &Graph, td: &TreeDecomposition, claimed: Option<u32>) -> CheckReport {
+    let edges: Vec<Vec<u32>> = g.edges().map(|(u, v)| vec![u, v]).collect();
+    check_decomposition(
+        g.num_vertices(),
+        &edges,
+        &RawDecomposition::from_td(td),
+        Level::Td,
+        claimed,
+    )
+}
+
+/// Oracle-checks a generalized hypertree decomposition (conditions 1–3).
+pub fn check_ghd(
+    h: &Hypergraph,
+    ghd: &GeneralizedHypertreeDecomposition,
+    claimed: Option<u32>,
+) -> CheckReport {
+    check_decomposition(
+        h.num_vertices(),
+        &scopes_of(h),
+        &RawDecomposition::from_ghd(ghd),
+        Level::Ghd,
+        claimed,
+    )
+}
+
+/// Oracle-checks a hypertree decomposition (conditions 1–4).
+pub fn check_hd(
+    h: &Hypergraph,
+    ghd: &GeneralizedHypertreeDecomposition,
+    claimed: Option<u32>,
+) -> CheckReport {
+    check_decomposition(
+        h.num_vertices(),
+        &scopes_of(h),
+        &RawDecomposition::from_ghd(ghd),
+        Level::Hd,
+        claimed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::VertexSet;
+
+    fn vs(cap: u32, items: &[u32]) -> VertexSet {
+        VertexSet::from_iter_with_capacity(cap, items.iter().copied())
+    }
+
+    /// Thesis Example 5 with its width-2 decompositions (Figs. 2.6/2.7).
+    fn thesis() -> (Hypergraph, TreeDecomposition, Vec<Vec<u32>>) {
+        let h = Hypergraph::new(6, vec![vec![0, 1, 2], vec![0, 4, 5], vec![2, 3, 4]]);
+        let td = TreeDecomposition::new(
+            vec![
+                vs(6, &[0, 2, 4]),
+                vs(6, &[0, 1, 2]),
+                vs(6, &[2, 3, 4]),
+                vs(6, &[0, 4, 5]),
+            ],
+            vec![None, Some(0), Some(0), Some(0)],
+        )
+        .unwrap();
+        let lambda = vec![vec![1, 2], vec![0], vec![2], vec![1]];
+        (h, td, lambda)
+    }
+
+    #[test]
+    fn thesis_td_and_ghd_pass() {
+        let (h, td, lambda) = thesis();
+        assert!(check_td(&h, &td, Some(2)).is_valid());
+        let ghd = GeneralizedHypertreeDecomposition::new(td, lambda);
+        let r = check_ghd(&h, &ghd, Some(2));
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn dropped_bag_vertex_breaks_exactly_edge_coverage_or_cover() {
+        let (h, _, _) = thesis();
+        // drop vertex 1 from bag 1: edge 0 = {0,1,2} loses its host and
+        // vertex 1 disappears from the decomposition entirely
+        let raw = RawDecomposition {
+            bags: vec![vec![0, 2, 4], vec![0, 2], vec![2, 3, 4], vec![0, 4, 5]],
+            parent: vec![None, Some(0), Some(0), Some(0)],
+            lambda: None,
+        };
+        let scopes: Vec<Vec<u32>> = (0..3).map(|e| h.edge(e).to_vec()).collect();
+        let r = check_decomposition(6, &scopes, &raw, Level::Td, None);
+        assert!(!r.is_valid());
+        assert_eq!(r.of(Condition::EdgeCoverage).len(), 1);
+        assert_eq!(r.of(Condition::VertexCoverage).len(), 1);
+        assert!(r.of(Condition::Connectedness).is_empty());
+    }
+
+    #[test]
+    fn split_vertex_breaks_exactly_connectedness() {
+        // vertex 0 in two bags separated by a 0-free middle bag
+        let raw = RawDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            parent: vec![None, Some(0), Some(1)],
+            lambda: None,
+        };
+        let r = check_decomposition(3, &[vec![0, 1], vec![1, 2]], &raw, Level::Td, None);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].condition, Condition::Connectedness);
+    }
+
+    #[test]
+    fn tree_shape_violations_reported() {
+        for (parent, what) in [
+            (vec![None, None], "two roots"),
+            (vec![Some(1), Some(0)], "cycle"),
+            (vec![Some(0), None], "self-parent"),
+            (vec![Some(5), None], "out of range"),
+        ] {
+            let raw = RawDecomposition {
+                bags: vec![vec![0], vec![0]],
+                parent,
+                lambda: None,
+            };
+            let r = check_decomposition(1, &[vec![0]], &raw, Level::Td, None);
+            assert!(!r.of(Condition::TreeShape).is_empty(), "{what}");
+        }
+    }
+
+    #[test]
+    fn shrunk_lambda_breaks_exactly_bag_cover() {
+        let (h, td, mut lambda) = thesis();
+        lambda[0] = vec![1]; // root bag {0,2,4} no longer covered
+        let ghd = GeneralizedHypertreeDecomposition::new(td, lambda);
+        let r = check_ghd(&h, &ghd, None);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].condition, Condition::BagCover);
+    }
+
+    #[test]
+    fn descendant_condition_checked_at_hd_level_only() {
+        // the htd-core ghd.rs condition-4 counterexample
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let td = TreeDecomposition::new(
+            vec![vs(3, &[0, 1]), vs(3, &[1]), vs(3, &[1, 2])],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap();
+        let bad = GeneralizedHypertreeDecomposition::new(td, vec![vec![0], vec![1], vec![1]]);
+        assert!(check_ghd(&h, &bad, None).is_valid());
+        let r = check_hd(&h, &bad, None);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].condition, Condition::Descendant);
+    }
+
+    #[test]
+    fn claimed_width_mismatch_detected() {
+        let (h, td, lambda) = thesis();
+        assert!(!check_td(&h, &td, Some(3)).is_valid());
+        let ghd = GeneralizedHypertreeDecomposition::new(td, lambda);
+        let r = check_ghd(&h, &ghd, Some(1));
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].condition, Condition::ClaimedWidth);
+    }
+
+    #[test]
+    fn out_of_range_ids_detected() {
+        let raw = RawDecomposition {
+            bags: vec![vec![0, 9]],
+            parent: vec![None],
+            lambda: Some(vec![vec![4]]),
+        };
+        let r = check_decomposition(2, &[vec![0]], &raw, Level::Ghd, None);
+        assert_eq!(r.of(Condition::IdRange).len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_engine_validator_on_engine_output() {
+        // vertex elimination from a few orderings: engine validator and
+        // oracle must agree (both valid)
+        let g = htd_hypergraph::gen::grid_graph(3, 3);
+        for seed in 0..4u64 {
+            let order = htd_core::EliminationOrdering::new_unchecked({
+                let mut v: Vec<u32> = (0..9).collect();
+                // cheap deterministic shuffle
+                let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+                for i in (1..v.len()).rev() {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    v.swap(i, (s % (i as u64 + 1)) as usize);
+                }
+                v
+            });
+            let td = htd_core::bucket::vertex_elimination(&g, &order);
+            assert!(td.validate_graph(&g).is_ok());
+            let r = check_graph_td(&g, &td, Some(td.width()));
+            assert!(r.is_valid(), "{r}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Greedy instance shrinking: minimize a failing instance while the
+//! failure predicate keeps holding, then package it as a replayable repro.
+//!
+//! The shrinker is a fixpoint loop over three reductions — drop a whole
+//! edge, drop one vertex from a scope (hypergraphs, scopes of length > 1),
+//! drop an unused vertex (compacting ids) — accepting any candidate on
+//! which the caller's `fails` predicate still returns `true`. The result
+//! is the locally minimal instance together with its `.hg` text and the
+//! exact `fuzz_diff --replay` command line that reproduces the failure.
+
+use htd_core::json::Json;
+use htd_hypergraph::{io, Graph, Hypergraph};
+
+/// Drops vertices that occur in no scope and compacts the id space.
+fn compact(n: u32, edges: &[Vec<u32>]) -> (u32, Vec<Vec<u32>>) {
+    let mut used = vec![false; n as usize];
+    for e in edges {
+        for &v in e {
+            used[v as usize] = true;
+        }
+    }
+    let mut map = vec![0u32; n as usize];
+    let mut next = 0u32;
+    for v in 0..n as usize {
+        if used[v] {
+            map[v] = next;
+            next += 1;
+        }
+    }
+    let remapped = edges
+        .iter()
+        .map(|e| e.iter().map(|&v| map[v as usize]).collect())
+        .collect();
+    (next, remapped)
+}
+
+fn to_hypergraph(n: u32, edges: &[Vec<u32>]) -> Hypergraph {
+    let (n, edges) = compact(n, edges);
+    Hypergraph::new(n, edges)
+}
+
+/// Drops vertices covered by no hyperedge and compacts the id space —
+/// random generators can leave isolated vertices, which no edge cover can
+/// reach, so ghw instances must be compacted before solving.
+pub fn compact_vertices(h: &Hypergraph) -> Hypergraph {
+    let edges: Vec<Vec<u32>> = (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect();
+    to_hypergraph(h.num_vertices(), &edges)
+}
+
+/// Greedily minimizes `h` while `fails` keeps returning `true` on the
+/// candidate. `fails(&h)` must be `true` on entry (otherwise `h` is
+/// returned unchanged). Deterministic: candidates are tried in a fixed
+/// order and the loop runs to a fixpoint.
+pub fn shrink_hypergraph(h: &Hypergraph, fails: &mut dyn FnMut(&Hypergraph) -> bool) -> Hypergraph {
+    let mut n = h.num_vertices();
+    let mut edges: Vec<Vec<u32>> = (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect();
+    if !fails(&to_hypergraph(n, &edges)) {
+        return h.clone();
+    }
+    loop {
+        let mut progressed = false;
+        // drop whole edges, largest-index first so removal is cheap to reason about
+        let mut e = edges.len();
+        while e > 0 {
+            e -= 1;
+            if edges.len() <= 1 {
+                break;
+            }
+            let mut candidate = edges.clone();
+            candidate.remove(e);
+            if fails(&to_hypergraph(n, &candidate)) {
+                edges = candidate;
+                progressed = true;
+            }
+        }
+        // drop single vertices out of scopes
+        for e in 0..edges.len() {
+            let mut i = edges[e].len();
+            while i > 0 {
+                i -= 1;
+                if edges[e].len() <= 1 {
+                    break;
+                }
+                let mut candidate = edges.clone();
+                candidate[e].remove(i);
+                if fails(&to_hypergraph(n, &candidate)) {
+                    edges = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        let (cn, cedges) = compact(n, &edges);
+        n = cn;
+        edges = cedges;
+        if !progressed {
+            break;
+        }
+    }
+    to_hypergraph(n, &edges)
+}
+
+/// Graph flavor of [`shrink_hypergraph`]: shrinks over the binary scopes
+/// and rebuilds a [`Graph`].
+pub fn shrink_graph(g: &Graph, fails: &mut dyn FnMut(&Graph) -> bool) -> Graph {
+    let as_graph = |h: &Hypergraph| {
+        Graph::from_edges(
+            h.num_vertices(),
+            (0..h.num_edges()).filter_map(|e| {
+                let s = h.edge(e).to_vec();
+                (s.len() == 2).then(|| (s[0], s[1]))
+            }),
+        )
+    };
+    let h = Hypergraph::new(
+        g.num_vertices(),
+        g.edges().map(|(u, v)| vec![u, v]).collect(),
+    );
+    let shrunk = shrink_hypergraph(&h, &mut |candidate| fails(&as_graph(candidate)));
+    as_graph(&shrunk)
+}
+
+/// A packaged reproducer: the minimized instance as `.hg` text plus the
+/// command line that replays the failure.
+#[derive(Clone, Debug)]
+pub struct Repro {
+    /// Base file name (no extension), e.g. `gnp_n8_s77-seed5`.
+    pub name: String,
+    /// Objective the failure was observed under (`tw`/`ghw`).
+    pub objective: &'static str,
+    /// Seed the failing run used.
+    pub seed: u64,
+    /// The minimized instance, serialized as a `.hg` atom list.
+    pub hg_text: String,
+    /// What went wrong (the rendered `CheckReport`).
+    pub detail: String,
+}
+
+impl Repro {
+    /// Packages a minimized hypergraph failure.
+    pub fn new(
+        name: impl Into<String>,
+        objective: &'static str,
+        seed: u64,
+        instance: &Hypergraph,
+        detail: impl Into<String>,
+    ) -> Repro {
+        Repro {
+            name: name.into(),
+            objective,
+            seed,
+            hg_text: io::write_hg(instance),
+            detail: detail.into(),
+        }
+    }
+
+    /// Packages a minimized graph failure (binary scopes).
+    pub fn for_graph(
+        name: impl Into<String>,
+        seed: u64,
+        instance: &Graph,
+        detail: impl Into<String>,
+    ) -> Repro {
+        let h = Hypergraph::new(
+            instance.num_vertices(),
+            instance.edges().map(|(u, v)| vec![u, v]).collect(),
+        );
+        Repro::new(name, "tw", seed, &h, detail)
+    }
+
+    /// The command line that replays this failure from the written `.hg`.
+    pub fn command(&self) -> String {
+        format!(
+            "cargo run --release -p htd-bench --bin fuzz_diff -- --replay {}.hg --objective {} --seed {}",
+            self.name, self.objective, self.seed
+        )
+    }
+
+    /// JSON sidecar: `{"name","objective","seed","command","detail"}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("objective".into(), Json::Str(self.objective.into())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("command".into(), Json::Str(self.command())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Writes `<dir>/<name>.hg` and `<dir>/<name>.json`, creating `dir`
+    /// if needed. Returns the `.hg` path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let hg = dir.join(format!("{}.hg", self.name));
+        std::fs::write(&hg, &self.hg_text)?;
+        std::fs::write(
+            dir.join(format!("{}.json", self.name)),
+            format!("{}\n", self.to_json()),
+        )?;
+        Ok(hg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_hypergraph::gen;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // predicate: "contains an edge with vertices 0 and 1 together" —
+        // the minimal such instance is the single scope {0, 1}
+        let h = gen::clique_hypergraph(6);
+        let mut fails = |c: &Hypergraph| {
+            (0..c.num_edges()).any(|e| c.edge(e).contains(0) && c.edge(e).contains(1))
+        };
+        let shrunk = shrink_hypergraph(&h, &mut fails);
+        assert_eq!(shrunk.num_vertices(), 2);
+        assert_eq!(shrunk.num_edges(), 1);
+        assert_eq!(shrunk.edge(0).to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn non_failing_instance_is_returned_unchanged() {
+        let h = gen::clique_hypergraph(4);
+        let shrunk = shrink_hypergraph(&h, &mut |_| false);
+        assert_eq!(shrunk.num_edges(), h.num_edges());
+    }
+
+    #[test]
+    fn graph_shrinking_keeps_a_triangle() {
+        let g = gen::complete_graph(6);
+        // predicate: graph still contains a triangle
+        let mut fails = |c: &Graph| {
+            let n = c.num_vertices();
+            (0..n).any(|a| {
+                (a + 1..n).any(|b| {
+                    c.has_edge(a, b) && (b + 1..n).any(|d| c.has_edge(a, d) && c.has_edge(b, d))
+                })
+            })
+        };
+        let shrunk = shrink_graph(&g, &mut fails);
+        assert_eq!(shrunk.num_vertices(), 3);
+        assert_eq!(shrunk.num_edges(), 3);
+    }
+
+    #[test]
+    fn repro_round_trips_through_hg_text() {
+        let h = gen::clique_hypergraph(4);
+        let r = Repro::new("minimal", "ghw", 9, &h, "synthetic");
+        assert!(r.command().contains("--replay minimal.hg"));
+        assert!(r.command().contains("--objective ghw"));
+        let back = io::parse_hg(&r.hg_text).unwrap();
+        assert_eq!(back.num_edges(), h.num_edges());
+        assert_eq!(back.num_vertices(), h.num_vertices());
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"seed\":9"));
+    }
+}

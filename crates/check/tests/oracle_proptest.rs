@@ -1,0 +1,168 @@
+//! Property tests for the oracle *itself*: take a decomposition the
+//! engines built (and the oracle accepts), apply one precise mutation,
+//! and assert the oracle reports exactly the condition that mutation
+//! breaks — no more, no less. This is the suite that keeps the checker
+//! honest: a validator that waves everything through would fail every
+//! test here, and one that over-reports would too.
+
+use htd_check::{check_decomposition, compact_vertices, Condition, Level, RawDecomposition};
+use htd_check::{CheckReport, SplitMix64};
+use htd_core::bucket::{ghd_via_elimination, vertex_elimination};
+use htd_core::ordering::CoverStrategy;
+use htd_core::EliminationOrdering;
+use htd_hypergraph::gen::{random_acyclic, random_partial_ktree};
+use htd_hypergraph::{Graph, Hypergraph};
+use proptest::prelude::*;
+
+/// A seeded random elimination ordering of `0..n`.
+fn shuffled_order(n: u32, seed: u64) -> EliminationOrdering {
+    let mut rng = SplitMix64(seed ^ 0x5eed);
+    let mut v: Vec<u32> = (0..n).collect();
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    EliminationOrdering::new_unchecked(v)
+}
+
+/// A random graph, the raw data of a TD the engines built for it, and
+/// the binary edge scopes the oracle checks against.
+fn graph_subject(n: u32, k: u32, seed: u64) -> (Graph, RawDecomposition, Vec<Vec<u32>>) {
+    let g = random_partial_ktree(n, k, 0.7, seed);
+    let td = vertex_elimination(&g, &shuffled_order(n, seed));
+    let raw = RawDecomposition::from_td(&td);
+    let scopes: Vec<Vec<u32>> = g.edges().map(|(u, v)| vec![u, v]).collect();
+    (g, raw, scopes)
+}
+
+/// A random hypergraph (isolated vertices compacted away, so it is a
+/// valid ghw instance) and the raw data of an engine-built GHD.
+fn ghd_subject(m: u32, k: u32, seed: u64) -> (Hypergraph, RawDecomposition) {
+    let h = compact_vertices(&random_acyclic(m, k, seed));
+    let ghd = ghd_via_elimination(
+        &h,
+        &shuffled_order(h.num_vertices(), seed),
+        CoverStrategy::Greedy,
+    )
+    .expect("greedy covers always exist once isolated vertices are compacted");
+    let raw = RawDecomposition::from_ghd(&ghd);
+    (h, raw)
+}
+
+fn only(report: &CheckReport, condition: Condition) -> bool {
+    !report.violations.is_empty() && report.violations.iter().all(|v| v.condition == condition)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_td_always_passes_the_oracle(
+        (n, k, seed) in (4u32..14, 1u32..4, 0u64..1_000_000),
+    ) {
+        let (g, raw, scopes) = graph_subject(n, k, seed);
+        let r = check_decomposition(g.num_vertices(), &scopes, &raw, Level::Td, None);
+        prop_assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn erasing_a_vertex_everywhere_is_caught_exactly(
+        (n, k, seed, pick) in (4u32..14, 1u32..4, 0u64..1_000_000, any::<u64>()),
+    ) {
+        let (g, mut raw, scopes) = graph_subject(n, k, seed);
+        let victim = (pick % n as u64) as u32;
+        for bag in &mut raw.bags {
+            bag.retain(|&v| v != victim);
+        }
+        let r = check_decomposition(n, &scopes, &raw, Level::Td, None);
+        // exactly: the vertex is in no bag, and each incident edge lost
+        // its host; nothing else may fire
+        let degree = g.edges().filter(|&(u, v)| u == victim || v == victim).count();
+        prop_assert_eq!(r.of(Condition::VertexCoverage).len(), 1);
+        prop_assert_eq!(r.of(Condition::EdgeCoverage).len(), degree);
+        prop_assert_eq!(r.violations.len(), 1 + degree);
+    }
+
+    #[test]
+    fn detached_occurrence_breaks_exactly_connectedness(
+        (n, k, seed, pick) in (4u32..14, 1u32..4, 0u64..1_000_000, any::<u64>()),
+    ) {
+        let (_, mut raw, scopes) = graph_subject(n, k, seed);
+        let victim = (pick % n as u64) as u32;
+        // graft a fresh leaf bag {victim} under a node whose bag does not
+        // contain it: the victim's occupied set falls in two pieces
+        let Some(host) = raw.bags.iter().position(|b| !b.contains(&victim)) else {
+            return; // victim is in every bag — rare, nothing to detach from
+        };
+        raw.bags.push(vec![victim]);
+        raw.parent.push(Some(host));
+        let r = check_decomposition(n, &scopes, &raw, Level::Td, None);
+        prop_assert!(only(&r, Condition::Connectedness), "{r}");
+    }
+
+    #[test]
+    fn second_root_breaks_exactly_tree_shape(
+        (n, k, seed, pick) in (4u32..14, 1u32..4, 0u64..1_000_000, any::<u64>()),
+    ) {
+        let (_, mut raw, scopes) = graph_subject(n, k, seed);
+        let non_roots: Vec<usize> =
+            (0..raw.parent.len()).filter(|&p| raw.parent[p].is_some()).collect();
+        if non_roots.is_empty() {
+            return; // single-node tree — no parent pointer to sever
+        }
+        let p = non_roots[(pick % non_roots.len() as u64) as usize];
+        raw.parent[p] = None;
+        let r = check_decomposition(n, &scopes, &raw, Level::Td, None);
+        prop_assert!(only(&r, Condition::TreeShape), "{r}");
+    }
+
+    #[test]
+    fn inflated_claimed_width_is_caught_exactly(
+        (n, k, seed, lie) in (4u32..14, 1u32..4, 0u64..1_000_000, 1u32..5),
+    ) {
+        let (g, raw, scopes) = graph_subject(n, k, seed);
+        let true_width = raw.bags.iter().map(|b| b.len() as u32).max().unwrap() - 1;
+        let r = check_decomposition(g.num_vertices(), &scopes, &raw, Level::Td, Some(true_width + lie));
+        prop_assert!(only(&r, Condition::ClaimedWidth), "{r}");
+    }
+
+    #[test]
+    fn engine_ghd_always_passes_the_oracle(
+        (m, k, seed) in (2u32..8, 2u32..4, 0u64..1_000_000),
+    ) {
+        let (h, raw) = ghd_subject(m, k, seed);
+        let scopes: Vec<Vec<u32>> =
+            (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect();
+        let r = check_decomposition(h.num_vertices(), &scopes, &raw, Level::Ghd, None);
+        prop_assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn emptied_lambda_breaks_exactly_bag_cover(
+        (m, k, seed, pick) in (2u32..8, 2u32..4, 0u64..1_000_000, any::<u64>()),
+    ) {
+        let (h, mut raw) = ghd_subject(m, k, seed);
+        let scopes: Vec<Vec<u32>> =
+            (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect();
+        let occupied: Vec<usize> =
+            (0..raw.bags.len()).filter(|&p| !raw.bags[p].is_empty()).collect();
+        let p = occupied[(pick % occupied.len() as u64) as usize];
+        raw.lambda.as_mut().unwrap()[p].clear();
+        let r = check_decomposition(h.num_vertices(), &scopes, &raw, Level::Ghd, None);
+        prop_assert!(only(&r, Condition::BagCover), "{r}");
+    }
+
+    #[test]
+    fn out_of_range_lambda_edge_is_caught_exactly(
+        (m, k, seed, pick) in (2u32..8, 2u32..4, 0u64..1_000_000, any::<u64>()),
+    ) {
+        let (h, mut raw) = ghd_subject(m, k, seed);
+        let scopes: Vec<Vec<u32>> =
+            (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect();
+        let nodes = raw.bags.len() as u64;
+        let p = (pick % nodes) as usize;
+        raw.lambda.as_mut().unwrap()[p].push(h.num_edges() + (pick % 7) as u32);
+        let r = check_decomposition(h.num_vertices(), &scopes, &raw, Level::Ghd, None);
+        prop_assert!(only(&r, Condition::IdRange), "{r}");
+    }
+}

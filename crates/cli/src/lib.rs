@@ -7,7 +7,12 @@
 //!   heuristic-only bounds);
 //! * `htd ghw <file>` — generalized hypertree width (likewise);
 //! * `htd hw <file>` — hypertree width via det-k-decomp;
-//! * `htd decompose <file> [--format td|dot]` — emit a tree decomposition;
+//! * `htd decompose <file> [--format td|dot|cert]` — emit a tree
+//!   decomposition (`cert` emits a self-contained JSON certificate for
+//!   `htd check`);
+//! * `htd check <file>` — re-verify a decomposition certificate with the
+//!   independent oracle of `htd-check`, printing a condition-level
+//!   violation report and exiting nonzero when it fails;
 //! * `htd solve <file.csp> [--count] [--all N]` — solve a CSP (text
 //!   format of `htd_csp::io`) through a tree decomposition;
 //! * `htd gen <name>` — print a named benchmark instance;
@@ -38,8 +43,9 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use htd_check::Certificate;
 use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
-use htd_core::{dot, pace, CoverStrategy, HtdError};
+use htd_core::{dot, pace, CoverStrategy, HtdError, Json};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
 use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
 use htd_service::{Client, InstanceFormat, ServeOptions, Status};
@@ -137,6 +143,8 @@ pub struct Options {
     /// Write the solver's structured event stream (JSONL, schema v1 of
     /// `htd_trace`) to this file.
     pub trace: Option<String>,
+    /// `serve`: oracle-verify every response before caching it.
+    pub verify: bool,
 }
 
 impl Default for Options {
@@ -156,6 +164,7 @@ impl Default for Options {
             queue: 64,
             objective: None,
             trace: None,
+            verify: false,
         }
     }
 }
@@ -221,6 +230,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
                 );
             }
             "--count" => o.count = true,
+            "--verify" => o.verify = true,
             "--all" => o.all = Some(numeric(&mut it, "--all")?),
             "--addr" => {
                 o.addr = Some(
@@ -360,8 +370,9 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
             match format {
                 "td" => Ok(pace::write_td(&td, g.num_vertices())),
                 "dot" => Ok(dot::tree_decomposition_to_dot(&td, |v| g.name(v))),
+                "cert" => Ok(format!("{}\n", Certificate::for_graph_td(g, &td).to_json())),
                 f => Err(HtdError::Unsupported(format!(
-                    "format '{f}' (expected td|dot)"
+                    "format '{f}' (expected td|dot|cert)"
                 ))),
             }
         }
@@ -380,11 +391,51 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
                             })?;
                     Ok(dot::ghd_to_dot(&ghd, h))
                 }
+                "cert" => {
+                    let ghd =
+                        htd_core::bucket::ghd_via_elimination(h, &order, CoverStrategy::Exact)
+                            .ok_or_else(|| {
+                                HtdError::Invalid("uncoverable vertex: no GHD exists".into())
+                            })?;
+                    Ok(format!(
+                        "{}\n",
+                        Certificate::for_ghd(h, &ghd, htd_check::Level::Ghd).to_json()
+                    ))
+                }
                 f => Err(HtdError::Unsupported(format!(
-                    "format '{f}' (expected td|dot)"
+                    "format '{f}' (expected td|dot|cert)"
                 ))),
             }
         }
+    }
+}
+
+/// `htd check`: re-verify a decomposition certificate (the JSON emitted
+/// by `htd decompose --format cert`, format documented in
+/// `htd_check::certificate`) with the independent oracle. Valid
+/// certificates print a one-line verdict (or the full JSON report with
+/// `--format json`); invalid ones return [`HtdError::Invalid`] carrying
+/// the condition-level violation list, so the process exits nonzero.
+pub fn cmd_check(text: &str, o: &Options) -> Result<String, HtdError> {
+    let doc = Json::parse(text).map_err(|e| HtdError::Parse(format!("certificate: {e}")))?;
+    let cert = Certificate::from_json(&doc)?;
+    let mut report = cert.check();
+    report.subject = format!(
+        "{} certificate ({} vertices, {} edges, claimed width {})",
+        cert.objective_name(),
+        cert.num_vertices,
+        cert.edges.len(),
+        cert.claimed_width
+            .map_or_else(|| "-".into(), |w| w.to_string()),
+    );
+    let rendered = match o.output_format()? {
+        OutputFormat::Json => format!("{}\n", report.to_json()),
+        OutputFormat::Human => format!("{}\n", report.to_string().trim_end()),
+    };
+    if report.is_valid() {
+        Ok(rendered)
+    } else {
+        Err(HtdError::Invalid(rendered))
     }
 }
 
@@ -463,6 +514,7 @@ pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
             .time_limit
             .map_or(10_000, |t| (t.as_millis() as u64).max(1)),
         log: !o.quiet,
+        verify_responses: o.verify,
     };
     htd_service::run_until_shutdown(opts).map_err(|e| HtdError::Io(e.to_string()))?;
     Ok("server drained\n".into())
@@ -531,11 +583,12 @@ pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError
 }
 
 const USAGE: &str =
-    "usage: htd <info|tw|ghw|hw|decompose|solve|gen|serve|query> <file|-|name> [flags]
+    "usage: htd <info|tw|ghw|hw|decompose|check|solve|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
               --trace FILE.jsonl (solver event stream, schema v1)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
+              --verify (serve: oracle-check responses before caching)
 `htd <command> --help` prints command-specific usage.";
 
 /// Per-command usage text (`htd <cmd> --help`).
@@ -559,11 +612,20 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             for `htd tw`."),
         "hw" => Some("usage: htd hw <file|-> [--seed N] [--format human|json] [--quiet]\n\
             Hypertree width via det-k-decomp, primed with the ghw lower bound."),
-        "decompose" => Some("usage: htd decompose <file|-> [--format td|dot] [--seed N]\n\
+        "decompose" => Some("usage: htd decompose <file|-> [--format td|dot|cert] [--seed N]\n\
             Emits a tree decomposition of the instance from a min-fill ordering.\n\
             --format td   PACE 2017 .td text (default)\n\
             --format dot  Graphviz; for hypergraphs the bags show their edge\n\
-                          covers λ, i.e. a generalized hypertree decomposition."),
+                          covers λ, i.e. a generalized hypertree decomposition.\n\
+            --format cert self-contained JSON certificate (instance + bags +\n\
+                          λ + claimed width) for later `htd check`."),
+        "check" => Some("usage: htd check <cert.json|-> [--format human|json]\n\
+            Re-verifies a decomposition certificate (emitted by `htd decompose\n\
+            --format cert`) with the independent oracle of htd-check: vertex and\n\
+            edge coverage, connectedness, tree shape, λ bag-covers, the claimed\n\
+            width. Prints every violated condition and exits nonzero (code 3)\n\
+            when the certificate is invalid; --format json prints the\n\
+            structured CheckReport instead."),
         "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N] [--threads N] [--trace FILE]\n\
             Solves a CSP through a tree decomposition (join-tree clustering).\n\
             With --trace (or --threads N > 1) the clustering ordering comes\n\
@@ -571,15 +633,17 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             solver's JSONL event stream."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
-        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--quiet]\n\
+        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--verify] [--quiet]\n\
             Runs the decomposition server (htd-service): newline-delimited JSON\n\
             requests over TCP, canonical-form result caching, per-request\n\
             deadlines, bounded-queue backpressure, and HTTP GET /healthz and\n\
             /metrics (Prometheus text) on the same port. --time sets the\n\
             default deadline for requests that carry none (default 10000);\n\
-            --quiet disables per-request log lines. Shut down with SIGINT or\n\
-            a {\"cmd\":\"shutdown\"} request: the server drains in-flight work\n\
-            and exits."),
+            --verify runs the htd-check oracle on every response before\n\
+            caching it (violations are served but not cached, and tick\n\
+            htd_oracle_failures_total); --quiet disables per-request log\n\
+            lines. Shut down with SIGINT or a {\"cmd\":\"shutdown\"} request:\n\
+            the server drains in-flight work and exits."),
         "query" => Some("usage: htd query <file|-> --addr HOST:PORT [--objective tw|ghw|hw] [--time MS] [--format human|json] [--quiet]\n\
             Solves one instance against a running `htd serve`. --time is the\n\
             request deadline in milliseconds; the answer may be an anytime\n\
@@ -629,6 +693,9 @@ pub fn run(args: &[String]) -> Result<String, HtdError> {
     }
     if cmd == "query" {
         return cmd_query(file, &text, &o);
+    }
+    if cmd == "check" {
+        return cmd_check(&text, &o);
     }
     let inst = parse_instance(file, &text)?;
     match cmd.as_str() {
@@ -787,6 +854,50 @@ mod tests {
     }
 
     #[test]
+    fn check_accepts_and_rejects_certificates() {
+        // graph certificate round-trips through decompose --format cert
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let o = Options {
+            format: Some("cert".into()),
+            ..Options::default()
+        };
+        let cert_text = cmd_decompose(&inst, &o).unwrap();
+        let verdict = cmd_check(&cert_text, &Options::default()).unwrap();
+        assert!(verdict.contains("valid"), "{verdict}");
+
+        // hypergraph certificate too
+        let hinst = parse_instance("t.hg", hyper_text()).unwrap();
+        let hcert = cmd_decompose(&hinst, &o).unwrap();
+        assert!(hcert.contains("\"objective\":\"ghw\""), "{hcert}");
+        cmd_check(&hcert, &Options::default()).unwrap();
+
+        // tamper with a bag: the oracle names the violated condition and
+        // the command exits through HtdError::Invalid (exit code 3)
+        let tampered = hcert.replace("\"claimed_width\":2", "\"claimed_width\":1");
+        let err = cmd_check(&tampered, &Options::default()).unwrap_err();
+        match &err {
+            HtdError::Invalid(msg) => assert!(msg.contains("claimed_width"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert_eq!(exit_code(&err), 3);
+
+        // structural garbage is a parse error (exit code 2)
+        let err = cmd_check("{\"schema\":1}", &Options::default()).unwrap_err();
+        assert_eq!(exit_code(&err), 2);
+
+        // json report format
+        let json = cmd_check(
+            &cert_text,
+            &Options {
+                format: Some("json".into()),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(json.contains("\"valid\":true"), "{json}");
+    }
+
+    #[test]
     fn info_reports_bounds() {
         let inst = parse_instance("t.hg", hyper_text()).unwrap();
         let info = cmd_info(&inst, &Options::default()).unwrap();
@@ -850,10 +961,12 @@ mod tests {
             "--quiet".into(),
             "--trace".into(),
             "out.jsonl".into(),
+            "--verify".into(),
         ])
         .unwrap();
         assert!(o.fast);
         assert!(o.quiet);
+        assert!(o.verify);
         assert_eq!(o.budget, 123);
         assert_eq!(o.threads, 4);
         assert_eq!(o.time_limit, Some(Duration::from_millis(250)));
@@ -872,6 +985,7 @@ mod tests {
             "ghw",
             "hw",
             "decompose",
+            "check",
             "solve",
             "gen",
             "serve",

@@ -152,6 +152,7 @@ fn query_against_a_live_server_round_trips() {
         queue_capacity: 4,
         default_deadline_ms: 5_000,
         log: false,
+        verify_responses: false,
     })
     .unwrap();
     let addr = server.addr().to_string();

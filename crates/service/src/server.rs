@@ -70,6 +70,12 @@ pub struct ServeOptions {
     pub default_deadline_ms: u64,
     /// Emit one structured log line per request to stderr.
     pub log: bool,
+    /// Debug option: oracle-verify every solved outcome with `htd-check`
+    /// before admitting it to the result cache. An outcome that fails the
+    /// independent re-verification is still returned to the client (marked
+    /// in the log and counted in `htd_oracle_failures_total`) but never
+    /// cached, so one bad solve cannot poison repeat queries.
+    pub verify_responses: bool,
 }
 
 impl Default for ServeOptions {
@@ -81,6 +87,7 @@ impl Default for ServeOptions {
             queue_capacity: 64,
             default_deadline_ms: 10_000,
             log: false,
+            verify_responses: false,
         }
     }
 }
@@ -218,6 +225,7 @@ impl Server {
         reg.counter("htd_cover_cache_hits_total");
         reg.counter("htd_cover_cache_misses_total");
         reg.counter("htd_deadline_cancellations_total");
+        reg.counter("htd_oracle_failures_total");
         let workers = (0..threads)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -446,13 +454,32 @@ fn worker_loop(inner: &Inner) {
         let mut r = match result {
             Ok(outcome) => {
                 inner.metrics.solve_latency.observe(solve_ms);
-                inner.cache.admit(
-                    job.fingerprint,
-                    &job.canonical,
-                    job.objective_name,
-                    &outcome,
-                    solve_ms.ceil() as u64,
-                );
+                let mut cacheable = true;
+                if inner.opts.verify_responses {
+                    let report = htd_check::verify_outcome(&job.problem, &outcome);
+                    if !report.is_valid() {
+                        cacheable = false;
+                        htd_trace::registry()
+                            .counter("htd_oracle_failures_total")
+                            .inc();
+                        inner.log(format_args!(
+                            "req={} obj={} fp={} ORACLE VIOLATION (response served, not cached): {}",
+                            job.id.as_deref().unwrap_or("-"),
+                            job.objective_name,
+                            job.fingerprint_hex,
+                            report
+                        ));
+                    }
+                }
+                if cacheable {
+                    inner.cache.admit(
+                        job.fingerprint,
+                        &job.canonical,
+                        job.objective_name,
+                        &outcome,
+                        solve_ms.ceil() as u64,
+                    );
+                }
                 inner.metrics.record_served(outcome.upper, outcome.exact);
                 inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
                 let mut r = Response::new(job.id.clone(), Status::Ok);

@@ -23,6 +23,7 @@ fn quiet_opts() -> ServeOptions {
         queue_capacity: 8,
         default_deadline_ms: 10_000,
         log: false,
+        verify_responses: false,
     }
 }
 
@@ -102,6 +103,58 @@ fn solve_roundtrip_and_cache_hit() {
 
     let stats = client.stats().unwrap();
     assert!(stats.get("cache_hits").unwrap().as_u64().unwrap() >= 1);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn verify_responses_oracle_checks_before_caching() {
+    let (server, addr) = start(ServeOptions {
+        verify_responses: true,
+        ..quiet_opts()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+
+    // honest solves pass the oracle, get cached, and leave the failure
+    // counter at zero
+    let grid = io::write_pace_gr(&gen::grid_graph(4, 4));
+    let cold = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &grid,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(cold.status, Status::Ok, "{:?}", cold.error);
+    assert_eq!(cold.outcome.unwrap().exact_width(), Some(4));
+    let warm = client
+        .solve(
+            Objective::Treewidth,
+            InstanceFormat::Auto,
+            &grid,
+            Some(5_000),
+        )
+        .unwrap();
+    assert!(warm.cached, "verified response must still be cacheable");
+
+    let hg = io::write_hg(&gen::grid2d(3));
+    let r = client
+        .solve(
+            Objective::GeneralizedHypertreeWidth,
+            InstanceFormat::Hg,
+            &hg,
+            Some(5_000),
+        )
+        .unwrap();
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+
+    let (_, metrics) = http_get(&addr, "/metrics");
+    assert!(
+        metrics.contains("htd_oracle_failures_total 0"),
+        "oracle failure counter must exist at zero:\n{metrics}"
+    );
 
     client.shutdown().unwrap();
     server.wait();

@@ -16,6 +16,9 @@
 //!   island GA (SAIGA-ghw);
 //! * [`csp`] — the constraint-satisfaction substrate that consumes the
 //!   decompositions;
+//! * [`check`] — an independent oracle re-verifying decomposition claims
+//!   from scratch, plus differential and metamorphic fuzz harnesses and
+//!   an instance shrinker (`htd check`, `fuzz_diff`);
 //! * [`service`] — a long-running decomposition server with
 //!   canonical-form result caching, per-request deadlines and Prometheus
 //!   observability (`htd serve` / `htd query`).
@@ -34,6 +37,7 @@
 //! assert_eq!(outcome.exact_width(), Some(18));
 //! ```
 
+pub use htd_check as check;
 pub use htd_core as core;
 pub use htd_csp as csp;
 pub use htd_ga as ga;
@@ -46,6 +50,7 @@ pub use htd_trace as trace;
 
 /// Everything needed to state and solve a width problem.
 pub mod prelude {
+    pub use htd_check::{CheckReport, Condition};
     pub use htd_core::{
         EliminationOrdering, GeneralizedHypertreeDecomposition, HtdError, Json, TreeDecomposition,
     };
