@@ -96,6 +96,7 @@ fn diff_config(smoke: bool, seed: u64) -> DiffConfig {
         seed,
         portfolio_arm: !smoke,
         dp_limit: 13,
+        memory_budget: None,
     }
 }
 

@@ -121,6 +121,7 @@ fn main() {
         default_deadline_ms: args.deadline_ms,
         log: false,
         verify_responses: false,
+        ..ServeOptions::default()
     })
     .expect("bind loopback");
     let addr = server.addr().to_string();

@@ -24,6 +24,13 @@
 //! that bag indices are unambiguous — `.hg` re-parsing interns vertices
 //! by first appearance, which would silently permute ids.
 //!
+//! Two optional members record resource governance (docs/robustness.md):
+//! `"degraded": true` marks a producer that ran out of budget, so its
+//! `claimed_width` is only the width of the shipped decomposition, not a
+//! claim of optimality; `"budget": {"limit_bytes": N, "exhausted": B}`
+//! records the memory budget the producer was governed by. Both are
+//! absent in pre-resilience certificates and default to off.
+//!
 //! `htd decompose --format cert` emits certificates; `htd check FILE`
 //! judges them and exits nonzero with the condition-level violation list
 //! when tampered with.
@@ -37,6 +44,15 @@ use htd_hypergraph::{Graph, Hypergraph};
 use crate::oracle::{check_decomposition, Level, RawDecomposition};
 use crate::report::CheckReport;
 
+/// The memory budget a certificate's producer ran under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetBlock {
+    /// The budget the producing solver was governed by, in bytes.
+    pub limit_bytes: u64,
+    /// Whether the budget was exhausted while producing the decomposition.
+    pub exhausted: bool,
+}
+
 /// A parsed (or freshly built) certificate.
 #[derive(Clone, Debug)]
 pub struct Certificate {
@@ -48,6 +64,12 @@ pub struct Certificate {
     pub edges: Vec<Vec<u32>>,
     /// Width claimed by the producer, if any.
     pub claimed_width: Option<u32>,
+    /// Whether the producer degraded (budget exhaustion, quarantined
+    /// worker): the decomposition is still checked in full, but the
+    /// claimed width is bracketing-only, not a claim of optimality.
+    pub degraded: bool,
+    /// The memory budget the producer was governed by, if any.
+    pub budget: Option<BudgetBlock>,
     /// The decomposition itself.
     pub decomposition: RawDecomposition,
 }
@@ -60,6 +82,8 @@ impl Certificate {
             num_vertices: g.num_vertices(),
             edges: g.edges().map(|(u, v)| vec![u, v]).collect(),
             claimed_width: Some(td.width()),
+            degraded: false,
+            budget: None,
             decomposition: RawDecomposition::from_td(td),
         }
     }
@@ -71,6 +95,8 @@ impl Certificate {
             num_vertices: h.num_vertices(),
             edges: (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect(),
             claimed_width: Some(td.width()),
+            degraded: false,
+            budget: None,
             decomposition: RawDecomposition::from_td(td),
         }
     }
@@ -86,8 +112,20 @@ impl Certificate {
             num_vertices: h.num_vertices(),
             edges: (0..h.num_edges()).map(|e| h.edge(e).to_vec()).collect(),
             claimed_width: Some(ghd.width()),
+            degraded: false,
+            budget: None,
             decomposition: RawDecomposition::from_ghd(ghd),
         }
+    }
+
+    /// Annotates the certificate with the producer's resource governance.
+    pub fn with_budget(mut self, limit_bytes: u64, exhausted: bool, degraded: bool) -> Certificate {
+        self.budget = Some(BudgetBlock {
+            limit_bytes,
+            exhausted,
+        });
+        self.degraded = degraded;
+        self
     }
 
     /// Judges the certificate with the oracle.
@@ -149,6 +187,18 @@ impl Certificate {
         ];
         if let Some(w) = self.claimed_width {
             members.push(("claimed_width".into(), Json::Num(w as f64)));
+        }
+        if self.degraded {
+            members.push(("degraded".into(), Json::Bool(true)));
+        }
+        if let Some(b) = &self.budget {
+            members.push((
+                "budget".into(),
+                Json::Obj(vec![
+                    ("limit_bytes".into(), Json::Num(b.limit_bytes as f64)),
+                    ("exhausted".into(), Json::Bool(b.exhausted)),
+                ]),
+            ));
         }
         members.push(("decomposition".into(), Json::Obj(decomposition)));
         Json::Obj(members)
@@ -227,11 +277,25 @@ impl Certificate {
             None => None,
             Some(l) => Some(id_lists(l, "lambda")?),
         };
+        // pre-resilience certificates carry neither member
+        let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
+        let budget =
+            match doc.get("budget") {
+                None => None,
+                Some(b) => Some(BudgetBlock {
+                    limit_bytes: b.get("limit_bytes").and_then(|v| v.as_u64()).ok_or_else(
+                        || HtdError::Parse("budget missing numeric 'limit_bytes'".into()),
+                    )?,
+                    exhausted: matches!(b.get("exhausted"), Some(Json::Bool(true))),
+                }),
+            };
         Ok(Certificate {
             level,
             num_vertices,
             edges,
             claimed_width,
+            degraded,
+            budget,
             decomposition: RawDecomposition {
                 bags,
                 parent,
@@ -275,6 +339,30 @@ mod tests {
         assert_eq!(back.claimed_width, Some(2));
         assert_eq!(back.decomposition, cert.decomposition);
         assert!(back.check().is_valid());
+    }
+
+    #[test]
+    fn degraded_and_budget_annotations_round_trip_and_default_off() {
+        let (h, ghd) = thesis();
+        let cert = Certificate::for_ghd(&h, &ghd, Level::Ghd).with_budget(64 << 20, true, true);
+        assert!(cert.check().is_valid(), "degradation never invalidates");
+        let text = cert.to_json().to_string();
+        let back = Certificate::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.degraded);
+        assert_eq!(
+            back.budget,
+            Some(BudgetBlock {
+                limit_bytes: 64 << 20,
+                exhausted: true
+            })
+        );
+        // pre-resilience documents (no such members) default to off
+        let plain = Certificate::for_ghd(&h, &ghd, Level::Ghd);
+        let back =
+            Certificate::from_json(&Json::parse(&plain.to_json().to_string()).unwrap()).unwrap();
+        assert!(!back.degraded);
+        assert_eq!(back.budget, None);
+        assert!(!plain.to_json().to_string().contains("degraded"));
     }
 
     #[test]

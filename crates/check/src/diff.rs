@@ -34,6 +34,10 @@ pub struct DiffConfig {
     /// Run the Held–Karp DP arm for treewidth when the graph has at most
     /// this many vertices (the DP is `O(2ⁿ·n)`).
     pub dp_limit: u32,
+    /// Optional per-arm memory budget in bytes (docs/robustness.md). A
+    /// starved arm degrades to its best-known bounds; the harness then
+    /// treats its claims as bracketing-only, never as a truth anchor.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for DiffConfig {
@@ -44,6 +48,7 @@ impl Default for DiffConfig {
             seed: 1,
             portfolio_arm: true,
             dp_limit: 13,
+            memory_budget: None,
         }
     }
 }
@@ -58,6 +63,9 @@ impl DiffConfig {
         if let Some(t) = self.time_limit {
             cfg = cfg.with_time_limit(t);
         }
+        if let Some(bytes) = self.memory_budget {
+            cfg = cfg.with_memory_budget(bytes);
+        }
         cfg
     }
 }
@@ -69,11 +77,16 @@ struct Claim {
     lower: u32,
     upper: u32,
     exact: bool,
+    /// A degraded arm (memory budget exhausted, worker quarantined) keeps
+    /// sound bounds but forfeits authority: its interval must still
+    /// bracket the truth, but it is never used as the truth anchor.
+    degraded: bool,
 }
 
 /// Exact-vs-exact equality and interval-bracketing across all claims.
+/// Degraded claims participate in bracketing only.
 fn cross_check(report: &mut CheckReport, claims: &[Claim]) {
-    let exacts: Vec<&Claim> = claims.iter().filter(|c| c.exact).collect();
+    let exacts: Vec<&Claim> = claims.iter().filter(|c| c.exact && !c.degraded).collect();
     for pair in exacts.windows(2) {
         if pair[0].upper != pair[1].upper {
             report.push(
@@ -258,6 +271,7 @@ fn run_arm(
                 lower: outcome.lower,
                 upper: outcome.upper,
                 exact: outcome.exact,
+                degraded: outcome.degraded,
             });
             Some(outcome)
         }
@@ -303,6 +317,7 @@ pub fn diff_tw(g: &Graph, cfg: &DiffConfig) -> CheckReport {
             lower: w,
             upper: w,
             exact: true,
+            degraded: false,
         });
     }
     run_arm(
@@ -353,7 +368,10 @@ pub fn diff_ghw(h: &Hypergraph, cfg: &DiffConfig) -> CheckReport {
     }
     cross_check(&mut report, &claims);
 
-    let ghw_exact = claims.iter().find(|c| c.exact).map(|c| c.upper);
+    let ghw_exact = claims
+        .iter()
+        .find(|c| c.exact && !c.degraded)
+        .map(|c| c.upper);
     // det-k-decomp arm: hw is exact by construction and sandwiches ghw
     let mut hw_claims = Vec::new();
     let hw_problem = Problem::hw(h.clone());
@@ -364,7 +382,10 @@ pub fn diff_ghw(h: &Hypergraph, cfg: &DiffConfig) -> CheckReport {
         &hw_problem,
         cfg.search_config_for(vec![Engine::BranchBound], 1),
     );
-    let hw_exact = hw_out.as_ref().and_then(Outcome::exact_width);
+    let hw_exact = hw_out
+        .as_ref()
+        .filter(|o| !o.degraded)
+        .and_then(Outcome::exact_width);
     if let (Some(ghw), Some(hw)) = (ghw_exact, hw_exact) {
         if ghw > hw {
             report.push(
@@ -384,7 +405,11 @@ pub fn diff_ghw(h: &Hypergraph, cfg: &DiffConfig) -> CheckReport {
         &tw_problem,
         cfg.search_config_for(vec![Engine::BranchBound], 1),
     );
-    if let (Some(hw), Some(tw)) = (hw_exact, tw_out.as_ref().and_then(Outcome::exact_width)) {
+    let tw_exact = tw_out
+        .as_ref()
+        .filter(|o| !o.degraded)
+        .and_then(Outcome::exact_width);
+    if let (Some(hw), Some(tw)) = (hw_exact, tw_exact) {
         if hw > tw + 1 {
             report.push(
                 Condition::Metamorphic,
@@ -491,15 +516,107 @@ mod tests {
                     lower: 3,
                     upper: 3,
                     exact: true,
+                    degraded: false,
                 },
                 Claim {
                     name: "b",
                     lower: 4,
                     upper: 4,
                     exact: true,
+                    degraded: false,
                 },
             ],
         );
         assert!(!report.of(Condition::ExactDisagreement).is_empty());
+    }
+
+    #[test]
+    fn degraded_claims_are_bracketing_only_never_truth_anchors() {
+        // two degraded "exact" claims disagree: with no clean anchor the
+        // pairwise-equality check must not fire — a starved arm's width
+        // is only the width it happened to reach
+        let mut report = CheckReport::new("synthetic");
+        let degraded_exact = |name, w| Claim {
+            name,
+            lower: w,
+            upper: w,
+            exact: true,
+            degraded: true,
+        };
+        cross_check(
+            &mut report,
+            &[degraded_exact("a", 3), degraded_exact("b", 4)],
+        );
+        assert!(report.is_valid(), "{report}");
+
+        // with a clean anchor, a degraded interval must still bracket it
+        let mut report = CheckReport::new("synthetic");
+        cross_check(
+            &mut report,
+            &[
+                Claim {
+                    name: "truth",
+                    lower: 3,
+                    upper: 3,
+                    exact: true,
+                    degraded: false,
+                },
+                Claim {
+                    name: "starved",
+                    lower: 2,
+                    upper: 7,
+                    exact: false,
+                    degraded: true,
+                },
+            ],
+        );
+        assert!(report.is_valid(), "{report}");
+        let mut report = CheckReport::new("synthetic");
+        cross_check(
+            &mut report,
+            &[
+                Claim {
+                    name: "truth",
+                    lower: 3,
+                    upper: 3,
+                    exact: true,
+                    degraded: false,
+                },
+                Claim {
+                    name: "starved",
+                    lower: 5,
+                    upper: 7,
+                    exact: false,
+                    degraded: true,
+                },
+            ],
+        );
+        assert!(
+            !report.of(Condition::ExactDisagreement).is_empty(),
+            "a degraded interval excluding the exact width is still a bug"
+        );
+    }
+
+    #[test]
+    fn memory_starved_arms_degrade_but_still_cross_check() {
+        // queen5 is small enough for exact branch and bound but too big
+        // for A*'s open/closed sets under an 8 KiB budget
+        let g = gen::queen_graph(5);
+        let cfg = DiffConfig {
+            memory_budget: Some(8 << 10),
+            portfolio_arm: false,
+            ..DiffConfig::default()
+        };
+        // sanity: the budget really is tight enough to degrade an arm
+        let out = solve(
+            &Problem::treewidth(g.clone()),
+            &cfg.search_config_for(vec![Engine::AStar], 1),
+        )
+        .unwrap();
+        assert!(out.degraded, "8 KiB must starve the A* open/closed sets");
+        assert!(!out.exact);
+        // the harness accepts the degraded arm's bounds as bracketing-only
+        let r = diff_tw(&g, &cfg);
+        assert!(r.is_valid(), "{r}");
     }
 }

@@ -31,7 +31,7 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-pub use certificate::Certificate;
+pub use certificate::{BudgetBlock, Certificate};
 pub use diff::{diff_ghw, diff_tw, verify_outcome, DiffConfig};
 pub use metamorphic::{case, run_metamorphic_case, Case, SplitMix64, NUM_FAMILIES};
 pub use oracle::{

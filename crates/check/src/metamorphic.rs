@@ -235,6 +235,8 @@ fn exact_width(problem: &Problem, cfg: &DiffConfig) -> Option<u32> {
     solve(problem, &scfg)
         .ok()
         .as_ref()
+        // a degraded outcome is bracketing-only, never a truth anchor
+        .filter(|o| !o.degraded)
         .and_then(Outcome::exact_width)
 }
 

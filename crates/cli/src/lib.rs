@@ -36,7 +36,8 @@
 //!
 //! Errors never panic: every failure is an [`HtdError`], and the binary
 //! maps the variant to a distinct nonzero exit code (parse → 2,
-//! invalid instance → 3, unsupported request → 4, io → 5).
+//! invalid instance → 3, unsupported request → 4, io → 5, resource
+//! exhausted → 6; see `docs/robustness.md`).
 
 #![warn(missing_docs)]
 
@@ -47,7 +48,7 @@ use htd_check::Certificate;
 use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
 use htd_core::{dot, pace, CoverStrategy, HtdError, Json};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
-use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
+use htd_search::{dp_treewidth_budgeted, solve, Engine, Objective, Outcome, Problem, SearchConfig};
 use htd_service::{Client, InstanceFormat, ServeOptions, Status};
 use htd_trace::{JsonlSink, Tracer};
 use rand::rngs::StdRng;
@@ -145,6 +146,15 @@ pub struct Options {
     pub trace: Option<String>,
     /// `serve`: oracle-verify every response before caching it.
     pub verify: bool,
+    /// Memory budget in MiB for solves (`tw`/`ghw` locally, or per
+    /// request under `serve`); exceeding it degrades to anytime bounds.
+    pub memory_mb: Option<u64>,
+    /// `serve`: seeded chaos-mode fault injection (testing only).
+    pub chaos_seed: Option<u64>,
+    /// `tw`: use the all-or-nothing Held–Karp subset DP instead of the
+    /// portfolio. Under `--memory-mb` it refuses upfront (exit code 6)
+    /// when its table estimate does not fit.
+    pub dp: bool,
 }
 
 impl Default for Options {
@@ -165,6 +175,9 @@ impl Default for Options {
             objective: None,
             trace: None,
             verify: false,
+            memory_mb: None,
+            chaos_seed: None,
+            dp: false,
         }
     }
 }
@@ -177,6 +190,9 @@ impl Options {
             .with_threads(self.threads);
         if let Some(t) = self.time_limit {
             cfg = cfg.with_time_limit(t);
+        }
+        if let Some(mb) = self.memory_mb {
+            cfg = cfg.with_memory_budget(mb << 20);
         }
         if self.fast {
             cfg = cfg.with_engines(vec![Engine::Heuristic, Engine::LowerBound]);
@@ -240,6 +256,9 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
                 );
             }
             "--cache-mb" => o.cache_mb = (numeric(&mut it, "--cache-mb")? as usize).max(1),
+            "--memory-mb" => o.memory_mb = Some(numeric(&mut it, "--memory-mb")?.max(1)),
+            "--chaos" => o.chaos_seed = Some(numeric(&mut it, "--chaos")?),
+            "--dp" => o.dp = true,
             "--queue" => o.queue = (numeric(&mut it, "--queue")? as usize).max(1),
             "--objective" => {
                 o.objective = Some(
@@ -303,8 +322,14 @@ fn render_outcome(outcome: &Outcome, o: &Options) -> Result<String, HtdError> {
                 format!("{name} {}\n", outcome.upper)
             } else {
                 format!(
-                    "{name} in [{}, {}] (budget exhausted)\n",
-                    outcome.lower, outcome.upper
+                    "{name} in [{}, {}] ({})\n",
+                    outcome.lower,
+                    outcome.upper,
+                    if outcome.degraded {
+                        "degraded: memory budget exceeded"
+                    } else {
+                        "budget exhausted"
+                    }
                 )
             };
             let _ = writeln!(
@@ -332,6 +357,23 @@ fn render_outcome(outcome: &Outcome, o: &Options) -> Result<String, HtdError> {
 
 /// Runs [`solve`] on the instance under `objective` and renders the result.
 fn cmd_width(inst: &Instance, o: &Options, objective: Objective) -> Result<String, HtdError> {
+    if o.dp {
+        if objective != Objective::Treewidth {
+            return Err(HtdError::Unsupported(
+                "--dp only applies to treewidth".into(),
+            ));
+        }
+        // the all-or-nothing arm: refuses upfront (exit code 6) when its
+        // table estimate exceeds --memory-mb, instead of degrading
+        let w = dp_treewidth_budgeted(&inst.graph(), &o.search_config()?)?;
+        return Ok(match o.output_format()? {
+            OutputFormat::Json => {
+                format!("{{\"objective\":\"tw\",\"lower\":{w},\"upper\":{w},\"exact\":true}}\n")
+            }
+            OutputFormat::Human if o.quiet => format!("{w}\n"),
+            OutputFormat::Human => format!("treewidth {w} (subset DP, exact)\n"),
+        });
+    }
     let problem = match objective {
         Objective::Treewidth => match inst {
             Instance::Graph(g) => Problem::treewidth(g.clone()),
@@ -370,7 +412,13 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
             match format {
                 "td" => Ok(pace::write_td(&td, g.num_vertices())),
                 "dot" => Ok(dot::tree_decomposition_to_dot(&td, |v| g.name(v))),
-                "cert" => Ok(format!("{}\n", Certificate::for_graph_td(g, &td).to_json())),
+                "cert" => {
+                    let mut cert = Certificate::for_graph_td(g, &td);
+                    if let Some(mb) = o.memory_mb {
+                        cert = cert.with_budget(mb << 20, false, false);
+                    }
+                    Ok(format!("{}\n", cert.to_json()))
+                }
                 f => Err(HtdError::Unsupported(format!(
                     "format '{f}' (expected td|dot|cert)"
                 ))),
@@ -397,10 +445,11 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
                             .ok_or_else(|| {
                                 HtdError::Invalid("uncoverable vertex: no GHD exists".into())
                             })?;
-                    Ok(format!(
-                        "{}\n",
-                        Certificate::for_ghd(h, &ghd, htd_check::Level::Ghd).to_json()
-                    ))
+                    let mut cert = Certificate::for_ghd(h, &ghd, htd_check::Level::Ghd);
+                    if let Some(mb) = o.memory_mb {
+                        cert = cert.with_budget(mb << 20, false, false);
+                    }
+                    Ok(format!("{}\n", cert.to_json()))
                 }
                 f => Err(HtdError::Unsupported(format!(
                     "format '{f}' (expected td|dot|cert)"
@@ -421,12 +470,17 @@ pub fn cmd_check(text: &str, o: &Options) -> Result<String, HtdError> {
     let cert = Certificate::from_json(&doc)?;
     let mut report = cert.check();
     report.subject = format!(
-        "{} certificate ({} vertices, {} edges, claimed width {})",
+        "{} certificate ({} vertices, {} edges, claimed width {}{})",
         cert.objective_name(),
         cert.num_vertices,
         cert.edges.len(),
         cert.claimed_width
             .map_or_else(|| "-".into(), |w| w.to_string()),
+        if cert.degraded {
+            ", degraded producer — width is bracketing-only"
+        } else {
+            ""
+        },
     );
     let rendered = match o.output_format()? {
         OutputFormat::Json => format!("{}\n", report.to_json()),
@@ -515,6 +569,9 @@ pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
             .map_or(10_000, |t| (t.as_millis() as u64).max(1)),
         log: !o.quiet,
         verify_responses: o.verify,
+        memory_mb: o.memory_mb,
+        chaos: o.chaos_seed.map(htd_service::FaultPlan::chaos),
+        ..ServeOptions::default()
     };
     htd_service::run_until_shutdown(opts).map_err(|e| HtdError::Io(e.to_string()))?;
     Ok("server drained\n".into())
@@ -547,7 +604,9 @@ pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError
     };
     let deadline_ms = o.time_limit.map(|t| (t.as_millis() as u64).max(1));
     let mut client = Client::connect(addr).map_err(|e| HtdError::Io(format!("{addr}: {e}")))?;
-    let r = client.solve(objective, format, text, deadline_ms)?;
+    // backpressure rejections retry with jittered exponential backoff
+    // seeded from --seed, honoring the server's retry_after_ms hint
+    let r = client.solve_with_retry(objective, format, text, deadline_ms, 4, o.seed)?;
     match r.status {
         Status::Ok => {
             let outcome = r
@@ -571,6 +630,7 @@ pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError
                 Some(2) => HtdError::Parse(msg),
                 Some(3) => HtdError::Invalid(msg),
                 Some(4) => HtdError::Unsupported(msg),
+                Some(6) => HtdError::ResourceExhausted(msg),
                 _ => HtdError::Io(msg),
             })
         }
@@ -586,9 +646,12 @@ const USAGE: &str =
     "usage: htd <info|tw|ghw|hw|decompose|check|solve|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
+              --memory-mb N (degrade to anytime bounds past this budget)
+              --dp (tw: all-or-nothing subset DP; exit 6 when over budget)
               --trace FILE.jsonl (solver event stream, schema v1)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
               --verify (serve: oracle-check responses before caching)
+              --chaos SEED (serve: deterministic fault injection, testing)
 `htd <command> --help` prints command-specific usage.";
 
 /// Per-command usage text (`htd <cmd> --help`).
@@ -596,10 +659,13 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
     match cmd {
         "info" => Some("usage: htd info <file|-> [--seed N]\n\
             Prints instance statistics and quick width bounds."),
-        "tw" => Some("usage: htd tw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--trace FILE] [--format human|json] [--quiet]\n\
+        "tw" => Some("usage: htd tw <file|-> [--fast] [--dp] [--budget N] [--time MS] [--threads N] [--seed N] [--memory-mb N] [--trace FILE] [--format human|json] [--quiet]\n\
             Treewidth. Exact branch and bound by default; --threads N > 1 runs the\n\
             anytime portfolio (BB, A*, heuristics, lower bounds sharing one incumbent);\n\
-            --fast computes heuristic bounds only. --format json emits one Outcome\n\
+            --fast computes heuristic bounds only. --dp runs the all-or-nothing\n\
+            Held\u{2013}Karp subset DP: exact, but under --memory-mb it refuses upfront\n\
+            with exit code 6 when its table does not fit (docs/robustness.md).\n\
+            --format json emits one Outcome\n\
             object per line: {\"objective\",\"lower\",\"upper\",\"exact\",\"witness\",\n\
             \"nodes\",\"elapsed_ms\",\"engines\":[...],\"trace_summary\":{...}}.\n\
             --trace FILE writes the solver's structured event stream (one JSON\n\
@@ -633,7 +699,7 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             solver's JSONL event stream."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
-        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--verify] [--quiet]\n\
+        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--verify] [--quiet]\n\
             Runs the decomposition server (htd-service): newline-delimited JSON\n\
             requests over TCP, canonical-form result caching, per-request\n\
             deadlines, bounded-queue backpressure, and HTTP GET /healthz and\n\
@@ -641,7 +707,12 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             default deadline for requests that carry none (default 10000);\n\
             --verify runs the htd-check oracle on every response before\n\
             caching it (violations are served but not cached, and tick\n\
-            htd_oracle_failures_total); --quiet disables per-request log\n\
+            htd_oracle_failures_total); --memory-mb caps each solve's\n\
+            tracked memory (over-budget solves degrade to anytime bounds\n\
+            and are marked degraded:true); --chaos SEED turns on seeded\n\
+            fault injection — panicking workers, stalls, allocation\n\
+            starvation — for resilience testing (see docs/robustness.md);\n\
+            --quiet disables per-request log\n\
             lines. Shut down with SIGINT or a {\"cmd\":\"shutdown\"} request:\n\
             the server drains in-flight work and exits."),
         "query" => Some("usage: htd query <file|-> --addr HOST:PORT [--objective tw|ghw|hw] [--time MS] [--format human|json] [--quiet]\n\
@@ -715,6 +786,7 @@ pub fn exit_code(e: &HtdError) -> i32 {
         HtdError::Invalid(_) => 3,
         HtdError::Unsupported(_) => 4,
         HtdError::Io(_) => 5,
+        HtdError::ResourceExhausted(_) => 6,
     }
 }
 

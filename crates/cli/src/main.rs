@@ -1,7 +1,8 @@
 //! The `htd` command-line tool. See `htd_cli::run` for the subcommands.
 //!
 //! Exit codes: 0 success, 2 parse error, 3 invalid instance,
-//! 4 unsupported request (bad flag/format/command), 5 io error.
+//! 4 unsupported request (bad flag/format/command), 5 io error,
+//! 6 resource exhausted (a memory-governed run refused upfront).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,6 +1,7 @@
 //! The documented exit-code contract of the `htd` binary: parse errors
 //! exit 2, invalid instances 3, unsupported requests 4, io failures 5,
-//! and success 0 — checked against the real executable.
+//! resource exhaustion 6, and success 0 — checked against the real
+//! executable.
 
 use std::io::Write;
 use std::process::Command;
@@ -69,6 +70,32 @@ fn io_failure_is_exit_five() {
     let out = htd(&["tw", "/nonexistent/definitely/missing.gr"]);
     assert_eq!(out.status.code(), Some(5), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("io"));
+}
+
+#[test]
+fn resource_exhaustion_is_exit_six() {
+    // the subset DP on 20 vertices needs ~5.9 MiB of table — over a
+    // 1 MiB budget it must refuse upfront instead of degrading
+    let gr = htd_hypergraph::io::write_pace_gr(&htd_hypergraph::gen::random_gnp(20, 0.3, 1));
+    let file = write_temp("dp-big.gr", &gr);
+    let out = htd(&["tw", file.to_str().unwrap(), "--dp", "--memory-mb", "1"]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resource exhausted"));
+    let _ = std::fs::remove_file(file);
+
+    // within budget the same arm solves exactly
+    let file = write_temp("dp-small.gr", "p tw 4 4\n1 2\n2 3\n3 4\n4 1\n");
+    let out = htd(&[
+        "tw",
+        file.to_str().unwrap(),
+        "--dp",
+        "--memory-mb",
+        "64",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+    let _ = std::fs::remove_file(file);
 }
 
 #[test]
@@ -153,6 +180,7 @@ fn query_against_a_live_server_round_trips() {
         default_deadline_ms: 5_000,
         log: false,
         verify_responses: false,
+        ..ServeOptions::default()
     })
     .unwrap();
     let addr = server.addr().to_string();

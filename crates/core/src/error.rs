@@ -18,6 +18,12 @@ pub enum HtdError {
     Unsupported(String),
     /// Underlying I/O failure, stringified (keeps the enum `Clone + Eq`).
     Io(String),
+    /// A resource governor refused the work upfront: the request cannot
+    /// run within its memory budget (e.g. a Held–Karp DP whose table
+    /// estimate exceeds `SearchConfig::memory_budget`). Distinct from an
+    /// anytime result truncated mid-run, which still returns an
+    /// `Outcome` marked degraded.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for HtdError {
@@ -27,6 +33,7 @@ impl fmt::Display for HtdError {
             HtdError::Invalid(m) => write!(f, "invalid instance: {m}"),
             HtdError::Unsupported(m) => write!(f, "unsupported: {m}"),
             HtdError::Io(m) => write!(f, "io error: {m}"),
+            HtdError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }
@@ -52,5 +59,9 @@ mod tests {
         assert!(HtdError::Invalid("x".into())
             .to_string()
             .contains("invalid"));
+        assert_eq!(
+            HtdError::ResourceExhausted("needs 2 GiB".into()).to_string(),
+            "resource exhausted: needs 2 GiB"
+        );
     }
 }

@@ -1,0 +1,189 @@
+//! A per-component circuit breaker with timed probe re-admission.
+//!
+//! The service keeps one breaker per solver engine. Repeated panics (or
+//! other recorded failures) open the breaker — the engine is *benched*
+//! and left out of the portfolio lineup. After a probe interval the
+//! breaker moves to half-open and admits exactly one probe run; a
+//! success closes it again, a failure re-opens it for another interval.
+//!
+//! States:
+//!
+//! ```text
+//! Closed --(failures >= threshold)--> Open
+//! Open   --(probe interval elapsed)--> HalfOpen   (one probe admitted)
+//! HalfOpen --success--> Closed
+//! HalfOpen --failure--> Open
+//! ```
+//!
+//! The breaker is deliberately pessimistic about concurrency: in
+//! half-open, only the first `allow()` call wins the probe slot; others
+//! see the breaker as open until the probe reports back.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The observable state of a [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow, consecutive failures are counted.
+    Closed,
+    /// Benched: calls are refused until the probe interval elapses.
+    Open,
+    /// One probe call is in flight; its result decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable snake_case name for logs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A single breaker; the service holds one per engine name.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    probe_after: Duration,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// Opens after `threshold` consecutive failures; probes again
+    /// `probe_after` after opening.
+    pub fn new(threshold: u32, probe_after: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            probe_after,
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+
+    /// A breaker is shared state touched from panicky contexts; a
+    /// poisoned std mutex still holds a coherent `State` (every
+    /// transition writes the enum whole), so recover the guard.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether a call may proceed. In the open state this is also the
+    /// transition point: once the probe interval has elapsed the caller
+    /// that observes it wins the half-open probe slot.
+    pub fn allow(&self) -> bool {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => true,
+            State::HalfOpen => false,
+            State::Open { since } => {
+                if since.elapsed() >= self.probe_after {
+                    *st = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: closes the breaker and resets the
+    /// failure count.
+    pub fn record_success(&self) {
+        *self.lock() = State::Closed { failures: 0 };
+    }
+
+    /// Records a failed call: increments toward the threshold (closed)
+    /// or re-opens (half-open probe failed).
+    pub fn record_failure(&self) {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    *st = State::Open {
+                        since: Instant::now(),
+                    };
+                } else {
+                    *st = State::Closed { failures };
+                }
+            }
+            State::HalfOpen | State::Open { .. } => {
+                *st = State::Open {
+                    since: Instant::now(),
+                };
+            }
+        }
+    }
+
+    /// The current observable state (open includes a pending probe that
+    /// no caller has claimed yet).
+    pub fn state(&self) -> BreakerState {
+        match *self.lock() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "count was reset");
+    }
+
+    #[test]
+    fn probe_readmits_and_success_closes() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        b.record_failure();
+        assert!(!b.allow(), "freshly opened");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow(), "probe slot after the interval");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one probe at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared memory accounting with a hard ceiling.
+//!
+//! A [`MemoryBudget`] is the lightweight "tracking allocator" behind
+//! `SearchConfig::memory_budget`: instead of hooking the global
+//! allocator (which would tax every allocation in the process, including
+//! ones that have nothing to do with a solve), the memory-hungry data
+//! structures — A* open/closed sets, Held–Karp DP layers, the sharded
+//! set-cover cache — *charge* their node sizes against one shared budget
+//! as they grow. Once the ceiling is crossed the budget latches
+//! `exceeded` and every further charge fails, so each structure can take
+//! its own graceful-degradation path (stop inserting, return anytime
+//! bounds, refuse upfront) instead of the OS taking the whole process.
+//!
+//! Charges are approximate by design: they count the dominant payloads
+//! (keys, table entries, queue nodes), not every header byte. The point
+//! is a reliable order-of-magnitude governor, not an exact heap profile.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared byte budget. Cheap to clone via `Arc`; all operations are
+/// relaxed atomics, so charging from many workers is contention-free.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: u64,
+    used: AtomicU64,
+    exceeded: AtomicBool,
+}
+
+impl MemoryBudget {
+    /// A fresh budget of `limit` bytes.
+    pub fn new(limit: u64) -> Arc<MemoryBudget> {
+        Arc::new(MemoryBudget {
+            limit,
+            used: AtomicU64::new(0),
+            exceeded: AtomicBool::new(false),
+        })
+    }
+
+    /// Charges `bytes`; `true` while the total stays within the limit.
+    /// The first failing charge latches [`MemoryBudget::exceeded`] — the
+    /// latch stays set even if memory is later released, because a solve
+    /// that was truncated once is degraded for good.
+    pub fn charge(&self, bytes: u64) -> bool {
+        let used = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if used > self.limit {
+            self.exceeded.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Returns `bytes` to the budget (a table layer dropped, a cache
+    /// entry evicted). Does not clear the exceeded latch.
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The ceiling in bytes.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// `true` once any charge has failed.
+    pub fn exceeded(&self) -> bool {
+        self.exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Whether an upfront reservation of `bytes` would fit *right now*
+    /// (without charging). Used by all-or-nothing consumers like the
+    /// Held–Karp DP, which refuse to start rather than die mid-table.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        self.used.load(Ordering::Relaxed).saturating_add(bytes) <= self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_the_ceiling() {
+        let b = MemoryBudget::new(100);
+        assert!(b.charge(60));
+        assert!(!b.exceeded());
+        assert!(!b.charge(60), "160 > 100");
+        assert!(b.exceeded());
+        assert_eq!(b.used(), 120);
+    }
+
+    #[test]
+    fn release_returns_bytes_but_keeps_the_latch() {
+        let b = MemoryBudget::new(10);
+        assert!(!b.charge(20));
+        b.release(20);
+        assert_eq!(b.used(), 0);
+        assert!(b.exceeded(), "degradation latch survives release");
+    }
+
+    #[test]
+    fn would_fit_is_a_dry_run() {
+        let b = MemoryBudget::new(100);
+        assert!(b.would_fit(100));
+        assert!(!b.would_fit(101));
+        assert_eq!(b.used(), 0, "would_fit charges nothing");
+    }
+
+    #[test]
+    fn concurrent_charges_never_undercount() {
+        let b = MemoryBudget::new(u64::MAX);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        b.charge(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 4 * 10_000 * 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Panic quarantine: run a closure under `catch_unwind` and turn the
+//! panic payload into a plain message.
+//!
+//! Portfolio workers and service solves wrap their engine call in
+//! [`quarantined`]; a panic becomes `Err(message)` for the caller to
+//! record (trace event, metric, `Outcome` diagnostics) while siblings
+//! keep running. The closure is wrapped in `AssertUnwindSafe`: the
+//! shared state our engines touch (the incumbent, the cover cache,
+//! metric counters) is either lock-free or guarded by `parking_lot`
+//! locks that cannot poison, so observing it after a panic is safe by
+//! construction — a half-finished *offer* is simply never published.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Renders a panic payload (`&str` or `String` — anything else becomes a
+/// placeholder) into a loggable message.
+pub fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under `catch_unwind`; a panic becomes `Err(message)`.
+///
+/// The default panic hook would still print a backtrace for every
+/// quarantined panic, which is noise when panics are *expected* (chaos
+/// injection, a buggy engine being benched) — callers that inject faults
+/// deliberately may want `std::panic::set_hook` upstream; this function
+/// leaves the hook alone so real bugs keep their backtrace.
+pub fn quarantined<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| describe_panic(payload.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_passes_through() {
+        assert_eq!(quarantined(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_captured() {
+        let err = quarantined::<()>(|| panic!("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+    }
+
+    #[test]
+    fn string_panic_is_captured() {
+        let n = 7;
+        let err = quarantined::<()>(|| panic!("boom {n}")).unwrap_err();
+        assert_eq!(err, "boom 7");
+    }
+
+    #[test]
+    fn opaque_payload_gets_a_placeholder() {
+        let err = quarantined::<()>(|| std::panic::panic_any(13u32)).unwrap_err();
+        assert_eq!(err, "non-string panic payload");
+    }
+}

@@ -101,10 +101,12 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             stats,
         });
     }
-    let cache = cfg
-        .cover_cache
-        .clone()
-        .unwrap_or_else(|| std::sync::Arc::new(htd_setcover::CoverCache::new()));
+    let cache = cfg.cover_cache.clone().unwrap_or_else(|| {
+        std::sync::Arc::new(match &cfg.memory_budget {
+            Some(m) => htd_setcover::CoverCache::with_budget(std::sync::Arc::clone(m)),
+            None => htd_setcover::CoverCache::new(),
+        })
+    });
     let g = h.primal_graph();
     let mut ev = GhwEvaluator::with_cache(h, CoverStrategy::Exact, std::sync::Arc::clone(&cache));
     let cands = [
@@ -254,6 +256,9 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
                             false
                         }
                         None => {
+                            // account the closed-set entry; a failed charge
+                            // latches the budget and the next tick degrades
+                            budget.charge((eliminated.blocks().len() * 8 + 48) as u64);
                             seen.insert(eliminated.blocks().to_vec(), t_g);
                             false
                         }
@@ -262,6 +267,9 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
                     false
                 };
                 if !dominated {
+                    // account the open-list node; never drop a push — the
+                    // drained-queue exactness proof needs every child queued
+                    budget.charge((eliminated.blocks().len() * 16 + 80) as u64);
                     seq += 1;
                     stats.generated += 1;
                     queue.push(State {

@@ -244,6 +244,9 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
                             false
                         }
                         None => {
+                            // account the closed-set entry; a failed charge
+                            // latches the budget and the next tick degrades
+                            budget.charge((eliminated.blocks().len() * 8 + 48) as u64);
                             seen.insert(eliminated.blocks().to_vec(), t_g);
                             false
                         }
@@ -252,6 +255,11 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
                     false
                 };
                 if !dominated {
+                    // account the open-list node (two bitsets + headers).
+                    // Never *drop* a push on failure — the drained-queue
+                    // exactness proof needs every child queued; degradation
+                    // happens at the next tick instead.
+                    budget.charge((eliminated.blocks().len() * 16 + 80) as u64);
                     seq += 1;
                     stats.generated += 1;
                     queue.push(State {

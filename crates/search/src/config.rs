@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use htd_core::ordering::EliminationOrdering;
+use htd_resilience::{InjectedFaults, MemoryBudget};
 use htd_setcover::CoverCache;
 use htd_trace::{metrics::Counter, registry, Event, Tracer};
 
@@ -100,6 +101,16 @@ pub struct SearchConfig {
     /// Event tracer. Defaults to the disabled tracer, whose emit path is
     /// a single branch — instrumentation is always compiled in.
     pub tracer: Arc<Tracer>,
+    /// Shared memory budget for the memory-hungry structures (A* open /
+    /// closed sets, Held–Karp tables, the cover cache). `None` = no
+    /// governor. Once exceeded, anytime engines return their best bounds
+    /// (a *degraded* outcome) and all-or-nothing engines refuse upfront
+    /// with `HtdError::ResourceExhausted`.
+    pub memory_budget: Option<Arc<MemoryBudget>>,
+    /// Fault-injection trigger: portfolio workers that claim a pending
+    /// fault panic inside their quarantined region. Test/chaos only;
+    /// `None` (the default) everywhere else.
+    pub fault: Option<Arc<InjectedFaults>>,
 }
 
 impl Default for SearchConfig {
@@ -116,6 +127,8 @@ impl Default for SearchConfig {
             shared: None,
             cover_cache: None,
             tracer: Tracer::disabled(),
+            memory_budget: None,
+            fault: None,
         }
     }
 }
@@ -171,6 +184,18 @@ impl SearchConfig {
     /// Attaches an event tracer (see `htd_trace::Tracer::new`).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Caps the run's tracked memory at `bytes` (a fresh shared budget).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(MemoryBudget::new(bytes));
+        self
+    }
+
+    /// Arms fault injection: workers that claim a pending fault panic.
+    pub fn with_faults(mut self, faults: Arc<InjectedFaults>) -> Self {
+        self.fault = Some(faults);
         self
     }
 
@@ -249,6 +274,8 @@ pub(crate) struct Budget {
     deadline: Option<Instant>,
     max_nodes: u64,
     cancel: Option<Arc<Incumbent>>,
+    mem: Option<Arc<MemoryBudget>>,
+    mem_abort_reported: bool,
     pub(crate) expanded: u64,
     flushed: u64,
     label: &'static str,
@@ -265,6 +292,8 @@ impl Budget {
             deadline: cfg.time_limit.map(|d| start + d),
             max_nodes: cfg.max_nodes,
             cancel: cfg.shared.clone(),
+            mem: cfg.memory_budget.clone(),
+            mem_abort_reported: false,
             expanded: 0,
             flushed: 0,
             label,
@@ -292,6 +321,12 @@ impl Budget {
                 return false;
             }
         }
+        if let Some(m) = &self.mem {
+            if m.exceeded() {
+                self.report_mem_abort();
+                return false;
+            }
+        }
         if self.expanded & 0xFF == 0 {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
@@ -300,6 +335,45 @@ impl Budget {
             }
         }
         true
+    }
+
+    /// Charges `bytes` of retained search state (an open-queue node, a
+    /// `seen`-map entry, a DP row) against the shared memory budget.
+    /// `true` while within budget — or always, when no budget is set.
+    /// A failed charge makes every subsequent [`Budget::tick`] fail, so
+    /// engines that only check `tick` still degrade promptly.
+    #[inline]
+    pub(crate) fn charge(&mut self, bytes: u64) -> bool {
+        match &self.mem {
+            None => true,
+            Some(m) => {
+                if m.charge(bytes) {
+                    true
+                } else {
+                    self.report_mem_abort();
+                    false
+                }
+            }
+        }
+    }
+
+    /// `true` once the shared memory budget has been exceeded — the
+    /// engine's result is degraded (bounds are valid; exactness is not
+    /// claimable from an exhausted search).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn mem_exceeded(&self) -> bool {
+        self.mem.as_ref().is_some_and(|m| m.exceeded())
+    }
+
+    /// Counts the budget abort once per engine, however often the
+    /// exceeded latch is observed afterwards.
+    #[cold]
+    fn report_mem_abort(&mut self) {
+        if self.mem_abort_reported {
+            return;
+        }
+        self.mem_abort_reported = true;
+        registry().counter("htd_mem_budget_aborts_total").add(1);
     }
 
     #[cold]
@@ -369,6 +443,21 @@ mod tests {
         assert!(b.tick());
         inc.cancel();
         assert!(!b.tick(), "cancel observed on the very next tick");
+    }
+
+    #[test]
+    fn memory_budget_failure_degrades_ticks() {
+        let cfg = SearchConfig::default().with_memory_budget(100);
+        let mut b = Budget::new(&cfg, "test");
+        assert!(b.charge(60));
+        assert!(b.tick());
+        assert!(!b.charge(60), "160 > 100");
+        assert!(b.mem_exceeded());
+        assert!(!b.tick(), "exceeded budget fails every later tick");
+        // no budget configured: charges are free
+        let mut free = Budget::new(&SearchConfig::default(), "test");
+        assert!(free.charge(u64::MAX));
+        assert!(!free.mem_exceeded());
     }
 
     #[test]

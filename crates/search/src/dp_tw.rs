@@ -17,7 +17,10 @@
 
 use std::collections::HashMap;
 
+use htd_core::error::HtdError;
 use htd_hypergraph::Graph;
+
+use crate::config::SearchConfig;
 
 /// Exact treewidth by subset dynamic programming. Practical to `n ≈ 20`.
 ///
@@ -76,6 +79,53 @@ pub fn dp_treewidth(g: &Graph) -> u32 {
         .counter("htd_dp_tw_states_total")
         .add(states);
     layer[&full]
+}
+
+/// [`dp_treewidth`] under `cfg.memory_budget`: an all-or-nothing consumer
+/// that refuses *upfront* when its table estimate does not fit, instead of
+/// dying mid-layer. Without a budget it behaves exactly like
+/// [`dp_treewidth`].
+///
+/// The estimate is the peak of the layered table — the two largest
+/// adjacent subset layers, `C(n, ⌊n/2⌋)` entries each at ~16 bytes per
+/// hash-map slot. Refusals return [`HtdError::ResourceExhausted`] with
+/// the estimate, so callers can report "needs N MiB" and fall back to the
+/// anytime engines.
+pub fn dp_treewidth_budgeted(g: &Graph, cfg: &SearchConfig) -> Result<u32, HtdError> {
+    let n = g.num_vertices();
+    if n > 30 {
+        return Err(HtdError::ResourceExhausted(format!(
+            "subset DP needs 2^{n} table entries; practical only to n = 30"
+        )));
+    }
+    if let Some(budget) = &cfg.memory_budget {
+        let estimate = dp_table_estimate(n as usize);
+        // charge-then-release keeps the accounting exact even when a
+        // concurrent consumer races the reservation
+        if !budget.charge(estimate) {
+            budget.release(estimate);
+            return Err(HtdError::ResourceExhausted(format!(
+                "subset DP on {n} vertices needs ~{} MiB of table, over the {} MiB budget",
+                estimate >> 20,
+                budget.limit() >> 20
+            )));
+        }
+        let w = dp_treewidth(g);
+        budget.release(estimate);
+        return Ok(w);
+    }
+    Ok(dp_treewidth(g))
+}
+
+/// Peak retained bytes of the layered DP: the two largest adjacent subset
+/// layers at ~16 bytes per `u32 → u32` hash-map entry.
+fn dp_table_estimate(n: usize) -> u64 {
+    // C(n, n/2) without overflow for n ≤ 30
+    let mut binom: u64 = 1;
+    for k in 0..(n / 2) {
+        binom = binom * (n as u64 - k as u64) / (k as u64 + 1);
+    }
+    2 * binom * 16
 }
 
 /// `|Q(S, v)|`: neighbors of the component of `v` in `S ∪ {v}` that lie
@@ -151,6 +201,32 @@ mod tests {
             let g = gen::random_ktree(15, k, k as u64 + 7);
             assert_eq!(dp_treewidth(&g), k);
         }
+    }
+
+    #[test]
+    fn budgeted_dp_refuses_upfront_and_runs_when_it_fits() {
+        let g = gen::grid_graph(4, 4);
+        // no budget: same as the plain entry point
+        assert_eq!(
+            dp_treewidth_budgeted(&g, &SearchConfig::default()).unwrap(),
+            4
+        );
+        // roomy budget: runs, and releases its reservation afterwards
+        let cfg = SearchConfig::default().with_memory_budget(64 << 20);
+        assert_eq!(dp_treewidth_budgeted(&g, &cfg).unwrap(), 4);
+        let b = cfg.memory_budget.as_ref().unwrap();
+        assert_eq!(b.used(), 0, "reservation released");
+        assert!(!b.exceeded());
+        // starved budget: refuses upfront with an estimate, computes nothing
+        let tiny = SearchConfig::default().with_memory_budget(1024);
+        let err = dp_treewidth_budgeted(&g, &tiny).unwrap_err();
+        assert!(matches!(err, HtdError::ResourceExhausted(_)), "{err}");
+        // oversize instances refuse rather than panic
+        let big = gen::path_graph(31);
+        assert!(matches!(
+            dp_treewidth_budgeted(&big, &SearchConfig::default()),
+            Err(HtdError::ResourceExhausted(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod pruning;
 
 pub use config::{Engine, SearchConfig, SearchOutcome, SearchStats};
 pub use detk::{det_k_decomp, hypertree_width};
-pub use dp_tw::dp_treewidth;
+pub use dp_tw::{dp_treewidth, dp_treewidth_budgeted};
 pub use incumbent::Incumbent;
 pub use parallel::bb_tw_parallel;
 pub use portfolio::{solve, EngineReport, Objective, Outcome, Problem};

@@ -93,12 +93,15 @@ pub fn bb_tw_parallel(g: &Graph, cfg: &SearchConfig, threads: usize) -> SearchOu
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker"))
+            // a panicked worker abandons its subtrees: its chunk counts as
+            // not-completed, so exactness is never claimed past the hole
+            .map(|h| h.join().unwrap_or((false, SearchStats::default())))
             .collect()
     })
-    .expect("scope");
+    .unwrap_or_default();
 
-    let exact = results.iter().all(|(done, _)| *done) || inc.is_exact();
+    // empty results = the scope itself failed: nothing completed
+    let exact = (!results.is_empty() && results.iter().all(|(done, _)| *done)) || inc.is_exact();
     let mut stats = SearchStats::default();
     for (_, s) in &results {
         stats.expanded += s.expanded;

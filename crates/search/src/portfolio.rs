@@ -163,6 +163,9 @@ pub struct EngineReport {
     pub upper: u32,
     /// Whether this engine finished with an exactness proof.
     pub exact: bool,
+    /// Whether this engine panicked and was quarantined: its slot
+    /// contributed nothing, but the portfolio carried on without it.
+    pub panicked: bool,
     /// Its search counters.
     pub stats: SearchStats,
 }
@@ -199,6 +202,11 @@ pub struct Outcome {
     pub cover_cache_hits: u64,
     /// Exact-cover cache misses during this solve.
     pub cover_cache_misses: u64,
+    /// `true` when the memory budget was exhausted mid-run: the bounds
+    /// are still certified, but the search was truncated by the governor
+    /// rather than by its node/time budget. Degraded results never claim
+    /// exactness they didn't prove before the truncation.
+    pub degraded: bool,
 }
 
 impl Outcome {
@@ -226,6 +234,9 @@ impl Outcome {
             ("upper".into(), Json::Num(self.upper as f64)),
             ("exact".into(), Json::Bool(self.exact)),
         ];
+        if self.degraded {
+            members.push(("degraded".into(), Json::Bool(true)));
+        }
         if let Some(w) = &self.witness {
             members.push((
                 "witness".into(),
@@ -345,6 +356,11 @@ impl Outcome {
             time_to_best_upper: ts_ms("time_to_best_upper_ms"),
             cover_cache_hits: cover("hits"),
             cover_cache_misses: cover("misses"),
+            // absent in pre-resilience documents: default to not degraded
+            degraded: doc
+                .get("degraded")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         })
     }
 }
@@ -358,6 +374,9 @@ fn engine_report_json(r: &EngineReport) -> Json {
         members.push(("upper".into(), Json::Num(r.upper as f64)));
     }
     members.push(("exact".into(), Json::Bool(r.exact)));
+    if r.panicked {
+        members.push(("panicked".into(), Json::Bool(true)));
+    }
     members.push(("expanded".into(), Json::Num(r.stats.expanded as f64)));
     members.push(("generated".into(), Json::Num(r.stats.generated as f64)));
     members.push(("pruned".into(), Json::Num(r.stats.pruned as f64)));
@@ -386,6 +405,10 @@ fn engine_report_from_json(doc: &Json) -> Result<EngineReport, HtdError> {
             .map(|x| x as u32)
             .unwrap_or(u32::MAX),
         exact: doc.get("exact").and_then(|v| v.as_bool()).unwrap_or(false),
+        panicked: doc
+            .get("panicked")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false),
         stats: SearchStats {
             expanded: num("expanded"),
             generated: num("generated"),
@@ -482,12 +505,15 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
     let engines = pick_engines(cfg);
     let inc = cfg.incumbent();
     // one cover cache per covering strategy: exact for the searches,
-    // greedy for GA/SA fitness (their sizes differ, so they never share)
-    let exact_cache = cfg
-        .cover_cache
-        .clone()
-        .unwrap_or_else(|| Arc::new(CoverCache::new()));
-    let greedy_cache = Arc::new(CoverCache::new());
+    // greedy for GA/SA fitness (their sizes differ, so they never share).
+    // Run-private caches charge the run's memory budget; a caller-shared
+    // cache is long-lived and governed by whoever owns it.
+    let private_cache = || match &cfg.memory_budget {
+        Some(m) => Arc::new(CoverCache::with_budget(Arc::clone(m))),
+        None => Arc::new(CoverCache::new()),
+    };
+    let exact_cache = cfg.cover_cache.clone().unwrap_or_else(private_cache);
+    let greedy_cache = private_cache();
 
     let worker_cfg = SearchConfig {
         shared: Some(Arc::clone(&inc)),
@@ -530,7 +556,31 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                     let who = engine.name();
                     cfg_i.tracer.emit(Event::WorkerStarted { worker: who });
                     let wstart = Instant::now();
-                    let report = run_engine(engine, problem, &cfg_i, inc, greedy_cache);
+                    // Quarantine: a panicking engine (a bug, or an injected
+                    // fault) loses only its own slot — the shared incumbent
+                    // keeps every bound it offered before dying, and the
+                    // siblings keep searching.
+                    let quarantined = htd_resilience::quarantined(|| {
+                        if let Some(f) = &cfg_i.fault {
+                            if f.take_panic() {
+                                panic!("injected fault: worker panic");
+                            }
+                        }
+                        run_engine(engine, problem, &cfg_i, inc, greedy_cache)
+                    });
+                    let report = match quarantined {
+                        Ok(report) => report,
+                        Err(message) => {
+                            registry().counter("htd_worker_panics_total").inc();
+                            cfg_i.tracer.emit_with(|| Event::WorkerPanicked {
+                                worker: who,
+                                message,
+                            });
+                            let mut r = panicked_report(engine);
+                            r.stats.elapsed = wstart.elapsed();
+                            return r;
+                        }
+                    };
                     // a worker that returns without its own exactness proof
                     // while the run is cancelled was cut short from outside
                     // (deadline watchdog or a sibling's proof)
@@ -561,19 +611,34 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                 })
             })
             .collect();
-        let reports = handles
-            .into_iter()
-            .map(|h| h.join().expect("portfolio worker"))
+        // The quarantine above means worker threads never unwind, but a
+        // join failure still must not take down the portfolio: a lost
+        // slot degrades to a panicked report.
+        let reports = engines
+            .iter()
+            .zip(handles)
+            .map(|(&engine, h)| {
+                h.join().unwrap_or_else(|_| {
+                    registry().counter("htd_worker_panics_total").inc();
+                    panicked_report(engine)
+                })
+            })
             .collect();
         done.store(true, AtomicOrdering::Release);
         reports
     })
-    .expect("portfolio scope");
+    // scope errors only if an unjoined thread (the watchdog) panicked;
+    // its work is advisory, so fall back to the incumbent's bounds
+    .unwrap_or_default();
 
     let exact = inc.is_exact() || reports.iter().any(|r| r.exact);
     if exact {
         inc.mark_exact();
     }
+    // The degradation marker: the governor truncated at least one
+    // engine's search, so a non-exact interval may be looser than the
+    // node/time budget alone would have produced.
+    let degraded = cfg.memory_budget.as_ref().is_some_and(|m| m.exceeded());
     // this solve's cover-cache traffic (the cache may be shared/long-lived)
     let cover_cache_hits = exact_cache.hits().saturating_sub(cover_h0);
     let cover_cache_misses = exact_cache.misses().saturating_sub(cover_m0);
@@ -605,7 +670,20 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
         time_to_best_upper: inc.time_to_best_upper(),
         cover_cache_hits,
         cover_cache_misses,
+        degraded,
     })
+}
+
+/// The report of a quarantined worker: an empty contribution, flagged.
+fn panicked_report(engine: Engine) -> EngineReport {
+    EngineReport {
+        engine,
+        lower: 0,
+        upper: u32::MAX,
+        exact: false,
+        panicked: true,
+        stats: SearchStats::default(),
+    }
 }
 
 /// The `--time 0` fast path: one greedy upper bound (min-fill; greedy
@@ -636,6 +714,7 @@ fn zero_budget_outcome(problem: &Problem, cfg: &SearchConfig) -> Outcome {
         lower,
         upper,
         exact: false,
+        panicked: false,
         stats: SearchStats {
             generated: 1,
             elapsed: start.elapsed(),
@@ -656,6 +735,7 @@ fn zero_budget_outcome(problem: &Problem, cfg: &SearchConfig) -> Outcome {
         time_to_best_upper: None,
         cover_cache_hits: 0,
         cover_cache_misses: 0,
+        degraded: false,
     }
 }
 
@@ -674,6 +754,7 @@ fn run_engine(
         lower: 0,
         upper: u32::MAX,
         exact: false,
+        panicked: false,
         stats: SearchStats::default(),
     };
     match engine {
@@ -931,6 +1012,7 @@ fn solve_hw(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> 
             lower: width,
             upper: width,
             exact: true,
+            panicked: false,
             stats: SearchStats::default(),
         }],
         winner: None,
@@ -938,6 +1020,7 @@ fn solve_hw(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> 
         time_to_best_upper: None,
         cover_cache_hits: 0,
         cover_cache_misses: 0,
+        degraded: false,
     })
 }
 
@@ -1049,6 +1132,59 @@ mod tests {
         assert!(!out.exact);
         assert!(out.upper < u32::MAX);
         assert!(out.lower <= out.upper);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_quarantined() {
+        use htd_resilience::InjectedFaults;
+        let g = gen::random_gnp(10, 0.35, 3);
+        let out = solve(
+            &Problem::treewidth(g.clone()),
+            &SearchConfig::default()
+                .with_threads(4)
+                .with_faults(InjectedFaults::with_panics(1)),
+        )
+        .unwrap();
+        assert_eq!(
+            out.per_engine.iter().filter(|r| r.panicked).count(),
+            1,
+            "exactly one worker claims the injected panic"
+        );
+        // the survivors still close the gap on a 10-vertex instance
+        let clean = solve(&Problem::treewidth(g), &SearchConfig::default()).unwrap();
+        assert!(out.exact, "portfolio survives a quarantined worker");
+        assert_eq!(out.upper, clean.upper);
+        // panicked engines round-trip through JSON
+        let doc = out.to_json().to_string();
+        let back = Outcome::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.per_engine.iter().filter(|r| r.panicked).count(), 1);
+    }
+
+    #[test]
+    fn exhausted_memory_budget_degrades_but_stays_sound() {
+        let g = gen::queen_graph(5);
+        // a budget far below what A*'s open/closed sets need
+        let cfg = SearchConfig::default()
+            .with_threads(2)
+            .with_engines(vec![Engine::Heuristic, Engine::AStar])
+            .with_memory_budget(2_000);
+        let out = solve(&Problem::treewidth(g.clone()), &cfg).unwrap();
+        assert!(out.degraded, "tiny budget must mark the outcome degraded");
+        assert!(out.lower <= out.upper);
+        let clean = solve(&Problem::treewidth(g), &SearchConfig::default()).unwrap();
+        assert!(out.lower <= clean.upper && out.upper >= clean.upper);
+        // degraded flag round-trips
+        let doc = out.to_json().to_string();
+        let back = Outcome::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert!(back.degraded);
+        // a generous budget does not degrade
+        let roomy = solve(
+            &Problem::treewidth(gen::cycle_graph(8)),
+            &SearchConfig::default().with_memory_budget(1 << 30),
+        )
+        .unwrap();
+        assert!(!roomy.degraded);
+        assert!(roomy.exact);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Fault-isolation stress: watchdog-style external cancellation racing a
+//! panicking portfolio worker, many times over. Whatever interleaving the
+//! race produces — cancel before the panic, after it, or mid-unwind — the
+//! portfolio must return a coherent `Outcome` and must not leak threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use htd_hypergraph::gen;
+use htd_resilience::InjectedFaults;
+use htd_search::{solve, Incumbent, Problem, SearchConfig};
+
+/// Number of live threads of this process (Linux); `None` elsewhere.
+fn live_threads() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn cancellation_racing_a_panicking_worker_never_leaks() {
+    let graphs: Vec<_> = (0..4).map(|s| gen::random_gnp(12, 0.3, s)).collect();
+    let problems: Vec<_> = graphs
+        .iter()
+        .map(|g| Problem::treewidth(g.clone()))
+        .collect();
+
+    // warm up allocators/thread pools before the baseline thread count
+    let _ = solve(&problems[0], &SearchConfig::default().with_threads(2));
+    let baseline = live_threads();
+
+    for i in 0..1000u64 {
+        let inc = Arc::new(Incumbent::new());
+        let mut cfg = SearchConfig::portfolio()
+            .with_threads(2)
+            .with_seed(i)
+            .with_time_limit(Duration::from_millis(4))
+            .with_faults(InjectedFaults::with_panics(1));
+        cfg.shared = Some(Arc::clone(&inc));
+        let problem = &problems[(i % 4) as usize];
+
+        // the watchdog: cancels at a sliding offset so the cancellation
+        // lands before, during, and after the injected panic across runs
+        let canceller = {
+            let inc = Arc::clone(&inc);
+            std::thread::spawn(move || {
+                if i % 3 > 0 {
+                    std::thread::sleep(Duration::from_micros(200 * (i % 16)));
+                }
+                inc.cancel();
+            })
+        };
+
+        let outcome = solve(problem, &cfg).expect("a cancelled+panicked solve still yields bounds");
+        assert!(
+            outcome.lower <= outcome.upper,
+            "iteration {i}: incoherent bounds {}..{}",
+            outcome.lower,
+            outcome.upper
+        );
+        canceller.join().expect("canceller never panics");
+    }
+
+    // crossbeam scopes join every worker; a leak shows up as monotone
+    // thread-count growth. Allow generous slack for runtime bookkeeping.
+    if let (Some(before), Some(after)) = (baseline, live_threads()) {
+        assert!(
+            after <= before + 4,
+            "thread leak: {before} threads before the stress, {after} after"
+        );
+    }
+}

@@ -278,6 +278,7 @@ mod tests {
             time_to_best_upper: None,
             cover_cache_hits: 0,
             cover_cache_misses: 0,
+            degraded: false,
         }
     }
 

@@ -74,6 +74,38 @@ impl Client {
         })
     }
 
+    /// Like [`Client::solve`], but retries backpressure rejections with
+    /// jittered exponential backoff, honoring the server's
+    /// `retry_after_ms` hint as the base delay. Non-`rejected` responses
+    /// (including errors) return immediately; after `max_retries`
+    /// rejections the last rejection is returned as-is so the caller
+    /// still sees the backpressure signal.
+    pub fn solve_with_retry(
+        &mut self,
+        objective: Objective,
+        format: InstanceFormat,
+        instance: &str,
+        deadline_ms: Option<u64>,
+        max_retries: u32,
+        seed: u64,
+    ) -> Result<Response, HtdError> {
+        let mut attempt = 0u32;
+        loop {
+            let r = self.solve(objective, format, instance, deadline_ms)?;
+            if r.status != Status::Rejected || attempt >= max_retries {
+                return Ok(r);
+            }
+            let hint = std::time::Duration::from_millis(r.retry_after_ms.unwrap_or(50));
+            std::thread::sleep(htd_resilience::backoff_with_jitter(
+                hint,
+                attempt,
+                seed,
+                std::time::Duration::from_secs(2),
+            ));
+            attempt += 1;
+        }
+    }
+
     /// Liveness probe; `Ok(())` iff the server answered `pong`.
     pub fn ping(&mut self) -> Result<(), HtdError> {
         let id = self.fresh_id();

@@ -40,6 +40,7 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
+pub use htd_resilience::FaultPlan;
 pub use metrics::Metrics;
 pub use protocol::{Command, InstanceFormat, Request, Response, SolveRequest, Status};
 pub use server::{run_until_shutdown, ServeOptions, Server};

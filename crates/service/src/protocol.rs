@@ -31,7 +31,8 @@
 //!
 //! `status` is one of `ok`, `rejected`, `timeout`, `error`,
 //! `shutting_down`, `pong`, `stats`. `code` mirrors the CLI exit codes
-//! (2 parse, 3 invalid, 4 unsupported, 5 io/internal).
+//! (2 parse, 3 invalid, 4 unsupported, 5 io/internal, 6 resource
+//! exhausted).
 
 use htd_core::{HtdError, Json};
 use htd_hypergraph::{io, Hypergraph};
@@ -308,6 +309,7 @@ impl Response {
             HtdError::Invalid(_) => 3,
             HtdError::Unsupported(_) => 4,
             HtdError::Io(_) => 5,
+            HtdError::ResourceExhausted(_) => 6,
         };
         let mut r = Response::new(id, Status::Error);
         r.error = Some(e.to_string());

@@ -38,9 +38,10 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use htd_core::Json;
+use htd_core::{HtdError, Json};
 use htd_hypergraph::canonical::canonical_form;
-use htd_search::{solve, Incumbent, Problem, SearchConfig};
+use htd_resilience::{quarantined, CircuitBreaker, FaultInjector, FaultPlan, InjectedFaults};
+use htd_search::{solve, Engine, Incumbent, Problem, SearchConfig};
 use parking_lot::Mutex;
 
 use crate::cache::ResultCache;
@@ -54,6 +55,14 @@ const DEADLINE_SLACK: Duration = Duration::from_millis(10);
 const WATCHDOG_PERIOD: Duration = Duration::from_millis(2);
 /// Extra time a connection waits for its worker beyond the deadline.
 const REPLY_GRACE: Duration = Duration::from_secs(2);
+/// Largest accepted request frame. A line still unfinished at this many
+/// bytes gets a structured protocol error instead of buffering without
+/// bound, and the connection is closed (the remainder of the oversized
+/// frame is never read).
+const MAX_FRAME: u64 = 8 << 20;
+/// Largest serialized response written back on a connection; anything
+/// bigger is replaced by a structured internal error.
+const MAX_RESPONSE: usize = 32 << 20;
 
 /// Configuration of a server instance.
 #[derive(Clone, Debug)]
@@ -76,6 +85,20 @@ pub struct ServeOptions {
     /// in the log and counted in `htd_oracle_failures_total`) but never
     /// cached, so one bad solve cannot poison repeat queries.
     pub verify_responses: bool,
+    /// Per-request memory budget in mebibytes; solves that outgrow it
+    /// degrade to their best anytime bounds (`outcome.degraded = true`)
+    /// instead of growing without bound. `None` = ungoverned.
+    pub memory_mb: Option<u64>,
+    /// Deterministic fault injection: each solve consults the plan and may
+    /// get a panicking worker, an injected stall, or an allocation-starved
+    /// budget. `None` (production) injects nothing.
+    pub chaos: Option<FaultPlan>,
+    /// Consecutive panicked reports after which an engine's circuit
+    /// breaker opens and the engine is benched from the lineup.
+    pub breaker_threshold: u32,
+    /// How long a benched engine stays out before the breaker half-opens
+    /// and lets one probe solve try it again.
+    pub breaker_probe_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -88,6 +111,10 @@ impl Default for ServeOptions {
             default_deadline_ms: 10_000,
             log: false,
             verify_responses: false,
+            memory_mb: None,
+            chaos: None,
+            breaker_threshold: 3,
+            breaker_probe_ms: 500,
         }
     }
 }
@@ -131,8 +158,12 @@ impl WorkQueue {
 
     /// Enqueues unless full; never blocks the submitting connection.
     /// Returns `false` (dropping the job) when the queue is at capacity.
+    /// A poisoned mutex (a thread panicked while holding it) is recovered
+    /// rather than propagated: the queue of `Job`s has no invariant a
+    /// half-finished critical section can break, and one panicked worker
+    /// must not take the whole intake path down with it.
     fn try_push(&self, job: Job) -> bool {
-        let mut q = self.jobs.lock().unwrap();
+        let mut q = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
         if q.len() >= self.capacity {
             return false;
         }
@@ -143,16 +174,18 @@ impl WorkQueue {
     }
 
     fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
-        let mut q = self.jobs.lock().unwrap();
+        let mut q = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
         if q.is_empty() {
-            let (guard, _) = self.ready.wait_timeout(q, timeout).unwrap();
-            q = guard;
+            q = match self.ready.wait_timeout(q, timeout) {
+                Ok((guard, _)) => guard,
+                Err(p) => p.into_inner().0,
+            };
         }
         q.pop_front()
     }
 
     fn len(&self) -> usize {
-        self.jobs.lock().unwrap().len()
+        self.jobs.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     fn wake_all(&self) {
@@ -173,11 +206,85 @@ struct Inner {
     /// In-flight deadline registry scanned by the watchdog.
     registry: Mutex<Vec<(Instant, Arc<Incumbent>)>>,
     conn_seq: AtomicU64,
+    /// Seeded fault injector (`opts.chaos`); `None` in production.
+    injector: Option<Arc<FaultInjector>>,
+    /// One circuit breaker per portfolio engine: engines whose reports
+    /// keep coming back `panicked` are benched from the lineup until the
+    /// probe interval passes.
+    breakers: Vec<(Engine, CircuitBreaker)>,
 }
 
 impl Inner {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Builds the engine lineup for a solve with `slots` portfolio slots:
+    /// closed-breaker engines run freely, and at most one benched engine
+    /// whose probe interval has elapsed is admitted — with a slot reserved
+    /// for it, so a claimed probe is guaranteed to actually run and report
+    /// back (otherwise the breaker would wedge half-open). `None` means
+    /// the default lineup: either everything is healthy, or everything is
+    /// benched with no probe ready, in which case we fail open — a
+    /// degraded portfolio beats no portfolio, and successes re-close the
+    /// breakers.
+    fn allowed_engines(&self, slots: usize) -> Option<Vec<Engine>> {
+        let closed: Vec<Engine> = self
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.state() == htd_resilience::BreakerState::Closed)
+            .map(|(e, _)| *e)
+            .collect();
+        if closed.len() == self.breakers.len() {
+            return None; // all healthy: default lineup
+        }
+        let probe = self.breakers.iter().find_map(|(e, b)| {
+            (b.state() != htd_resilience::BreakerState::Closed && b.allow()).then_some(*e)
+        });
+        match probe {
+            None if closed.is_empty() => None, // all benched, none probeable: fail open
+            None => Some(closed),
+            Some(p) => {
+                // strongest closed engines first (lineup order is claim
+                // order), truncated so the probe keeps a guaranteed slot
+                let mut lineup: Vec<Engine> =
+                    closed.into_iter().take(slots.saturating_sub(1)).collect();
+                lineup.push(p);
+                Some(lineup)
+            }
+        }
+    }
+
+    /// Records per-engine panic attribution into the breakers and
+    /// refreshes the `htd_engine_quarantined` gauge (benched engines:
+    /// breakers not currently closed).
+    fn record_engine_outcomes(&self, reports: &[htd_search::EngineReport]) {
+        for (engine, b) in &self.breakers {
+            match reports.iter().find(|r| r.engine == *engine) {
+                Some(rep) if rep.panicked => b.record_failure(),
+                Some(_) => b.record_success(),
+                None => {
+                    // a half-open breaker whose probe produced no report
+                    // (e.g. a zero-budget solve skipped the engines) must
+                    // not wedge: re-open it so it probes again later
+                    if b.state() == htd_resilience::BreakerState::HalfOpen {
+                        b.record_failure();
+                    }
+                }
+            }
+        }
+        self.refresh_quarantine_gauge();
+    }
+
+    fn refresh_quarantine_gauge(&self) {
+        let open = self
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.state() != htd_resilience::BreakerState::Closed)
+            .count();
+        htd_trace::registry()
+            .gauge("htd_engine_quarantined")
+            .set(open as i64);
     }
 
     fn log(&self, line: std::fmt::Arguments<'_>) {
@@ -204,6 +311,19 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let threads = opts.threads.max(1);
+        let injector = opts.chaos.map(FaultInjector::new);
+        let breakers = Engine::default_lineup()
+            .into_iter()
+            .map(|e| {
+                (
+                    e,
+                    CircuitBreaker::new(
+                        opts.breaker_threshold,
+                        Duration::from_millis(opts.breaker_probe_ms),
+                    ),
+                )
+            })
+            .collect();
         let inner = Arc::new(Inner {
             cache: ResultCache::new(opts.cache_mb.max(1) * (1 << 20)),
             metrics: Metrics::new(),
@@ -212,11 +332,22 @@ impl Server {
             shutdown: AtomicBool::new(false),
             registry: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
+            injector,
+            breakers,
             opts,
         });
         inner.log(format_args!(
-            "listening on {addr} workers={threads} cache_mb={} queue={}",
-            inner.opts.cache_mb, inner.opts.queue_capacity
+            "listening on {addr} workers={threads} cache_mb={} queue={} chaos={} memory_mb={}",
+            inner.opts.cache_mb,
+            inner.opts.queue_capacity,
+            inner
+                .opts
+                .chaos
+                .map_or("off".to_string(), |p| format!("seed:{}", p.seed)),
+            inner
+                .opts
+                .memory_mb
+                .map_or("-".to_string(), |m| m.to_string()),
         ));
         // pre-register the solver-level series so `/metrics` exposes them
         // (at zero) before the first solve instead of popping in later
@@ -226,6 +357,10 @@ impl Server {
         reg.counter("htd_cover_cache_misses_total");
         reg.counter("htd_deadline_cancellations_total");
         reg.counter("htd_oracle_failures_total");
+        reg.counter("htd_worker_panics_total");
+        reg.counter("htd_mem_budget_aborts_total");
+        reg.counter("htd_degraded_responses_total");
+        reg.gauge("htd_engine_quarantined");
         let workers = (0..threads)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -426,7 +561,18 @@ fn worker_loop(inner: &Inner) {
             .lock()
             .push((job.deadline, Arc::clone(&incumbent)));
 
-        let remaining = job.deadline.saturating_duration_since(now);
+        // seeded fault injection (chaos mode): a request may be stalled,
+        // allocation-starved, or handed a panicking portfolio worker
+        let fault = inner
+            .injector
+            .as_ref()
+            .map(|i| i.next_request())
+            .unwrap_or_default();
+        if let Some(d) = fault.delay {
+            thread::sleep(d);
+        }
+
+        let remaining = job.deadline.saturating_duration_since(Instant::now());
         let mut cfg = match job.budget {
             Some(b) => SearchConfig::budgeted(b),
             None => SearchConfig::portfolio(),
@@ -435,9 +581,42 @@ fn worker_loop(inner: &Inner) {
             .with_time_limit(remaining.saturating_sub(DEADLINE_SLACK))
             .with_threads(job.threads);
         cfg.shared = Some(Arc::clone(&incumbent));
+        if fault.alloc_fail {
+            // near-zero budget: the solve degrades to its anytime bounds
+            cfg = cfg.with_memory_budget(16 << 10);
+        } else if let Some(mb) = inner.opts.memory_mb {
+            cfg = cfg.with_memory_budget(mb << 20);
+        }
+        if fault.panic_worker {
+            cfg = cfg.with_faults(InjectedFaults::with_panics(1));
+        }
+        // bench engines with open breakers (and admit at most one probe)
+        let lineup = inner.allowed_engines(job.threads.max(1));
+        if let Some(engines) = lineup.clone() {
+            cfg = cfg.with_engines(engines);
+        }
 
         let solve_start = Instant::now();
-        let result = solve(&job.problem, &cfg);
+        // last line of defense: a panic anywhere in the solve path is
+        // quarantined into a structured internal error instead of taking
+        // the worker thread (and with it the whole pool) down
+        let result = quarantined(|| solve(&job.problem, &cfg)).unwrap_or_else(|message| {
+            htd_trace::registry()
+                .counter("htd_worker_panics_total")
+                .inc();
+            // the panic escaped per-engine attribution; charge the whole
+            // lineup so a persistently crashing path still gets benched
+            for (engine, b) in &inner.breakers {
+                match lineup.as_ref() {
+                    Some(l) if !l.contains(engine) => {}
+                    _ => b.record_failure(),
+                }
+            }
+            inner.refresh_quarantine_gauge();
+            Err(HtdError::Io(format!(
+                "solver panicked (quarantined): {message}"
+            )))
+        });
         let solve_elapsed = solve_start.elapsed();
         let solve_ms = solve_elapsed.as_secs_f64() * 1000.0;
         inner
@@ -454,7 +633,18 @@ fn worker_loop(inner: &Inner) {
         let mut r = match result {
             Ok(outcome) => {
                 inner.metrics.solve_latency.observe(solve_ms);
-                let mut cacheable = true;
+                inner.record_engine_outcomes(&outcome.per_engine);
+                let survived_panic = outcome.per_engine.iter().any(|e| e.panicked);
+                let degraded = outcome.degraded || survived_panic;
+                if degraded {
+                    htd_trace::registry()
+                        .counter("htd_degraded_responses_total")
+                        .inc();
+                }
+                // degraded results carry weaker bounds than a healthy solve
+                // of the same instance would; never let them shadow a
+                // future clean answer in the cache
+                let mut cacheable = !degraded;
                 if inner.opts.verify_responses {
                     let report = htd_check::verify_outcome(&job.problem, &outcome);
                     if !report.is_valid() {
@@ -550,8 +740,24 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        // bound the frame: a line still unterminated at MAX_FRAME bytes is
+        // a protocol violation, answered structurally and disconnected —
+        // never buffered to completion
+        let n = std::io::Read::take(&mut reader, MAX_FRAME).read_line(&mut line)?;
+        if n == 0 {
             return Ok(()); // client closed
+        }
+        if n as u64 >= MAX_FRAME && !line.ends_with('\n') {
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let e = HtdError::Parse(format!(
+                "request frame exceeds {} bytes without a newline",
+                MAX_FRAME
+            ));
+            write_response(&mut writer, &Response::from_error(None, &e))?;
+            return Ok(());
         }
         if line.starts_with("GET ") || line.starts_with("HEAD ") {
             return serve_http(inner, &line, &mut reader, &mut writer);
@@ -564,10 +770,28 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
             Err(e) => Response::from_error(None, &e),
             Ok(req) => dispatch(inner, req),
         };
-        writer.write_all(response.to_json().to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        write_response(&mut writer, &response)?;
     }
+}
+
+/// Serializes and writes one response line, enforcing [`MAX_RESPONSE`]: an
+/// oversized body is replaced by a structured internal error so a single
+/// pathological result cannot monopolize the connection.
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut body = response.to_json().to_string();
+    if body.len() > MAX_RESPONSE {
+        let e = HtdError::Io(format!(
+            "response of {} bytes exceeds the {} byte limit",
+            body.len(),
+            MAX_RESPONSE
+        ));
+        let mut r = Response::from_error(response.id.clone(), &e);
+        r.elapsed_ms = response.elapsed_ms;
+        body = r.to_json().to_string();
+    }
+    writer.write_all(body.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
 }
 
 fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
@@ -727,11 +951,14 @@ fn serve_http(
     writer: &mut TcpStream,
 ) -> std::io::Result<()> {
     inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-    // drain the header block
+    // drain the header block (per-line bounded: probe headers are tiny,
+    // and an adversarial endless header must not buffer unboundedly)
     let mut hdr = String::new();
     loop {
         hdr.clear();
-        if reader.read_line(&mut hdr)? == 0 || hdr.trim().is_empty() {
+        if std::io::Read::take(&mut *reader, 64 << 10).read_line(&mut hdr)? == 0
+            || hdr.trim().is_empty()
+        {
             break;
         }
     }

@@ -24,6 +24,7 @@ fn quiet_opts() -> ServeOptions {
         default_deadline_ms: 10_000,
         log: false,
         verify_responses: false,
+        ..ServeOptions::default()
     }
 }
 
@@ -395,5 +396,132 @@ fn graceful_shutdown_drains_inflight_work() {
     assert_eq!(r.status, Status::Ok, "{:?}", r.error);
     assert!(r.outcome.unwrap().upper < u32::MAX);
 
+    server.wait();
+}
+
+#[test]
+fn oversized_and_malformed_frames_get_structured_errors() {
+    let (server, addr) = start(quiet_opts());
+
+    // a 100 MB garbage frame with no newline: the server must answer with
+    // a structured protocol error after at most MAX_FRAME bytes and hang
+    // up, never buffering the rest
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..100 {
+            // once the server responds and closes, writes start failing —
+            // that is the expected backpressure, keep going to the read
+            if stream.write_all(&chunk).is_err() {
+                break;
+            }
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let doc = htd_core::Json::parse(reply.trim()).expect("structured reply");
+        assert_eq!(
+            doc.get("status").and_then(|v| v.as_str()),
+            Some("error"),
+            "{reply}"
+        );
+        assert_eq!(doc.get("code").and_then(|v| v.as_u64()), Some(2));
+        assert!(reply.contains("frame exceeds"), "{reply}");
+        // connection is closed after the violation
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+    }
+
+    // malformed JSON in a well-terminated frame: structured parse error,
+    // connection stays usable
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"this is { not json\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let doc = htd_core::Json::parse(reply.trim()).expect("structured reply");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(doc.get("code").and_then(|v| v.as_u64()), Some(2));
+        // same connection still answers a valid request afterwards
+        stream.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("pong"), "{reply}");
+    }
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn chaos_mode_survives_panics_and_serves_every_request() {
+    let (server, addr) = start(ServeOptions {
+        chaos: Some(htd_service::FaultPlan::chaos(42)),
+        memory_mb: Some(64),
+        ..quiet_opts()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let instances: Vec<String> = (0..6)
+        .map(|s| io::write_pace_gr(&gen::random_gnp(14, 0.3, s)))
+        .collect();
+    for i in 0..30u64 {
+        let inst = &instances[(i % 6) as usize];
+        let mut req = htd_service::SolveRequest {
+            objective: Objective::Treewidth,
+            format: InstanceFormat::PaceGr,
+            instance: inst.clone(),
+            deadline_ms: Some(3_000),
+            budget: None,
+            threads: Some(3),
+            use_cache: false,
+        };
+        // mix of objectives to exercise more of the portfolio
+        if i % 5 == 4 {
+            req.objective = Objective::GeneralizedHypertreeWidth;
+        }
+        let r = client
+            .request(&htd_service::Request {
+                id: Some(format!("c{i}")),
+                cmd: htd_service::Command::Solve(req),
+            })
+            .expect("server alive");
+        // every request gets a valid terminal response: a (possibly
+        // degraded) outcome, or an explicit backpressure/timeout/error
+        match r.status {
+            Status::Ok => {
+                let o = r.outcome.expect("ok carries outcome");
+                assert!(o.lower <= o.upper);
+            }
+            Status::Rejected => assert!(r.retry_after_ms.is_some()),
+            Status::Timeout | Status::Error => {}
+            s => panic!("unexpected status {}", s.name()),
+        }
+    }
+    // the injected panics were quarantined and counted
+    let (_, metrics) = http_get(&addr, "/metrics");
+    let panics = metrics
+        .lines()
+        .find(|l| l.starts_with("htd_worker_panics_total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(
+        panics > 0,
+        "chaos mode should have injected panics:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("htd_engine_quarantined"),
+        "quarantine gauge exported"
+    );
+    assert!(
+        metrics.contains("htd_degraded_responses_total"),
+        "degraded counter exported"
+    );
+    server.request_shutdown();
     server.wait();
 }

@@ -17,7 +17,9 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use htd_resilience::MemoryBudget;
 use parking_lot::Mutex;
 
 /// Sentinel cover size for uncoverable bags.
@@ -71,6 +73,10 @@ pub struct CoverCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Shared run-wide budget; when set, inserts that would exceed it are
+    /// dropped (the cache degrades to a pass-through, never an error).
+    budget: Option<Arc<MemoryBudget>>,
+    rejected: AtomicU64,
 }
 
 impl Default for CoverCache {
@@ -96,7 +102,26 @@ impl CoverCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            budget: None,
+            rejected: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache whose inserts charge `budget`. Once the shared
+    /// budget is exceeded the cache stops growing: lookups still hit
+    /// existing entries, but new results are computed and returned
+    /// without being retained.
+    pub fn with_budget(budget: Arc<MemoryBudget>) -> Self {
+        let mut c = CoverCache::new();
+        c.budget = Some(budget);
+        c
+    }
+
+    /// Approximate heap bytes retained per entry: the boxed key blocks
+    /// plus hash-map entry overhead (key header, value, control bytes).
+    #[inline]
+    fn entry_cost(key: &[u64]) -> u64 {
+        (key.len() as u64) * 8 + 48
     }
 
     #[inline]
@@ -124,8 +149,16 @@ impl CoverCache {
         }
     }
 
-    /// Inserts a bag's cover size (`None` = uncoverable).
+    /// Inserts a bag's cover size (`None` = uncoverable). Under an
+    /// exceeded [`MemoryBudget`] the insert is silently dropped — the
+    /// caller's computed value is still correct, it just isn't memoized.
     pub fn insert(&self, key: &[u64], size: Option<u32>) {
+        if let Some(b) = &self.budget {
+            if !b.charge(Self::entry_cost(key)) {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         let v = size.unwrap_or(UNCOVERABLE);
         self.shard(key).lock().insert(key.into(), v);
     }
@@ -156,6 +189,11 @@ impl CoverCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Inserts dropped because the memory budget was exceeded.
+    pub fn rejected_inserts(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Number of cached bags.
@@ -207,6 +245,21 @@ mod tests {
         });
         assert_eq!(v, Some(4));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_growth_but_not_answers() {
+        let budget = MemoryBudget::new(3 * (8 + 48));
+        let c = CoverCache::with_budget(Arc::clone(&budget));
+        for i in 0..10u64 {
+            let got = c.get_or_insert_with(&[i], || Some(i as u32));
+            assert_eq!(got, Some(i as u32), "pass-through must stay correct");
+        }
+        assert!(c.len() <= 4, "budget must bound retained entries");
+        assert!(c.rejected_inserts() >= 6);
+        assert!(budget.exceeded());
+        // retained entries still hit
+        assert_eq!(c.get(&[0]), Some(Some(0)));
     }
 
     #[test]

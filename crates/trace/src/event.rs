@@ -20,6 +20,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "worker_started",
     "worker_finished",
     "worker_cancelled",
+    "worker_panicked",
     "incumbent_improved",
     "bound_tightened",
     "node_expanded",
@@ -57,6 +58,12 @@ pub enum Event {
         expanded: u64,
         elapsed_us: u64,
     },
+    /// A worker panicked and was quarantined; the portfolio continued on
+    /// its siblings. `message` is the (truncated) panic payload.
+    WorkerPanicked {
+        worker: &'static str,
+        message: String,
+    },
     /// The shared incumbent's upper bound improved to `width`.
     IncumbentImproved { worker: &'static str, width: u32 },
     /// The shared lower bound rose to `lower`.
@@ -90,6 +97,7 @@ impl Event {
             Event::WorkerStarted { .. } => "worker_started",
             Event::WorkerFinished { .. } => "worker_finished",
             Event::WorkerCancelled { .. } => "worker_cancelled",
+            Event::WorkerPanicked { .. } => "worker_panicked",
             Event::IncumbentImproved { .. } => "incumbent_improved",
             Event::BoundTightened { .. } => "bound_tightened",
             Event::NodeExpanded { .. } => "node_expanded",
@@ -105,6 +113,7 @@ impl Event {
             Event::WorkerStarted { worker }
             | Event::WorkerFinished { worker, .. }
             | Event::WorkerCancelled { worker, .. }
+            | Event::WorkerPanicked { worker, .. }
             | Event::IncumbentImproved { worker, .. }
             | Event::BoundTightened { worker, .. }
             | Event::NodeExpanded { worker, .. }
@@ -179,6 +188,14 @@ impl Record {
                 }
                 let _ = write!(s, ",\"expanded\":{expanded},\"elapsed_us\":{elapsed_us}");
             }
+            Event::WorkerPanicked { worker, message } => {
+                // the one free-form string in the schema: escape it
+                let _ = write!(
+                    s,
+                    ",\"worker\":\"{worker}\",\"message\":\"{}\"",
+                    escape_json(message)
+                );
+            }
             Event::IncumbentImproved { worker, width } => {
                 let _ = write!(s, ",\"worker\":\"{worker}\",\"width\":{width}");
             }
@@ -225,9 +242,30 @@ impl Record {
     }
 }
 
+/// Minimal JSON string escaping for the free-form panic message.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Checks an in-memory record stream for well-formedness: contiguous
 /// `seq` from 0, non-decreasing `t_us`, and every `WorkerStarted`
-/// matched by exactly one `WorkerFinished` or `WorkerCancelled`.
+/// matched by exactly one `WorkerFinished`, `WorkerCancelled` or
+/// `WorkerPanicked` (a quarantined panic is a terminal worker event).
 /// Returns the first violation as a human-readable message.
 pub fn validate_stream(records: &[Record]) -> Result<(), String> {
     let mut open: Vec<&'static str> = Vec::new();
@@ -250,18 +288,18 @@ pub fn validate_stream(records: &[Record]) -> Result<(), String> {
                 }
                 open.push(worker);
             }
-            Event::WorkerFinished { worker, .. } | Event::WorkerCancelled { worker, .. } => {
-                match open.iter().position(|w| w == worker) {
-                    Some(p) => {
-                        open.remove(p);
-                    }
-                    None => {
-                        return Err(format!(
-                            "record {i}: worker '{worker}' ended without starting"
-                        ));
-                    }
+            Event::WorkerFinished { worker, .. }
+            | Event::WorkerCancelled { worker, .. }
+            | Event::WorkerPanicked { worker, .. } => match open.iter().position(|w| w == worker) {
+                Some(p) => {
+                    open.remove(p);
                 }
-            }
+                None => {
+                    return Err(format!(
+                        "record {i}: worker '{worker}' ended without starting"
+                    ));
+                }
+            },
             _ => {}
         }
     }
@@ -339,6 +377,10 @@ mod tests {
                 expanded: 3,
                 elapsed_us: 4,
             },
+            Event::WorkerPanicked {
+                worker: "x",
+                message: "boom".into(),
+            },
             Event::IncumbentImproved {
                 worker: "x",
                 width: 2,
@@ -373,6 +415,48 @@ mod tests {
             assert!(KNOWN_KINDS.contains(&e.kind()), "unknown kind {}", e.kind());
         }
         assert_eq!(events.len(), KNOWN_KINDS.len());
+    }
+
+    #[test]
+    fn panic_messages_are_escaped_and_terminal() {
+        let r = rec(
+            0,
+            0,
+            Event::WorkerPanicked {
+                worker: "astar",
+                message: "index 3 \"out\\of\" range\n".into(),
+            },
+        );
+        assert_eq!(
+            r.to_json_line(),
+            "{\"v\":1,\"seq\":0,\"t_us\":0,\"kind\":\"worker_panicked\",\
+             \"worker\":\"astar\",\"message\":\"index 3 \\\"out\\\\of\\\" range\\n\"}"
+        );
+        // a panicked worker counts as ended
+        let s = vec![
+            rec(0, 0, Event::WorkerStarted { worker: "astar" }),
+            rec(
+                1,
+                5,
+                Event::WorkerPanicked {
+                    worker: "astar",
+                    message: "boom".into(),
+                },
+            ),
+        ];
+        validate_stream(&s).unwrap();
+        // ...but cannot end a worker that never started
+        let s = vec![rec(
+            0,
+            0,
+            Event::WorkerPanicked {
+                worker: "astar",
+                message: "boom".into(),
+            },
+        )];
+        assert!(validate_stream(&s)
+            .unwrap_err()
+            .contains("without starting"));
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl Tracer {
         // happen atomically, so seq order == timestamp order, and the
         // clamp makes t_us non-decreasing even if Instant resolution
         // hiccups.
-        let mut st = self.state.lock().unwrap();
+        // poison-tolerant: a quarantined worker panic must not wedge the
+        // tracer for the surviving workers (State is written atomically
+        // under the lock, so a recovered guard is always coherent)
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let t_us = (self.epoch.elapsed().as_micros() as u64).max(st.last_t_us);
         st.last_t_us = t_us;
         let seq = st.seq;
@@ -109,7 +112,11 @@ impl Tracer {
     /// Flushes the sink (e.g. the JSONL buffer) to its destination.
     pub fn flush(&self) {
         if self.enabled {
-            self.state.lock().unwrap().sink.flush();
+            self.state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .sink
+                .flush();
         }
     }
 
