@@ -1,0 +1,244 @@
+//! Machine-readable performance snapshot — the `BENCH_<n>.json` the
+//! roadmap's perf-trajectory item asks for, committed once per PR.
+//!
+//! Two sections:
+//!
+//! * **ghw race** — the balanced-separator engine (internal 4-thread
+//!   pool) against each sequential engine (branch and bound, A*), one
+//!   arm at a time under the same wall clock, on large `.hg` grid
+//!   instances. Every arm runs with a ring-buffer tracer; the comparison
+//!   is *time to reach the common width* (the worst of the arms' final
+//!   upper bounds), read off the `incumbent_improved` event stream — an
+//!   arm that gets to equal width sooner wins that instance.
+//! * **tw portfolio** — the portfolio_race claim in numbers: 4-thread
+//!   portfolio vs the best single engine's final gap on queen7/grid7.
+//!
+//! The largest race instance is also written next to the snapshot in
+//! HyperBench `.hg` text, so the run is reproducible from the committed
+//! artifacts alone.
+//!
+//! `cargo run --release -p htd-bench --bin bench_snapshot -- \
+//!     [--out BENCH_6.json] [--full]`
+
+use std::time::Duration;
+
+use htd_bench::{Scale, Table};
+use htd_core::Json;
+use htd_hypergraph::{gen, io, Hypergraph};
+use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
+use htd_trace::{Event, RingBuffer, Tracer};
+
+struct ArmResult {
+    name: &'static str,
+    threads: usize,
+    upper: u32,
+    lower: u32,
+    exact: bool,
+    elapsed_ms: f64,
+    /// (t_us, width) per incumbent improvement, ascending time.
+    curve: Vec<(u64, u32)>,
+}
+
+fn run_arm(
+    problem: &Problem,
+    engine: Engine,
+    threads: usize,
+    budget: Duration,
+) -> ArmResult {
+    let ring = RingBuffer::new(1 << 18);
+    let cfg = SearchConfig::default()
+        .with_max_nodes(u64::MAX)
+        .with_time_limit(budget)
+        .with_seed(1)
+        .with_threads(threads)
+        .with_engines(vec![engine])
+        .with_tracer(Tracer::new(Box::new(std::sync::Arc::clone(&ring))));
+    let out: Outcome = solve(problem, &cfg).expect("validated instance");
+    let curve = ring
+        .records()
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::IncumbentImproved { width, .. } => Some((r.t_us, width)),
+            _ => None,
+        })
+        .collect();
+    ArmResult {
+        name: engine.name(),
+        threads,
+        upper: out.upper,
+        lower: out.lower,
+        exact: out.exact,
+        elapsed_ms: out.elapsed.as_secs_f64() * 1000.0,
+        curve,
+    }
+}
+
+/// Microseconds until the arm first held an upper bound `<= width`.
+fn time_to(arm: &ArmResult, width: u32) -> Option<u64> {
+    arm.curve.iter().find(|(_, w)| *w <= width).map(|(t, _)| *t)
+}
+
+fn arm_json(a: &ArmResult, common: Option<u32>) -> Json {
+    let mut m = vec![
+        ("engine".into(), Json::Str(a.name.into())),
+        ("threads".into(), Json::Num(a.threads as f64)),
+        ("lower".into(), Json::Num(a.lower as f64)),
+        ("exact".into(), Json::Bool(a.exact)),
+        ("elapsed_ms".into(), Json::Num(a.elapsed_ms)),
+    ];
+    if a.upper != u32::MAX {
+        m.push(("upper".into(), Json::Num(a.upper as f64)));
+    }
+    if let Some(w) = common {
+        if let Some(t) = time_to(a, w) {
+            m.push(("t_common_width_us".into(), Json::Num(t as f64)));
+        }
+    }
+    Json::Obj(m)
+}
+
+fn ghw_race(budget: Duration, table: &mut Table) -> (Vec<Json>, bool, Option<(String, String)>) {
+    let instances: Vec<(String, Hypergraph)> = [10u32, 14, 18]
+        .iter()
+        .map(|&k| (format!("grid2d_{k}"), gen::grid2d(k)))
+        .collect();
+    let mut rows = Vec::new();
+    let mut any_balsep_win = false;
+    let mut largest_hg = None;
+    for (name, h) in &instances {
+        let problem = Problem::ghw(h.clone());
+        let arms = vec![
+            run_arm(&problem, Engine::BalSep, 4, budget),
+            run_arm(&problem, Engine::BranchBound, 1, budget),
+            run_arm(&problem, Engine::AStar, 1, budget),
+        ];
+        // common width = the worst final upper among arms that found one:
+        // every arm reached it, so time-to-common compares equal quality
+        let common = arms
+            .iter()
+            .filter(|a| a.upper != u32::MAX)
+            .map(|a| a.upper)
+            .max();
+        let t_bal = common.and_then(|w| time_to(&arms[0], w));
+        let t_seq = common.and_then(|w| {
+            arms[1..]
+                .iter()
+                .filter_map(|a| time_to(a, w))
+                .min()
+        });
+        let balsep_wins = match (t_bal, t_seq) {
+            (Some(b), Some(s)) => b < s,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        any_balsep_win |= balsep_wins;
+        for a in &arms {
+            table.row(vec![
+                name.clone(),
+                a.name.into(),
+                a.threads.to_string(),
+                if a.upper == u32::MAX {
+                    "∞".into()
+                } else {
+                    a.upper.to_string()
+                },
+                common
+                    .and_then(|w| time_to(a, w))
+                    .map(|t| format!("{:.1}", t as f64 / 1000.0))
+                    .unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        let mut m = vec![
+            ("instance".into(), Json::Str(name.clone())),
+            ("vertices".into(), Json::Num(h.num_vertices() as f64)),
+            ("edges".into(), Json::Num(h.num_edges() as f64)),
+            ("objective".into(), Json::Str(Objective::GeneralizedHypertreeWidth.name().into())),
+            (
+                "arms".into(),
+                Json::Arr(arms.iter().map(|a| arm_json(a, common)).collect()),
+            ),
+            ("balsep_beats_best_sequential".into(), Json::Bool(balsep_wins)),
+        ];
+        if let Some(w) = common {
+            m.push(("common_width".into(), Json::Num(w as f64)));
+        }
+        rows.push(Json::Obj(m));
+        largest_hg = Some((format!("{name}.hg"), io::write_hg(h)));
+    }
+    (rows, any_balsep_win, largest_hg)
+}
+
+fn tw_portfolio(budget: Duration) -> Vec<Json> {
+    let mut rows = Vec::new();
+    for (name, g) in [("queen7", gen::queen_graph(7)), ("grid7", gen::grid_graph(7, 7))] {
+        let base = SearchConfig::default()
+            .with_max_nodes(u64::MAX)
+            .with_time_limit(budget)
+            .with_seed(1);
+        let problem = Problem::treewidth(g);
+        let mut best_seq_gap = u32::MAX;
+        for engine in [Engine::BranchBound, Engine::AStar] {
+            let out = solve(&problem, &base.clone().with_engines(vec![engine])).unwrap();
+            best_seq_gap = best_seq_gap.min(out.upper.saturating_sub(out.lower));
+        }
+        let port = solve(&problem, &base.clone().with_threads(4)).unwrap();
+        rows.push(Json::Obj(vec![
+            ("instance".into(), Json::Str(name.into())),
+            ("best_sequential_gap".into(), Json::Num(best_seq_gap as f64)),
+            (
+                "portfolio_gap".into(),
+                Json::Num(port.upper.saturating_sub(port.lower) as f64),
+            ),
+            ("portfolio_lower".into(), Json::Num(port.lower as f64)),
+            ("portfolio_upper".into(), Json::Num(port.upper as f64)),
+        ]));
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_6.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--full" | "--quick" => {}
+            other => {
+                eprintln!("usage: bench_snapshot [--out FILE.json] [--full]");
+                eprintln!("unknown flag {other}");
+                std::process::exit(4);
+            }
+        }
+    }
+    let scale = Scale::from_env();
+    let budget = scale.pick(Duration::from_secs(2), Duration::from_secs(10));
+    println!("bench snapshot — wall clock {budget:?} per arm\n");
+
+    let mut table = Table::new(&["Instance", "engine", "threads", "ub", "t_common (ms)"]);
+    let (ghw_rows, balsep_won, largest) = ghw_race(budget, &mut table);
+    table.print();
+    println!(
+        "\nbalsep beats the best sequential arm to the common width on ≥1 instance: {balsep_won}"
+    );
+    let tw_rows = tw_portfolio(budget);
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Num(6.0)),
+        ("budget_ms".into(), Json::Num(budget.as_millis() as f64)),
+        ("ghw_race".into(), Json::Arr(ghw_rows)),
+        ("tw_portfolio".into(), Json::Arr(tw_rows)),
+        ("balsep_beats_best_sequential_anywhere".into(), Json::Bool(balsep_won)),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", doc)).expect("write snapshot");
+    println!("wrote {out_path}");
+    if let Some((name, text)) = largest {
+        let path = format!("results/{name}");
+        std::fs::write(&path, text).expect("write instance");
+        println!("wrote {path}");
+    }
+    if !balsep_won {
+        eprintln!("warning: balsep did not beat the sequential arms anywhere");
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,9 @@
 //! Differential & metamorphic fuzz harness over all engines.
 //!
 //! Cycles through the seeded generator families of `htd_check::metamorphic`
-//! and, for every instance, (a) runs the differential matrix — exact
+//! and, for every instance, (a) runs the differential matrix — one arm per
+//! engine-registry entry that opts in (branch and bound, A*, and the
+//! balanced-separator engine in every mode including `--smoke`): exact
 //! engines must agree, heuristic arms must bracket, every `Outcome` and
 //! witness is oracle-verified — and (b) replays the metamorphic
 //! invariants (relabeling, padding, deletion monotonicity). On a failure

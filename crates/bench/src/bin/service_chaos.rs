@@ -180,6 +180,7 @@ fn main() {
                 deadline_ms: Some(1_500),
                 budget: None,
                 threads: Some(3),
+                engines: None,
                 use_cache: false,
             }),
         });
@@ -271,6 +272,7 @@ fn main() {
                 deadline_ms: Some(1_500),
                 budget: None,
                 threads: Some(3),
+                engines: None,
                 use_cache: false,
             }),
         });

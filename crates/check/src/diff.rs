@@ -14,7 +14,7 @@ use std::time::Duration;
 use htd_core::bucket::{ghd_via_elimination, vertex_elimination};
 use htd_core::ordering::CoverStrategy;
 use htd_hypergraph::{Graph, Hypergraph};
-use htd_search::{dp_treewidth, solve, Engine, Objective, Outcome, Problem, SearchConfig};
+use htd_search::{dp_treewidth, engine_specs, solve, Engine, Objective, Outcome, Problem, SearchConfig};
 
 use crate::oracle::{check_ghd, check_graph_td};
 use crate::report::{CheckReport, Condition};
@@ -285,9 +285,38 @@ fn run_arm(
     }
 }
 
-/// Differential treewidth run: branch and bound vs A* vs the Held–Karp DP
-/// (small graphs), plus a heuristic arm that must bracket the exact value
-/// and, optionally, a 2-thread portfolio arm.
+/// One single-engine arm per registered engine that opts into the
+/// differential harness and supports `objective` — the arm list derives
+/// from the engine registry, so a newly registered engine is
+/// cross-examined without touching this crate. Each arm gets two threads:
+/// a one-engine portfolio still runs one worker, but engines with
+/// internal parallelism (balsep) use the second slot for their own pool.
+fn run_registry_arms(
+    report: &mut CheckReport,
+    claims: &mut Vec<Claim>,
+    problem: &Problem,
+    objective: Objective,
+    cfg: &DiffConfig,
+) {
+    for spec in engine_specs() {
+        if !spec.differential_arm() || !spec.supports(objective) {
+            continue;
+        }
+        let engine = Engine::from_name(spec.name()).expect("spec is registered");
+        run_arm(
+            report,
+            claims,
+            spec.name(),
+            problem,
+            cfg.search_config_for(vec![engine], 2),
+        );
+    }
+}
+
+/// Differential treewidth run: one arm per registry engine (branch and
+/// bound, A*, balsep, ...) vs the Held–Karp DP (small graphs), plus a
+/// heuristic arm that must bracket the exact value and, optionally, a
+/// 2-thread portfolio arm.
 pub fn diff_tw(g: &Graph, cfg: &DiffConfig) -> CheckReport {
     let mut report = CheckReport::new(format!(
         "tw diff on {} vertices / {} edges",
@@ -296,19 +325,12 @@ pub fn diff_tw(g: &Graph, cfg: &DiffConfig) -> CheckReport {
     ));
     let problem = Problem::treewidth(g.clone());
     let mut claims = Vec::new();
-    run_arm(
+    run_registry_arms(
         &mut report,
         &mut claims,
-        "bb_tw",
         &problem,
-        cfg.search_config_for(vec![Engine::BranchBound], 1),
-    );
-    run_arm(
-        &mut report,
-        &mut claims,
-        "astar_tw",
-        &problem,
-        cfg.search_config_for(vec![Engine::AStar], 1),
+        Objective::Treewidth,
+        cfg,
     );
     if g.num_vertices() <= cfg.dp_limit && g.num_vertices() > 0 {
         let w = dp_treewidth(g);
@@ -347,19 +369,12 @@ pub fn diff_ghw(h: &Hypergraph, cfg: &DiffConfig) -> CheckReport {
     ));
     let problem = Problem::ghw(h.clone());
     let mut claims = Vec::new();
-    run_arm(
+    run_registry_arms(
         &mut report,
         &mut claims,
-        "bb_ghw",
         &problem,
-        cfg.search_config_for(vec![Engine::BranchBound], 1),
-    );
-    run_arm(
-        &mut report,
-        &mut claims,
-        "astar_ghw",
-        &problem,
-        cfg.search_config_for(vec![Engine::AStar], 1),
+        Objective::GeneralizedHypertreeWidth,
+        cfg,
     );
     if cfg.portfolio_arm {
         let mut pcfg = cfg.search_config_for(Engine::default_lineup(), 2);

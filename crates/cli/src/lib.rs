@@ -46,6 +46,7 @@ use std::time::Duration;
 
 use htd_check::Certificate;
 use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
+use htd_core::ordering::EliminationOrdering;
 use htd_core::{dot, pace, CoverStrategy, HtdError, Json};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
 use htd_search::{dp_treewidth_budgeted, solve, Engine, Objective, Outcome, Problem, SearchConfig};
@@ -116,6 +117,9 @@ pub enum OutputFormat {
 pub struct Options {
     /// Heuristic-only bounds instead of the default exact search.
     pub fast: bool,
+    /// Explicit engine lineup (registry names, launch order); `None`
+    /// means the registry's default lineup. Overrides `--fast`.
+    pub engines: Option<Vec<String>>,
     /// Node budget for exact searches.
     pub budget: u64,
     /// Wall-clock budget.
@@ -161,6 +165,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             fast: false,
+            engines: None,
             budget: 1_000_000,
             time_limit: None,
             format: None,
@@ -194,7 +199,9 @@ impl Options {
         if let Some(mb) = self.memory_mb {
             cfg = cfg.with_memory_budget(mb << 20);
         }
-        if self.fast {
+        if let Some(names) = &self.engines {
+            cfg = cfg.with_engines(htd_search::engines_from_names(names)?);
+        } else if self.fast {
             cfg = cfg.with_engines(vec![Engine::Heuristic, Engine::LowerBound]);
         }
         if let Some(path) = &self.trace {
@@ -228,6 +235,15 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => o.fast = true,
+            "--engines" => {
+                let list = it.next().ok_or_else(|| {
+                    HtdError::Unsupported(format!(
+                        "--engines needs a comma-separated list; registered engines: {}",
+                        htd_search::registered_engine_names().join(", ")
+                    ))
+                })?;
+                o.engines = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
             "--exact" => o.fast = false, // historical default, kept as a no-op
             "--quiet" | "-q" => o.quiet = true,
             "--budget" => o.budget = numeric(&mut it, "--budget")?,
@@ -405,9 +421,20 @@ pub fn cmd_hw(inst: &Instance, o: &Options) -> Result<String, HtdError> {
 pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
     let mut rng = StdRng::seed_from_u64(o.seed);
     let format = o.format.as_deref().unwrap_or("td");
+    // with --engines, the requested lineup searches for the ordering the
+    // decomposition is built from; the min-fill default stays instant
+    let searched_order = |problem: Problem| -> Result<Option<EliminationOrdering>, HtdError> {
+        match o.engines {
+            Some(_) => Ok(solve(&problem, &o.search_config()?)?.witness),
+            None => Ok(None),
+        }
+    };
     match inst {
         Instance::Graph(g) => {
-            let order = htd_heuristics::upper::min_fill(g, &mut rng).ordering;
+            let order = match searched_order(Problem::treewidth(g.clone()))? {
+                Some(w) => w,
+                None => htd_heuristics::upper::min_fill(g, &mut rng).ordering,
+            };
             let td = vertex_elimination(g, &order).simplify();
             match format {
                 "td" => Ok(pace::write_td(&td, g.num_vertices())),
@@ -425,7 +452,10 @@ pub fn cmd_decompose(inst: &Instance, o: &Options) -> Result<String, HtdError> {
             }
         }
         Instance::Hypergraph(h) => {
-            let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
+            let order = match searched_order(Problem::ghw(h.clone()))? {
+                Some(w) => w,
+                None => htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering,
+            };
             match format {
                 "td" => {
                     let td = td_of_hypergraph(h, &order).simplify();
@@ -646,6 +676,7 @@ const USAGE: &str =
     "usage: htd <info|tw|ghw|hw|decompose|check|solve|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
+              --engines NAME[,NAME...] (explicit lineup from the engine registry)
               --memory-mb N (degrade to anytime bounds past this budget)
               --dp (tw: all-or-nothing subset DP; exit 6 when over budget)
               --trace FILE.jsonl (solver event stream, schema v1)
@@ -659,7 +690,7 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
     match cmd {
         "info" => Some("usage: htd info <file|-> [--seed N]\n\
             Prints instance statistics and quick width bounds."),
-        "tw" => Some("usage: htd tw <file|-> [--fast] [--dp] [--budget N] [--time MS] [--threads N] [--seed N] [--memory-mb N] [--trace FILE] [--format human|json] [--quiet]\n\
+        "tw" => Some("usage: htd tw <file|-> [--fast] [--dp] [--engines NAME[,NAME...]] [--budget N] [--time MS] [--threads N] [--seed N] [--memory-mb N] [--trace FILE] [--format human|json] [--quiet]\n\
             Treewidth. Exact branch and bound by default; --threads N > 1 runs the\n\
             anytime portfolio (BB, A*, heuristics, lower bounds sharing one incumbent);\n\
             --fast computes heuristic bounds only. --dp runs the all-or-nothing\n\
@@ -678,8 +709,12 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             for `htd tw`."),
         "hw" => Some("usage: htd hw <file|-> [--seed N] [--format human|json] [--quiet]\n\
             Hypertree width via det-k-decomp, primed with the ghw lower bound."),
-        "decompose" => Some("usage: htd decompose <file|-> [--format td|dot|cert] [--seed N]\n\
+        "decompose" => Some("usage: htd decompose <file|-> [--format td|dot|cert] [--engines NAME[,NAME...]] [--threads N] [--seed N]\n\
             Emits a tree decomposition of the instance from a min-fill ordering.\n\
+            --engines runs the named registry engines (e.g. balsep,branch_bound;\n\
+            see docs/parallelism.md) and decomposes from the best ordering they\n\
+            find; unknown names list the registered engines. With --threads N\n\
+            the lineup races in the anytime portfolio.\n\
             --format td   PACE 2017 .td text (default)\n\
             --format dot  Graphviz; for hypergraphs the bags show their edge\n\
                           covers λ, i.e. a generalized hypertree decomposition.\n\
@@ -906,6 +941,35 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, HtdError::Unsupported(_)));
         assert_eq!(exit_code(&err), 4);
+    }
+
+    #[test]
+    fn engines_flag_drives_the_registry_lineup() {
+        let o = parse_options(&["--engines".into(), "balsep, branch_bound".into()]).unwrap();
+        assert_eq!(
+            o.engines,
+            Some(vec!["balsep".to_string(), "branch_bound".to_string()])
+        );
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let out = cmd_tw(&inst, &o).unwrap();
+        assert!(out.starts_with("treewidth 2\n"), "{out}");
+        // decompose searches with the requested lineup and still emits a
+        // decomposition that verifies against the instance
+        let td_text = cmd_decompose(&inst, &o).unwrap();
+        let td = pace::parse_td(&td_text).unwrap();
+        td.validate_graph(&inst.graph()).unwrap();
+    }
+
+    #[test]
+    fn unknown_engine_name_lists_the_registered_engines() {
+        let o = parse_options(&["--engines".into(), "warp_drive".into()]).unwrap();
+        let inst = parse_instance("c.gr", graph_text()).unwrap();
+        let err = cmd_tw(&inst, &o).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp_drive"), "{msg}");
+        assert!(msg.contains("registered engines"), "{msg}");
+        assert!(msg.contains("balsep"), "{msg}");
+        assert!(matches!(err, HtdError::Unsupported(_)), "{err:?}");
     }
 
     #[test]

@@ -166,6 +166,36 @@ impl Graph {
         comps
     }
 
+    /// Connected components of the subgraph induced by `within`, each as a
+    /// bitset of original vertex ids. The separator-splitting step of
+    /// nested dissection: `within = V \ S` yields the parts the recursion
+    /// descends into.
+    pub fn connected_components_within(&self, within: &VertexSet) -> Vec<VertexSet> {
+        let n = self.num_vertices();
+        let mut seen = VertexSet::new(n);
+        let mut comps = Vec::new();
+        let mut stack = Vec::new();
+        for s in within.iter() {
+            if seen.contains(s) {
+                continue;
+            }
+            let mut comp = VertexSet::new(n);
+            stack.push(s);
+            seen.insert(s);
+            comp.insert(s);
+            while let Some(v) = stack.pop() {
+                for w in self.adj[v as usize].intersection(within).iter() {
+                    if seen.insert(w) {
+                        comp.insert(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
     /// `true` iff the graph has no edges between distinct vertices missing
     /// inside `s` except those incident to `v`; that is, `v` is *simplicial*:
     /// its neighborhood is a clique.

@@ -187,6 +187,92 @@ impl Hypergraph {
         }
         s
     }
+
+    /// Connected components of the whole vertex set. Two vertices are
+    /// connected iff they share a hyperedge (equivalently: iff they are
+    /// connected in the primal graph); isolated vertices form singleton
+    /// components.
+    pub fn connected_components(&self) -> Vec<VertexSet> {
+        self.connected_components_within(&VertexSet::full(self.num_vertices))
+    }
+
+    /// Connected components of the sub-hypergraph induced by `within`:
+    /// hyperedges are restricted to `within`, and two vertices of `within`
+    /// are connected iff a chain of restricted edges joins them.
+    ///
+    /// This is the splitting step of balanced-separator decomposition:
+    /// with `within = V \ S` for a separator `S`, the returned components
+    /// are exactly the `[S]`-components the recursion descends into.
+    /// Runs in `O(Σ|e| + n)`: every edge is expanded at most once.
+    pub fn connected_components_within(&self, within: &VertexSet) -> Vec<VertexSet> {
+        let n = self.num_vertices;
+        let mut seen = VertexSet::new(n);
+        let mut comps = Vec::new();
+        let mut edge_done = vec![false; self.edges.len()];
+        let mut stack: Vec<Vertex> = Vec::new();
+        for s in within.iter() {
+            if seen.contains(s) {
+                continue;
+            }
+            let mut comp = VertexSet::new(n);
+            seen.insert(s);
+            comp.insert(s);
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &e in self.incident_edges(v) {
+                    if std::mem::replace(&mut edge_done[e as usize], true) {
+                        continue;
+                    }
+                    // all of the edge's vertices inside `within` land in
+                    // this component: they pairwise share this edge
+                    for w in self.edges[e as usize].intersection(within).iter() {
+                        if seen.insert(w) {
+                            comp.insert(w);
+                            stack.push(w);
+                        }
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// The sub-hypergraph induced by `keep`, with vertices renumbered to
+    /// `0..keep.len()`: every hyperedge is intersected with `keep`, empty
+    /// intersections are dropped, and exact duplicate scopes collapse
+    /// (they are indistinguishable for covering). Returns the
+    /// sub-hypergraph and the old-id-per-new-id map, mirroring
+    /// [`Graph::induced_subgraph`].
+    pub fn induced_sub_hypergraph(&self, keep: &VertexSet) -> (Hypergraph, Vec<Vertex>) {
+        let old_ids: Vec<Vertex> = keep.to_vec();
+        let mut new_id = vec![u32::MAX; self.num_vertices as usize];
+        for (i, &v) in old_ids.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut lists: Vec<Vec<Vertex>> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut seen_scopes: HashMap<Vec<Vertex>, ()> = HashMap::new();
+        for (e, scope) in self.edges.iter().enumerate() {
+            let restricted: Vec<Vertex> = scope
+                .intersection(keep)
+                .iter()
+                .map(|v| new_id[v as usize])
+                .collect();
+            if restricted.is_empty() || seen_scopes.insert(restricted.clone(), ()).is_some() {
+                continue;
+            }
+            lists.push(restricted);
+            names.push(self.edge_names[e].clone());
+        }
+        let mut h = Hypergraph::new(old_ids.len() as u32, lists);
+        h.vertex_names = old_ids
+            .iter()
+            .map(|&v| self.vertex_names[v as usize].clone())
+            .collect();
+        h.edge_names = names;
+        (h, old_ids)
+    }
 }
 
 #[cfg(test)]

@@ -10,65 +10,10 @@ use htd_trace::{metrics::Counter, registry, Event, Tracer};
 
 use crate::incumbent::Incumbent;
 
-/// The engines a portfolio run may launch. Engine names are
-/// objective-independent: the portfolio picks the tw or ghw variant of
-/// each by the problem's objective.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Engine {
-    /// Greedy upper-bound heuristics (min-fill / min-degree / MCS) plus
-    /// iterated local search — fast first incumbents.
-    Heuristic,
-    /// Dedicated lower-bound worker (minor-min-width / tw-ksc families).
-    LowerBound,
-    /// Depth-first branch and bound over elimination orderings.
-    BranchBound,
-    /// Best-first A* over elimination orderings.
-    AStar,
-    /// Genetic algorithm upper-bound worker.
-    Genetic,
-    /// Simulated-annealing upper-bound worker.
-    Annealing,
-}
-
-impl Engine {
-    /// The default portfolio lineup, in launch order.
-    pub fn default_lineup() -> Vec<Engine> {
-        vec![
-            Engine::Heuristic,
-            Engine::LowerBound,
-            Engine::BranchBound,
-            Engine::AStar,
-            Engine::Genetic,
-            Engine::Annealing,
-        ]
-    }
-
-    /// The stable snake_case name used in JSON reports, trace events and
-    /// metric labels.
-    pub fn name(self) -> &'static str {
-        match self {
-            Engine::Heuristic => "heuristic",
-            Engine::LowerBound => "lower_bound",
-            Engine::BranchBound => "branch_bound",
-            Engine::AStar => "astar",
-            Engine::Genetic => "genetic",
-            Engine::Annealing => "annealing",
-        }
-    }
-
-    /// Inverse of [`Engine::name`].
-    pub fn from_name(name: &str) -> Option<Engine> {
-        Some(match name {
-            "heuristic" => Engine::Heuristic,
-            "lower_bound" => Engine::LowerBound,
-            "branch_bound" => Engine::BranchBound,
-            "astar" => Engine::AStar,
-            "genetic" => Engine::Genetic,
-            "annealing" => Engine::Annealing,
-            _ => return None,
-        })
-    }
-}
+// The engines a portfolio run may launch now live in the open registry;
+// the handle is re-exported here so `htd_search::config::Engine` (and the
+// crate-root re-export) keep resolving for existing callers.
+pub use crate::registry::Engine;
 
 /// Toggles and budgets shared by all searches.
 ///

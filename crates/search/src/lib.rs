@@ -27,6 +27,7 @@
 
 pub mod astar_ghw;
 pub mod astar_tw;
+pub mod balsep;
 pub mod bb_ghw;
 pub mod bb_tw;
 pub mod config;
@@ -37,6 +38,7 @@ pub mod incumbent;
 pub mod parallel;
 pub mod portfolio;
 pub mod pruning;
+pub mod registry;
 
 pub use config::{Engine, SearchConfig, SearchOutcome, SearchStats};
 pub use detk::{det_k_decomp, hypertree_width};
@@ -44,6 +46,10 @@ pub use dp_tw::{dp_treewidth, dp_treewidth_budgeted};
 pub use incumbent::Incumbent;
 pub use parallel::bb_tw_parallel;
 pub use portfolio::{solve, EngineReport, Objective, Outcome, Problem};
+pub use registry::{
+    engine_specs, engines_from_names, register_engine, registered_engine_names, EngineContext,
+    EngineSpec,
+};
 
 use htd_hypergraph::{Graph, Hypergraph};
 

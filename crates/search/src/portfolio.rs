@@ -35,8 +35,9 @@ use htd_trace::{registry, Event};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{Engine, SearchConfig, SearchStats};
+use crate::config::{SearchConfig, SearchStats};
 use crate::incumbent::{offer_traced, raise_traced, Incumbent};
+use crate::registry::{Engine, EngineContext, EngineSpec};
 
 /// What to minimize.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,6 +208,11 @@ pub struct Outcome {
     /// rather than by its node/time budget. Degraded results never claim
     /// exactness they didn't prove before the truncation.
     pub degraded: bool,
+    /// Lineup engines that never got a worker slot (fewer threads than
+    /// engines, or an engine that does not support the objective). They
+    /// contributed nothing — a run that looks oddly narrow was not a
+    /// silent truncation, it is recorded here and in the trace stream.
+    pub skipped_engines: Vec<Engine>,
 }
 
 impl Outcome {
@@ -252,6 +258,17 @@ impl Outcome {
             "engines".into(),
             Json::Arr(self.per_engine.iter().map(engine_report_json).collect()),
         ));
+        if !self.skipped_engines.is_empty() {
+            members.push((
+                "skipped_engines".into(),
+                Json::Arr(
+                    self.skipped_engines
+                        .iter()
+                        .map(|e| Json::Str(e.name().into()))
+                        .collect(),
+                ),
+            ));
+        }
         let mut ts = Vec::new();
         if let Some(w) = self.winner {
             ts.push(("winner".into(), Json::Str(w.name().into())));
@@ -361,6 +378,17 @@ impl Outcome {
                 .get("degraded")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
+            // absent in pre-registry documents: default to none skipped
+            skipped_engines: doc
+                .get("skipped_engines")
+                .and_then(|v| v.as_arr())
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|v| v.as_str().and_then(Engine::from_name))
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 }
@@ -465,34 +493,30 @@ pub fn solve(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError>
     Ok(outcome)
 }
 
-/// Engines in claim order: when the portfolio has fewer threads than the
-/// lineup, the strongest engines claim the slots first.
-const CLAIM_ORDER: [Engine; 6] = [
-    Engine::BranchBound,
-    Engine::AStar,
-    Engine::Heuristic,
-    Engine::LowerBound,
-    Engine::Genetic,
-    Engine::Annealing,
-];
-
-fn pick_engines(cfg: &SearchConfig) -> Vec<Engine> {
+/// Picks the engines that get a worker slot and the ones that don't.
+///
+/// The lineup is first filtered to engines whose registered spec supports
+/// the objective; if more remain than the portfolio has threads, the
+/// registry's claim order decides who wins a slot (externally registered
+/// engines without a better claim keep their lineup position at the back).
+/// Whatever falls off is *returned*, not dropped: the caller records it in
+/// the trace stream and the outcome's diagnostics.
+fn pick_engines(cfg: &SearchConfig, objective: Objective) -> (Vec<Engine>, Vec<Engine>) {
     let lineup = cfg.engines.clone().unwrap_or_else(Engine::default_lineup);
+    let (supported, mut skipped): (Vec<Engine>, Vec<Engine>) = lineup
+        .into_iter()
+        .partition(|e| e.spec().is_some_and(|s| s.supports(objective)));
     let slots = cfg.num_threads.max(1);
-    if lineup.len() <= slots {
-        return lineup;
+    if supported.len() <= slots {
+        return (supported, skipped);
     }
-    let mut picked: Vec<Engine> = CLAIM_ORDER
-        .iter()
-        .copied()
-        .filter(|e| lineup.contains(e))
-        .take(slots)
-        .collect();
-    // engines outside the claim order (never happens today) keep their slot
-    if picked.is_empty() {
-        picked = lineup.into_iter().take(slots).collect();
-    }
-    picked
+    let claim = crate::registry::claim_order();
+    let rank = |e: &Engine| claim.iter().position(|c| c == e).unwrap_or(usize::MAX);
+    let mut picked = supported;
+    picked.sort_by_key(rank);
+    let dropped = picked.split_off(slots);
+    skipped.extend(dropped);
+    (picked, skipped)
 }
 
 fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> {
@@ -502,7 +526,26 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
     if cfg.time_limit.is_some_and(|d| d.is_zero()) {
         return Ok(zero_budget_outcome(problem, cfg));
     }
-    let engines = pick_engines(cfg);
+    let (engines, skipped) = pick_engines(cfg, problem.objective);
+    if !skipped.is_empty() {
+        registry()
+            .counter("htd_engines_skipped_total")
+            .add(skipped.len() as u64);
+        cfg.tracer.emit_with(|| Event::EnginesSkipped {
+            engines: skipped
+                .iter()
+                .map(|e| e.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            slots: cfg.num_threads.max(1) as u64,
+        });
+    }
+    // resolved once, outside the worker threads: pick_engines only returns
+    // engines whose spec is registered
+    let specs: Vec<Arc<dyn EngineSpec>> = engines
+        .iter()
+        .map(|e| e.spec().expect("picked engines are registered"))
+        .collect();
     let inc = cfg.incumbent();
     // one cover cache per covering strategy: exact for the searches,
     // greedy for GA/SA fitness (their sizes differ, so they never share).
@@ -545,11 +588,13 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
         }
         let handles: Vec<_> = engines
             .iter()
+            .zip(&specs)
             .enumerate()
-            .map(|(i, &engine)| {
+            .map(|(i, (&engine, spec))| {
                 let worker_cfg = &worker_cfg;
                 let inc = &inc;
                 let greedy_cache = &greedy_cache;
+                let pool_threads = cfg.num_threads.max(1);
                 scope.spawn(move |_| {
                     let mut cfg_i = worker_cfg.clone();
                     cfg_i.seed = worker_cfg.seed.wrapping_add((i as u64) << 40);
@@ -566,7 +611,14 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                                 panic!("injected fault: worker panic");
                             }
                         }
-                        run_engine(engine, problem, &cfg_i, inc, greedy_cache)
+                        let ctx = EngineContext {
+                            problem,
+                            cfg: &cfg_i,
+                            inc,
+                            greedy_cache,
+                            pool_threads,
+                        };
+                        spec.run(&ctx)
                     });
                     let report = match quarantined {
                         Ok(report) => report,
@@ -671,6 +723,7 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
         cover_cache_hits,
         cover_cache_misses,
         degraded,
+        skipped_engines: skipped,
     })
 }
 
@@ -736,57 +789,97 @@ fn zero_budget_outcome(problem: &Problem, cfg: &SearchConfig) -> Outcome {
         cover_cache_hits: 0,
         cover_cache_misses: 0,
         degraded: false,
+        skipped_engines: Vec::new(),
     }
 }
 
-/// Runs one engine to completion (or cancellation) against the incumbent.
-fn run_engine(
-    engine: Engine,
-    problem: &Problem,
-    cfg: &SearchConfig,
-    inc: &Arc<Incumbent>,
-    greedy_cache: &Arc<CoverCache>,
-) -> EngineReport {
-    let start = Instant::now();
-    let ghw = problem.objective == Objective::GeneralizedHypertreeWidth;
-    let mut report = EngineReport {
+/// A fresh, empty report for `engine`.
+pub(crate) fn blank_report(engine: Engine) -> EngineReport {
+    EngineReport {
         engine,
         lower: 0,
         upper: u32::MAX,
         exact: false,
         panicked: false,
         stats: SearchStats::default(),
-    };
-    match engine {
-        Engine::BranchBound => {
-            let out = if ghw {
-                crate::bb_ghw::bb_ghw(problem.hypergraph().expect("validated"), cfg)
-                    .expect("validated: coverable")
-            } else {
-                crate::bb_tw::bb_tw(problem.graph(), cfg)
-            };
-            report.lower = out.lower;
-            report.upper = out.upper;
-            report.exact = out.exact;
-            report.stats = out.stats;
-        }
-        Engine::AStar => {
-            let out = if ghw {
-                crate::astar_ghw::astar_ghw(problem.hypergraph().expect("validated"), cfg)
-                    .expect("validated: coverable")
-            } else {
-                crate::astar_tw::astar_tw(problem.graph(), cfg)
-            };
-            report.lower = out.lower;
-            report.upper = out.upper;
-            report.exact = out.exact;
-            report.stats = out.stats;
-        }
-        Engine::Heuristic => run_heuristic(problem, cfg, inc, &mut report),
-        Engine::LowerBound => run_lower_bound(problem, cfg, inc, &mut report),
-        Engine::Genetic => run_genetic(problem, cfg, inc, greedy_cache, &mut report),
-        Engine::Annealing => run_annealing(problem, cfg, inc, &mut report),
     }
+}
+
+// ---------------------------------------------------------------------
+// Built-in engine runners. These are the `run` entries of the registry's
+// builtin table (`crate::registry`): the portfolio never matches on an
+// engine, it just calls the registered spec.
+
+/// Branch and bound (tw or ghw by the problem's objective).
+pub(crate) fn run_branch_bound_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let out = match ctx.problem.objective {
+        Objective::GeneralizedHypertreeWidth => {
+            crate::bb_ghw::bb_ghw(ctx.problem.hypergraph().expect("validated"), ctx.cfg)
+                .expect("validated: coverable")
+        }
+        _ => crate::bb_tw::bb_tw(ctx.problem.graph(), ctx.cfg),
+    };
+    let mut report = blank_report(Engine::BranchBound);
+    report.lower = out.lower;
+    report.upper = out.upper;
+    report.exact = out.exact;
+    report.stats = out.stats;
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// A* (tw or ghw by the problem's objective).
+pub(crate) fn run_astar_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let out = match ctx.problem.objective {
+        Objective::GeneralizedHypertreeWidth => {
+            crate::astar_ghw::astar_ghw(ctx.problem.hypergraph().expect("validated"), ctx.cfg)
+                .expect("validated: coverable")
+        }
+        _ => crate::astar_tw::astar_tw(ctx.problem.graph(), ctx.cfg),
+    };
+    let mut report = blank_report(Engine::AStar);
+    report.lower = out.lower;
+    report.upper = out.upper;
+    report.exact = out.exact;
+    report.stats = out.stats;
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// Greedy + ILS upper-bound worker.
+pub(crate) fn run_heuristic_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let mut report = blank_report(Engine::Heuristic);
+    run_heuristic(ctx.problem, ctx.cfg, ctx.inc, &mut report);
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// Dedicated lower-bound worker.
+pub(crate) fn run_lower_bound_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let mut report = blank_report(Engine::LowerBound);
+    run_lower_bound(ctx.problem, ctx.cfg, ctx.inc, &mut report);
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// GA upper-bound worker.
+pub(crate) fn run_genetic_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let mut report = blank_report(Engine::Genetic);
+    run_genetic(ctx.problem, ctx.cfg, ctx.inc, ctx.greedy_cache, &mut report);
+    report.stats.elapsed = start.elapsed();
+    report
+}
+
+/// SA upper-bound worker.
+pub(crate) fn run_annealing_spec(ctx: &EngineContext<'_>) -> EngineReport {
+    let start = Instant::now();
+    let mut report = blank_report(Engine::Annealing);
+    run_annealing(ctx.problem, ctx.cfg, ctx.inc, &mut report);
     report.stats.elapsed = start.elapsed();
     report
 }
@@ -1021,6 +1114,7 @@ fn solve_hw(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, HtdError> 
         cover_cache_hits: 0,
         cover_cache_misses: 0,
         degraded: false,
+        skipped_engines: Vec::new(),
     })
 }
 

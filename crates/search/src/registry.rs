@@ -1,0 +1,414 @@
+//! The pluggable engine registry.
+//!
+//! Engines used to be a closed `enum` with hand-maintained `match` arms in
+//! the portfolio, the trace attribution, the service metrics and the
+//! differential harness. This module replaces that with an open registry:
+//! an engine is anything implementing [`EngineSpec`], registered once under
+//! a stable snake_case name, and everything downstream — launch order,
+//! claim order under scarce worker slots, `htd-trace` worker labels,
+//! per-engine `/metrics` series, `htd-check` differential arms — derives
+//! from the registry instead of a hard-coded list.
+//!
+//! [`Engine`] is the cheap handle the rest of the workspace passes around:
+//! a `Copy` wrapper over the engine's interned name. The historical enum
+//! variants survive as associated constants (`Engine::BranchBound`, ...),
+//! so lineups keep reading the way they always did.
+
+use std::sync::Arc;
+
+use htd_core::error::HtdError;
+use htd_setcover::CoverCache;
+use parking_lot::RwLock;
+
+use crate::config::SearchConfig;
+use crate::incumbent::Incumbent;
+use crate::portfolio::{EngineReport, Objective, Problem};
+
+/// A registered solver engine, identified by its interned name.
+///
+/// Equality and hashing are by name, so handles obtained from the registry,
+/// from [`Engine::from_name`] and from the associated constants all compare
+/// equal for the same engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Engine(&'static str);
+
+#[allow(non_upper_case_globals)]
+impl Engine {
+    /// Greedy upper-bound heuristics (min-fill / min-degree / MCS) plus
+    /// iterated local search — fast first incumbents.
+    pub const Heuristic: Engine = Engine("heuristic");
+    /// Dedicated lower-bound worker (minor-min-width / tw-ksc families).
+    pub const LowerBound: Engine = Engine("lower_bound");
+    /// Depth-first branch and bound over elimination orderings.
+    pub const BranchBound: Engine = Engine("branch_bound");
+    /// Best-first A* over elimination orderings.
+    pub const AStar: Engine = Engine("astar");
+    /// Balanced-separator nested dissection with parallel recursion on
+    /// disconnected components (log-depth, BalancedGo-style).
+    pub const BalSep: Engine = Engine("balsep");
+    /// Genetic algorithm upper-bound worker.
+    pub const Genetic: Engine = Engine("genetic");
+    /// Simulated-annealing upper-bound worker.
+    pub const Annealing: Engine = Engine("annealing");
+}
+
+impl Engine {
+    /// The stable snake_case name used in JSON reports, trace events and
+    /// metric labels.
+    pub fn name(self) -> &'static str {
+        self.0
+    }
+
+    /// Looks the name up in the registry. Unlike the closed-enum days,
+    /// this resolves every registered engine, including ones added at
+    /// runtime through [`register_engine`].
+    pub fn from_name(name: &str) -> Option<Engine> {
+        store()
+            .read()
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| Engine(s.name()))
+    }
+
+    /// The default portfolio lineup, in launch order: every registered
+    /// engine flagged for the default lineup, sorted by launch rank.
+    pub fn default_lineup() -> Vec<Engine> {
+        let specs = store().read();
+        let mut lineup: Vec<&Arc<dyn EngineSpec>> =
+            specs.iter().filter(|s| s.in_default_lineup()).collect();
+        lineup.sort_by_key(|s| s.launch_rank());
+        lineup.iter().map(|s| Engine(s.name())).collect()
+    }
+
+    /// This engine's spec, if it is (still) registered.
+    pub fn spec(self) -> Option<Arc<dyn EngineSpec>> {
+        store().read().iter().find(|s| s.name() == self.0).cloned()
+    }
+}
+
+/// Everything an engine gets handed for one run: the instance, the budgets,
+/// the shared incumbent it offers bounds to, the shared greedy cover cache,
+/// and the portfolio's thread budget (for engines that parallelize
+/// internally — the pool they spawn must stay within this bound).
+pub struct EngineContext<'a> {
+    /// The instance and objective.
+    pub problem: &'a Problem,
+    /// Budgets, toggles, tracer, memory governor. `num_threads` is always 1
+    /// here — worker threads are the portfolio's business; see
+    /// [`EngineContext::pool_threads`].
+    pub cfg: &'a SearchConfig,
+    /// The shared anytime state this engine offers bounds to.
+    pub inc: &'a Arc<Incumbent>,
+    /// Run-wide greedy cover cache (ghw fitness evaluations).
+    pub greedy_cache: &'a Arc<CoverCache>,
+    /// The whole run's thread budget: engines with internal parallelism
+    /// (balsep) bound their own worker pools by this.
+    pub pool_threads: usize,
+}
+
+/// A pluggable solver engine.
+///
+/// Implementations are registered with [`register_engine`] and from then on
+/// participate in everything derived from the registry: `Engine::from_name`
+/// (hence CLI `--engines` and the service request field), the default
+/// lineup, portfolio claim order, trace attribution and per-engine metrics.
+pub trait EngineSpec: Send + Sync {
+    /// Stable snake_case identifier; doubles as the trace/metric label.
+    /// Must be unique across the registry and live for the program
+    /// (registration interns the handle by this `&'static str`).
+    fn name(&self) -> &'static str;
+
+    /// Whether this engine can solve the given objective.
+    fn supports(&self, objective: Objective) -> bool;
+
+    /// Position in the default launch lineup (lower launches earlier).
+    fn launch_rank(&self) -> u32;
+
+    /// Priority when worker slots are scarcer than the lineup (lower
+    /// claims a slot first).
+    fn claim_rank(&self) -> u32;
+
+    /// Whether [`Engine::default_lineup`] includes this engine. Engines
+    /// registered by downstream crates may prefer opt-in (`false`):
+    /// they then run only when named explicitly.
+    fn in_default_lineup(&self) -> bool {
+        true
+    }
+
+    /// Whether the `htd-check` differential harness gives this engine its
+    /// own single-engine arm. Defaults to `true`; the cheap bracketing
+    /// heuristics (which run as one combined arm) and the stochastic
+    /// metaheuristics (budget-hungry, upper-bound-only) opt out.
+    fn differential_arm(&self) -> bool {
+        true
+    }
+
+    /// Runs the engine to completion (or cooperative cancellation),
+    /// offering every bound it proves to `ctx.inc`.
+    fn run(&self, ctx: &EngineContext<'_>) -> EngineReport;
+}
+
+fn store() -> &'static RwLock<Vec<Arc<dyn EngineSpec>>> {
+    static STORE: std::sync::OnceLock<RwLock<Vec<Arc<dyn EngineSpec>>>> =
+        std::sync::OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(builtin_specs()))
+}
+
+/// Registers an engine, returning its handle. Fails if the name is taken.
+pub fn register_engine(spec: Arc<dyn EngineSpec>) -> Result<Engine, HtdError> {
+    let mut specs = store().write();
+    if specs.iter().any(|s| s.name() == spec.name()) {
+        return Err(HtdError::Invalid(format!(
+            "engine '{}' is already registered",
+            spec.name()
+        )));
+    }
+    let handle = Engine(spec.name());
+    specs.push(spec);
+    Ok(handle)
+}
+
+/// A snapshot of every registered engine spec, in registration order
+/// (builtins first, in launch-rank order).
+pub fn engine_specs() -> Vec<Arc<dyn EngineSpec>> {
+    store().read().clone()
+}
+
+/// The names of every registered engine, in launch-rank order — the list
+/// surfaced by `--engines` errors and the service's unknown-engine reply.
+pub fn registered_engine_names() -> Vec<&'static str> {
+    let specs = store().read();
+    let mut named: Vec<(u32, &'static str)> =
+        specs.iter().map(|s| (s.launch_rank(), s.name())).collect();
+    named.sort();
+    named.into_iter().map(|(_, n)| n).collect()
+}
+
+/// Every registered engine in claim order: when the portfolio has fewer
+/// worker slots than lineup engines, the lowest claim ranks win the slots.
+pub(crate) fn claim_order() -> Vec<Engine> {
+    let specs = store().read();
+    let mut ranked: Vec<(u32, &'static str)> =
+        specs.iter().map(|s| (s.claim_rank(), s.name())).collect();
+    ranked.sort();
+    ranked.into_iter().map(|(_, n)| Engine(n)).collect()
+}
+
+/// Resolves a list of engine names against the registry; the error names
+/// every unknown engine and lists what is registered.
+pub fn engines_from_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Engine>, HtdError> {
+    let mut engines = Vec::with_capacity(names.len());
+    let mut unknown: Vec<&str> = Vec::new();
+    for n in names {
+        match Engine::from_name(n.as_ref()) {
+            Some(e) => engines.push(e),
+            None => unknown.push(n.as_ref()),
+        }
+    }
+    if !unknown.is_empty() {
+        return Err(HtdError::Unsupported(format!(
+            "unknown engine{} '{}'; registered engines: {}",
+            if unknown.len() > 1 { "s" } else { "" },
+            unknown.join("', '"),
+            registered_engine_names().join(", ")
+        )));
+    }
+    Ok(engines)
+}
+
+/// The built-in engines as one declarative table — the registry's seed.
+/// Adding a builtin means adding a row here, not a match arm anywhere.
+struct Builtin {
+    name: &'static str,
+    launch_rank: u32,
+    claim_rank: u32,
+    diff_arm: bool,
+    run: fn(&EngineContext<'_>) -> EngineReport,
+}
+
+impl EngineSpec for Builtin {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports(&self, objective: Objective) -> bool {
+        // every builtin searches elimination orderings, which witness both
+        // tw and ghw; hw (det-k-decomp) takes the dedicated solve_hw path
+        matches!(
+            objective,
+            Objective::Treewidth | Objective::GeneralizedHypertreeWidth
+        )
+    }
+
+    fn launch_rank(&self) -> u32 {
+        self.launch_rank
+    }
+
+    fn claim_rank(&self) -> u32 {
+        self.claim_rank
+    }
+
+    fn differential_arm(&self) -> bool {
+        self.diff_arm
+    }
+
+    fn run(&self, ctx: &EngineContext<'_>) -> EngineReport {
+        (self.run)(ctx)
+    }
+}
+
+fn builtin_specs() -> Vec<Arc<dyn EngineSpec>> {
+    // claim order preserves the historical priority (branch_bound, astar,
+    // heuristic, lower_bound, ...) with balsep slotted after lower_bound,
+    // so small-slot portfolios behave exactly as before this registry.
+    let rows = [
+        Builtin {
+            name: "heuristic",
+            launch_rank: 0,
+            claim_rank: 2,
+            diff_arm: false,
+            run: crate::portfolio::run_heuristic_spec,
+        },
+        Builtin {
+            name: "lower_bound",
+            launch_rank: 1,
+            claim_rank: 3,
+            diff_arm: false,
+            run: crate::portfolio::run_lower_bound_spec,
+        },
+        Builtin {
+            name: "branch_bound",
+            launch_rank: 2,
+            claim_rank: 0,
+            diff_arm: true,
+            run: crate::portfolio::run_branch_bound_spec,
+        },
+        Builtin {
+            name: "astar",
+            launch_rank: 3,
+            claim_rank: 1,
+            diff_arm: true,
+            run: crate::portfolio::run_astar_spec,
+        },
+        Builtin {
+            name: "balsep",
+            launch_rank: 4,
+            claim_rank: 4,
+            diff_arm: true,
+            run: crate::balsep::run_spec,
+        },
+        Builtin {
+            name: "genetic",
+            launch_rank: 5,
+            claim_rank: 5,
+            diff_arm: false,
+            run: crate::portfolio::run_genetic_spec,
+        },
+        Builtin {
+            name: "annealing",
+            launch_rank: 6,
+            claim_rank: 6,
+            diff_arm: false,
+            run: crate::portfolio::run_annealing_spec,
+        },
+    ];
+    rows.into_iter()
+        .map(|b| Arc::new(b) as Arc<dyn EngineSpec>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchStats;
+
+    #[test]
+    fn handles_compare_by_name() {
+        assert_eq!(Engine::BranchBound, Engine::from_name("branch_bound").unwrap());
+        assert_eq!(Engine::BranchBound.name(), "branch_bound");
+        assert_ne!(Engine::BranchBound, Engine::AStar);
+        assert!(Engine::from_name("no_such_engine").is_none());
+    }
+
+    #[test]
+    fn default_lineup_is_launch_ranked_and_registry_driven() {
+        let lineup = Engine::default_lineup();
+        assert_eq!(
+            lineup,
+            vec![
+                Engine::Heuristic,
+                Engine::LowerBound,
+                Engine::BranchBound,
+                Engine::AStar,
+                Engine::BalSep,
+                Engine::Genetic,
+                Engine::Annealing,
+            ]
+        );
+        // claim order starts with the exact searches, as it always did
+        let claim = claim_order();
+        assert_eq!(
+            &claim[..4],
+            &[
+                Engine::BranchBound,
+                Engine::AStar,
+                Engine::Heuristic,
+                Engine::LowerBound
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_names_error_lists_the_registry() {
+        let err = engines_from_names(&["balsep", "warp_drive"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp_drive"), "{msg}");
+        assert!(msg.contains("branch_bound"), "{msg}");
+        assert!(msg.contains("balsep"), "{msg}");
+        let ok = engines_from_names(&["astar", "balsep"]).unwrap();
+        assert_eq!(ok, vec![Engine::AStar, Engine::BalSep]);
+    }
+
+    #[test]
+    fn runtime_registration_extends_every_derived_view() {
+        struct Null;
+        impl EngineSpec for Null {
+            fn name(&self) -> &'static str {
+                "null_test_engine"
+            }
+            fn supports(&self, _o: Objective) -> bool {
+                true
+            }
+            fn launch_rank(&self) -> u32 {
+                100
+            }
+            fn claim_rank(&self) -> u32 {
+                100
+            }
+            fn in_default_lineup(&self) -> bool {
+                false
+            }
+            fn run(&self, _ctx: &EngineContext<'_>) -> EngineReport {
+                EngineReport {
+                    engine: Engine::from_name("null_test_engine").unwrap(),
+                    lower: 0,
+                    upper: u32::MAX,
+                    exact: false,
+                    panicked: false,
+                    stats: SearchStats::default(),
+                }
+            }
+        }
+        // idempotent across test runs in one process: ignore "already
+        // registered" from a sibling test
+        let _ = register_engine(Arc::new(Null));
+        let e = Engine::from_name("null_test_engine").expect("registered");
+        assert_eq!(e.name(), "null_test_engine");
+        assert!(
+            !Engine::default_lineup().contains(&e),
+            "opt-out engines stay out of the default lineup"
+        );
+        assert!(registered_engine_names().contains(&"null_test_engine"));
+        assert!(register_engine(Arc::new(Null)).is_err(), "duplicate name");
+    }
+}

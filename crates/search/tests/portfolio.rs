@@ -174,3 +174,56 @@ fn hw_objective_is_exact_and_bounded_by_ghw() {
     // ghw ≤ hw always (Chapter 2)
     assert!(ghw.upper <= hw.upper);
 }
+
+#[test]
+fn skipped_engines_are_surfaced_in_outcome_and_trace() {
+    use htd_trace::{Event, RingBuffer, Tracer};
+    // 2 worker slots against the full default lineup: only the two
+    // best-claim-rank engines launch; everything else must be reported,
+    // not silently dropped
+    let ring = RingBuffer::new(100_000);
+    let g = gen::queen_graph(4);
+    let cfg = SearchConfig::default()
+        .with_threads(2)
+        .with_tracer(Tracer::new(Box::new(Arc::clone(&ring))));
+    let out = solve(&Problem::treewidth(g), &cfg).unwrap();
+
+    let lineup = Engine::default_lineup();
+    assert_eq!(out.per_engine.len(), 2);
+    assert_eq!(out.skipped_engines.len(), lineup.len() - 2);
+    let launched: Vec<Engine> = out.per_engine.iter().map(|r| r.engine).collect();
+    assert!(launched.contains(&Engine::BranchBound));
+    assert!(launched.contains(&Engine::AStar));
+    for e in &out.skipped_engines {
+        assert!(!launched.contains(e), "{e:?} both launched and skipped");
+        assert!(lineup.contains(e), "{e:?} skipped but not in lineup");
+    }
+
+    // the trace stream names the same engines
+    let skipped_evt = ring
+        .records()
+        .into_iter()
+        .find_map(|r| match r.event {
+            Event::EnginesSkipped { engines, slots } => Some((engines, slots)),
+            _ => None,
+        })
+        .expect("engines_skipped event emitted");
+    assert_eq!(skipped_evt.1, 2);
+    let names: Vec<&str> = skipped_evt.0.split(',').collect();
+    assert_eq!(names.len(), out.skipped_engines.len());
+    for e in &out.skipped_engines {
+        assert!(names.contains(&e.name()), "{e:?} missing from trace event");
+    }
+
+    // and the diagnostics survive a JSON round trip
+    let back = Outcome::from_json(&out.to_json()).expect("roundtrip");
+    assert_eq!(back.skipped_engines, out.skipped_engines);
+}
+
+#[test]
+fn no_engines_skipped_when_slots_cover_the_lineup() {
+    let g = gen::queen_graph(4);
+    let cfg = SearchConfig::default().with_threads(Engine::default_lineup().len());
+    let out = solve(&Problem::treewidth(g), &cfg).unwrap();
+    assert!(out.skipped_engines.is_empty());
+}

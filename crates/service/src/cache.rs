@@ -279,6 +279,7 @@ mod tests {
             cover_cache_hits: 0,
             cover_cache_misses: 0,
             degraded: false,
+            skipped_engines: Vec::new(),
         }
     }
 

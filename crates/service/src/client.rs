@@ -69,6 +69,7 @@ impl Client {
                 deadline_ms,
                 budget: None,
                 threads: None,
+                engines: None,
                 use_cache: true,
             }),
         })

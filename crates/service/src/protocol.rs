@@ -9,7 +9,8 @@
 //! ```json
 //! {"id":"r1","cmd":"solve","objective":"ghw","format":"hg",
 //!  "instance":"e1(a,b,c),\ne2(c,d).","deadline_ms":500,
-//!  "budget":1000000,"threads":2,"cache":"use"}
+//!  "budget":1000000,"threads":2,"engines":["balsep","branch_bound"],
+//!  "cache":"use"}
 //! {"id":"r2","cmd":"ping"}
 //! {"id":"r3","cmd":"stats"}
 //! {"id":"r4","cmd":"shutdown"}
@@ -17,7 +18,10 @@
 //!
 //! `format` is `auto` (default, sniffed), `gr` (PACE), `col` (DIMACS) or
 //! `hg` (HyperBench). `cache` is `use` (default) or `off` (bypass lookup,
-//! still admit the fresh result).
+//! still admit the fresh result). `engines` (array of registry names, or
+//! one comma-separated string) pins the lineup for this request; an
+//! unknown name is rejected with an error listing the registered
+//! engines.
 //!
 //! ## Responses
 //!
@@ -36,7 +40,7 @@
 
 use htd_core::{HtdError, Json};
 use htd_hypergraph::{io, Hypergraph};
-use htd_search::{Objective, Outcome, Problem};
+use htd_search::{Engine, Objective, Outcome, Problem};
 
 /// How the `instance` text of a solve request is to be parsed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +93,10 @@ pub struct SolveRequest {
     pub budget: Option<u64>,
     /// Worker threads for this solve; `None` = 1.
     pub threads: Option<usize>,
+    /// Explicit engine lineup (registry names, launch order); `None`
+    /// runs the server's default (breaker-filtered) lineup. An explicit
+    /// lineup overrides the circuit-breaker bench for this request.
+    pub engines: Option<Vec<Engine>>,
     /// `false` bypasses the cache lookup (the result is still admitted).
     pub use_cache: bool,
 }
@@ -140,6 +148,17 @@ impl Request {
                 if let Some(t) = s.threads {
                     m.push(("threads".into(), Json::Num(t as f64)));
                 }
+                if let Some(engines) = &s.engines {
+                    m.push((
+                        "engines".into(),
+                        Json::Arr(
+                            engines
+                                .iter()
+                                .map(|e| Json::Str(e.name().into()))
+                                .collect(),
+                        ),
+                    ));
+                }
                 if !s.use_cache {
                     m.push(("cache".into(), Json::Str("off".into())));
                 }
@@ -181,6 +200,22 @@ impl Request {
                     .and_then(|v| v.as_str())
                     .ok_or_else(|| HtdError::Parse("solve missing 'instance'".into()))?
                     .to_string();
+                let engines = match doc.get("engines") {
+                    None => None,
+                    Some(Json::Arr(names)) => {
+                        let names: Vec<&str> =
+                            names.iter().filter_map(|v| v.as_str()).collect();
+                        Some(htd_search::engines_from_names(&names)?)
+                    }
+                    Some(Json::Str(list)) => Some(htd_search::engines_from_names(
+                        &list.split(',').map(str::trim).collect::<Vec<_>>(),
+                    )?),
+                    Some(_) => {
+                        return Err(HtdError::Unsupported(
+                            "engines must be a name array or comma-separated string".into(),
+                        ))
+                    }
+                };
                 let use_cache = match doc.get("cache").and_then(|v| v.as_str()) {
                     None | Some("use") => true,
                     Some("off") => false,
@@ -200,6 +235,7 @@ impl Request {
                         .get("threads")
                         .and_then(|v| v.as_u64())
                         .map(|t| t as usize),
+                    engines,
                     use_cache,
                 })
             }
@@ -453,6 +489,19 @@ mod tests {
     use super::*;
 
     #[test]
+    fn unknown_engine_in_request_lists_the_registry() {
+        let doc = Json::parse(
+            r#"{"cmd":"solve","objective":"tw","instance":"p tw 1 0","engines":["balsep","warp"]}"#,
+        )
+        .unwrap();
+        let err = Request::from_json(&doc).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp"), "{msg}");
+        assert!(msg.contains("registered engines"), "{msg}");
+        assert!(msg.contains("branch_bound"), "{msg}");
+    }
+
+    #[test]
     fn request_round_trip() {
         let req = Request {
             id: Some("r1".into()),
@@ -463,6 +512,7 @@ mod tests {
                 deadline_ms: Some(250),
                 budget: Some(1000),
                 threads: Some(2),
+                engines: Some(vec![Engine::BalSep, Engine::BranchBound]),
                 use_cache: false,
             }),
         };
@@ -476,6 +526,7 @@ mod tests {
                 assert_eq!(s.deadline_ms, Some(250));
                 assert_eq!(s.budget, Some(1000));
                 assert_eq!(s.threads, Some(2));
+                assert_eq!(s.engines, Some(vec![Engine::BalSep, Engine::BranchBound]));
                 assert!(!s.use_cache);
             }
             _ => panic!("wrong cmd"),

@@ -132,6 +132,7 @@ struct Job {
     deadline_ms: u64,
     budget: Option<u64>,
     threads: usize,
+    engines: Option<Vec<Engine>>,
     received: Instant,
     /// When the job entered the work queue; the pop-to-push delta is the
     /// queue-wait component of the latency split.
@@ -590,8 +591,12 @@ fn worker_loop(inner: &Inner) {
         if fault.panic_worker {
             cfg = cfg.with_faults(InjectedFaults::with_panics(1));
         }
-        // bench engines with open breakers (and admit at most one probe)
-        let lineup = inner.allowed_engines(job.threads.max(1));
+        // an explicit per-request lineup wins; otherwise bench engines
+        // with open breakers (and admit at most one probe)
+        let lineup = job
+            .engines
+            .clone()
+            .or_else(|| inner.allowed_engines(job.threads.max(1)));
         if let Some(engines) = lineup.clone() {
             cfg = cfg.with_engines(engines);
         }
@@ -901,6 +906,7 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
         deadline_ms,
         budget: s.budget,
         threads: s.threads.unwrap_or(1).max(1),
+        engines: s.engines,
         received,
         enqueued: Instant::now(),
         reply: tx,

@@ -478,6 +478,7 @@ fn chaos_mode_survives_panics_and_serves_every_request() {
             deadline_ms: Some(3_000),
             budget: None,
             threads: Some(3),
+            engines: None,
             use_cache: false,
         };
         // mix of objectives to exercise more of the portfolio

@@ -26,6 +26,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "node_expanded",
     "cache_stats",
     "restart_triggered",
+    "engines_skipped",
     "solve_finished",
 ];
 
@@ -79,6 +80,9 @@ pub enum Event {
     },
     /// A stochastic worker began a fresh round/restart.
     RestartTriggered { worker: &'static str, round: u32 },
+    /// The portfolio had fewer worker slots than lineup engines: the named
+    /// engines (comma-joined, in claim order) were not launched this run.
+    EnginesSkipped { engines: String, slots: u64 },
     /// The solve returned.
     SolveFinished {
         lower: u32,
@@ -103,6 +107,7 @@ impl Event {
             Event::NodeExpanded { .. } => "node_expanded",
             Event::CacheStats { .. } => "cache_stats",
             Event::RestartTriggered { .. } => "restart_triggered",
+            Event::EnginesSkipped { .. } => "engines_skipped",
             Event::SolveFinished { .. } => "solve_finished",
         }
     }
@@ -218,6 +223,15 @@ impl Record {
             }
             Event::RestartTriggered { worker, round } => {
                 let _ = write!(s, ",\"worker\":\"{worker}\",\"round\":{round}");
+            }
+            Event::EnginesSkipped { engines, slots } => {
+                // engine names are identifiers, but the list is assembled at
+                // runtime from the open registry: escape it like a free form
+                let _ = write!(
+                    s,
+                    ",\"engines\":\"{}\",\"slots\":{slots}",
+                    escape_json(engines)
+                );
             }
             Event::SolveFinished {
                 lower,
@@ -402,6 +416,10 @@ mod tests {
             Event::RestartTriggered {
                 worker: "x",
                 round: 2,
+            },
+            Event::EnginesSkipped {
+                engines: "genetic,annealing".into(),
+                slots: 4,
             },
             Event::SolveFinished {
                 lower: 1,

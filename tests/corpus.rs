@@ -95,3 +95,46 @@ fn forced_reduction_instance_agrees_with_pruning_disabled() {
     assert_eq!(with.exact_width(), Some(3));
     assert_eq!(without.exact_width(), Some(3));
 }
+
+/// The balanced-separator engine's upper bound on every corpus instance
+/// must sit at or above the exact width the sequential engines prove, and
+/// its witness ordering must survive the independent oracle — the
+/// "reassembled nested dissection is a real decomposition" property, on
+/// the instances that once broke something.
+#[test]
+fn balsep_brackets_the_exact_width_on_the_whole_corpus() {
+    use htd::check::verify_outcome;
+    use htd::search::Engine;
+    let balsep_cfg = SearchConfig::default()
+        .with_engines(vec![Engine::BalSep])
+        .with_threads(2)
+        .with_max_nodes(500_000);
+    let mut checked = 0;
+    for path in corpus_files("gr") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let g = io::parse_pace_gr(&text).unwrap();
+        let problem = Problem::treewidth(g);
+        let exact = solve(&problem, &SearchConfig::default()).unwrap();
+        let bal = solve(&problem, &balsep_cfg).unwrap();
+        let report = verify_outcome(&problem, &bal);
+        assert!(report.is_valid(), "{}:\n{report}", path.display());
+        if let Some(w) = exact.exact_width() {
+            assert!(bal.upper >= w, "{}: balsep {} < exact {w}", path.display(), bal.upper);
+        }
+        checked += 1;
+    }
+    for path in corpus_files("hg") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let h = io::parse_hg(&text).unwrap();
+        let problem = Problem::ghw(h);
+        let exact = solve(&problem, &SearchConfig::default()).unwrap();
+        let bal = solve(&problem, &balsep_cfg).unwrap();
+        let report = verify_outcome(&problem, &bal);
+        assert!(report.is_valid(), "{}:\n{report}", path.display());
+        if let Some(w) = exact.exact_width() {
+            assert!(bal.upper >= w, "{}: balsep {} < exact {w}", path.display(), bal.upper);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 4, "corpus lost instances");
+}
