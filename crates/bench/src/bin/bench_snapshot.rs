@@ -39,12 +39,7 @@ struct ArmResult {
     curve: Vec<(u64, u32)>,
 }
 
-fn run_arm(
-    problem: &Problem,
-    engine: Engine,
-    threads: usize,
-    budget: Duration,
-) -> ArmResult {
+fn run_arm(problem: &Problem, engine: Engine, threads: usize, budget: Duration) -> ArmResult {
     let ring = RingBuffer::new(1 << 18);
     let cfg = SearchConfig::default()
         .with_max_nodes(u64::MAX)
@@ -120,12 +115,7 @@ fn ghw_race(budget: Duration, table: &mut Table) -> (Vec<Json>, bool, Option<(St
             .map(|a| a.upper)
             .max();
         let t_bal = common.and_then(|w| time_to(&arms[0], w));
-        let t_seq = common.and_then(|w| {
-            arms[1..]
-                .iter()
-                .filter_map(|a| time_to(a, w))
-                .min()
-        });
+        let t_seq = common.and_then(|w| arms[1..].iter().filter_map(|a| time_to(a, w)).min());
         let balsep_wins = match (t_bal, t_seq) {
             (Some(b), Some(s)) => b < s,
             (Some(_), None) => true,
@@ -152,12 +142,18 @@ fn ghw_race(budget: Duration, table: &mut Table) -> (Vec<Json>, bool, Option<(St
             ("instance".into(), Json::Str(name.clone())),
             ("vertices".into(), Json::Num(h.num_vertices() as f64)),
             ("edges".into(), Json::Num(h.num_edges() as f64)),
-            ("objective".into(), Json::Str(Objective::GeneralizedHypertreeWidth.name().into())),
+            (
+                "objective".into(),
+                Json::Str(Objective::GeneralizedHypertreeWidth.name().into()),
+            ),
             (
                 "arms".into(),
                 Json::Arr(arms.iter().map(|a| arm_json(a, common)).collect()),
             ),
-            ("balsep_beats_best_sequential".into(), Json::Bool(balsep_wins)),
+            (
+                "balsep_beats_best_sequential".into(),
+                Json::Bool(balsep_wins),
+            ),
         ];
         if let Some(w) = common {
             m.push(("common_width".into(), Json::Num(w as f64)));
@@ -170,7 +166,10 @@ fn ghw_race(budget: Duration, table: &mut Table) -> (Vec<Json>, bool, Option<(St
 
 fn tw_portfolio(budget: Duration) -> Vec<Json> {
     let mut rows = Vec::new();
-    for (name, g) in [("queen7", gen::queen_graph(7)), ("grid7", gen::grid_graph(7, 7))] {
+    for (name, g) in [
+        ("queen7", gen::queen_graph(7)),
+        ("grid7", gen::grid_graph(7, 7)),
+    ] {
         let base = SearchConfig::default()
             .with_max_nodes(u64::MAX)
             .with_time_limit(budget)
@@ -228,7 +227,10 @@ fn main() {
         ("budget_ms".into(), Json::Num(budget.as_millis() as f64)),
         ("ghw_race".into(), Json::Arr(ghw_rows)),
         ("tw_portfolio".into(), Json::Arr(tw_rows)),
-        ("balsep_beats_best_sequential_anywhere".into(), Json::Bool(balsep_won)),
+        (
+            "balsep_beats_best_sequential_anywhere".into(),
+            Json::Bool(balsep_won),
+        ),
     ]);
     std::fs::write(&out_path, format!("{}\n", doc)).expect("write snapshot");
     println!("wrote {out_path}");

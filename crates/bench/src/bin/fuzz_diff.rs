@@ -16,7 +16,13 @@
 //! * `--smoke`: ~200 seeded small cases with tight budgets (the CI gate);
 //! * `--soak SECS`: loop fresh cases until the time budget runs out (the
 //!   nightly job);
-//! * `--replay FILE.hg [--objective tw|ghw]`: re-run one written repro.
+//! * `--answers`: fuzz query *answers* instead of widths — seeded random
+//!   conjunctive queries where the `htd-query` Yannakakis pipeline must
+//!   agree with `htd_check::diff_answers`' brute-force oracle in all
+//!   three modes (combines with `--smoke`/`--soak`; failures are written
+//!   as `.cq` repro files);
+//! * `--replay FILE.hg [--objective tw|ghw]`: re-run one written repro
+//!   (`FILE.cq` replays an answer-mode repro).
 //!
 //! `cargo run --release -p htd-bench --bin fuzz_diff -- --smoke`
 //!
@@ -34,6 +40,7 @@ use htd_hypergraph::io;
 struct Args {
     smoke: bool,
     soak_secs: Option<u64>,
+    answers: bool,
     cases: usize,
     seed: u64,
     out: PathBuf,
@@ -45,6 +52,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         soak_secs: None,
+        answers: false,
         cases: 50,
         seed: 1,
         out: PathBuf::from("fuzz-failures"),
@@ -55,8 +63,8 @@ fn parse_args() -> Args {
     let bad = |msg: &str| -> ! {
         eprintln!("fuzz_diff: {msg}");
         eprintln!(
-            "usage: fuzz_diff [--smoke] [--soak SECS] [--cases N] [--seed N] \
-             [--out DIR] [--replay FILE.hg [--objective tw|ghw]]"
+            "usage: fuzz_diff [--smoke] [--soak SECS] [--answers] [--cases N] [--seed N] \
+             [--out DIR] [--replay FILE.hg|FILE.cq [--objective tw|ghw]]"
         );
         std::process::exit(4);
     };
@@ -70,6 +78,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--soak" => args.soak_secs = Some(numeric("--soak")),
+            "--answers" => args.answers = true,
             "--cases" => args.cases = numeric("--cases") as usize,
             "--seed" => args.seed = numeric("--seed"),
             "--out" => match it.next() {
@@ -153,6 +162,87 @@ fn shrink_and_write(c: &Case, report: &CheckReport, args: &Args, cfg: &DiffConfi
     }
 }
 
+/// Writes a failing answer case as a `.cq` repro (the query text plus the
+/// report as a comment header) and returns its path.
+fn write_answer_repro(index: usize, text: &str, report: &CheckReport, args: &Args) -> PathBuf {
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("  FAILED to create {}: {e}", args.out.display());
+        std::process::exit(5);
+    }
+    let path = args
+        .out
+        .join(format!("answers-{}-seed{}.cq", index, args.seed));
+    let mut body = String::new();
+    for line in report.to_string().lines() {
+        body.push_str("% ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str(text);
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            eprintln!("  repro written: {} — replay with:", path.display());
+            eprintln!(
+                "  cargo run --release -p htd-bench --bin fuzz_diff -- --replay {}",
+                path.display()
+            );
+            path
+        }
+        Err(e) => {
+            eprintln!("  FAILED to write repro to {}: {e}", path.display());
+            std::process::exit(5);
+        }
+    }
+}
+
+/// The `--answers` main loop: seeded random conjunctive queries, each
+/// cross-checked against the brute-force oracle in all three modes.
+fn run_answers(args: &Args) -> i32 {
+    let budget = args.soak_secs.map(Duration::from_secs);
+    let total = if args.smoke { 200 } else { args.cases };
+    let started = Instant::now();
+    let mut ran = 0usize;
+    let mut failures = 0usize;
+    let mut index = 0usize;
+    loop {
+        match budget {
+            Some(b) => {
+                if started.elapsed() >= b {
+                    break;
+                }
+            }
+            None => {
+                if ran >= total {
+                    break;
+                }
+            }
+        }
+        let text = htd_check::answer_case(index, args.seed);
+        index += 1;
+        ran += 1;
+        let report = htd_check::diff_answers(&text);
+        if !report.is_valid() {
+            failures += 1;
+            eprintln!("FAIL answer case {index}:\n{text}{report}");
+            write_answer_repro(index, &text, &report, args);
+        } else if ran % 50 == 0 {
+            eprintln!(
+                "  {ran} answer cases ok ({:.1}s elapsed)",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "fuzz_diff: {ran} answer cases, {failures} failure(s), {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}
+
 fn replay(args: &Args) -> i32 {
     let file = args.replay.as_deref().unwrap();
     let text = match std::fs::read_to_string(file) {
@@ -162,6 +252,11 @@ fn replay(args: &Args) -> i32 {
             return 5;
         }
     };
+    if file.ends_with(".cq") {
+        let report = htd_check::diff_answers(&text);
+        println!("{report}");
+        return if report.is_valid() { 0 } else { 1 };
+    }
     let h = match io::parse_hg(&text) {
         Ok(h) => h,
         Err(e) => {
@@ -187,6 +282,9 @@ fn main() {
     let args = parse_args();
     if args.replay.is_some() {
         std::process::exit(replay(&args));
+    }
+    if args.answers {
+        std::process::exit(run_answers(&args));
     }
 
     let cfg = diff_config(args.smoke, args.seed);

@@ -14,7 +14,9 @@ use std::time::Duration;
 use htd_core::bucket::{ghd_via_elimination, vertex_elimination};
 use htd_core::ordering::CoverStrategy;
 use htd_hypergraph::{Graph, Hypergraph};
-use htd_search::{dp_treewidth, engine_specs, solve, Engine, Objective, Outcome, Problem, SearchConfig};
+use htd_search::{
+    dp_treewidth, engine_specs, solve, Engine, Objective, Outcome, Problem, SearchConfig,
+};
 
 use crate::oracle::{check_ghd, check_graph_td};
 use crate::report::{CheckReport, Condition};

@@ -23,7 +23,11 @@
 //!   families with width-preserving/-monotone transforms.
 //! - [`shrink`]: greedy minimization of failing instances into `.hg` +
 //!   JSON reproducers for the `fuzz_diff` harness.
+//! - [`answers`]: differential checking of conjunctive-query *answers* —
+//!   the `htd-query` Yannakakis pipeline against a brute-force evaluator,
+//!   across all three answer modes, on seeded random queries.
 
+pub mod answers;
 pub mod certificate;
 pub mod diff;
 pub mod metamorphic;
@@ -31,6 +35,7 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
+pub use answers::{answer_case, diff_answers};
 pub use certificate::{BudgetBlock, Certificate};
 pub use diff::{diff_ghw, diff_tw, verify_outcome, DiffConfig};
 pub use metamorphic::{case, run_metamorphic_case, Case, SplitMix64, NUM_FAMILIES};

@@ -58,6 +58,9 @@ pub enum Condition {
     /// monotonicity under deletion broke, padding changed a width, or a
     /// cross-metric inequality such as `ghw ≤ hw` reversed).
     Metamorphic,
+    /// The query-answering pipeline disagreed with the brute-force answer
+    /// oracle (wrong boolean verdict, wrong count, or wrong tuple set).
+    Answers,
 }
 
 impl Condition {
@@ -77,6 +80,7 @@ impl Condition {
             Condition::WitnessWidth => "witness_width",
             Condition::OutcomeConsistency => "outcome_consistency",
             Condition::Metamorphic => "metamorphic",
+            Condition::Answers => "answers",
         }
     }
 }

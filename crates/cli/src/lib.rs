@@ -15,6 +15,10 @@
 //!   violation report and exiting nonzero when it fails;
 //! * `htd solve <file.csp> [--count] [--all N]` — solve a CSP (text
 //!   format of `htd_csp::io`) through a tree decomposition;
+//! * `htd answer <file.cq> [--mode bool|count|enum] [--limit N]` —
+//!   answer a conjunctive query (rule + relations, format of
+//!   `htd-query`; see `docs/answering.md`) through the decompose-then-
+//!   semijoin pipeline, locally or (`--addr`) against a server;
 //! * `htd gen <name>` — print a named benchmark instance;
 //! * `htd serve [--addr A] [--threads N] [--cache-mb N] [--queue N]` —
 //!   run the decomposition server of `htd_service` (newline-JSON over
@@ -49,6 +53,8 @@ use htd_core::bucket::{td_of_hypergraph, vertex_elimination};
 use htd_core::ordering::EliminationOrdering;
 use htd_core::{dot, pace, CoverStrategy, HtdError, Json};
 use htd_hypergraph::{gen, io, Graph, Hypergraph};
+use htd_query::{parse_query, Answer, AnswerMode, AnswerOptions, FileAccess, Query};
+use htd_resilience::MemoryBudget;
 use htd_search::{dp_treewidth_budgeted, solve, Engine, Objective, Outcome, Problem, SearchConfig};
 use htd_service::{Client, InstanceFormat, ServeOptions, Status};
 use htd_trace::{JsonlSink, Tracer};
@@ -159,6 +165,10 @@ pub struct Options {
     /// portfolio. Under `--memory-mb` it refuses upfront (exit code 6)
     /// when its table estimate does not fit.
     pub dp: bool,
+    /// `answer`: what to compute (`bool`/`count`/`enum`).
+    pub mode: Option<String>,
+    /// `answer`: maximum enumerated answers.
+    pub limit: Option<u64>,
 }
 
 impl Default for Options {
@@ -183,6 +193,8 @@ impl Default for Options {
             memory_mb: None,
             chaos_seed: None,
             dp: false,
+            mode: None,
+            limit: None,
         }
     }
 }
@@ -264,6 +276,16 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
             "--count" => o.count = true,
             "--verify" => o.verify = true,
             "--all" => o.all = Some(numeric(&mut it, "--all")?),
+            "--limit" => o.limit = Some(numeric(&mut it, "--limit")?),
+            "--mode" => {
+                o.mode = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            HtdError::Unsupported("--mode needs bool|count|enum".into())
+                        })?
+                        .clone(),
+                );
+            }
             "--addr" => {
                 o.addr = Some(
                     it.next()
@@ -523,54 +545,203 @@ pub fn cmd_check(text: &str, o: &Options) -> Result<String, HtdError> {
     }
 }
 
+/// Builds the [`AnswerOptions`] shared by `htd solve` and `htd answer`:
+/// `--engines`, `--trace`, `--threads`, `--time`, `--seed` flow through
+/// [`Options::search_config`]; `--memory-mb` becomes a refusal budget on
+/// the evaluation. When the user asked for no instrumentation and no
+/// explicit lineup, the decomposition search is pinned to the heuristic
+/// engine so the default path stays a single min-fill pass.
+fn answer_options(o: &Options, mode: AnswerMode, limit: u64) -> Result<AnswerOptions, HtdError> {
+    let mut search = o.search_config()?;
+    if o.trace.is_none() && o.threads <= 1 && o.engines.is_none() && !o.fast {
+        search = search.with_engines(vec![Engine::Heuristic]);
+    }
+    Ok(AnswerOptions {
+        mode,
+        limit,
+        search,
+        memory_budget: o.memory_mb.map(|mb| MemoryBudget::new(mb << 20)),
+        shape_cache: None,
+        deadline: o.time_limit.map(|t| std::time::Instant::now() + t),
+        ..AnswerOptions::default()
+    })
+}
+
 /// `htd solve`: solve a CSP file via join-tree clustering; `--count`
-/// reports the number of solutions, `--all N` lists up to `N`.
+/// reports the number of solutions, `--all N` lists up to `N`. Routed
+/// through the same `htd-query` answering pipeline as `htd answer`
+/// (with the trivial head keeping every variable), so `--engines`,
+/// `--trace` and `--memory-mb` behave identically on both commands.
 pub fn cmd_solve(text: &str, o: &Options) -> Result<String, HtdError> {
     let csp = htd_csp::parse_csp(text).map_err(|e| HtdError::Parse(e.to_string()))?;
-    let h = csp.hypergraph();
-    let mut rng = StdRng::seed_from_u64(o.seed);
-    // With --trace (or extra threads) the clustering ordering comes from
-    // the instrumented portfolio, so CSP solves produce the same event
-    // stream as the width commands; otherwise a min-fill pass suffices.
-    let order = if o.trace.is_some() || o.threads > 1 {
-        solve(
-            &Problem::treewidth_of_hypergraph(h.clone()),
-            &o.search_config()?,
-        )?
-        .witness
-        .unwrap_or_else(|| htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering)
+    let q = Query::from_csp(csp);
+    let mode = if o.count {
+        AnswerMode::Count
+    } else if o.all.is_some() {
+        AnswerMode::Enumerate
     } else {
-        htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering
+        AnswerMode::Boolean
     };
-    let td = td_of_hypergraph(&h, &order);
+    let opts = answer_options(o, mode, o.all.unwrap_or(u64::MAX))?;
+    let ans = htd_query::answer(&q, &opts)?;
     let mut out = String::new();
     if o.count {
-        let n = htd_csp::count_solutions_td(&csp, &td);
-        let _ = writeln!(out, "solutions: {n}");
+        let _ = writeln!(out, "solutions: {}", ans.count.unwrap_or(0));
         return Ok(out);
     }
-    if let Some(limit) = o.all {
-        let mut listed = 0u64;
-        htd_csp::for_each_solution_td(&csp, &td, |a| {
-            let vals: Vec<String> = a.iter().map(|v| v.to_string()).collect();
-            let _ = writeln!(out, "{}", vals.join(" "));
-            listed += 1;
-            listed < limit
-        });
-        if listed == 0 {
+    if o.all.is_some() {
+        for t in &ans.tuples {
+            let _ = writeln!(out, "{}", t.join(" "));
+        }
+        if ans.tuples.is_empty() {
             out.push_str("UNSAT\n");
         }
         return Ok(out);
     }
-    match htd_csp::solve_with_td(&csp, &td) {
-        Some(a) => {
-            for (v, &val) in a.iter().enumerate() {
-                let _ = writeln!(out, "{} = {}", csp.variables[v], val);
+    match ans.tuples.first() {
+        Some(t) => {
+            for (name, val) in ans.head.iter().zip(t) {
+                let _ = writeln!(out, "{name} = {val}");
             }
         }
         None => out.push_str("UNSAT\n"),
     }
     Ok(out)
+}
+
+/// Renders an [`Answer`] per the selected output format. `served` carries
+/// the service response when the answer came from `--addr`.
+fn render_answer(
+    ans: &Answer,
+    o: &Options,
+    served: Option<&htd_service::Response>,
+) -> Result<String, HtdError> {
+    if o.output_format()? == OutputFormat::Json {
+        return Ok(format!("{}\n", ans.to_json()));
+    }
+    let mut out = String::new();
+    match ans.mode {
+        AnswerMode::Count => {
+            let _ = writeln!(out, "answers: {}", ans.count.unwrap_or(0));
+        }
+        AnswerMode::Boolean => {
+            let _ = writeln!(out, "{}", ans.satisfiable);
+            if let (false, Some(t)) = (o.quiet || ans.head.is_empty(), ans.tuples.first()) {
+                let pairs: Vec<String> = ans
+                    .head
+                    .iter()
+                    .zip(t)
+                    .map(|(h, v)| format!("{h}={v}"))
+                    .collect();
+                let _ = writeln!(out, "  witness {}", pairs.join(" "));
+            }
+        }
+        AnswerMode::Enumerate => {
+            if !o.quiet && !ans.head.is_empty() {
+                let _ = writeln!(out, "# {}", ans.head.join(" "));
+            }
+            for t in &ans.tuples {
+                let _ = writeln!(out, "{}", t.join(" "));
+            }
+            if ans.truncated {
+                out.push_str("# truncated\n");
+            } else if !o.quiet {
+                let _ = writeln!(out, "# {} answers", ans.count.unwrap_or(0));
+            }
+        }
+    }
+    if !o.quiet {
+        let s = &ans.stats;
+        let _ = writeln!(
+            out,
+            "# width {}  decompose {:.1}ms{}  eval {:.1}ms  tuples {}  fp {}",
+            s.width,
+            s.decompose_us as f64 / 1e3,
+            if s.shape_cache_hit {
+                " (shape cache)"
+            } else {
+                ""
+            },
+            s.eval_us as f64 / 1e3,
+            s.tuples_scanned,
+            s.fingerprint,
+        );
+        if let Some(r) = served {
+            let _ = writeln!(
+                out,
+                "# served {}  round-trip {:.1}ms",
+                if r.cached {
+                    "with cached decomposition"
+                } else {
+                    "cold"
+                },
+                r.elapsed_ms
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Maps a service error response onto the structured [`HtdError`] that
+/// reproduces the server-side exit code locally.
+fn service_error(r: htd_service::Response) -> HtdError {
+    let msg = r.error.unwrap_or_else(|| "server error".into());
+    match r.code {
+        Some(2) => HtdError::Parse(msg),
+        Some(3) => HtdError::Invalid(msg),
+        Some(4) => HtdError::Unsupported(msg),
+        Some(6) => HtdError::ResourceExhausted(msg),
+        _ => HtdError::Io(msg),
+    }
+}
+
+/// `htd answer`: answer a conjunctive query (`Q(x,y) :- R(x,z), S(z,y).`
+/// plus relations, text or JSON format of `htd-query`), locally or —
+/// with `--addr` — against a running server's shape-cached pipeline.
+pub fn cmd_answer(file: &str, text: &str, o: &Options) -> Result<String, HtdError> {
+    let mode = match (o.mode.as_deref(), o.count) {
+        (Some(m), _) => AnswerMode::from_name(m).ok_or_else(|| {
+            HtdError::Unsupported(format!("mode '{m}' (expected bool|count|enum)"))
+        })?,
+        (None, true) => AnswerMode::Count,
+        (None, false) => AnswerMode::Enumerate,
+    };
+    if let Some(addr) = o.addr.as_deref() {
+        let deadline_ms = o.time_limit.map(|t| (t.as_millis() as u64).max(1));
+        let mut client = Client::connect(addr).map_err(|e| HtdError::Io(format!("{addr}: {e}")))?;
+        let r = client.answer(text, mode, o.limit, deadline_ms)?;
+        return match r.status {
+            Status::Ok => {
+                let ans = r
+                    .answer
+                    .clone()
+                    .ok_or_else(|| HtdError::Io("ok response without answer".into()))?;
+                render_answer(&ans, o, Some(&r))
+            }
+            Status::Error => Err(service_error(r)),
+            s => Err(HtdError::Io(format!(
+                "server answered {}{}",
+                s.name(),
+                r.error.map_or(String::new(), |e| format!(": {e}"))
+            ))),
+        };
+    }
+    // local evaluation: relation file references resolve relative to the
+    // query file's directory (or the working directory for stdin)
+    let base = if file == "-" {
+        std::path::PathBuf::from(".")
+    } else {
+        std::path::Path::new(file)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or_else(|| std::path::PathBuf::from("."), |p| p.to_path_buf())
+    };
+    let parse_start = std::time::Instant::now();
+    let q = parse_query(text, &FileAccess::Allow { base })?;
+    let mut opts = answer_options(o, mode, o.limit.unwrap_or(u64::MAX))?;
+    opts.parse_us = parse_start.elapsed().as_micros() as u64;
+    let ans = htd_query::answer(&q, &opts)?;
+    render_answer(&ans, o, None)
 }
 
 /// `htd gen`: print a named benchmark instance.
@@ -654,16 +825,7 @@ pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError
             }
             Ok(out)
         }
-        Status::Error => {
-            let msg = r.error.unwrap_or_else(|| "server error".into());
-            Err(match r.code {
-                Some(2) => HtdError::Parse(msg),
-                Some(3) => HtdError::Invalid(msg),
-                Some(4) => HtdError::Unsupported(msg),
-                Some(6) => HtdError::ResourceExhausted(msg),
-                _ => HtdError::Io(msg),
-            })
-        }
+        Status::Error => Err(service_error(r)),
         s => Err(HtdError::Io(format!(
             "server answered {}{}",
             s.name(),
@@ -673,13 +835,14 @@ pub fn cmd_query(file: &str, text: &str, o: &Options) -> Result<String, HtdError
 }
 
 const USAGE: &str =
-    "usage: htd <info|tw|ghw|hw|decompose|check|solve|gen|serve|query> <file|-|name> [flags]
+    "usage: htd <info|tw|ghw|hw|decompose|check|solve|answer|gen|serve|query> <file|-|name> [flags]
 global flags: --format human|json  --quiet  --threads N  --seed N
               --budget N (nodes)   --time MS (wall clock)  --fast
               --engines NAME[,NAME...] (explicit lineup from the engine registry)
               --memory-mb N (degrade to anytime bounds past this budget)
               --dp (tw: all-or-nothing subset DP; exit 6 when over budget)
               --trace FILE.jsonl (solver event stream, schema v1)
+answer:       --mode bool|count|enum  --limit N  (--addr to use a server)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
               --verify (serve: oracle-check responses before caching)
               --chaos SEED (serve: deterministic fault injection, testing)
@@ -727,11 +890,27 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             width. Prints every violated condition and exits nonzero (code 3)\n\
             when the certificate is invalid; --format json prints the\n\
             structured CheckReport instead."),
-        "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N] [--threads N] [--trace FILE]\n\
-            Solves a CSP through a tree decomposition (join-tree clustering).\n\
-            With --trace (or --threads N > 1) the clustering ordering comes\n\
-            from the instrumented anytime portfolio and FILE receives the\n\
-            solver's JSONL event stream."),
+        "solve" => Some("usage: htd solve <file.csp|-> [--count] [--all N] [--seed N] [--threads N] [--engines NAME[,NAME...]] [--memory-mb N] [--trace FILE]\n\
+            Solves a CSP through a tree decomposition (join-tree clustering),\n\
+            routed through the same answering pipeline as `htd answer` with\n\
+            the trivial head keeping every variable. With --trace,\n\
+            --threads N > 1 or --engines the clustering ordering comes from\n\
+            the instrumented anytime portfolio and FILE receives the\n\
+            solver's JSONL event stream; --memory-mb refuses (exit 6) when\n\
+            the join-tree materialization estimate exceeds the budget."),
+        "answer" => Some("usage: htd answer <file.cq|-> [--mode bool|count|enum] [--count] [--limit N] [--time MS] [--memory-mb N] [--engines NAME[,NAME...]] [--threads N] [--trace FILE] [--addr HOST:PORT] [--format human|json] [--quiet]\n\
+            Answers a conjunctive query: a Datalog-style rule\n\
+            `Q(x,y) :- R(x,z), S(z,y).` followed by its relations (inline\n\
+            `R: 1 2 ; 3 4 .` or `R @ file.csv .`), or the equivalent JSON\n\
+            envelope — see docs/answering.md. The pipeline decomposes the\n\
+            query hypergraph and runs Yannakakis semijoin passes; --mode\n\
+            picks boolean satisfiability (with a witness), the exact count\n\
+            of distinct head assignments, or their enumeration (default,\n\
+            bounded by --limit). --memory-mb refuses over-budget queries\n\
+            with a size estimate (exit 6) instead of risking a wrong\n\
+            answer. With --addr the query is answered by a running\n\
+            `htd serve`, whose shape cache lets repeated query shapes skip\n\
+            decomposition; --format json prints the Answer object."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
         "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--verify] [--quiet]\n\
@@ -796,6 +975,9 @@ pub fn run(args: &[String]) -> Result<String, HtdError> {
     let o = parse_options(&args[2..])?;
     if cmd == "solve" {
         return cmd_solve(&text, &o);
+    }
+    if cmd == "answer" {
+        return cmd_answer(file, &text, &o);
     }
     if cmd == "query" {
         return cmd_query(file, &text, &o);
@@ -1083,6 +1265,103 @@ mod tests {
     }
 
     #[test]
+    fn answer_subcommand_modes() {
+        let cq = "Q(x, y) :- R(x, z), S(z, y).\nR: 1 2 ; 3 4 .\nS: 2 5 ; 2 6 .\n";
+        // enumeration (default): distinct head assignments with a header
+        let out = cmd_answer("q.cq", cq, &Options::default()).unwrap();
+        assert!(out.contains("# x y"), "{out}");
+        assert!(out.contains("1 5") && out.contains("1 6"), "{out}");
+        assert!(out.contains("# 2 answers"), "{out}");
+        // count mode via --count
+        let count = cmd_answer(
+            "q.cq",
+            cq,
+            &Options {
+                count: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(count.starts_with("answers: 2\n"), "{count}");
+        // boolean mode via --mode, quiet prints just the verdict line
+        let sat = cmd_answer(
+            "q.cq",
+            cq,
+            &Options {
+                mode: Some("bool".into()),
+                quiet: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sat, "true\n");
+        // --limit truncates enumeration
+        let limited = cmd_answer(
+            "q.cq",
+            cq,
+            &Options {
+                limit: Some(1),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(limited.contains("# truncated"), "{limited}");
+        // --format json emits the Answer object
+        let json = cmd_answer(
+            "q.cq",
+            cq,
+            &Options {
+                format: Some("json".into()),
+                count: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let ans = Answer::from_json(&Json::parse(json.trim()).unwrap()).unwrap();
+        assert_eq!(ans.count, Some(2));
+        // a bad mode is unsupported (exit 4), a bad query a parse error
+        let err = cmd_answer(
+            "q.cq",
+            cq,
+            &Options {
+                mode: Some("maybe".into()),
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(exit_code(&err), 4);
+        let err = cmd_answer("q.cq", "Q(x :-", &Options::default()).unwrap_err();
+        assert_eq!(exit_code(&err), 2);
+    }
+
+    #[test]
+    fn answer_memory_budget_refuses_not_lies() {
+        // a dense triangle query against a tiny budget must refuse with
+        // a resource error (exit 6), never return a wrong answer
+        let mut cq = String::from("Q(x, y, z) :- R(x, y), S(y, z), T(z, x).\n");
+        for rel in ["R", "S", "T"] {
+            let _ = write!(cq, "{rel}:");
+            for i in 0..40 {
+                for j in 0..40 {
+                    let _ = write!(cq, " {i} {j} ;");
+                }
+            }
+            cq.push_str(" .\n");
+        }
+        let err = cmd_answer(
+            "q.cq",
+            &cq,
+            &Options {
+                memory_mb: Some(1),
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HtdError::ResourceExhausted(_)), "{err:?}");
+        assert_eq!(exit_code(&err), 6);
+    }
+
+    #[test]
     fn options_parsing() {
         let o = parse_options(&[
             "--fast".into(),
@@ -1123,6 +1402,7 @@ mod tests {
             "decompose",
             "check",
             "solve",
+            "answer",
             "gen",
             "serve",
             "query",

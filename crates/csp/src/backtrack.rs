@@ -114,11 +114,9 @@ fn fc_assign(
                 .filter(|&v| assignment[v as usize] == u32::MAX)
                 .collect();
             match unassigned.as_slice() {
-                [] => {
-                    if !c.satisfied_by(assignment) {
-                        wiped = true;
-                        break 'check;
-                    }
+                [] if !c.satisfied_by(assignment) => {
+                    wiped = true;
+                    break 'check;
                 }
                 [future] => {
                     let f = *future as usize;

@@ -62,7 +62,7 @@ pub fn for_each_solution_td(
     count
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn walk_nodes(
     csp: &Csp,
     td: &TreeDecomposition,

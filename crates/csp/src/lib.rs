@@ -46,4 +46,4 @@ pub use io::{parse_csp, write_csp};
 pub use model::{Constraint, Csp, Value, VarId};
 pub use relation::Relation;
 pub use solve_ghd::solve_with_ghd;
-pub use solve_td::solve_with_td;
+pub use solve_td::{estimate_node_tuples, node_relations, solve_with_td};

@@ -68,6 +68,44 @@ pub fn node_relations(csp: &Csp, td: &TreeDecomposition) -> Vec<Relation> {
         .collect()
 }
 
+/// Worst-case number of tuples Join Tree Clustering may materialize for
+/// this CSP and decomposition, mirroring the constraint placement of
+/// [`node_relations`]: per node, the product of the placed constraints'
+/// tuple counts times the domain sizes of bag variables no placed
+/// constraint mentions, summed over nodes. Joins only shrink relations,
+/// so this is an upper bound — callers use it to *refuse* an evaluation
+/// whose intermediate relations could blow a memory budget before
+/// materializing anything.
+pub fn estimate_node_tuples(csp: &Csp, td: &TreeDecomposition) -> u128 {
+    let n = csp.num_vars();
+    let mut placed: Vec<Vec<usize>> = vec![Vec::new(); td.num_nodes()];
+    for (ci, c) in csp.constraints.iter().enumerate() {
+        let scope = VertexSet::from_iter_with_capacity(n, c.scope.iter().copied());
+        if let Some(host) = (0..td.num_nodes()).find(|&p| scope.is_subset(td.bag(p))) {
+            placed[host].push(ci);
+        }
+    }
+    (0..td.num_nodes())
+        .map(|p| {
+            let mut est: u128 = 1;
+            let mut covered = VertexSet::new(n);
+            for &ci in &placed[p] {
+                let c = &csp.constraints[ci];
+                est = est.saturating_mul(c.tuples.len() as u128);
+                for &v in &c.scope {
+                    covered.insert(v);
+                }
+            }
+            for v in td.bag(p).iter() {
+                if !covered.contains(v) {
+                    est = est.saturating_mul(csp.domain_sizes[v as usize].max(1) as u128);
+                }
+            }
+            est
+        })
+        .fold(0u128, |a, b| a.saturating_add(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +149,24 @@ mod tests {
             if let Some(a) = td_ans {
                 assert!(csp.is_solution(&a), "seed {seed}: invalid solution");
             }
+        }
+    }
+
+    #[test]
+    fn estimate_bounds_actual_materialization() {
+        for seed in 0..10u64 {
+            let csp = builders::random_binary_csp(8, 3, 0.4, 0.4, seed);
+            let h = csp.hypergraph();
+            let td = td_of_hypergraph(&h, &EliminationOrdering::identity(8));
+            let est = estimate_node_tuples(&csp, &td);
+            let actual: u128 = node_relations(&csp, &td)
+                .iter()
+                .map(|r| r.len() as u128)
+                .sum();
+            assert!(
+                actual <= est,
+                "seed {seed}: materialized {actual} tuples but estimated only {est}"
+            );
         }
     }
 

@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn invariant_under_relabeling() {
-        let instances = vec![
+        let instances = [
             gen::grid2d(3),
             gen::adder(3),
             gen::bridge(2),

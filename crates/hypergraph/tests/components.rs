@@ -40,7 +40,9 @@ fn random_part(rng: &mut StdRng) -> Hypergraph {
 fn disjoint_unions_split_into_exactly_their_parts_components() {
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let parts: Vec<Hypergraph> = (0..rng.gen_range(2..=4)).map(|_| random_part(&mut rng)).collect();
+        let parts: Vec<Hypergraph> = (0..rng.gen_range(2..=4))
+            .map(|_| random_part(&mut rng))
+            .collect();
         let union = disjoint_union(&parts);
 
         let mut expected: Vec<Vec<u32>> = Vec::new();
@@ -98,7 +100,10 @@ fn components_within_partition_and_agree_with_the_primal_graph() {
             if e_in.is_empty() {
                 continue;
             }
-            let touched = comps.iter().filter(|c| !c.intersection(&e_in).is_empty()).count();
+            let touched = comps
+                .iter()
+                .filter(|c| !c.intersection(&e_in).is_empty())
+                .count();
             assert_eq!(touched, 1, "seed {seed}: edge crosses a separator-free cut");
         }
 
@@ -121,7 +126,11 @@ fn full_within_is_plain_components_and_blocks_are_connected() {
     for seed in 0..30u64 {
         let g = gen::random_gnp(12, 0.15, seed);
         let full = VertexSet::full(g.num_vertices());
-        let a: Vec<Vec<u32>> = g.connected_components().iter().map(VertexSet::to_vec).collect();
+        let a: Vec<Vec<u32>> = g
+            .connected_components()
+            .iter()
+            .map(VertexSet::to_vec)
+            .collect();
         let b: Vec<Vec<u32>> = g
             .connected_components_within(&full)
             .iter()

@@ -121,7 +121,10 @@ enum Split {
     Leaf(Vec<Vertex>),
     /// The part splits into `comps` around `sep` (empty `sep` = the part
     /// was already disconnected).
-    Cut { sep: Vec<Vertex>, comps: Vec<VertexSet> },
+    Cut {
+        sep: Vec<Vertex>,
+        comps: Vec<VertexSet>,
+    },
 }
 
 /// Builds one nested-dissection elimination ordering, splitting all parts
@@ -149,7 +152,17 @@ fn build_ordering(
         if inc.is_cancelled() {
             return None;
         }
-        let splits = process_level(g, h, cfg, pool_threads, seed, max_depth, &frontier, &stop, expanded);
+        let splits = process_level(
+            g,
+            h,
+            cfg,
+            pool_threads,
+            seed,
+            max_depth,
+            &frontier,
+            &stop,
+            expanded,
+        );
         let mut next = Vec::new();
         for ((node_id, _alive, depth), split) in frontier.iter().zip(splits) {
             match split {
@@ -288,7 +301,8 @@ fn split_task(
     let total = alive.len();
     let av: Vec<Vertex> = alive.to_vec();
     // score: balanced first, then thinner separator, then smaller parts
-    let mut best: Option<(bool, u32, u32, Vec<Vertex>, Vec<VertexSet>)> = None;
+    type Candidate = (bool, u32, u32, Vec<Vertex>, Vec<VertexSet>);
+    let mut best: Option<Candidate> = None;
     for _ in 0..ROOTS {
         let root = av[rng.gen_range(0..av.len())];
         let layers = bfs_layers(g, alive, root);
@@ -331,9 +345,7 @@ fn split_task(
         // an unbalanced cut still recurses if it sheds at least 1/8 of the
         // part — the depth cap bounds the damage; below that, min-fill
         // does better than a degenerate dissection
-        Some((balanced, _, max_comp, sep, comps))
-            if balanced || max_comp * 8 <= total * 7 =>
-        {
+        Some((balanced, _, max_comp, sep, comps)) if balanced || max_comp * 8 <= total * 7 => {
             Split::Cut { sep, comps }
         }
         _ => Split::Leaf(leaf_order(g, alive, &mut rng)),
@@ -374,7 +386,7 @@ fn bfs_layers(g: &Graph, alive: &VertexSet, root: Vertex) -> Vec<VertexSet> {
 
 /// Layer candidates worth cutting on: the thinnest balanced interior
 /// layer, plus the layer at the cumulative midpoint as a fallback.
-fn candidate_layers<'a>(layers: &'a [VertexSet], total: u32) -> Vec<&'a VertexSet> {
+fn candidate_layers(layers: &[VertexSet], total: u32) -> Vec<&VertexSet> {
     let mut thinnest: Option<(u32, usize)> = None;
     let mut midpoint = layers.len() / 2;
     let mut before = 0u32;

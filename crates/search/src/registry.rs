@@ -324,7 +324,10 @@ mod tests {
 
     #[test]
     fn handles_compare_by_name() {
-        assert_eq!(Engine::BranchBound, Engine::from_name("branch_bound").unwrap());
+        assert_eq!(
+            Engine::BranchBound,
+            Engine::from_name("branch_bound").unwrap()
+        );
         assert_eq!(Engine::BranchBound.name(), "branch_bound");
         assert_ne!(Engine::BranchBound, Engine::AStar);
         assert!(Engine::from_name("no_such_engine").is_none());

@@ -7,7 +7,11 @@ use std::net::TcpStream;
 use htd_core::{HtdError, Json};
 use htd_search::Objective;
 
-use crate::protocol::{Command, InstanceFormat, Request, Response, SolveRequest, Status};
+use htd_query::AnswerMode;
+
+use crate::protocol::{
+    AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
+};
 
 /// One connection to a running server.
 pub struct Client {
@@ -68,6 +72,32 @@ impl Client {
                 instance: instance.to_string(),
                 deadline_ms,
                 budget: None,
+                threads: None,
+                engines: None,
+                use_cache: true,
+            }),
+        })
+    }
+
+    /// Answers the conjunctive query `query` (text or JSON format of
+    /// `htd-query`) in the given mode. The response's `cached` flag
+    /// reports whether the decomposition came from the server's shape
+    /// cache; the answer itself is always evaluated fresh.
+    pub fn answer(
+        &mut self,
+        query: &str,
+        mode: AnswerMode,
+        limit: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, HtdError> {
+        let id = self.fresh_id();
+        self.request(&Request {
+            id: Some(id),
+            cmd: Command::Answer(AnswerRequest {
+                query: query.to_string(),
+                mode,
+                limit,
+                deadline_ms,
                 threads: None,
                 engines: None,
                 use_cache: true,

@@ -24,11 +24,17 @@
 //!   (request/cache counters, queue depth, latency p50/p95, widths
 //!   served) and structured per-request log lines ([`metrics`]).
 //!
+//! Beyond decomposition, the server *answers* conjunctive queries: the
+//! `answer` command runs the full `htd-query` pipeline (decompose, then
+//! Yannakakis semijoins) on a worker, with a per-server
+//! [`htd_query::ShapeCache`] so repeated query shapes — same canonical
+//! hypergraph, different relation data — skip decomposition entirely.
+//!
 //! The wire format is one JSON object per line over TCP ([`protocol`]),
 //! reusing [`htd_search::Outcome`]'s documented schema for results; the
 //! same socket also answers plain HTTP probes. `htd serve` / `htd query`
-//! front this crate from the CLI, and the `service_load` bench replays a
-//! generated corpus against it.
+//! front this crate from the CLI, and the `service_load` and
+//! `answer_load` benches replay generated corpora against it.
 
 #![warn(missing_docs)]
 
@@ -40,7 +46,10 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
+pub use htd_query::{Answer, AnswerMode};
 pub use htd_resilience::FaultPlan;
 pub use metrics::Metrics;
-pub use protocol::{Command, InstanceFormat, Request, Response, SolveRequest, Status};
+pub use protocol::{
+    AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
+};
 pub use server::{run_until_shutdown, ServeOptions, Server};

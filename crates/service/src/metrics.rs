@@ -113,6 +113,8 @@ pub struct Metrics {
     start: Instant,
     /// Total requests by kind.
     pub solve_requests: AtomicU64,
+    /// `answer` (conjunctive-query) requests.
+    pub answer_requests: AtomicU64,
     /// `ping` requests.
     pub ping_requests: AtomicU64,
     /// `stats` requests.
@@ -169,6 +171,7 @@ impl Metrics {
         Metrics {
             start: Instant::now(),
             solve_requests: AtomicU64::new(0),
+            answer_requests: AtomicU64::new(0),
             ping_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
@@ -233,6 +236,7 @@ impl Metrics {
         let _ = writeln!(o, "# TYPE htd_requests_total counter");
         for (k, v) in [
             ("solve", ld(&self.solve_requests)),
+            ("answer", ld(&self.answer_requests)),
             ("ping", ld(&self.ping_requests)),
             ("stats", ld(&self.stats_requests)),
             ("http", ld(&self.http_requests)),
@@ -379,6 +383,7 @@ impl Metrics {
             ("uptime_ms".into(), Json::Num(self.uptime_ms() as f64)),
             ("draining".into(), Json::Bool(draining)),
             ("solve_requests".into(), ld(&self.solve_requests)),
+            ("answer_requests".into(), ld(&self.answer_requests)),
             ("ok".into(), ld(&self.ok_responses)),
             ("rejected".into(), ld(&self.rejected_responses)),
             ("timeouts".into(), ld(&self.timeout_responses)),

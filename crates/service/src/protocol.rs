@@ -14,6 +14,9 @@
 //! {"id":"r2","cmd":"ping"}
 //! {"id":"r3","cmd":"stats"}
 //! {"id":"r4","cmd":"shutdown"}
+//! {"id":"r5","cmd":"answer","mode":"count","query":
+//!  "Q(x,y) :- R(x,z), S(z,y).\nR: 1 2 .\nS: 2 3 .","limit":10,
+//!  "deadline_ms":500,"cache":"use"}
 //! ```
 //!
 //! `format` is `auto` (default, sniffed), `gr` (PACE), `col` (DIMACS) or
@@ -37,9 +40,19 @@
 //! `shutting_down`, `pong`, `stats`. `code` mirrors the CLI exit codes
 //! (2 parse, 3 invalid, 4 unsupported, 5 io/internal, 6 resource
 //! exhausted).
+//!
+//! An `answer` request runs a conjunctive query end to end (see
+//! `htd-query`): `mode` is `bool`/`count`/`enum`, `query` the text or
+//! JSON query format (file-referenced relations are always refused on
+//! the wire), `limit` caps enumeration, and `cache` `use`/`off` controls
+//! the *shape* cache — decompositions reused across queries with
+//! isomorphic hypergraphs. The `ok` response carries the answer under
+//! `"answer"` (`htd_query::Answer::to_json` schema), with `cached`
+//! meaning the decomposition was a shape-cache hit.
 
 use htd_core::{HtdError, Json};
 use htd_hypergraph::{io, Hypergraph};
+use htd_query::{Answer, AnswerMode};
 use htd_search::{Engine, Objective, Outcome, Problem};
 
 /// How the `instance` text of a solve request is to be parsed.
@@ -101,6 +114,26 @@ pub struct SolveRequest {
     pub use_cache: bool,
 }
 
+/// An answer request's payload: a conjunctive query to evaluate.
+#[derive(Clone, Debug)]
+pub struct AnswerRequest {
+    /// The query in the `htd-query` text or JSON format.
+    pub query: String,
+    /// What to compute.
+    pub mode: AnswerMode,
+    /// Maximum answers returned in enumeration mode; `None` = server cap.
+    pub limit: Option<u64>,
+    /// Wall-clock deadline for the whole request; `None` = server default.
+    pub deadline_ms: Option<u64>,
+    /// Worker threads for the decomposition; `None` = 1.
+    pub threads: Option<usize>,
+    /// Engine lineup for the decomposition (as in [`SolveRequest`]).
+    pub engines: Option<Vec<Engine>>,
+    /// `false` bypasses the shape-cache lookup (the fresh decomposition
+    /// is still admitted).
+    pub use_cache: bool,
+}
+
 /// A parsed request line.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -115,6 +148,8 @@ pub struct Request {
 pub enum Command {
     /// Solve an instance.
     Solve(SolveRequest),
+    /// Answer a conjunctive query.
+    Answer(AnswerRequest),
     /// Liveness probe.
     Ping,
     /// Metrics snapshot as JSON.
@@ -151,15 +186,33 @@ impl Request {
                 if let Some(engines) = &s.engines {
                     m.push((
                         "engines".into(),
-                        Json::Arr(
-                            engines
-                                .iter()
-                                .map(|e| Json::Str(e.name().into()))
-                                .collect(),
-                        ),
+                        Json::Arr(engines.iter().map(|e| Json::Str(e.name().into())).collect()),
                     ));
                 }
                 if !s.use_cache {
+                    m.push(("cache".into(), Json::Str("off".into())));
+                }
+            }
+            Command::Answer(a) => {
+                m.push(("cmd".into(), Json::Str("answer".into())));
+                m.push(("mode".into(), Json::Str(a.mode.name().into())));
+                m.push(("query".into(), Json::Str(a.query.clone())));
+                if let Some(l) = a.limit {
+                    m.push(("limit".into(), Json::Num(l as f64)));
+                }
+                if let Some(d) = a.deadline_ms {
+                    m.push(("deadline_ms".into(), Json::Num(d as f64)));
+                }
+                if let Some(t) = a.threads {
+                    m.push(("threads".into(), Json::Num(t as f64)));
+                }
+                if let Some(engines) = &a.engines {
+                    m.push((
+                        "engines".into(),
+                        Json::Arr(engines.iter().map(|e| Json::Str(e.name().into())).collect()),
+                    ));
+                }
+                if !a.use_cache {
                     m.push(("cache".into(), Json::Str("off".into())));
                 }
             }
@@ -200,31 +253,8 @@ impl Request {
                     .and_then(|v| v.as_str())
                     .ok_or_else(|| HtdError::Parse("solve missing 'instance'".into()))?
                     .to_string();
-                let engines = match doc.get("engines") {
-                    None => None,
-                    Some(Json::Arr(names)) => {
-                        let names: Vec<&str> =
-                            names.iter().filter_map(|v| v.as_str()).collect();
-                        Some(htd_search::engines_from_names(&names)?)
-                    }
-                    Some(Json::Str(list)) => Some(htd_search::engines_from_names(
-                        &list.split(',').map(str::trim).collect::<Vec<_>>(),
-                    )?),
-                    Some(_) => {
-                        return Err(HtdError::Unsupported(
-                            "engines must be a name array or comma-separated string".into(),
-                        ))
-                    }
-                };
-                let use_cache = match doc.get("cache").and_then(|v| v.as_str()) {
-                    None | Some("use") => true,
-                    Some("off") => false,
-                    Some(c) => {
-                        return Err(HtdError::Unsupported(format!(
-                            "cache '{c}' (expected use|off)"
-                        )))
-                    }
-                };
+                let engines = engines_from_doc(doc)?;
+                let use_cache = cache_from_doc(doc)?;
                 Command::Solve(SolveRequest {
                     objective,
                     format,
@@ -239,9 +269,62 @@ impl Request {
                     use_cache,
                 })
             }
+            "answer" => {
+                let mode = match doc.get("mode").and_then(|v| v.as_str()) {
+                    None => AnswerMode::Boolean,
+                    Some(m) => AnswerMode::from_name(m).ok_or_else(|| {
+                        HtdError::Unsupported(format!("mode '{m}' (expected bool|count|enum)"))
+                    })?,
+                };
+                let query = doc
+                    .get("query")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| HtdError::Parse("answer missing 'query'".into()))?
+                    .to_string();
+                Command::Answer(AnswerRequest {
+                    query,
+                    mode,
+                    limit: doc.get("limit").and_then(|v| v.as_u64()),
+                    deadline_ms: doc.get("deadline_ms").and_then(|v| v.as_u64()),
+                    threads: doc
+                        .get("threads")
+                        .and_then(|v| v.as_u64())
+                        .map(|t| t as usize),
+                    engines: engines_from_doc(doc)?,
+                    use_cache: cache_from_doc(doc)?,
+                })
+            }
             other => return Err(HtdError::Unsupported(format!("unknown cmd '{other}'"))),
         };
         Ok(Request { id, cmd })
+    }
+}
+
+/// Shared `engines` field parsing of `solve` and `answer` requests.
+fn engines_from_doc(doc: &Json) -> Result<Option<Vec<Engine>>, HtdError> {
+    match doc.get("engines") {
+        None => Ok(None),
+        Some(Json::Arr(names)) => {
+            let names: Vec<&str> = names.iter().filter_map(|v| v.as_str()).collect();
+            Ok(Some(htd_search::engines_from_names(&names)?))
+        }
+        Some(Json::Str(list)) => Ok(Some(htd_search::engines_from_names(
+            &list.split(',').map(str::trim).collect::<Vec<_>>(),
+        )?)),
+        Some(_) => Err(HtdError::Unsupported(
+            "engines must be a name array or comma-separated string".into(),
+        )),
+    }
+}
+
+/// Shared `cache` field parsing of `solve` and `answer` requests.
+fn cache_from_doc(doc: &Json) -> Result<bool, HtdError> {
+    match doc.get("cache").and_then(|v| v.as_str()) {
+        None | Some("use") => Ok(true),
+        Some("off") => Ok(false),
+        Some(c) => Err(HtdError::Unsupported(format!(
+            "cache '{c}' (expected use|off)"
+        ))),
     }
 }
 
@@ -306,8 +389,10 @@ pub struct Response {
     pub fingerprint: Option<String>,
     /// Whether the canonical form was complete (fully relabeling-invariant).
     pub canonical: bool,
-    /// The solve result (status `ok`).
+    /// The solve result (status `ok`, `solve` requests).
     pub outcome: Option<Outcome>,
+    /// The query answer (status `ok`, `answer` requests).
+    pub answer: Option<Answer>,
     /// Error text (statuses `error`, `rejected`, `timeout`).
     pub error: Option<String>,
     /// CLI-style error code (status `error`).
@@ -330,6 +415,7 @@ impl Response {
             fingerprint: None,
             canonical: false,
             outcome: None,
+            answer: None,
             error: None,
             code: None,
             retry_after_ms: None,
@@ -383,6 +469,9 @@ impl Response {
         if let Some(o) = &self.outcome {
             m.push(("outcome".into(), o.to_json()));
         }
+        if let Some(a) = &self.answer {
+            m.push(("answer".into(), a.to_json()));
+        }
         Json::Obj(m)
     }
 
@@ -410,6 +499,10 @@ impl Response {
                 .unwrap_or(false),
             outcome: match doc.get("outcome") {
                 Some(o) => Some(Outcome::from_json(o)?),
+                None => None,
+            },
+            answer: match doc.get("answer") {
+                Some(a) => Some(Answer::from_json(a)?),
                 None => None,
             },
             error: doc
@@ -534,6 +627,43 @@ mod tests {
     }
 
     #[test]
+    fn answer_request_round_trip() {
+        let req = Request {
+            id: Some("a1".into()),
+            cmd: Command::Answer(AnswerRequest {
+                query: "Q(x) :- R(x).\nR: 1 ; 2 .".into(),
+                mode: AnswerMode::Enumerate,
+                limit: Some(10),
+                deadline_ms: Some(250),
+                threads: Some(2),
+                engines: Some(vec![Engine::BalSep]),
+                use_cache: false,
+            }),
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
+        match back.cmd {
+            Command::Answer(a) => {
+                assert_eq!(a.mode, AnswerMode::Enumerate);
+                assert_eq!(a.limit, Some(10));
+                assert_eq!(a.deadline_ms, Some(250));
+                assert_eq!(a.threads, Some(2));
+                assert_eq!(a.engines, Some(vec![Engine::BalSep]));
+                assert!(!a.use_cache);
+                assert!(a.query.contains(":-"));
+            }
+            _ => panic!("wrong cmd"),
+        }
+        // mode defaults to boolean; bad mode is rejected
+        let doc = Json::parse(r#"{"cmd":"answer","query":"Q() :- R(x).\nR: 1 ."}"#).unwrap();
+        match Request::from_json(&doc).unwrap().cmd {
+            Command::Answer(a) => assert_eq!(a.mode, AnswerMode::Boolean),
+            _ => panic!("wrong cmd"),
+        }
+        let doc = Json::parse(r#"{"cmd":"answer","query":"x","mode":"maybe"}"#).unwrap();
+        assert!(Request::from_json(&doc).is_err());
+    }
+
+    #[test]
     fn control_commands_parse() {
         for (name, want) in [
             ("ping", "ping"),
@@ -548,6 +678,7 @@ mod tests {
                     Command::Stats => "stats",
                     Command::Shutdown => "shutdown",
                     Command::Solve(_) => "solve",
+                    Command::Answer(_) => "answer",
                 },
                 want
             );

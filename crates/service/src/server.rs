@@ -20,6 +20,12 @@
 //! 5. The result is admitted to the cache and the response sent back on
 //!    the requesting connection.
 //!
+//! `answer` (conjunctive-query) requests ride the same queue, deadline
+//! watchdog and backpressure: the connection thread parses the query,
+//! a worker runs the `htd-query` pipeline, and a per-server
+//! [`ShapeCache`] lets repeated query *shapes* skip decomposition while
+//! every answer is still evaluated against its own relations.
+//!
 //! ## Graceful shutdown
 //!
 //! `shutdown` (or SIGINT/SIGTERM under [`run_until_shutdown`]) flips the
@@ -40,13 +46,18 @@ use std::time::{Duration, Instant};
 
 use htd_core::{HtdError, Json};
 use htd_hypergraph::canonical::canonical_form;
-use htd_resilience::{quarantined, CircuitBreaker, FaultInjector, FaultPlan, InjectedFaults};
+use htd_query::{parse_query, AnswerMode, AnswerOptions, FileAccess, Query, ShapeCache};
+use htd_resilience::{
+    quarantined, CircuitBreaker, Fault, FaultInjector, FaultPlan, InjectedFaults, MemoryBudget,
+};
 use htd_search::{solve, Engine, Incumbent, Problem, SearchConfig};
 use parking_lot::Mutex;
 
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
-use crate::protocol::{parse_problem, Command, Request, Response, SolveRequest, Status};
+use crate::protocol::{
+    parse_problem, AnswerRequest, Command, Request, Response, SolveRequest, Status,
+};
 
 /// Slack subtracted from the remaining deadline when budgeting a solve,
 /// covering admission/serialization overhead around the engine run.
@@ -63,6 +74,13 @@ const MAX_FRAME: u64 = 8 << 20;
 /// Largest serialized response written back on a connection; anything
 /// bigger is replaced by a structured internal error.
 const MAX_RESPONSE: usize = 32 << 20;
+/// Query shapes kept in the answer shape cache. Each entry is one
+/// elimination ordering (a few dozen bytes), so the cache is cheap; the
+/// bound only guards against unbounded shape churn.
+const SHAPE_CACHE_CAPACITY: usize = 1024;
+/// Server-side cap on enumerated answer tuples when the request names no
+/// limit, keeping one answer under [`MAX_RESPONSE`].
+const DEFAULT_ANSWER_LIMIT: u64 = 100_000;
 
 /// Configuration of a server instance.
 #[derive(Clone, Debug)]
@@ -119,18 +137,14 @@ impl Default for ServeOptions {
     }
 }
 
-/// A unit of queued work.
+/// A unit of queued work: a decomposition solve or a conjunctive-query
+/// answer. Both share the bounded queue, the deadline watchdog and the
+/// backpressure machinery.
 struct Job {
     id: Option<String>,
-    problem: Problem,
-    fingerprint: u64,
-    fingerprint_hex: String,
-    canonical: Vec<u8>,
-    canonical_complete: bool,
-    objective_name: &'static str,
+    work: Work,
     deadline: Instant,
     deadline_ms: u64,
-    budget: Option<u64>,
     threads: usize,
     engines: Option<Vec<Engine>>,
     received: Instant,
@@ -138,6 +152,51 @@ struct Job {
     /// queue-wait component of the latency split.
     enqueued: Instant,
     reply: mpsc::Sender<Response>,
+}
+
+/// What a queued job actually computes.
+enum Work {
+    Solve(SolveWork),
+    Answer(AnswerWork),
+}
+
+struct SolveWork {
+    problem: Problem,
+    fingerprint: u64,
+    fingerprint_hex: String,
+    canonical: Vec<u8>,
+    canonical_complete: bool,
+    objective_name: &'static str,
+    budget: Option<u64>,
+}
+
+struct AnswerWork {
+    query: Query,
+    mode: AnswerMode,
+    limit: Option<u64>,
+    use_shape_cache: bool,
+    /// Microseconds the connection thread spent parsing the query,
+    /// forwarded into the pipeline's `parse` stage event.
+    parse_us: u64,
+}
+
+impl Work {
+    /// Short label for log lines (the solve objective, or `answer`).
+    fn label(&self) -> &'static str {
+        match self {
+            Work::Solve(w) => w.objective_name,
+            Work::Answer(_) => "answer",
+        }
+    }
+
+    /// The instance fingerprint when already known: solves canonicalize
+    /// on admission, answers learn theirs from the pipeline afterwards.
+    fn fingerprint_hex(&self) -> Option<&str> {
+        match self {
+            Work::Solve(w) => Some(&w.fingerprint_hex),
+            Work::Answer(_) => None,
+        }
+    }
 }
 
 /// Bounded MPMC queue on std `Mutex` + `Condvar` (the vendored
@@ -198,6 +257,12 @@ impl WorkQueue {
 struct Inner {
     opts: ServeOptions,
     cache: ResultCache,
+    /// Decompositions shared across `answer` requests of the same query
+    /// *shape* (canonical hypergraph): repeated shapes with different
+    /// relation data skip decomposition entirely. Only the decomposition
+    /// is shared — answers are always evaluated against the request's
+    /// own data.
+    shapes: Arc<ShapeCache>,
     metrics: Metrics,
     queue: WorkQueue,
     /// Draining: refuse new solves, finish queued + in-flight work.
@@ -327,6 +392,7 @@ impl Server {
             .collect();
         let inner = Arc::new(Inner {
             cache: ResultCache::new(opts.cache_mb.max(1) * (1 << 20)),
+            shapes: Arc::new(ShapeCache::new(SHAPE_CACHE_CAPACITY)),
             metrics: Metrics::new(),
             queue: WorkQueue::new(opts.queue_capacity),
             draining: AtomicBool::new(false),
@@ -362,6 +428,16 @@ impl Server {
         reg.counter("htd_mem_budget_aborts_total");
         reg.counter("htd_degraded_responses_total");
         reg.gauge("htd_engine_quarantined");
+        // ... and the answer-pipeline series of htd-query
+        reg.counter("htd_answers_total");
+        reg.counter("htd_answer_shape_cache_hits_total");
+        reg.counter("htd_answer_shape_cache_misses_total");
+        reg.counter("htd_answer_tuples_scanned_total");
+        reg.counter("htd_answer_refusals_total");
+        reg.histogram(
+            "htd_answer_latency_ms",
+            htd_query::ANSWER_LATENCY_BUCKETS_MS,
+        );
         let workers = (0..threads)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -541,15 +617,15 @@ fn worker_loop(inner: &Inner) {
                 .timeout_responses
                 .fetch_add(1, Ordering::Relaxed);
             let mut r = Response::new(job.id.clone(), Status::Timeout);
-            r.fingerprint = Some(job.fingerprint_hex.clone());
-            r.canonical = job.canonical_complete;
+            r.fingerprint = job.work.fingerprint_hex().map(str::to_string);
+            r.canonical = matches!(&job.work, Work::Solve(w) if w.canonical_complete);
             r.error = Some("deadline expired in queue".into());
             r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
             inner.log(format_args!(
                 "req={} obj={} fp={} status=timeout queued_ms={:.1}",
                 job.id.as_deref().unwrap_or("-"),
-                job.objective_name,
-                job.fingerprint_hex,
+                job.work.label(),
+                job.work.fingerprint_hex().unwrap_or("-"),
                 r.elapsed_ms
             ));
             let _ = job.reply.send(r);
@@ -573,147 +649,261 @@ fn worker_loop(inner: &Inner) {
             thread::sleep(d);
         }
 
-        let remaining = job.deadline.saturating_duration_since(Instant::now());
-        let mut cfg = match job.budget {
-            Some(b) => SearchConfig::budgeted(b),
-            None => SearchConfig::portfolio(),
+        let r = match &job.work {
+            Work::Solve(w) => run_solve(inner, &job, w, &incumbent, &fault, queued),
+            Work::Answer(w) => run_answer(inner, &job, w, &incumbent, &fault, queued),
         };
-        cfg = cfg
-            .with_time_limit(remaining.saturating_sub(DEADLINE_SLACK))
-            .with_threads(job.threads);
-        cfg.shared = Some(Arc::clone(&incumbent));
-        if fault.alloc_fail {
-            // near-zero budget: the solve degrades to its anytime bounds
-            cfg = cfg.with_memory_budget(16 << 10);
-        } else if let Some(mb) = inner.opts.memory_mb {
-            cfg = cfg.with_memory_budget(mb << 20);
-        }
-        if fault.panic_worker {
-            cfg = cfg.with_faults(InjectedFaults::with_panics(1));
-        }
-        // an explicit per-request lineup wins; otherwise bench engines
-        // with open breakers (and admit at most one probe)
-        let lineup = job
-            .engines
-            .clone()
-            .or_else(|| inner.allowed_engines(job.threads.max(1)));
-        if let Some(engines) = lineup.clone() {
-            cfg = cfg.with_engines(engines);
-        }
-
-        let solve_start = Instant::now();
-        // last line of defense: a panic anywhere in the solve path is
-        // quarantined into a structured internal error instead of taking
-        // the worker thread (and with it the whole pool) down
-        let result = quarantined(|| solve(&job.problem, &cfg)).unwrap_or_else(|message| {
-            htd_trace::registry()
-                .counter("htd_worker_panics_total")
-                .inc();
-            // the panic escaped per-engine attribution; charge the whole
-            // lineup so a persistently crashing path still gets benched
-            for (engine, b) in &inner.breakers {
-                match lineup.as_ref() {
-                    Some(l) if !l.contains(engine) => {}
-                    _ => b.record_failure(),
-                }
-            }
-            inner.refresh_quarantine_gauge();
-            Err(HtdError::Io(format!(
-                "solver panicked (quarantined): {message}"
-            )))
-        });
-        let solve_elapsed = solve_start.elapsed();
-        let solve_ms = solve_elapsed.as_secs_f64() * 1000.0;
-        inner
-            .metrics
-            .solve_time
-            .observe(solve_elapsed.as_secs_f64());
 
         {
             let mut registry = inner.registry.lock();
             registry.retain(|(_, i)| !Arc::ptr_eq(i, &incumbent));
         }
         inner.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
-
-        let mut r = match result {
-            Ok(outcome) => {
-                inner.metrics.solve_latency.observe(solve_ms);
-                inner.record_engine_outcomes(&outcome.per_engine);
-                let survived_panic = outcome.per_engine.iter().any(|e| e.panicked);
-                let degraded = outcome.degraded || survived_panic;
-                if degraded {
-                    htd_trace::registry()
-                        .counter("htd_degraded_responses_total")
-                        .inc();
-                }
-                // degraded results carry weaker bounds than a healthy solve
-                // of the same instance would; never let them shadow a
-                // future clean answer in the cache
-                let mut cacheable = !degraded;
-                if inner.opts.verify_responses {
-                    let report = htd_check::verify_outcome(&job.problem, &outcome);
-                    if !report.is_valid() {
-                        cacheable = false;
-                        htd_trace::registry()
-                            .counter("htd_oracle_failures_total")
-                            .inc();
-                        inner.log(format_args!(
-                            "req={} obj={} fp={} ORACLE VIOLATION (response served, not cached): {}",
-                            job.id.as_deref().unwrap_or("-"),
-                            job.objective_name,
-                            job.fingerprint_hex,
-                            report
-                        ));
-                    }
-                }
-                if cacheable {
-                    inner.cache.admit(
-                        job.fingerprint,
-                        &job.canonical,
-                        job.objective_name,
-                        &outcome,
-                        solve_ms.ceil() as u64,
-                    );
-                }
-                inner.metrics.record_served(outcome.upper, outcome.exact);
-                inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
-                let mut r = Response::new(job.id.clone(), Status::Ok);
-                r.outcome = Some(outcome);
-                r
-            }
-            Err(e) => {
-                inner
-                    .metrics
-                    .error_responses
-                    .fetch_add(1, Ordering::Relaxed);
-                Response::from_error(job.id.clone(), &e)
-            }
-        };
-        r.fingerprint = Some(job.fingerprint_hex.clone());
-        r.canonical = job.canonical_complete;
-        r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
         if r.status == Status::Ok {
             inner.metrics.request_latency.observe(r.elapsed_ms);
         }
-        inner.log(format_args!(
-            "req={} obj={} fp={} cache=miss status={} width={} exact={} winner={} queued_ms={:.2} solve_ms={:.1} total_ms={:.1} deadline_ms={}",
-            job.id.as_deref().unwrap_or("-"),
-            job.objective_name,
-            job.fingerprint_hex,
-            r.status.name(),
-            r.outcome.as_ref().map_or(0, |o| o.upper),
-            r.outcome.as_ref().is_some_and(|o| o.exact),
-            r.outcome
-                .as_ref()
-                .and_then(|o| o.winner)
-                .map_or("-", |w| w.name()),
-            queued.as_secs_f64() * 1e3,
-            solve_ms,
-            r.elapsed_ms,
-            job.deadline_ms,
-        ));
         let _ = job.reply.send(r);
     }
+}
+
+/// Runs one solve job on a worker: budget the remaining deadline into
+/// the search, quarantine the solve, verify/admit the outcome, respond.
+fn run_solve(
+    inner: &Inner,
+    job: &Job,
+    w: &SolveWork,
+    incumbent: &Arc<Incumbent>,
+    fault: &Fault,
+    queued: Duration,
+) -> Response {
+    let remaining = job.deadline.saturating_duration_since(Instant::now());
+    let mut cfg = match w.budget {
+        Some(b) => SearchConfig::budgeted(b),
+        None => SearchConfig::portfolio(),
+    };
+    cfg = cfg
+        .with_time_limit(remaining.saturating_sub(DEADLINE_SLACK))
+        .with_threads(job.threads);
+    cfg.shared = Some(Arc::clone(incumbent));
+    if fault.alloc_fail {
+        // near-zero budget: the solve degrades to its anytime bounds
+        cfg = cfg.with_memory_budget(16 << 10);
+    } else if let Some(mb) = inner.opts.memory_mb {
+        cfg = cfg.with_memory_budget(mb << 20);
+    }
+    if fault.panic_worker {
+        cfg = cfg.with_faults(InjectedFaults::with_panics(1));
+    }
+    // an explicit per-request lineup wins; otherwise bench engines
+    // with open breakers (and admit at most one probe)
+    let lineup = job
+        .engines
+        .clone()
+        .or_else(|| inner.allowed_engines(job.threads.max(1)));
+    if let Some(engines) = lineup.clone() {
+        cfg = cfg.with_engines(engines);
+    }
+
+    let solve_start = Instant::now();
+    // last line of defense: a panic anywhere in the solve path is
+    // quarantined into a structured internal error instead of taking
+    // the worker thread (and with it the whole pool) down
+    let result = quarantined(|| solve(&w.problem, &cfg)).unwrap_or_else(|message| {
+        htd_trace::registry()
+            .counter("htd_worker_panics_total")
+            .inc();
+        // the panic escaped per-engine attribution; charge the whole
+        // lineup so a persistently crashing path still gets benched
+        for (engine, b) in &inner.breakers {
+            match lineup.as_ref() {
+                Some(l) if !l.contains(engine) => {}
+                _ => b.record_failure(),
+            }
+        }
+        inner.refresh_quarantine_gauge();
+        Err(HtdError::Io(format!(
+            "solver panicked (quarantined): {message}"
+        )))
+    });
+    let solve_elapsed = solve_start.elapsed();
+    let solve_ms = solve_elapsed.as_secs_f64() * 1000.0;
+    inner
+        .metrics
+        .solve_time
+        .observe(solve_elapsed.as_secs_f64());
+
+    let mut r = match result {
+        Ok(outcome) => {
+            inner.metrics.solve_latency.observe(solve_ms);
+            inner.record_engine_outcomes(&outcome.per_engine);
+            let survived_panic = outcome.per_engine.iter().any(|e| e.panicked);
+            let degraded = outcome.degraded || survived_panic;
+            if degraded {
+                htd_trace::registry()
+                    .counter("htd_degraded_responses_total")
+                    .inc();
+            }
+            // degraded results carry weaker bounds than a healthy solve
+            // of the same instance would; never let them shadow a
+            // future clean answer in the cache
+            let mut cacheable = !degraded;
+            if inner.opts.verify_responses {
+                let report = htd_check::verify_outcome(&w.problem, &outcome);
+                if !report.is_valid() {
+                    cacheable = false;
+                    htd_trace::registry()
+                        .counter("htd_oracle_failures_total")
+                        .inc();
+                    inner.log(format_args!(
+                        "req={} obj={} fp={} ORACLE VIOLATION (response served, not cached): {}",
+                        job.id.as_deref().unwrap_or("-"),
+                        w.objective_name,
+                        w.fingerprint_hex,
+                        report
+                    ));
+                }
+            }
+            if cacheable {
+                inner.cache.admit(
+                    w.fingerprint,
+                    &w.canonical,
+                    w.objective_name,
+                    &outcome,
+                    solve_ms.ceil() as u64,
+                );
+            }
+            inner.metrics.record_served(outcome.upper, outcome.exact);
+            inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(job.id.clone(), Status::Ok);
+            r.outcome = Some(outcome);
+            r
+        }
+        Err(e) => {
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            Response::from_error(job.id.clone(), &e)
+        }
+    };
+    r.fingerprint = Some(w.fingerprint_hex.clone());
+    r.canonical = w.canonical_complete;
+    r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+    inner.log(format_args!(
+        "req={} obj={} fp={} cache=miss status={} width={} exact={} winner={} queued_ms={:.2} solve_ms={:.1} total_ms={:.1} deadline_ms={}",
+        job.id.as_deref().unwrap_or("-"),
+        w.objective_name,
+        w.fingerprint_hex,
+        r.status.name(),
+        r.outcome.as_ref().map_or(0, |o| o.upper),
+        r.outcome.as_ref().is_some_and(|o| o.exact),
+        r.outcome
+            .as_ref()
+            .and_then(|o| o.winner)
+            .map_or("-", |w| w.name()),
+        queued.as_secs_f64() * 1e3,
+        solve_ms,
+        r.elapsed_ms,
+        job.deadline_ms,
+    ));
+    r
+}
+
+/// Runs one answer job through the `htd-query` pipeline: decomposition
+/// (shape-cache first), then Yannakakis evaluation against the
+/// request's own relations — under the same deadline, thread and
+/// memory governance as a solve. A memory-budget overrun *refuses* the
+/// query with a size estimate ([`HtdError::ResourceExhausted`]) rather
+/// than returning a wrong answer.
+fn run_answer(
+    inner: &Inner,
+    job: &Job,
+    w: &AnswerWork,
+    incumbent: &Arc<Incumbent>,
+    fault: &Fault,
+    queued: Duration,
+) -> Response {
+    let remaining = job.deadline.saturating_duration_since(Instant::now());
+    let mut cfg = SearchConfig::default()
+        .with_max_nodes(200_000)
+        .with_time_limit(remaining.saturating_sub(DEADLINE_SLACK))
+        .with_threads(job.threads);
+    cfg.shared = Some(Arc::clone(incumbent));
+    if fault.panic_worker {
+        cfg = cfg.with_faults(InjectedFaults::with_panics(1));
+    }
+    if let Some(engines) = job.engines.clone() {
+        cfg = cfg.with_engines(engines);
+    }
+    let budget = if fault.alloc_fail {
+        // allocation starvation: the evaluation must refuse, never lie
+        Some(MemoryBudget::new(16 << 10))
+    } else {
+        inner.opts.memory_mb.map(|mb| MemoryBudget::new(mb << 20))
+    };
+    let opts = AnswerOptions {
+        mode: w.mode,
+        limit: w.limit.unwrap_or(DEFAULT_ANSWER_LIMIT),
+        search: cfg,
+        memory_budget: budget,
+        shape_cache: w.use_shape_cache.then(|| Arc::clone(&inner.shapes)),
+        deadline: Some(
+            job.deadline
+                .checked_sub(DEADLINE_SLACK)
+                .unwrap_or(job.deadline),
+        ),
+        parse_us: w.parse_us,
+    };
+
+    let eval_start = Instant::now();
+    // the pipeline quarantines its evaluation pass; this outer
+    // quarantine additionally covers the decomposition search
+    let result = quarantined(|| htd_query::answer(&w.query, &opts)).unwrap_or_else(|message| {
+        htd_trace::registry()
+            .counter("htd_worker_panics_total")
+            .inc();
+        Err(HtdError::Io(format!(
+            "answer pipeline panicked (quarantined): {message}"
+        )))
+    });
+    let eval_elapsed = eval_start.elapsed();
+    inner.metrics.solve_time.observe(eval_elapsed.as_secs_f64());
+
+    let mut r = match result {
+        Ok(ans) => {
+            inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(job.id.clone(), Status::Ok);
+            // `cached` on an answer means the *decomposition* was reused;
+            // the semijoin passes always ran against this request's data
+            r.cached = ans.stats.shape_cache_hit;
+            r.fingerprint = Some(ans.stats.fingerprint.clone());
+            r.canonical = ans.stats.canonical_complete;
+            r.answer = Some(ans);
+            r
+        }
+        Err(e) => {
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            Response::from_error(job.id.clone(), &e)
+        }
+    };
+    r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+    inner.log(format_args!(
+        "req={} obj=answer mode={} fp={} shape_cache={} status={} tuples={} queued_ms={:.2} eval_ms={:.1} total_ms={:.1} deadline_ms={}",
+        job.id.as_deref().unwrap_or("-"),
+        w.mode.name(),
+        r.fingerprint.as_deref().unwrap_or("-"),
+        if r.cached { "hit" } else { "miss" },
+        r.status.name(),
+        r.answer.as_ref().map_or(0, |a| a.stats.tuples_scanned),
+        queued.as_secs_f64() * 1e3,
+        eval_elapsed.as_secs_f64() * 1e3,
+        r.elapsed_ms,
+        job.deadline_ms,
+    ));
+    r
 }
 
 fn acceptor_loop(inner: &Arc<Inner>, listener: TcpListener) {
@@ -822,6 +1012,7 @@ fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
             Response::new(req.id, Status::ShuttingDown)
         }
         Command::Solve(s) => handle_solve(inner, req.id, s),
+        Command::Answer(a) => handle_answer(inner, req.id, a),
     }
 }
 
@@ -896,15 +1087,17 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
     let (tx, rx) = mpsc::channel();
     let job = Job {
         id: id.clone(),
-        problem,
-        fingerprint: canon.fingerprint,
-        fingerprint_hex: fingerprint_hex.clone(),
-        canonical: canon.bytes,
-        canonical_complete: canon.complete,
-        objective_name,
+        work: Work::Solve(SolveWork {
+            problem,
+            fingerprint: canon.fingerprint,
+            fingerprint_hex: fingerprint_hex.clone(),
+            canonical: canon.bytes,
+            canonical_complete: canon.complete,
+            objective_name,
+            budget: s.budget,
+        }),
         deadline,
         deadline_ms,
-        budget: s.budget,
         threads: s.threads.unwrap_or(1).max(1),
         engines: s.engines,
         received,
@@ -944,6 +1137,108 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
             let mut r = Response::new(id, Status::Timeout);
             r.error = Some("no worker response before deadline".into());
             r.fingerprint = Some(fingerprint_hex);
+            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+            r
+        }
+    }
+}
+
+/// Admission path of an `answer` request: parse the query on the
+/// connection thread (cheap, and a parse error must not occupy a
+/// worker), then queue the evaluation under the same backpressure and
+/// deadline rules as a solve. Unlike the solve result cache, the shape
+/// cache cannot answer from the connection thread — a shape hit only
+/// skips the decomposition, the semijoin passes still run against this
+/// request's own relations — so the lookup happens inside the pipeline
+/// on the worker.
+fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Response {
+    let received = Instant::now();
+    inner
+        .metrics
+        .answer_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let deadline_ms = a.deadline_ms.unwrap_or(inner.opts.default_deadline_ms);
+    let deadline = received + Duration::from_millis(deadline_ms);
+
+    // the service never reads relation files on behalf of a remote peer
+    let query = match parse_query(&a.query, &FileAccess::Deny) {
+        Ok(q) => q,
+        Err(e) => {
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::from_error(id.clone(), &e);
+            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+            inner.log(format_args!(
+                "req={} obj=answer status=error err={:?}",
+                id.as_deref().unwrap_or("-"),
+                r.error.as_deref().unwrap_or("")
+            ));
+            return r;
+        }
+    };
+    let parse_us = received.elapsed().as_micros() as u64;
+
+    if inner.draining() {
+        inner
+            .metrics
+            .shedding_responses
+            .fetch_add(1, Ordering::Relaxed);
+        let mut r = Response::new(id, Status::ShuttingDown);
+        r.error = Some("server is draining".into());
+        return r;
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        id: id.clone(),
+        work: Work::Answer(AnswerWork {
+            query,
+            mode: a.mode,
+            limit: a.limit,
+            use_shape_cache: a.use_cache,
+            parse_us,
+        }),
+        deadline,
+        deadline_ms,
+        threads: a.threads.unwrap_or(1).max(1),
+        engines: a.engines,
+        received,
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+    if !inner.queue.try_push(job) {
+        inner.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        inner
+            .metrics
+            .rejected_responses
+            .fetch_add(1, Ordering::Relaxed);
+        // hint: half the median solve so retries spread out, floor 10ms
+        let p50 = inner.metrics.solve_latency.quantile(0.5);
+        let mut r = Response::new(id.clone(), Status::Rejected);
+        r.error = Some("work queue full".into());
+        r.retry_after_ms = Some(((p50 / 2.0) as u64).clamp(10, 1000));
+        r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+        inner.log(format_args!(
+            "req={} obj=answer status=rejected retry_after_ms={}",
+            id.as_deref().unwrap_or("-"),
+            r.retry_after_ms.unwrap_or(0)
+        ));
+        return r;
+    }
+
+    match rx.recv_timeout(Duration::from_millis(deadline_ms) + REPLY_GRACE) {
+        Ok(r) => r,
+        Err(_) => {
+            // worker lost (should not happen); report as timeout
+            inner
+                .metrics
+                .timeout_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(id, Status::Timeout);
+            r.error = Some("no worker response before deadline".into());
             r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
             r
         }

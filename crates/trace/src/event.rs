@@ -28,6 +28,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "restart_triggered",
     "engines_skipped",
     "solve_finished",
+    "query_stage",
 ];
 
 /// One solver event. Workers are identified by their engine name
@@ -91,6 +92,14 @@ pub enum Event {
         winner: Option<&'static str>,
         expanded: u64,
     },
+    /// One stage of the query-answering pipeline completed
+    /// (`"parse"`, `"decompose"`, `"semijoin"`, `"enumerate"`), with the
+    /// tuples it processed and its wall-clock duration.
+    QueryStage {
+        stage: &'static str,
+        tuples: u64,
+        elapsed_us: u64,
+    },
 }
 
 impl Event {
@@ -109,6 +118,7 @@ impl Event {
             Event::RestartTriggered { .. } => "restart_triggered",
             Event::EnginesSkipped { .. } => "engines_skipped",
             Event::SolveFinished { .. } => "solve_finished",
+            Event::QueryStage { .. } => "query_stage",
         }
     }
 
@@ -249,6 +259,16 @@ impl Record {
                     let _ = write!(s, ",\"winner\":\"{w}\"");
                 }
                 let _ = write!(s, ",\"expanded\":{expanded}");
+            }
+            Event::QueryStage {
+                stage,
+                tuples,
+                elapsed_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"stage\":\"{stage}\",\"tuples\":{tuples},\"elapsed_us\":{elapsed_us}"
+                );
             }
         }
         s.push('}');
@@ -427,6 +447,11 @@ mod tests {
                 exact: false,
                 winner: Some("x"),
                 expanded: 10,
+            },
+            Event::QueryStage {
+                stage: "semijoin",
+                tuples: 42,
+                elapsed_us: 17,
             },
         ];
         for e in &events {

@@ -19,9 +19,13 @@
 //! * [`check`] — an independent oracle re-verifying decomposition claims
 //!   from scratch, plus differential and metamorphic fuzz harnesses and
 //!   an instance shrinker (`htd check`, `fuzz_diff`);
+//! * [`query`] — conjunctive-query answering over decompositions: the
+//!   Datalog-style input format, the shape cache, and the Yannakakis
+//!   boolean/count/enumerate pipeline (`htd answer`);
 //! * [`service`] — a long-running decomposition server with
 //!   canonical-form result caching, per-request deadlines and Prometheus
-//!   observability (`htd serve` / `htd query`).
+//!   observability (`htd serve` / `htd query`); it also serves `answer`
+//!   requests through a per-server shape cache.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@ pub use htd_csp as csp;
 pub use htd_ga as ga;
 pub use htd_heuristics as heuristics;
 pub use htd_hypergraph as hypergraph;
+pub use htd_query as query;
 pub use htd_search as search;
 pub use htd_service as service;
 pub use htd_setcover as setcover;

@@ -1,0 +1,99 @@
+//! Service-layer shape-cache correctness: two queries with the same
+//! *shape* (canonical query hypergraph) but different relation data must
+//! share only the decomposition — never each other's answers.
+//!
+//! This is the regression guard for the most dangerous cache bug a
+//! query-answering service can have: keying answers (instead of
+//! decompositions) on the query shape would silently serve one tenant's
+//! tuples to another.
+
+use htd::query::AnswerMode;
+use htd::service::{Client, ServeOptions, Server, Status};
+
+fn start_server() -> (Server, String) {
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue_capacity: 16,
+        default_deadline_ms: 10_000,
+        log: false,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn same_shape_different_data_shares_decomposition_not_answers() {
+    let (server, addr) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let q1 = "Q(x, y) :- R(x, z), S(z, y).\nR: 1 2 .\nS: 2 3 .\n";
+    let q2 = "Q(x, y) :- R(x, z), S(z, y).\nR: 7 8 .\nS: 8 9 .\n";
+
+    let r1 = client
+        .answer(q1, AnswerMode::Enumerate, None, None)
+        .unwrap();
+    assert_eq!(r1.status, Status::Ok, "{:?}", r1.error);
+    assert!(!r1.cached, "first request for a shape must miss the cache");
+    let a1 = r1.answer.expect("answer payload");
+    assert_eq!(a1.tuples, vec![vec!["1".to_string(), "3".to_string()]]);
+
+    // same shape, different data: decomposition is reused (cached=true),
+    // but the answer comes from *this* request's relations
+    let r2 = client
+        .answer(q2, AnswerMode::Enumerate, None, None)
+        .unwrap();
+    assert_eq!(r2.status, Status::Ok, "{:?}", r2.error);
+    assert!(r2.cached, "second request with the same shape must hit");
+    let a2 = r2.answer.expect("answer payload");
+    assert_eq!(a2.tuples, vec![vec!["7".to_string(), "9".to_string()]]);
+
+    // the shared key really is the shape: both carry the same fingerprint
+    assert_eq!(r1.fingerprint, r2.fingerprint);
+    assert!(r1.fingerprint.is_some());
+
+    // a differently-named but isomorphic query is still the same shape
+    let q3 = "Q(a, b) :- R(a, c), S(c, b).\nR: 4 5 .\nS: 5 6 .\n";
+    let r3 = client
+        .answer(q3, AnswerMode::Enumerate, None, None)
+        .unwrap();
+    assert_eq!(r3.status, Status::Ok, "{:?}", r3.error);
+    assert!(r3.cached, "isomorphic renaming must still hit the cache");
+    let a3 = r3.answer.expect("answer payload");
+    assert_eq!(a3.tuples, vec![vec!["4".to_string(), "6".to_string()]]);
+    assert_eq!(r1.fingerprint, r3.fingerprint);
+
+    // count mode over cached decompositions agrees with the data
+    let r4 = client.answer(q2, AnswerMode::Count, None, None).unwrap();
+    assert_eq!(r4.status, Status::Ok, "{:?}", r4.error);
+    assert!(r4.cached);
+    assert_eq!(r4.answer.expect("answer payload").count, Some(1));
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn different_shapes_do_not_collide() {
+    let (server, addr) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // a path and a triangle: different canonical hypergraphs
+    let path = "Q(x, y) :- R(x, z), S(z, y).\nR: 1 2 .\nS: 2 3 .\n";
+    let tri = "Q(x, y) :- R(x, z), S(z, y), T(x, y).\nR: 1 2 .\nS: 2 3 .\nT: 1 3 .\n";
+
+    let r1 = client.answer(path, AnswerMode::Count, None, None).unwrap();
+    let r2 = client.answer(tri, AnswerMode::Count, None, None).unwrap();
+    assert_eq!(r1.status, Status::Ok);
+    assert_eq!(r2.status, Status::Ok);
+    assert!(!r1.cached);
+    assert!(!r2.cached, "a new shape must not hit another shape's entry");
+    assert_ne!(r1.fingerprint, r2.fingerprint);
+    assert_eq!(r1.answer.expect("answer").count, Some(1));
+    assert_eq!(r2.answer.expect("answer").count, Some(1));
+
+    client.shutdown().unwrap();
+    server.wait();
+}

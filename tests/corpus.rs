@@ -119,7 +119,12 @@ fn balsep_brackets_the_exact_width_on_the_whole_corpus() {
         let report = verify_outcome(&problem, &bal);
         assert!(report.is_valid(), "{}:\n{report}", path.display());
         if let Some(w) = exact.exact_width() {
-            assert!(bal.upper >= w, "{}: balsep {} < exact {w}", path.display(), bal.upper);
+            assert!(
+                bal.upper >= w,
+                "{}: balsep {} < exact {w}",
+                path.display(),
+                bal.upper
+            );
         }
         checked += 1;
     }
@@ -132,7 +137,12 @@ fn balsep_brackets_the_exact_width_on_the_whole_corpus() {
         let report = verify_outcome(&problem, &bal);
         assert!(report.is_valid(), "{}:\n{report}", path.display());
         if let Some(w) = exact.exact_width() {
-            assert!(bal.upper >= w, "{}: balsep {} < exact {w}", path.display(), bal.upper);
+            assert!(
+                bal.upper >= w,
+                "{}: balsep {} < exact {w}",
+                path.display(),
+                bal.upper
+            );
         }
         checked += 1;
     }
