@@ -20,6 +20,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use htd_bench::round3;
 use htd_core::Json;
 use htd_query::AnswerMode;
 use htd_service::{Client, ServeOptions, Server, Status};
@@ -214,7 +215,7 @@ fn main() {
     );
     println!("  warm/cold p50 speedup: {speedup:.1}x");
 
-    let arr = |xs: &[f64]| Json::Arr(xs.iter().map(|&v| Json::Num(v)).collect());
+    let arr = |xs: &[f64]| Json::Arr(xs.iter().map(|&v| Json::Num(round3(v))).collect());
     let json = Json::Obj(vec![
         ("bench".into(), Json::Num(7.0)),
         ("shapes".into(), Json::Num(args.shapes as f64)),
@@ -222,11 +223,14 @@ fn main() {
         ("deadline_ms".into(), Json::Num(args.deadline_ms as f64)),
         ("cold_requests".into(), Json::Num(cold_ms.len() as f64)),
         ("warm_requests".into(), Json::Num(warm_ms.len() as f64)),
-        ("cold_p50_ms".into(), Json::Num(cold_p50)),
-        ("cold_mean_ms".into(), Json::Num(mean(&cold_ms))),
-        ("warm_p50_ms".into(), Json::Num(warm_p50)),
-        ("warm_mean_ms".into(), Json::Num(mean(&warm_ms))),
-        ("warm_over_cold_p50_speedup".into(), Json::Num(speedup)),
+        ("cold_p50_ms".into(), Json::Num(round3(cold_p50))),
+        ("cold_mean_ms".into(), Json::Num(round3(mean(&cold_ms)))),
+        ("warm_p50_ms".into(), Json::Num(round3(warm_p50))),
+        ("warm_mean_ms".into(), Json::Num(round3(mean(&warm_ms)))),
+        (
+            "warm_over_cold_p50_speedup".into(),
+            Json::Num(round3(speedup)),
+        ),
         ("cold_ms".into(), arr(&cold_ms)),
         ("warm_ms".into(), arr(&warm_ms)),
         ("wrong_cached_flags".into(), Json::Num(wrong_cached as f64)),

@@ -22,7 +22,7 @@
 
 use std::time::Duration;
 
-use htd_bench::{Scale, Table};
+use htd_bench::{round3, Scale, Table};
 use htd_core::Json;
 use htd_hypergraph::{gen, io, Hypergraph};
 use htd_search::{solve, Engine, Objective, Outcome, Problem, SearchConfig};
@@ -79,7 +79,7 @@ fn arm_json(a: &ArmResult, common: Option<u32>) -> Json {
         ("threads".into(), Json::Num(a.threads as f64)),
         ("lower".into(), Json::Num(a.lower as f64)),
         ("exact".into(), Json::Bool(a.exact)),
-        ("elapsed_ms".into(), Json::Num(a.elapsed_ms)),
+        ("elapsed_ms".into(), Json::Num(round3(a.elapsed_ms))),
     ];
     if a.upper != u32::MAX {
         m.push(("upper".into(), Json::Num(a.upper as f64)));

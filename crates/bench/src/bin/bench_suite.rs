@@ -1,0 +1,510 @@
+//! One-stop performance snapshot for the perf trajectory.
+//!
+//! Runs scaled-down versions of the headline workloads — exact-width
+//! portfolio solves, an anytime GHW race over the on-disk `.hg` corpus,
+//! a decompose-and-validate corpus sweep, cold/warm conjunctive-query
+//! answering against a live server, a service solve-load burst, and the
+//! span-profiler overhead probe — and writes every result into one
+//! schema-versioned snapshot (`BENCH_8.json` by default) that
+//! `perf_gate` can diff against history.
+//!
+//! Snapshot schema `htd-bench/v1` (documented in `docs/benchmarking.md`):
+//!
+//! ```json
+//! {"schema":"htd-bench/v1","bench":8,"commit":"...","rustc":"...",
+//!  "threads":4,"smoke":false,
+//!  "metrics":{"tw_queen5_exact_ms":{"value":251.3,"unit":"ms","better":"lower"},...}}
+//! ```
+//!
+//! Metric names and semantics are identical in `--smoke` mode; smoke
+//! only cuts repetitions and budgets so CI finishes in seconds.
+//!
+//! `cargo run --release -p htd-bench --bin bench_suite \
+//!     [--smoke] [--out FILE] [--migrate FILE]`
+//!
+//! `--migrate FILE` upgrades an old snapshot in place: it stamps
+//! pre-versioning files (`BENCH_6.json`, `BENCH_7.json`) with
+//! `"schema":"htd-bench/v0"` and rounds every fractional number to
+//! 3 decimals, then exits without running any workload.
+
+use std::time::{Duration, Instant};
+
+use htd_bench::round3;
+use htd_core::bucket::td_of_hypergraph;
+use htd_core::Json;
+use htd_hypergraph::{gen, io};
+use htd_query::AnswerMode;
+use htd_search::{solve, Engine, Objective, Problem, SearchConfig};
+use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
+use htd_trace::{Event, RingBuffer, Tracer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    migrate: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        smoke: false,
+        out: "BENCH_8.json".into(),
+        migrate: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => a.smoke = true,
+            "--out" => a.out = it.next().expect("--out FILE").clone(),
+            "--migrate" => a.migrate = Some(it.next().expect("--migrate FILE").clone()),
+            _ => {
+                eprintln!("usage: bench_suite [--smoke] [--out FILE] [--migrate FILE]");
+                std::process::exit(4);
+            }
+        }
+    }
+    a
+}
+
+// ---------------------------------------------------------------- migrate
+
+/// Rounds every fractional number in a document to 3 decimals.
+fn round_doc(j: &mut Json) {
+    match j {
+        Json::Num(x) if x.fract() != 0.0 => *x = round3(*x),
+        Json::Arr(items) => items.iter_mut().for_each(round_doc),
+        Json::Obj(members) => members.iter_mut().for_each(|(_, v)| round_doc(v)),
+        _ => {}
+    }
+}
+
+/// Backfills `"schema":"htd-bench/v0"` onto a pre-versioning snapshot and
+/// rounds its numbers. Idempotent: an already-versioned file only gets
+/// the rounding pass.
+fn migrate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_suite: cannot read {path}: {e}");
+        std::process::exit(5);
+    });
+    let mut doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_suite: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    });
+    let had_schema = doc.get("schema").and_then(|s| s.as_str()).is_some();
+    if let Json::Obj(members) = &mut doc {
+        if !had_schema {
+            members.insert(0, ("schema".into(), Json::Str("htd-bench/v0".into())));
+        }
+    } else {
+        eprintln!("bench_suite: {path} is not a JSON object");
+        std::process::exit(2);
+    }
+    round_doc(&mut doc);
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("bench_suite: cannot write {path}: {e}");
+        std::process::exit(5);
+    }
+    println!(
+        "migrated {path}: {}",
+        if had_schema {
+            "already versioned, rounded numbers"
+        } else {
+            "stamped htd-bench/v0, rounded numbers"
+        }
+    );
+}
+
+// --------------------------------------------------------------- metrics
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    /// `"lower"` or `"higher"` — which direction is an improvement.
+    better: &'static str,
+}
+
+fn push(
+    metrics: &mut Vec<Metric>,
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    better: &'static str,
+) {
+    println!("  {name} = {} {unit}", round3(value));
+    metrics.push(Metric {
+        name,
+        value,
+        unit,
+        better,
+    });
+}
+
+/// Median wall time of `reps` runs of `f`, in milliseconds.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Exact-width portfolio solves on fixed instances (portfolio_race-style).
+fn width_workloads(smoke: bool, threads: usize, metrics: &mut Vec<Metric>) {
+    let reps = if smoke { 1 } else { 3 };
+    let queen = gen::queen_graph(5);
+    let ms = median_ms(reps, || {
+        let out = solve(
+            &Problem::treewidth(queen.clone()),
+            &SearchConfig::default().with_seed(1).with_threads(threads),
+        )
+        .expect("queen5 solve");
+        assert!(out.exact && out.upper == 18, "queen5_5 treewidth is 18");
+    });
+    push(metrics, "tw_queen5_exact_ms", ms, "ms", "lower");
+
+    let myciel = gen::myciel(4);
+    let ms = median_ms(reps, || {
+        let out = solve(
+            &Problem::treewidth(myciel.clone()),
+            &SearchConfig::default().with_seed(1).with_threads(threads),
+        )
+        .expect("myciel4 solve");
+        assert!(out.exact && out.upper == 10, "myciel4 treewidth is 10");
+    });
+    push(metrics, "tw_myciel4_exact_ms", ms, "ms", "lower");
+}
+
+/// Anytime GHW race over the committed `.hg` corpus instance
+/// (convergence-style): width reached within a fixed budget and time to
+/// the first incumbent.
+fn corpus_race(smoke: bool, threads: usize, metrics: &mut Vec<Metric>) {
+    let h = match std::fs::read_to_string("results/grid2d_18.hg") {
+        Ok(text) => io::parse_hg(&text).expect("results/grid2d_18.hg parses"),
+        Err(e) => {
+            // keep the suite runnable from any cwd; the metric is simply absent
+            eprintln!("  corpus sweep skipped: results/grid2d_18.hg: {e}");
+            gen::grid2d(18)
+        }
+    };
+    let budget = Duration::from_millis(if smoke { 800 } else { 3_000 });
+    let ring = RingBuffer::new(1 << 16);
+    let cfg = SearchConfig::default()
+        .with_seed(1)
+        .with_threads(threads)
+        .with_time_limit(budget)
+        .with_tracer(Tracer::new(Box::new(std::sync::Arc::clone(&ring))));
+    let out = solve(&Problem::ghw(h.clone()), &cfg).expect("grid2d_18 ghw");
+    let first_us = ring
+        .records()
+        .iter()
+        .find_map(|r| match r.event {
+            Event::IncumbentImproved { .. } => Some(r.t_us),
+            _ => None,
+        })
+        .unwrap_or(budget.as_micros() as u64);
+    push(
+        metrics,
+        "ghw_grid2d18_upper",
+        out.upper as f64,
+        "width",
+        "lower",
+    );
+    push(
+        metrics,
+        "ghw_grid2d18_first_upper_ms",
+        first_us as f64 / 1e3,
+        "ms",
+        "lower",
+    );
+
+    // corpus sweep: parse + min-fill + bucket elimination + validate
+    let reps = if smoke { 1 } else { 3 };
+    let ms = median_ms(reps, || {
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = htd_heuristics::upper::min_fill(&h.primal_graph(), &mut rng).ordering;
+        let td = td_of_hypergraph(&h, &order).simplify();
+        td.validate(&h).expect("valid decomposition");
+    });
+    push(metrics, "decompose_grid2d18_ms", ms, "ms", "lower");
+}
+
+/// Cold vs shape-cache-warm query answering (answer_load-style, smaller).
+/// Metric names line up with the fields of `BENCH_7.json` so `perf_gate`
+/// can compare across the two generations.
+fn answer_workload(smoke: bool, metrics: &mut Vec<Metric>) {
+    let (shapes, variants) = if smoke { (2, 6) } else { (3, 12) };
+    let deadline = 4_000u64;
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue_capacity: 64,
+        default_deadline_ms: deadline,
+        log: false,
+        verify_responses: false,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let (mut cold, mut warm) = (Vec::new(), Vec::new());
+    for s in 0..shapes {
+        for variant in 0..variants {
+            let text = query_text(s, variant);
+            let t = Instant::now();
+            let r = client
+                .answer(&text, AnswerMode::Boolean, None, Some(deadline))
+                .expect("transport");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+            if r.cached {
+                warm.push(ms);
+            } else {
+                cold.push(ms);
+            }
+        }
+    }
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.wait();
+    cold.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (cold_p50, warm_p50) = (quantile(&cold, 0.5), quantile(&warm, 0.5));
+    push(metrics, "answer_cold_p50_ms", cold_p50, "ms", "lower");
+    push(metrics, "answer_warm_p50_ms", warm_p50, "ms", "lower");
+    push(
+        metrics,
+        "answer_warm_speedup",
+        if warm_p50 > 0.0 {
+            cold_p50 / warm_p50
+        } else {
+            0.0
+        },
+        "x",
+        "higher",
+    );
+}
+
+/// Query text for the answer workload: a circulant rule (cycle plus a
+/// second shift) per shape, fresh relation tuples per variant — the same
+/// construction as `answer_load`, scaled down.
+fn query_text(s: usize, variant: usize) -> String {
+    use std::fmt::Write as _;
+    let mut mix = {
+        let mut x = 0xA11CEu64 ^ ((s as u64) << 32) ^ (variant as u64).wrapping_mul(0x1234_5677);
+        move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    };
+    let n = 14 + 2 * s;
+    let shift = 4 + s / 2;
+    let mut text = String::from("Q(v0, v1) :- ");
+    let mut names: Vec<String> = Vec::new();
+    for (round, step) in [(0usize, 1usize), (1, shift)] {
+        for i in 0..n {
+            let name = format!("e{}", round * n + i);
+            let _ = write!(
+                text,
+                "{}{name}(v{i}, v{})",
+                if names.is_empty() { "" } else { ", " },
+                (i + step) % n
+            );
+            names.push(name);
+        }
+    }
+    text.push_str(".\n");
+    for name in &names {
+        let _ = write!(text, "{name}:");
+        for _ in 0..5 {
+            let _ = write!(text, " {} {} ;", mix() % 3, mix() % 3);
+        }
+        text.push_str(" .\n");
+    }
+    text
+}
+
+/// Burst of solve requests against a live server (service_load-style).
+fn service_workload(smoke: bool, metrics: &mut Vec<Metric>) {
+    let requests = if smoke { 12 } else { 40 };
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue_capacity: 64,
+        default_deadline_ms: 2_000,
+        log: false,
+        verify_responses: false,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let corpus = [
+        io::write_pace_gr(&gen::queen_graph(5)),
+        io::write_pace_gr(&gen::grid_graph(5, 5)),
+        io::write_pace_gr(&gen::myciel(4)),
+    ];
+    let mut lat: Vec<f64> = Vec::new();
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let text = &corpus[i % corpus.len()];
+        let t = Instant::now();
+        let r = client
+            .solve(
+                Objective::Treewidth,
+                InstanceFormat::Auto,
+                text,
+                Some(2_000),
+            )
+            .expect("transport");
+        assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.wait();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    push(
+        metrics,
+        "service_solve_p50_ms",
+        quantile(&lat, 0.5),
+        "ms",
+        "lower",
+    );
+    push(
+        metrics,
+        "service_throughput_rps",
+        requests as f64 / wall.max(1e-9),
+        "req/s",
+        "higher",
+    );
+}
+
+/// Span-profiler overhead: the same A* solve with the aggregate span
+/// layer off and on. Reported as a percentage (can be slightly negative
+/// on a noisy machine).
+fn span_overhead(threads: usize, metrics: &mut Vec<Metric>) {
+    let g = gen::queen_graph(5);
+    let mut run = || {
+        let out = solve(
+            &Problem::treewidth(g.clone()),
+            &SearchConfig::default()
+                .with_seed(1)
+                .with_threads(threads)
+                .with_engines(vec![Engine::AStar]),
+        )
+        .expect("queen5 astar");
+        assert_eq!(out.upper, 18);
+    };
+    // alternate off/on and take per-mode minima: on a busy single-core
+    // machine the minimum is far more robust to scheduling noise than a
+    // small-sample median
+    run(); // warm up
+    let (mut base, mut with_spans) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..4 {
+        htd_trace::set_spans_enabled(false);
+        base = base.min(median_ms(1, &mut run));
+        htd_trace::set_spans_enabled(true);
+        with_spans = with_spans.min(median_ms(1, &mut run));
+    }
+    htd_trace::set_spans_enabled(false);
+    htd_trace::span::reset();
+    push(
+        metrics,
+        "span_overhead_pct",
+        100.0 * (with_spans - base) / base.max(1e-9),
+        "pct",
+        "lower",
+    );
+}
+
+// ---------------------------------------------------------------- output
+
+fn tool_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .map(|s| s.lines().next().unwrap_or("").trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.migrate {
+        migrate(path);
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    println!(
+        "bench_suite: {} mode, {threads} threads",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    let mut metrics: Vec<Metric> = Vec::new();
+    println!("[1/5] exact-width portfolio");
+    width_workloads(args.smoke, threads, &mut metrics);
+    println!("[2/5] ghw corpus race + decompose sweep");
+    corpus_race(args.smoke, threads, &mut metrics);
+    println!("[3/5] answer cold/warm");
+    answer_workload(args.smoke, &mut metrics);
+    println!("[4/5] service solve load");
+    service_workload(args.smoke, &mut metrics);
+    println!("[5/5] span overhead");
+    span_overhead(threads, &mut metrics);
+
+    let metric_map: Vec<(String, Json)> = metrics
+        .iter()
+        .map(|m| {
+            (
+                m.name.to_string(),
+                Json::Obj(vec![
+                    ("value".into(), Json::Num(round3(m.value))),
+                    ("unit".into(), Json::Str(m.unit.into())),
+                    ("better".into(), Json::Str(m.better.into())),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("htd-bench/v1".into())),
+        ("bench".into(), Json::Num(8.0)),
+        (
+            "commit".into(),
+            Json::Str(tool_line("git", &["rev-parse", "--short", "HEAD"])),
+        ),
+        ("rustc".into(), Json::Str(tool_line("rustc", &["-V"]))),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("metrics".into(), Json::Obj(metric_map)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{doc}\n")) {
+        eprintln!("bench_suite: cannot write {}: {e}", args.out);
+        std::process::exit(5);
+    }
+    println!("wrote {} ({} metrics)", args.out, metrics.len());
+}

@@ -1,0 +1,251 @@
+//! CI regression gate over `bench_suite` snapshots.
+//!
+//! Compares a candidate snapshot (default `BENCH_8.json`) against a
+//! committed baseline and fails — exit 1 — when any shared metric
+//! regressed past tolerance, honoring each metric's `better` direction:
+//!
+//! * default: **fail** above 25% regression, **warn** above 10%;
+//! * `--tolerance-smoke`: fail above 100%, warn above 40% — for CI
+//!   runners comparing a `--smoke` candidate against a committed full
+//!   run on different hardware, where only catastrophic regressions are
+//!   trustworthy signals;
+//! * millisecond metrics additionally need an absolute move of at least
+//!   0.5 ms before they can warn or fail, so sub-millisecond noise on
+//!   tiny workloads never gates a merge.
+//!
+//! Baselines may be schema `htd-bench/v1` (named-metric map) or the
+//! backfilled `htd-bench/v0` generation; v0 files are adapted through a
+//! fixed extraction table (`BENCH_7.json`'s answer-latency fields map to
+//! the `answer_*` metrics of the v1 suite). At least one metric must be
+//! shared between baseline and candidate, otherwise the gate errors —
+//! a comparison that checks nothing must not pass silently.
+//!
+//! `cargo run --release -p htd-bench --bin perf_gate -- \
+//!     --against BENCH_7.json [--candidate BENCH_8.json] [--tolerance-smoke]`
+
+use htd_bench::{round3, Table};
+use htd_core::Json;
+
+struct Args {
+    against: String,
+    candidate: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        against: String::new(),
+        candidate: "BENCH_8.json".into(),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--against" => a.against = it.next().expect("--against FILE").clone(),
+            "--candidate" => a.candidate = it.next().expect("--candidate FILE").clone(),
+            "--tolerance-smoke" => a.smoke = true,
+            _ => {
+                eprintln!("usage: perf_gate --against FILE [--candidate FILE] [--tolerance-smoke]");
+                std::process::exit(4);
+            }
+        }
+    }
+    if a.against.is_empty() {
+        eprintln!("perf_gate: --against FILE is required");
+        std::process::exit(4);
+    }
+    a
+}
+
+/// A named metric with its improvement direction (`true` = lower is
+/// better).
+struct Metric {
+    name: String,
+    value: f64,
+    unit: String,
+    lower_is_better: bool,
+}
+
+fn load(path: &str) -> Vec<Metric> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {path}: {e}");
+        std::process::exit(5);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    });
+    let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+    match schema {
+        "htd-bench/v1" => v1_metrics(&doc, path),
+        // v0 and pre-versioning files go through the extraction table
+        _ => v0_metrics(&doc, path),
+    }
+}
+
+fn v1_metrics(doc: &Json, path: &str) -> Vec<Metric> {
+    let Some(Json::Obj(members)) = doc.get("metrics") else {
+        eprintln!("perf_gate: {path}: v1 snapshot without a metrics object");
+        std::process::exit(2);
+    };
+    members
+        .iter()
+        .filter_map(|(name, m)| {
+            Some(Metric {
+                name: name.clone(),
+                value: m.get("value")?.as_f64()?,
+                unit: m.get("unit").and_then(|u| u.as_str()).unwrap_or("").into(),
+                lower_is_better: m.get("better").and_then(|b| b.as_str()) != Some("higher"),
+            })
+        })
+        .collect()
+}
+
+/// Extraction table for the pre-versioning snapshot generation.
+///
+/// * `BENCH_7.json` (answer_load): `cold_p50_ms` / `warm_p50_ms` /
+///   `warm_over_cold_p50_speedup` are the same measurements the v1
+///   suite's answer workload reports, so they map onto `answer_*`.
+/// * `BENCH_6.json` (bench_snapshot): per-arm `t_common_width_us` maps
+///   to `ghw_{engine}_tcommon_{instance}_ms` — not produced by the v1
+///   suite, but two v0 files remain comparable to each other.
+fn v0_metrics(doc: &Json, path: &str) -> Vec<Metric> {
+    let mut out = Vec::new();
+    match doc.get("bench").and_then(|b| b.as_u64()) {
+        Some(7) => {
+            let mut take = |field: &str, name: &str, unit: &str, lower: bool| {
+                if let Some(v) = doc.get(field).and_then(|v| v.as_f64()) {
+                    out.push(Metric {
+                        name: name.into(),
+                        value: v,
+                        unit: unit.into(),
+                        lower_is_better: lower,
+                    });
+                }
+            };
+            take("cold_p50_ms", "answer_cold_p50_ms", "ms", true);
+            take("warm_p50_ms", "answer_warm_p50_ms", "ms", true);
+            take(
+                "warm_over_cold_p50_speedup",
+                "answer_warm_speedup",
+                "x",
+                false,
+            );
+        }
+        Some(6) => {
+            for (instance, arms) in [("ghw_race", doc.get("ghw_race"))]
+                .into_iter()
+                .filter_map(|(_, v)| v.and_then(|v| v.as_arr()))
+                .flatten()
+                .filter_map(|inst| {
+                    Some((
+                        inst.get("instance")?.as_str()?.to_string(),
+                        inst.get("arms")?.as_arr()?,
+                    ))
+                })
+            {
+                for arm in arms {
+                    let (Some(engine), Some(t)) = (
+                        arm.get("engine").and_then(|e| e.as_str()),
+                        arm.get("t_common_width_us").and_then(|t| t.as_f64()),
+                    ) else {
+                        continue;
+                    };
+                    out.push(Metric {
+                        name: format!("ghw_{engine}_tcommon_{instance}_ms"),
+                        value: t / 1e3,
+                        unit: "ms".into(),
+                        lower_is_better: true,
+                    });
+                }
+            }
+        }
+        other => {
+            eprintln!("perf_gate: {path}: unversioned snapshot with unknown bench {other:?}");
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let (fail_tol, warn_tol) = if args.smoke {
+        (1.00, 0.40)
+    } else {
+        (0.25, 0.10)
+    };
+    let baseline = load(&args.against);
+    let candidate = load(&args.candidate);
+
+    let mut table = Table::new(&["metric", "baseline", "candidate", "change", "verdict"]);
+    let (mut shared, mut failures, mut warnings) = (0usize, 0usize, 0usize);
+    for m in &candidate {
+        let Some(b) = baseline.iter().find(|b| b.name == m.name) else {
+            continue;
+        };
+        shared += 1;
+        // regression as a fraction of the baseline, positive = worse
+        let regression = if b.value.abs() < 1e-9 {
+            0.0
+        } else if m.lower_is_better {
+            (m.value - b.value) / b.value
+        } else {
+            (b.value - m.value) / b.value
+        };
+        // sub-millisecond moves on ms metrics are noise, never a signal;
+        // likewise percentage-point metrics hovering near zero (the span
+        // overhead probe) only matter once they move whole points
+        let below_floor = (m.unit == "ms" && (m.value - b.value).abs() < 0.5)
+            || (m.unit == "pct" && (m.value - b.value).abs() < 5.0);
+        let verdict = if below_floor || regression <= warn_tol {
+            if !below_floor && regression < -warn_tol {
+                "improved"
+            } else {
+                "ok"
+            }
+        } else if regression <= fail_tol {
+            warnings += 1;
+            "WARN"
+        } else {
+            failures += 1;
+            "FAIL"
+        };
+        table.row(vec![
+            m.name.clone(),
+            format!("{} {}", round3(b.value), b.unit),
+            format!("{} {}", round3(m.value), m.unit),
+            format!(
+                "{:+.1}%",
+                100.0 * regression * if m.lower_is_better { 1.0 } else { -1.0 }
+            ),
+            verdict.into(),
+        ]);
+    }
+    println!(
+        "perf_gate: {} vs {} ({} tolerance: warn >{:.0}%, fail >{:.0}%)",
+        args.candidate,
+        args.against,
+        if args.smoke { "smoke" } else { "strict" },
+        warn_tol * 100.0,
+        fail_tol * 100.0
+    );
+    table.print();
+
+    if shared == 0 {
+        eprintln!(
+            "perf_gate: no shared metrics between {} and {} — nothing was checked",
+            args.candidate, args.against
+        );
+        std::process::exit(2);
+    }
+    println!("{shared} shared metric(s), {warnings} warning(s), {failures} failure(s)");
+    if failures > 0 {
+        eprintln!(
+            "perf_gate: FAIL — regression past {:.0}% tolerance",
+            fail_tol * 100.0
+        );
+        std::process::exit(1);
+    }
+}

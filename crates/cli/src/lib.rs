@@ -151,9 +151,13 @@ pub struct Options {
     pub queue: usize,
     /// `query`: objective name (`tw`/`ghw`/`hw`).
     pub objective: Option<String>,
-    /// Write the solver's structured event stream (JSONL, schema v1 of
+    /// Write the solver's structured event stream (JSONL, schema v2 of
     /// `htd_trace`) to this file.
     pub trace: Option<String>,
+    /// Enable the span profiler and write folded stacks
+    /// (`worker;span;child self_us` per line, flamegraph-ready) to this
+    /// file after the command finishes.
+    pub profile: Option<String>,
     /// `serve`: oracle-verify every response before caching it.
     pub verify: bool,
     /// Memory budget in MiB for solves (`tw`/`ghw` locally, or per
@@ -189,6 +193,7 @@ impl Default for Options {
             queue: 64,
             objective: None,
             trace: None,
+            profile: None,
             verify: false,
             memory_mb: None,
             chaos_seed: None,
@@ -309,6 +314,13 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
                 o.trace = Some(
                     it.next()
                         .ok_or_else(|| HtdError::Unsupported("--trace needs a file path".into()))?
+                        .clone(),
+                );
+            }
+            "--profile" => {
+                o.profile = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--profile needs a file path".into()))?
                         .clone(),
                 );
             }
@@ -841,7 +853,8 @@ global flags: --format human|json  --quiet  --threads N  --seed N
               --engines NAME[,NAME...] (explicit lineup from the engine registry)
               --memory-mb N (degrade to anytime bounds past this budget)
               --dp (tw: all-or-nothing subset DP; exit 6 when over budget)
-              --trace FILE.jsonl (solver event stream, schema v1)
+              --trace FILE.jsonl (solver event stream, schema v2)
+              --profile FILE.folded (span profiler; folded stacks for flamegraphs)
 answer:       --mode bool|count|enum  --limit N  (--addr to use a server)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
               --verify (serve: oracle-check responses before caching)
@@ -863,9 +876,11 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             object per line: {\"objective\",\"lower\",\"upper\",\"exact\",\"witness\",\n\
             \"nodes\",\"elapsed_ms\",\"engines\":[...],\"trace_summary\":{...}}.\n\
             --trace FILE writes the solver's structured event stream (one JSON\n\
-            object per line, schema v1: incumbent improvements with worker\n\
+            object per line, schema v2: incumbent improvements with worker\n\
             attribution, bound tightenings, node-expansion batches, worker\n\
-            lifecycle; see docs/observability.md)."),
+            lifecycle, span enter/exit; see docs/observability.md).\n\
+            --profile FILE enables the span profiler and writes folded stacks\n\
+            consumable by flamegraph tools (docs/observability.md)."),
         "ghw" => Some("usage: htd ghw <file|-> [--fast] [--budget N] [--time MS] [--threads N] [--seed N] [--format human|json] [--quiet]\n\
             Generalized hypertree width over elimination orderings (exact covers,\n\
             shared across engines through a concurrent set-cover cache). Flags as\n\
@@ -973,27 +988,127 @@ pub fn run(args: &[String]) -> Result<String, HtdError> {
         std::fs::read_to_string(file).map_err(|e| HtdError::Io(format!("{file}: {e}")))?
     };
     let o = parse_options(&args[2..])?;
+    if o.profile.is_none() {
+        return dispatch(cmd, file, &text, &o);
+    }
+    // --profile: run the whole command under one root span so the
+    // folded stacks account for (nearly) the full wall time, then dump
+    // them and the aggregate
+    htd_trace::span::reset();
+    htd_trace::set_spans_enabled(true);
+    let started = std::time::Instant::now();
+    let result = {
+        let _root = htd_trace::span!(root_span_name(cmd));
+        dispatch(cmd, file, &text, &o)
+    };
+    let wall = started.elapsed();
+    htd_trace::set_spans_enabled(false);
+    result.and_then(|out| finish_profile(out, &o, wall))
+}
+
+fn dispatch(cmd: &str, file: &str, text: &str, o: &Options) -> Result<String, HtdError> {
     if cmd == "solve" {
-        return cmd_solve(&text, &o);
+        return cmd_solve(text, o);
     }
     if cmd == "answer" {
-        return cmd_answer(file, &text, &o);
+        return cmd_answer(file, text, o);
     }
     if cmd == "query" {
-        return cmd_query(file, &text, &o);
+        return cmd_query(file, text, o);
     }
     if cmd == "check" {
-        return cmd_check(&text, &o);
+        return cmd_check(text, o);
     }
-    let inst = parse_instance(file, &text)?;
-    match cmd.as_str() {
-        "info" => cmd_info(&inst, &o),
-        "tw" => cmd_tw(&inst, &o),
-        "ghw" => cmd_ghw(&inst, &o),
-        "hw" => cmd_hw(&inst, &o),
-        "decompose" => cmd_decompose(&inst, &o),
+    let inst = parse_instance(file, text)?;
+    match cmd {
+        "info" => cmd_info(&inst, o),
+        "tw" => cmd_tw(&inst, o),
+        "ghw" => cmd_ghw(&inst, o),
+        "hw" => cmd_hw(&inst, o),
+        "decompose" => cmd_decompose(&inst, o),
         _ => Err(HtdError::Unsupported(USAGE.into())),
     }
+}
+
+/// The `--profile` root span covering one whole command.
+fn root_span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "tw" => "htd.tw",
+        "ghw" => "htd.ghw",
+        "hw" => "htd.hw",
+        "decompose" => "htd.decompose",
+        "solve" => "htd.solve",
+        "answer" => "htd.answer",
+        "query" => "htd.query",
+        "check" => "htd.check",
+        "info" => "htd.info",
+        _ => "htd.run",
+    }
+}
+
+/// Writes the folded stacks to the `--profile` file, reports root-span
+/// wall coverage on stderr, and (under `--format json`) appends a
+/// `profile` JSONL object after the command's own output.
+fn finish_profile(mut output: String, o: &Options, wall: Duration) -> Result<String, HtdError> {
+    let path = o.profile.as_deref().expect("only called with --profile");
+    let folded = htd_trace::span::folded();
+    std::fs::write(path, &folded).map_err(|e| HtdError::Io(format!("--profile {path}: {e}")))?;
+    let stats = htd_trace::span::snapshot();
+    // coverage: the main thread's htd.* root span against process wall.
+    // Worker-thread roots overlap it in time, so they are excluded.
+    let root_us: u64 = stats
+        .iter()
+        .filter(|s| s.parent.is_none() && s.name.starts_with("htd."))
+        .map(|s| s.wall_us)
+        .sum();
+    let coverage = 100.0 * root_us as f64 / (wall.as_micros() as f64).max(1.0);
+    eprintln!(
+        "profile: {} spans, {} stacks -> {path} (root spans cover {coverage:.1}% of {:.1}ms wall)",
+        stats.iter().filter(|s| s.count > 0).count(),
+        folded.lines().count(),
+        wall.as_secs_f64() * 1e3,
+    );
+    if o.format.as_deref() == Some("json") {
+        let spans: Vec<Json> = stats
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| {
+                Json::Obj(vec![
+                    ("span".into(), Json::Str(s.name.into())),
+                    (
+                        "worker".into(),
+                        Json::Str(
+                            if s.worker.is_empty() {
+                                "main"
+                            } else {
+                                s.worker
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("count".into(), Json::Num(s.count as f64)),
+                    ("wall_ms".into(), Json::Num(round3(s.wall_us as f64 / 1e3))),
+                    ("self_ms".into(), Json::Num(round3(s.self_us as f64 / 1e3))),
+                    ("cpu_ms".into(), Json::Num(round3(s.cpu_us as f64 / 1e3))),
+                ])
+            })
+            .collect();
+        let block = Json::Obj(vec![
+            ("profile".into(), Json::Arr(spans)),
+            (
+                "wall_ms".into(),
+                Json::Num(round3(wall.as_secs_f64() * 1e3)),
+            ),
+            ("root_coverage_pct".into(), Json::Num(round3(coverage))),
+        ]);
+        let _ = writeln!(output, "{block}");
+    }
+    Ok(output)
+}
+
+/// Milliseconds rounded to 3 decimals so reported numbers diff cleanly.
+fn round3(ms: f64) -> f64 {
+    (ms * 1000.0).round() / 1000.0
 }
 
 /// The process exit code for an error (documented in the module docs).

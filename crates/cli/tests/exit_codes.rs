@@ -132,7 +132,7 @@ fn trace_flag_writes_a_schema_valid_event_stream() {
         .to_string();
     assert!(!winner.is_empty());
 
-    // the side-channel file is a schema-v1 stream: versioned, contiguous,
+    // the side-channel file is a schema-v2 stream: versioned, contiguous,
     // time-ordered, every kind known, improvements attributed to a worker
     let text = std::fs::read_to_string(&trace).expect("trace file written");
     let mut last_t = 0u64;
@@ -140,7 +140,7 @@ fn trace_flag_writes_a_schema_valid_event_stream() {
     let mut lines = 0u64;
     for line in text.lines() {
         let rec = Json::parse(line).unwrap_or_else(|e| panic!("bad jsonl line {line}: {e:?}"));
-        assert_eq!(rec.get("v").and_then(|v| v.as_u64()), Some(1), "{line}");
+        assert_eq!(rec.get("v").and_then(|v| v.as_u64()), Some(2), "{line}");
         assert_eq!(
             rec.get("seq").and_then(|v| v.as_u64()),
             Some(lines),

@@ -26,15 +26,18 @@ pub fn acyclic_solve(
     let order = tree.topological_order();
 
     // bottom-up: children before parents
-    for &p in order.iter().rev() {
-        if let Some(q) = tree.parent(p) {
-            rels[q] = rels[q].semijoin(&rels[p]);
-            if rels[q].is_empty() {
+    {
+        let _sp = htd_trace::span!("yannakakis.semijoin");
+        for &p in order.iter().rev() {
+            if let Some(q) = tree.parent(p) {
+                rels[q] = rels[q].semijoin(&rels[p]);
+                if rels[q].is_empty() {
+                    return None;
+                }
+            }
+            if rels[p].is_empty() {
                 return None;
             }
-        }
-        if rels[p].is_empty() {
-            return None;
         }
     }
 

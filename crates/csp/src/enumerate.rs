@@ -26,14 +26,18 @@ pub fn for_each_solution_td(
     let mut rels = node_relations(csp, td);
     // bottom-up semijoins: afterwards every tuple is globally extendable
     let order = td.topological_order();
-    for &p in order.iter().rev() {
-        if let Some(q) = td.parent(p) {
-            rels[q] = rels[q].semijoin(&rels[p]);
+    {
+        let _sp = htd_trace::span!("yannakakis.semijoin");
+        for &p in order.iter().rev() {
+            if let Some(q) = td.parent(p) {
+                rels[q] = rels[q].semijoin(&rels[p]);
+            }
         }
     }
     if rels.iter().any(Relation::is_empty) {
         return 0;
     }
+    let _sp = htd_trace::span!("yannakakis.enumerate");
     // free variables (in no bag)
     let mut covered = vec![false; csp.num_vars() as usize];
     for p in 0..td.num_nodes() {

@@ -39,6 +39,7 @@ pub fn solve_with_td(csp: &Csp, td: &TreeDecomposition) -> Option<Vec<Value>> {
 
 /// Builds the per-node relations of Join Tree Clustering (steps 1–2).
 pub fn node_relations(csp: &Csp, td: &TreeDecomposition) -> Vec<Relation> {
+    let _sp = htd_trace::span!("yannakakis.build");
     let n = csp.num_vars();
     // place each constraint at the first node containing its scope
     let mut placed: Vec<Vec<usize>> = vec![Vec::new(); td.num_nodes()];

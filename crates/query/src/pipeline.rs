@@ -504,6 +504,7 @@ pub fn answer(q: &Query, opts: &AnswerOptions) -> Result<Answer, HtdError> {
     }
 
     let t_decompose = Instant::now();
+    let sp_decompose = htd_trace::span!("answer.decompose", &tracer);
     let cached = opts
         .shape_cache
         .as_ref()
@@ -520,6 +521,7 @@ pub fn answer(q: &Query, opts: &AnswerOptions) -> Result<Answer, HtdError> {
         }
     };
     let td = td_of_hypergraph(&h, &order);
+    drop(sp_decompose);
     stats.decompose_us = t_decompose.elapsed().as_micros() as u64;
     stats.width = td.width();
     stats.nodes = td.num_nodes() as u64;
@@ -548,8 +550,10 @@ pub fn answer(q: &Query, opts: &AnswerOptions) -> Result<Answer, HtdError> {
     }
 
     let t_eval = Instant::now();
+    let sp_eval = htd_trace::span!("answer.evaluate", &tracer);
     let eval = quarantined(|| eval_query(q, &td, opts))
         .map_err(|m| HtdError::Io(format!("query evaluation panicked: {m}")))??;
+    drop(sp_eval);
     stats.eval_us = t_eval.elapsed().as_micros() as u64;
     stats.tuples_scanned = input_tuples + eval.walked;
     tracer.emit_with(|| Event::QueryStage {

@@ -158,6 +158,8 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
     let mut global_lb = lb0;
 
     while let Some(s) = queue.pop() {
+        // aggregate-only hot-path span (see astar_tw)
+        let _sp_expand = htd_trace::span!("astar.expand");
         let ub = inc.upper();
         if s.f >= ub {
             break;
@@ -208,6 +210,7 @@ pub fn astar_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
             inc.mark_exact();
             return finish(s.g, s.g, true, Some(order), stats);
         }
+        let _sp_eval = htd_trace::span!("astar.evaluate");
         let (children, forced_child) = if cfg.use_reductions {
             match ctx.find_ghw_reducible(&eg) {
                 Some(v) => (vec![v], true),

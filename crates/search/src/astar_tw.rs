@@ -148,6 +148,9 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     let mut global_lb = lb0;
 
     while let Some(s) = queue.pop() {
+        // hot-path span: aggregate-only (no tracer), so the cost stays
+        // at two clock reads + a thread-cache hit per expansion
+        let _sp_expand = htd_trace::span!("astar.expand");
         let ub = inc.upper();
         if s.f >= ub {
             break; // all open states are ≥ ub: ub is the treewidth
@@ -198,6 +201,7 @@ pub fn astar_tw(graph: &Graph, cfg: &SearchConfig) -> SearchOutcome {
         // children. The almost-simplicial rule needs a lower bound on the
         // *alive subgraph*'s treewidth — s.f also carries g and lb0, which
         // bound the completion, not the subgraph, so recompute locally.
+        let _sp_eval = htd_trace::span!("astar.evaluate");
         let (children, forced_child) = if cfg.use_reductions {
             let h_sub = minor_min_width(&alive_graph(&eg), &mut rng);
             match reduce::find_reducible(&eg, h_sub) {

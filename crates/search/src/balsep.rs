@@ -85,18 +85,21 @@ pub(crate) fn run_spec(ctx: &EngineContext<'_>) -> EngineReport {
             break; // cancelled mid-construction
         };
         debug_assert_eq!(order.len() as u32, n, "nested dissection is a permutation");
-        let width = if ghw {
-            let mut ev = GhwEvaluator::with_cache(
-                h.expect("validated"),
-                CoverStrategy::Greedy,
-                Arc::clone(ctx.greedy_cache),
-            );
-            match ev.width(&order) {
-                Some(w) => w,
-                None => continue, // uncoverable bag: validation forbids this
+        let width = {
+            let _sp = htd_trace::span!("balsep.evaluate", &ctx.cfg.tracer);
+            if ghw {
+                let mut ev = GhwEvaluator::with_cache(
+                    h.expect("validated"),
+                    CoverStrategy::Greedy,
+                    Arc::clone(ctx.greedy_cache),
+                );
+                match ev.width(&order) {
+                    Some(w) => w,
+                    None => continue, // uncoverable bag: validation forbids this
+                }
+            } else {
+                TwEvaluator::new(g).width(&order)
             }
-        } else {
-            TwEvaluator::new(g).width(&order)
         };
         report.upper = report.upper.min(width);
         offer_traced(ctx.inc, &ctx.cfg.tracer, WHO, width, &order);
@@ -152,6 +155,8 @@ fn build_ordering(
         if inc.is_cancelled() {
             return None;
         }
+        // one span per recursion level of the dissection
+        let _sp_level = htd_trace::span!("balsep.level", &cfg.tracer);
         let splits = process_level(
             g,
             h,
@@ -227,6 +232,7 @@ fn process_level(
     let _ = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
+                htd_trace::set_worker(WHO);
                 let mut budget = Budget::new(cfg, WHO);
                 let mut local = Vec::new();
                 loop {
@@ -298,6 +304,7 @@ fn split_task(
 
     // candidate separators: per BFS root, a balanced layer and (when a
     // hypergraph is present) its greedy-cover widening
+    let _sp = htd_trace::span!("balsep.search");
     let total = alive.len();
     let av: Vec<Vertex> = alive.to_vec();
     // score: balanced first, then thinner separator, then smaller parts
@@ -312,6 +319,7 @@ fn split_task(
         for layer in candidate_layers(&layers, total) {
             let mut cands: Vec<VertexSet> = vec![layer.clone()];
             if let Some(h) = h {
+                let _sp = htd_trace::span!("balsep.widen");
                 if let Some(cover) = greedy_cover(layer, h.edges()) {
                     let mut widened = VertexSet::new(alive.capacity());
                     for e in cover {
@@ -417,6 +425,7 @@ fn leaf_order(g: &Graph, alive: &VertexSet, rng: &mut StdRng) -> Vec<Vertex> {
     if alive.len() <= 2 {
         return alive.to_vec();
     }
+    let _sp = htd_trace::span!("balsep.leaf");
     let (sub, map) = g.induced_subgraph(alive);
     let ho = htd_heuristics::upper::min_fill(&sub, rng);
     ho.ordering

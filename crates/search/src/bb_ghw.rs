@@ -89,6 +89,7 @@ pub fn bb_ghw(h: &Hypergraph, cfg: &SearchConfig) -> Option<SearchOutcome> {
         lb0,
         inc: &inc,
     };
+    let _sp = htd_trace::span!("bb.search", &cfg.tracer);
     let completed =
         searcher.dfs(&mut ctx, &mut eg, 0, &mut order, None, &mut budget) || inc.is_exact();
     stats.expanded = budget.expanded;
@@ -131,6 +132,8 @@ impl GhwSearcher<'_> {
         if !budget.tick() {
             return false;
         }
+        // one span per branching node; paths nest with recursion depth
+        let _sp = htd_trace::span!("bb.branch");
         let remaining = eg.num_alive();
         if remaining == 0 {
             offer_traced(self.inc, &self.cfg.tracer, WHO, g_width, order);

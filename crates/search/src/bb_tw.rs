@@ -70,6 +70,7 @@ pub fn bb_tw(g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
     };
     // a cancelled run is still exact when cancellation *was* the exact
     // proof (this search or a sibling closed the gap)
+    let _sp = htd_trace::span!("bb.search", &cfg.tracer);
     let completed = searcher.dfs(&mut eg, 0, &mut order, None, &mut budget, lb0) || inc.is_exact();
     stats.expanded = budget.expanded;
     stats.elapsed = budget.elapsed();
@@ -115,6 +116,8 @@ impl Searcher<'_> {
         if !budget.tick() {
             return false;
         }
+        // one span per branching node; paths nest with recursion depth
+        let _sp = htd_trace::span!("bb.branch");
         let remaining = eg.num_alive();
         if remaining == 0 {
             offer_traced(self.inc, &self.cfg.tracer, WHO, g_width, order);

@@ -599,6 +599,7 @@ fn solve_portfolio(problem: &Problem, cfg: &SearchConfig) -> Result<Outcome, Htd
                     let mut cfg_i = worker_cfg.clone();
                     cfg_i.seed = worker_cfg.seed.wrapping_add((i as u64) << 40);
                     let who = engine.name();
+                    htd_trace::set_worker(who);
                     cfg_i.tracer.emit(Event::WorkerStarted { worker: who });
                     let wstart = Instant::now();
                     // Quarantine: a panicking engine (a bug, or an injected

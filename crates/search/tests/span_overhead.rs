@@ -1,0 +1,38 @@
+//! Guard: per-expansion profiling spans must stay within the same
+//! overhead envelope as the batched expansion counters.
+//!
+//! This file holds exactly one test: it toggles the process-global
+//! span flag, so it must not share a binary with other span users.
+
+use std::time::{Duration, Instant};
+
+use htd_hypergraph::gen;
+use htd_search::{solve, Problem, SearchConfig};
+use htd_trace::span;
+
+/// An A* solve with spans enabled must land within 5% of the same solve
+/// with spans disabled (plus a fixed allowance for scheduler noise on
+/// loaded CI machines — the solves here run hundreds of milliseconds,
+/// so the allowance stays well under the 5% it cushions).
+#[test]
+fn span_overhead_under_five_percent() {
+    let g = gen::queen_graph(5);
+    let solve_once = || {
+        let cfg = SearchConfig::default().with_seed(7);
+        let start = Instant::now();
+        let out = solve(&Problem::treewidth(g.clone()), &cfg).unwrap();
+        assert_eq!(out.exact_width(), Some(18));
+        start.elapsed()
+    };
+    // warm up (page cache, lazy statics, registry counters)
+    solve_once();
+    let base: Duration = (0..3).map(|_| solve_once()).sum();
+    span::set_spans_enabled(true);
+    let with_spans: Duration = (0..3).map(|_| solve_once()).sum();
+    span::set_spans_enabled(false);
+    span::reset();
+    assert!(
+        with_spans < base.mul_f64(1.05) + Duration::from_millis(150),
+        "spans enabled {with_spans:?} vs disabled {base:?} (>5% + slack)"
+    );
+}

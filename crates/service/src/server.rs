@@ -438,12 +438,20 @@ impl Server {
             "htd_answer_latency_ms",
             htd_query::ANSWER_LATENCY_BUCKETS_MS,
         );
+        // the service keeps span aggregation on for the whole process:
+        // per-stage spans feed the htd_span_seconds{span=...} histograms
+        // on /metrics at bounded (counter-batch-like) cost
+        htd_trace::set_spans_enabled(true);
         let workers = (0..threads)
             .map(|w| {
                 let inner = Arc::clone(&inner);
+                let label: &'static str = Box::leak(format!("svc-{w}").into_boxed_str());
                 thread::Builder::new()
                     .name(format!("htd-worker-{w}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || {
+                        htd_trace::set_worker(label);
+                        worker_loop(&inner)
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -650,8 +658,14 @@ fn worker_loop(inner: &Inner) {
         }
 
         let r = match &job.work {
-            Work::Solve(w) => run_solve(inner, &job, w, &incumbent, &fault, queued),
-            Work::Answer(w) => run_answer(inner, &job, w, &incumbent, &fault, queued),
+            Work::Solve(w) => {
+                let _sp = htd_trace::span!("service.solve");
+                run_solve(inner, &job, w, &incumbent, &fault, queued)
+            }
+            Work::Answer(w) => {
+                let _sp = htd_trace::span!("service.answer");
+                run_answer(inner, &job, w, &incumbent, &fault, queued)
+            }
         };
 
         {
@@ -662,6 +676,7 @@ fn worker_loop(inner: &Inner) {
         if r.status == Status::Ok {
             inner.metrics.request_latency.observe(r.elapsed_ms);
         }
+        let _sp = htd_trace::span!("service.respond");
         let _ = job.reply.send(r);
     }
 }

@@ -11,8 +11,10 @@
 //! be non-decreasing across the stream. Consumers must ignore unknown
 //! fields; unknown `kind`s are a schema violation.
 
-/// Version stamped into every JSONL record as `"v"`.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamped into every JSONL record as `"v"`. Schema history:
+/// v1 = solver/worker/query events; v2 adds the `span_enter`/`span_exit`
+/// pair from the span layer ([`crate::span`]).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Every `kind` the current schema can emit, in no particular order.
 pub const KNOWN_KINDS: &[&str] = &[
@@ -29,6 +31,8 @@ pub const KNOWN_KINDS: &[&str] = &[
     "engines_skipped",
     "solve_finished",
     "query_stage",
+    "span_enter",
+    "span_exit",
 ];
 
 /// One solver event. Workers are identified by their engine name
@@ -100,6 +104,21 @@ pub enum Event {
         tuples: u64,
         elapsed_us: u64,
     },
+    /// A profiling span opened on some thread (`depth` = how many spans
+    /// already enclose it there; 0 for a root).
+    SpanEnter {
+        span: &'static str,
+        worker: &'static str,
+        depth: u32,
+    },
+    /// The matching close of a [`Event::SpanEnter`] with the same
+    /// worker and span name.
+    SpanExit {
+        span: &'static str,
+        worker: &'static str,
+        depth: u32,
+        elapsed_us: u64,
+    },
 }
 
 impl Event {
@@ -119,6 +138,8 @@ impl Event {
             Event::EnginesSkipped { .. } => "engines_skipped",
             Event::SolveFinished { .. } => "solve_finished",
             Event::QueryStage { .. } => "query_stage",
+            Event::SpanEnter { .. } => "span_enter",
+            Event::SpanExit { .. } => "span_exit",
         }
     }
 
@@ -132,7 +153,9 @@ impl Event {
             | Event::IncumbentImproved { worker, .. }
             | Event::BoundTightened { worker, .. }
             | Event::NodeExpanded { worker, .. }
-            | Event::RestartTriggered { worker, .. } => Some(worker),
+            | Event::RestartTriggered { worker, .. }
+            | Event::SpanEnter { worker, .. }
+            | Event::SpanExit { worker, .. } => Some(worker),
             _ => None,
         }
     }
@@ -270,6 +293,27 @@ impl Record {
                     ",\"stage\":\"{stage}\",\"tuples\":{tuples},\"elapsed_us\":{elapsed_us}"
                 );
             }
+            Event::SpanEnter {
+                span,
+                worker,
+                depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"span\":\"{span}\",\"worker\":\"{worker}\",\"depth\":{depth}"
+                );
+            }
+            Event::SpanExit {
+                span,
+                worker,
+                depth,
+                elapsed_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"span\":\"{span}\",\"worker\":\"{worker}\",\"depth\":{depth},\"elapsed_us\":{elapsed_us}"
+                );
+            }
         }
         s.push('}');
         s
@@ -297,12 +341,17 @@ fn escape_json(s: &str) -> String {
 }
 
 /// Checks an in-memory record stream for well-formedness: contiguous
-/// `seq` from 0, non-decreasing `t_us`, and every `WorkerStarted`
-/// matched by exactly one `WorkerFinished`, `WorkerCancelled` or
-/// `WorkerPanicked` (a quarantined panic is a terminal worker event).
-/// Returns the first violation as a human-readable message.
+/// `seq` from 0, non-decreasing `t_us`, every `WorkerStarted` matched
+/// by exactly one `WorkerFinished`, `WorkerCancelled` or
+/// `WorkerPanicked` (a quarantined panic is a terminal worker event),
+/// and every `span_exit` closing a still-open `span_enter` of the same
+/// worker and span name, with none left open at the end. Span pairing
+/// is a per-(worker, span) multiset, not a strict stack: pool threads
+/// sharing one worker label interleave their spans freely in the
+/// totally-ordered stream.
 pub fn validate_stream(records: &[Record]) -> Result<(), String> {
     let mut open: Vec<&'static str> = Vec::new();
+    let mut open_spans: Vec<(&'static str, &'static str)> = Vec::new();
     let mut last_t = 0u64;
     for (i, r) in records.iter().enumerate() {
         if r.seq != i as u64 {
@@ -334,11 +383,34 @@ pub fn validate_stream(records: &[Record]) -> Result<(), String> {
                     ));
                 }
             },
+            Event::SpanEnter { span, worker, .. } => {
+                open_spans.push((worker, span));
+            }
+            Event::SpanExit { span, worker, .. } => {
+                match open_spans
+                    .iter()
+                    .position(|&(w, s)| w == *worker && s == *span)
+                {
+                    Some(p) => {
+                        open_spans.remove(p);
+                    }
+                    None => {
+                        return Err(format!(
+                            "record {i}: span '{span}' (worker '{worker}') exited without entering"
+                        ));
+                    }
+                }
+            }
             _ => {}
         }
     }
     if let Some(w) = open.first() {
         return Err(format!("worker '{w}' started but never finished"));
+    }
+    if let Some((w, s)) = open_spans.first() {
+        return Err(format!(
+            "span '{s}' (worker '{w}') entered but never exited"
+        ));
     }
     Ok(())
 }
@@ -363,7 +435,7 @@ mod tests {
         );
         assert_eq!(
             r.to_json_line(),
-            "{\"v\":1,\"seq\":3,\"t_us\":1500,\"kind\":\"incumbent_improved\",\"worker\":\"astar\",\"width\":4}"
+            "{\"v\":2,\"seq\":3,\"t_us\":1500,\"kind\":\"incumbent_improved\",\"worker\":\"astar\",\"width\":4}"
         );
     }
 
@@ -453,6 +525,17 @@ mod tests {
                 tuples: 42,
                 elapsed_us: 17,
             },
+            Event::SpanEnter {
+                span: "astar.expand",
+                worker: "astar",
+                depth: 1,
+            },
+            Event::SpanExit {
+                span: "astar.expand",
+                worker: "astar",
+                depth: 1,
+                elapsed_us: 250,
+            },
         ];
         for e in &events {
             assert!(KNOWN_KINDS.contains(&e.kind()), "unknown kind {}", e.kind());
@@ -472,7 +555,7 @@ mod tests {
         );
         assert_eq!(
             r.to_json_line(),
-            "{\"v\":1,\"seq\":0,\"t_us\":0,\"kind\":\"worker_panicked\",\
+            "{\"v\":2,\"seq\":0,\"t_us\":0,\"kind\":\"worker_panicked\",\
              \"worker\":\"astar\",\"message\":\"index 3 \\\"out\\\\of\\\" range\\n\"}"
         );
         // a panicked worker counts as ended
@@ -602,5 +685,105 @@ mod tests {
         assert!(validate_stream(&s)
             .unwrap_err()
             .contains("without starting"));
+    }
+
+    #[test]
+    fn span_events_serialize_and_balance() {
+        let enter = rec(
+            0,
+            10,
+            Event::SpanEnter {
+                span: "balsep.level",
+                worker: "balsep",
+                depth: 0,
+            },
+        );
+        assert_eq!(
+            enter.to_json_line(),
+            "{\"v\":2,\"seq\":0,\"t_us\":10,\"kind\":\"span_enter\",\
+             \"span\":\"balsep.level\",\"worker\":\"balsep\",\"depth\":0}"
+        );
+        // interleaved same-worker spans balance as a multiset
+        let s = vec![
+            rec(
+                0,
+                0,
+                Event::SpanEnter {
+                    span: "a",
+                    worker: "w",
+                    depth: 0,
+                },
+            ),
+            rec(
+                1,
+                1,
+                Event::SpanEnter {
+                    span: "b",
+                    worker: "w",
+                    depth: 1,
+                },
+            ),
+            rec(
+                2,
+                2,
+                Event::SpanExit {
+                    span: "a",
+                    worker: "w",
+                    depth: 0,
+                    elapsed_us: 2,
+                },
+            ),
+            rec(
+                3,
+                3,
+                Event::SpanExit {
+                    span: "b",
+                    worker: "w",
+                    depth: 1,
+                    elapsed_us: 2,
+                },
+            ),
+        ];
+        validate_stream(&s).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_spans() {
+        // exit with no matching enter (wrong worker)
+        let s = vec![
+            rec(
+                0,
+                0,
+                Event::SpanEnter {
+                    span: "a",
+                    worker: "w1",
+                    depth: 0,
+                },
+            ),
+            rec(
+                1,
+                1,
+                Event::SpanExit {
+                    span: "a",
+                    worker: "w2",
+                    depth: 0,
+                    elapsed_us: 1,
+                },
+            ),
+        ];
+        assert!(validate_stream(&s)
+            .unwrap_err()
+            .contains("exited without entering"));
+        // enter never exited
+        let s = vec![rec(
+            0,
+            0,
+            Event::SpanEnter {
+                span: "a",
+                worker: "w",
+                depth: 0,
+            },
+        )];
+        assert!(validate_stream(&s).unwrap_err().contains("never exited"));
     }
 }

@@ -13,6 +13,11 @@
 //! - **Sinks** ([`sink`]): where events go. [`NullSink`] (discard),
 //!   [`JsonlSink`] (the versioned `--trace file.jsonl` format), or a
 //!   [`RingBuffer`] for tests and in-process analysis.
+//! - **Spans** ([`span`]): hierarchical RAII profiling regions
+//!   (`span!("astar.expand")`) aggregating per-path wall/CPU/self time
+//!   and call counts, exported as a profile snapshot, folded stacks
+//!   for flamegraphs, per-span histograms, and (for coarse spans fed a
+//!   tracer) `span_enter`/`span_exit` events.
 //!
 //! The [`Tracer`] ties events to a sink. Everything defaults to
 //! [`Tracer::disabled`], whose emit path is a single branch — solver
@@ -26,9 +31,11 @@
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod tracer;
 
 pub use event::{validate_stream, Event, Record, KNOWN_KINDS, SCHEMA_VERSION};
 pub use metrics::{registry, Counter, Gauge, HistogramMetric, Registry};
 pub use sink::{JsonlSink, NullSink, RingBuffer, Sink};
+pub use span::{set_spans_enabled, set_worker, spans_enabled, SpanGuard, SpanStat};
 pub use tracer::Tracer;

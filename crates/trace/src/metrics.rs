@@ -254,16 +254,34 @@ impl Registry {
                     let _ = writeln!(out, "{name} {}", g.get());
                 }
                 Slot::Histogram(h) => {
+                    // a labeled name like `m{span="x"}` must render as
+                    // `m_bucket{span="x",le="..."}`: the series suffix goes
+                    // on the metric name, extra labels merge with `le`
+                    let (bucket, sum, count) = match name.split_once('{') {
+                        Some((base, labels)) => {
+                            let labels = labels.trim_end_matches('}');
+                            (
+                                format!("{base}_bucket{{{labels},"),
+                                format!("{base}_sum{{{labels}}}"),
+                                format!("{base}_count{{{labels}}}"),
+                            )
+                        }
+                        None => (
+                            format!("{name}_bucket{{"),
+                            format!("{name}_sum"),
+                            format!("{name}_count"),
+                        ),
+                    };
                     for (i, b) in h.bounds().iter().enumerate() {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {}", h.cumulative(i));
+                        let _ = writeln!(out, "{bucket}le=\"{b}\"}} {}", h.cumulative(i));
                     }
                     let _ = writeln!(
                         out,
-                        "{name}_bucket{{le=\"+Inf\"}} {}",
+                        "{bucket}le=\"+Inf\"}} {}",
                         h.cumulative(h.bounds().len())
                     );
-                    let _ = writeln!(out, "{name}_sum {}", h.sum());
-                    let _ = writeln!(out, "{name}_count {}", h.count());
+                    let _ = writeln!(out, "{sum} {}", h.sum());
+                    let _ = writeln!(out, "{count} {}", h.count());
                 }
             }
         }
@@ -340,6 +358,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_edge_cases() {
+        // empty: every quantile is 0, including the extremes
+        let empty = HistogramMetric::new(&[1.0, 2.0]);
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+
+        // all mass in the implicit +Inf bucket: quantiles interpolate
+        // between the last finite bound and twice that bound — the
+        // histogram can only say "past the end"
+        let inf = HistogramMetric::new(&[1.0, 2.0, 5.0]);
+        for _ in 0..10 {
+            inf.observe(1e9);
+        }
+        for q in [0.0, 0.01, 0.5, 0.99] {
+            let v = inf.quantile(q);
+            assert!(v > 5.0 && v <= 10.0, "q={q} v={v}");
+        }
+        assert!((inf.quantile(1.0) - 10.0).abs() < 1e-9);
+
+        // single-bucket histogram: quantiles interpolate 0..bound, and
+        // out-of-range q is clamped rather than extrapolated
+        let one = HistogramMetric::new(&[4.0]);
+        for _ in 0..4 {
+            one.observe(1.0);
+        }
+        assert!((one.quantile(0.25) - 1.0).abs() < 1e-9);
+        assert!((one.quantile(0.5) - 2.0).abs() < 1e-9);
+        assert!((one.quantile(1.0) - 4.0).abs() < 1e-9);
+        assert!((one.quantile(2.0) - 4.0).abs() < 1e-9, "q clamps to 1");
+        assert!(one.quantile(-1.0) > 0.0, "q clamps to 0, rank >= 1");
+    }
+
+    #[test]
     fn histogram_overflow_bucket() {
         let h = HistogramMetric::new(&[1.0, 2.0]);
         h.observe(100.0);
@@ -375,5 +427,27 @@ mod tests {
         assert!(out.contains("c_hist_bucket{le=\"1\"} 1"));
         assert!(out.contains("c_hist_bucket{le=\"+Inf\"} 1"));
         assert!(out.contains("c_hist_count 1"));
+    }
+
+    #[test]
+    fn labeled_histogram_renders_well_formed_series() {
+        // a labeled registration must merge its labels with `le` on the
+        // bucket series, not append `_bucket` after the closing brace
+        let r = Registry::new();
+        let h = r.histogram("d_hist{span=\"x\"}", &[0.5]);
+        h.observe(0.1);
+        let mut out = String::new();
+        r.render_prometheus(&mut out);
+        assert!(out.contains("# TYPE d_hist histogram"), "{out}");
+        assert!(
+            out.contains("d_hist_bucket{span=\"x\",le=\"0.5\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("d_hist_bucket{span=\"x\",le=\"+Inf\"} 1"),
+            "{out}"
+        );
+        assert!(out.contains("d_hist_sum{span=\"x\"} 0.1"), "{out}");
+        assert!(out.contains("d_hist_count{span=\"x\"} 1"), "{out}");
     }
 }

@@ -1,0 +1,153 @@
+//! Span-layer integration: nesting, attribution, aggregation and
+//! event well-formedness under concurrent workers.
+//!
+//! The collector and the enable flag are process-global, so every test
+//! here serializes on one mutex and uses test-unique span names.
+
+use std::sync::{Mutex, OnceLock};
+
+use htd_trace::event::Event;
+use htd_trace::span::{set_spans_enabled, set_worker};
+use htd_trace::{span, validate_stream, RingBuffer, Tracer};
+
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn concurrent_workers_aggregate_without_imbalance() {
+    let _g = global_lock();
+    span::reset();
+    set_spans_enabled(true);
+    let workers = ["t-alpha", "t-beta", "t-gamma", "t-delta"];
+    std::thread::scope(|s| {
+        for w in workers {
+            s.spawn(move || {
+                set_worker(w);
+                for _ in 0..50 {
+                    let _outer = span!("it.outer");
+                    for _ in 0..4 {
+                        let _inner = span!("it.inner");
+                        std::hint::black_box(0u64);
+                    }
+                }
+            });
+        }
+    });
+    set_spans_enabled(false);
+    let stats = span::snapshot();
+
+    // one (worker, path) node per worker per span name
+    let outers: Vec<_> = stats.iter().filter(|s| s.name == "it.outer").collect();
+    let inners: Vec<_> = stats.iter().filter(|s| s.name == "it.inner").collect();
+    assert_eq!(outers.len(), workers.len());
+    assert_eq!(inners.len(), workers.len());
+    for o in &outers {
+        assert_eq!(o.count, 50, "worker {}", o.worker);
+        assert!(o.parent.is_none(), "outer spans are roots");
+        assert!(o.wall_us >= o.self_us, "self time never exceeds wall");
+    }
+    for i in &inners {
+        assert_eq!(i.count, 200, "worker {}", i.worker);
+        let p = i.parent.expect("inner nests under outer");
+        assert_eq!(stats[p].name, "it.outer");
+        assert_eq!(stats[p].worker, i.worker, "attribution follows the thread");
+        // the parent's child bookkeeping keeps totals consistent:
+        // inner wall is part of outer wall, not of outer self
+        assert!(i.wall_us <= stats[p].wall_us + 1000);
+    }
+    // every worker label that entered spans shows up in the aggregate
+    let mut seen: Vec<_> = outers.iter().map(|o| o.worker).collect();
+    seen.sort();
+    let mut expect = workers.to_vec();
+    expect.sort();
+    assert_eq!(seen, expect);
+
+    // folded output: one line per node, parseable "path count" pairs
+    let folded = span::folded();
+    for w in workers {
+        assert!(
+            folded.contains(&format!("{w};it.outer;it.inner ")),
+            "folded stack missing {w}:\n{folded}"
+        );
+    }
+    for line in folded.lines() {
+        let (_path, val) = line.rsplit_once(' ').expect("`path self_us` shape");
+        val.parse::<u64>().expect("self_us is an integer");
+    }
+    span::reset();
+    assert!(span::snapshot().is_empty(), "reset clears the collector");
+}
+
+#[test]
+fn traced_spans_emit_balanced_events() {
+    let _g = global_lock();
+    span::reset();
+    let ring = RingBuffer::new(10_000);
+    let tracer = Tracer::new(Box::new(std::sync::Arc::clone(&ring)));
+    // spans_enabled stays OFF: the enabled tracer alone activates the
+    // guards it is passed to
+    std::thread::scope(|s| {
+        for w in ["e-one", "e-two"] {
+            let t = std::sync::Arc::clone(&tracer);
+            s.spawn(move || {
+                set_worker(w);
+                for _ in 0..20 {
+                    let _outer = span!("ev.solve", &t);
+                    let _inner = span!("ev.phase", &t);
+                }
+            });
+        }
+    });
+    let records = ring.records();
+    // stream passes full validation including span multiset balancing
+    validate_stream(&records).unwrap();
+    let enters = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::SpanEnter { .. }))
+        .count();
+    let exits = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::SpanExit { .. }))
+        .count();
+    assert_eq!(enters, 80, "2 workers x 20 iterations x 2 spans");
+    assert_eq!(enters, exits, "every span_enter has a matching span_exit");
+    // depth never goes negative and attribution is per-thread: track a
+    // per-worker depth counter over the ordered stream
+    let mut depth = std::collections::HashMap::new();
+    for r in &records {
+        match r.event {
+            Event::SpanEnter {
+                worker, depth: d, ..
+            } => {
+                let c = depth.entry(worker).or_insert(0i64);
+                assert_eq!(*c, d as i64, "reported depth matches the live stack");
+                *c += 1;
+            }
+            Event::SpanExit { worker, .. } => {
+                let c = depth.entry(worker).or_insert(0i64);
+                *c -= 1;
+                assert!(*c >= 0, "span stack went negative for {worker}");
+            }
+            _ => {}
+        }
+    }
+    assert!(depth.values().all(|&c| c == 0));
+    span::reset();
+}
+
+#[test]
+fn snapshot_and_folded_empty_when_disabled() {
+    let _g = global_lock();
+    span::reset();
+    set_spans_enabled(false);
+    {
+        let _a = span!("off.root");
+        let _b = span!("off.leaf");
+    }
+    assert!(span::snapshot().iter().all(|s| !s.name.starts_with("off.")));
+    assert!(!span::folded().contains("off."));
+}
