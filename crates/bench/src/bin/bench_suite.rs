@@ -3,24 +3,26 @@
 //! Runs scaled-down versions of the headline workloads — exact-width
 //! portfolio solves, an anytime GHW race over the on-disk `.hg` corpus,
 //! a decompose-and-validate corpus sweep, cold/warm conjunctive-query
-//! answering against a live server, a service solve-load burst, and the
+//! answering against a live server, a service solve-load burst, a
+//! pipelined event-loop burst, a store warm-restart comparison, and the
 //! span-profiler overhead probe — and writes every result into one
-//! schema-versioned snapshot (`BENCH_8.json` by default) that
-//! `perf_gate` can diff against history.
+//! schema-versioned snapshot (`BENCH_<N>.json` by default, `N` from
+//! `--bench`) that `perf_gate` can diff against history.
 //!
 //! Snapshot schema `htd-bench/v1` (documented in `docs/benchmarking.md`):
 //!
 //! ```json
-//! {"schema":"htd-bench/v1","bench":8,"commit":"...","rustc":"...",
+//! {"schema":"htd-bench/v1","bench":9,"commit":"...","rustc":"...",
 //!  "threads":4,"smoke":false,
 //!  "metrics":{"tw_queen5_exact_ms":{"value":251.3,"unit":"ms","better":"lower"},...}}
 //! ```
 //!
 //! Metric names and semantics are identical in `--smoke` mode; smoke
-//! only cuts repetitions and budgets so CI finishes in seconds.
+//! only cuts repetitions, budgets and connection counts so CI finishes
+//! in seconds.
 //!
 //! `cargo run --release -p htd-bench --bin bench_suite \
-//!     [--smoke] [--out FILE] [--migrate FILE]`
+//!     [--smoke] [--bench N] [--out FILE] [--migrate FILE]`
 //!
 //! `--migrate FILE` upgrades an old snapshot in place: it stamps
 //! pre-versioning files (`BENCH_6.json`, `BENCH_7.json`) with
@@ -42,14 +44,17 @@ use rand::SeedableRng;
 
 struct Args {
     smoke: bool,
-    out: String,
+    /// Generation stamp for the snapshot (`"bench"` field, default file name).
+    bench: u32,
+    out: Option<String>,
     migrate: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut a = Args {
         smoke: false,
-        out: "BENCH_8.json".into(),
+        bench: 9,
+        out: None,
         migrate: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -57,10 +62,16 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => a.smoke = true,
-            "--out" => a.out = it.next().expect("--out FILE").clone(),
+            "--bench" => {
+                a.bench = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--bench N (a generation number)")
+            }
+            "--out" => a.out = Some(it.next().expect("--out FILE").clone()),
             "--migrate" => a.migrate = Some(it.next().expect("--migrate FILE").clone()),
             _ => {
-                eprintln!("usage: bench_suite [--smoke] [--out FILE] [--migrate FILE]");
+                eprintln!("usage: bench_suite [--smoke] [--bench N] [--out FILE] [--migrate FILE]");
                 std::process::exit(4);
             }
         }
@@ -395,6 +406,221 @@ fn service_workload(smoke: bool, metrics: &mut Vec<Metric>) {
     );
 }
 
+/// Pipelined batches against the event-loop front end: every request is
+/// a warmed cache hit, so the numbers measure the non-blocking I/O path
+/// itself. Full mode runs the acceptance scale (500 connections, 8 in
+/// flight each); a dropped or garbled response fails the suite.
+fn pipeline_workload(smoke: bool, metrics: &mut Vec<Metric>) {
+    let (connections, pipeline, rounds) = if smoke { (40, 4, 2) } else { (500, 8, 2) };
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        queue_capacity: 1024,
+        default_deadline_ms: 10_000,
+        log: false,
+        verify_responses: false,
+        event_loop: true,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let corpus = [
+        io::write_pace_gr(&gen::queen_graph(5)),
+        io::write_pace_gr(&gen::grid_graph(5, 5)),
+        io::write_pace_gr(&gen::myciel(4)),
+        io::write_pace_gr(&gen::grid_graph(4, 4)),
+    ];
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        for text in &corpus {
+            let r = c
+                .solve(Objective::Treewidth, InstanceFormat::Auto, text, None)
+                .expect("warming");
+            assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+        }
+    }
+    let t0 = Instant::now();
+    let results: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|ci| {
+                let addr = addr.clone();
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut bad = 0u64;
+                    let Ok(mut client) = Client::connect(&addr) else {
+                        return (lat, (rounds * pipeline) as u64);
+                    };
+                    for round in 0..rounds {
+                        let mut ids: Vec<String> = Vec::new();
+                        let t = Instant::now();
+                        for k in 0..pipeline {
+                            let (req, id) = client.solve_request(
+                                Objective::Treewidth,
+                                InstanceFormat::Auto,
+                                &corpus[(ci + round + k) % corpus.len()],
+                                None,
+                            );
+                            if client.send(&req).is_ok() {
+                                ids.push(id);
+                            } else {
+                                bad += 1;
+                            }
+                        }
+                        for _ in 0..ids.len() {
+                            match client.recv() {
+                                Ok(r) => {
+                                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                                    match r
+                                        .id
+                                        .as_ref()
+                                        .and_then(|id| ids.iter().position(|x| x == id))
+                                    {
+                                        Some(pos) if r.status == Status::Ok => {
+                                            ids.swap_remove(pos);
+                                        }
+                                        _ => bad += 1,
+                                    }
+                                }
+                                Err(_) => {
+                                    bad += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        bad += ids.len() as u64;
+                    }
+                    (lat, bad)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.wait();
+    let mut lat: Vec<f64> = results.iter().flat_map(|r| r.0.iter().copied()).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let bad: u64 = results.iter().map(|r| r.1).sum();
+    assert_eq!(bad, 0, "pipelined phase dropped or garbled {bad} responses");
+    push(
+        metrics,
+        "service_pipeline_p95_ms",
+        quantile(&lat, 0.95),
+        "ms",
+        "lower",
+    );
+    push(
+        metrics,
+        "service_pipeline_rps",
+        lat.len() as f64 / wall.max(1e-9),
+        "req/s",
+        "higher",
+    );
+    push(
+        metrics,
+        "service_pipeline_dropped",
+        bad as f64,
+        "count",
+        "lower",
+    );
+}
+
+/// Store warm restart: cold p50 on a store-less server vs first-request
+/// p50 after rebooting onto the populated certificate store (every entry
+/// re-verified by the `htd-check` oracle on load).
+fn store_workload(smoke: bool, metrics: &mut Vec<Metric>) {
+    let deadline = 500u64;
+    let mut corpus: Vec<(Objective, String)> = vec![
+        (
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::grid_graph(4, 4)),
+        ),
+        (
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::grid_graph(5, 5)),
+        ),
+        (
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::random_gnp(14, 0.4, 14)),
+        ),
+        (
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::grid2d(2)),
+        ),
+        (
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::grid2d(3)),
+        ),
+    ];
+    if !smoke {
+        corpus.push((
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::random_gnp(16, 0.4, 16)),
+        ));
+        corpus.push((
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::adder(3)),
+        ));
+    }
+    let dir = std::env::temp_dir().join(format!("htd-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = |store: bool| ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        default_deadline_ms: deadline,
+        log: false,
+        verify_responses: false,
+        store_dir: store.then(|| dir.clone()),
+        ..ServeOptions::default()
+    };
+    let run = |server: &Server| -> Vec<f64> {
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        corpus
+            .iter()
+            .map(|(obj, text)| {
+                let t = Instant::now();
+                let r = client
+                    .solve(*obj, InstanceFormat::Auto, text, Some(deadline))
+                    .expect("transport");
+                assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    };
+    let stop = |server: Server| {
+        Client::connect(&server.addr().to_string())
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        server.wait();
+    };
+
+    let server = Server::start(opts(false)).expect("bind");
+    let mut cold = run(&server);
+    stop(server);
+    let server = Server::start(opts(true)).expect("bind");
+    let _ = run(&server); // populate the store
+    stop(server);
+    let server = Server::start(opts(true)).expect("bind");
+    let mut warm = run(&server); // reboot: served from re-verified store
+    stop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    cold.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (cold_p50, warm_p50) = (quantile(&cold, 0.5), quantile(&warm, 0.5));
+    push(metrics, "store_cold_p50_ms", cold_p50, "ms", "lower");
+    push(metrics, "store_restart_p50_ms", warm_p50, "ms", "lower");
+    push(
+        metrics,
+        "store_restart_speedup",
+        cold_p50 / warm_p50.max(1e-3),
+        "x",
+        "higher",
+    );
+}
+
 /// Span-profiler overhead: the same A* solve with the aggregate span
 /// layer off and on. Reported as a percentage (can be slightly negative
 /// on a noisy machine).
@@ -466,15 +692,19 @@ fn main() {
     );
 
     let mut metrics: Vec<Metric> = Vec::new();
-    println!("[1/5] exact-width portfolio");
+    println!("[1/7] exact-width portfolio");
     width_workloads(args.smoke, threads, &mut metrics);
-    println!("[2/5] ghw corpus race + decompose sweep");
+    println!("[2/7] ghw corpus race + decompose sweep");
     corpus_race(args.smoke, threads, &mut metrics);
-    println!("[3/5] answer cold/warm");
+    println!("[3/7] answer cold/warm");
     answer_workload(args.smoke, &mut metrics);
-    println!("[4/5] service solve load");
+    println!("[4/7] service solve load");
     service_workload(args.smoke, &mut metrics);
-    println!("[5/5] span overhead");
+    println!("[5/7] event-loop pipelined load");
+    pipeline_workload(args.smoke, &mut metrics);
+    println!("[6/7] store warm restart");
+    store_workload(args.smoke, &mut metrics);
+    println!("[7/7] span overhead");
     span_overhead(threads, &mut metrics);
 
     let metric_map: Vec<(String, Json)> = metrics
@@ -492,7 +722,7 @@ fn main() {
         .collect();
     let doc = Json::Obj(vec![
         ("schema".into(), Json::Str("htd-bench/v1".into())),
-        ("bench".into(), Json::Num(8.0)),
+        ("bench".into(), Json::Num(f64::from(args.bench))),
         (
             "commit".into(),
             Json::Str(tool_line("git", &["rev-parse", "--short", "HEAD"])),
@@ -502,9 +732,12 @@ fn main() {
         ("smoke".into(), Json::Bool(args.smoke)),
         ("metrics".into(), Json::Obj(metric_map)),
     ]);
-    if let Err(e) = std::fs::write(&args.out, format!("{doc}\n")) {
-        eprintln!("bench_suite: cannot write {}: {e}", args.out);
+    let out = args
+        .out
+        .unwrap_or_else(|| format!("BENCH_{}.json", args.bench));
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("bench_suite: cannot write {out}: {e}");
         std::process::exit(5);
     }
-    println!("wrote {} ({} metrics)", args.out, metrics.len());
+    println!("wrote {out} ({} metrics)", metrics.len());
 }

@@ -136,6 +136,7 @@ fn main() {
         chaos: Some(FaultPlan::chaos(args.seed)),
         breaker_threshold: 3,
         breaker_probe_ms: 250,
+        ..ServeOptions::default()
     })
     .expect("bind loopback");
     let addr = server.addr().to_string();

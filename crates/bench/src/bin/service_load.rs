@@ -12,46 +12,96 @@
 //!   than 100 ms;
 //! * `/healthz` and `/metrics` answer throughout the run.
 //!
+//! Two further phases exercise the event-loop front end and the
+//! persistent certificate store:
+//!
+//! * `--connections N --pipeline K` replays pipelined batches (K
+//!   requests in flight per connection, responses matched by id) against
+//!   an event-loop server from N concurrent connections, and **fails if
+//!   a single response is dropped, duplicated, or mismatched**;
+//! * `--store-compare` measures a warm restart: cold p50 on a store-less
+//!   server vs first-request p50 on a server rebooted onto a populated
+//!   `--store` directory (every entry oracle-re-verified on load), and
+//!   fails below the 10× restart-speedup acceptance bar.
+//!
 //! `cargo run --release -p htd-bench --bin service_load \
-//!     [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS]`
+//!     [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS] \
+//!     [--connections N] [--pipeline K] [--store-compare] [--out FILE]`
+//!
+//! With `--out FILE` the phase results are also written as an
+//! `htd-bench/v1` metrics fragment for merging into a perf snapshot.
 
 use std::time::{Duration, Instant};
 
-use htd_bench::{f2, Table};
+use htd_bench::{f2, round3, Table};
+use htd_core::Json;
 use htd_hypergraph::{gen, io};
 use htd_search::Objective;
 use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
 
 struct Args {
     clients: usize,
-    requests: usize,
+    requests: Option<usize>,
     hit_ratio: u64,
     deadline_ms: u64,
+    /// Pipelined phase: concurrent connections (0 = phase off).
+    connections: usize,
+    /// Pipelined phase: requests in flight per connection.
+    pipeline: usize,
+    /// Run the store warm-restart comparison phase.
+    store_compare: bool,
+    /// Write an htd-bench/v1 metrics fragment here.
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut a = Args {
         clients: 4,
-        requests: 200,
+        requests: None,
         hit_ratio: 70,
         deadline_ms: 500,
+        connections: 0,
+        pipeline: 1,
+        store_compare: false,
+        out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store-compare" => {
+                a.store_compare = true;
+                continue;
+            }
+            "--out" => {
+                a.out = it.next().cloned();
+                if a.out.is_none() {
+                    usage();
+                }
+                continue;
+            }
+            _ => {}
+        }
         let v = it.next().and_then(|s| s.parse::<u64>().ok());
         match (flag.as_str(), v) {
             ("--clients", Some(v)) => a.clients = v.max(1) as usize,
-            ("--requests", Some(v)) => a.requests = v.max(1) as usize,
+            ("--requests", Some(v)) => a.requests = Some(v.max(1) as usize),
             ("--hit-ratio", Some(v)) => a.hit_ratio = v.min(100),
             ("--deadline-ms", Some(v)) => a.deadline_ms = v.max(50),
-            _ => {
-                eprintln!("usage: service_load [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS]");
-                std::process::exit(4);
-            }
+            ("--connections", Some(v)) => a.connections = v.max(1) as usize,
+            ("--pipeline", Some(v)) => a.pipeline = v.max(1) as usize,
+            _ => usage(),
         }
     }
     a
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_load [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS] \
+         [--connections N] [--pipeline K] [--store-compare] [--out FILE]"
+    );
+    std::process::exit(4);
 }
 
 /// The replayed corpus: a mix of solvable and deadline-bound instances.
@@ -111,8 +161,64 @@ struct ClientReport {
     worst_overshoot_ms: f64,
 }
 
+/// A named result for the optional `--out` metrics fragment.
+struct OutMetric {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    better: &'static str,
+}
+
 fn main() {
     let args = parse_args();
+    let mut out_metrics: Vec<OutMetric> = Vec::new();
+    let mut failed = false;
+
+    if args.connections > 0 || args.pipeline > 1 {
+        failed |= !pipeline_phase(&args, &mut out_metrics);
+    } else {
+        failed |= !mixed_phase(&args, &mut out_metrics);
+    }
+    if args.store_compare {
+        failed |= !store_phase(&args, &mut out_metrics);
+    }
+
+    if let Some(path) = &args.out {
+        let metric_map: Vec<(String, Json)> = out_metrics
+            .iter()
+            .map(|m| {
+                (
+                    m.name.to_string(),
+                    Json::Obj(vec![
+                        ("value".into(), Json::Num(round3(m.value))),
+                        ("unit".into(), Json::Str(m.unit.into())),
+                        ("better".into(), Json::Str(m.better.into())),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("htd-bench/v1".into())),
+            ("bench".into(), Json::Str("service_load".into())),
+            ("metrics".into(), Json::Obj(metric_map)),
+        ]);
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("service_load: cannot write {path}: {e}");
+            failed = true;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+// ------------------------------------------------------------ mixed phase
+
+/// The original workload: blocking clients, mixed warm/cold draws.
+fn mixed_phase(args: &Args, out: &mut Vec<OutMetric>) -> bool {
+    let requests = args.requests.unwrap_or(200);
     let server = Server::start(ServeOptions {
         addr: "127.0.0.1:0".into(),
         threads: 4,
@@ -130,7 +236,7 @@ fn main() {
     println!(
         "service_load: {} clients x {} requests, intended hit ratio {}%, deadline {}ms, corpus {}",
         args.clients,
-        args.requests,
+        requests,
         args.hit_ratio,
         args.deadline_ms,
         corpus.len()
@@ -172,7 +278,7 @@ fn main() {
                     };
                     // deterministic per-client mixing, no RNG needed
                     let mut x = 0x9e3779b97f4a7c15u64 ^ (ci as u64) << 32;
-                    for i in 0..args.requests {
+                    for i in 0..requests {
                         x = x
                             .wrapping_mul(6364136223846793005)
                             .wrapping_add(1442695040888963407);
@@ -183,7 +289,7 @@ fn main() {
                             (*o, s.clone())
                         } else {
                             // unique hard instance: guaranteed cold
-                            let n = 20 + ((ci * args.requests + i) % 12) as u32;
+                            let n = 20 + ((ci * requests + i) % 12) as u32;
                             let seed = (ci as u64) << 32 | i as u64;
                             let g = gen::random_gnp(n, 0.45, seed);
                             (Objective::Treewidth, io::write_pace_gr(&g))
@@ -238,7 +344,7 @@ fn main() {
         .iter()
         .map(|r| r.worst_overshoot_ms)
         .fold(0.0f64, f64::max);
-    let total = (args.clients * args.requests) as f64;
+    let total = (args.clients * requests) as f64;
 
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["wall clock [s]".into(), f2(wall.as_secs_f64())]);
@@ -280,22 +386,293 @@ fn main() {
     server.wait();
     println!("server drained cleanly");
 
-    let mut failed = false;
+    out.push(OutMetric {
+        name: "service_load_warm_p50_ms",
+        value: quantile(&warm, 0.5),
+        unit: "ms",
+        better: "lower",
+    });
+    out.push(OutMetric {
+        name: "service_load_throughput_rps",
+        value: total / wall.as_secs_f64().max(1e-9),
+        unit: "req/s",
+        better: "higher",
+    });
+
+    let mut ok_phase = true;
     if !cold.is_empty() && !warm.is_empty() && speedup < 10.0 {
         eprintln!(
             "FAIL: warm cache hits must be >=10x faster than cold solves (got {speedup:.1}x)"
         );
-        failed = true;
+        ok_phase = false;
     }
     if worst_overshoot > 100.0 {
         eprintln!("FAIL: a cold request exceeded its deadline by {worst_overshoot:.0}ms (>100ms)");
-        failed = true;
+        ok_phase = false;
     }
     if !probes_stayed_up {
         eprintln!("FAIL: /healthz or /metrics stopped answering during the run");
-        failed = true;
+        ok_phase = false;
     }
-    if failed {
-        std::process::exit(1);
+    ok_phase
+}
+
+// -------------------------------------------------------- pipeline phase
+
+/// Pipelined batches against the event-loop front end: `connections`
+/// concurrent sockets, each keeping `pipeline` requests in flight and
+/// matching responses by id. The phase **fails on a single dropped,
+/// duplicated, or mismatched response** — correctness first, then p95.
+fn pipeline_phase(args: &Args, out: &mut Vec<OutMetric>) -> bool {
+    let connections = args.connections.max(1);
+    let pipeline = args.pipeline.max(1);
+    // per-connection request count: default two batches per connection
+    let per_conn = args.requests.unwrap_or(pipeline * 2).max(pipeline);
+    let rounds = per_conn / pipeline;
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        cache_mb: 32,
+        queue_capacity: 1024,
+        default_deadline_ms: args.deadline_ms.max(2_000),
+        log: false,
+        event_loop: true,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let corpus = corpus();
+
+    println!(
+        "service_load[pipeline]: {connections} connections x {rounds} rounds x {pipeline} in flight (event loop)"
+    );
+
+    // warm the cache so pipelined batches measure the front end, not the
+    // solver: every request below should be answered at admission
+    {
+        let mut c = Client::connect(&addr).unwrap();
+        for (obj, text) in &corpus {
+            let _ = c.solve(*obj, InstanceFormat::Auto, text, Some(10_000));
+        }
     }
+
+    let t0 = Instant::now();
+    let results: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|ci| {
+                let addr = addr.clone();
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    let mut lat: Vec<f64> = Vec::new();
+                    let mut dropped = 0u64;
+                    let mut garbled = 0u64;
+                    let Ok(mut client) = Client::connect(&addr) else {
+                        return (lat, per_conn as u64, 0);
+                    };
+                    for round in 0..rounds {
+                        let mut ids: Vec<String> = Vec::with_capacity(pipeline);
+                        let t = Instant::now();
+                        for k in 0..pipeline {
+                            let (obj, text) = &corpus[(ci + round * 3 + k) % corpus.len()];
+                            let (req, id) = client.solve_request(
+                                *obj,
+                                InstanceFormat::Auto,
+                                text,
+                                Some(10_000),
+                            );
+                            if client.send(&req).is_err() {
+                                dropped += 1;
+                                continue;
+                            }
+                            ids.push(id);
+                        }
+                        // collect the whole batch; responses may arrive in
+                        // any order — strike each id off exactly once
+                        for _ in 0..ids.len() {
+                            match client.recv() {
+                                Ok(r) => {
+                                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                                    let matched =
+                                        r.id.as_ref()
+                                            .and_then(|id| ids.iter().position(|x| x == id));
+                                    match matched {
+                                        Some(pos) if r.status == Status::Ok => {
+                                            ids.swap_remove(pos);
+                                        }
+                                        Some(pos) => {
+                                            ids.swap_remove(pos);
+                                            garbled += 1; // admitted but not ok
+                                        }
+                                        None => garbled += 1, // unknown/duplicate id
+                                    }
+                                }
+                                Err(_) => {
+                                    dropped += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        dropped += ids.len() as u64; // never answered
+                    }
+                    (lat, dropped, garbled)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut lat: Vec<f64> = results.iter().flat_map(|r| r.0.iter().copied()).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let dropped: u64 = results.iter().map(|r| r.1).sum();
+    let garbled: u64 = results.iter().map(|r| r.2).sum();
+    let total = lat.len() as f64;
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["wall clock [s]".into(), f2(wall.as_secs_f64())]);
+    t.row(vec![
+        "throughput [req/s]".into(),
+        f2(total / wall.as_secs_f64().max(1e-9)),
+    ]);
+    t.row(vec!["responses".into(), lat.len().to_string()]);
+    t.row(vec!["p50 [ms]".into(), f2(quantile(&lat, 0.5))]);
+    t.row(vec!["p95 [ms]".into(), f2(quantile(&lat, 0.95))]);
+    t.row(vec!["dropped".into(), dropped.to_string()]);
+    t.row(vec!["garbled".into(), garbled.to_string()]);
+    t.print();
+
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.wait();
+    println!("server drained cleanly");
+
+    out.push(OutMetric {
+        name: "service_pipeline_p95_ms",
+        value: quantile(&lat, 0.95),
+        unit: "ms",
+        better: "lower",
+    });
+    out.push(OutMetric {
+        name: "service_pipeline_rps",
+        value: total / wall.as_secs_f64().max(1e-9),
+        unit: "req/s",
+        better: "higher",
+    });
+    out.push(OutMetric {
+        name: "service_pipeline_dropped",
+        value: (dropped + garbled) as f64,
+        unit: "count",
+        better: "lower",
+    });
+
+    if dropped + garbled > 0 {
+        eprintln!("FAIL: pipelined phase dropped {dropped} and garbled {garbled} responses");
+        return false;
+    }
+    true
+}
+
+// ----------------------------------------------------------- store phase
+
+/// Warm-restart comparison: cold p50 without a store vs first-request
+/// p50 after rebooting onto a populated store directory.
+fn store_phase(args: &Args, out: &mut Vec<OutMetric>) -> bool {
+    let corpus = corpus();
+    let dir = std::env::temp_dir().join(format!("htd-service-load-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let deadline = args.deadline_ms.max(500);
+
+    let solve_corpus = |server: &Server| -> Vec<(f64, bool)> {
+        let addr = server.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        corpus
+            .iter()
+            .map(|(obj, text)| {
+                let t = Instant::now();
+                let r = client
+                    .solve(*obj, InstanceFormat::Auto, text, Some(deadline))
+                    .expect("transport");
+                (t.elapsed().as_secs_f64() * 1e3, r.cached)
+            })
+            .collect()
+    };
+    let shutdown = |server: Server| {
+        let addr = server.addr().to_string();
+        Client::connect(&addr).unwrap().shutdown().unwrap();
+        server.wait();
+    };
+    let opts = |store: bool| ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        default_deadline_ms: deadline,
+        log: false,
+        store_dir: store.then(|| dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    println!(
+        "service_load[store]: {} instances, deadline {deadline}ms",
+        corpus.len()
+    );
+
+    // 1. store-less cold start: every request pays the full solve
+    let server = Server::start(opts(false)).expect("bind");
+    let cold: Vec<f64> = solve_corpus(&server)
+        .into_iter()
+        .map(|(ms, _)| ms)
+        .collect();
+    shutdown(server);
+
+    // 2. populate the store, then 3. reboot onto it: the warm restart
+    // should answer from oracle-re-verified store entries
+    let server = Server::start(opts(true)).expect("bind");
+    let _ = solve_corpus(&server);
+    shutdown(server);
+    let server = Server::start(opts(true)).expect("bind");
+    let restarted = solve_corpus(&server);
+    shutdown(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cold_sorted = cold.clone();
+    cold_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut warm_sorted: Vec<f64> = restarted.iter().map(|(ms, _)| *ms).collect();
+    warm_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let served_from_store = restarted.iter().filter(|(_, cached)| *cached).count();
+    let cold_p50 = quantile(&cold_sorted, 0.5);
+    let warm_p50 = quantile(&warm_sorted, 0.5);
+    let speedup = cold_p50 / warm_p50.max(0.001);
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["store-less cold p50 [ms]".into(), f2(cold_p50)]);
+    t.row(vec!["warm-restart p50 [ms]".into(), f2(warm_p50)]);
+    t.row(vec![
+        "served from store".into(),
+        format!("{served_from_store}/{}", restarted.len()),
+    ]);
+    t.row(vec!["restart speedup".into(), format!("{speedup:.0}x")]);
+    t.print();
+
+    out.push(OutMetric {
+        name: "store_cold_p50_ms",
+        value: cold_p50,
+        unit: "ms",
+        better: "lower",
+    });
+    out.push(OutMetric {
+        name: "store_restart_p50_ms",
+        value: warm_p50,
+        unit: "ms",
+        better: "lower",
+    });
+    out.push(OutMetric {
+        name: "store_restart_speedup",
+        value: speedup,
+        unit: "x",
+        better: "higher",
+    });
+
+    if speedup < 10.0 {
+        eprintln!("FAIL: warm restart from store must be >=10x faster than store-less cold start (got {speedup:.1}x)");
+        return false;
+    }
+    true
 }

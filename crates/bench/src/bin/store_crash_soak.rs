@@ -1,0 +1,240 @@
+//! Crash soak for the persistent certificate store.
+//!
+//! Runs a real `htd serve --store DIR` **subprocess**, hammers it with
+//! solve requests that keep appending fresh certificates, and `kill -9`s
+//! it at pseudo-random points — including, with enough iterations,
+//! mid-append. Every respawn reopens the same store directory, so each
+//! generation exercises the recovery path: truncated tails skipped,
+//! checksum-damaged records rejected, every surviving entry re-verified
+//! by the `htd-check` oracle before admission.
+//!
+//! After the soak window a final generation verifies the acceptance
+//! property: the store still opens, the whole corpus answers `ok`, and
+//! `/metrics` reports the store counters (rejects from torn writes are
+//! fine — *serving* a corrupt entry is not, and the oracle gate plus the
+//! per-record checksum make that structurally impossible).
+//!
+//! `cargo run --release -p htd-bench --bin store_crash_soak -- \
+//!     [--seconds N] [--store DIR] [--bin PATH]`
+//!
+//! The server binary defaults to `target/release/htd` (override with
+//! `--bin` or `HTD_BIN`); run `cargo build --release` first.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use htd_hypergraph::{gen, io};
+use htd_search::Objective;
+use htd_service::{Client, InstanceFormat, Status};
+
+struct Args {
+    seconds: u64,
+    store: std::path::PathBuf,
+    bin: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        seconds: 30,
+        store: std::env::temp_dir().join(format!("htd-crash-soak-{}", std::process::id())),
+        bin: std::env::var("HTD_BIN").unwrap_or_else(|_| "target/release/htd".into()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seconds" => a.seconds = it.next().and_then(|s| s.parse().ok()).expect("--seconds N"),
+            "--store" => a.store = it.next().expect("--store DIR").into(),
+            "--bin" => a.bin = it.next().expect("--bin PATH").clone(),
+            _ => {
+                eprintln!("usage: store_crash_soak [--seconds N] [--store DIR] [--bin PATH]");
+                std::process::exit(4);
+            }
+        }
+    }
+    a
+}
+
+/// Spawns `htd serve --store DIR` and returns the child plus the address
+/// parsed from its `htd-service listening on ADDR` banner.
+fn spawn_server(args: &Args) -> (Child, String) {
+    let mut child = Command::new(&args.bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--quiet",
+            "--store",
+        ])
+        .arg(&args.store)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("store_crash_soak: cannot spawn {}: {e}", args.bin);
+            eprintln!("build it first: cargo build --release");
+            std::process::exit(5);
+        });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().and_then(|l| l.ok()).unwrap_or_default();
+    let addr = banner.rsplit(' ').next().unwrap_or("").to_string();
+    if !banner.contains("listening") || addr.is_empty() {
+        let mut err = String::new();
+        if let Some(mut stderr) = child.stderr.take() {
+            let _ = stderr.read_to_string(&mut err);
+        }
+        let _ = child.kill();
+        eprintln!("store_crash_soak: no listening banner (got {banner:?}): {err}");
+        std::process::exit(5);
+    }
+    // keep draining stdout so the child never blocks on a full pipe
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn connect_with_retry(addr: &str) -> Option<Client> {
+    for _ in 0..50 {
+        if let Ok(c) = Client::connect(addr) {
+            return Some(c);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    None
+}
+
+fn metric_value(metrics_text: &str, name: &str) -> Option<f64> {
+    metrics_text.lines().find_map(|l| {
+        l.strip_prefix(name)
+            .and_then(|rest| rest.trim().parse::<f64>().ok())
+    })
+}
+
+fn fetch_metrics(addr: &str) -> String {
+    let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+        return String::new();
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    let mut text = String::new();
+    let _ = s.read_to_string(&mut text);
+    text
+}
+
+fn main() {
+    let args = parse_args();
+    let _ = std::fs::remove_dir_all(&args.store);
+    let corpus: Vec<(Objective, String)> = vec![
+        (
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::grid_graph(4, 4)),
+        ),
+        (
+            Objective::Treewidth,
+            io::write_pace_gr(&gen::grid_graph(5, 5)),
+        ),
+        (
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::grid2d(2)),
+        ),
+        (
+            Objective::GeneralizedHypertreeWidth,
+            io::write_hg(&gen::grid2d(3)),
+        ),
+    ];
+
+    let t0 = Instant::now();
+    let deadline = Duration::from_secs(args.seconds);
+    let mut generation = 0u64;
+    let mut requests_ok = 0u64;
+    let mut mix = 0x5eed_5eed_u64;
+    println!(
+        "store_crash_soak: {}s of kill -9 against {} (store {})",
+        args.seconds,
+        args.bin,
+        args.store.display()
+    );
+
+    while t0.elapsed() < deadline {
+        generation += 1;
+        let (mut child, addr) = spawn_server(&args);
+        let Some(mut client) = connect_with_retry(&addr) else {
+            let _ = child.kill();
+            let _ = child.wait();
+            continue;
+        };
+        // kill after a pseudo-random slice of work, often mid-append
+        mix = mix
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let live_for = Duration::from_millis(40 + (mix >> 33) % 400);
+        let gen_start = Instant::now();
+        let mut i = 0u64;
+        while gen_start.elapsed() < live_for && t0.elapsed() < deadline {
+            // mix replayed corpus entries with fresh instances so every
+            // generation keeps appending new certificates
+            let r = if i % 3 == 0 {
+                let (obj, text) = &corpus[(generation + i) as usize % corpus.len()];
+                client.solve(*obj, InstanceFormat::Auto, text, Some(1_000))
+            } else {
+                let n = 10 + ((generation * 7 + i) % 6) as u32;
+                let g = gen::random_gnp(n, 0.4, generation << 16 | i);
+                client.solve(
+                    Objective::Treewidth,
+                    InstanceFormat::Auto,
+                    &io::write_pace_gr(&g),
+                    Some(1_000),
+                )
+            };
+            match r {
+                Ok(resp) if resp.status == Status::Ok => requests_ok += 1,
+                Ok(_) => {}
+                Err(_) => break, // the axe may already have fallen
+            }
+            i += 1;
+        }
+        let _ = child.kill(); // SIGKILL: no drain, no flush, no goodbye
+        let _ = child.wait();
+    }
+
+    // final generation: the store must open and serve after every crash
+    let (mut child, addr) = spawn_server(&args);
+    let mut client = connect_with_retry(&addr).expect("final server reachable");
+    let mut final_ok = true;
+    for (obj, text) in &corpus {
+        match client.solve(*obj, InstanceFormat::Auto, text, Some(5_000)) {
+            Ok(r) if r.status == Status::Ok => {}
+            other => {
+                eprintln!("FAIL: corpus request after soak returned {other:?}");
+                final_ok = false;
+            }
+        }
+    }
+    let metrics_text = fetch_metrics(&addr);
+    let loaded = metric_value(&metrics_text, "htd_store_loaded_total").unwrap_or(-1.0);
+    let rejects = metric_value(&metrics_text, "htd_store_rejects_total").unwrap_or(-1.0);
+    let truncated = metric_value(&metrics_text, "htd_store_truncated_total").unwrap_or(-1.0);
+    let _ = client.shutdown();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&args.store);
+
+    println!(
+        "soak done: {generation} kills, {requests_ok} ok requests; final load: \
+         loaded={loaded} rejected={rejects} truncated={truncated}"
+    );
+    if loaded < 0.0 {
+        eprintln!("FAIL: /metrics did not report htd_store_loaded_total");
+        final_ok = false;
+    }
+    if generation > 0 && requests_ok == 0 {
+        eprintln!("FAIL: soak produced no successful requests — nothing was exercised");
+        final_ok = false;
+    }
+    if !final_ok {
+        std::process::exit(1);
+    }
+    println!("store survived every crash: no corrupt entry served, corpus answers ok");
+}

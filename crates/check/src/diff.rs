@@ -258,6 +258,49 @@ pub fn verify_outcome(problem: &Problem, outcome: &Outcome) -> CheckReport {
     report
 }
 
+/// Store re-verification entry point: judges an untrusted [`Outcome`]
+/// loaded from a persistent certificate store against its freshly
+/// rebuilt [`Problem`].
+///
+/// Strictly stronger than [`verify_outcome`]: disk bytes are not a
+/// proof, so every claim must be *re-derivable* by the oracle before a
+/// restarted server may serve it warm —
+///
+/// * an upper bound without an ordering witness is rejected (there is
+///   nothing to re-derive the bound from);
+/// * `hw` outcomes are rejected outright: their witness is the
+///   decomposition tree inside det-k-decomp, which the outcome schema
+///   does not carry, so an untrusted `hw` claim cannot be re-checked;
+/// * everything [`verify_outcome`] checks (bounds order, exactness
+///   bookkeeping, witness permutation, oracle-judged rebuild, claimed
+///   width) applies unchanged.
+///
+/// A report with violations means the entry must be dropped and the
+/// request recomputed — never served.
+pub fn verify_store_entry(problem: &Problem, outcome: &Outcome) -> CheckReport {
+    let mut report = verify_outcome(problem, outcome);
+    report.subject = format!("store[{}]", outcome.objective.name());
+    if outcome.objective == Objective::HypertreeWidth {
+        report.push(
+            Condition::OutcomeConsistency,
+            "hw outcomes carry no re-derivable witness and are not admissible from an \
+             untrusted store"
+                .to_string(),
+        );
+        return report;
+    }
+    if outcome.upper != u32::MAX && outcome.witness.is_none() {
+        report.push(
+            Condition::WitnessWidth,
+            format!(
+                "stored upper bound {} carries no witness ordering to re-derive",
+                outcome.upper
+            ),
+        );
+    }
+    report
+}
+
 fn run_arm(
     report: &mut CheckReport,
     claims: &mut Vec<Claim>,

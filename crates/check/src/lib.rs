@@ -37,7 +37,7 @@ pub mod shrink;
 
 pub use answers::{answer_case, diff_answers};
 pub use certificate::{BudgetBlock, Certificate};
-pub use diff::{diff_ghw, diff_tw, verify_outcome, DiffConfig};
+pub use diff::{diff_ghw, diff_tw, verify_outcome, verify_store_entry, DiffConfig};
 pub use metamorphic::{case, run_metamorphic_case, Case, SplitMix64, NUM_FAMILIES};
 pub use oracle::{
     check_decomposition, check_ghd, check_graph_td, check_hd, check_td, Level, RawDecomposition,

@@ -173,6 +173,13 @@ pub struct Options {
     pub mode: Option<String>,
     /// `answer`: maximum enumerated answers.
     pub limit: Option<u64>,
+    /// `serve`: directory of the persistent verified certificate store;
+    /// loaded entries are oracle-re-verified before warming the cache.
+    pub store: Option<String>,
+    /// `serve`: use the non-blocking event-loop front end (pipelined
+    /// batches, one thread for all connections) instead of
+    /// thread-per-connection.
+    pub event_loop: bool,
 }
 
 impl Default for Options {
@@ -200,6 +207,8 @@ impl Default for Options {
             dp: false,
             mode: None,
             limit: None,
+            store: None,
+            event_loop: false,
         }
     }
 }
@@ -301,6 +310,14 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
             "--cache-mb" => o.cache_mb = (numeric(&mut it, "--cache-mb")? as usize).max(1),
             "--memory-mb" => o.memory_mb = Some(numeric(&mut it, "--memory-mb")?.max(1)),
             "--chaos" => o.chaos_seed = Some(numeric(&mut it, "--chaos")?),
+            "--store" => {
+                o.store = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--store needs a directory".into()))?
+                        .clone(),
+                )
+            }
+            "--event-loop" => o.event_loop = true,
             "--dp" => o.dp = true,
             "--queue" => o.queue = (numeric(&mut it, "--queue")? as usize).max(1),
             "--objective" => {
@@ -784,6 +801,8 @@ pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
         verify_responses: o.verify,
         memory_mb: o.memory_mb,
         chaos: o.chaos_seed.map(htd_service::FaultPlan::chaos),
+        store_dir: o.store.as_ref().map(std::path::PathBuf::from),
+        event_loop: o.event_loop,
         ..ServeOptions::default()
     };
     htd_service::run_until_shutdown(opts).map_err(|e| HtdError::Io(e.to_string()))?;
@@ -859,6 +878,8 @@ answer:       --mode bool|count|enum  --limit N  (--addr to use a server)
 serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
               --verify (serve: oracle-check responses before caching)
               --chaos SEED (serve: deterministic fault injection, testing)
+              --store DIR (serve: persistent verified certificate store)
+              --event-loop (serve: non-blocking front end, pipelined batches)
 `htd <command> --help` prints command-specific usage.";
 
 /// Per-command usage text (`htd <cmd> --help`).
@@ -928,7 +949,7 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             decomposition; --format json prints the Answer object."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
-        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--verify] [--quiet]\n\
+        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--store DIR] [--event-loop] [--verify] [--quiet]\n\
             Runs the decomposition server (htd-service): newline-delimited JSON\n\
             requests over TCP, canonical-form result caching, per-request\n\
             deadlines, bounded-queue backpressure, and HTTP GET /healthz and\n\
@@ -941,6 +962,12 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             and are marked degraded:true); --chaos SEED turns on seeded\n\
             fault injection — panicking workers, stalls, allocation\n\
             starvation — for resilience testing (see docs/robustness.md);\n\
+            --store DIR backs the cache with an append-only certificate\n\
+            store so restarts serve warm (every loaded entry is re-verified\n\
+            by the htd-check oracle; tampered entries are dropped and tick\n\
+            htd_store_rejects_total); --event-loop serves all connections\n\
+            from one non-blocking poll(2) loop with pipelined batches\n\
+            (responses matched by request id; see docs/service.md);\n\
             --quiet disables per-request log\n\
             lines. Shut down with SIGINT or a {\"cmd\":\"shutdown\"} request:\n\
             the server drains in-flight work and exits."),

@@ -1,5 +1,11 @@
 //! A small blocking client for the newline-JSON protocol, used by
 //! `htd query`, the `service_load` bench and the integration tests.
+//!
+//! Beyond the one-request-one-response helpers, [`Client::send`] /
+//! [`Client::recv`] split the cycle for *pipelined* use against the
+//! event-loop front end: write a batch of requests without waiting,
+//! then collect the responses (possibly out of order — match them by
+//! the request id each send returned).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -15,9 +21,14 @@ use crate::protocol::{
 
 /// One connection to a running server.
 pub struct Client {
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Set when an I/O error interrupted a request mid-frame: the socket
+    /// may hold a half-written request or a half-read response, so it
+    /// must not carry another frame. The next request reconnects.
+    poisoned: bool,
 }
 
 impl Client {
@@ -26,33 +37,113 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         Ok(Client {
+            addr: addr.to_string(),
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             next_id: 0,
+            poisoned: false,
         })
     }
 
-    /// Sends one request and reads one response line.
-    pub fn request(&mut self, req: &Request) -> Result<Response, HtdError> {
+    /// Drops the existing socket and dials the server again. Any
+    /// responses still in flight on the old connection are lost.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// `true` when the last request died mid-frame and the connection
+    /// can no longer be trusted with another frame.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bounds how long [`Client::recv`] (and the blocking helpers) wait
+    /// for a response frame. `None` waits forever. The timeout does not
+    /// survive [`Client::reconnect`].
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        let _ = self.reader.get_ref().set_read_timeout(timeout);
+    }
+
+    fn heal(&mut self) -> Result<(), HtdError> {
+        if self.poisoned {
+            self.reconnect().map_err(|e| HtdError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Writes one request frame without waiting for the response
+    /// (pipelining). Responses arrive via [`Client::recv`], matched by
+    /// the request's id — the event-loop server may complete them out
+    /// of send order.
+    pub fn send(&mut self, req: &Request) -> Result<(), HtdError> {
+        self.heal()?;
         let line = req.to_json().to_string();
         self.writer
             .write_all(line.as_bytes())
             .and_then(|_| self.writer.write_all(b"\n"))
             .and_then(|_| self.writer.flush())
-            .map_err(|e| HtdError::Io(e.to_string()))?;
+            .map_err(|e| {
+                self.poisoned = true;
+                HtdError::Io(e.to_string())
+            })
+    }
+
+    /// Reads one response frame (blocking until the server writes one).
+    pub fn recv(&mut self) -> Result<Response, HtdError> {
         let mut reply = String::new();
-        self.reader
-            .read_line(&mut reply)
-            .map_err(|e| HtdError::Io(e.to_string()))?;
+        self.reader.read_line(&mut reply).map_err(|e| {
+            self.poisoned = true;
+            HtdError::Io(e.to_string())
+        })?;
         if reply.is_empty() {
+            self.poisoned = true;
             return Err(HtdError::Io("server closed the connection".into()));
         }
         Response::from_json(&Json::parse(reply.trim())?)
     }
 
+    /// Sends one request and reads one response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, HtdError> {
+        self.send(req)?;
+        self.recv()
+    }
+
     fn fresh_id(&mut self) -> String {
         self.next_id += 1;
         format!("c{}", self.next_id)
+    }
+
+    /// Builds a solve request with a fresh id (for pipelined batches);
+    /// returns the request and its id.
+    pub fn solve_request(
+        &mut self,
+        objective: Objective,
+        format: InstanceFormat,
+        instance: &str,
+        deadline_ms: Option<u64>,
+    ) -> (Request, String) {
+        let id = self.fresh_id();
+        (
+            Request {
+                id: Some(id.clone()),
+                cmd: Command::Solve(SolveRequest {
+                    objective,
+                    format,
+                    instance: instance.to_string(),
+                    deadline_ms,
+                    budget: None,
+                    threads: None,
+                    engines: None,
+                    use_cache: true,
+                }),
+            },
+            id,
+        )
     }
 
     /// Solves `instance` with the given objective and deadline.
@@ -63,20 +154,8 @@ impl Client {
         instance: &str,
         deadline_ms: Option<u64>,
     ) -> Result<Response, HtdError> {
-        let id = self.fresh_id();
-        self.request(&Request {
-            id: Some(id),
-            cmd: Command::Solve(SolveRequest {
-                objective,
-                format,
-                instance: instance.to_string(),
-                deadline_ms,
-                budget: None,
-                threads: None,
-                engines: None,
-                use_cache: true,
-            }),
-        })
+        let (req, _) = self.solve_request(objective, format, instance, deadline_ms);
+        self.request(&req)
     }
 
     /// Answers the conjunctive query `query` (text or JSON format of
@@ -111,6 +190,11 @@ impl Client {
     /// (including errors) return immediately; after `max_retries`
     /// rejections the last rejection is returned as-is so the caller
     /// still sees the backpressure signal.
+    ///
+    /// A transport error mid-request leaves a half-written frame (or a
+    /// half-read response) on the socket, so the retry **reconnects
+    /// first** — re-sending on the poisoned connection would splice two
+    /// frames together and desynchronize every later exchange.
     pub fn solve_with_retry(
         &mut self,
         objective: Objective,
@@ -122,17 +206,29 @@ impl Client {
     ) -> Result<Response, HtdError> {
         let mut attempt = 0u32;
         loop {
-            let r = self.solve(objective, format, instance, deadline_ms)?;
-            if r.status != Status::Rejected || attempt >= max_retries {
-                return Ok(r);
+            match self.solve(objective, format, instance, deadline_ms) {
+                Ok(r) if r.status != Status::Rejected || attempt >= max_retries => return Ok(r),
+                Ok(r) => {
+                    let hint = std::time::Duration::from_millis(r.retry_after_ms.unwrap_or(50));
+                    std::thread::sleep(htd_resilience::backoff_with_jitter(
+                        hint,
+                        attempt,
+                        seed,
+                        std::time::Duration::from_secs(2),
+                    ));
+                }
+                Err(HtdError::Io(_)) if attempt < max_retries => {
+                    // poisoned transport: dial fresh before re-sending
+                    self.reconnect().map_err(|e| HtdError::Io(e.to_string()))?;
+                    std::thread::sleep(htd_resilience::backoff_with_jitter(
+                        std::time::Duration::from_millis(50),
+                        attempt,
+                        seed,
+                        std::time::Duration::from_secs(2),
+                    ));
+                }
+                Err(e) => return Err(e),
             }
-            let hint = std::time::Duration::from_millis(r.retry_after_ms.unwrap_or(50));
-            std::thread::sleep(htd_resilience::backoff_with_jitter(
-                hint,
-                attempt,
-                seed,
-                std::time::Duration::from_secs(2),
-            ));
             attempt += 1;
         }
     }

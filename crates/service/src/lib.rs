@@ -35,14 +35,30 @@
 //! same socket also answers plain HTTP probes. `htd serve` / `htd query`
 //! front this crate from the CLI, and the `service_load` and
 //! `answer_load` benches replay generated corpora against it.
+//!
+//! Two subsystems extend the core server:
+//!
+//! * **Event-loop front end** ([`event_loop`]) — a readiness-based
+//!   non-blocking acceptor/reader/writer loop (raw `poll(2)`, no runtime
+//!   dependency) with per-connection state machines, buffered
+//!   partial-frame handling, and a *pipelined batch mode*: multiple
+//!   newline-JSON requests in flight per connection, responses matched
+//!   by request id. Enabled with `htd serve --event-loop`.
+//! * **Persistent verified certificate store** ([`store`]) — an
+//!   append-only, crash-tolerant log of solved outcomes keyed by
+//!   canonical fingerprint; every entry is re-proved by the `htd-check`
+//!   oracle on load before it may warm the cache. Enabled with
+//!   `htd serve --store DIR`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod event_loop;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::ResultCache;
 pub use client::Client;
@@ -50,6 +66,7 @@ pub use htd_query::{Answer, AnswerMode};
 pub use htd_resilience::FaultPlan;
 pub use metrics::Metrics;
 pub use protocol::{
-    AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
+    parse_problem, AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
 };
 pub use server::{run_until_shutdown, ServeOptions, Server};
+pub use store::{CertStore, StoreRecord, StoreStats};

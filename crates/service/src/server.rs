@@ -38,6 +38,7 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -56,8 +57,9 @@ use parking_lot::Mutex;
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    parse_problem, AnswerRequest, Command, Request, Response, SolveRequest, Status,
+    parse_problem, AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
 };
+use crate::store::{CertStore, StoreRecord};
 
 /// Slack subtracted from the remaining deadline when budgeting a solve,
 /// covering admission/serialization overhead around the engine run.
@@ -65,15 +67,15 @@ const DEADLINE_SLACK: Duration = Duration::from_millis(10);
 /// How often the watchdog scans for expired deadlines.
 const WATCHDOG_PERIOD: Duration = Duration::from_millis(2);
 /// Extra time a connection waits for its worker beyond the deadline.
-const REPLY_GRACE: Duration = Duration::from_secs(2);
+pub(crate) const REPLY_GRACE: Duration = Duration::from_secs(2);
 /// Largest accepted request frame. A line still unfinished at this many
 /// bytes gets a structured protocol error instead of buffering without
 /// bound, and the connection is closed (the remainder of the oversized
 /// frame is never read).
-const MAX_FRAME: u64 = 8 << 20;
+pub(crate) const MAX_FRAME: u64 = 8 << 20;
 /// Largest serialized response written back on a connection; anything
 /// bigger is replaced by a structured internal error.
-const MAX_RESPONSE: usize = 32 << 20;
+pub(crate) const MAX_RESPONSE: usize = 32 << 20;
 /// Query shapes kept in the answer shape cache. Each entry is one
 /// elimination ordering (a few dozen bytes), so the cache is cheap; the
 /// bound only guards against unbounded shape churn.
@@ -117,6 +119,17 @@ pub struct ServeOptions {
     /// How long a benched engine stays out before the breaker half-opens
     /// and lets one probe solve try it again.
     pub breaker_probe_ms: u64,
+    /// Directory of the persistent verified certificate store. `Some`
+    /// opens (creating if absent) `store.log` under it, re-verifies every
+    /// record with the `htd-check` oracle, warms the result cache with
+    /// the survivors, and appends every new cacheable solve — so a
+    /// restarted node serves warm without ever trusting disk.
+    pub store_dir: Option<PathBuf>,
+    /// Serve connections from the readiness-based non-blocking event
+    /// loop ([`crate::event_loop`]) instead of a thread per connection.
+    /// The event loop additionally supports pipelined batches: many
+    /// requests in flight per connection, responses matched by id.
+    pub event_loop: bool,
 }
 
 impl Default for ServeOptions {
@@ -133,8 +146,62 @@ impl Default for ServeOptions {
             chaos: None,
             breaker_threshold: 3,
             breaker_probe_ms: 500,
+            store_dir: None,
+            event_loop: false,
         }
     }
+}
+
+/// Where a worker's finished [`Response`] goes: back to a blocking
+/// connection thread over a channel, or into the event loop's completion
+/// queue to be written when the connection is next writable.
+pub(crate) enum ReplySink {
+    /// Thread-per-connection path: the connection thread blocks on the
+    /// receiving end with `recv_timeout(deadline + REPLY_GRACE)`.
+    Channel(mpsc::Sender<Response>),
+    /// Event-loop path: push the response, tagged with the connection id
+    /// and per-connection token, and wake the loop.
+    Loop {
+        conn: u64,
+        token: u64,
+        completions: Arc<crate::event_loop::Completions>,
+    },
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, response: Response) {
+        match self {
+            // a dropped receiver means the connection went away; the
+            // result is already cached, so losing the reply is harmless
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplySink::Loop {
+                conn,
+                token,
+                completions,
+            } => completions.push(*conn, *token, response),
+        }
+    }
+}
+
+/// What admission decided about a request, before any worker ran.
+// `Ready` dwarfs `Queued`, but an `Admission` lives only for the few
+// instructions between `admit_request` and the caller's `match`; boxing
+// would put an allocation on the cache-hit fast path for nothing.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Admission {
+    /// Answered on the spot: probe, cache hit, parse error, backpressure
+    /// rejection, or drain refusal.
+    Ready(Response),
+    /// Queued for a worker; the response will arrive on the job's
+    /// [`ReplySink`] no later than `deadline + REPLY_GRACE`.
+    Queued {
+        id: Option<String>,
+        fingerprint: Option<String>,
+        deadline: Instant,
+        received: Instant,
+    },
 }
 
 /// A unit of queued work: a decomposition solve or a conjunctive-query
@@ -151,7 +218,7 @@ struct Job {
     /// When the job entered the work queue; the pop-to-push delta is the
     /// queue-wait component of the latency split.
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
 }
 
 /// What a queued job actually computes.
@@ -168,6 +235,12 @@ struct SolveWork {
     canonical_complete: bool,
     objective_name: &'static str,
     budget: Option<u64>,
+    /// The original instance text + format, kept so a cacheable outcome
+    /// can be appended to the certificate store (whose loader re-parses
+    /// the instance to re-verify the certificate from scratch). Empty
+    /// when no store is configured.
+    instance: String,
+    format: InstanceFormat,
 }
 
 struct AnswerWork {
@@ -254,7 +327,7 @@ impl WorkQueue {
 }
 
 /// State shared by every thread of one server.
-struct Inner {
+pub(crate) struct Inner {
     opts: ServeOptions,
     cache: ResultCache,
     /// Decompositions shared across `answer` requests of the same query
@@ -263,25 +336,28 @@ struct Inner {
     /// is shared — answers are always evaluated against the request's
     /// own data.
     shapes: Arc<ShapeCache>,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     queue: WorkQueue,
     /// Draining: refuse new solves, finish queued + in-flight work.
     draining: AtomicBool,
     /// Final stop: workers/watchdog/acceptor exit.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// In-flight deadline registry scanned by the watchdog.
     registry: Mutex<Vec<(Instant, Arc<Incumbent>)>>,
-    conn_seq: AtomicU64,
+    pub(crate) conn_seq: AtomicU64,
     /// Seeded fault injector (`opts.chaos`); `None` in production.
     injector: Option<Arc<FaultInjector>>,
     /// One circuit breaker per portfolio engine: engines whose reports
     /// keep coming back `panicked` are benched from the lineup until the
     /// probe interval passes.
     breakers: Vec<(Engine, CircuitBreaker)>,
+    /// Persistent verified certificate store (`opts.store_dir`); `None`
+    /// when the server runs memory-only.
+    store: Option<CertStore>,
 }
 
 impl Inner {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
     }
 
@@ -353,7 +429,7 @@ impl Inner {
             .set(open as i64);
     }
 
-    fn log(&self, line: std::fmt::Arguments<'_>) {
+    pub(crate) fn log(&self, line: std::fmt::Arguments<'_>) {
         if self.opts.log {
             eprintln!("[htd-service +{}ms] {line}", self.metrics.uptime_ms());
         }
@@ -375,6 +451,7 @@ impl Server {
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
+        widen_accept_backlog(&listener);
         let addr = listener.local_addr()?;
         let threads = opts.threads.max(1);
         let injector = opts.chaos.map(FaultInjector::new);
@@ -390,8 +467,28 @@ impl Server {
                 )
             })
             .collect();
+        // open the certificate store (if any) before serving: every
+        // record is re-verified by the oracle inside `CertStore::open`,
+        // and only survivors warm the result cache
+        let cache = ResultCache::new(opts.cache_mb.max(1) * (1 << 20));
+        let store = match &opts.store_dir {
+            Some(dir) => {
+                let (store, records) = CertStore::open(dir)?;
+                for rec in &records {
+                    cache.admit(
+                        rec.fingerprint,
+                        &rec.canonical,
+                        rec.objective,
+                        &rec.outcome,
+                        rec.effort_ms,
+                    );
+                }
+                Some(store)
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
-            cache: ResultCache::new(opts.cache_mb.max(1) * (1 << 20)),
+            cache,
             shapes: Arc::new(ShapeCache::new(SHAPE_CACHE_CAPACITY)),
             metrics: Metrics::new(),
             queue: WorkQueue::new(opts.queue_capacity),
@@ -401,10 +498,12 @@ impl Server {
             conn_seq: AtomicU64::new(0),
             injector,
             breakers,
+            store,
             opts,
         });
         inner.log(format_args!(
-            "listening on {addr} workers={threads} cache_mb={} queue={} chaos={} memory_mb={}",
+            "listening on {addr} workers={threads} cache_mb={} queue={} chaos={} memory_mb={} \
+             event_loop={} store={}",
             inner.opts.cache_mb,
             inner.opts.queue_capacity,
             inner
@@ -415,7 +514,23 @@ impl Server {
                 .opts
                 .memory_mb
                 .map_or("-".to_string(), |m| m.to_string()),
+            inner.opts.event_loop,
+            inner
+                .opts
+                .store_dir
+                .as_deref()
+                .map_or("-".to_string(), |d| d.display().to_string()),
         ));
+        if let Some(store) = &inner.store {
+            let st = store.stats();
+            inner.log(format_args!(
+                "store warm: loaded={} rejected={} truncated={} bytes={}",
+                st.loaded,
+                st.rejected,
+                st.truncated,
+                store.bytes(),
+            ));
+        }
         // pre-register the solver-level series so `/metrics` exposes them
         // (at zero) before the first solve instead of popping in later
         let reg = htd_trace::registry();
@@ -428,6 +543,16 @@ impl Server {
         reg.counter("htd_mem_budget_aborts_total");
         reg.counter("htd_degraded_responses_total");
         reg.gauge("htd_engine_quarantined");
+        // certificate-store + event-loop series (zero when those
+        // subsystems are off, so dashboards see a stable schema)
+        reg.counter("htd_store_loaded_total");
+        reg.counter("htd_store_rejects_total");
+        reg.counter("htd_store_truncated_total");
+        reg.counter("htd_store_appends_total");
+        reg.gauge("htd_store_bytes");
+        reg.gauge("htd_eventloop_connections");
+        reg.counter("htd_eventloop_wakeups_total");
+        reg.counter("htd_pipelined_requests_total");
         // ... and the answer-pipeline series of htd-query
         reg.counter("htd_answers_total");
         reg.counter("htd_answer_shape_cache_hits_total");
@@ -464,9 +589,18 @@ impl Server {
         };
         let acceptor = {
             let inner = Arc::clone(&inner);
+            let event_loop = inner.opts.event_loop;
             thread::Builder::new()
                 .name("htd-acceptor".into())
-                .spawn(move || acceptor_loop(&inner, listener))
+                .spawn(move || {
+                    if event_loop {
+                        if let Err(e) = crate::event_loop::run(&inner, listener) {
+                            inner.log(format_args!("event loop exited with error: {e}"));
+                        }
+                    } else {
+                        acceptor_loop(&inner, listener)
+                    }
+                })
                 .expect("spawn acceptor")
         };
         Ok(Server {
@@ -536,6 +670,26 @@ impl Server {
         ));
     }
 }
+
+/// `std::net` listens with a fixed backlog of 128, which a connection
+/// storm (hundreds of clients dialing the same instant) overflows —
+/// the kernel then drops or resets handshakes before the loop ever
+/// sees them. Linux allows re-calling `listen(2)` on a listening
+/// socket to widen the queue; ask for more and let the kernel clamp
+/// to `somaxconn`. Best-effort: a failure leaves the default backlog.
+#[cfg(unix)]
+fn widen_accept_backlog(listener: &TcpListener) {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+    unsafe {
+        listen(listener.as_raw_fd(), 4096);
+    }
+}
+
+#[cfg(not(unix))]
+fn widen_accept_backlog(_listener: &TcpListener) {}
 
 #[cfg(unix)]
 fn install_signal_drain() -> &'static AtomicBool {
@@ -636,7 +790,7 @@ fn worker_loop(inner: &Inner) {
                 job.work.fingerprint_hex().unwrap_or("-"),
                 r.elapsed_ms
             ));
-            let _ = job.reply.send(r);
+            job.reply.send(r);
             continue;
         }
         inner.metrics.inflight.fetch_add(1, Ordering::SeqCst);
@@ -677,7 +831,7 @@ fn worker_loop(inner: &Inner) {
             inner.metrics.request_latency.observe(r.elapsed_ms);
         }
         let _sp = htd_trace::span!("service.respond");
-        let _ = job.reply.send(r);
+        job.reply.send(r);
     }
 }
 
@@ -786,6 +940,26 @@ fn run_solve(
                     &outcome,
                     solve_ms.ceil() as u64,
                 );
+                // persist what the cache learned: only clean, cacheable
+                // outcomes reach the log, and `CertStore::append` itself
+                // refuses anything the loader could not later re-verify
+                if let Some(store) = &inner.store {
+                    let rec = StoreRecord {
+                        objective: w.objective_name,
+                        format: w.format,
+                        instance: w.instance.clone(),
+                        fingerprint: w.fingerprint,
+                        canonical: w.canonical.clone(),
+                        effort_ms: solve_ms.ceil() as u64,
+                        outcome: outcome.clone(),
+                    };
+                    if let Err(e) = store.append(&rec) {
+                        inner.log(format_args!(
+                            "store append failed fp={}: {e}",
+                            w.fingerprint_hex
+                        ));
+                    }
+                }
             }
             inner.metrics.record_served(outcome.upper, outcome.exact);
             inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
@@ -984,10 +1158,11 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> std::io::Result<()
     }
 }
 
-/// Serializes and writes one response line, enforcing [`MAX_RESPONSE`]: an
-/// oversized body is replaced by a structured internal error so a single
-/// pathological result cannot monopolize the connection.
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// Serializes one response line (newline included), enforcing
+/// [`MAX_RESPONSE`]: an oversized body is replaced by a structured
+/// internal error so a single pathological result cannot monopolize the
+/// connection. Shared by the blocking writer and the event loop.
+pub(crate) fn response_line(response: &Response) -> Vec<u8> {
     let mut body = response.to_json().to_string();
     if body.len() > MAX_RESPONSE {
         let e = HtdError::Io(format!(
@@ -999,16 +1174,56 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Resul
         r.elapsed_ms = response.elapsed_ms;
         body = r.to_json().to_string();
     }
-    writer.write_all(body.as_bytes())?;
-    writer.write_all(b"\n")?;
+    body.push('\n');
+    body.into_bytes()
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    writer.write_all(&response_line(response))?;
     writer.flush()
 }
 
+/// Blocking dispatch for the thread-per-connection path: admit, then
+/// wait on the reply channel when the request was queued.
 fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
+    let (tx, rx) = mpsc::channel();
+    match admit_request(inner, req, ReplySink::Channel(tx)) {
+        Admission::Ready(r) => r,
+        Admission::Queued {
+            id,
+            fingerprint,
+            deadline,
+            received,
+        } => {
+            let timeout = (deadline + REPLY_GRACE).saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok(r) => r,
+                Err(_) => {
+                    // worker lost (should not happen); report as timeout
+                    inner
+                        .metrics
+                        .timeout_responses
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut r = Response::new(id, Status::Timeout);
+                    r.error = Some("no worker response before deadline".into());
+                    r.fingerprint = fingerprint;
+                    r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+                    r
+                }
+            }
+        }
+    }
+}
+
+/// Non-blocking admission shared by both front ends: probes answer on
+/// the spot, solves/answers either answer immediately (cache hit, parse
+/// error, drain refusal, backpressure rejection) or enter the bounded
+/// work queue with their reply routed to `sink`.
+pub(crate) fn admit_request(inner: &Arc<Inner>, req: Request, sink: ReplySink) -> Admission {
     match req.cmd {
         Command::Ping => {
             inner.metrics.ping_requests.fetch_add(1, Ordering::Relaxed);
-            Response::new(req.id, Status::Pong)
+            Admission::Ready(Response::new(req.id, Status::Pong))
         }
         Command::Stats => {
             inner.metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
@@ -1018,20 +1233,25 @@ fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
                 inner.cache.bytes(),
                 inner.draining(),
             ));
-            r
+            Admission::Ready(r)
         }
         Command::Shutdown => {
             if !inner.draining.swap(true, Ordering::SeqCst) {
                 inner.log(format_args!("drain requested by client"));
             }
-            Response::new(req.id, Status::ShuttingDown)
+            Admission::Ready(Response::new(req.id, Status::ShuttingDown))
         }
-        Command::Solve(s) => handle_solve(inner, req.id, s),
-        Command::Answer(a) => handle_answer(inner, req.id, a),
+        Command::Solve(s) => admit_solve(inner, req.id, s, sink),
+        Command::Answer(a) => admit_answer(inner, req.id, a, sink),
     }
 }
 
-fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Response {
+fn admit_solve(
+    inner: &Arc<Inner>,
+    id: Option<String>,
+    s: SolveRequest,
+    sink: ReplySink,
+) -> Admission {
     let received = Instant::now();
     inner.metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
     let deadline_ms = s.deadline_ms.unwrap_or(inner.opts.default_deadline_ms);
@@ -1052,7 +1272,7 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
                 id.as_deref().unwrap_or("-"),
                 r.error.as_deref().unwrap_or("")
             ));
-            return r;
+            return Admission::Ready(r);
         }
     };
     let canon = canonical_form(&key_hypergraph);
@@ -1084,7 +1304,7 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
                 r.outcome.as_ref().map_or(0, |o| o.upper),
                 r.elapsed_ms
             ));
-            return r;
+            return Admission::Ready(r);
         }
     }
     inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -1096,10 +1316,9 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
             .fetch_add(1, Ordering::Relaxed);
         let mut r = Response::new(id, Status::ShuttingDown);
         r.error = Some("server is draining".into());
-        return r;
+        return Admission::Ready(r);
     }
 
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         id: id.clone(),
         work: Work::Solve(SolveWork {
@@ -1110,6 +1329,14 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
             canonical_complete: canon.complete,
             objective_name,
             budget: s.budget,
+            // the instance text is only re-read by the store's loader;
+            // keep the job lean when no store is configured
+            instance: if inner.store.is_some() {
+                s.instance
+            } else {
+                String::new()
+            },
+            format: s.format,
         }),
         deadline,
         deadline_ms,
@@ -1117,7 +1344,7 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
         engines: s.engines,
         received,
         enqueued: Instant::now(),
-        reply: tx,
+        reply: sink,
     };
     inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
     if !inner.queue.try_push(job) {
@@ -1138,23 +1365,14 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
             id.as_deref().unwrap_or("-"),
             r.retry_after_ms.unwrap_or(0)
         ));
-        return r;
+        return Admission::Ready(r);
     }
 
-    match rx.recv_timeout(Duration::from_millis(deadline_ms) + REPLY_GRACE) {
-        Ok(r) => r,
-        Err(_) => {
-            // worker lost (should not happen); report as timeout
-            inner
-                .metrics
-                .timeout_responses
-                .fetch_add(1, Ordering::Relaxed);
-            let mut r = Response::new(id, Status::Timeout);
-            r.error = Some("no worker response before deadline".into());
-            r.fingerprint = Some(fingerprint_hex);
-            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
-            r
-        }
+    Admission::Queued {
+        id,
+        fingerprint: Some(fingerprint_hex),
+        deadline,
+        received,
     }
 }
 
@@ -1166,7 +1384,12 @@ fn handle_solve(inner: &Arc<Inner>, id: Option<String>, s: SolveRequest) -> Resp
 /// skips the decomposition, the semijoin passes still run against this
 /// request's own relations — so the lookup happens inside the pipeline
 /// on the worker.
-fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Response {
+fn admit_answer(
+    inner: &Arc<Inner>,
+    id: Option<String>,
+    a: AnswerRequest,
+    sink: ReplySink,
+) -> Admission {
     let received = Instant::now();
     inner
         .metrics
@@ -1190,7 +1413,7 @@ fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Re
                 id.as_deref().unwrap_or("-"),
                 r.error.as_deref().unwrap_or("")
             ));
-            return r;
+            return Admission::Ready(r);
         }
     };
     let parse_us = received.elapsed().as_micros() as u64;
@@ -1202,10 +1425,9 @@ fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Re
             .fetch_add(1, Ordering::Relaxed);
         let mut r = Response::new(id, Status::ShuttingDown);
         r.error = Some("server is draining".into());
-        return r;
+        return Admission::Ready(r);
     }
 
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         id: id.clone(),
         work: Work::Answer(AnswerWork {
@@ -1221,7 +1443,7 @@ fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Re
         engines: a.engines,
         received,
         enqueued: Instant::now(),
-        reply: tx,
+        reply: sink,
     };
     inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
     if !inner.queue.try_push(job) {
@@ -1241,22 +1463,14 @@ fn handle_answer(inner: &Arc<Inner>, id: Option<String>, a: AnswerRequest) -> Re
             id.as_deref().unwrap_or("-"),
             r.retry_after_ms.unwrap_or(0)
         ));
-        return r;
+        return Admission::Ready(r);
     }
 
-    match rx.recv_timeout(Duration::from_millis(deadline_ms) + REPLY_GRACE) {
-        Ok(r) => r,
-        Err(_) => {
-            // worker lost (should not happen); report as timeout
-            inner
-                .metrics
-                .timeout_responses
-                .fetch_add(1, Ordering::Relaxed);
-            let mut r = Response::new(id, Status::Timeout);
-            r.error = Some("no worker response before deadline".into());
-            r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
-            r
-        }
+    Admission::Queued {
+        id,
+        fingerprint: None,
+        deadline,
+        received,
     }
 }
 
@@ -1266,7 +1480,6 @@ fn serve_http(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
 ) -> std::io::Result<()> {
-    inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
     // drain the header block (per-line bounded: probe headers are tiny,
     // and an adversarial endless header must not buffer unboundedly)
     let mut hdr = String::new();
@@ -1278,6 +1491,15 @@ fn serve_http(
             break;
         }
     }
+    writer.write_all(&http_response_bytes(inner, request_line))?;
+    writer.flush()
+}
+
+/// Renders a full HTTP probe response (status line + headers + body) for
+/// `/healthz`, `/metrics` and friends. Shared by the blocking path and
+/// the event loop.
+pub(crate) fn http_response_bytes(inner: &Inner, request_line: &str) -> Vec<u8> {
+    inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, content_type, body) = match path {
         "/healthz" => {
@@ -1329,13 +1551,13 @@ fn serve_http(
         }
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
-    write!(
-        writer,
+    let mut out = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    )?;
+    )
+    .into_bytes();
     if !request_line.starts_with("HEAD ") {
-        writer.write_all(body.as_bytes())?;
+        out.extend_from_slice(body.as_bytes());
     }
-    writer.flush()
+    out
 }
