@@ -4,10 +4,12 @@
 //! portfolio solves, an anytime GHW race over the on-disk `.hg` corpus,
 //! a decompose-and-validate corpus sweep, cold/warm conjunctive-query
 //! answering against a live server, a service solve-load burst, a
-//! pipelined event-loop burst, a store warm-restart comparison, and the
-//! span-profiler overhead probe — and writes every result into one
-//! schema-versioned snapshot (`BENCH_<N>.json` by default, `N` from
-//! `--bench`) that `perf_gate` can diff against history.
+//! pipelined event-loop burst, a store warm-restart comparison, a
+//! 3-node cluster probe (owner-routed vs forwarded warm hits, failover
+//! after a kill, tamper rejection), and the span-profiler overhead
+//! probe — and writes every result into one schema-versioned snapshot
+//! (`BENCH_<N>.json` by default, `N` from `--bench`) that `perf_gate`
+//! can diff against history.
 //!
 //! Snapshot schema `htd-bench/v1` (documented in `docs/benchmarking.md`):
 //!
@@ -34,10 +36,14 @@ use std::time::{Duration, Instant};
 use htd_bench::round3;
 use htd_core::bucket::td_of_hypergraph;
 use htd_core::Json;
+use htd_hypergraph::canonical::canonical_form;
 use htd_hypergraph::{gen, io};
 use htd_query::AnswerMode;
 use htd_search::{solve, Engine, Objective, Problem, SearchConfig};
-use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
+use htd_service::{
+    parse_problem, CertPush, Client, ClusterConfig, InstanceFormat, PeerSpec, ServeOptions, Server,
+    Status,
+};
 use htd_trace::{Event, RingBuffer, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,7 +59,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut a = Args {
         smoke: false,
-        bench: 9,
+        bench: 10,
         out: None,
         migrate: None,
     };
@@ -621,6 +627,226 @@ fn store_workload(smoke: bool, metrics: &mut Vec<Metric>) {
     );
 }
 
+/// 3-node cluster probe (docs/cluster.md): warm-hit latency when the
+/// client routes straight to a key's owner vs through a non-owner
+/// gateway (one forwarding hop), failover latency for a key whose
+/// primary owner was just killed without drain (the dial fails and the
+/// request falls over to the replica), and the tamper-rejection
+/// property — two corrupted certificate pushes must both be refused by
+/// the oracle, stamped as `cluster_cert_rejects_tamper` so the perf
+/// gate notices if the trust boundary ever stops rejecting.
+fn cluster_workload(smoke: bool, metrics: &mut Vec<Metric>) {
+    let n = 3;
+    let keys = if smoke { 9 } else { 18 };
+    let deadline = 10_000u64;
+    let corpus: Vec<String> = (0..keys)
+        .map(|i| io::write_pace_gr(&gen::random_gnp(14, 0.4, 0xbe9c_4000 + i as u64)))
+        .collect();
+
+    let ids: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    let addrs: Vec<String> = (0..n)
+        .map(|_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        })
+        .collect();
+    let mut servers: Vec<Option<Server>> = (0..n)
+        .map(|me| {
+            let peers = ids
+                .iter()
+                .zip(&addrs)
+                .enumerate()
+                .filter(|(i, _)| *i != me)
+                .map(|(_, (id, addr))| PeerSpec {
+                    id: id.clone(),
+                    addr: addr.clone(),
+                })
+                .collect();
+            let mut cfg = ClusterConfig::new(ids[me].as_str(), peers);
+            cfg.probe_interval_ms = 25;
+            cfg.probe_timeout_ms = 250;
+            Some(
+                Server::start(ServeOptions {
+                    addr: addrs[me].clone(),
+                    threads: 2,
+                    queue_capacity: 64,
+                    default_deadline_ms: deadline,
+                    log: false,
+                    verify_responses: false,
+                    event_loop: true,
+                    reuse_addr: true,
+                    cluster: Some(cfg),
+                    ..ServeOptions::default()
+                })
+                .expect("bind loopback"),
+            )
+        })
+        .collect();
+
+    // warm through the gateway and learn each key's owner from the stamp
+    let mut owner_of: Vec<usize> = Vec::with_capacity(keys);
+    let mut gateway = Client::connect(&addrs[0]).expect("connect gateway");
+    for text in &corpus {
+        let r = gateway
+            .solve(
+                Objective::Treewidth,
+                InstanceFormat::PaceGr,
+                text,
+                Some(deadline),
+            )
+            .expect("transport");
+        assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+        let owner = r
+            .node
+            .as_deref()
+            .and_then(|id| ids.iter().position(|x| x == id))
+            .expect("response stamped with a cluster node id");
+        owner_of.push(owner);
+    }
+
+    // warm hits, owner-routed vs forwarded through the gateway
+    let mut owner_ms: Vec<f64> = Vec::new();
+    let mut forward_ms: Vec<f64> = Vec::new();
+    let reps = if smoke { 1 } else { 3 };
+    let mut owner_clients: Vec<Client> = addrs
+        .iter()
+        .map(|a| Client::connect(a).expect("connect owner"))
+        .collect();
+    for _ in 0..reps {
+        for (k, text) in corpus.iter().enumerate() {
+            let t = Instant::now();
+            let r = owner_clients[owner_of[k]]
+                .solve(
+                    Objective::Treewidth,
+                    InstanceFormat::PaceGr,
+                    text,
+                    Some(deadline),
+                )
+                .expect("transport");
+            assert!(r.status == Status::Ok && r.cached, "owner-routed warm hit");
+            owner_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            if owner_of[k] != 0 {
+                let t = Instant::now();
+                let r = gateway
+                    .solve(
+                        Objective::Treewidth,
+                        InstanceFormat::PaceGr,
+                        text,
+                        Some(deadline),
+                    )
+                    .expect("transport");
+                assert!(r.status == Status::Ok && r.cached, "forwarded warm hit");
+                forward_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    drop(owner_clients);
+    owner_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    forward_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    push(
+        metrics,
+        "cluster_warm_owner_p50_ms",
+        quantile(&owner_ms, 0.5),
+        "ms",
+        "lower",
+    );
+    push(
+        metrics,
+        "cluster_warm_forward_p50_ms",
+        quantile(&forward_ms, 0.5),
+        "ms",
+        "lower",
+    );
+
+    // failover: kill the owner of a non-gateway key without drain, then
+    // ask the gateway — the dead dial must fail over to the replica
+    let victim = owner_of
+        .iter()
+        .copied()
+        .find(|&o| o != 0)
+        .expect("some key owned by a non-gateway node");
+    servers[victim].take().unwrap().kill();
+    let mut failover_ms: Vec<f64> = Vec::new();
+    for (k, text) in corpus.iter().enumerate() {
+        if owner_of[k] != victim {
+            continue;
+        }
+        let t = Instant::now();
+        let r = gateway
+            .solve(
+                Objective::Treewidth,
+                InstanceFormat::PaceGr,
+                text,
+                Some(deadline),
+            )
+            .expect("transport");
+        assert_eq!(r.status, Status::Ok, "failover answer: {:?}", r.error);
+        failover_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    failover_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    push(
+        metrics,
+        "cluster_failover_p50_ms",
+        quantile(&failover_ms, 0.5),
+        "ms",
+        "lower",
+    );
+
+    // tamper rejection: both corrupted pushes must be refused
+    let inst = &corpus[0];
+    let (problem, h) =
+        parse_problem(InstanceFormat::PaceGr, inst, Objective::Treewidth).expect("parse");
+    let canon = canonical_form(&h);
+    let outcome = htd_search::solve(&problem, &htd_search::SearchConfig::default()).expect("solve");
+    let genuine = CertPush {
+        objective: Objective::Treewidth,
+        format: InstanceFormat::PaceGr,
+        instance: inst.clone(),
+        fingerprint_hex: canon.hex(),
+        effort_ms: 5,
+        outcome,
+        from: Some("bench".into()),
+    };
+    let mut lying = genuine.clone();
+    lying.outcome.upper = lying.outcome.upper.saturating_sub(1);
+    lying.outcome.lower = lying.outcome.upper;
+    let r = gateway.put_cert(lying).expect("transport");
+    assert_eq!(
+        r.status,
+        Status::Error,
+        "width-lowered cert must be refused"
+    );
+    let mut mismatched = genuine;
+    mismatched.fingerprint_hex = format!("{:016x}", canon.fingerprint ^ 1);
+    let r = gateway.put_cert(mismatched).expect("transport");
+    assert_eq!(r.status, Status::Error, "mismatched cert must be refused");
+    let rejects = servers[0]
+        .as_ref()
+        .unwrap()
+        .metrics()
+        .cluster_cert_rejects
+        .load(std::sync::atomic::Ordering::Relaxed);
+    push(
+        metrics,
+        "cluster_cert_rejects_tamper",
+        rejects as f64,
+        "count",
+        "higher",
+    );
+
+    drop(gateway);
+    for (i, s) in servers.iter().enumerate() {
+        if s.is_some() {
+            if let Ok(mut c) = Client::connect(&addrs[i]) {
+                let _ = c.shutdown();
+            }
+        }
+    }
+    for s in servers.into_iter().flatten() {
+        s.wait();
+    }
+}
+
 /// Span-profiler overhead: the same A* solve with the aggregate span
 /// layer off and on. Reported as a percentage (can be slightly negative
 /// on a noisy machine).
@@ -692,19 +918,21 @@ fn main() {
     );
 
     let mut metrics: Vec<Metric> = Vec::new();
-    println!("[1/7] exact-width portfolio");
+    println!("[1/8] exact-width portfolio");
     width_workloads(args.smoke, threads, &mut metrics);
-    println!("[2/7] ghw corpus race + decompose sweep");
+    println!("[2/8] ghw corpus race + decompose sweep");
     corpus_race(args.smoke, threads, &mut metrics);
-    println!("[3/7] answer cold/warm");
+    println!("[3/8] answer cold/warm");
     answer_workload(args.smoke, &mut metrics);
-    println!("[4/7] service solve load");
+    println!("[4/8] service solve load");
     service_workload(args.smoke, &mut metrics);
-    println!("[5/7] event-loop pipelined load");
+    println!("[5/8] event-loop pipelined load");
     pipeline_workload(args.smoke, &mut metrics);
-    println!("[6/7] store warm restart");
+    println!("[6/8] store warm restart");
     store_workload(args.smoke, &mut metrics);
-    println!("[7/7] span overhead");
+    println!("[7/8] cluster probe");
+    cluster_workload(args.smoke, &mut metrics);
+    println!("[8/8] span overhead");
     span_overhead(threads, &mut metrics);
 
     let metric_map: Vec<(String, Json)> = metrics

@@ -183,6 +183,7 @@ fn main() {
                 threads: Some(3),
                 engines: None,
                 use_cache: false,
+                forwarded: false,
             }),
         });
         match reply {
@@ -275,6 +276,7 @@ fn main() {
                 threads: Some(3),
                 engines: None,
                 use_cache: false,
+                forwarded: false,
             }),
         });
         if let Some(g) = metric(&addr, "htd_engine_quarantined") {

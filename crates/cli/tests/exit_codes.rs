@@ -208,3 +208,42 @@ fn query_against_a_live_server_round_trips() {
     server.wait();
     let _ = std::fs::remove_file(file);
 }
+
+#[cfg(unix)]
+#[test]
+fn serving_a_locked_store_is_exit_five() {
+    // the append-only certificate log is single-writer: while this
+    // process holds the store's flock, a second `htd serve --store` on
+    // the same directory must refuse at startup with an io failure
+    let dir = std::env::temp_dir().join(format!("htd-exit-store-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_store, _) = htd_service::CertStore::open(&dir).unwrap();
+
+    let out = htd(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("locked by another server"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn peers_without_node_id_is_exit_four() {
+    let out = htd(&["serve", "--peers", "b=127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--node-id"),
+        "{out:?}"
+    );
+    // a peer list that names this node is a misconfiguration, not a ring
+    let out = htd(&["serve", "--node-id", "a", "--peers", "a=127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+}

@@ -45,6 +45,28 @@ impl Client {
         })
     }
 
+    /// Like [`Client::connect`], but bounds the TCP handshake: the
+    /// cluster's failure detector and forwarder must never hang on a
+    /// dead peer for the kernel's default connect timeout (minutes).
+    pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> std::io::Result<Client> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr} resolves to no address"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+            poisoned: false,
+        })
+    }
+
     /// Drops the existing socket and dials the server again. Any
     /// responses still in flight on the old connection are lost.
     pub fn reconnect(&mut self) -> std::io::Result<()> {
@@ -140,6 +162,7 @@ impl Client {
                     threads: None,
                     engines: None,
                     use_cache: true,
+                    forwarded: false,
                 }),
             },
             id,
@@ -180,7 +203,19 @@ impl Client {
                 threads: None,
                 engines: None,
                 use_cache: true,
+                forwarded: false,
             }),
+        })
+    }
+
+    /// Pushes a verified certificate to a cluster peer (`put_cert`). The
+    /// receiver re-verifies it with the oracle before admitting it; an
+    /// `ok` status means it was accepted.
+    pub fn put_cert(&mut self, push: crate::protocol::CertPush) -> Result<Response, HtdError> {
+        let id = self.fresh_id();
+        self.request(&Request {
+            id: Some(id),
+            cmd: Command::PutCert(push),
         })
     }
 

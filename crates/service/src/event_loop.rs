@@ -215,7 +215,12 @@ mod imp {
 
         loop {
             if inner.shutdown.load(Ordering::SeqCst) {
-                drain_before_exit(inner, &completions, &mut conns, &mut pending);
+                // a kill (the in-process analog of `kill -9`) exits without
+                // the final delivery pass: connections drop mid-frame and
+                // clients observe a reset, exactly like a crashed process
+                if !inner.killed.load(Ordering::SeqCst) {
+                    drain_before_exit(inner, &completions, &mut conns, &mut pending);
+                }
                 return Ok(());
             }
 

@@ -36,7 +36,7 @@
 //! front this crate from the CLI, and the `service_load` and
 //! `answer_load` benches replay generated corpora against it.
 //!
-//! Two subsystems extend the core server:
+//! Three subsystems extend the core server:
 //!
 //! * **Event-loop front end** ([`event_loop`]) — a readiness-based
 //!   non-blocking acceptor/reader/writer loop (raw `poll(2)`, no runtime
@@ -49,24 +49,36 @@
 //!   canonical fingerprint; every entry is re-proved by the `htd-check`
 //!   oracle on load before it may warm the cache. Enabled with
 //!   `htd serve --store DIR`.
+//! * **Fault-tolerant cluster layer** ([`cluster`], [`ring`]) — N peers
+//!   shard the fingerprint keyspace over a consistent-hash ring with
+//!   R-way replication of verified certificates, a probing failure
+//!   detector (`Alive → Suspect → Down`, drain as leave-intent), owner
+//!   forwarding with failover, and hinted handoff on recovery; pushed
+//!   certificates are re-verified by the oracle on receipt. Enabled
+//!   with `htd serve --node-id ID --peers ID=ADDR,..`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod event_loop;
 pub mod metrics;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod store;
 
 pub use cache::ResultCache;
 pub use client::Client;
+pub use cluster::{Cluster, ClusterConfig, PeerSpec, PeerState};
 pub use htd_query::{Answer, AnswerMode};
 pub use htd_resilience::FaultPlan;
 pub use metrics::Metrics;
 pub use protocol::{
-    parse_problem, AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
+    parse_problem, AnswerRequest, CertPush, Command, InstanceFormat, Request, Response,
+    SolveRequest, Status,
 };
+pub use ring::Ring;
 pub use server::{run_until_shutdown, ServeOptions, Server};
 pub use store::{CertStore, StoreRecord, StoreStats};

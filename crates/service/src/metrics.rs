@@ -119,6 +119,8 @@ pub struct Metrics {
     pub ping_requests: AtomicU64,
     /// `stats` requests.
     pub stats_requests: AtomicU64,
+    /// `put_cert` pushes received from cluster peers.
+    pub put_cert_requests: AtomicU64,
     /// HTTP scrapes (`/healthz` + `/metrics`).
     pub http_requests: AtomicU64,
     /// Responses with status `ok`.
@@ -157,6 +159,34 @@ pub struct Metrics {
     pub exact_served: AtomicU64,
     /// Inexact (anytime-bound) answers served.
     pub inexact_served: AtomicU64,
+    /// Cluster: non-owned requests forwarded to a ring owner.
+    pub cluster_forwards: AtomicU64,
+    /// Cluster: forwards that failed over past at least one owner.
+    pub cluster_failovers: AtomicU64,
+    /// Cluster: every owner unusable — the request was solved locally.
+    pub cluster_local_fallbacks: AtomicU64,
+    /// Cluster: certificates replicated to a live replica.
+    pub cluster_replications: AtomicU64,
+    /// Cluster: certificates queued as hints for unreachable owners.
+    pub cluster_handoffs_queued: AtomicU64,
+    /// Cluster: hinted certificates delivered after recovery.
+    pub cluster_handoffs_delivered: AtomicU64,
+    /// Cluster: pushed certificates the local oracle verified + admitted.
+    pub cluster_certs_accepted: AtomicU64,
+    /// Cluster: pushed certificates the local oracle rejected.
+    pub cluster_cert_rejects: AtomicU64,
+    /// Cluster: failed peer health probes.
+    pub cluster_probe_failures: AtomicU64,
+    /// Cluster: ring membership size (self included; 0 = not clustered).
+    pub cluster_ring_nodes: AtomicI64,
+    /// Cluster: peers currently in each failure-detector state.
+    pub cluster_peers_alive: AtomicI64,
+    /// Peers the detector currently suspects.
+    pub cluster_peers_suspect: AtomicI64,
+    /// Peers the detector declared down.
+    pub cluster_peers_down: AtomicI64,
+    /// Peers that announced a graceful drain (leave-intent).
+    pub cluster_peers_leaving: AtomicI64,
 }
 
 impl Default for Metrics {
@@ -173,6 +203,7 @@ impl Metrics {
             solve_requests: AtomicU64::new(0),
             answer_requests: AtomicU64::new(0),
             ping_requests: AtomicU64::new(0),
+            put_cert_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             ok_responses: AtomicU64::new(0),
@@ -192,6 +223,20 @@ impl Metrics {
             widths: (0..=MAX_TRACKED_WIDTH).map(|_| AtomicU64::new(0)).collect(),
             exact_served: AtomicU64::new(0),
             inexact_served: AtomicU64::new(0),
+            cluster_forwards: AtomicU64::new(0),
+            cluster_failovers: AtomicU64::new(0),
+            cluster_local_fallbacks: AtomicU64::new(0),
+            cluster_replications: AtomicU64::new(0),
+            cluster_handoffs_queued: AtomicU64::new(0),
+            cluster_handoffs_delivered: AtomicU64::new(0),
+            cluster_certs_accepted: AtomicU64::new(0),
+            cluster_cert_rejects: AtomicU64::new(0),
+            cluster_probe_failures: AtomicU64::new(0),
+            cluster_ring_nodes: AtomicI64::new(0),
+            cluster_peers_alive: AtomicI64::new(0),
+            cluster_peers_suspect: AtomicI64::new(0),
+            cluster_peers_down: AtomicI64::new(0),
+            cluster_peers_leaving: AtomicI64::new(0),
         }
     }
 
@@ -239,6 +284,7 @@ impl Metrics {
             ("answer", ld(&self.answer_requests)),
             ("ping", ld(&self.ping_requests)),
             ("stats", ld(&self.stats_requests)),
+            ("put_cert", ld(&self.put_cert_requests)),
             ("http", ld(&self.http_requests)),
         ] {
             let _ = writeln!(o, "htd_requests_total{{cmd=\"{k}\"}} {v}");
@@ -320,6 +366,80 @@ impl Metrics {
             "In-flight solves cancelled by the deadline watchdog.",
             ld(&self.deadline_cancellations),
         );
+
+        // cluster series, zero outside cluster mode (stable schema)
+        for (name, help, v) in [
+            (
+                "htd_cluster_forwards_total",
+                "Non-owned requests forwarded to their ring owner.",
+                ld(&self.cluster_forwards),
+            ),
+            (
+                "htd_cluster_failovers_total",
+                "Forwards that failed over past at least one owner.",
+                ld(&self.cluster_failovers),
+            ),
+            (
+                "htd_cluster_local_fallbacks_total",
+                "Requests solved locally because every owner was unusable.",
+                ld(&self.cluster_local_fallbacks),
+            ),
+            (
+                "htd_cluster_replications_total",
+                "Certificates replicated to live replicas.",
+                ld(&self.cluster_replications),
+            ),
+            (
+                "htd_cluster_handoffs_queued_total",
+                "Certificates queued as hints for unreachable owners.",
+                ld(&self.cluster_handoffs_queued),
+            ),
+            (
+                "htd_cluster_handoffs_delivered_total",
+                "Hinted certificates delivered after peer recovery.",
+                ld(&self.cluster_handoffs_delivered),
+            ),
+            (
+                "htd_cluster_certs_accepted_total",
+                "Pushed certificates the local oracle verified and admitted.",
+                ld(&self.cluster_certs_accepted),
+            ),
+            (
+                "htd_cluster_cert_rejects_total",
+                "Pushed certificates the local oracle rejected.",
+                ld(&self.cluster_cert_rejects),
+            ),
+            (
+                "htd_cluster_probe_failures_total",
+                "Failed peer health probes.",
+                ld(&self.cluster_probe_failures),
+            ),
+        ] {
+            c(&mut o, name, help, v);
+        }
+        g(
+            &mut o,
+            "htd_cluster_ring_size",
+            "Ring membership size, self included (0 = not clustered).",
+            self.cluster_ring_nodes.load(Ordering::Relaxed) as f64,
+        );
+        let _ = writeln!(
+            o,
+            "# HELP htd_cluster_peers Peers by failure-detector state."
+        );
+        let _ = writeln!(o, "# TYPE htd_cluster_peers gauge");
+        for (state, v) in [
+            ("alive", &self.cluster_peers_alive),
+            ("suspect", &self.cluster_peers_suspect),
+            ("down", &self.cluster_peers_down),
+            ("leaving", &self.cluster_peers_leaving),
+        ] {
+            let _ = writeln!(
+                o,
+                "htd_cluster_peers{{state=\"{state}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
 
         for (hist, name, help) in [
             (
@@ -416,6 +536,12 @@ impl Metrics {
                 "deadline_cancellations".into(),
                 ld(&self.deadline_cancellations),
             ),
+            ("cluster_forwards".into(), ld(&self.cluster_forwards)),
+            ("cluster_failovers".into(), ld(&self.cluster_failovers)),
+            (
+                "cluster_cert_rejects".into(),
+                ld(&self.cluster_cert_rejects),
+            ),
         ])
     }
 }
@@ -460,6 +586,24 @@ mod tests {
         );
         let q = snap.get("queue_p95_ms").unwrap().as_f64().unwrap();
         assert!(q > 0.5 && q <= 1.0, "{q}");
+    }
+
+    #[test]
+    fn cluster_series_render_with_states() {
+        let m = Metrics::new();
+        m.cluster_forwards.fetch_add(3, Ordering::Relaxed);
+        m.cluster_cert_rejects.fetch_add(1, Ordering::Relaxed);
+        m.cluster_peers_down.store(2, Ordering::Relaxed);
+        m.cluster_ring_nodes.store(3, Ordering::Relaxed);
+        let text = m.render_prometheus(0, 0, false);
+        assert!(text.contains("htd_cluster_forwards_total 3"));
+        assert!(text.contains("htd_cluster_cert_rejects_total 1"));
+        assert!(text.contains("htd_cluster_peers{state=\"down\"} 2"));
+        assert!(text.contains("htd_cluster_peers{state=\"alive\"} 0"));
+        assert!(text.contains("htd_cluster_ring_size 3"));
+        let snap = m.snapshot_json(0, 0, false);
+        assert_eq!(snap.get("cluster_forwards").unwrap().as_u64(), Some(3));
+        assert_eq!(snap.get("cluster_cert_rejects").unwrap().as_u64(), Some(1));
     }
 
     #[test]

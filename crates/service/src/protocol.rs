@@ -50,6 +50,25 @@
 //! `"answer"` (`htd_query::Answer::to_json` schema), with `cached`
 //! meaning the decomposition was a shape-cache hit.
 //!
+//! ## Cluster extensions
+//!
+//! When nodes run as a cluster (`htd serve --peers`), three small
+//! extensions carry the routing and replication traffic over the same
+//! newline-JSON protocol:
+//!
+//! * `"forwarded":true` on a `solve`/`answer` marks a request relayed
+//!   by a peer; the receiver always executes it locally (forwarding is
+//!   one hop, never a loop).
+//! * `{"cmd":"put_cert",…}` pushes a solved certificate (replication or
+//!   hinted handoff). The receiver **re-verifies it with the `htd-check`
+//!   oracle before admitting it** — remote peers are untrusted exactly
+//!   like disk — and answers `ok` on admission or `error` (code 3,
+//!   counted in `htd_cluster_cert_rejects_total`) on rejection.
+//! * Responses carry `"node":"<id>"` naming the node that actually
+//!   computed/served the result, and `pong` responses carry
+//!   `"draining":true` once a graceful drain starts, which the failure
+//!   detector reads as leave-intent.
+//!
 //! ## Pipelined batches
 //!
 //! A client may write several request lines without waiting for
@@ -125,6 +144,9 @@ pub struct SolveRequest {
     pub engines: Option<Vec<Engine>>,
     /// `false` bypasses the cache lookup (the result is still admitted).
     pub use_cache: bool,
+    /// Set on a request relayed by a cluster peer: the receiver must
+    /// execute it locally and never forward again (one hop, no loops).
+    pub forwarded: bool,
 }
 
 /// An answer request's payload: a conjunctive query to evaluate.
@@ -145,6 +167,33 @@ pub struct AnswerRequest {
     /// `false` bypasses the shape-cache lookup (the fresh decomposition
     /// is still admitted).
     pub use_cache: bool,
+    /// Set on a request relayed by a cluster peer (as in
+    /// [`SolveRequest::forwarded`]).
+    pub forwarded: bool,
+}
+
+/// A `put_cert` payload: one solved certificate pushed by a cluster
+/// peer (R-way replication of fresh solves, or hinted handoff after a
+/// failover). The fields mirror the certificate-store record — the
+/// receiver re-parses the instance, re-derives the canonical form and
+/// re-proves the outcome with the oracle before admitting anything.
+#[derive(Clone, Debug)]
+pub struct CertPush {
+    /// Objective of the solved instance.
+    pub objective: Objective,
+    /// How `instance` parses.
+    pub format: InstanceFormat,
+    /// The original instance text (the oracle needs it to re-verify).
+    pub instance: String,
+    /// Claimed canonical fingerprint (hex); checked against the
+    /// re-derived form, never trusted.
+    pub fingerprint_hex: String,
+    /// Solve effort behind the outcome (cache admission gate).
+    pub effort_ms: u64,
+    /// The claimed outcome.
+    pub outcome: Outcome,
+    /// Sending node id, for logs and peer accounting.
+    pub from: Option<String>,
 }
 
 /// A parsed request line.
@@ -163,6 +212,8 @@ pub enum Command {
     Solve(SolveRequest),
     /// Answer a conjunctive query.
     Answer(AnswerRequest),
+    /// Admit a peer-pushed certificate (after oracle re-verification).
+    PutCert(CertPush),
     /// Liveness probe.
     Ping,
     /// Metrics snapshot as JSON.
@@ -205,6 +256,9 @@ impl Request {
                 if !s.use_cache {
                     m.push(("cache".into(), Json::Str("off".into())));
                 }
+                if s.forwarded {
+                    m.push(("forwarded".into(), Json::Bool(true)));
+                }
             }
             Command::Answer(a) => {
                 m.push(("cmd".into(), Json::Str("answer".into())));
@@ -227,6 +281,21 @@ impl Request {
                 }
                 if !a.use_cache {
                     m.push(("cache".into(), Json::Str("off".into())));
+                }
+                if a.forwarded {
+                    m.push(("forwarded".into(), Json::Bool(true)));
+                }
+            }
+            Command::PutCert(c) => {
+                m.push(("cmd".into(), Json::Str("put_cert".into())));
+                m.push(("objective".into(), Json::Str(c.objective.name().into())));
+                m.push(("format".into(), Json::Str(c.format.name().into())));
+                m.push(("instance".into(), Json::Str(c.instance.clone())));
+                m.push(("fingerprint".into(), Json::Str(c.fingerprint_hex.clone())));
+                m.push(("effort_ms".into(), Json::Num(c.effort_ms as f64)));
+                m.push(("outcome".into(), c.outcome.to_json()));
+                if let Some(from) = &c.from {
+                    m.push(("from".into(), Json::Str(from.clone())));
                 }
             }
         }
@@ -280,6 +349,7 @@ impl Request {
                         .map(|t| t as usize),
                     engines,
                     use_cache,
+                    forwarded: forwarded_from_doc(doc),
                 })
             }
             "answer" => {
@@ -305,6 +375,48 @@ impl Request {
                         .map(|t| t as usize),
                     engines: engines_from_doc(doc)?,
                     use_cache: cache_from_doc(doc)?,
+                    forwarded: forwarded_from_doc(doc),
+                })
+            }
+            "put_cert" => {
+                let objective = doc
+                    .get("objective")
+                    .and_then(|v| v.as_str())
+                    .and_then(Objective::from_name)
+                    .ok_or_else(|| {
+                        HtdError::Unsupported("put_cert needs 'objective' tw|ghw|hw".into())
+                    })?;
+                let format = match doc.get("format").and_then(|v| v.as_str()) {
+                    None => InstanceFormat::Auto,
+                    Some(f) => InstanceFormat::from_name(f).ok_or_else(|| {
+                        HtdError::Unsupported(format!("format '{f}' (expected auto|gr|col|hg)"))
+                    })?,
+                };
+                let instance = doc
+                    .get("instance")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| HtdError::Parse("put_cert missing 'instance'".into()))?
+                    .to_string();
+                let fingerprint_hex = doc
+                    .get("fingerprint")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| HtdError::Parse("put_cert missing 'fingerprint'".into()))?
+                    .to_string();
+                let outcome = Outcome::from_json(
+                    doc.get("outcome")
+                        .ok_or_else(|| HtdError::Parse("put_cert missing 'outcome'".into()))?,
+                )?;
+                Command::PutCert(CertPush {
+                    objective,
+                    format,
+                    instance,
+                    fingerprint_hex,
+                    effort_ms: doc.get("effort_ms").and_then(|v| v.as_u64()).unwrap_or(0),
+                    outcome,
+                    from: doc
+                        .get("from")
+                        .and_then(|v| v.as_str())
+                        .map(|s| s.to_string()),
                 })
             }
             other => return Err(HtdError::Unsupported(format!("unknown cmd '{other}'"))),
@@ -328,6 +440,13 @@ fn engines_from_doc(doc: &Json) -> Result<Option<Vec<Engine>>, HtdError> {
             "engines must be a name array or comma-separated string".into(),
         )),
     }
+}
+
+/// Shared `forwarded` marker parsing of `solve` and `answer` requests.
+fn forwarded_from_doc(doc: &Json) -> bool {
+    doc.get("forwarded")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false)
 }
 
 /// Shared `cache` field parsing of `solve` and `answer` requests.
@@ -416,6 +535,13 @@ pub struct Response {
     pub stats: Option<Json>,
     /// Server-side time spent on the request.
     pub elapsed_ms: f64,
+    /// Cluster mode: the id of the node that computed/served the
+    /// result (which may differ from the node the client dialed when
+    /// the request was forwarded to its ring owner).
+    pub node: Option<String>,
+    /// On `pong`: `true` once the responding server started a graceful
+    /// drain. The cluster failure detector reads this as leave-intent.
+    pub draining: bool,
 }
 
 impl Response {
@@ -434,6 +560,8 @@ impl Response {
             retry_after_ms: None,
             stats: None,
             elapsed_ms: 0.0,
+            node: None,
+            draining: false,
         }
     }
 
@@ -477,6 +605,12 @@ impl Response {
         }
         if let Some(s) = &self.stats {
             m.push(("stats".into(), s.clone()));
+        }
+        if let Some(n) = &self.node {
+            m.push(("node".into(), Json::Str(n.clone())));
+        }
+        if self.draining {
+            m.push(("draining".into(), Json::Bool(true)));
         }
         m.push(("elapsed_ms".into(), Json::Num(self.elapsed_ms)));
         if let Some(o) = &self.outcome {
@@ -529,6 +663,14 @@ impl Response {
                 .get("elapsed_ms")
                 .and_then(|v| v.as_f64())
                 .unwrap_or(0.0),
+            node: doc
+                .get("node")
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string()),
+            draining: doc
+                .get("draining")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         })
     }
 }
@@ -620,6 +762,7 @@ mod tests {
                 threads: Some(2),
                 engines: Some(vec![Engine::BalSep, Engine::BranchBound]),
                 use_cache: false,
+                forwarded: true,
             }),
         };
         let text = req.to_json().to_string();
@@ -634,6 +777,7 @@ mod tests {
                 assert_eq!(s.threads, Some(2));
                 assert_eq!(s.engines, Some(vec![Engine::BalSep, Engine::BranchBound]));
                 assert!(!s.use_cache);
+                assert!(s.forwarded);
             }
             _ => panic!("wrong cmd"),
         }
@@ -651,6 +795,7 @@ mod tests {
                 threads: Some(2),
                 engines: Some(vec![Engine::BalSep]),
                 use_cache: false,
+                forwarded: false,
             }),
         };
         let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
@@ -669,7 +814,10 @@ mod tests {
         // mode defaults to boolean; bad mode is rejected
         let doc = Json::parse(r#"{"cmd":"answer","query":"Q() :- R(x).\nR: 1 ."}"#).unwrap();
         match Request::from_json(&doc).unwrap().cmd {
-            Command::Answer(a) => assert_eq!(a.mode, AnswerMode::Boolean),
+            Command::Answer(a) => {
+                assert_eq!(a.mode, AnswerMode::Boolean);
+                assert!(!a.forwarded);
+            }
             _ => panic!("wrong cmd"),
         }
         let doc = Json::parse(r#"{"cmd":"answer","query":"x","mode":"maybe"}"#).unwrap();
@@ -692,6 +840,7 @@ mod tests {
                     Command::Shutdown => "shutdown",
                     Command::Solve(_) => "solve",
                     Command::Answer(_) => "answer",
+                    Command::PutCert(_) => "put_cert",
                 },
                 want
             );
@@ -706,10 +855,58 @@ mod tests {
         r.error = Some("queue full".into());
         r.retry_after_ms = Some(50);
         r.elapsed_ms = 0.3;
+        r.node = Some("node-b".into());
         let back = Response::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back.status, Status::Rejected);
         assert_eq!(back.retry_after_ms, Some(50));
         assert_eq!(back.error.as_deref(), Some("queue full"));
+        assert_eq!(back.node.as_deref(), Some("node-b"));
+        assert!(!back.draining);
+        // draining pong round-trips
+        let mut p = Response::new(None, Status::Pong);
+        p.draining = true;
+        let back = Response::from_json(&Json::parse(&p.to_json().to_string()).unwrap()).unwrap();
+        assert!(back.draining);
+    }
+
+    #[test]
+    fn put_cert_round_trip() {
+        use htd_search::{solve, SearchConfig};
+        let instance = "p tw 3 3\n1 2\n2 3\n1 3\n";
+        let (problem, key) =
+            parse_problem(InstanceFormat::PaceGr, instance, Objective::Treewidth).unwrap();
+        let outcome = solve(&problem, &SearchConfig::budgeted(50_000)).unwrap();
+        let canon = htd_hypergraph::canonical_form(&key);
+        let req = Request {
+            id: Some("h1".into()),
+            cmd: Command::PutCert(CertPush {
+                objective: Objective::Treewidth,
+                format: InstanceFormat::PaceGr,
+                instance: instance.into(),
+                fingerprint_hex: canon.hex(),
+                effort_ms: 12,
+                outcome,
+                from: Some("node-a".into()),
+            }),
+        };
+        let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap()).unwrap();
+        match back.cmd {
+            Command::PutCert(c) => {
+                assert_eq!(c.objective, Objective::Treewidth);
+                assert_eq!(c.format, InstanceFormat::PaceGr);
+                assert_eq!(c.fingerprint_hex, canon.hex());
+                assert_eq!(c.effort_ms, 12);
+                assert_eq!(c.from.as_deref(), Some("node-a"));
+                assert!(c.outcome.witness.is_some());
+            }
+            _ => panic!("wrong cmd"),
+        }
+        // a put_cert without an outcome is a parse error
+        let doc = Json::parse(
+            r#"{"cmd":"put_cert","objective":"tw","instance":"p tw 1 0","fingerprint":"00"}"#,
+        )
+        .unwrap();
+        assert!(Request::from_json(&doc).is_err());
     }
 
     #[test]

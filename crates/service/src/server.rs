@@ -55,9 +55,12 @@ use htd_search::{solve, Engine, Incumbent, Problem, SearchConfig};
 use parking_lot::Mutex;
 
 use crate::cache::ResultCache;
+use crate::client::Client;
+use crate::cluster::{Cluster, ClusterConfig};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    parse_problem, AnswerRequest, Command, InstanceFormat, Request, Response, SolveRequest, Status,
+    parse_problem, AnswerRequest, CertPush, Command, InstanceFormat, Request, Response,
+    SolveRequest, Status,
 };
 use crate::store::{CertStore, StoreRecord};
 
@@ -130,6 +133,14 @@ pub struct ServeOptions {
     /// The event loop additionally supports pipelined batches: many
     /// requests in flight per connection, responses matched by id.
     pub event_loop: bool,
+    /// Cluster membership: `Some` makes this node one of N peers sharding
+    /// the keyspace over a consistent-hash ring (see [`crate::cluster`]).
+    pub cluster: Option<ClusterConfig>,
+    /// Bind with `SO_REUSEADDR` so a restarted node can reclaim its port
+    /// immediately (lingering connections of a killed predecessor
+    /// otherwise hold it in `TIME_WAIT`). Off by default: in production
+    /// the guard against two servers on one port is worth the wait.
+    pub reuse_addr: bool,
 }
 
 impl Default for ServeOptions {
@@ -148,6 +159,8 @@ impl Default for ServeOptions {
             breaker_probe_ms: 500,
             store_dir: None,
             event_loop: false,
+            cluster: None,
+            reuse_addr: false,
         }
     }
 }
@@ -225,6 +238,23 @@ struct Job {
 enum Work {
     Solve(SolveWork),
     Answer(AnswerWork),
+    /// Cluster mode: the request belongs to another node's shard; try
+    /// the owners in order, fall back to computing locally.
+    Forward(ForwardWork),
+    /// Cluster mode: a peer pushed a certificate; re-verify it with the
+    /// oracle before admitting it to cache and store.
+    PutCert(CertPush),
+}
+
+struct ForwardWork {
+    /// The command re-sent to the owner, its `forwarded` flag set so the
+    /// receiver always computes locally (one hop, no forwarding loops).
+    cmd: Command,
+    /// Owner candidates in preference order (`(id, addr)`; ring order,
+    /// alive before suspect, down/leaving excluded).
+    candidates: Vec<(String, String)>,
+    /// The local fallback when every owner is unusable.
+    local: Box<Work>,
 }
 
 struct SolveWork {
@@ -259,6 +289,8 @@ impl Work {
         match self {
             Work::Solve(w) => w.objective_name,
             Work::Answer(_) => "answer",
+            Work::Forward(_) => "forward",
+            Work::PutCert(_) => "put_cert",
         }
     }
 
@@ -268,6 +300,8 @@ impl Work {
         match self {
             Work::Solve(w) => Some(&w.fingerprint_hex),
             Work::Answer(_) => None,
+            Work::Forward(f) => f.local.fingerprint_hex(),
+            Work::PutCert(p) => Some(&p.fingerprint_hex),
         }
     }
 }
@@ -336,12 +370,18 @@ pub(crate) struct Inner {
     /// is shared — answers are always evaluated against the request's
     /// own data.
     shapes: Arc<ShapeCache>,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
     queue: WorkQueue,
     /// Draining: refuse new solves, finish queued + in-flight work.
     draining: AtomicBool,
     /// Final stop: workers/watchdog/acceptor exit.
     pub(crate) shutdown: AtomicBool,
+    /// Abrupt stop ([`Server::kill`]): exit without draining, dropping
+    /// queued work and open connections — the in-process analog of
+    /// `kill -9`, for crash testing.
+    pub(crate) killed: AtomicBool,
+    /// Cluster membership + failure detector (`opts.cluster`).
+    pub(crate) cluster: Option<Arc<Cluster>>,
     /// In-flight deadline registry scanned by the watchdog.
     registry: Mutex<Vec<(Instant, Arc<Incumbent>)>>,
     pub(crate) conn_seq: AtomicU64,
@@ -434,6 +474,18 @@ impl Inner {
             eprintln!("[htd-service +{}ms] {line}", self.metrics.uptime_ms());
         }
     }
+
+    /// Cluster mode: stamps the id of the node that produced `r`.
+    /// Forwarded responses arrive already stamped by the owner that
+    /// computed them and keep that stamp — it is the client-visible
+    /// evidence of where the work actually ran.
+    fn stamp(&self, r: &mut Response) {
+        if r.node.is_none() {
+            if let Some(cluster) = &self.cluster {
+                r.node = Some(cluster.node_id().to_string());
+            }
+        }
+    }
 }
 
 /// A running server; dropping it does **not** stop the threads — call
@@ -444,12 +496,17 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     acceptor: Option<JoinHandle<()>>,
+    agent: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds the listener and starts acceptor, watchdog and workers.
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&opts.addr)?;
+        let listener = if opts.reuse_addr {
+            bind_reusable(&opts.addr)?
+        } else {
+            TcpListener::bind(&opts.addr)?
+        };
         listener.set_nonblocking(true)?;
         widen_accept_backlog(&listener);
         let addr = listener.local_addr()?;
@@ -487,13 +544,20 @@ impl Server {
             }
             None => None,
         };
+        let metrics = Arc::new(Metrics::new());
+        let cluster = opts
+            .cluster
+            .clone()
+            .map(|cfg| Arc::new(Cluster::new(cfg, Arc::clone(&metrics), opts.log)));
         let inner = Arc::new(Inner {
             cache,
             shapes: Arc::new(ShapeCache::new(SHAPE_CACHE_CAPACITY)),
-            metrics: Metrics::new(),
+            metrics,
             queue: WorkQueue::new(opts.queue_capacity),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            cluster,
             registry: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
             injector,
@@ -603,12 +667,36 @@ impl Server {
                 })
                 .expect("spawn acceptor")
         };
+        let agent = inner.cluster.as_ref().map(|cluster| {
+            inner.log(format_args!(
+                "cluster node={} ring={} replication={} peers={}",
+                cluster.node_id(),
+                cluster.ring().len(),
+                cluster.config().replication,
+                cluster
+                    .config()
+                    .peers
+                    .iter()
+                    .map(|p| format!("{}={}", p.id, p.addr))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+            let inner = Arc::clone(&inner);
+            let cluster = Arc::clone(cluster);
+            thread::Builder::new()
+                .name("htd-cluster".into())
+                .spawn(move || {
+                    crate::cluster::run_agent(&cluster, inner.store.as_ref(), &inner.shutdown)
+                })
+                .expect("spawn cluster agent")
+        });
         Ok(Server {
             inner,
             addr,
             workers,
             watchdog: Some(watchdog),
             acceptor: Some(acceptor),
+            agent,
         })
     }
 
@@ -619,7 +707,12 @@ impl Server {
 
     /// Shared metrics of this instance.
     pub fn metrics(&self) -> &Metrics {
-        &self.inner.metrics
+        self.inner.metrics.as_ref()
+    }
+
+    /// The cluster layer, when this node runs as part of one.
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.inner.cluster.as_ref()
     }
 
     /// Begins a graceful drain: refuse new solves, finish running work.
@@ -657,6 +750,16 @@ impl Server {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        if let Some(a) = self.agent.take() {
+            let _ = a.join();
+        }
+        // Workers (the only appenders) are joined; release the store's
+        // single-writer lock now rather than when the last Arc<Inner>
+        // drops, so a same-process reopen of the same --store directory
+        // succeeds even while detached connection threads linger.
+        if let Some(store) = self.inner.store.as_ref() {
+            store.unlock();
+        }
         let m = &self.inner.metrics;
         self.inner.log(format_args!(
             "drained; served={} hits={} misses={} timeouts={} rejected={} p50={:.1}ms p95={:.1}ms",
@@ -668,6 +771,41 @@ impl Server {
             m.solve_latency.quantile(0.5),
             m.solve_latency.quantile(0.95),
         ));
+    }
+
+    /// Stops the node *abruptly*: no drain, queued work dropped,
+    /// in-flight solves cancelled, connections severed mid-request — the
+    /// in-process analog of `kill -9`, for crash and failover testing.
+    /// With the event-loop front end every open connection dies with the
+    /// loop (clients see a reset); the blocking front end can only sever
+    /// future connections, since its per-connection threads are detached.
+    /// The certificate store's exclusive lock is released on return, so
+    /// a replacement node can reopen the same `--store` directory.
+    pub fn kill(mut self) {
+        self.inner
+            .log(format_args!("killed (abrupt stop, no drain)"));
+        self.inner.killed.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for (_, incumbent) in self.inner.registry.lock().iter() {
+            incumbent.cancel();
+        }
+        self.inner.queue.wake_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(a) = self.agent.take() {
+            let _ = a.join();
+        }
+        if let Some(store) = self.inner.store.as_ref() {
+            store.unlock();
+        }
     }
 }
 
@@ -690,6 +828,63 @@ fn widen_accept_backlog(listener: &TcpListener) {
 
 #[cfg(not(unix))]
 fn widen_accept_backlog(_listener: &TcpListener) {}
+
+/// Binds with `SO_REUSEADDR` ([`ServeOptions::reuse_addr`]): a node
+/// restarted after a crash must reclaim its port immediately even while
+/// connections of its killed predecessor linger in `TIME_WAIT`. `std`'s
+/// `TcpListener::bind` sets no socket options, so the v4 path builds the
+/// socket by hand; anything else falls back to the plain bind.
+#[cfg(target_os = "linux")]
+fn bind_reusable(addr: &str) -> std::io::Result<TcpListener> {
+    use std::net::{SocketAddr, ToSocketAddrs};
+    use std::os::unix::io::FromRawFd;
+    let Some(SocketAddr::V4(v4)) = addr.to_socket_addrs()?.next() else {
+        return TcpListener::bind(addr);
+    };
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4);
+        let sin = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sin, std::mem::size_of::<SockaddrIn>() as u32) != 0 || listen(fd, 4096) != 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reusable(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
 
 #[cfg(unix)]
 fn install_signal_drain() -> &'static AtomicBool {
@@ -762,7 +957,9 @@ fn watchdog_loop(inner: &Inner) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        if inner.shutdown.load(Ordering::SeqCst) && inner.queue.len() == 0 {
+        if inner.shutdown.load(Ordering::SeqCst)
+            && (inner.killed.load(Ordering::SeqCst) || inner.queue.len() == 0)
+        {
             return;
         }
         let Some(job) = inner.queue.pop_timeout(Duration::from_millis(50)) else {
@@ -779,6 +976,7 @@ fn worker_loop(inner: &Inner) {
                 .timeout_responses
                 .fetch_add(1, Ordering::Relaxed);
             let mut r = Response::new(job.id.clone(), Status::Timeout);
+            inner.stamp(&mut r);
             r.fingerprint = job.work.fingerprint_hex().map(str::to_string);
             r.canonical = matches!(&job.work, Work::Solve(w) if w.canonical_complete);
             r.error = Some("deadline expired in queue".into());
@@ -811,7 +1009,7 @@ fn worker_loop(inner: &Inner) {
             thread::sleep(d);
         }
 
-        let r = match &job.work {
+        let mut r = match &job.work {
             Work::Solve(w) => {
                 let _sp = htd_trace::span!("service.solve");
                 run_solve(inner, &job, w, &incumbent, &fault, queued)
@@ -819,6 +1017,14 @@ fn worker_loop(inner: &Inner) {
             Work::Answer(w) => {
                 let _sp = htd_trace::span!("service.answer");
                 run_answer(inner, &job, w, &incumbent, &fault, queued)
+            }
+            Work::Forward(f) => {
+                let _sp = htd_trace::span!("cluster.forward");
+                run_forward(inner, &job, f, &incumbent, &fault, queued)
+            }
+            Work::PutCert(p) => {
+                let _sp = htd_trace::span!("cluster.put_cert");
+                run_put_cert(inner, &job, p)
             }
         };
 
@@ -830,6 +1036,7 @@ fn worker_loop(inner: &Inner) {
         if r.status == Status::Ok {
             inner.metrics.request_latency.observe(r.elapsed_ms);
         }
+        inner.stamp(&mut r);
         let _sp = htd_trace::span!("service.respond");
         job.reply.send(r);
     }
@@ -958,6 +1165,31 @@ fn run_solve(
                             "store append failed fp={}: {e}",
                             w.fingerprint_hex
                         ));
+                    }
+                }
+                // cluster mode: push the verified certificate to the
+                // other owners of this fingerprint. Only store-admissible
+                // outcomes travel (the receiver's oracle gate mirrors the
+                // store's), and the push covers both steady-state
+                // replication and the hinted handoff of a local-fallback
+                // solve — the owners are exactly the nodes that need it.
+                if let Some(cluster) = &inner.cluster {
+                    if !w.instance.is_empty()
+                        && w.objective_name != "hw"
+                        && outcome.witness.is_some()
+                    {
+                        cluster.replicate(
+                            w.fingerprint,
+                            &CertPush {
+                                objective: outcome.objective,
+                                format: w.format,
+                                instance: w.instance.clone(),
+                                fingerprint_hex: w.fingerprint_hex.clone(),
+                                effort_ms: solve_ms.ceil() as u64,
+                                outcome: outcome.clone(),
+                                from: Some(cluster.node_id().to_string()),
+                            },
+                        );
                     }
                 }
             }
@@ -1095,6 +1327,158 @@ fn run_answer(
     r
 }
 
+/// Runs one forwarded request on a worker: dial the owners in order and
+/// relay the first usable response; when every owner is unreachable,
+/// shutting down or partitioned away, compute locally (the certificate
+/// then travels to the owners as a hint via the replication path).
+/// Forwarding runs on the worker pool — never on the event loop — so a
+/// slow peer stalls one worker slot, not the whole front end.
+fn run_forward(
+    inner: &Inner,
+    job: &Job,
+    f: &ForwardWork,
+    incumbent: &Arc<Incumbent>,
+    fault: &Fault,
+    queued: Duration,
+) -> Response {
+    let cluster = inner
+        .cluster
+        .as_ref()
+        .expect("forward work queued without a cluster");
+    let dial_timeout = Duration::from_millis(cluster.config().probe_timeout_ms);
+    for (hop, (peer, addr)) in f.candidates.iter().enumerate() {
+        let attempt = (|| -> Option<Response> {
+            if cluster.is_peer_partitioned(peer) {
+                return None;
+            }
+            let mut c = Client::connect_timeout(addr, dial_timeout).ok()?;
+            let remaining = job.deadline.saturating_duration_since(Instant::now());
+            c.set_read_timeout(Some(remaining + REPLY_GRACE));
+            let r = c
+                .request(&Request {
+                    id: job.id.clone(),
+                    cmd: f.cmd.clone(),
+                })
+                .ok()?;
+            // a draining owner refuses new work; treat like a dead one
+            (r.status != Status::ShuttingDown).then_some(r)
+        })();
+        match attempt {
+            Some(mut r) => {
+                inner
+                    .metrics
+                    .cluster_forwards
+                    .fetch_add(1, Ordering::Relaxed);
+                r.id = job.id.clone();
+                r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+                inner.log(format_args!(
+                    "req={} fp={} forwarded to={} hop={hop} status={} ms={:.1}",
+                    job.id.as_deref().unwrap_or("-"),
+                    f.local.fingerprint_hex().unwrap_or("-"),
+                    peer,
+                    r.status.name(),
+                    r.elapsed_ms,
+                ));
+                return r;
+            }
+            None => {
+                inner
+                    .metrics
+                    .cluster_failovers
+                    .fetch_add(1, Ordering::Relaxed);
+                inner.log(format_args!(
+                    "req={} fp={} owner={peer} unreachable, failing over",
+                    job.id.as_deref().unwrap_or("-"),
+                    f.local.fingerprint_hex().unwrap_or("-"),
+                ));
+            }
+        }
+    }
+    // last rung of the ladder: every owner unusable — answer the client
+    // from here rather than failing, and let replication hint the owner
+    inner
+        .metrics
+        .cluster_local_fallbacks
+        .fetch_add(1, Ordering::Relaxed);
+    inner.log(format_args!(
+        "req={} fp={} all {} owner(s) unusable: solving locally",
+        job.id.as_deref().unwrap_or("-"),
+        f.local.fingerprint_hex().unwrap_or("-"),
+        f.candidates.len(),
+    ));
+    match &*f.local {
+        Work::Solve(w) => run_solve(inner, job, w, incumbent, fault, queued),
+        Work::Answer(w) => run_answer(inner, job, w, incumbent, fault, queued),
+        // admission never nests Forward/PutCert inside a fallback
+        Work::Forward(_) | Work::PutCert(_) => unreachable!("invalid forward fallback"),
+    }
+}
+
+/// Handles a `put_cert` push from a peer: the claim is re-verified from
+/// scratch (re-parse, re-canonicalize, oracle re-proof) before anything
+/// is admitted — a remote peer is exactly as untrusted as bytes on disk.
+fn run_put_cert(inner: &Inner, job: &Job, p: &CertPush) -> Response {
+    let claimed = u64::from_str_radix(&p.fingerprint_hex, 16).unwrap_or(0);
+    let mut r = match crate::store::verify_claim(
+        p.objective,
+        p.format,
+        p.instance.clone(),
+        claimed,
+        p.effort_ms,
+        p.outcome.clone(),
+    ) {
+        Some(rec) => {
+            inner.cache.admit(
+                rec.fingerprint,
+                &rec.canonical,
+                rec.objective,
+                &rec.outcome,
+                rec.effort_ms,
+            );
+            if let Some(store) = &inner.store {
+                if let Err(e) = store.append(&rec) {
+                    inner.log(format_args!(
+                        "store append of pushed cert failed fp={}: {e}",
+                        p.fingerprint_hex
+                    ));
+                }
+            }
+            inner
+                .metrics
+                .cluster_certs_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.ok_responses.fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::new(job.id.clone(), Status::Ok);
+            r.fingerprint = Some(p.fingerprint_hex.clone());
+            r
+        }
+        None => {
+            inner
+                .metrics
+                .cluster_cert_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .error_responses
+                .fetch_add(1, Ordering::Relaxed);
+            let e =
+                HtdError::Invalid("pushed certificate failed oracle re-verification".to_string());
+            let mut r = Response::from_error(job.id.clone(), &e);
+            r.fingerprint = Some(p.fingerprint_hex.clone());
+            r
+        }
+    };
+    r.elapsed_ms = job.received.elapsed().as_secs_f64() * 1000.0;
+    inner.log(format_args!(
+        "put_cert from={} fp={} status={} ms={:.1}",
+        p.from.as_deref().unwrap_or("-"),
+        p.fingerprint_hex,
+        r.status.name(),
+        r.elapsed_ms,
+    ));
+    r
+}
+
 fn acceptor_loop(inner: &Arc<Inner>, listener: TcpListener) {
     // keeps accepting while draining so probes stay reachable; only the
     // final shutdown flag stops it
@@ -1220,10 +1604,24 @@ fn dispatch(inner: &Arc<Inner>, req: Request) -> Response {
 /// error, drain refusal, backpressure rejection) or enter the bounded
 /// work queue with their reply routed to `sink`.
 pub(crate) fn admit_request(inner: &Arc<Inner>, req: Request, sink: ReplySink) -> Admission {
+    match admit_request_inner(inner, req, sink) {
+        Admission::Ready(mut r) => {
+            inner.stamp(&mut r);
+            Admission::Ready(r)
+        }
+        queued => queued,
+    }
+}
+
+fn admit_request_inner(inner: &Arc<Inner>, req: Request, sink: ReplySink) -> Admission {
     match req.cmd {
         Command::Ping => {
             inner.metrics.ping_requests.fetch_add(1, Ordering::Relaxed);
-            Admission::Ready(Response::new(req.id, Status::Pong))
+            let mut r = Response::new(req.id, Status::Pong);
+            // leave-intent signal: the cluster failure detector reads this
+            // to mark a draining peer `Leaving` instead of failing it
+            r.draining = inner.draining();
+            Admission::Ready(r)
         }
         Command::Stats => {
             inner.metrics.stats_requests.fetch_add(1, Ordering::Relaxed);
@@ -1243,6 +1641,68 @@ pub(crate) fn admit_request(inner: &Arc<Inner>, req: Request, sink: ReplySink) -
         }
         Command::Solve(s) => admit_solve(inner, req.id, s, sink),
         Command::Answer(a) => admit_answer(inner, req.id, a, sink),
+        Command::PutCert(p) => admit_put_cert(inner, req.id, p, sink),
+    }
+}
+
+/// Admission path of a peer's `put_cert` push: the oracle re-proof is
+/// real work (a full `htd check` of the claimed decomposition), so it
+/// rides the bounded queue like any other job instead of stalling the
+/// connection thread or event loop.
+fn admit_put_cert(
+    inner: &Arc<Inner>,
+    id: Option<String>,
+    p: CertPush,
+    sink: ReplySink,
+) -> Admission {
+    let received = Instant::now();
+    inner
+        .metrics
+        .put_cert_requests
+        .fetch_add(1, Ordering::Relaxed);
+    if inner.draining() {
+        inner
+            .metrics
+            .shedding_responses
+            .fetch_add(1, Ordering::Relaxed);
+        let mut r = Response::new(id, Status::ShuttingDown);
+        r.error = Some("server is draining".into());
+        return Admission::Ready(r);
+    }
+    let deadline_ms = inner.opts.default_deadline_ms;
+    let deadline = received + Duration::from_millis(deadline_ms);
+    let fingerprint_hex = p.fingerprint_hex.clone();
+    let job = Job {
+        id: id.clone(),
+        work: Work::PutCert(p),
+        deadline,
+        deadline_ms,
+        threads: 1,
+        engines: None,
+        received,
+        enqueued: Instant::now(),
+        reply: sink,
+    };
+    inner.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+    if !inner.queue.try_push(job) {
+        inner.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        inner
+            .metrics
+            .rejected_responses
+            .fetch_add(1, Ordering::Relaxed);
+        // the sender's outbox redelivers with backoff; a plain rejection
+        // is all the backpressure signal it needs
+        let mut r = Response::new(id, Status::Rejected);
+        r.error = Some("work queue full".into());
+        r.fingerprint = Some(fingerprint_hex);
+        r.elapsed_ms = received.elapsed().as_secs_f64() * 1000.0;
+        return Admission::Ready(r);
+    }
+    Admission::Queued {
+        id,
+        fingerprint: Some(fingerprint_hex),
+        deadline,
+        received,
     }
 }
 
@@ -1319,29 +1779,49 @@ fn admit_solve(
         return Admission::Ready(r);
     }
 
+    let solve_work = SolveWork {
+        problem,
+        fingerprint: canon.fingerprint,
+        fingerprint_hex: fingerprint_hex.clone(),
+        canonical: canon.bytes,
+        canonical_complete: canon.complete,
+        objective_name,
+        budget: s.budget,
+        // the instance text is only re-read by the store's loader and
+        // the cluster's replication push; keep the job lean otherwise
+        instance: if inner.store.is_some() || inner.cluster.is_some() {
+            s.instance.clone()
+        } else {
+            String::new()
+        },
+        format: s.format,
+    };
+    let threads = s.threads.unwrap_or(1).max(1);
+    let engines = s.engines.clone();
+    // keys this node does not own route to their owners; the `forwarded`
+    // flag breaks the cycle (a forwarded request always computes where
+    // it lands). Cache hits above stay local either way — replicas hold
+    // verified entries legitimately.
+    let work = match &inner.cluster {
+        Some(cl) if !s.forwarded && !cl.owns(canon.fingerprint) => {
+            let candidates = cl.forward_candidates(canon.fingerprint);
+            let mut fwd = s;
+            fwd.forwarded = true;
+            Work::Forward(ForwardWork {
+                cmd: Command::Solve(fwd),
+                candidates,
+                local: Box::new(Work::Solve(solve_work)),
+            })
+        }
+        _ => Work::Solve(solve_work),
+    };
     let job = Job {
         id: id.clone(),
-        work: Work::Solve(SolveWork {
-            problem,
-            fingerprint: canon.fingerprint,
-            fingerprint_hex: fingerprint_hex.clone(),
-            canonical: canon.bytes,
-            canonical_complete: canon.complete,
-            objective_name,
-            budget: s.budget,
-            // the instance text is only re-read by the store's loader;
-            // keep the job lean when no store is configured
-            instance: if inner.store.is_some() {
-                s.instance
-            } else {
-                String::new()
-            },
-            format: s.format,
-        }),
+        work,
         deadline,
         deadline_ms,
-        threads: s.threads.unwrap_or(1).max(1),
-        engines: s.engines,
+        threads,
+        engines,
         received,
         enqueued: Instant::now(),
         reply: sink,
@@ -1428,19 +1908,41 @@ fn admit_answer(
         return Admission::Ready(r);
     }
 
+    // answers route on the same key the shape cache uses: the canonical
+    // fingerprint of the query's hypergraph (only computed when clustered)
+    let routing_key = inner
+        .cluster
+        .as_ref()
+        .map(|_| canonical_form(&query.csp.hypergraph()).fingerprint);
+    let answer_work = AnswerWork {
+        query,
+        mode: a.mode,
+        limit: a.limit,
+        use_shape_cache: a.use_cache,
+        parse_us,
+    };
+    let threads = a.threads.unwrap_or(1).max(1);
+    let engines = a.engines.clone();
+    let work = match (&inner.cluster, routing_key) {
+        (Some(cl), Some(key)) if !a.forwarded && !cl.owns(key) => {
+            let candidates = cl.forward_candidates(key);
+            let mut fwd = a;
+            fwd.forwarded = true;
+            Work::Forward(ForwardWork {
+                cmd: Command::Answer(fwd),
+                candidates,
+                local: Box::new(Work::Answer(answer_work)),
+            })
+        }
+        _ => Work::Answer(answer_work),
+    };
     let job = Job {
         id: id.clone(),
-        work: Work::Answer(AnswerWork {
-            query,
-            mode: a.mode,
-            limit: a.limit,
-            use_shape_cache: a.use_cache,
-            parse_us,
-        }),
+        work,
         deadline,
         deadline_ms,
-        threads: a.threads.unwrap_or(1).max(1),
-        engines: a.engines,
+        threads,
+        engines,
         received,
         enqueued: Instant::now(),
         reply: sink,
@@ -1503,10 +2005,11 @@ pub(crate) fn http_response_bytes(inner: &Inner, request_line: &str) -> Vec<u8> 
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, content_type, body) = match path {
         "/healthz" => {
-            let body = Json::Obj(vec![
+            let draining = inner.draining();
+            let mut fields = vec![
                 (
-                    "status".into(),
-                    Json::Str(if inner.draining() { "draining" } else { "ok" }.into()),
+                    "status".to_string(),
+                    Json::Str(if draining { "draining" } else { "ok" }.into()),
                 ),
                 (
                     "uptime_ms".into(),
@@ -1520,10 +2023,31 @@ pub(crate) fn http_response_bytes(inner: &Inner, request_line: &str) -> Vec<u8> 
                     "inflight".into(),
                     Json::Num(inner.metrics.inflight.load(Ordering::SeqCst) as f64),
                 ),
-                ("draining".into(), Json::Bool(inner.draining())),
-            ])
-            .to_string();
-            ("200 OK", "application/json", body)
+                ("draining".into(), Json::Bool(draining)),
+            ];
+            if let Some(cluster) = &inner.cluster {
+                fields.push(("node".into(), Json::Str(cluster.node_id().to_string())));
+                fields.push(("ring_nodes".into(), Json::Num(cluster.ring().len() as f64)));
+                fields.push((
+                    "peers".into(),
+                    Json::Obj(
+                        cluster
+                            .peer_states()
+                            .into_iter()
+                            .map(|(id, st)| (id, Json::Str(st.name().into())))
+                            .collect(),
+                    ),
+                ));
+            }
+            let body = Json::Obj(fields).to_string();
+            // 503 while draining: load balancers and the cluster failure
+            // detector both read drain as leave-intent, not liveness
+            let status = if draining {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, "application/json", body)
         }
         "/metrics" => {
             let mut body = inner.metrics.render_prometheus(

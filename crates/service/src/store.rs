@@ -50,6 +50,17 @@
 //!
 //! A request whose entry was dropped simply misses the warm cache and
 //! recomputes — the store can cost time, never correctness.
+//!
+//! ## Exclusive ownership (`flock`)
+//!
+//! The log is single-writer by design: two servers appending to the
+//! same `store.log` would interleave frames and corrupt both histories.
+//! `CertStore::open` therefore takes an **advisory exclusive `flock`**
+//! on the log and fails fast with a structured error when another
+//! process (or another store in this process) already holds it —
+//! pointing two `htd serve --store` instances at one directory is a
+//! deployment mistake the server refuses at startup, never a latent
+//! corruption.
 
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
@@ -140,6 +151,7 @@ impl CertStore {
             .append(true)
             .create(true)
             .open(&path)?;
+        lock_exclusive(&file, &path)?;
         let mut raw = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut raw)?;
@@ -220,6 +232,38 @@ impl CertStore {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Re-reads and re-verifies the whole log, returning the surviving
+    /// records (duplicate keys keep the last verified one). Used by the
+    /// cluster layer for incremental key handoff: when a peer joins or
+    /// recovers, the records it now owns are extracted here and pushed
+    /// over `put_cert` — where the receiver re-proves them again. This
+    /// is a full scan plus oracle re-verification, so it runs only on
+    /// membership transitions, never on the request path.
+    pub fn replay(&self) -> std::io::Result<Vec<StoreRecord>> {
+        let mut raw = Vec::new();
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut raw)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        let _sp = htd_trace::span!("store.replay");
+        let mut records: Vec<StoreRecord> = Vec::new();
+        let mut stats = StoreStats::default();
+        let mut pos = 0usize;
+        while pos < raw.len() {
+            let Some((payload, next)) = read_frame(&raw, pos, &mut stats) else {
+                break;
+            };
+            if let Some(rec) = decode_record(payload) {
+                records.retain(|r| r.objective != rec.objective || r.canonical != rec.canonical);
+                records.push(rec);
+            }
+            pos = next;
+        }
+        Ok(records)
+    }
+
     /// Appends one record unless its key is already stored. Only
     /// outcomes the oracle could later re-admit are worth writing:
     /// callers must pass cacheable (non-degraded) outcomes with a
@@ -256,6 +300,64 @@ impl CertStore {
         reg.gauge("htd_store_bytes").set(bytes as i64);
         Ok(true)
     }
+}
+
+impl CertStore {
+    /// Releases the advisory single-writer lock without closing the
+    /// store. Called by server teardown (`wait`/`kill`) after the
+    /// worker pool — the only appender — has been joined, so a reopen
+    /// in the same process succeeds even while detached connection
+    /// threads still hold a reference to the old store for a moment.
+    /// The kernel would release the lock on drop anyway; this just
+    /// makes the release deterministic.
+    pub(crate) fn unlock(&self) {
+        unlock_file(&self.file.lock());
+    }
+}
+
+#[cfg(unix)]
+fn unlock_file(file: &File) {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_UN: i32 = 8;
+    unsafe { flock(file.as_raw_fd(), LOCK_UN) };
+}
+
+#[cfg(not(unix))]
+fn unlock_file(_file: &File) {}
+
+/// Takes the advisory exclusive lock that makes the log single-writer.
+/// `LOCK_EX | LOCK_NB`: a second opener gets an immediate structured
+/// error instead of blocking behind (and then corrupting) the first.
+/// The lock lives on the open file description and is released by the
+/// kernel when the store is dropped — even on `kill -9`.
+#[cfg(unix)]
+fn lock_exclusive(file: &File, path: &Path) -> std::io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    if unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) } != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            format!(
+                "certificate store {} is locked by another server; \
+                 the append-only log is single-writer — give each \
+                 server its own --store directory",
+                path.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn lock_exclusive(_file: &File, _path: &Path) -> std::io::Result<()> {
+    Ok(())
 }
 
 /// Pulls one framed payload out of `raw` at `pos`. Returns the payload
@@ -338,15 +440,31 @@ fn decode_record(payload: &[u8]) -> Option<StoreRecord> {
     let effort_ms = doc.get("effort_ms").and_then(|v| v.as_u64())?;
     let outcome = Outcome::from_json(doc.get("outcome")?).ok()?;
 
-    // rebuild the problem from the stored instance text and re-derive
-    // the canonical form from scratch — the stored fingerprint is a
-    // claim, not a key
-    let (problem, key_hypergraph) = parse_problem(format, &instance, objective).ok()?;
-    let canon = htd_hypergraph::canonical::canonical_form(&key_hypergraph);
-    if canon.fingerprint != fingerprint || canon.bytes.len() != canonical_len {
+    let rec = verify_claim(objective, format, instance, fingerprint, effort_ms, outcome)?;
+    if rec.canonical.len() != canonical_len {
         return None;
     }
-    // the oracle re-proves the outcome before it may serve anyone
+    Some(rec)
+}
+
+/// The trust boundary shared by the log loader and the cluster's
+/// `put_cert` handler: rebuild the problem from the claimed instance
+/// text, re-derive the canonical form from scratch (the claimed
+/// fingerprint is a claim, not a key), and let the oracle re-prove the
+/// outcome before it may serve anyone. Any failure returns `None`.
+pub(crate) fn verify_claim(
+    objective: htd_search::Objective,
+    format: InstanceFormat,
+    instance: String,
+    fingerprint: u64,
+    effort_ms: u64,
+    outcome: Outcome,
+) -> Option<StoreRecord> {
+    let (problem, key_hypergraph) = parse_problem(format, &instance, objective).ok()?;
+    let canon = htd_hypergraph::canonical::canonical_form(&key_hypergraph);
+    if canon.fingerprint != fingerprint {
+        return None;
+    }
     if !htd_check::verify_store_entry(&problem, &outcome).is_valid() {
         return None;
     }
@@ -403,6 +521,47 @@ mod tests {
         assert_eq!(loaded[0].fingerprint, rec.fingerprint);
         assert_eq!(loaded[0].canonical, rec.canonical);
         assert_eq!(loaded[0].outcome.upper, rec.outcome.upper);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn second_open_of_a_locked_store_fails_fast() {
+        let dir = std::env::temp_dir().join(format!("htd-store-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = CertStore::open(&dir).unwrap();
+        let err = match CertStore::open(&dir) {
+            Ok(_) => panic!("second opener must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert!(
+            err.to_string().contains("locked by another server"),
+            "{err}"
+        );
+        // the lock dies with the holder; a reopen then succeeds
+        drop(store);
+        let (_store, _) = CertStore::open(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_returns_the_verified_records() {
+        let dir = std::env::temp_dir().join(format!("htd-store-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = CertStore::open(&dir).unwrap();
+        let a = solved_record(3);
+        let b = solved_record(4);
+        assert!(store.append(&a).unwrap());
+        assert!(store.append(&b).unwrap());
+        let replayed = store.replay().unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert!(replayed.iter().any(|r| r.fingerprint == a.fingerprint));
+        assert!(replayed.iter().any(|r| r.fingerprint == b.fingerprint));
+        // appends still work after a replay (cursor restored)
+        let c = solved_record(5);
+        assert!(store.append(&c).unwrap());
+        assert_eq!(store.replay().unwrap().len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

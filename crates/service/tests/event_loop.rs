@@ -49,6 +49,7 @@ fn solve_line(id: &str, objective: Objective, instance: &str, deadline_ms: u64) 
             threads: None,
             engines: None,
             use_cache: true,
+            forwarded: false,
         }),
     };
     format!("{}\n", req.to_json())

@@ -377,9 +377,11 @@ fn graceful_shutdown_drains_inflight_work() {
     let mut c = Client::connect(&addr).unwrap();
     c.shutdown().unwrap();
 
-    // probes stay up during the drain, new solves are refused
+    // probes stay up during the drain but flip to 503 (load balancers
+    // and cluster peers read drain as leave-intent); new solves refused
     let (status, body) = http_get(&addr, "/healthz");
-    assert!(status.contains("200"));
+    assert!(status.contains("503"), "{status}");
+    assert!(body.contains("\"status\":\"draining\""), "{body}");
     assert!(body.contains("\"draining\":true"), "{body}");
     let refused = c
         .solve(
@@ -480,6 +482,7 @@ fn chaos_mode_survives_panics_and_serves_every_request() {
             threads: Some(3),
             engines: None,
             use_cache: false,
+            forwarded: false,
         };
         // mix of objectives to exercise more of the portfolio
         if i % 5 == 4 {
